@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Fig. 3 of the paper: Executions-per-Failure (EPF = EIT /
+ * FIT_GPU, log scale) for every benchmark x GPU pair, combining the
+ * performance of the chip (clock x cycles => executions in 1e9 hours)
+ * with its reliability (structure sizes x AVF => failures in 1e9 hours).
+ *
+ * Expected shape: EPF spans roughly 1e12..1e16 across the grid, with
+ * larger/faster-but-bigger-structure chips trading throughput against
+ * failure rate differently per benchmark.
+ *
+ * By default the AVFs feeding FIT come from ACE analysis (deterministic
+ * and fast); pass --injections=N (without --ace-only) to use statistical
+ * FI AVFs like the paper.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/bench_cli.hh"
+
+int
+main(int argc, char** argv)
+{
+    gpr::BenchCli cli;
+    // ACE-based unless the user explicitly chooses an injection count.
+    bool injections_given = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--injections=", 13) == 0)
+            injections_given = true;
+    }
+    if (!cli.parse(argc, argv))
+        return 1;
+    if (!injections_given)
+        cli.study.analysis.aceOnly = true;
+
+    cli.printHeader(std::cout, "Fig. 3 - Executions per Failure (EPF)");
+    std::cout << "FIT model: 1000 FIT/Mbit intrinsic SER; structures: "
+                 "vector RF + local memory (+ scalar RF on SI)\n";
+
+    const gpr::StudyResult study = gpr::runComparisonStudy(cli.study);
+    const gpr::TextTable table = study.figure3();
+    table.render(std::cout);
+    if (cli.csv)
+        table.renderCsv(std::cout);
+    return 0;
+}

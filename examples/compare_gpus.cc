@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cross-architecture comparison for a single benchmark — the paper's core
+ * scenario in miniature: the same kernel source, lowered to the CUDA
+ * dialect for the three NVIDIA chips and to the Southern Islands dialect
+ * for the AMD chip, analysed on all four.
+ *
+ *     $ compare_gpus [workload] [injections]
+ */
+
+#include <iostream>
+
+#include "common/string_utils.hh"
+#include "common/table.hh"
+#include "core/framework.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace gpr;
+
+    const std::string workload = argc > 1 ? argv[1] : "matrixMul";
+    std::size_t injections = 200;
+    if (argc > 2) {
+        if (const auto n = parseInt(argv[2]); n && *n >= 0)
+            injections = static_cast<std::size_t>(*n);
+    }
+
+    TextTable table({"GPU", "uarch", "cycles", "exec (s)", "RF AVF-FI",
+                     "RF AVF-ACE", "RF occ", "LM AVF-FI", "EPF"});
+
+    for (GpuModel gpu : allGpuModels()) {
+        ReliabilityFramework framework(gpu);
+        AnalysisOptions options;
+        options.plan.injections = injections;
+        const ReliabilityReport r = framework.analyze(workload, options);
+        table.addRow({r.gpuName, framework.config().microarchitecture,
+                      strprintf("%llu",
+                                static_cast<unsigned long long>(r.cycles)),
+                      sciNotation(r.execSeconds),
+                      strprintf("%.1f%%", 100 * r.registerFile.avfFi),
+                      strprintf("%.1f%%", 100 * r.registerFile.avfAce),
+                      strprintf("%.1f%%", 100 * r.registerFile.occupancy),
+                      r.localMemory.applicable
+                          ? strprintf("%.1f%%", 100 * r.localMemory.avfFi)
+                          : std::string("n/a"),
+                      sciNotation(r.epf.epf())});
+    }
+
+    std::cout << "benchmark: " << workload << " (" << injections
+              << " injections/structure)\n";
+    table.render(std::cout);
+    return 0;
+}

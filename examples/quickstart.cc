@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Quickstart: analyze one benchmark on one GPU and print every metric the
+ * study reports — AVF by fault injection and by ACE analysis, structure
+ * occupancy, performance, FIT and EPF.
+ *
+ *     $ quickstart [workload] [gpu] [injections]
+ *     $ quickstart vectoradd gtx480 500
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/string_utils.hh"
+#include "core/framework.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace gpr;
+
+    const std::string workload = argc > 1 ? argv[1] : "vectoradd";
+    const GpuModel gpu =
+        argc > 2 ? gpuModelFromName(argv[2]) : GpuModel::GeforceGtx480;
+
+    AnalysisOptions options;
+    options.plan.injections = 400;
+    if (argc > 3) {
+        if (const auto n = parseInt(argv[3]); n && *n >= 0)
+            options.plan.injections = static_cast<std::size_t>(*n);
+    }
+
+    std::printf("analyzing '%s' with %zu injections per structure "
+                "(+/-%.1f%% at %.0f%% confidence)...\n",
+                workload.c_str(), options.plan.injections,
+                100.0 * options.plan.errorMargin(),
+                100.0 * options.plan.confidence);
+
+    ReliabilityFramework framework(gpu);
+    const ReliabilityReport report = framework.analyze(workload, options);
+    report.printSummary(std::cout);
+    return 0;
+}

@@ -1,0 +1,183 @@
+#include "arch/gpu_config.hh"
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gpr {
+namespace {
+
+GpuConfig
+makeHdRadeon7970()
+{
+    GpuConfig c;
+    c.model = GpuModel::HdRadeon7970;
+    c.vendor = Vendor::Amd;
+    c.dialect = IsaDialect::SouthernIslands;
+    c.name = "HD Radeon 7970";
+    c.microarchitecture = "Southern Islands (Tahiti)";
+    c.numSms = 32;                   // compute units
+    c.warpWidth = 64;                // wavefront
+    c.maxWarpsPerSm = 40;            // 10 waves per SIMD x 4 SIMDs
+    c.maxBlocksPerSm = 16;           // work-groups per CU
+    c.maxThreadsPerBlock = 256;      // typical OpenCL work-group limit
+    c.issueWidth = 2;                // CU-level sustained issue (model)
+    c.warpIssueInterval = 4;         // wave64 over a 16-lane SIMD
+    c.regFileWordsPerSm = 65536;     // 256 KB vector RF (4 x 64 KB SIMDs)
+    c.scalarRegWordsPerSm = 2048;    // 8 KB scalar RF
+    c.smemBytesPerSm = 64 * 1024;    // LDS
+    c.smemBanks = 32;
+    c.clockMhz = 925.0;
+    c.memTransactionCycles = 1;      // 264 GB/s class memory
+    c.latency = {.intAlu = 8, .floatAlu = 8, .sfu = 32, .compare = 8,
+                 .misc = 4, .shared = 24, .global = 350};
+    c.scheduler = SchedulerKind::RoundRobin;
+    return c;
+}
+
+GpuConfig
+makeQuadroFx5600()
+{
+    GpuConfig c;
+    c.model = GpuModel::QuadroFx5600;
+    c.vendor = Vendor::Nvidia;
+    c.dialect = IsaDialect::Cuda;
+    c.name = "Quadro FX 5600";
+    c.microarchitecture = "G80";
+    c.numSms = 16;
+    c.warpWidth = 32;
+    c.maxWarpsPerSm = 24;            // 768 threads / SM
+    c.maxBlocksPerSm = 8;
+    c.maxThreadsPerBlock = 512;
+    c.issueWidth = 1;
+    c.warpIssueInterval = 4;         // warp32 over 8 SPs
+    c.regFileWordsPerSm = 8192;      // 32 KB
+    c.scalarRegWordsPerSm = 0;
+    c.smemBytesPerSm = 16 * 1024;
+    c.smemBanks = 16;
+    c.clockMhz = 1350.0;
+    c.memTransactionCycles = 2;      // ~77 GB/s class memory
+    c.latency = {.intAlu = 20, .floatAlu = 20, .sfu = 60, .compare = 20,
+                 .misc = 8, .shared = 34, .global = 450};
+    c.scheduler = SchedulerKind::RoundRobin;
+    return c;
+}
+
+GpuConfig
+makeQuadroFx5800()
+{
+    GpuConfig c;
+    c.model = GpuModel::QuadroFx5800;
+    c.vendor = Vendor::Nvidia;
+    c.dialect = IsaDialect::Cuda;
+    c.name = "Quadro FX 5800";
+    c.microarchitecture = "GT200";
+    c.numSms = 30;
+    c.warpWidth = 32;
+    c.maxWarpsPerSm = 32;            // 1024 threads / SM
+    c.maxBlocksPerSm = 8;
+    c.maxThreadsPerBlock = 512;
+    c.issueWidth = 1;
+    c.warpIssueInterval = 4;         // warp32 over 8 SPs
+    c.regFileWordsPerSm = 16384;     // 64 KB
+    c.scalarRegWordsPerSm = 0;
+    c.smemBytesPerSm = 16 * 1024;
+    c.smemBanks = 16;
+    c.clockMhz = 1296.0;
+    c.memTransactionCycles = 1;      // ~102 GB/s class memory
+    c.latency = {.intAlu = 20, .floatAlu = 20, .sfu = 60, .compare = 20,
+                 .misc = 8, .shared = 34, .global = 420};
+    c.scheduler = SchedulerKind::RoundRobin;
+    return c;
+}
+
+GpuConfig
+makeGeforceGtx480()
+{
+    GpuConfig c;
+    c.model = GpuModel::GeforceGtx480;
+    c.vendor = Vendor::Nvidia;
+    c.dialect = IsaDialect::Cuda;
+    c.name = "GeForce GTX 480";
+    c.microarchitecture = "Fermi (GF100)";
+    c.numSms = 15;
+    c.warpWidth = 32;
+    c.maxWarpsPerSm = 48;            // 1536 threads / SM
+    c.maxBlocksPerSm = 8;
+    c.maxThreadsPerBlock = 1024;
+    c.issueWidth = 2;                // dual warp schedulers
+    c.warpIssueInterval = 2;         // warp32 over 16-lane pipelines
+    c.regFileWordsPerSm = 32768;     // 128 KB
+    c.scalarRegWordsPerSm = 0;
+    c.smemBytesPerSm = 48 * 1024;    // 48/16 configuration
+    c.smemBanks = 32;
+    c.clockMhz = 1401.0;
+    c.memTransactionCycles = 1;      // ~177 GB/s class memory
+    c.latency = {.intAlu = 16, .floatAlu = 16, .sfu = 48, .compare = 16,
+                 .misc = 6, .shared = 28, .global = 400};
+    c.scheduler = SchedulerKind::GreedyThenOldest;
+    return c;
+}
+
+} // namespace
+
+const GpuConfig&
+gpuConfig(GpuModel model)
+{
+    static const GpuConfig radeon = makeHdRadeon7970();
+    static const GpuConfig fx5600 = makeQuadroFx5600();
+    static const GpuConfig fx5800 = makeQuadroFx5800();
+    static const GpuConfig gtx480 = makeGeforceGtx480();
+
+    switch (model) {
+      case GpuModel::HdRadeon7970:
+        return radeon;
+      case GpuModel::QuadroFx5600:
+        return fx5600;
+      case GpuModel::QuadroFx5800:
+        return fx5800;
+      case GpuModel::GeforceGtx480:
+        return gtx480;
+    }
+    panic("unknown GPU model ", static_cast<int>(model));
+}
+
+const std::vector<GpuModel>&
+allGpuModels()
+{
+    static const std::vector<GpuModel> models = {
+        GpuModel::HdRadeon7970,
+        GpuModel::QuadroFx5600,
+        GpuModel::QuadroFx5800,
+        GpuModel::GeforceGtx480,
+    };
+    return models;
+}
+
+std::string_view
+gpuModelName(GpuModel model)
+{
+    return gpuConfig(model).name;
+}
+
+GpuModel
+gpuModelFromName(std::string_view name)
+{
+    const std::string key = toLower(name);
+    for (GpuModel m : allGpuModels()) {
+        if (key == toLower(gpuConfig(m).name))
+            return m;
+    }
+    // Short aliases.
+    if (key == "7970" || key == "tahiti" || key == "si")
+        return GpuModel::HdRadeon7970;
+    if (key == "fx5600" || key == "g80")
+        return GpuModel::QuadroFx5600;
+    if (key == "fx5800" || key == "gt200")
+        return GpuModel::QuadroFx5800;
+    if (key == "gtx480" || key == "fermi")
+        return GpuModel::GeforceGtx480;
+    fatal("unknown GPU model '", std::string(name),
+          "' (try: 7970, fx5600, fx5800, gtx480)");
+}
+
+} // namespace gpr

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Microarchitectural configuration records for the four GPUs of the study.
+ *
+ * Numbers come from vendor datasheets / the GPGPU-Sim and Multi2Sim default
+ * configs for the same chips.  The timing-model parameters (latencies,
+ * issue width, memory throughput) are calibration constants of the
+ * simulator — EPF only consumes them through ratios (clock x cycles), so
+ * plausible values preserve the paper's shape (see DESIGN.md section 6).
+ */
+
+#ifndef GPR_ARCH_GPU_CONFIG_HH
+#define GPR_ARCH_GPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/dialect.hh"
+
+namespace gpr {
+
+/** The four chips compared in the paper. */
+enum class GpuModel : std::uint8_t
+{
+    HdRadeon7970,  ///< AMD Southern Islands (Tahiti)
+    QuadroFx5600,  ///< NVIDIA G80
+    QuadroFx5800,  ///< NVIDIA GT200
+    GeforceGtx480, ///< NVIDIA Fermi (GF100)
+};
+
+enum class Vendor : std::uint8_t { Amd, Nvidia };
+
+/** Warp scheduling policy of an SM/CU. */
+enum class SchedulerKind : std::uint8_t
+{
+    RoundRobin,       ///< loose round-robin (G80/GT200, SI SIMD rotation)
+    GreedyThenOldest, ///< GTO (Fermi-style)
+};
+
+/** Instruction latencies in shader-clock cycles, by functional category. */
+struct LatencyModel
+{
+    std::uint32_t intAlu = 16;
+    std::uint32_t floatAlu = 16;
+    std::uint32_t sfu = 48;        ///< RCP/SQRT/EXP2/DIV
+    std::uint32_t compare = 16;
+    std::uint32_t misc = 8;        ///< MOV/S2R/LDPARAM
+    std::uint32_t shared = 32;     ///< LDS/STS round trip
+    std::uint32_t global = 400;    ///< LDG/STG round trip (uncontended)
+};
+
+/**
+ * Full device description.  One SM record is replicated numSms times; the
+ * register file and LDS sizes below are per SM/CU.
+ */
+struct GpuConfig
+{
+    GpuModel model = GpuModel::GeforceGtx480;
+    Vendor vendor = Vendor::Nvidia;
+    IsaDialect dialect = IsaDialect::Cuda;
+    std::string name;
+    std::string microarchitecture;
+
+    // Compute resources.
+    std::uint32_t numSms = 1;            ///< SMs (NVIDIA) or CUs (AMD)
+    std::uint32_t warpWidth = 32;
+    std::uint32_t maxWarpsPerSm = 48;    ///< resident warp/wavefront slots
+    std::uint32_t maxBlocksPerSm = 8;
+    std::uint32_t maxThreadsPerBlock = 512;
+    std::uint32_t issueWidth = 1;        ///< warp-instructions issued/cycle
+    /** Cycles a warp occupies its execution unit per instruction (e.g. 4
+     *  on G80: a 32-wide warp over 8 SPs); lower-bounds back-to-back
+     *  issue from the same warp. */
+    std::uint32_t warpIssueInterval = 4;
+
+    // Storage structures under study (sizes per SM/CU).
+    std::uint32_t regFileWordsPerSm = 32768; ///< 32-bit vector registers
+    std::uint32_t scalarRegWordsPerSm = 0;   ///< SI scalar registers
+    std::uint32_t smemBytesPerSm = 48 * 1024;
+    std::uint32_t smemBanks = 32;
+
+    // Clocks and memory system.
+    double clockMhz = 1000.0;            ///< shader clock
+    std::uint32_t memTransactionCycles = 1; ///< chip cycles per 128B txn
+    LatencyModel latency;
+    SchedulerKind scheduler = SchedulerKind::RoundRobin;
+
+    /** Watchdog: a run is declared hung after this multiple of the golden
+     *  cycle count (plus a fixed slack). */
+    double watchdogFactor = 4.0;
+
+    // Derived helpers.
+    std::uint64_t totalRegFileBits() const
+    {
+        return static_cast<std::uint64_t>(numSms) * regFileWordsPerSm * 32;
+    }
+    std::uint64_t totalScalarRegBits() const
+    {
+        return static_cast<std::uint64_t>(numSms) * scalarRegWordsPerSm * 32;
+    }
+    std::uint64_t totalSmemBits() const
+    {
+        return static_cast<std::uint64_t>(numSms) * smemBytesPerSm * 8;
+    }
+    std::uint32_t smemWordsPerSm() const { return smemBytesPerSm / 4; }
+};
+
+/** The canonical configuration for @p model. */
+const GpuConfig& gpuConfig(GpuModel model);
+
+/** All four models, in the paper's figure order. */
+const std::vector<GpuModel>& allGpuModels();
+
+/** Display name, e.g. "HD Radeon 7970". */
+std::string_view gpuModelName(GpuModel model);
+
+/** Parse a model from its display or short name; throws FatalError. */
+GpuModel gpuModelFromName(std::string_view name);
+
+} // namespace gpr
+
+#endif // GPR_ARCH_GPU_CONFIG_HH

@@ -1,0 +1,132 @@
+#include "arch/occupancy.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace gpr {
+
+OccupancyInfo
+computeOccupancy(const GpuConfig& config, const Program& prog,
+                 std::uint32_t threads_per_block, std::uint32_t grid_blocks)
+{
+    GPR_ASSERT(threads_per_block > 0, "empty block");
+    GPR_ASSERT(grid_blocks > 0, "empty grid");
+
+    if (threads_per_block > config.maxThreadsPerBlock) {
+        fatal("kernel '", prog.name(), "': block of ", threads_per_block,
+              " threads exceeds ", config.name, " limit of ",
+              config.maxThreadsPerBlock);
+    }
+    if (prog.dialect() != config.dialect) {
+        fatal("kernel '", prog.name(), "' is compiled for ",
+              dialectName(prog.dialect()), " but ", config.name, " runs ",
+              dialectName(config.dialect));
+    }
+
+    OccupancyInfo info;
+    info.warpsPerBlock = ceilDiv(threads_per_block, config.warpWidth);
+    info.regsPerBlock =
+        info.warpsPerBlock * config.warpWidth * prog.numVRegs();
+    info.sregsPerBlock = info.warpsPerBlock * prog.numSRegs();
+    info.smemPerBlock = prog.smemBytes();
+
+    if (info.regsPerBlock > config.regFileWordsPerSm) {
+        fatal("kernel '", prog.name(), "': one block needs ",
+              info.regsPerBlock, " registers, but ", config.name,
+              " has only ", config.regFileWordsPerSm, " per SM");
+    }
+    if (info.smemPerBlock > config.smemBytesPerSm) {
+        fatal("kernel '", prog.name(), "': one block needs ",
+              info.smemPerBlock, " bytes of shared memory, but ",
+              config.name, " has only ", config.smemBytesPerSm, " per SM");
+    }
+    if (config.scalarRegWordsPerSm > 0 &&
+        info.sregsPerBlock > config.scalarRegWordsPerSm) {
+        fatal("kernel '", prog.name(), "': scalar register demand exceeds ",
+              config.name);
+    }
+
+    // Resource-limited block residency.
+    std::uint32_t limit = config.maxBlocksPerSm;
+    auto limiter = OccupancyInfo::Limiter::BlockSlots;
+
+    const std::uint32_t by_warps =
+        config.maxWarpsPerSm / info.warpsPerBlock;
+    if (by_warps < limit) {
+        limit = by_warps;
+        limiter = OccupancyInfo::Limiter::WarpSlots;
+    }
+
+    const std::uint32_t by_regs =
+        info.regsPerBlock ? config.regFileWordsPerSm / info.regsPerBlock
+                          : limit;
+    if (by_regs < limit) {
+        limit = by_regs;
+        limiter = OccupancyInfo::Limiter::Registers;
+    }
+
+    if (config.scalarRegWordsPerSm > 0 && info.sregsPerBlock > 0) {
+        const std::uint32_t by_sregs =
+            config.scalarRegWordsPerSm / info.sregsPerBlock;
+        if (by_sregs < limit) {
+            limit = by_sregs;
+            limiter = OccupancyInfo::Limiter::Registers;
+        }
+    }
+
+    if (info.smemPerBlock > 0) {
+        const std::uint32_t by_smem =
+            config.smemBytesPerSm / info.smemPerBlock;
+        if (by_smem < limit) {
+            limit = by_smem;
+            limiter = OccupancyInfo::Limiter::SharedMemory;
+        }
+    }
+
+    GPR_ASSERT(limit >= 1, "resource checks above guarantee >= 1 block");
+
+    // A small grid may not fill even one SM's worth of slots.
+    const std::uint32_t avg_blocks_per_sm_ceiling =
+        ceilDiv(grid_blocks, config.numSms);
+    if (avg_blocks_per_sm_ceiling < limit) {
+        limit = std::max(1u, avg_blocks_per_sm_ceiling);
+        limiter = OccupancyInfo::Limiter::GridSize;
+    }
+
+    info.blocksPerSm = limit;
+    info.limiter = limiter;
+    info.activeWarpsPerSm = limit * info.warpsPerBlock;
+    info.warpOccupancy = static_cast<double>(info.activeWarpsPerSm) /
+                         static_cast<double>(config.maxWarpsPerSm);
+    info.regFileOccupancy =
+        static_cast<double>(limit) * info.regsPerBlock /
+        static_cast<double>(config.regFileWordsPerSm);
+    info.smemOccupancy =
+        config.smemBytesPerSm
+            ? static_cast<double>(limit) * info.smemPerBlock /
+                  static_cast<double>(config.smemBytesPerSm)
+            : 0.0;
+    return info;
+}
+
+std::string_view
+occupancyLimiterName(OccupancyInfo::Limiter limiter)
+{
+    switch (limiter) {
+      case OccupancyInfo::Limiter::BlockSlots:
+        return "block-slots";
+      case OccupancyInfo::Limiter::WarpSlots:
+        return "warp-slots";
+      case OccupancyInfo::Limiter::Registers:
+        return "registers";
+      case OccupancyInfo::Limiter::SharedMemory:
+        return "shared-memory";
+      case OccupancyInfo::Limiter::GridSize:
+        return "grid-size";
+    }
+    return "unknown";
+}
+
+} // namespace gpr

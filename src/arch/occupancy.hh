@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Static occupancy calculator — the CUDA-occupancy-calculator equivalent,
+ * generalised over both vendors.
+ *
+ * Given a kernel's per-thread register use, per-block shared memory and the
+ * launch geometry, computes how many blocks are resident per SM and what
+ * fraction of each studied storage structure is therefore allocated.  The
+ * simulator reports *measured* (time-averaged) occupancy; this module gives
+ * the closed-form bound used for cross-checks and for the occupancy
+ * ablation bench.
+ */
+
+#ifndef GPR_ARCH_OCCUPANCY_HH
+#define GPR_ARCH_OCCUPANCY_HH
+
+#include <cstdint>
+
+#include "arch/gpu_config.hh"
+#include "isa/program.hh"
+
+namespace gpr {
+
+/** Result of the static occupancy computation. */
+struct OccupancyInfo
+{
+    std::uint32_t warpsPerBlock = 0;
+    std::uint32_t regsPerBlock = 0;     ///< vector RF words per block
+    std::uint32_t sregsPerBlock = 0;    ///< scalar RF words per block (SI)
+    std::uint32_t smemPerBlock = 0;     ///< bytes per block
+
+    /** Max resident blocks per SM and the limiting resource. */
+    std::uint32_t blocksPerSm = 0;
+    enum class Limiter : std::uint8_t
+    {
+        BlockSlots,
+        WarpSlots,
+        Registers,
+        SharedMemory,
+        GridSize, ///< grid has fewer blocks than the hardware could host
+    } limiter = Limiter::BlockSlots;
+
+    std::uint32_t activeWarpsPerSm = 0;
+    /** Warp-slot occupancy (activeWarps / maxWarps). */
+    double warpOccupancy = 0.0;
+    /** Fraction of vector RF words allocated when fully resident. */
+    double regFileOccupancy = 0.0;
+    /** Fraction of LDS bytes allocated when fully resident. */
+    double smemOccupancy = 0.0;
+};
+
+/**
+ * Compute the occupancy of @p prog on @p config for a launch of
+ * @p threads_per_block threads and @p grid_blocks blocks total.
+ * Throws FatalError if the kernel cannot launch at all (one block
+ * exceeds an SM's resources).
+ */
+OccupancyInfo computeOccupancy(const GpuConfig& config, const Program& prog,
+                               std::uint32_t threads_per_block,
+                               std::uint32_t grid_blocks);
+
+/** Human-readable limiter name. */
+std::string_view occupancyLimiterName(OccupancyInfo::Limiter limiter);
+
+} // namespace gpr
+
+#endif // GPR_ARCH_OCCUPANCY_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by storage models and the fault injector.
+ */
+
+#ifndef GPR_COMMON_BITUTILS_HH
+#define GPR_COMMON_BITUTILS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace gpr {
+
+/** Flip bit @p bit (0 = LSB) of @p w. */
+constexpr Word
+flipBit(Word w, unsigned bit)
+{
+    return w ^ (Word{1} << (bit & 31u));
+}
+
+/** Extract bit @p bit of @p w. */
+constexpr bool
+getBit(Word w, unsigned bit)
+{
+    return (w >> (bit & 31u)) & 1u;
+}
+
+/** Set bit @p bit of @p w to @p value. */
+constexpr Word
+setBit(Word w, unsigned bit, bool value)
+{
+    const Word mask = Word{1} << (bit & 31u);
+    return value ? (w | mask) : (w & ~mask);
+}
+
+/** Population count. */
+constexpr unsigned
+popcount(Word w)
+{
+    return static_cast<unsigned>(std::popcount(w));
+}
+
+/** Integer ceiling division. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+template <typename T>
+constexpr T
+roundUp(T a, T b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** Reinterpret a float's bits as a Word (type-pun via bit_cast). */
+inline Word
+floatBits(float f)
+{
+    return std::bit_cast<Word>(f);
+}
+
+/** Reinterpret a Word as float. */
+inline float
+wordToFloat(Word w)
+{
+    return std::bit_cast<float>(w);
+}
+
+} // namespace gpr
+
+#endif // GPR_COMMON_BITUTILS_HH

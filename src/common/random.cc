@@ -1,0 +1,14 @@
+#include "common/random.hh"
+
+namespace gpr {
+
+std::uint64_t
+deriveSeed(std::uint64_t root_seed, std::uint64_t stream_id)
+{
+    SplitMix64 sm(root_seed ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+    // Burn one output so adjacent stream ids decorrelate fully.
+    sm.next();
+    return sm.next();
+}
+
+} // namespace gpr

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Campaigns must be reproducible across runs and independent of thread
+ * scheduling, so every injection derives its own generator from
+ * (campaign seed, injection index) via SplitMix64.  The main generator is
+ * xoshiro256** (public domain, Blackman & Vigna), which is fast and has
+ * excellent statistical quality for Monte-Carlo sampling.
+ */
+
+#ifndef GPR_COMMON_RANDOM_HH
+#define GPR_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace gpr {
+
+/** SplitMix64 — used for seeding / deriving independent streams. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * xoshiro256** PRNG.
+ *
+ * Satisfies the essentials of UniformRandomBitGenerator so it can be used
+ * with <random> distributions, though we provide bias-free bounded draws
+ * directly (Lemire's method) for the hot paths.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto& s : state_)
+            s = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) without modulo bias (Lemire). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        GPR_ASSERT(bound > 0, "below() needs a positive bound");
+        // 128-bit multiply rejection sampling.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t l = static_cast<std::uint64_t>(m);
+        if (l < bound) {
+            std::uint64_t threshold = (-bound) % bound;
+            while (l < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        GPR_ASSERT(lo <= hi, "between() needs lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform float in [lo, hi) — convenience for input generators. */
+    float
+    uniformF(float lo, float hi)
+    {
+        return static_cast<float>(uniform(lo, hi));
+    }
+
+    /** Derive an independent child generator (stable w.r.t. call order). */
+    Rng
+    derive(std::uint64_t stream_id) const
+    {
+        SplitMix64 sm(state_[0] ^ (0xa0761d6478bd642fULL * (stream_id + 1)));
+        return Rng(sm.next());
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/** Derive a 64-bit seed for stream @p stream_id from @p root_seed. */
+std::uint64_t deriveSeed(std::uint64_t root_seed, std::uint64_t stream_id);
+
+} // namespace gpr
+
+#endif // GPR_COMMON_RANDOM_HH

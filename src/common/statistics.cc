@@ -1,0 +1,166 @@
+#include "common/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpr {
+
+void
+RunningStat::push(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+inverseNormalCdf(double p)
+{
+    GPR_ASSERT(p > 0.0 && p < 1.0, "inverseNormalCdf domain is (0,1)");
+
+    // Acklam's algorithm.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double p_low = 0.02425;
+    const double p_high = 1 - p_low;
+    double q, r, x;
+
+    if (p < p_low) {
+        q = std::sqrt(-2 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    } else if (p <= p_high) {
+        q = p - 0.5;
+        r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+    } else {
+        q = std::sqrt(-2 * std::log(1 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    return x;
+}
+
+double
+normalQuantileTwoSided(double confidence)
+{
+    GPR_ASSERT(confidence > 0.0 && confidence < 1.0,
+               "confidence must be in (0,1)");
+    return inverseNormalCdf(0.5 + confidence / 2.0);
+}
+
+double
+proportionErrorMargin(std::size_t n, double confidence)
+{
+    GPR_ASSERT(n > 0, "need at least one sample");
+    const double z = normalQuantileTwoSided(confidence);
+    return z * std::sqrt(0.25 / static_cast<double>(n));
+}
+
+double
+proportionErrorMargin(double p_hat, std::size_t n, double confidence)
+{
+    GPR_ASSERT(n > 0, "need at least one sample");
+    GPR_ASSERT(p_hat >= 0.0 && p_hat <= 1.0, "p_hat must be a proportion");
+    const double z = normalQuantileTwoSided(confidence);
+    return z * std::sqrt(p_hat * (1.0 - p_hat) / static_cast<double>(n));
+}
+
+std::size_t
+requiredSamples(double margin, double confidence)
+{
+    GPR_ASSERT(margin > 0.0 && margin < 1.0, "margin must be in (0,1)");
+    const double z = normalQuantileTwoSided(confidence);
+    return static_cast<std::size_t>(std::ceil(z * z * 0.25 /
+                                              (margin * margin)));
+}
+
+Interval
+wilsonInterval(std::size_t successes, std::size_t n, double confidence)
+{
+    GPR_ASSERT(n > 0, "need at least one sample");
+    GPR_ASSERT(successes <= n, "successes cannot exceed samples");
+    const double z = normalQuantileTwoSided(confidence);
+    const double nn = static_cast<double>(n);
+    const double p = static_cast<double>(successes) / nn;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / nn;
+    const double centre = p + z2 / (2.0 * nn);
+    const double half = z * std::sqrt(p * (1.0 - p) / nn +
+                                      z2 / (4.0 * nn * nn));
+    Interval iv;
+    iv.lo = std::max(0.0, (centre - half) / denom);
+    iv.hi = std::min(1.0, (centre + half) / denom);
+    return iv;
+}
+
+double
+pearsonCorrelation(const std::vector<double>& xs,
+                   const std::vector<double>& ys)
+{
+    GPR_ASSERT(xs.size() == ys.size(), "series must have equal length");
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += xs[i];
+        my += ys[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace gpr

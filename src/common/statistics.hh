@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Statistics helpers for statistical fault injection.
+ *
+ * The paper (footnote 4) sizes its campaigns with the classic formula for
+ * the error margin of an estimated proportion at a given confidence level
+ * (Leveugle et al., DATE 2009): 2,000 injections per structure give a
+ * 2.88 % margin at 99 % confidence when no fault-population correction is
+ * applied and p is conservatively taken as 0.5.  sampling.hh in
+ * src/reliability builds on these primitives.
+ */
+
+#ifndef GPR_COMMON_STATISTICS_HH
+#define GPR_COMMON_STATISTICS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gpr {
+
+/** Welford online accumulator for mean / variance / extrema. */
+class RunningStat
+{
+  public:
+    void push(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator). */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Two-sided normal quantile z for confidence level @p confidence
+ * (e.g. 0.99 -> 2.5758).  Uses the Acklam rational approximation of the
+ * inverse normal CDF (|relative error| < 1.15e-9).
+ */
+double normalQuantileTwoSided(double confidence);
+
+/** Inverse standard normal CDF Phi^{-1}(p), p in (0,1). */
+double inverseNormalCdf(double p);
+
+/**
+ * Error margin (half-width of the confidence interval) for an estimated
+ * proportion with @p n samples at @p confidence, using the conservative
+ * p = 0.5 (worst case), i.e.  e = z * sqrt(0.25 / n).
+ */
+double proportionErrorMargin(std::size_t n, double confidence);
+
+/**
+ * Error margin for a *measured* proportion @p p_hat with @p n samples
+ * (normal / Wald approximation).
+ */
+double proportionErrorMargin(double p_hat, std::size_t n, double confidence);
+
+/**
+ * Number of samples needed for error margin @p margin at @p confidence,
+ * conservative p = 0.5:  n = z^2 * 0.25 / e^2, rounded up.
+ */
+std::size_t requiredSamples(double margin, double confidence);
+
+/**
+ * Wilson score interval for a proportion: better behaved than Wald for
+ * p near 0 or 1 (common for masked-dominated campaigns).
+ */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    double width() const { return hi - lo; }
+};
+
+Interval wilsonInterval(std::size_t successes, std::size_t n,
+                        double confidence);
+
+/** Pearson correlation of two equally-sized series (0 if degenerate). */
+double pearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+} // namespace gpr
+
+#endif // GPR_COMMON_STATISTICS_HH

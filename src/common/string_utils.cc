@@ -1,0 +1,167 @@
+#include "common/string_utils.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpr {
+
+std::string_view
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(trim(s.substr(start)));
+            break;
+        }
+        out.emplace_back(trim(s.substr(start, pos - start)));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        std::size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (auto& c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+toUpper(std::string_view s)
+{
+    std::string out(s);
+    for (auto& c : out)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::optional<std::int64_t>
+parseInt(std::string_view sv)
+{
+    sv = trim(sv);
+    if (sv.empty())
+        return std::nullopt;
+
+    std::string s(sv);
+    bool negative = false;
+    std::size_t idx = 0;
+    if (s[idx] == '+' || s[idx] == '-') {
+        negative = (s[idx] == '-');
+        ++idx;
+    }
+    if (idx >= s.size())
+        return std::nullopt;
+
+    int base = 10;
+    if (s.size() - idx > 2 && s[idx] == '0' &&
+        (s[idx + 1] == 'x' || s[idx + 1] == 'X')) {
+        base = 16;
+        idx += 2;
+    } else if (s.size() - idx > 2 && s[idx] == '0' &&
+               (s[idx + 1] == 'b' || s[idx + 1] == 'B')) {
+        base = 2;
+        idx += 2;
+    }
+
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long mag =
+        std::strtoull(s.c_str() + idx, &end, base);
+    if (errno != 0 || end == s.c_str() + idx || *end != '\0')
+        return std::nullopt;
+    if (!negative && mag > 0x7fffffffffffffffULL)
+        return std::nullopt;
+    if (negative && mag > 0x8000000000000000ULL)
+        return std::nullopt;
+    return negative ? -static_cast<std::int64_t>(mag)
+                    : static_cast<std::int64_t>(mag);
+}
+
+std::optional<double>
+parseDouble(std::string_view sv)
+{
+    sv = trim(sv);
+    if (sv.empty())
+        return std::nullopt;
+    std::string s(sv);
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end == s.c_str() || *end != '\0')
+        return std::nullopt;
+    return v;
+}
+
+std::string
+strprintf(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    }
+    va_end(args2);
+    return out;
+}
+
+std::string
+sciNotation(double v, int digits)
+{
+    return strprintf("%.*e", digits, v);
+}
+
+} // namespace gpr

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small string helpers used mainly by the assembler and report writers.
+ */
+
+#ifndef GPR_COMMON_STRING_UTILS_HH
+#define GPR_COMMON_STRING_UTILS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpr {
+
+/** Strip leading/trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on @p delim, trimming each piece; empty pieces are kept. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on arbitrary whitespace; empty pieces are dropped. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** ASCII lowercase copy. */
+std::string toLower(std::string_view s);
+
+/** ASCII uppercase copy. */
+std::string toUpper(std::string_view s);
+
+/**
+ * Parse a signed integer with optional 0x/0b prefix; nullopt on any
+ * trailing garbage or overflow.
+ */
+std::optional<std::int64_t> parseInt(std::string_view s);
+
+/** Parse a double; nullopt on trailing garbage. */
+std::optional<double> parseDouble(std::string_view s);
+
+/** printf-style formatting into std::string. */
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Human-readable engineering notation, e.g. 1.23e+14. */
+std::string sciNotation(double v, int digits = 2);
+
+} // namespace gpr
+
+#endif // GPR_COMMON_STRING_UTILS_HH

@@ -1,0 +1,104 @@
+#include "common/table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpr {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    GPR_ASSERT(!headers_.empty(), "a table needs at least one column");
+    aligns_.assign(headers_.size(), Align::Right);
+    aligns_[0] = Align::Left;
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    GPR_ASSERT(cells.size() == headers_.size(),
+               "row width ", cells.size(), " != header width ",
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::setAlign(std::size_t col, Align align)
+{
+    GPR_ASSERT(col < aligns_.size(), "column out of range");
+    aligns_[col] = align;
+}
+
+void
+TextTable::render(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::size_t pad = widths[c] - cells[c].size();
+            os << ' ';
+            if (aligns_[c] == Align::Right)
+                os << std::string(pad, ' ') << cells[c];
+            else
+                os << cells[c] << std::string(pad, ' ');
+            os << " |";
+        }
+        os << '\n';
+    };
+
+    auto emit_sep = [&]() {
+        os << '+';
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            os << std::string(widths[c] + 2, '-') << '+';
+        os << '\n';
+    };
+
+    emit_sep();
+    emit_row(headers_);
+    emit_sep();
+    for (const auto& row : rows_)
+        emit_row(row);
+    emit_sep();
+}
+
+std::string
+TextTable::csvEscape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += "\"\"";
+        else
+            out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+TextTable::renderCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << csvEscape(cells[c]);
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+} // namespace gpr

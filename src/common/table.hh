@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text and CSV table rendering for benchmark harness output.
+ *
+ * Every figure-reproducing bench prints its series through TextTable so the
+ * rows match the paper's figures one-to-one and can be diffed / re-plotted.
+ */
+
+#ifndef GPR_COMMON_TABLE_HH
+#define GPR_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpr {
+
+/** Column alignment inside a TextTable. */
+enum class Align { Left, Right };
+
+/**
+ * A simple monospace table: set headers, add rows of strings, render.
+ * Cells are stored as strings; numeric formatting is the caller's job
+ * (keeps the dependency surface tiny).
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Add one row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Set per-column alignment (default: first column left, rest right). */
+    void setAlign(std::size_t col, Align align);
+
+    /** Render with box-drawing separators. */
+    void render(std::ostream& os) const;
+
+    /** Render as CSV (RFC-4180-ish quoting). */
+    void renderCsv(std::ostream& os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+    std::size_t columnCount() const { return headers_.size(); }
+
+  private:
+    static std::string csvEscape(const std::string& cell);
+
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gpr
+
+#endif // GPR_COMMON_TABLE_HH

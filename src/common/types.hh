@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the project.
+ */
+
+#ifndef GPR_COMMON_TYPES_HH
+#define GPR_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace gpr {
+
+/** Simulation cycle count (shader-clock domain). */
+using Cycle = std::uint64_t;
+
+/** Byte address into a memory space (global, shared, parameter). */
+using Addr = std::uint64_t;
+
+/** 32-bit architectural word — the granularity of registers and LDS words. */
+using Word = std::uint32_t;
+
+/** Index of a register within a register file (file-relative, not per-thread). */
+using RegIndex = std::uint32_t;
+
+/** Index of a bit within a storage structure. */
+using BitIndex = std::uint64_t;
+
+/** Identifies a streaming multiprocessor / compute unit on the device. */
+using SmId = std::uint32_t;
+
+/** Identifies a hardware warp/wavefront slot within an SM. */
+using WarpSlot = std::uint32_t;
+
+} // namespace gpr
+
+#endif // GPR_COMMON_TYPES_HH

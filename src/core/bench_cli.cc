@@ -1,0 +1,118 @@
+#include "core/bench_cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::size_t kDefaultInjections = 150;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "flags: --injections=N --confidence=C --seed=S --threads=T\n"
+        "       --workloads=a,b,... --gpus=7970,fx5600,fx5800,gtx480\n"
+        "       --ace-only --csv --quiet\n"
+        "env:   GPR_INJECTIONS overrides the default injection count\n");
+}
+
+} // namespace
+
+bool
+BenchCli::parse(int argc, char** argv)
+{
+    study.analysis.plan.injections = kDefaultInjections;
+    if (const char* env = std::getenv("GPR_INJECTIONS")) {
+        if (const auto n = parseInt(env); n && *n >= 0) {
+            study.analysis.plan.injections =
+                static_cast<std::size_t>(*n);
+        }
+    }
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](std::string_view prefix) -> std::string {
+            return arg.substr(prefix.size());
+        };
+
+        if (startsWith(arg, "--injections=")) {
+            const auto n = parseInt(value("--injections="));
+            if (!n || *n < 0) {
+                usage();
+                return false;
+            }
+            study.analysis.plan.injections = static_cast<std::size_t>(*n);
+        } else if (startsWith(arg, "--confidence=")) {
+            const auto c = parseDouble(value("--confidence="));
+            if (!c || *c <= 0 || *c >= 1) {
+                usage();
+                return false;
+            }
+            study.analysis.plan.confidence = *c;
+        } else if (startsWith(arg, "--seed=")) {
+            const auto s = parseInt(value("--seed="));
+            if (!s) {
+                usage();
+                return false;
+            }
+            study.analysis.seed = static_cast<std::uint64_t>(*s);
+        } else if (startsWith(arg, "--threads=")) {
+            const auto t = parseInt(value("--threads="));
+            if (!t || *t < 0) {
+                usage();
+                return false;
+            }
+            study.analysis.numThreads = static_cast<unsigned>(*t);
+        } else if (startsWith(arg, "--workloads=")) {
+            study.workloads.clear();
+            for (const auto& w : split(value("--workloads="), ','))
+                if (!w.empty())
+                    study.workloads.push_back(w);
+        } else if (startsWith(arg, "--gpus=")) {
+            study.gpus.clear();
+            for (const auto& g : split(value("--gpus="), ','))
+                if (!g.empty())
+                    study.gpus.push_back(gpuModelFromName(g));
+        } else if (arg == "--ace-only") {
+            study.analysis.aceOnly = true;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--quiet") {
+            study.verbose = false;
+            setInformEnabled(false);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            usage();
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+BenchCli::printHeader(std::ostream& os, const std::string& title) const
+{
+    os << "== " << title << " ==\n";
+    if (study.analysis.aceOnly) {
+        os << "mode: ACE analysis only (no fault injection)\n";
+    } else {
+        os << strprintf(
+            "statistical FI: %zu injections/structure, +/-%.2f%% margin "
+            "at %.0f%% confidence (paper: 2000 => 2.88%% at 99%%)\n",
+            study.analysis.plan.injections,
+            100.0 * study.analysis.plan.errorMargin(),
+            100.0 * study.analysis.plan.confidence);
+    }
+}
+
+} // namespace gpr

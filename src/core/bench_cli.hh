@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Command-line/environment parsing shared by the bench harnesses and
+ * examples.
+ *
+ * Flags:
+ *   --injections=N    FI samples per structure (default 150; the paper's
+ *                     value is 2000).  Env fallback: GPR_INJECTIONS.
+ *   --confidence=C    confidence level for margins (default 0.99)
+ *   --seed=S          campaign seed (default 0xC0FFEE)
+ *   --threads=T       worker threads (default: hardware concurrency)
+ *   --workloads=a,b   subset of benchmarks
+ *   --gpus=a,b        subset of GPUs (7970, fx5600, fx5800, gtx480)
+ *   --ace-only        skip fault injection (ACE + occupancy + perf only)
+ *   --csv             additionally print tables as CSV
+ */
+
+#ifndef GPR_CORE_BENCH_CLI_HH
+#define GPR_CORE_BENCH_CLI_HH
+
+#include <string>
+
+#include "core/comparison.hh"
+
+namespace gpr {
+
+struct BenchCli
+{
+    StudyOptions study;
+    bool csv = false;
+
+    /** Parse argv; returns false (after printing usage) on bad flags. */
+    bool parse(int argc, char** argv);
+
+    /** Print the standard bench header (plan, margin, GPUs). */
+    void printHeader(std::ostream& os, const std::string& title) const;
+};
+
+} // namespace gpr
+
+#endif // GPR_CORE_BENCH_CLI_HH

@@ -1,0 +1,182 @@
+#include "core/comparison.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/statistics.hh"
+#include "common/string_utils.hh"
+
+namespace gpr {
+namespace {
+
+std::string
+pct(double v)
+{
+    return strprintf("%.1f%%", 100.0 * v);
+}
+
+} // namespace
+
+const ReliabilityReport&
+StudyResult::at(std::size_t w, std::size_t g) const
+{
+    GPR_ASSERT(w < workloads.size() && g < gpus.size(),
+               "study index out of range");
+    return reports[w * gpus.size() + g];
+}
+
+TextTable
+StudyResult::figure1() const
+{
+    TextTable table({"benchmark", "GPU", "AVF-FI", "AVF-ACE", "occupancy"});
+    std::vector<RunningStat> fi_avg(gpus.size()), ace_avg(gpus.size()),
+        occ_avg(gpus.size());
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t g = 0; g < gpus.size(); ++g) {
+            const ReliabilityReport& r = at(w, g);
+            const StructureReport& sr = r.registerFile;
+            table.addRow({workloads[w], r.gpuName, pct(sr.avfFi),
+                          pct(sr.avfAce), pct(sr.occupancy)});
+            fi_avg[g].push(sr.avfFi);
+            ace_avg[g].push(sr.avfAce);
+            occ_avg[g].push(sr.occupancy);
+        }
+    }
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+        table.addRow({"average", std::string(gpuModelName(gpus[g])),
+                      pct(fi_avg[g].mean()), pct(ace_avg[g].mean()),
+                      pct(occ_avg[g].mean())});
+    }
+    return table;
+}
+
+TextTable
+StudyResult::figure2() const
+{
+    TextTable table({"benchmark", "GPU", "AVF-FI", "AVF-ACE", "occupancy"});
+    std::vector<RunningStat> fi_avg(gpus.size()), ace_avg(gpus.size()),
+        occ_avg(gpus.size());
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        // Fig. 2 includes only benchmarks that use local memory.
+        if (!at(w, 0).localMemory.applicable)
+            continue;
+        for (std::size_t g = 0; g < gpus.size(); ++g) {
+            const ReliabilityReport& r = at(w, g);
+            const StructureReport& sr = r.localMemory;
+            table.addRow({workloads[w], r.gpuName, pct(sr.avfFi),
+                          pct(sr.avfAce), pct(sr.occupancy)});
+            fi_avg[g].push(sr.avfFi);
+            ace_avg[g].push(sr.avfAce);
+            occ_avg[g].push(sr.occupancy);
+        }
+    }
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+        if (fi_avg[g].count() == 0)
+            continue;
+        table.addRow({"average", std::string(gpuModelName(gpus[g])),
+                      pct(fi_avg[g].mean()), pct(ace_avg[g].mean()),
+                      pct(occ_avg[g].mean())});
+    }
+    return table;
+}
+
+TextTable
+StudyResult::figure3() const
+{
+    TextTable table({"benchmark", "GPU", "EPF", "EIT", "FIT_GPU",
+                     "exec_s"});
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t g = 0; g < gpus.size(); ++g) {
+            const ReliabilityReport& r = at(w, g);
+            table.addRow({workloads[w], r.gpuName,
+                          sciNotation(r.epf.epf()),
+                          sciNotation(r.epf.eit),
+                          strprintf("%.1f", r.epf.fitTotal()),
+                          sciNotation(r.execSeconds)});
+        }
+    }
+    return table;
+}
+
+StudyResult::Claims
+StudyResult::claims() const
+{
+    Claims c;
+    std::vector<double> rf_fi, rf_occ, lm_fi, lm_occ;
+    RunningStat rf_gap, lm_gap;
+
+    for (const ReliabilityReport& r : reports) {
+        c.aceSecondsTotal += r.aceWallSeconds;
+        c.fiSecondsTotal += r.registerFile.fiWallSeconds +
+                            r.localMemory.fiWallSeconds +
+                            r.scalarRegisterFile.fiWallSeconds;
+
+        rf_fi.push_back(r.registerFile.avfFi);
+        rf_occ.push_back(r.registerFile.occupancy);
+        rf_gap.push(r.registerFile.avfAce - r.registerFile.avfFi);
+
+        if (r.localMemory.applicable) {
+            lm_fi.push_back(r.localMemory.avfFi);
+            lm_occ.push_back(r.localMemory.occupancy);
+            lm_gap.push(std::abs(r.localMemory.avfAce -
+                                 r.localMemory.avfFi));
+        }
+    }
+    c.rfAvfOccupancyCorrelation = pearsonCorrelation(rf_fi, rf_occ);
+    c.lmAvfOccupancyCorrelation = pearsonCorrelation(lm_fi, lm_occ);
+    c.rfMeanAceOverestimate = rf_gap.mean();
+    c.lmMeanAceGap = lm_gap.mean();
+    return c;
+}
+
+void
+StudyResult::printClaims(std::ostream& os) const
+{
+    const Claims c = claims();
+    os << "paper-claim checks:\n";
+    os << strprintf(
+        "  AVF correlates with occupancy:      RF r=%.2f   LM r=%.2f\n",
+        c.rfAvfOccupancyCorrelation, c.lmAvfOccupancyCorrelation);
+    os << strprintf(
+        "  ACE overestimate (mean ACE-FI):     RF %+.1f pp  LM gap %.1f pp\n",
+        100.0 * c.rfMeanAceOverestimate, 100.0 * c.lmMeanAceGap);
+    os << strprintf(
+        "  analysis cost:                      FI %.1f s vs ACE %.2f s "
+        "(%.0fx)\n",
+        c.fiSecondsTotal, c.aceSecondsTotal,
+        c.aceSecondsTotal > 0 ? c.fiSecondsTotal / c.aceSecondsTotal : 0.0);
+}
+
+StudyResult
+runComparisonStudy(const StudyOptions& options)
+{
+    StudyResult result;
+    result.workloads = options.workloads;
+    if (result.workloads.empty()) {
+        for (auto name : allWorkloadNames())
+            result.workloads.emplace_back(name);
+    }
+    result.gpus = options.gpus.empty() ? allGpuModels() : options.gpus;
+
+    result.reports.reserve(result.workloads.size() * result.gpus.size());
+    for (const std::string& w : result.workloads) {
+        for (GpuModel gpu : result.gpus) {
+            ReliabilityFramework fw(gpu);
+            if (options.verbose) {
+                inform("study: ", w, " on ", gpuModelName(gpu), " (",
+                       options.analysis.aceOnly
+                           ? "ACE only"
+                           : strprintf("%zu injections/structure",
+                                       options.analysis.plan.injections),
+                       ")");
+            }
+            result.reports.push_back(fw.analyze(w, options.analysis));
+        }
+    }
+    return result;
+}
+
+} // namespace gpr

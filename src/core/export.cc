@@ -1,0 +1,258 @@
+#include "core/export.hh"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gpr {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+void
+JsonWriter::separator()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (need_comma_)
+        os_ << ',';
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    separator();
+    os_ << '{';
+    stack_ += 'o';
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    GPR_ASSERT(!stack_.empty() && stack_.back() == 'o',
+               "endObject without beginObject");
+    stack_.pop_back();
+    os_ << '}';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    separator();
+    os_ << '[';
+    stack_ += 'a';
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    GPR_ASSERT(!stack_.empty() && stack_.back() == 'a',
+               "endArray without beginArray");
+    stack_.pop_back();
+    os_ << ']';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(std::string_view k)
+{
+    GPR_ASSERT(!stack_.empty() && stack_.back() == 'o',
+               "keys only exist inside objects");
+    if (need_comma_)
+        os_ << ',';
+    os_ << '"' << escape(k) << "\":";
+    after_key_ = true;
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::string_view v)
+{
+    separator();
+    os_ << '"' << escape(v) << '"';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter&
+JsonWriter::value(double v)
+{
+    separator();
+    if (std::isfinite(v))
+        os_ << strprintf("%.9g", v);
+    else
+        os_ << "null"; // JSON has no inf/nan
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    os_ << v;
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(bool v)
+{
+    separator();
+    os_ << (v ? "true" : "false");
+    need_comma_ = true;
+    return *this;
+}
+
+namespace {
+
+void
+writeStructure(JsonWriter& j, const char* name, const StructureReport& sr)
+{
+    j.key(name).beginObject();
+    j.kv("applicable", sr.applicable);
+    if (sr.applicable) {
+        j.kv("avf_fi", sr.avfFi);
+        j.kv("fi_error_margin", sr.fiErrorMargin);
+        j.kv("sdc_rate", sr.sdcRate);
+        j.kv("due_rate", sr.dueRate);
+        j.kv("avf_ace", sr.avfAce);
+        j.kv("occupancy", sr.occupancy);
+        j.kv("injections", static_cast<std::uint64_t>(sr.injections));
+    }
+    j.endObject();
+}
+
+} // namespace
+
+void
+writeReportJson(std::ostream& os, const ReliabilityReport& report)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.kv("workload", report.workload);
+    j.kv("gpu", report.gpuName);
+    j.kv("cycles", static_cast<std::uint64_t>(report.cycles));
+    j.kv("exec_seconds", report.execSeconds);
+    j.kv("ipc", report.ipc);
+    j.kv("warp_occupancy", report.warpOccupancy);
+    writeStructure(j, "register_file", report.registerFile);
+    writeStructure(j, "local_memory", report.localMemory);
+    writeStructure(j, "scalar_register_file", report.scalarRegisterFile);
+    j.key("epf").beginObject();
+    j.kv("fit_register_file", report.epf.fitRegisterFile);
+    j.kv("fit_local_memory", report.epf.fitLocalMemory);
+    j.kv("fit_scalar_register_file", report.epf.fitScalarRegisterFile);
+    j.kv("fit_total", report.epf.fitTotal());
+    j.kv("eit", report.epf.eit);
+    j.kv("epf", report.epf.epf());
+    j.endObject();
+    j.endObject();
+}
+
+void
+writeStudyJson(std::ostream& os, const StudyResult& study)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("cells").beginArray();
+    os.flush();
+    for (const ReliabilityReport& report : study.reports) {
+        // Each cell rendered through the same single-report writer for
+        // consistency; JsonWriter instances cannot nest across calls,
+        // so emit via a fresh writer into the same stream with manual
+        // comma placement.
+        if (&report != &study.reports.front())
+            os << ',';
+        writeReportJson(os, report);
+    }
+    j.endArray();
+
+    const auto claims = study.claims();
+    j.key("claims").beginObject();
+    j.kv("rf_avf_occupancy_correlation", claims.rfAvfOccupancyCorrelation);
+    j.kv("lm_avf_occupancy_correlation", claims.lmAvfOccupancyCorrelation);
+    j.kv("rf_mean_ace_overestimate", claims.rfMeanAceOverestimate);
+    j.kv("lm_mean_ace_gap", claims.lmMeanAceGap);
+    j.kv("fi_seconds_total", claims.fiSecondsTotal);
+    j.kv("ace_seconds_total", claims.aceSecondsTotal);
+    j.endObject();
+    j.endObject();
+}
+
+void
+writeStudyCsv(std::ostream& os, const StudyResult& study)
+{
+    TextTable table(
+        {"benchmark", "gpu", "cycles", "exec_seconds", "ipc",
+         "rf_avf_fi", "rf_avf_ace", "rf_occupancy", "rf_sdc", "rf_due",
+         "lm_applicable", "lm_avf_fi", "lm_avf_ace", "lm_occupancy",
+         "fit_total", "eit", "epf"});
+    for (const ReliabilityReport& r : study.reports) {
+        table.addRow(
+            {r.workload, r.gpuName,
+             strprintf("%llu", static_cast<unsigned long long>(r.cycles)),
+             strprintf("%.6e", r.execSeconds), strprintf("%.3f", r.ipc),
+             strprintf("%.6f", r.registerFile.avfFi),
+             strprintf("%.6f", r.registerFile.avfAce),
+             strprintf("%.6f", r.registerFile.occupancy),
+             strprintf("%.6f", r.registerFile.sdcRate),
+             strprintf("%.6f", r.registerFile.dueRate),
+             r.localMemory.applicable ? "1" : "0",
+             strprintf("%.6f", r.localMemory.avfFi),
+             strprintf("%.6f", r.localMemory.avfAce),
+             strprintf("%.6f", r.localMemory.occupancy),
+             strprintf("%.3f", r.epf.fitTotal()),
+             strprintf("%.6e", r.epf.eit),
+             strprintf("%.6e", r.epf.epf())});
+    }
+    table.renderCsv(os);
+}
+
+} // namespace gpr

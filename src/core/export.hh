@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Machine-readable export of analysis results (JSON and CSV), so the
+ * figures can be re-plotted or post-processed outside this repository.
+ *
+ * The JSON writer is a deliberately small, dependency-free emitter that
+ * covers exactly the shapes we serialise (objects, arrays, strings,
+ * numbers, booleans); it is not a general-purpose JSON library.
+ */
+
+#ifndef GPR_CORE_EXPORT_HH
+#define GPR_CORE_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/comparison.hh"
+
+namespace gpr {
+
+/** Minimal streaming JSON writer (objects/arrays must be closed in
+ *  LIFO order; keys only inside objects). */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream& os);
+
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Emit a key inside an object (must be followed by a value). */
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(bool v);
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter&
+    kv(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    void separator();
+    static std::string escape(std::string_view s);
+
+    std::ostream& os_;
+    /** Whether a value has been emitted at each nesting level. */
+    std::string stack_; ///< 'o' = object, 'a' = array
+    bool need_comma_ = false;
+    bool after_key_ = false;
+};
+
+/** Serialise one per-benchmark report as a JSON object. */
+void writeReportJson(std::ostream& os, const ReliabilityReport& report);
+
+/** Serialise a whole study (all cells + claim summary) as JSON. */
+void writeStudyJson(std::ostream& os, const StudyResult& study);
+
+/** Flat CSV of a study: one row per (benchmark, GPU) cell. */
+void writeStudyCsv(std::ostream& os, const StudyResult& study);
+
+} // namespace gpr
+
+#endif // GPR_CORE_EXPORT_HH

@@ -1,0 +1,129 @@
+#include "core/framework.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gpr {
+
+ReliabilityFramework::ReliabilityFramework(GpuModel model)
+    : model_(model), config_(gpuConfig(model))
+{
+}
+
+WorkloadInstance
+ReliabilityFramework::buildInstance(std::string_view workload_name,
+                                    std::uint64_t workload_seed) const
+{
+    const auto workload = makeWorkload(workload_name);
+    WorkloadParams params;
+    params.seed = workload_seed;
+    return workload->build(config_.dialect, params);
+}
+
+ReliabilityReport
+ReliabilityFramework::analyze(std::string_view workload_name,
+                              const AnalysisOptions& options) const
+{
+    const auto workload = makeWorkload(workload_name);
+    WorkloadParams params;
+    params.seed = options.workloadSeed;
+    const WorkloadInstance instance =
+        workload->build(config_.dialect, params);
+
+    ReliabilityReport report;
+    report.workload = std::string(workload_name);
+    report.gpu = model_;
+    report.gpuName = config_.name;
+
+    // ACE analysis: one instrumented run covers all structures and also
+    // provides the golden performance stats.
+    const AceResult ace = runAceAnalysis(config_, instance);
+    report.aceWallSeconds = ace.wallSeconds;
+    report.cycles = ace.goldenStats.cycles;
+    report.execSeconds = executionSeconds(config_, report.cycles);
+    report.ipc = ace.goldenStats.ipc();
+    report.warpOccupancy = ace.goldenStats.avgWarpOccupancy;
+
+    const bool uses_lds = workload->usesLocalMemory();
+
+    auto fill_structure = [&](StructureReport& sr, TargetStructure s,
+                              bool applicable, double occupancy) {
+        sr.structure = s;
+        sr.applicable = applicable;
+        if (!applicable)
+            return;
+        sr.avfAce = ace.forStructure(s).avf();
+        sr.occupancy = occupancy;
+        if (options.aceOnly)
+            return;
+        CampaignConfig cc;
+        cc.plan = options.plan;
+        cc.seed = deriveSeed(options.seed, static_cast<std::uint64_t>(s));
+        cc.numThreads = options.numThreads;
+        const CampaignResult fi = runCampaign(config_, instance, s, cc);
+        sr.avfFi = fi.avf();
+        sr.fiErrorMargin = fi.errorMargin();
+        sr.sdcRate = fi.sdcRate();
+        sr.dueRate = fi.dueRate();
+        sr.fiWallSeconds = fi.wallSeconds;
+        sr.injections = fi.injections;
+    };
+
+    fill_structure(report.registerFile,
+                   TargetStructure::VectorRegisterFile, true,
+                   ace.goldenStats.avgRegFileOccupancy);
+    fill_structure(report.localMemory, TargetStructure::SharedMemory,
+                   uses_lds, ace.goldenStats.avgSmemOccupancy);
+    fill_structure(report.scalarRegisterFile,
+                   TargetStructure::ScalarRegisterFile,
+                   config_.scalarRegWordsPerSm > 0,
+                   ace.goldenStats.avgScalarRegOccupancy);
+
+    // EPF from the FI AVFs (ACE AVFs when aceOnly).
+    const auto pick = [&](const StructureReport& sr) {
+        if (!sr.applicable)
+            return 0.0;
+        return options.aceOnly ? sr.avfAce : sr.avfFi;
+    };
+    report.epf = computeEpf(config_, report.cycles,
+                            pick(report.registerFile),
+                            pick(report.localMemory),
+                            pick(report.scalarRegisterFile),
+                            options.fitParams);
+    return report;
+}
+
+void
+ReliabilityReport::printSummary(std::ostream& os) const
+{
+    os << workload << " on " << gpuName << ":\n";
+    os << strprintf("  cycles %llu  exec %.3e s  IPC %.2f  warp-occ %.1f%%\n",
+                    static_cast<unsigned long long>(cycles), execSeconds,
+                    ipc, 100.0 * warpOccupancy);
+
+    auto line = [&](const char* label, const StructureReport& sr) {
+        if (!sr.applicable) {
+            os << strprintf("  %-22s n/a\n", label);
+            return;
+        }
+        os << strprintf(
+            "  %-22s AVF-FI %5.1f%% (+/-%4.1f%%, SDC %4.1f%% DUE %4.1f%%)"
+            "  AVF-ACE %5.1f%%  occ %5.1f%%\n",
+            label, 100.0 * sr.avfFi, 100.0 * sr.fiErrorMargin,
+            100.0 * sr.sdcRate, 100.0 * sr.dueRate, 100.0 * sr.avfAce,
+            100.0 * sr.occupancy);
+    };
+    line("register file", registerFile);
+    line("local memory", localMemory);
+    line("scalar register file", scalarRegisterFile);
+
+    os << strprintf(
+        "  FIT: RF %.1f  LDS %.1f  SRF %.1f  total %.1f   EIT %.3e   "
+        "EPF %.3e\n",
+        epf.fitRegisterFile, epf.fitLocalMemory,
+        epf.fitScalarRegisterFile, epf.fitTotal(), epf.eit, epf.epf());
+}
+
+} // namespace gpr

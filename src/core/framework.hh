@@ -1,0 +1,111 @@
+/**
+ * @file
+ * ReliabilityFramework — the public façade of the library, playing the
+ * role GUFI (NVIDIA) and SIFI (AMD) play in the paper: given a GPU model
+ * and a benchmark, it produces every number the study needs — AVF by
+ * fault injection, AVF by ACE analysis, structure occupancy, performance,
+ * FIT and EPF — in one report.
+ *
+ * Typical use (see examples/quickstart.cc):
+ *
+ *     ReliabilityFramework fw(GpuModel::GeforceGtx480);
+ *     ReliabilityReport rep = fw.analyze("vectoradd", options);
+ *     rep.printSummary(std::cout);
+ */
+
+#ifndef GPR_CORE_FRAMEWORK_HH
+#define GPR_CORE_FRAMEWORK_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "arch/gpu_config.hh"
+#include "reliability/ace.hh"
+#include "reliability/campaign.hh"
+#include "reliability/fit_epf.hh"
+#include "workloads/workloads.hh"
+
+namespace gpr {
+
+/** Knobs for a full per-benchmark analysis. */
+struct AnalysisOptions
+{
+    /** Injections per structure (paper: 2,000). */
+    SamplePlan plan = paperSamplePlan();
+    std::uint64_t seed = 0xC0FFEE;
+    unsigned numThreads = 0;
+    std::uint64_t workloadSeed = 42;
+    /** Skip the FI campaigns and report ACE + occupancy + perf only. */
+    bool aceOnly = false;
+    FitParams fitParams;
+};
+
+/** Per-structure reliability numbers. */
+struct StructureReport
+{
+    TargetStructure structure = TargetStructure::VectorRegisterFile;
+    bool applicable = false;   ///< e.g. LDS on a kernel with no shared use
+    double avfFi = 0.0;
+    double fiErrorMargin = 0.0;
+    double sdcRate = 0.0;
+    double dueRate = 0.0;
+    double avfAce = 0.0;
+    double occupancy = 0.0;
+    double fiWallSeconds = 0.0;
+    std::size_t injections = 0;
+};
+
+/** Everything the study reports for one (GPU, benchmark) pair. */
+struct ReliabilityReport
+{
+    std::string workload;
+    GpuModel gpu = GpuModel::GeforceGtx480;
+    std::string gpuName;
+
+    StructureReport registerFile;
+    StructureReport localMemory;
+    StructureReport scalarRegisterFile;
+
+    // Performance.
+    Cycle cycles = 0;
+    double execSeconds = 0.0;
+    double ipc = 0.0;
+    double warpOccupancy = 0.0;
+
+    // Combined metric (Fig. 3).
+    EpfResult epf;
+
+    double aceWallSeconds = 0.0;
+
+    /** Render a human-readable block to @p os. */
+    void printSummary(std::ostream& os) const;
+};
+
+class ReliabilityFramework
+{
+  public:
+    explicit ReliabilityFramework(GpuModel model);
+
+    const GpuConfig& config() const { return config_; }
+
+    /**
+     * Full analysis of @p workload_name: golden run, FI campaigns on the
+     * register file and (if used) local memory, ACE analysis of all
+     * structures, and the FIT/EPF roll-up.
+     */
+    ReliabilityReport analyze(std::string_view workload_name,
+                              const AnalysisOptions& options = {}) const;
+
+    /** Build the workload instance this framework would analyze. */
+    WorkloadInstance buildInstance(std::string_view workload_name,
+                                   std::uint64_t workload_seed = 42) const;
+
+  private:
+    GpuModel model_;
+    const GpuConfig& config_;
+};
+
+} // namespace gpr
+
+#endif // GPR_CORE_FRAMEWORK_HH

@@ -1,0 +1,392 @@
+#include "isa/assembler.hh"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+#include "isa/verifier.hh"
+
+namespace gpr {
+namespace {
+
+struct ParseState
+{
+    std::string kernel_name = "kernel";
+    IsaDialect dialect = IsaDialect::Cuda;
+    std::uint32_t declared_vregs = 0;
+    std::uint32_t declared_sregs = 0;
+    std::uint32_t smem_bytes = 0;
+    std::vector<Instruction> insts;
+    std::map<std::string, std::uint32_t> labels;
+    std::uint32_t max_vreg = 0;
+    std::uint32_t max_sreg = 0;
+    int line_no = 0;
+};
+
+[[noreturn]] void
+parseError(const ParseState& st, const std::string& why)
+{
+    fatal("assembler: line ", st.line_no, ": ", why);
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentifier(std::string_view s)
+{
+    if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    return std::all_of(s.begin(), s.end(), isIdentChar);
+}
+
+/** Parse a register-like token (V3/S3/P3); returns index or nullopt. */
+std::optional<std::uint32_t>
+parseRegIndex(std::string_view tok, char prefix)
+{
+    if (tok.size() < 2 || std::toupper(tok[0]) != prefix)
+        return std::nullopt;
+    const auto num = parseInt(tok.substr(1));
+    if (!num || *num < 0 || *num > 0xffff)
+        return std::nullopt;
+    return static_cast<std::uint32_t>(*num);
+}
+
+Operand
+parseOperand(ParseState& st, std::string_view tok)
+{
+    tok = trim(tok);
+    if (tok.empty())
+        parseError(st, "empty operand");
+
+    if (auto v = parseRegIndex(tok, 'V')) {
+        st.max_vreg = std::max(st.max_vreg, *v + 1);
+        return Operand::vreg(*v);
+    }
+    if (auto s = parseRegIndex(tok, 'S')) {
+        if (tok.size() >= 3 && std::toupper(tok[1]) == 'R' &&
+            tok[2] == '_') {
+            // Fallthrough: SR_* special registers are handled below.
+        } else {
+            st.max_sreg = std::max(st.max_sreg, *s + 1);
+            return Operand::sreg_(*s);
+        }
+    }
+    if (startsWith(toUpper(tok), "SR_")) {
+        const auto sr = specialRegFromName(tok);
+        if (!sr)
+            parseError(st, "unknown special register '" +
+                               std::string(tok) + "'");
+        return Operand::special(*sr);
+    }
+    // Float immediate: trailing 'f' with a '.' or exponent inside.
+    if (tok.size() > 1 &&
+        (tok.back() == 'f' || tok.back() == 'F') &&
+        tok.find_first_of(".eE") != std::string_view::npos) {
+        const auto d = parseDouble(tok.substr(0, tok.size() - 1));
+        if (!d)
+            parseError(st, "bad float immediate '" + std::string(tok) + "'");
+        return Operand::immediateFloat(static_cast<float>(*d));
+    }
+    if (auto i = parseInt(tok)) {
+        if (*i < INT32_MIN || *i > static_cast<std::int64_t>(UINT32_MAX))
+            parseError(st, "immediate out of 32-bit range");
+        return Operand::immediate(static_cast<Word>(*i));
+    }
+    parseError(st, "cannot parse operand '" + std::string(tok) + "'");
+}
+
+/** Parse "[Vx]", "[Vx + 12]", "[Vx - 4]"; fills src[0] and memOffset. */
+void
+parseMemOperand(ParseState& st, Instruction& inst, std::string_view tok)
+{
+    tok = trim(tok);
+    if (tok.size() < 2 || tok.front() != '[' || tok.back() != ']')
+        parseError(st, "expected memory operand '[reg +/- off]', got '" +
+                           std::string(tok) + "'");
+    std::string_view inner = trim(tok.substr(1, tok.size() - 2));
+
+    std::int32_t sign = 1;
+    std::size_t op_pos = std::string_view::npos;
+    for (std::size_t i = 1; i < inner.size(); ++i) {
+        if (inner[i] == '+' || inner[i] == '-') {
+            op_pos = i;
+            sign = inner[i] == '-' ? -1 : 1;
+            break;
+        }
+    }
+
+    std::string_view base = inner;
+    if (op_pos != std::string_view::npos) {
+        base = trim(inner.substr(0, op_pos));
+        const auto off = parseInt(trim(inner.substr(op_pos + 1)));
+        if (!off)
+            parseError(st, "bad memory offset in '" + std::string(tok) +
+                               "'");
+        inst.memOffset = sign * static_cast<std::int32_t>(*off);
+    }
+    inst.src[0] = parseOperand(st, base);
+}
+
+/**
+ * Split an operand list on top-level commas (commas inside brackets do
+ * not occur in this syntax, but guard anyway).
+ */
+std::vector<std::string>
+splitOperands(std::string_view s)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string cur;
+    for (char c : s) {
+        if (c == '[')
+            ++depth;
+        else if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.emplace_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!trim(cur).empty() || !out.empty())
+        out.emplace_back(trim(cur));
+    return out;
+}
+
+void
+parseInstruction(ParseState& st, std::string_view text)
+{
+    Instruction inst;
+
+    // Guard prefix.
+    std::string_view rest = trim(text);
+    if (!rest.empty() && rest[0] == '@') {
+        rest.remove_prefix(1);
+        bool negate = false;
+        if (!rest.empty() && rest[0] == '!') {
+            negate = true;
+            rest.remove_prefix(1);
+        }
+        const std::size_t sp = rest.find_first_of(" \t");
+        if (sp == std::string_view::npos)
+            parseError(st, "guard without instruction");
+        const auto p = parseRegIndex(trim(rest.substr(0, sp)), 'P');
+        if (!p || *p >= kNumPredRegs)
+            parseError(st, "bad guard predicate");
+        inst.guard = static_cast<std::int8_t>(*p);
+        inst.guardNegate = negate;
+        rest = trim(rest.substr(sp));
+    }
+
+    // Mnemonic, optionally with .CMP suffix.
+    std::size_t sp = rest.find_first_of(" \t");
+    std::string mnem(sp == std::string_view::npos ? rest
+                                                  : rest.substr(0, sp));
+    rest = sp == std::string_view::npos ? std::string_view{}
+                                        : trim(rest.substr(sp));
+
+    std::string cmp_suffix;
+    const std::size_t dot = mnem.find('.');
+    if (dot != std::string::npos) {
+        cmp_suffix = mnem.substr(dot + 1);
+        mnem = mnem.substr(0, dot);
+    }
+
+    const auto op = opcodeFromMnemonic(mnem);
+    if (!op)
+        parseError(st, "unknown mnemonic '" + mnem + "'");
+    inst.op = *op;
+    const OpTraits& t = opTraits(*op);
+
+    if (t.writesPred) {
+        if (cmp_suffix.empty())
+            parseError(st, "SETP needs a .CMP suffix (e.g. ISETP.LT)");
+        const auto cmp = cmpOpFromName(cmp_suffix);
+        if (!cmp)
+            parseError(st, "unknown comparison '" + cmp_suffix + "'");
+        inst.cmp = *cmp;
+    } else if (!cmp_suffix.empty()) {
+        parseError(st, "unexpected suffix '." + cmp_suffix + "'");
+    }
+
+    const std::vector<std::string> ops = splitOperands(rest);
+    auto need = [&](std::size_t n) {
+        if (ops.size() != n) {
+            parseError(st, strprintf("'%s' expects %zu operands, got %zu",
+                                     t.mnemonic, n, ops.size()));
+        }
+    };
+
+    if (t.isBranch) {
+        need(1);
+        if (!isIdentifier(ops[0]))
+            parseError(st, "branch target must be a label");
+        inst.targetLabel = ops[0];
+    } else if (t.isMemory) {
+        if (t.isStore) {
+            need(2);
+            parseMemOperand(st, inst, ops[0]);
+            inst.src[1] = parseOperand(st, ops[1]);
+        } else {
+            need(2);
+            inst.dst = parseOperand(st, ops[0]);
+            parseMemOperand(st, inst, ops[1]);
+        }
+    } else if (t.writesPred) {
+        need(3);
+        const auto pd = parseRegIndex(ops[0], 'P');
+        if (!pd || *pd >= kNumPredRegs)
+            parseError(st, "bad predicate destination");
+        inst.predDst = static_cast<std::uint8_t>(*pd);
+        inst.src[0] = parseOperand(st, ops[1]);
+        inst.src[1] = parseOperand(st, ops[2]);
+    } else if (t.readsPredSrc) {
+        // SELP dst, a, b, P.
+        need(4);
+        inst.dst = parseOperand(st, ops[0]);
+        inst.src[0] = parseOperand(st, ops[1]);
+        inst.src[1] = parseOperand(st, ops[2]);
+        const auto ps = parseRegIndex(ops[3], 'P');
+        if (!ps || *ps >= kNumPredRegs)
+            parseError(st, "bad predicate source");
+        inst.predSrc = static_cast<std::uint8_t>(*ps);
+    } else if (inst.op == Opcode::S2r) {
+        need(2);
+        inst.dst = parseOperand(st, ops[0]);
+        inst.src[0] = parseOperand(st, ops[1]);
+        if (inst.src[0].kind != OperandKind::Special)
+            parseError(st, "S2R source must be a special register");
+    } else if (t.writesDst) {
+        need(1 + t.numSrcs);
+        inst.dst = parseOperand(st, ops[0]);
+        for (unsigned i = 0; i < t.numSrcs; ++i)
+            inst.src[i] = parseOperand(st, ops[1 + i]);
+    } else {
+        // NOP, SYNC, BAR, EXIT.
+        if (!(ops.size() == 1 && ops[0].empty()))
+            need(0);
+    }
+
+    st.insts.push_back(std::move(inst));
+}
+
+void
+parseDirective(ParseState& st, std::string_view line)
+{
+    const auto parts = splitWhitespace(line);
+    const std::string dir = toLower(parts[0]);
+    auto need_arg = [&]() -> const std::string& {
+        if (parts.size() != 2)
+            parseError(st, "directive " + dir + " expects one argument");
+        return parts[1];
+    };
+
+    if (dir == ".kernel") {
+        st.kernel_name = need_arg();
+    } else if (dir == ".dialect") {
+        const std::string v = toLower(need_arg());
+        if (v == "cuda")
+            st.dialect = IsaDialect::Cuda;
+        else if (v == "si" || v == "southernislands")
+            st.dialect = IsaDialect::SouthernIslands;
+        else
+            parseError(st, "unknown dialect '" + v + "'");
+    } else if (dir == ".vregs" || dir == ".sregs" || dir == ".smem") {
+        const auto n = parseInt(need_arg());
+        if (!n || *n < 0 || *n > (1 << 24))
+            parseError(st, "bad value for " + dir);
+        if (dir == ".vregs")
+            st.declared_vregs = static_cast<std::uint32_t>(*n);
+        else if (dir == ".sregs")
+            st.declared_sregs = static_cast<std::uint32_t>(*n);
+        else
+            st.smem_bytes = static_cast<std::uint32_t>(*n);
+    } else {
+        parseError(st, "unknown directive '" + dir + "'");
+    }
+}
+
+} // namespace
+
+Program
+assemble(std::string_view source)
+{
+    ParseState st;
+
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+        const std::size_t nl = source.find('\n', pos);
+        std::string_view line =
+            source.substr(pos, nl == std::string_view::npos ? source.size() - pos
+                                                            : nl - pos);
+        pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+        ++st.line_no;
+
+        // Strip comments.
+        for (std::string_view marker : {"#", "//"}) {
+            const std::size_t c = line.find(marker);
+            if (c != std::string_view::npos)
+                line = line.substr(0, c);
+        }
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        if (line[0] == '.') {
+            parseDirective(st, line);
+            continue;
+        }
+
+        // One or more labels may precede an instruction on the same line.
+        while (true) {
+            const std::size_t colon = line.find(':');
+            if (colon == std::string_view::npos)
+                break;
+            const std::string_view candidate = trim(line.substr(0, colon));
+            if (!isIdentifier(candidate))
+                break;
+            const std::string label(candidate);
+            if (st.labels.count(label))
+                parseError(st, "label '" + label + "' redefined");
+            st.labels[label] =
+                static_cast<std::uint32_t>(st.insts.size());
+            line = trim(line.substr(colon + 1));
+            if (line.empty())
+                break;
+        }
+        if (line.empty())
+            continue;
+
+        parseInstruction(st, line);
+    }
+
+    if (st.insts.empty())
+        fatal("assembler: no instructions");
+
+    // Resolve branch targets.
+    for (auto& inst : st.insts) {
+        if (inst.traits().isBranch) {
+            const auto it = st.labels.find(inst.targetLabel);
+            if (it == st.labels.end())
+                fatal("assembler: unresolved label '", inst.targetLabel,
+                      "'");
+            inst.target = it->second;
+        }
+    }
+
+    Program prog(st.kernel_name, st.dialect, std::move(st.insts),
+                 std::move(st.labels),
+                 std::max(st.declared_vregs, st.max_vreg),
+                 std::max(st.declared_sregs, st.max_sreg), st.smem_bytes);
+    verifyProgram(prog);
+    return prog;
+}
+
+} // namespace gpr

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Text assembler for the micro-ISA.
+ *
+ * Accepts the syntax produced by the disassembler:
+ *
+ *     .kernel vectoradd          # directives
+ *     .dialect cuda              # cuda | si
+ *     .vregs 8                   # optional; grown to actual use
+ *     .sregs 2                   # SI dialect only
+ *     .smem 1024                 # static shared memory bytes per block
+ *     loop:                      # labels
+ *         S2R   V0, SR_TID_X
+ *         IADD  V1, V0, 0x10     # int immediates: dec, 0x.., 0b..
+ *         FADD  V2, V1, 1.5f     # float immediates carry an 'f' suffix
+ *         ISETP.LT P0, V1, 64
+ *         @P0 BRA loop           # guards: @Pn / @!Pn
+ *         LDG   V3, [V1 + 4]    # memory: [reg], [reg + imm], [reg - imm]
+ *         STG   [V1], V3
+ *         EXIT
+ *
+ * Comments run from '#' or '//' to end of line.  Parsing failures raise
+ * FatalError with file/line diagnostics.
+ */
+
+#ifndef GPR_ISA_ASSEMBLER_HH
+#define GPR_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.hh"
+
+namespace gpr {
+
+/** Assemble @p source into a verified Program. */
+Program assemble(std::string_view source);
+
+} // namespace gpr
+
+#endif // GPR_ISA_ASSEMBLER_HH

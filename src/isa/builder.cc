@@ -1,0 +1,381 @@
+#include "isa/builder.hh"
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+#include "isa/verifier.hh"
+
+namespace gpr {
+
+KernelBuilder::KernelBuilder(std::string name, IsaDialect dialect)
+    : name_(std::move(name)), dialect_(dialect)
+{
+    GPR_ASSERT(!name_.empty(), "kernel needs a name");
+}
+
+Operand
+KernelBuilder::vreg()
+{
+    const Operand r = Operand::vreg(next_vreg_++);
+    max_vreg_seen_ = std::max(max_vreg_seen_, next_vreg_);
+    return r;
+}
+
+Operand
+KernelBuilder::uniformReg()
+{
+    if (dialectHasScalarUnit(dialect_)) {
+        const Operand r = Operand::sreg_(next_sreg_++);
+        max_sreg_seen_ = std::max(max_sreg_seen_, next_sreg_);
+        return r;
+    }
+    return vreg();
+}
+
+unsigned
+KernelBuilder::preg()
+{
+    GPR_ASSERT(next_preg_ < kNumPredRegs, "out of predicate registers in '",
+               name_, "'");
+    return next_preg_++;
+}
+
+Label
+KernelBuilder::newLabel(std::string hint)
+{
+    Label l;
+    l.id = static_cast<std::uint32_t>(label_table_.size());
+    label_table_.push_back(
+        {strprintf("%s_%u", hint.c_str(), l.id), ~0u});
+    return l;
+}
+
+void
+KernelBuilder::bind(Label l)
+{
+    GPR_ASSERT(l.valid() && l.id < label_table_.size(), "invalid label");
+    GPR_ASSERT(label_table_[l.id].bound_at == ~0u, "label '",
+               label_table_[l.id].name, "' bound twice");
+    label_table_[l.id].bound_at =
+        static_cast<std::uint32_t>(insts_.size());
+}
+
+std::string
+KernelBuilder::labelName(Label l) const
+{
+    GPR_ASSERT(l.valid() && l.id < label_table_.size(), "invalid label");
+    return label_table_[l.id].name;
+}
+
+Instruction&
+KernelBuilder::emit(Opcode op, Guard g)
+{
+    GPR_ASSERT(!finished_, "builder already finished");
+    Instruction inst;
+    inst.op = op;
+    inst.guard = g.reg;
+    inst.guardNegate = g.negate;
+    insts_.push_back(std::move(inst));
+    return insts_.back();
+}
+
+void
+KernelBuilder::noteRegUse(const Operand& op)
+{
+    if (op.kind == OperandKind::VReg)
+        max_vreg_seen_ = std::max(max_vreg_seen_, op.index + 1);
+    else if (op.kind == OperandKind::SReg)
+        max_sreg_seen_ = std::max(max_sreg_seen_, op.index + 1);
+}
+
+void
+KernelBuilder::emitAlu(Opcode op, Operand d, Operand a, Operand b, Guard g)
+{
+    Instruction& i = emit(op, g);
+    i.dst = d;
+    i.src[0] = a;
+    i.src[1] = b;
+    noteRegUse(d);
+    noteRegUse(a);
+    noteRegUse(b);
+}
+
+void
+KernelBuilder::emitAlu3(Opcode op, Operand d, Operand a, Operand b,
+                        Operand c, Guard g)
+{
+    Instruction& i = emit(op, g);
+    i.dst = d;
+    i.src[0] = a;
+    i.src[1] = b;
+    i.src[2] = c;
+    noteRegUse(d);
+    noteRegUse(a);
+    noteRegUse(b);
+    noteRegUse(c);
+}
+
+void
+KernelBuilder::emitUnary(Opcode op, Operand d, Operand a, Guard g)
+{
+    Instruction& i = emit(op, g);
+    i.dst = d;
+    i.src[0] = a;
+    noteRegUse(d);
+    noteRegUse(a);
+}
+
+void
+KernelBuilder::mov(Operand d, Operand a, Guard g)
+{
+    emitUnary(Opcode::Mov, d, a, g);
+}
+
+void
+KernelBuilder::s2r(Operand d, SpecialReg sr, Guard g)
+{
+    Instruction& i = emit(Opcode::S2r, g);
+    i.dst = d;
+    i.src[0] = Operand::special(sr);
+    noteRegUse(d);
+}
+
+void
+KernelBuilder::ldparam(Operand d, unsigned param_index, Guard g)
+{
+    Instruction& i = emit(Opcode::LdParam, g);
+    i.dst = d;
+    i.src[0] = Operand::immediateInt(static_cast<std::int32_t>(param_index));
+    noteRegUse(d);
+}
+
+// Integer ALU.
+void KernelBuilder::iadd(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::IAdd, d, a, b, g); }
+void KernelBuilder::isub(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::ISub, d, a, b, g); }
+void KernelBuilder::imul(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::IMul, d, a, b, g); }
+void KernelBuilder::imad(Operand d, Operand a, Operand b, Operand c, Guard g)
+{ emitAlu3(Opcode::IMad, d, a, b, c, g); }
+void KernelBuilder::imin(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::IMin, d, a, b, g); }
+void KernelBuilder::imax(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::IMax, d, a, b, g); }
+void KernelBuilder::and_(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::And, d, a, b, g); }
+void KernelBuilder::or_(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::Or, d, a, b, g); }
+void KernelBuilder::xor_(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::Xor, d, a, b, g); }
+void KernelBuilder::not_(Operand d, Operand a, Guard g)
+{ emitUnary(Opcode::Not, d, a, g); }
+void KernelBuilder::shl(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::Shl, d, a, b, g); }
+void KernelBuilder::shr(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::Shr, d, a, b, g); }
+void KernelBuilder::shra(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::Shra, d, a, b, g); }
+
+// Float ALU.
+void KernelBuilder::fadd(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::FAdd, d, a, b, g); }
+void KernelBuilder::fsub(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::FSub, d, a, b, g); }
+void KernelBuilder::fmul(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::FMul, d, a, b, g); }
+void KernelBuilder::ffma(Operand d, Operand a, Operand b, Operand c, Guard g)
+{ emitAlu3(Opcode::FFma, d, a, b, c, g); }
+void KernelBuilder::fmin(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::FMin, d, a, b, g); }
+void KernelBuilder::fmax(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::FMax, d, a, b, g); }
+void KernelBuilder::frcp(Operand d, Operand a, Guard g)
+{ emitUnary(Opcode::FRcp, d, a, g); }
+void KernelBuilder::fsqrt(Operand d, Operand a, Guard g)
+{ emitUnary(Opcode::FSqrt, d, a, g); }
+void KernelBuilder::fexp2(Operand d, Operand a, Guard g)
+{ emitUnary(Opcode::FExp2, d, a, g); }
+void KernelBuilder::fabs_(Operand d, Operand a, Guard g)
+{ emitUnary(Opcode::FAbs, d, a, g); }
+void KernelBuilder::fneg(Operand d, Operand a, Guard g)
+{ emitUnary(Opcode::FNeg, d, a, g); }
+void KernelBuilder::fdiv(Operand d, Operand a, Operand b, Guard g)
+{ emitAlu(Opcode::FDiv, d, a, b, g); }
+void KernelBuilder::f2i(Operand d, Operand a, Guard g)
+{ emitUnary(Opcode::F2i, d, a, g); }
+void KernelBuilder::i2f(Operand d, Operand a, Guard g)
+{ emitUnary(Opcode::I2f, d, a, g); }
+
+void
+KernelBuilder::isetp(CmpOp cmp, unsigned pd, Operand a, Operand b, Guard g)
+{
+    GPR_ASSERT(pd < kNumPredRegs, "predicate index out of range");
+    Instruction& i = emit(Opcode::ISetp, g);
+    i.cmp = cmp;
+    i.predDst = static_cast<std::uint8_t>(pd);
+    i.src[0] = a;
+    i.src[1] = b;
+    noteRegUse(a);
+    noteRegUse(b);
+}
+
+void
+KernelBuilder::fsetp(CmpOp cmp, unsigned pd, Operand a, Operand b, Guard g)
+{
+    GPR_ASSERT(pd < kNumPredRegs, "predicate index out of range");
+    Instruction& i = emit(Opcode::FSetp, g);
+    i.cmp = cmp;
+    i.predDst = static_cast<std::uint8_t>(pd);
+    i.src[0] = a;
+    i.src[1] = b;
+    noteRegUse(a);
+    noteRegUse(b);
+}
+
+void
+KernelBuilder::selp(Operand d, Operand a, Operand b, unsigned ps, Guard g)
+{
+    GPR_ASSERT(ps < kNumPredRegs, "predicate index out of range");
+    Instruction& i = emit(Opcode::Selp, g);
+    i.dst = d;
+    i.src[0] = a;
+    i.src[1] = b;
+    i.predSrc = static_cast<std::uint8_t>(ps);
+    noteRegUse(d);
+    noteRegUse(a);
+    noteRegUse(b);
+}
+
+void
+KernelBuilder::bra(Label target, Guard g)
+{
+    Instruction& i = emit(Opcode::Bra, g);
+    i.targetLabel = labelName(target);
+}
+
+void
+KernelBuilder::ssy(Label reconv)
+{
+    Instruction& i = emit(Opcode::Ssy, Guard{});
+    i.targetLabel = labelName(reconv);
+}
+
+void
+KernelBuilder::sync()
+{
+    emit(Opcode::Sync, Guard{});
+}
+
+void
+KernelBuilder::bar()
+{
+    emit(Opcode::Bar, Guard{});
+}
+
+void
+KernelBuilder::exit(Guard g)
+{
+    emit(Opcode::Exit, g);
+}
+
+void
+KernelBuilder::ldg(Operand d, Operand addr, std::int32_t offset, Guard g)
+{
+    Instruction& i = emit(Opcode::Ldg, g);
+    i.dst = d;
+    i.src[0] = addr;
+    i.memOffset = offset;
+    noteRegUse(d);
+    noteRegUse(addr);
+}
+
+void
+KernelBuilder::stg(Operand addr, Operand value, std::int32_t offset, Guard g)
+{
+    Instruction& i = emit(Opcode::Stg, g);
+    i.src[0] = addr;
+    i.src[1] = value;
+    i.memOffset = offset;
+    noteRegUse(addr);
+    noteRegUse(value);
+}
+
+void
+KernelBuilder::lds(Operand d, Operand addr, std::int32_t offset, Guard g)
+{
+    Instruction& i = emit(Opcode::Lds, g);
+    i.dst = d;
+    i.src[0] = addr;
+    i.memOffset = offset;
+    noteRegUse(d);
+    noteRegUse(addr);
+}
+
+void
+KernelBuilder::sts(Operand addr, Operand value, std::int32_t offset, Guard g)
+{
+    Instruction& i = emit(Opcode::Sts, g);
+    i.src[0] = addr;
+    i.src[1] = value;
+    i.memOffset = offset;
+    noteRegUse(addr);
+    noteRegUse(value);
+}
+
+void
+KernelBuilder::atomgAdd(Operand addr, Operand value, std::int32_t offset,
+                        Guard g)
+{
+    Instruction& i = emit(Opcode::AtomgAdd, g);
+    i.src[0] = addr;
+    i.src[1] = value;
+    i.memOffset = offset;
+    noteRegUse(addr);
+    noteRegUse(value);
+}
+
+void
+KernelBuilder::atomsAdd(Operand addr, Operand value, std::int32_t offset,
+                        Guard g)
+{
+    Instruction& i = emit(Opcode::AtomsAdd, g);
+    i.src[0] = addr;
+    i.src[1] = value;
+    i.memOffset = offset;
+    noteRegUse(addr);
+    noteRegUse(value);
+}
+
+Program
+KernelBuilder::finish(std::uint32_t smem_bytes)
+{
+    GPR_ASSERT(!finished_, "finish() called twice");
+    finished_ = true;
+
+    // Resolve labels to instruction indices.
+    std::map<std::string, std::uint32_t> labels;
+    for (const auto& entry : label_table_) {
+        if (entry.bound_at == ~0u) {
+            fatal("kernel '", name_, "': label '", entry.name,
+                  "' referenced but never bound");
+        }
+        labels[entry.name] = entry.bound_at;
+    }
+    for (auto& inst : insts_) {
+        if (inst.traits().isBranch) {
+            const auto it = labels.find(inst.targetLabel);
+            if (it == labels.end()) {
+                fatal("kernel '", name_, "': unresolved branch target '",
+                      inst.targetLabel, "'");
+            }
+            inst.target = it->second;
+        }
+    }
+
+    Program prog(name_, dialect_, std::move(insts_), std::move(labels),
+                 max_vreg_seen_, max_sreg_seen_, smem_bytes);
+    verifyProgram(prog);
+    return prog;
+}
+
+} // namespace gpr

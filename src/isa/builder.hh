@@ -1,0 +1,181 @@
+/**
+ * @file
+ * KernelBuilder: a programmatic assembler for micro-ISA kernels.
+ *
+ * Workloads use this like a compiler back-end.  The builder is
+ * dialect-aware: uniformReg() returns a scalar register under the
+ * SouthernIslands dialect (so uniform address arithmetic runs on the
+ * scalar unit, as the AMD compiler would emit) and a vector register under
+ * the CUDA dialect (as NVIDIA hardware requires).  This is how one
+ * workload source lowers to genuinely different per-vendor binaries,
+ * mirroring the paper's same-source / different-ISA methodology.
+ */
+
+#ifndef GPR_ISA_BUILDER_HH
+#define GPR_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace gpr {
+
+/** Guard descriptor for predicated execution (@Pn / @!Pn). */
+struct Guard
+{
+    std::int8_t reg = kNoPred;
+    bool negate = false;
+};
+
+/** Guard on predicate @p p being true. */
+inline Guard
+ifP(unsigned p)
+{
+    return Guard{static_cast<std::int8_t>(p), false};
+}
+
+/** Guard on predicate @p p being false. */
+inline Guard
+ifNotP(unsigned p)
+{
+    return Guard{static_cast<std::int8_t>(p), true};
+}
+
+/** Forward-referencable code label. */
+struct Label
+{
+    std::uint32_t id = ~0u;
+    bool valid() const { return id != ~0u; }
+};
+
+class KernelBuilder
+{
+  public:
+    KernelBuilder(std::string name, IsaDialect dialect);
+
+    IsaDialect dialect() const { return dialect_; }
+    /** Warp/wavefront width of the target dialect. */
+    unsigned warpWidth() const { return dialectWarpWidth(dialect_); }
+
+    // --- Register allocation -------------------------------------------
+    /** Allocate a fresh per-thread vector register. */
+    Operand vreg();
+    /** Allocate a register for a wavefront-uniform value (SReg on SI). */
+    Operand uniformReg();
+    /** Allocate a predicate register (at most kNumPredRegs). */
+    unsigned preg();
+
+    static Operand imm(std::int32_t v) { return Operand::immediateInt(v); }
+    static Operand fimm(float f) { return Operand::immediateFloat(f); }
+
+    // --- Labels ---------------------------------------------------------
+    Label newLabel(std::string hint = "L");
+    void bind(Label l);
+
+    // --- Emission: movement ----------------------------------------------
+    void mov(Operand d, Operand a, Guard g = {});
+    void s2r(Operand d, SpecialReg sr, Guard g = {});
+    void ldparam(Operand d, unsigned param_index, Guard g = {});
+
+    // --- Emission: integer ALU -------------------------------------------
+    void iadd(Operand d, Operand a, Operand b, Guard g = {});
+    void isub(Operand d, Operand a, Operand b, Guard g = {});
+    void imul(Operand d, Operand a, Operand b, Guard g = {});
+    void imad(Operand d, Operand a, Operand b, Operand c, Guard g = {});
+    void imin(Operand d, Operand a, Operand b, Guard g = {});
+    void imax(Operand d, Operand a, Operand b, Guard g = {});
+    void and_(Operand d, Operand a, Operand b, Guard g = {});
+    void or_(Operand d, Operand a, Operand b, Guard g = {});
+    void xor_(Operand d, Operand a, Operand b, Guard g = {});
+    void not_(Operand d, Operand a, Guard g = {});
+    void shl(Operand d, Operand a, Operand b, Guard g = {});
+    void shr(Operand d, Operand a, Operand b, Guard g = {});
+    void shra(Operand d, Operand a, Operand b, Guard g = {});
+
+    // --- Emission: float ALU ---------------------------------------------
+    void fadd(Operand d, Operand a, Operand b, Guard g = {});
+    void fsub(Operand d, Operand a, Operand b, Guard g = {});
+    void fmul(Operand d, Operand a, Operand b, Guard g = {});
+    void ffma(Operand d, Operand a, Operand b, Operand c, Guard g = {});
+    void fmin(Operand d, Operand a, Operand b, Guard g = {});
+    void fmax(Operand d, Operand a, Operand b, Guard g = {});
+    void frcp(Operand d, Operand a, Guard g = {});
+    void fsqrt(Operand d, Operand a, Guard g = {});
+    void fexp2(Operand d, Operand a, Guard g = {});
+    void fabs_(Operand d, Operand a, Guard g = {});
+    void fneg(Operand d, Operand a, Guard g = {});
+    void fdiv(Operand d, Operand a, Operand b, Guard g = {});
+    void f2i(Operand d, Operand a, Guard g = {});
+    void i2f(Operand d, Operand a, Guard g = {});
+
+    // --- Emission: compare / select --------------------------------------
+    void isetp(CmpOp cmp, unsigned pd, Operand a, Operand b, Guard g = {});
+    void fsetp(CmpOp cmp, unsigned pd, Operand a, Operand b, Guard g = {});
+    void selp(Operand d, Operand a, Operand b, unsigned ps, Guard g = {});
+
+    // --- Emission: control flow ------------------------------------------
+    void bra(Label target, Guard g = {});
+    void ssy(Label reconv);
+    void sync();
+    void bar();
+    void exit(Guard g = {});
+
+    // --- Emission: memory -------------------------------------------------
+    void ldg(Operand d, Operand addr, std::int32_t offset = 0, Guard g = {});
+    void stg(Operand addr, Operand value, std::int32_t offset = 0,
+             Guard g = {});
+    void lds(Operand d, Operand addr, std::int32_t offset = 0, Guard g = {});
+    void sts(Operand addr, Operand value, std::int32_t offset = 0,
+             Guard g = {});
+    void atomgAdd(Operand addr, Operand value, std::int32_t offset = 0,
+                  Guard g = {});
+    void atomsAdd(Operand addr, Operand value, std::int32_t offset = 0,
+                  Guard g = {});
+
+    /** Number of instructions emitted so far. */
+    std::uint32_t instructionCount() const
+    {
+        return static_cast<std::uint32_t>(insts_.size());
+    }
+
+    /**
+     * Finalise: resolve labels, attach metadata, verify, and return the
+     * immutable Program.  @p smem_bytes is the static shared/local memory
+     * the kernel needs per block.
+     */
+    Program finish(std::uint32_t smem_bytes = 0);
+
+  private:
+    Instruction& emit(Opcode op, Guard g);
+    void emitAlu(Opcode op, Operand d, Operand a, Operand b, Guard g);
+    void emitAlu3(Opcode op, Operand d, Operand a, Operand b, Operand c,
+                  Guard g);
+    void emitUnary(Opcode op, Operand d, Operand a, Guard g);
+    void noteRegUse(const Operand& op);
+    std::string labelName(Label l) const;
+
+    std::string name_;
+    IsaDialect dialect_;
+    std::vector<Instruction> insts_;
+
+    std::uint32_t next_vreg_ = 0;
+    std::uint32_t next_sreg_ = 0;
+    std::uint32_t next_preg_ = 0;
+    std::uint32_t max_vreg_seen_ = 0;
+    std::uint32_t max_sreg_seen_ = 0;
+
+    struct PendingLabel
+    {
+        std::string name;
+        std::uint32_t bound_at = ~0u;
+    };
+    std::vector<PendingLabel> label_table_;
+    bool finished_ = false;
+};
+
+} // namespace gpr
+
+#endif // GPR_ISA_BUILDER_HH

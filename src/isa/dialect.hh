@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ISA dialects: the vendor-specific flavour a kernel is lowered to.
+ *
+ * The two dialects share the opcode set but differ in what the hardware
+ * provides and therefore in how workloads are compiled:
+ *  - Cuda (NVIDIA G80/GT200/Fermi): 32-wide warps, unified per-SM vector
+ *    register file, no scalar unit — uniform values live in vector regs.
+ *  - SouthernIslands (AMD GCN): 64-wide wavefronts, vector register file
+ *    split across four SIMD banks per CU, plus a scalar register file and
+ *    scalar ALU used for uniform (wavefront-invariant) computation.
+ */
+
+#ifndef GPR_ISA_DIALECT_HH
+#define GPR_ISA_DIALECT_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpr {
+
+enum class IsaDialect : std::uint8_t
+{
+    Cuda,
+    SouthernIslands,
+};
+
+constexpr std::string_view
+dialectName(IsaDialect d)
+{
+    return d == IsaDialect::Cuda ? "CUDA" : "SouthernIslands";
+}
+
+/** Warp/wavefront width implied by the dialect. */
+constexpr unsigned
+dialectWarpWidth(IsaDialect d)
+{
+    return d == IsaDialect::Cuda ? 32u : 64u;
+}
+
+/** Whether the dialect has a scalar register file / scalar ALU. */
+constexpr bool
+dialectHasScalarUnit(IsaDialect d)
+{
+    return d == IsaDialect::SouthernIslands;
+}
+
+} // namespace gpr
+
+#endif // GPR_ISA_DIALECT_HH

@@ -1,0 +1,43 @@
+#include "isa/disassembler.hh"
+
+#include <map>
+#include <sstream>
+
+#include "common/string_utils.hh"
+
+namespace gpr {
+
+std::string
+disassemble(const Program& prog)
+{
+    std::ostringstream os;
+    os << ".kernel " << prog.name() << '\n';
+    os << ".dialect "
+       << (prog.dialect() == IsaDialect::Cuda ? "cuda" : "si") << '\n';
+    os << ".vregs " << prog.numVRegs() << '\n';
+    if (prog.numSRegs() > 0)
+        os << ".sregs " << prog.numSRegs() << '\n';
+    if (prog.smemBytes() > 0)
+        os << ".smem " << prog.smemBytes() << '\n';
+
+    // Invert the label map: instruction index -> labels bound there.
+    std::multimap<std::uint32_t, std::string> by_pc;
+    for (const auto& [name, pc] : prog.labels())
+        by_pc.emplace(pc, name);
+
+    const auto& insts = prog.instructions();
+    for (std::uint32_t pc = 0; pc < insts.size(); ++pc) {
+        for (auto [it, end] = by_pc.equal_range(pc); it != end; ++it)
+            os << it->second << ":\n";
+        os << "    " << insts[pc].toString() << '\n';
+    }
+    // Labels bound past the last instruction (e.g. exit labels).
+    for (auto [it, end] = by_pc.equal_range(
+             static_cast<std::uint32_t>(insts.size()));
+         it != end; ++it) {
+        os << it->second << ":\n";
+    }
+    return os.str();
+}
+
+} // namespace gpr

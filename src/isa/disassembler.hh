@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Program -> assembly text, the inverse of the Assembler.
+ */
+
+#ifndef GPR_ISA_DISASSEMBLER_HH
+#define GPR_ISA_DISASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace gpr {
+
+/**
+ * Render @p prog as assembler-accepted text (directives, labels, one
+ * instruction per line).  assemble(disassemble(p)) reproduces p's
+ * instruction stream and metadata.
+ */
+std::string disassemble(const Program& prog);
+
+} // namespace gpr
+
+#endif // GPR_ISA_DISASSEMBLER_HH

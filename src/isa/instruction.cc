@@ -1,0 +1,72 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "common/string_utils.hh"
+
+namespace gpr {
+
+std::string
+Instruction::toString() const
+{
+    const OpTraits& t = traits();
+    std::ostringstream os;
+
+    if (guard != kNoPred)
+        os << '@' << (guardNegate ? "!" : "") << 'P'
+           << static_cast<int>(guard) << ' ';
+
+    os << t.mnemonic;
+    if (t.writesPred)
+        os << '.' << cmpOpName(cmp);
+
+    std::vector<std::string> parts;
+    if (t.writesPred) {
+        parts.push_back(strprintf("P%u", predDst));
+    } else if (t.writesDst && !t.isMemory) {
+        parts.push_back(dst.toString());
+    }
+
+    if (t.isMemory) {
+        // Loads: rd, [addr +/- off].  Stores: [addr +/- off], rs.
+        std::string mem;
+        const Operand& addr = t.isStore ? src[0] : src[0];
+        if (memOffset > 0)
+            mem = strprintf("[%s + %d]", addr.toString().c_str(), memOffset);
+        else if (memOffset < 0)
+            mem = strprintf("[%s - %d]", addr.toString().c_str(), -memOffset);
+        else
+            mem = strprintf("[%s]", addr.toString().c_str());
+
+        if (t.isStore) {
+            parts.push_back(mem);
+            parts.push_back(src[1].toString());
+        } else {
+            parts.push_back(dst.toString());
+            parts.push_back(mem);
+        }
+    } else {
+        for (unsigned i = 0; i < t.numSrcs; ++i)
+            parts.push_back(src[i].toString());
+    }
+
+    if (t.readsPredSrc)
+        parts.push_back(strprintf("P%u", predSrc));
+
+    if (t.isBranch) {
+        parts.push_back(targetLabel.empty() ? strprintf("@%u", target)
+                                            : targetLabel);
+    }
+
+    if (!parts.empty()) {
+        os << ' ';
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << parts[i];
+        }
+    }
+    return os.str();
+}
+
+} // namespace gpr

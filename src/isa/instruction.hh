@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A single decoded micro-ISA instruction.
+ */
+
+#ifndef GPR_ISA_INSTRUCTION_HH
+#define GPR_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "isa/operand.hh"
+
+namespace gpr {
+
+/** Predicate guard (@P2 / @!P2 prefixes); kNoPred means unconditional. */
+constexpr int kNoPred = -1;
+
+/** Maximum architectural predicate registers per thread. */
+constexpr unsigned kNumPredRegs = 8;
+
+/**
+ * One instruction.  Branch/SSY targets are stored as instruction indices
+ * once the program is finalised; the label text survives for disassembly.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+
+    /** Guard predicate register index, or kNoPred. */
+    std::int8_t guard = kNoPred;
+    /** If true, the guard is negated (@!Pn). */
+    bool guardNegate = false;
+
+    Operand dst;                  ///< register destination (if writesDst)
+    std::array<Operand, 3> src{}; ///< register/immediate sources
+
+    /** Destination predicate register for SETP. */
+    std::uint8_t predDst = 0;
+    /** Source predicate register for SELP. */
+    std::uint8_t predSrc = 0;
+    /** Comparison operator for SETP. */
+    CmpOp cmp = CmpOp::Eq;
+
+    /** Signed byte offset for memory operands: [Rx + offset]. */
+    std::int32_t memOffset = 0;
+
+    /** Resolved branch/SSY target (instruction index). */
+    std::uint32_t target = 0;
+    /** Original label text (kept for disassembly/diagnostics). */
+    std::string targetLabel;
+
+    const OpTraits& traits() const { return opTraits(op); }
+
+    /** Assembly-syntax rendering of the full instruction. */
+    std::string toString() const;
+};
+
+} // namespace gpr
+
+#endif // GPR_ISA_INSTRUCTION_HH

@@ -1,0 +1,125 @@
+#include "isa/opcode.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gpr {
+namespace {
+
+// Row layout: mnemonic, category, numSrcs, writesDst, writesPred,
+//             readsPredSrc, isMemory, isStore, isAtomic, isBranch
+constexpr std::array<OpTraits, static_cast<std::size_t>(Opcode::NumOpcodes)>
+op_table = {{
+    {"NOP",       OpCategory::Misc,      0, false, false, false, false, false, false, false},
+    {"MOV",       OpCategory::Misc,      1, true,  false, false, false, false, false, false},
+    {"S2R",       OpCategory::Misc,      1, true,  false, false, false, false, false, false},
+    {"LDPARAM",   OpCategory::Misc,      1, true,  false, false, false, false, false, false},
+    {"IADD",      OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"ISUB",      OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"IMUL",      OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"IMAD",      OpCategory::IntAlu,    3, true,  false, false, false, false, false, false},
+    {"IMIN",      OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"IMAX",      OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"AND",       OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"OR",        OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"XOR",       OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"NOT",       OpCategory::IntAlu,    1, true,  false, false, false, false, false, false},
+    {"SHL",       OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"SHR",       OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"SHRA",      OpCategory::IntAlu,    2, true,  false, false, false, false, false, false},
+    {"FADD",      OpCategory::FloatAlu,  2, true,  false, false, false, false, false, false},
+    {"FSUB",      OpCategory::FloatAlu,  2, true,  false, false, false, false, false, false},
+    {"FMUL",      OpCategory::FloatAlu,  2, true,  false, false, false, false, false, false},
+    {"FFMA",      OpCategory::FloatAlu,  3, true,  false, false, false, false, false, false},
+    {"FMIN",      OpCategory::FloatAlu,  2, true,  false, false, false, false, false, false},
+    {"FMAX",      OpCategory::FloatAlu,  2, true,  false, false, false, false, false, false},
+    {"FRCP",      OpCategory::Sfu,       1, true,  false, false, false, false, false, false},
+    {"FSQRT",     OpCategory::Sfu,       1, true,  false, false, false, false, false, false},
+    {"FEXP2",     OpCategory::Sfu,       1, true,  false, false, false, false, false, false},
+    {"FABS",      OpCategory::FloatAlu,  1, true,  false, false, false, false, false, false},
+    {"FNEG",      OpCategory::FloatAlu,  1, true,  false, false, false, false, false, false},
+    {"FDIV",      OpCategory::Sfu,       2, true,  false, false, false, false, false, false},
+    {"F2I",       OpCategory::FloatAlu,  1, true,  false, false, false, false, false, false},
+    {"I2F",       OpCategory::FloatAlu,  1, true,  false, false, false, false, false, false},
+    {"ISETP",     OpCategory::Compare,   2, false, true,  false, false, false, false, false},
+    {"FSETP",     OpCategory::Compare,   2, false, true,  false, false, false, false, false},
+    {"SELP",      OpCategory::IntAlu,    2, true,  false, true,  false, false, false, false},
+    {"BRA",       OpCategory::Control,   0, false, false, false, false, false, false, true},
+    {"SSY",       OpCategory::Control,   0, false, false, false, false, false, false, true},
+    {"SYNC",      OpCategory::Control,   0, false, false, false, false, false, false, false},
+    {"BAR",       OpCategory::Barrier,   0, false, false, false, false, false, false, false},
+    {"EXIT",      OpCategory::Control,   0, false, false, false, false, false, false, false},
+    {"LDG",       OpCategory::MemGlobal, 1, true,  false, false, true,  false, false, false},
+    {"STG",       OpCategory::MemGlobal, 2, false, false, false, true,  true,  false, false},
+    {"LDS",       OpCategory::MemShared, 1, true,  false, false, true,  false, false, false},
+    {"STS",       OpCategory::MemShared, 2, false, false, false, true,  true,  false, false},
+    {"ATOMG_ADD", OpCategory::MemGlobal, 2, false, false, false, true,  true,  true,  false},
+    {"ATOMS_ADD", OpCategory::MemShared, 2, false, false, false, true,  true,  true,  false},
+}};
+
+const std::unordered_map<std::string, Opcode>&
+mnemonicMap()
+{
+    static const auto* map = [] {
+        auto* m = new std::unordered_map<std::string, Opcode>();
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+            (*m)[op_table[i].mnemonic] = static_cast<Opcode>(i);
+        }
+        return m;
+    }();
+    return *map;
+}
+
+constexpr std::array<const char*, 6> cmp_names = {
+    "EQ", "NE", "LT", "LE", "GT", "GE",
+};
+
+} // namespace
+
+const OpTraits&
+opTraits(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    GPR_ASSERT(idx < op_table.size(), "invalid opcode ", idx);
+    return op_table[idx];
+}
+
+std::string_view
+opMnemonic(Opcode op)
+{
+    return opTraits(op).mnemonic;
+}
+
+std::optional<Opcode>
+opcodeFromMnemonic(std::string_view mnemonic)
+{
+    const auto it = mnemonicMap().find(toUpper(mnemonic));
+    if (it == mnemonicMap().end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string_view
+cmpOpName(CmpOp cmp)
+{
+    const auto idx = static_cast<std::size_t>(cmp);
+    GPR_ASSERT(idx < cmp_names.size(), "invalid cmp op");
+    return cmp_names[idx];
+}
+
+std::optional<CmpOp>
+cmpOpFromName(std::string_view name)
+{
+    const std::string upper = toUpper(name);
+    for (std::size_t i = 0; i < cmp_names.size(); ++i) {
+        if (upper == cmp_names[i])
+            return static_cast<CmpOp>(i);
+    }
+    return std::nullopt;
+}
+
+} // namespace gpr

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Opcode definitions for the SIMT micro-ISA.
+ *
+ * The instruction set is a distilled SASS/Southern-Islands common core:
+ * 32-bit integer and float ALU ops, predication, explicit-reconvergence
+ * control flow (SSY/SYNC, mirroring SASS), block barriers, and word-granular
+ * global/shared memory accesses with atomics.  Fault injection targets the
+ * storage the ISA architecturally exposes (vector/scalar register files and
+ * local memory), which is exactly the scope of the ISPASS'17 study.
+ */
+
+#ifndef GPR_ISA_OPCODE_HH
+#define GPR_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gpr {
+
+/** All opcodes of the micro-ISA. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    // Data movement.
+    Mov,      ///< rd = src (register or immediate)
+    S2r,      ///< rd = special register
+    LdParam,  ///< rd = kernel parameter word [imm index]
+    // Integer ALU.
+    IAdd,
+    ISub,
+    IMul,     ///< low 32 bits
+    IMad,     ///< rd = a * b + c (low 32)
+    IMin,
+    IMax,
+    And,
+    Or,
+    Xor,
+    Not,
+    Shl,
+    Shr,      ///< logical
+    Shra,     ///< arithmetic
+    // Float ALU.
+    FAdd,
+    FSub,
+    FMul,
+    FFma,
+    FMin,
+    FMax,
+    FRcp,
+    FSqrt,
+    FExp2,    ///< 2^x, SFU-style
+    FAbs,
+    FNeg,
+    FDiv,
+    F2i,      ///< truncating convert
+    I2f,
+    // Compare / select.
+    ISetp,
+    FSetp,
+    Selp,     ///< rd = pred ? a : b
+    // Control flow.
+    Bra,
+    Ssy,      ///< push reconvergence point
+    Sync,     ///< pop reconvergence point
+    Bar,      ///< block-wide barrier
+    Exit,
+    // Memory.
+    Ldg,      ///< load word from global
+    Stg,
+    Lds,      ///< load word from shared/local
+    Sts,
+    AtomgAdd, ///< atomic add to global (no return)
+    AtomsAdd, ///< atomic add to shared (no return)
+
+    NumOpcodes
+};
+
+/** Coarse functional category, used by the timing model. */
+enum class OpCategory : std::uint8_t
+{
+    Misc,     ///< NOP, MOV, S2R, LDPARAM
+    IntAlu,
+    FloatAlu,
+    Sfu,      ///< RCP/SQRT/EXP2/DIV — special function unit
+    Compare,
+    Control,  ///< BRA/SSY/SYNC/EXIT
+    Barrier,
+    MemGlobal,
+    MemShared,
+};
+
+/** Static properties of an opcode. */
+struct OpTraits
+{
+    const char* mnemonic;
+    OpCategory category;
+    std::uint8_t numSrcs;      ///< register/immediate source operands
+    bool writesDst;            ///< produces a register result
+    bool writesPred;           ///< produces a predicate result (SETP)
+    bool readsPredSrc;         ///< consumes a predicate source (SELP)
+    bool isMemory;
+    bool isStore;
+    bool isAtomic;
+    bool isBranch;             ///< has a code target (BRA/SSY)
+};
+
+/** Look up the static traits of @p op. */
+const OpTraits& opTraits(Opcode op);
+
+/** Mnemonic string for @p op. */
+std::string_view opMnemonic(Opcode op);
+
+/** Parse a mnemonic (case-insensitive); nullopt if unknown. */
+std::optional<Opcode> opcodeFromMnemonic(std::string_view mnemonic);
+
+/** Comparison operators for ISETP/FSETP. */
+enum class CmpOp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+std::string_view cmpOpName(CmpOp cmp);
+std::optional<CmpOp> cmpOpFromName(std::string_view name);
+
+} // namespace gpr
+
+#endif // GPR_ISA_OPCODE_HH

@@ -1,0 +1,57 @@
+#include "isa/operand.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::array<const char*,
+                     static_cast<std::size_t>(SpecialReg::NumSpecialRegs)>
+special_names = {
+    "SR_TID_X",    "SR_TID_Y",    "SR_CTAID_X", "SR_CTAID_Y", "SR_NTID_X",
+    "SR_NTID_Y",   "SR_NCTAID_X", "SR_NCTAID_Y", "SR_LANE",   "SR_WARPID",
+};
+
+} // namespace
+
+std::string_view
+specialRegName(SpecialReg sr)
+{
+    const auto idx = static_cast<std::size_t>(sr);
+    GPR_ASSERT(idx < special_names.size(), "invalid special register");
+    return special_names[idx];
+}
+
+std::optional<SpecialReg>
+specialRegFromName(std::string_view name)
+{
+    const std::string upper = toUpper(name);
+    for (std::size_t i = 0; i < special_names.size(); ++i) {
+        if (upper == special_names[i])
+            return static_cast<SpecialReg>(i);
+    }
+    return std::nullopt;
+}
+
+std::string
+Operand::toString() const
+{
+    switch (kind) {
+      case OperandKind::None:
+        return "<none>";
+      case OperandKind::VReg:
+        return strprintf("V%u", index);
+      case OperandKind::SReg:
+        return strprintf("S%u", index);
+      case OperandKind::Imm:
+        return strprintf("0x%x", imm);
+      case OperandKind::Special:
+        return std::string(specialRegName(sreg));
+    }
+    return "<bad>";
+}
+
+} // namespace gpr

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Operand representation: vector/scalar registers, predicates, immediates
+ * and special (read-only) registers.
+ */
+
+#ifndef GPR_ISA_OPERAND_HH
+#define GPR_ISA_OPERAND_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace gpr {
+
+/** Read-only special registers (thread/block geometry). */
+enum class SpecialReg : std::uint8_t
+{
+    TidX,
+    TidY,
+    CtaIdX,
+    CtaIdY,
+    NTidX,
+    NTidY,
+    NCtaIdX,
+    NCtaIdY,
+    Lane,     ///< lane index within the warp/wavefront
+    WarpId,   ///< warp index within the block
+    NumSpecialRegs
+};
+
+std::string_view specialRegName(SpecialReg sr);
+std::optional<SpecialReg> specialRegFromName(std::string_view name);
+
+/** What an operand denotes. */
+enum class OperandKind : std::uint8_t
+{
+    None,
+    VReg,    ///< per-thread vector register
+    SReg,    ///< per-wavefront scalar register (Southern Islands dialect)
+    Imm,     ///< 32-bit immediate (raw bits; float imms are stored as bits)
+    Special, ///< special register, S2R only
+};
+
+/** A single instruction operand. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    RegIndex index = 0;   ///< register index for VReg/SReg
+    Word imm = 0;         ///< raw immediate bits
+    SpecialReg sreg = SpecialReg::TidX;
+
+    static Operand
+    vreg(RegIndex r)
+    {
+        Operand o;
+        o.kind = OperandKind::VReg;
+        o.index = r;
+        return o;
+    }
+
+    static Operand
+    sreg_(RegIndex r)
+    {
+        Operand o;
+        o.kind = OperandKind::SReg;
+        o.index = r;
+        return o;
+    }
+
+    static Operand
+    immediate(Word bits)
+    {
+        Operand o;
+        o.kind = OperandKind::Imm;
+        o.imm = bits;
+        return o;
+    }
+
+    static Operand
+    immediateInt(std::int32_t v)
+    {
+        return immediate(static_cast<Word>(v));
+    }
+
+    static Operand
+    immediateFloat(float f)
+    {
+        return immediate(floatBits(f));
+    }
+
+    static Operand
+    special(SpecialReg sr)
+    {
+        Operand o;
+        o.kind = OperandKind::Special;
+        o.sreg = sr;
+        return o;
+    }
+
+    bool isReg() const
+    {
+        return kind == OperandKind::VReg || kind == OperandKind::SReg;
+    }
+
+    bool operator==(const Operand& other) const
+    {
+        if (kind != other.kind)
+            return false;
+        switch (kind) {
+          case OperandKind::None:
+            return true;
+          case OperandKind::VReg:
+          case OperandKind::SReg:
+            return index == other.index;
+          case OperandKind::Imm:
+            return imm == other.imm;
+          case OperandKind::Special:
+            return sreg == other.sreg;
+        }
+        return false;
+    }
+
+    /** Assembly-syntax rendering (V3, S1, 0x10, SR_TID_X, ...). */
+    std::string toString() const;
+};
+
+} // namespace gpr
+
+#endif // GPR_ISA_OPERAND_HH

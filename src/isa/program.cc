@@ -1,0 +1,34 @@
+#include "isa/program.hh"
+
+#include "common/logging.hh"
+
+namespace gpr {
+
+Program::Program(std::string name, IsaDialect dialect,
+                 std::vector<Instruction> instructions,
+                 std::map<std::string, std::uint32_t> labels,
+                 std::uint32_t num_vregs, std::uint32_t num_sregs,
+                 std::uint32_t smem_bytes)
+    : name_(std::move(name)),
+      dialect_(dialect),
+      insts_(std::move(instructions)),
+      labels_(std::move(labels)),
+      num_vregs_(num_vregs),
+      num_sregs_(num_sregs),
+      smem_bytes_(smem_bytes)
+{
+    GPR_ASSERT(!insts_.empty(), "program '", name_, "' has no instructions");
+}
+
+std::uint32_t
+Program::sharedMemoryOpCount() const
+{
+    std::uint32_t n = 0;
+    for (const auto& inst : insts_) {
+        if (inst.traits().category == OpCategory::MemShared)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace gpr

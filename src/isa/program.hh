@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A finalised kernel program: instructions plus resource metadata.
+ */
+
+#ifndef GPR_ISA_PROGRAM_HH
+#define GPR_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/dialect.hh"
+#include "isa/instruction.hh"
+
+namespace gpr {
+
+/**
+ * An executable kernel.  Immutable once built (by KernelBuilder or the
+ * Assembler) and validated (by Verifier).
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    Program(std::string name, IsaDialect dialect,
+            std::vector<Instruction> instructions,
+            std::map<std::string, std::uint32_t> labels,
+            std::uint32_t num_vregs, std::uint32_t num_sregs,
+            std::uint32_t smem_bytes);
+
+    const std::string& name() const { return name_; }
+    IsaDialect dialect() const { return dialect_; }
+
+    const std::vector<Instruction>& instructions() const { return insts_; }
+    const Instruction& inst(std::uint32_t pc) const { return insts_[pc]; }
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(insts_.size());
+    }
+
+    /** Vector registers required per thread. */
+    std::uint32_t numVRegs() const { return num_vregs_; }
+    /** Scalar registers required per wavefront (SI dialect only). */
+    std::uint32_t numSRegs() const { return num_sregs_; }
+    /** Static shared/local memory per block, in bytes. */
+    std::uint32_t smemBytes() const { return smem_bytes_; }
+
+    const std::map<std::string, std::uint32_t>& labels() const
+    {
+        return labels_;
+    }
+
+    /** Count of instructions that touch shared/local memory. */
+    std::uint32_t sharedMemoryOpCount() const;
+
+  private:
+    std::string name_;
+    IsaDialect dialect_ = IsaDialect::Cuda;
+    std::vector<Instruction> insts_;
+    std::map<std::string, std::uint32_t> labels_;
+    std::uint32_t num_vregs_ = 0;
+    std::uint32_t num_sregs_ = 0;
+    std::uint32_t smem_bytes_ = 0;
+};
+
+} // namespace gpr
+
+#endif // GPR_ISA_PROGRAM_HH

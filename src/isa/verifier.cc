@@ -1,0 +1,130 @@
+#include "isa/verifier.hh"
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gpr {
+namespace {
+
+void
+verifyOperand(const Program& prog, const Instruction& inst,
+              std::uint32_t pc, const Operand& op, const char* role)
+{
+    auto fail = [&](const std::string& why) {
+        fatal("kernel '", prog.name(), "' @", pc, " '", inst.toString(),
+              "': ", role, ": ", why);
+    };
+
+    switch (op.kind) {
+      case OperandKind::None:
+        fail("missing operand");
+        break;
+      case OperandKind::VReg:
+        if (op.index >= prog.numVRegs())
+            fail(strprintf("V%u out of range (%u declared)", op.index,
+                           prog.numVRegs()));
+        break;
+      case OperandKind::SReg:
+        if (prog.dialect() != IsaDialect::SouthernIslands)
+            fail("scalar registers only exist in the SouthernIslands "
+                 "dialect");
+        if (op.index >= prog.numSRegs())
+            fail(strprintf("S%u out of range (%u declared)", op.index,
+                           prog.numSRegs()));
+        break;
+      case OperandKind::Imm:
+        break;
+      case OperandKind::Special:
+        if (inst.op != Opcode::S2r)
+            fail("special registers are only readable via S2R");
+        break;
+    }
+}
+
+} // namespace
+
+void
+verifyProgram(const Program& prog)
+{
+    const auto& insts = prog.instructions();
+    GPR_ASSERT(!insts.empty(), "empty program");
+
+    bool saw_exit = false;
+
+    for (std::uint32_t pc = 0; pc < insts.size(); ++pc) {
+        const Instruction& inst = insts[pc];
+        const OpTraits& t = inst.traits();
+
+        auto fail = [&](const std::string& why) {
+            fatal("kernel '", prog.name(), "' @", pc, " '",
+                  inst.toString(), "': ", why);
+        };
+
+        if (inst.guard != kNoPred &&
+            (inst.guard < 0 ||
+             static_cast<unsigned>(inst.guard) >= kNumPredRegs)) {
+            fail("guard predicate out of range");
+        }
+
+        if (t.writesDst) {
+            if (!inst.dst.isReg())
+                fail("destination must be a register");
+            verifyOperand(prog, inst, pc, inst.dst, "dst");
+        }
+        if (t.writesPred && inst.predDst >= kNumPredRegs)
+            fail("SETP destination predicate out of range");
+        if (t.readsPredSrc && inst.predSrc >= kNumPredRegs)
+            fail("SELP source predicate out of range");
+
+        for (unsigned s = 0; s < t.numSrcs; ++s)
+            verifyOperand(prog, inst, pc, inst.src[s], "src");
+
+        if (t.isMemory) {
+            if (!inst.src[0].isReg() &&
+                inst.src[0].kind != OperandKind::Imm) {
+                fail("memory address must be a register or immediate");
+            }
+            if (t.category == OpCategory::MemShared &&
+                prog.smemBytes() == 0) {
+                fail("shared-memory access in a kernel that declares no "
+                     "shared memory");
+            }
+        }
+
+        if (t.isBranch && inst.target >= insts.size())
+            fail(strprintf("branch target %u out of range", inst.target));
+
+        // Scalar-unit constraint: an SReg destination means the op runs on
+        // the scalar ALU once per wavefront, so every register source must
+        // be uniform too.
+        if (t.writesDst && inst.dst.kind == OperandKind::SReg) {
+            if (t.isMemory)
+                fail("memory destinations must be vector registers");
+            for (unsigned s = 0; s < t.numSrcs; ++s) {
+                if (inst.src[s].kind == OperandKind::VReg)
+                    fail("scalar-destination op reads vector register "
+                         "(non-uniform source)");
+            }
+        }
+
+        if (inst.op == Opcode::Exit)
+            saw_exit = true;
+    }
+
+    if (!saw_exit)
+        fatal("kernel '", prog.name(), "': no EXIT instruction");
+
+    // The last instruction must not fall through off the end of the
+    // program: require EXIT or an unconditional branch.
+    const Instruction& last = insts.back();
+    const bool terminates =
+        last.op == Opcode::Exit ||
+        (last.op == Opcode::Bra && last.guard == kNoPred);
+    if (!terminates) {
+        fatal("kernel '", prog.name(),
+              "': control can fall off the end of the program (last "
+              "instruction is '", last.toString(), "')");
+    }
+}
+
+} // namespace gpr

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Static validation of kernel programs.
+ */
+
+#ifndef GPR_ISA_VERIFIER_HH
+#define GPR_ISA_VERIFIER_HH
+
+#include "isa/program.hh"
+
+namespace gpr {
+
+/**
+ * Verify the static well-formedness of @p prog; throws FatalError with a
+ * diagnostic on the first violation.  Checks:
+ *  - register indices within the declared counts;
+ *  - scalar registers only under the SouthernIslands dialect;
+ *  - scalar-destination ops consume only uniform (SReg/Imm) sources;
+ *  - branch/SSY targets within the program;
+ *  - operand kinds legal for each opcode (e.g. stores need a register or
+ *    scalar address, SETP writes a valid predicate, guards in range);
+ *  - the program ends in a reachable EXIT (a straight-line fall-through off
+ *    the end is rejected);
+ *  - shared-memory use only if the program declares shared memory.
+ */
+void verifyProgram(const Program& prog);
+
+} // namespace gpr
+
+#endif // GPR_ISA_VERIFIER_HH

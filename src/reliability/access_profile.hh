@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Storage access profiling — the "resource occupancy / usage" analysis
+ * axis from Section I of the paper.
+ *
+ * One instrumented run counts reads and writes per physical word of each
+ * studied structure and summarises how concentrated the traffic is.
+ * High concentration (e.g. a histogram's hot bins, a reduction's low
+ * tree slots) explains why AVF is not simply proportional to occupancy.
+ */
+
+#ifndef GPR_RELIABILITY_ACCESS_PROFILE_HH
+#define GPR_RELIABILITY_ACCESS_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "sim/observer.hh"
+#include "workloads/workload.hh"
+
+namespace gpr {
+
+/** Traffic summary of one structure over one kernel run. */
+struct AccessSummary
+{
+    TargetStructure structure = TargetStructure::VectorRegisterFile;
+    std::uint64_t totalWords = 0;    ///< structure size (chip-wide)
+    std::uint64_t touchedWords = 0;  ///< words with >= 1 access
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    /** Fraction of all accesses landing in the busiest 10 % of touched
+     *  words (0.1 = perfectly even, 1.0 = fully concentrated). */
+    double top10Share = 0.0;
+
+    double
+    touchedFraction() const
+    {
+        return totalWords ? static_cast<double>(touchedWords) /
+                                static_cast<double>(totalWords)
+                          : 0.0;
+    }
+    double
+    readsPerWrite() const
+    {
+        return writes ? static_cast<double>(reads) /
+                            static_cast<double>(writes)
+                      : 0.0;
+    }
+};
+
+/** SimObserver counting per-word accesses. */
+class AccessProfiler : public SimObserver
+{
+  public:
+    explicit AccessProfiler(const GpuConfig& config);
+
+    void onRead(TargetStructure structure, SmId sm, std::uint32_t word,
+                Cycle cycle) override;
+    void onWrite(TargetStructure structure, SmId sm, std::uint32_t word,
+                 Cycle cycle) override;
+
+    /** Summarise the traffic recorded so far for @p structure. */
+    AccessSummary summary(TargetStructure structure) const;
+
+  private:
+    struct Counters
+    {
+        std::vector<std::uint32_t> reads;
+        std::vector<std::uint32_t> writes;
+        std::uint32_t wordsPerSm = 0;
+    };
+
+    Counters& counters(TargetStructure structure);
+    const Counters& counters(TargetStructure structure) const;
+
+    Counters vrf_;
+    Counters lds_;
+    Counters srf_;
+};
+
+/** Run one instrumented execution and return all three summaries. */
+struct AccessProfileResult
+{
+    AccessSummary registerFile;
+    AccessSummary sharedMemory;
+    AccessSummary scalarRegisterFile;
+};
+
+AccessProfileResult profileAccesses(const GpuConfig& config,
+                                    const WorkloadInstance& instance);
+
+} // namespace gpr
+
+#endif // GPR_RELIABILITY_ACCESS_PROFILE_HH

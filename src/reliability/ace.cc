@@ -1,0 +1,166 @@
+#include "reliability/ace.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "sim/gpu.hh"
+
+namespace gpr {
+
+AceAnalyzer::AceAnalyzer(const GpuConfig& config, AceMode mode)
+    : mode_(mode)
+{
+    vrf_.wordsPerSm = config.regFileWordsPerSm;
+    vrf_.words.resize(std::uint64_t{config.numSms} *
+                      config.regFileWordsPerSm);
+    lds_.wordsPerSm = config.smemWordsPerSm();
+    lds_.words.resize(std::uint64_t{config.numSms} *
+                      config.smemWordsPerSm());
+    if (config.scalarRegWordsPerSm > 0) {
+        srf_.wordsPerSm = config.scalarRegWordsPerSm;
+        srf_.words.resize(std::uint64_t{config.numSms} *
+                          config.scalarRegWordsPerSm);
+    }
+}
+
+AceAnalyzer::StructureTracker&
+AceAnalyzer::tracker(TargetStructure structure)
+{
+    switch (structure) {
+      case TargetStructure::VectorRegisterFile:
+        return vrf_;
+      case TargetStructure::SharedMemory:
+        return lds_;
+      case TargetStructure::ScalarRegisterFile:
+        return srf_;
+    }
+    panic("bad structure");
+}
+
+const AceAnalyzer::StructureTracker&
+AceAnalyzer::tracker(TargetStructure structure) const
+{
+    return const_cast<AceAnalyzer*>(this)->tracker(structure);
+}
+
+void
+AceAnalyzer::commit(StructureTracker& t, WordState& w, Cycle upto)
+{
+    if (!w.allocated || !w.readSinceWrite)
+        return;
+    const Cycle end = mode_ == AceMode::Standard ? w.lastRead : upto;
+    if (end > w.write)
+        t.aceCycles += end - w.write;
+}
+
+void
+AceAnalyzer::onRead(TargetStructure structure, SmId sm, std::uint32_t word,
+                    Cycle cycle)
+{
+    StructureTracker& t = tracker(structure);
+    WordState& w = t.words[std::uint64_t{sm} * t.wordsPerSm + word];
+    w.lastRead = cycle;
+    w.readSinceWrite = true;
+}
+
+void
+AceAnalyzer::onWrite(TargetStructure structure, SmId sm, std::uint32_t word,
+                     Cycle cycle)
+{
+    StructureTracker& t = tracker(structure);
+    WordState& w = t.words[std::uint64_t{sm} * t.wordsPerSm + word];
+    commit(t, w, cycle);
+    w.write = cycle;
+    w.readSinceWrite = false;
+}
+
+void
+AceAnalyzer::onAlloc(TargetStructure structure, SmId sm,
+                     std::uint32_t first, std::uint32_t count, Cycle cycle)
+{
+    StructureTracker& t = tracker(structure);
+    const std::uint64_t base = std::uint64_t{sm} * t.wordsPerSm + first;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        WordState& w = t.words[base + i];
+        w.allocated = true;
+        w.write = cycle; // contents architecturally undefined => new epoch
+        w.readSinceWrite = false;
+    }
+}
+
+void
+AceAnalyzer::onFree(TargetStructure structure, SmId sm, std::uint32_t first,
+                    std::uint32_t count, Cycle cycle)
+{
+    StructureTracker& t = tracker(structure);
+    const std::uint64_t base = std::uint64_t{sm} * t.wordsPerSm + first;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        WordState& w = t.words[base + i];
+        commit(t, w, cycle);
+        w.allocated = false;
+        w.readSinceWrite = false;
+    }
+}
+
+void
+AceAnalyzer::onKernelEnd(Cycle cycle)
+{
+    for (StructureTracker* t : {&vrf_, &lds_, &srf_}) {
+        for (WordState& w : t->words) {
+            commit(*t, w, cycle);
+            w.allocated = false;
+            w.readSinceWrite = false;
+        }
+    }
+}
+
+std::uint64_t
+AceAnalyzer::aceWordCycles(TargetStructure structure) const
+{
+    return tracker(structure).aceCycles;
+}
+
+AceResult
+runAceAnalysis(const GpuConfig& config, const WorkloadInstance& instance,
+               AceMode mode)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    AceAnalyzer analyzer(config, mode);
+    Gpu gpu(config);
+    RunOptions options;
+    options.observer = &analyzer;
+    RunResult run = gpu.run(instance.program, instance.launch,
+                            instance.image, options);
+    if (!run.clean()) {
+        fatal("ACE analysis: fault-free run of '", instance.workloadName,
+              "' trapped (", trapKindName(run.trap), ")");
+    }
+    std::string why;
+    if (!verifyOutputs(instance, run.memory, &why)) {
+        fatal("ACE analysis: golden check failed: ", why);
+    }
+
+    AceResult result;
+    result.goldenStats = run.stats;
+
+    auto fill = [&](AceStructureResult& r, TargetStructure s,
+                    std::uint64_t total_words) {
+        r.structure = s;
+        r.aceWordCycles = analyzer.aceWordCycles(s);
+        r.totalWords = total_words;
+        r.cycles = run.stats.cycles;
+    };
+    fill(result.registerFile, TargetStructure::VectorRegisterFile,
+         std::uint64_t{config.numSms} * config.regFileWordsPerSm);
+    fill(result.sharedMemory, TargetStructure::SharedMemory,
+         std::uint64_t{config.numSms} * config.smemWordsPerSm());
+    fill(result.scalarRegisterFile, TargetStructure::ScalarRegisterFile,
+         std::uint64_t{config.numSms} * config.scalarRegWordsPerSm);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    result.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    return result;
+}
+
+} // namespace gpr

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ACE (Architecturally Correct Execution) analysis — the fast alternative
+ * to fault injection (Mukherjee et al., MICRO 2003), as implemented inside
+ * GUFI/SIFI.
+ *
+ * One instrumented simulation tracks, for every 32-bit word of the studied
+ * structures, the intervals during which a bit flip *could* propagate to
+ * the output.  Two accounting modes:
+ *
+ *  - Standard (offline, what the paper's tools use): a word is ACE from
+ *    each write to the *last* read before the next write / deallocation.
+ *  - Conservative: from each write to the next write / deallocation,
+ *    provided at least one read consumed the value ("no future knowledge"
+ *    — used by the ablation bench to show the accuracy/overhead knob).
+ *
+ * Both are conservative relative to fault injection: every read is assumed
+ * to matter, whole words are counted even when only a few bits are live,
+ * and logical masking (tolerance slack, pruned comparisons, saturation) is
+ * invisible — which is exactly why the paper finds ACE overestimating the
+ * register file AVF while matching FI closely for local memory.
+ */
+
+#ifndef GPR_RELIABILITY_ACE_HH
+#define GPR_RELIABILITY_ACE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "sim/observer.hh"
+#include "sim/stats.hh"
+#include "workloads/workload.hh"
+
+namespace gpr {
+
+enum class AceMode : std::uint8_t
+{
+    Standard,     ///< write -> last read
+    Conservative, ///< write -> next write (if read at all)
+};
+
+/** Per-structure ACE measurement. */
+struct AceStructureResult
+{
+    TargetStructure structure = TargetStructure::VectorRegisterFile;
+    /** Sum over words of ACE cycles (word-granular). */
+    std::uint64_t aceWordCycles = 0;
+    /** Structure size in words (chip-wide). */
+    std::uint64_t totalWords = 0;
+    /** Kernel duration in cycles. */
+    Cycle cycles = 0;
+
+    double
+    avf() const
+    {
+        const double denom = static_cast<double>(totalWords) *
+                             static_cast<double>(cycles);
+        return denom > 0 ? static_cast<double>(aceWordCycles) / denom : 0.0;
+    }
+};
+
+/** Full ACE analysis output for one (GPU, workload) pair. */
+struct AceResult
+{
+    AceStructureResult registerFile;
+    AceStructureResult sharedMemory;
+    AceStructureResult scalarRegisterFile;
+    SimStats goldenStats;
+    double wallSeconds = 0.0;
+
+    const AceStructureResult&
+    forStructure(TargetStructure s) const
+    {
+        switch (s) {
+          case TargetStructure::VectorRegisterFile:
+            return registerFile;
+          case TargetStructure::SharedMemory:
+            return sharedMemory;
+          case TargetStructure::ScalarRegisterFile:
+            return scalarRegisterFile;
+        }
+        return registerFile;
+    }
+};
+
+/**
+ * The SimObserver that performs lifetime accounting.  Exposed so tests
+ * can drive it directly with synthetic event streams.
+ */
+class AceAnalyzer : public SimObserver
+{
+  public:
+    AceAnalyzer(const GpuConfig& config, AceMode mode);
+
+    void onRead(TargetStructure structure, SmId sm, std::uint32_t word,
+                Cycle cycle) override;
+    void onWrite(TargetStructure structure, SmId sm, std::uint32_t word,
+                 Cycle cycle) override;
+    void onAlloc(TargetStructure structure, SmId sm, std::uint32_t first,
+                 std::uint32_t count, Cycle cycle) override;
+    void onFree(TargetStructure structure, SmId sm, std::uint32_t first,
+                std::uint32_t count, Cycle cycle) override;
+    void onKernelEnd(Cycle cycle) override;
+
+    /** Accumulated ACE word-cycles for @p structure. */
+    std::uint64_t aceWordCycles(TargetStructure structure) const;
+
+  private:
+    struct WordState
+    {
+        Cycle write = 0;
+        Cycle lastRead = 0;
+        bool allocated = false;
+        bool readSinceWrite = false;
+    };
+
+    struct StructureTracker
+    {
+        std::vector<WordState> words; ///< numSms * wordsPerSm
+        std::uint32_t wordsPerSm = 0;
+        std::uint64_t aceCycles = 0;
+    };
+
+    StructureTracker& tracker(TargetStructure structure);
+    const StructureTracker& tracker(TargetStructure structure) const;
+    void commit(StructureTracker& t, WordState& w, Cycle upto);
+
+    AceMode mode_;
+    StructureTracker vrf_;
+    StructureTracker lds_;
+    StructureTracker srf_;
+};
+
+/**
+ * Run one instrumented execution of @p instance on @p config and return
+ * the ACE AVF of all structures.
+ */
+AceResult runAceAnalysis(const GpuConfig& config,
+                         const WorkloadInstance& instance,
+                         AceMode mode = AceMode::Standard);
+
+} // namespace gpr
+
+#endif // GPR_RELIABILITY_ACE_HH

@@ -1,0 +1,97 @@
+#include "reliability/campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace gpr {
+
+CampaignResult
+runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
+            TargetStructure structure, const CampaignConfig& cc)
+{
+    CampaignResult result;
+    result.structure = structure;
+    result.confidence = cc.plan.confidence;
+
+    // Golden run once up front (also validates the workload).
+    {
+        FaultInjector probe(config, instance);
+        result.goldenStats = probe.goldenRun().stats;
+    }
+
+    const std::size_t n = cc.plan.injections;
+    result.injections = n;
+    if (n == 0)
+        return result;
+
+    unsigned workers = cc.numThreads
+                           ? cc.numThreads
+                           : std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers, n));
+
+    std::atomic<std::size_t> next{0};
+    std::mutex merge_mutex;
+    std::vector<InjectionResult> records;
+    if (cc.keepRecords)
+        records.resize(n);
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    auto worker_fn = [&]() {
+        FaultInjector injector(config, instance);
+        std::size_t local_masked = 0, local_sdc = 0, local_due = 0;
+
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                break;
+            Rng rng(deriveSeed(cc.seed, i));
+            const InjectionResult r = injector.injectRandom(structure, rng);
+            switch (r.outcome) {
+              case FaultOutcome::Masked:
+                ++local_masked;
+                break;
+              case FaultOutcome::Sdc:
+                ++local_sdc;
+                break;
+              case FaultOutcome::Due:
+                ++local_due;
+                break;
+            }
+            if (cc.keepRecords)
+                records[i] = r;
+        }
+
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.masked += local_masked;
+        result.sdc += local_sdc;
+        result.due += local_due;
+    };
+
+    if (workers <= 1) {
+        worker_fn();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(worker_fn);
+        for (auto& t : pool)
+            t.join();
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    result.records = std::move(records);
+
+    GPR_ASSERT(result.masked + result.sdc + result.due == n,
+               "campaign accounting mismatch");
+    return result;
+}
+
+} // namespace gpr

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Statistical fault-injection campaigns: N independent single-bit flips,
+ * uniformly sampled over (structure bit, execution cycle), fanned out over
+ * a worker pool.  Per-injection seeds are derived from (campaign seed,
+ * injection index), so results are bit-identical regardless of the number
+ * of worker threads.
+ */
+
+#ifndef GPR_RELIABILITY_CAMPAIGN_HH
+#define GPR_RELIABILITY_CAMPAIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "reliability/fault_injector.hh"
+#include "reliability/sampling.hh"
+#include "sim/stats.hh"
+
+namespace gpr {
+
+struct CampaignConfig
+{
+    SamplePlan plan = paperSamplePlan();
+    std::uint64_t seed = 0xC0FFEE;
+    /** Worker threads; 0 selects std::thread::hardware_concurrency(). */
+    unsigned numThreads = 0;
+    /** Keep every per-injection record (memory-heavy for big campaigns). */
+    bool keepRecords = false;
+};
+
+struct CampaignResult
+{
+    TargetStructure structure = TargetStructure::VectorRegisterFile;
+    std::size_t injections = 0;
+    std::size_t masked = 0;
+    std::size_t sdc = 0;
+    std::size_t due = 0;
+
+    /** Golden-run performance & occupancy statistics. */
+    SimStats goldenStats;
+
+    /** Wall-clock seconds spent on the injection runs. */
+    double wallSeconds = 0.0;
+
+    /** Confidence level the margins below are quoted at. */
+    double confidence = 0.99;
+
+    std::vector<InjectionResult> records; ///< only if keepRecords
+
+    double
+    avf() const
+    {
+        return injections ? static_cast<double>(sdc + due) /
+                                static_cast<double>(injections)
+                          : 0.0;
+    }
+    double
+    sdcRate() const
+    {
+        return injections ? static_cast<double>(sdc) /
+                                static_cast<double>(injections)
+                          : 0.0;
+    }
+    double
+    dueRate() const
+    {
+        return injections ? static_cast<double>(due) /
+                                static_cast<double>(injections)
+                          : 0.0;
+    }
+
+    /**
+     * Error margin around the measured AVF: the Wilson-interval
+     * half-width, which stays meaningful (non-zero) even when the
+     * campaign observes zero or all failures, unlike the Wald margin.
+     */
+    double
+    errorMargin() const
+    {
+        if (injections == 0)
+            return 0.0;
+        return wilson().width() / 2.0;
+    }
+
+    /** Wilson interval around the measured AVF. */
+    Interval
+    wilson() const
+    {
+        return wilsonInterval(sdc + due, injections, confidence);
+    }
+};
+
+/**
+ * Run a statistical FI campaign for one (GPU, workload, structure)
+ * triple.  Throws FatalError on configuration errors; individual
+ * abnormal outcomes are classified, never thrown.
+ */
+CampaignResult runCampaign(const GpuConfig& config,
+                           const WorkloadInstance& instance,
+                           TargetStructure structure,
+                           const CampaignConfig& cc = {});
+
+} // namespace gpr
+
+#endif // GPR_RELIABILITY_CAMPAIGN_HH

@@ -1,0 +1,89 @@
+#include "reliability/fault_injector.hh"
+
+#include "common/logging.hh"
+
+namespace gpr {
+
+FaultInjector::FaultInjector(const GpuConfig& config,
+                             const WorkloadInstance& instance)
+    : config_(config), instance_(instance), gpu_(config)
+{
+    if (instance.program.dialect() != config.dialect) {
+        fatal("workload '", instance.workloadName, "' was built for ",
+              dialectName(instance.program.dialect()), " but ", config.name,
+              " executes ", dialectName(config.dialect));
+    }
+}
+
+const RunResult&
+FaultInjector::goldenRun()
+{
+    if (have_golden_)
+        return golden_;
+
+    golden_ = gpu_.run(instance_.program, instance_.launch,
+                       instance_.image);
+    if (!golden_.clean()) {
+        fatal("workload '", instance_.workloadName,
+              "' traps without any injected fault (",
+              trapKindName(golden_.trap), ") — workload bug");
+    }
+    std::string why;
+    if (!verifyOutputs(instance_, golden_.memory, &why)) {
+        fatal("workload '", instance_.workloadName,
+              "' fails its own golden check fault-free: ", why);
+    }
+    have_golden_ = true;
+    return golden_;
+}
+
+Cycle
+FaultInjector::goldenCycles()
+{
+    return goldenRun().stats.cycles;
+}
+
+InjectionResult
+FaultInjector::inject(const FaultSpec& fault)
+{
+    const Cycle golden_cycles = goldenCycles();
+
+    RunOptions options;
+    options.fault = fault;
+    // Watchdog: anything this much past golden is a hang (DUE).
+    options.maxCycles =
+        static_cast<Cycle>(static_cast<double>(golden_cycles) *
+                           config_.watchdogFactor) +
+        1000;
+
+    RunResult run = gpu_.run(instance_.program, instance_.launch,
+                             instance_.image, options);
+
+    InjectionResult result;
+    result.fault = fault;
+    result.trap = run.trap;
+    if (!run.clean()) {
+        result.outcome = FaultOutcome::Due;
+    } else if (verifyOutputs(instance_, run.memory)) {
+        result.outcome = FaultOutcome::Masked;
+    } else {
+        result.outcome = FaultOutcome::Sdc;
+    }
+    return result;
+}
+
+InjectionResult
+FaultInjector::injectRandom(TargetStructure structure, Rng& rng)
+{
+    const std::uint64_t bits = gpu_.structureBits(structure);
+    GPR_ASSERT(bits > 0, "cannot inject into ",
+               targetStructureName(structure), " on ", config_.name);
+
+    FaultSpec fault;
+    fault.structure = structure;
+    fault.bitIndex = rng.below(bits);
+    fault.cycle = rng.below(goldenCycles());
+    return inject(fault);
+}
+
+} // namespace gpr

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Single-fault injection runs and outcome classification — the per-run
+ * engine underneath statistical campaigns (the GUFI/SIFI injection core).
+ */
+
+#ifndef GPR_RELIABILITY_FAULT_INJECTOR_HH
+#define GPR_RELIABILITY_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/random.hh"
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace gpr {
+
+/** Classification of a single injection. */
+enum class FaultOutcome : std::uint8_t
+{
+    Masked, ///< output equals golden under the workload's comparison rule
+    Sdc,    ///< silent data corruption: clean exit, wrong output
+    Due,    ///< detected unrecoverable error: trap / hang / deadlock
+};
+
+constexpr std::string_view
+faultOutcomeName(FaultOutcome o)
+{
+    switch (o) {
+      case FaultOutcome::Masked:
+        return "masked";
+      case FaultOutcome::Sdc:
+        return "SDC";
+      case FaultOutcome::Due:
+        return "DUE";
+    }
+    return "unknown";
+}
+
+/** Result of one injection. */
+struct InjectionResult
+{
+    FaultSpec fault;
+    FaultOutcome outcome = FaultOutcome::Masked;
+    TrapKind trap = TrapKind::None;
+};
+
+/**
+ * Runs golden + injected executions of one workload instance on one GPU.
+ * Reusable across many injections (keeps its simulator instance warm);
+ * each worker thread of a campaign owns one FaultInjector.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @p config must outlive the injector; @p instance is the built
+     * workload (shared, read-only).
+     */
+    FaultInjector(const GpuConfig& config,
+                  const WorkloadInstance& instance);
+
+    /**
+     * Run the fault-free reference execution.  Throws FatalError if the
+     * workload does not verify fault-free (a workload bug, not a DUE).
+     */
+    const RunResult& goldenRun();
+
+    /** Golden cycle count (runs the golden execution if needed). */
+    Cycle goldenCycles();
+
+    /** Inject @p fault and classify the outcome. */
+    InjectionResult inject(const FaultSpec& fault);
+
+    /**
+     * Sample a uniformly random (bit, cycle) fault in @p structure using
+     * @p rng, inject it, and classify.
+     */
+    InjectionResult injectRandom(TargetStructure structure, Rng& rng);
+
+    /** The device (for structure sizes). */
+    const Gpu& gpu() const { return gpu_; }
+
+  private:
+    const GpuConfig& config_;
+    const WorkloadInstance& instance_;
+    Gpu gpu_;
+    RunResult golden_;
+    bool have_golden_ = false;
+};
+
+} // namespace gpr
+
+#endif // GPR_RELIABILITY_FAULT_INJECTOR_HH

@@ -1,0 +1,55 @@
+#include "reliability/fit_epf.hh"
+
+#include "common/logging.hh"
+
+namespace gpr {
+namespace {
+
+constexpr double kSecondsPerGigaHour = 1e9 * 3600.0;
+constexpr double kBitsPerMbit = 1024.0 * 1024.0;
+
+} // namespace
+
+double
+structureFit(std::uint64_t bits, double avf, const FitParams& params)
+{
+    GPR_ASSERT(avf >= 0.0 && avf <= 1.0, "AVF must be a probability, got ",
+               avf);
+    return params.rawFitPerMbit * (static_cast<double>(bits) /
+                                   kBitsPerMbit) * avf;
+}
+
+double
+executionSeconds(const GpuConfig& config, Cycle cycles)
+{
+    GPR_ASSERT(config.clockMhz > 0, "bad clock");
+    return static_cast<double>(cycles) / (config.clockMhz * 1e6);
+}
+
+double
+executionsInTime(double exec_seconds)
+{
+    GPR_ASSERT(exec_seconds > 0, "bad execution time");
+    return kSecondsPerGigaHour / exec_seconds;
+}
+
+EpfResult
+computeEpf(const GpuConfig& config, Cycle cycles, double avf_register_file,
+           double avf_local_memory, double avf_scalar_register_file,
+           const FitParams& params)
+{
+    EpfResult r;
+    r.fitRegisterFile =
+        structureFit(config.totalRegFileBits(), avf_register_file, params);
+    r.fitLocalMemory =
+        structureFit(config.totalSmemBits(), avf_local_memory, params);
+    if (config.totalScalarRegBits() > 0) {
+        r.fitScalarRegisterFile = structureFit(
+            config.totalScalarRegBits(), avf_scalar_register_file, params);
+    }
+    r.execSeconds = executionSeconds(config, cycles);
+    r.eit = executionsInTime(r.execSeconds);
+    return r;
+}
+
+} // namespace gpr

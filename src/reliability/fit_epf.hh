@@ -1,0 +1,76 @@
+/**
+ * @file
+ * FIT / EIT / EPF metrics (Section II of the paper).
+ *
+ *   FIT_struct = rawFIT/bit x #bits x AVF        (failures in 1e9 hours)
+ *   FIT_GPU    = sum over modelled structures
+ *   EIT        = executions in 1e9 device-hours = 3.6e12 s / t_exec
+ *   EPF        = EIT / FIT_GPU                   (executions per failure)
+ *
+ * The intrinsic per-bit soft-error rate is a technology constant the
+ * paper does not publish; we use the customary 1,000 FIT per Mbit of SRAM
+ * (configurable).  EPF only depends on it as a global scale factor, so
+ * the cross-GPU ordering — the paper's actual finding — is unaffected.
+ */
+
+#ifndef GPR_RELIABILITY_FIT_EPF_HH
+#define GPR_RELIABILITY_FIT_EPF_HH
+
+#include <cstdint>
+
+#include "arch/gpu_config.hh"
+#include "common/types.hh"
+
+namespace gpr {
+
+struct FitParams
+{
+    /** Intrinsic SRAM SER, FIT per Mbit (2^20 bits). */
+    double rawFitPerMbit = 1000.0;
+};
+
+/** FIT rate of one structure given its size and measured AVF. */
+double structureFit(std::uint64_t bits, double avf,
+                    const FitParams& params = {});
+
+/** Kernel wall time in seconds on @p config. */
+double executionSeconds(const GpuConfig& config, Cycle cycles);
+
+/** Executions in 1e9 hours of device time. */
+double executionsInTime(double exec_seconds);
+
+/** Combined reliability/performance summary for one (GPU, workload). */
+struct EpfResult
+{
+    double fitRegisterFile = 0.0;
+    double fitLocalMemory = 0.0;
+    double fitScalarRegisterFile = 0.0;
+
+    double execSeconds = 0.0;
+    double eit = 0.0;
+
+    double
+    fitTotal() const
+    {
+        return fitRegisterFile + fitLocalMemory + fitScalarRegisterFile;
+    }
+    double
+    epf() const
+    {
+        const double fit = fitTotal();
+        return fit > 0.0 ? eit / fit : 0.0;
+    }
+};
+
+/**
+ * Assemble the EPF for one (GPU, workload) given the measured AVFs of the
+ * modelled structures (pass 0 for structures the chip lacks).
+ */
+EpfResult computeEpf(const GpuConfig& config, Cycle cycles,
+                     double avf_register_file, double avf_local_memory,
+                     double avf_scalar_register_file = 0.0,
+                     const FitParams& params = {});
+
+} // namespace gpr
+
+#endif // GPR_RELIABILITY_FIT_EPF_HH

@@ -1,0 +1,61 @@
+#include "reliability/protection.hh"
+
+#include "common/logging.hh"
+
+namespace gpr {
+
+ProtectionScheme
+unprotectedScheme()
+{
+    ProtectionScheme s;
+    s.name = "unprotected";
+    return s;
+}
+
+ProtectionScheme
+parityScheme()
+{
+    ProtectionScheme s;
+    s.name = "parity";
+    s.sdcResidual = 0.0;
+    s.sdcToDue = 1.0;
+    s.dueResidual = 1.0;
+    s.perfOverhead = 0.01;
+    return s;
+}
+
+ProtectionScheme
+eccSecdedScheme()
+{
+    ProtectionScheme s;
+    s.name = "ECC-SECDED";
+    s.sdcResidual = 0.01;
+    s.sdcToDue = 0.0;
+    s.dueResidual = 0.01;
+    s.perfOverhead = 0.03;
+    return s;
+}
+
+const std::vector<ProtectionScheme>&
+builtinProtectionSchemes()
+{
+    static const std::vector<ProtectionScheme> schemes = {
+        unprotectedScheme(),
+        parityScheme(),
+        eccSecdedScheme(),
+    };
+    return schemes;
+}
+
+ProtectedRates
+applyProtection(const ProtectionScheme& scheme, double sdc, double due)
+{
+    GPR_ASSERT(sdc >= 0.0 && due >= 0.0 && sdc + due <= 1.0 + 1e-9,
+               "rates must form a sub-probability");
+    ProtectedRates out;
+    out.sdc = sdc * scheme.sdcResidual;
+    out.due = due * scheme.dueResidual + sdc * scheme.sdcToDue;
+    return out;
+}
+
+} // namespace gpr

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * What-if models for hardware error-protection schemes.
+ *
+ * Section III of the paper motivates EPF as the metric an architect uses
+ * to "quantify the effectiveness of a hardware based error protection
+ * technique, which can be applied to their designs (if needed) along with
+ * a performance cost".  This module provides that what-if: given a
+ * campaign's SDC/DUE split, apply a protection scheme to the structure
+ * and recompute the failure rates and the performance cost.
+ */
+
+#ifndef GPR_RELIABILITY_PROTECTION_HH
+#define GPR_RELIABILITY_PROTECTION_HH
+
+#include <string>
+#include <vector>
+
+namespace gpr {
+
+/**
+ * A protection scheme transforms the (sdc, due) rates of a structure and
+ * taxes performance.  Factors are residual fractions in [0, 1].
+ */
+struct ProtectionScheme
+{
+    std::string name;
+
+    /** Fraction of previously-SDC faults still causing SDC. */
+    double sdcResidual = 1.0;
+    /** Fraction of previously-SDC faults converted to DUE (detection). */
+    double sdcToDue = 0.0;
+    /** Fraction of previously-DUE faults still causing DUE. */
+    double dueResidual = 1.0;
+
+    /** Relative execution-time overhead (e.g. 0.03 = 3 % slower). */
+    double perfOverhead = 0.0;
+};
+
+/** No protection: identity transform. */
+ProtectionScheme unprotectedScheme();
+
+/**
+ * Parity per 32-bit word: single-bit errors are detected, not corrected —
+ * SDCs become DUEs; DUEs stay DUEs.  ~1 % performance cost.
+ */
+ProtectionScheme parityScheme();
+
+/**
+ * SECDED ECC per 32-bit word: single-bit errors corrected.  The single-bit
+ * fault model is fully covered; a small residual accounts for scrub-window
+ * and pipeline-bypass holes.  ~3 % performance cost (read-modify-write
+ * and latency on the protected array).
+ */
+ProtectionScheme eccSecdedScheme();
+
+/** All built-in schemes (for sweeps). */
+const std::vector<ProtectionScheme>& builtinProtectionSchemes();
+
+/** SDC/DUE rates of one structure before/after protection. */
+struct ProtectedRates
+{
+    double sdc = 0.0;
+    double due = 0.0;
+
+    double avf() const { return sdc + due; }
+};
+
+/** Apply @p scheme to measured @p sdc / @p due rates. */
+ProtectedRates applyProtection(const ProtectionScheme& scheme, double sdc,
+                               double due);
+
+} // namespace gpr
+
+#endif // GPR_RELIABILITY_PROTECTION_HH

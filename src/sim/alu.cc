@@ -1,0 +1,161 @@
+#include "sim/alu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace gpr {
+namespace {
+
+std::int32_t
+asInt(Word w)
+{
+    return static_cast<std::int32_t>(w);
+}
+
+Word
+fromInt(std::int32_t v)
+{
+    return static_cast<Word>(v);
+}
+
+Word
+fromFloat(float f)
+{
+    return floatBits(f);
+}
+
+float
+asFloat(Word w)
+{
+    return wordToFloat(w);
+}
+
+/** Saturating float->int32 truncation (hardware cvt.rzi.s32 semantics). */
+Word
+floatToInt(Word a)
+{
+    const float f = asFloat(a);
+    if (std::isnan(f))
+        return 0;
+    if (f >= 2147483648.0f)
+        return fromInt(INT32_MAX);
+    if (f <= -2147483648.0f)
+        return fromInt(INT32_MIN);
+    return fromInt(static_cast<std::int32_t>(f));
+}
+
+} // namespace
+
+Word
+evalAlu(Opcode op, Word a, Word b, Word c)
+{
+    switch (op) {
+      case Opcode::Mov:
+        return a;
+      case Opcode::IAdd:
+        return a + b; // two's-complement wraparound
+      case Opcode::ISub:
+        return a - b;
+      case Opcode::IMul:
+        return a * b; // low 32 bits
+      case Opcode::IMad:
+        return a * b + c;
+      case Opcode::IMin:
+        return fromInt(std::min(asInt(a), asInt(b)));
+      case Opcode::IMax:
+        return fromInt(std::max(asInt(a), asInt(b)));
+      case Opcode::And:
+        return a & b;
+      case Opcode::Or:
+        return a | b;
+      case Opcode::Xor:
+        return a ^ b;
+      case Opcode::Not:
+        return ~a;
+      case Opcode::Shl:
+        return (b & 31u) ? (a << (b & 31u)) : a;
+      case Opcode::Shr:
+        return (b & 31u) ? (a >> (b & 31u)) : a;
+      case Opcode::Shra:
+        return fromInt(asInt(a) >> (b & 31u));
+      case Opcode::FAdd:
+        return fromFloat(asFloat(a) + asFloat(b));
+      case Opcode::FSub:
+        return fromFloat(asFloat(a) - asFloat(b));
+      case Opcode::FMul:
+        return fromFloat(asFloat(a) * asFloat(b));
+      case Opcode::FFma:
+        return fromFloat(std::fma(asFloat(a), asFloat(b), asFloat(c)));
+      case Opcode::FMin:
+        return fromFloat(std::fmin(asFloat(a), asFloat(b)));
+      case Opcode::FMax:
+        return fromFloat(std::fmax(asFloat(a), asFloat(b)));
+      case Opcode::FRcp:
+        return fromFloat(1.0f / asFloat(a));
+      case Opcode::FSqrt:
+        return fromFloat(std::sqrt(asFloat(a)));
+      case Opcode::FExp2:
+        return fromFloat(std::exp2(asFloat(a)));
+      case Opcode::FAbs:
+        return a & 0x7fffffffu;
+      case Opcode::FNeg:
+        return a ^ 0x80000000u;
+      case Opcode::FDiv:
+        return fromFloat(asFloat(a) / asFloat(b));
+      case Opcode::F2i:
+        return floatToInt(a);
+      case Opcode::I2f:
+        return fromFloat(static_cast<float>(asInt(a)));
+      default:
+        panic("evalAlu: opcode ", opMnemonic(op), " is not an ALU op");
+    }
+}
+
+bool
+evalCmpInt(CmpOp cmp, Word a, Word b)
+{
+    const std::int32_t x = asInt(a);
+    const std::int32_t y = asInt(b);
+    switch (cmp) {
+      case CmpOp::Eq:
+        return x == y;
+      case CmpOp::Ne:
+        return x != y;
+      case CmpOp::Lt:
+        return x < y;
+      case CmpOp::Le:
+        return x <= y;
+      case CmpOp::Gt:
+        return x > y;
+      case CmpOp::Ge:
+        return x >= y;
+    }
+    panic("bad CmpOp");
+}
+
+bool
+evalCmpFloat(CmpOp cmp, Word a, Word b)
+{
+    const float x = asFloat(a);
+    const float y = asFloat(b);
+    switch (cmp) {
+      case CmpOp::Eq:
+        return x == y;
+      case CmpOp::Ne:
+        return x != y; // true for NaN operands, like hardware !(EQ)
+      case CmpOp::Lt:
+        return x < y;
+      case CmpOp::Le:
+        return x <= y;
+      case CmpOp::Gt:
+        return x > y;
+      case CmpOp::Ge:
+        return x >= y;
+    }
+    panic("bad CmpOp");
+}
+
+} // namespace gpr

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Pure functional semantics of the ALU opcodes — separated from the core
+ * so every opcode can be unit-tested in isolation.
+ *
+ * All values are 32-bit raw words; float ops reinterpret bits (IEEE-754
+ * binary32, round-to-nearest-even, matching both vendors' default mode).
+ */
+
+#ifndef GPR_SIM_ALU_HH
+#define GPR_SIM_ALU_HH
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace gpr {
+
+/**
+ * Evaluate an ALU/conversion opcode on raw word operands.
+ * @p a, @p b, @p c are the (up to three) sources; unused sources are
+ * ignored.  Only valid for data-computing opcodes (panics otherwise).
+ */
+Word evalAlu(Opcode op, Word a, Word b, Word c);
+
+/** Evaluate an integer comparison (signed 32-bit). */
+bool evalCmpInt(CmpOp cmp, Word a, Word b);
+
+/** Evaluate a float comparison (IEEE semantics: NaN => false, NE true). */
+bool evalCmpFloat(CmpOp cmp, Word a, Word b);
+
+} // namespace gpr
+
+#endif // GPR_SIM_ALU_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The single-bit-flip fault model shared by the simulator and the
+ * reliability layer.
+ */
+
+#ifndef GPR_SIM_FAULT_MODEL_HH
+#define GPR_SIM_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace gpr {
+
+/** Storage structures that can be targeted by injection / ACE analysis. */
+enum class TargetStructure : std::uint8_t
+{
+    VectorRegisterFile,
+    SharedMemory,       ///< local memory in AMD terminology
+    ScalarRegisterFile, ///< Southern Islands only
+};
+
+std::string_view targetStructureName(TargetStructure s);
+
+/**
+ * One transient fault: flip chip-wide bit @p bitIndex of @p structure at
+ * the start of cycle @p cycle.  bitIndex spans every SM's instance of the
+ * structure (bitsPerSm * numSms bits total); unallocated storage is part
+ * of the target space by design — hitting it is how occupancy couples to
+ * AVF.
+ */
+struct FaultSpec
+{
+    TargetStructure structure = TargetStructure::VectorRegisterFile;
+    BitIndex bitIndex = 0;
+    Cycle cycle = 0;
+};
+
+inline std::string_view
+targetStructureName(TargetStructure s)
+{
+    switch (s) {
+      case TargetStructure::VectorRegisterFile:
+        return "register-file";
+      case TargetStructure::SharedMemory:
+        return "local-memory";
+      case TargetStructure::ScalarRegisterFile:
+        return "scalar-register-file";
+    }
+    return "unknown";
+}
+
+} // namespace gpr
+
+#endif // GPR_SIM_FAULT_MODEL_HH

@@ -1,0 +1,236 @@
+#include "sim/gpu.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "arch/occupancy.hh"
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace gpr {
+namespace {
+
+constexpr Cycle kDefaultMaxCycles = 50'000'000;
+
+} // namespace
+
+Gpu::Gpu(const GpuConfig& config)
+    : config_(config)
+{
+    sms_.reserve(config.numSms);
+    for (SmId i = 0; i < config.numSms; ++i)
+        sms_.push_back(std::make_unique<SmCore>(config, i));
+}
+
+std::uint64_t
+Gpu::structureBits(TargetStructure structure) const
+{
+    switch (structure) {
+      case TargetStructure::VectorRegisterFile:
+        return config_.totalRegFileBits();
+      case TargetStructure::ScalarRegisterFile:
+        return config_.totalScalarRegBits();
+      case TargetStructure::SharedMemory:
+        return config_.totalSmemBits();
+    }
+    panic("bad structure");
+}
+
+void
+Gpu::applyFault(const FaultSpec& fault)
+{
+    std::uint64_t bits_per_sm = 0;
+    switch (fault.structure) {
+      case TargetStructure::VectorRegisterFile:
+        bits_per_sm = std::uint64_t{config_.regFileWordsPerSm} * 32;
+        break;
+      case TargetStructure::ScalarRegisterFile:
+        bits_per_sm = std::uint64_t{config_.scalarRegWordsPerSm} * 32;
+        break;
+      case TargetStructure::SharedMemory:
+        bits_per_sm = std::uint64_t{config_.smemWordsPerSm()} * 32;
+        break;
+    }
+    GPR_ASSERT(bits_per_sm > 0, "fault targets a structure this chip "
+               "does not have");
+    const SmId sm = static_cast<SmId>(fault.bitIndex / bits_per_sm);
+    const BitIndex local = fault.bitIndex % bits_per_sm;
+    GPR_ASSERT(sm < sms_.size(), "fault bit index out of range");
+
+    switch (fault.structure) {
+      case TargetStructure::VectorRegisterFile:
+        sms_[sm]->flipVrfBit(local);
+        break;
+      case TargetStructure::ScalarRegisterFile:
+        sms_[sm]->flipSrfBit(local);
+        break;
+      case TargetStructure::SharedMemory:
+        sms_[sm]->flipLdsBit(local);
+        break;
+    }
+}
+
+void
+Gpu::dispatchBlocks(RunContext& ctx, Cycle now)
+{
+    // Round-robin over SMs, one block per step, until nothing fits.
+    bool any_progress = true;
+    while (next_block_ < num_blocks_ && any_progress) {
+        any_progress = false;
+        for (std::uint32_t probe = 0;
+             probe < sms_.size() && next_block_ < num_blocks_; ++probe) {
+            const std::uint32_t sm =
+                (dispatch_rr_ + probe) % sms_.size();
+            if (sms_[sm]->tryDispatchBlock(ctx, next_block_, now)) {
+                ++next_block_;
+                any_progress = true;
+            }
+        }
+        dispatch_rr_ = (dispatch_rr_ + 1) % sms_.size();
+    }
+}
+
+RunResult
+Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
+         const RunOptions& options)
+{
+    // Configuration validation (throws on user error).  This also
+    // guarantees that at least one block fits on an SM.
+    computeOccupancy(config_, prog, launch.threadsPerBlock(),
+                     std::max(1u, launch.numBlocks()));
+    GPR_ASSERT(launch.numBlocks() > 0, "empty grid");
+
+    RunResult result;
+    RunContext ctx;
+    ctx.config = &config_;
+    ctx.program = &prog;
+    ctx.launch = &launch;
+    ctx.memory = &image;
+    ctx.observer = options.observer;
+    ctx.stats = &result.stats;
+
+    ctx.warpsPerBlock = ceilDiv(launch.threadsPerBlock(),
+                                config_.warpWidth);
+    ctx.vrfWordsPerBlock =
+        ctx.warpsPerBlock * config_.warpWidth * prog.numVRegs();
+    ctx.srfWordsPerBlock = ctx.warpsPerBlock * prog.numSRegs();
+    ctx.ldsWordsPerBlock = ceilDiv(prog.smemBytes(), 4u);
+
+    for (auto& sm : sms_)
+        sm->reset();
+    next_block_ = 0;
+    num_blocks_ = launch.numBlocks();
+    dispatch_rr_ = 0;
+
+    const Cycle max_cycles =
+        options.maxCycles ? options.maxCycles : kDefaultMaxCycles;
+    bool fault_pending = options.fault.has_value();
+
+    // Occupancy integrators (word-cycles / warp-slot-cycles).
+    double vrf_occ_acc = 0.0;
+    double srf_occ_acc = 0.0;
+    double lds_occ_acc = 0.0;
+    double warp_occ_acc = 0.0;
+
+    Cycle now = 0;
+    dispatchBlocks(ctx, now);
+
+    std::uint64_t last_completed = 0;
+    auto finalize = [&](TrapKind trap) {
+        result.trap = trap;
+        result.stats.cycles = now + 1;
+        const double cycles = static_cast<double>(result.stats.cycles);
+        const double chip_vrf =
+            static_cast<double>(config_.regFileWordsPerSm) * config_.numSms;
+        const double chip_srf =
+            static_cast<double>(config_.scalarRegWordsPerSm) *
+            config_.numSms;
+        const double chip_lds =
+            static_cast<double>(config_.smemWordsPerSm()) * config_.numSms;
+        const double chip_warps =
+            static_cast<double>(config_.maxWarpsPerSm) * config_.numSms;
+        result.stats.avgRegFileOccupancy =
+            chip_vrf > 0 ? vrf_occ_acc / (cycles * chip_vrf) : 0.0;
+        result.stats.avgScalarRegOccupancy =
+            chip_srf > 0 ? srf_occ_acc / (cycles * chip_srf) : 0.0;
+        result.stats.avgSmemOccupancy =
+            chip_lds > 0 ? lds_occ_acc / (cycles * chip_lds) : 0.0;
+        result.stats.avgWarpOccupancy =
+            chip_warps > 0 ? warp_occ_acc / (cycles * chip_warps) : 0.0;
+        if (ctx.observer)
+            ctx.observer->onKernelEnd(now);
+        result.memory = std::move(image);
+        return result;
+    };
+
+    while (result.stats.blocksCompleted < num_blocks_) {
+        if (fault_pending && now >= options.fault->cycle) {
+            applyFault(*options.fault);
+            fault_pending = false;
+        }
+
+        bool issued = false;
+        Cycle next_event = std::numeric_limits<Cycle>::max();
+        for (auto& sm : sms_) {
+            const auto trap = sm->stepCycle(ctx, now, issued, next_event);
+            if (trap)
+                return finalize(*trap);
+        }
+
+        // Refill SMs after block completions.
+        if (result.stats.blocksCompleted != last_completed) {
+            last_completed = result.stats.blocksCompleted;
+            if (next_block_ < num_blocks_)
+                dispatchBlocks(ctx, now);
+        }
+
+        if (result.stats.blocksCompleted >= num_blocks_) {
+            // Account the final cycle before finishing.
+            for (const auto& sm : sms_) {
+                vrf_occ_acc += sm->allocatedVrfWords();
+                srf_occ_acc += sm->allocatedSrfWords();
+                lds_occ_acc += sm->allocatedLdsWords();
+                warp_occ_acc += sm->residentWarps();
+            }
+            break;
+        }
+
+        Cycle next;
+        if (issued) {
+            next = now + 1;
+        } else {
+            if (next_event == std::numeric_limits<Cycle>::max()) {
+                // Nothing can ever issue again: warps all parked at
+                // barriers that cannot be satisfied.
+                return finalize(TrapKind::BarrierDeadlock);
+            }
+            next = std::max(now + 1, next_event);
+        }
+        if (fault_pending && options.fault->cycle > now) {
+            next = std::min(next, std::max(now + 1, options.fault->cycle));
+        }
+
+        // Integrate occupancy over [now, next).
+        const double dt = static_cast<double>(next - now);
+        std::uint64_t vrf_alloc = 0, srf_alloc = 0, lds_alloc = 0,
+                      warps_resident = 0;
+        for (const auto& sm : sms_) {
+            vrf_alloc += sm->allocatedVrfWords();
+            srf_alloc += sm->allocatedSrfWords();
+            lds_alloc += sm->allocatedLdsWords();
+            warps_resident += sm->residentWarps();
+        }
+        vrf_occ_acc += static_cast<double>(vrf_alloc) * dt;
+        srf_occ_acc += static_cast<double>(srf_alloc) * dt;
+        lds_occ_acc += static_cast<double>(lds_alloc) * dt;
+        warp_occ_acc += static_cast<double>(warps_resident) * dt;
+
+        now = next;
+        if (now > max_cycles)
+            return finalize(TrapKind::Watchdog);
+    }
+
+    return finalize(TrapKind::None);
+}
+
+} // namespace gpr

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The whole-device simulator: block dispatcher, cycle loop, fault
+ * application, occupancy integration and watchdog.
+ *
+ * A Gpu is constructed once per worker thread and reused across runs
+ * (run() fully resets architectural state), which keeps fault-injection
+ * campaigns cheap.  Runs are bit-deterministic: same (program, launch,
+ * image, options) in, same result out, regardless of what ran before.
+ */
+
+#ifndef GPR_SIM_GPU_HH
+#define GPR_SIM_GPU_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "sim/fault_model.hh"
+#include "sim/launch.hh"
+#include "sim/memory_image.hh"
+#include "sim/observer.hh"
+#include "sim/sm_core.hh"
+#include "sim/stats.hh"
+#include "sim/trap.hh"
+
+namespace gpr {
+
+struct RunOptions
+{
+    /** Hard cycle budget; 0 selects the default cap (50M cycles). */
+    Cycle maxCycles = 0;
+    /** Optional single bit flip to apply during the run. */
+    std::optional<FaultSpec> fault;
+    /** Optional access-trace observer (ACE analysis). */
+    SimObserver* observer = nullptr;
+};
+
+struct RunResult
+{
+    TrapKind trap = TrapKind::None;
+    SimStats stats;
+    MemoryImage memory;
+
+    bool clean() const { return trap == TrapKind::None; }
+};
+
+class Gpu
+{
+  public:
+    explicit Gpu(const GpuConfig& config);
+
+    Gpu(const Gpu&) = delete;
+    Gpu& operator=(const Gpu&) = delete;
+
+    const GpuConfig& config() const { return config_; }
+
+    /**
+     * Execute @p prog over @p launch against a copy-in @p image.
+     * Throws FatalError on configuration errors (kernel cannot launch);
+     * abnormal *simulation* outcomes are reported via RunResult::trap.
+     */
+    RunResult run(const Program& prog, const LaunchConfig& launch,
+                  MemoryImage image, const RunOptions& options = {});
+
+    /** Total bits of @p structure across the whole chip. */
+    std::uint64_t structureBits(TargetStructure structure) const;
+
+  private:
+    void applyFault(const FaultSpec& fault);
+    void dispatchBlocks(RunContext& ctx, Cycle now);
+
+    const GpuConfig& config_;
+    std::vector<std::unique_ptr<SmCore>> sms_;
+
+    // Per-run dispatch state.
+    std::uint32_t next_block_ = 0;
+    std::uint32_t num_blocks_ = 0;
+    std::uint32_t dispatch_rr_ = 0;
+};
+
+} // namespace gpr
+
+#endif // GPR_SIM_GPU_HH

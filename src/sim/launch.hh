@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Kernel launch geometry and parameters (grid/block dims, argument words).
+ */
+
+#ifndef GPR_SIM_LAUNCH_HH
+#define GPR_SIM_LAUNCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace gpr {
+
+/** Up to 2-D grids and blocks (all ten workloads fit in 2-D). */
+struct LaunchConfig
+{
+    std::uint32_t gridX = 1;
+    std::uint32_t gridY = 1;
+    std::uint32_t blockX = 1;
+    std::uint32_t blockY = 1;
+
+    /** Kernel parameters as raw 32-bit words (LDPARAM reads these). */
+    std::vector<Word> params;
+
+    std::uint32_t numBlocks() const { return gridX * gridY; }
+    std::uint32_t threadsPerBlock() const { return blockX * blockY; }
+    std::uint64_t totalThreads() const
+    {
+        return static_cast<std::uint64_t>(numBlocks()) * threadsPerBlock();
+    }
+
+    void
+    addParam(Word w)
+    {
+        params.push_back(w);
+    }
+    void
+    addParamInt(std::int32_t v)
+    {
+        params.push_back(static_cast<Word>(v));
+    }
+    void
+    addParamAddr(Addr a)
+    {
+        params.push_back(static_cast<Word>(a));
+    }
+    void
+    addParamFloat(float f)
+    {
+        params.push_back(floatBits(f));
+    }
+};
+
+} // namespace gpr
+
+#endif // GPR_SIM_LAUNCH_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The global-memory image a kernel runs against.
+ *
+ * Workloads build an image (inputs + zeroed outputs), the simulator runs
+ * against a private copy, and the workload then compares output buffers
+ * against a host-computed golden.  Word-granular, byte-addressed.
+ */
+
+#ifndef GPR_SIM_MEMORY_IMAGE_HH
+#define GPR_SIM_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gpr {
+
+/** A named span of global memory (byte address + word count). */
+struct Buffer
+{
+    Addr byteAddr = 0;
+    std::uint32_t words = 0;
+
+    Addr byteAddrOfWord(std::uint32_t i) const
+    {
+        GPR_ASSERT(i < words, "buffer index out of range");
+        return byteAddr + static_cast<Addr>(i) * 4;
+    }
+};
+
+class MemoryImage
+{
+  public:
+    MemoryImage() = default;
+
+    /** Reserve a word-aligned buffer of @p words 32-bit words. */
+    Buffer
+    allocBuffer(std::uint32_t words)
+    {
+        Buffer b;
+        b.byteAddr = static_cast<Addr>(words_.size()) * 4;
+        b.words = words;
+        words_.resize(words_.size() + words, 0u);
+        return b;
+    }
+
+    std::uint32_t sizeWords() const
+    {
+        return static_cast<std::uint32_t>(words_.size());
+    }
+    Addr sizeBytes() const { return static_cast<Addr>(words_.size()) * 4; }
+
+    /** In-range check for a word access at byte address @p addr. */
+    bool
+    inBounds(Addr addr) const
+    {
+        return addr / 4 < words_.size();
+    }
+
+    /** Word read at byte address (aligned down to the word). */
+    Word
+    readWord(Addr addr) const
+    {
+        GPR_ASSERT(inBounds(addr), "global read out of bounds");
+        return words_[addr / 4];
+    }
+
+    void
+    writeWord(Addr addr, Word value)
+    {
+        GPR_ASSERT(inBounds(addr), "global write out of bounds");
+        words_[addr / 4] = value;
+    }
+
+    // Typed helpers for workload setup / checking.
+    void setWord(const Buffer& b, std::uint32_t i, Word v)
+    {
+        writeWord(b.byteAddrOfWord(i), v);
+    }
+    Word getWord(const Buffer& b, std::uint32_t i) const
+    {
+        return readWord(b.byteAddrOfWord(i));
+    }
+    void setFloat(const Buffer& b, std::uint32_t i, float f)
+    {
+        setWord(b, i, floatBits(f));
+    }
+    float getFloat(const Buffer& b, std::uint32_t i) const
+    {
+        return wordToFloat(getWord(b, i));
+    }
+    void setInt(const Buffer& b, std::uint32_t i, std::int32_t v)
+    {
+        setWord(b, i, static_cast<Word>(v));
+    }
+    std::int32_t getInt(const Buffer& b, std::uint32_t i) const
+    {
+        return static_cast<std::int32_t>(getWord(b, i));
+    }
+
+  private:
+    std::vector<Word> words_;
+};
+
+} // namespace gpr
+
+#endif // GPR_SIM_MEMORY_IMAGE_HH

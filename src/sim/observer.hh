@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Instrumentation interface for lifetime analysis (ACE) and tracing.
+ *
+ * The simulator invokes these hooks on every architectural access to the
+ * studied structures.  Word indices are SM-relative; (sm, word) uniquely
+ * names a 32-bit word of the structure.  A null observer costs nothing on
+ * the hot path (pointer check only), which keeps fault-injection campaigns
+ * fast.
+ */
+
+#ifndef GPR_SIM_OBSERVER_HH
+#define GPR_SIM_OBSERVER_HH
+
+#include "common/types.hh"
+#include "sim/fault_model.hh"
+
+namespace gpr {
+
+class SimObserver
+{
+  public:
+    virtual ~SimObserver() = default;
+
+    /** A word of @p structure was read by an instruction. */
+    virtual void
+    onRead(TargetStructure structure, SmId sm, std::uint32_t word,
+           Cycle cycle)
+    {
+        (void)structure; (void)sm; (void)word; (void)cycle;
+    }
+
+    /** A word of @p structure was overwritten by an instruction. */
+    virtual void
+    onWrite(TargetStructure structure, SmId sm, std::uint32_t word,
+            Cycle cycle)
+    {
+        (void)structure; (void)sm; (void)word; (void)cycle;
+    }
+
+    /**
+     * Words [first, first+count) were allocated for a block (contents are
+     * architecturally undefined — treated as a write for conservative
+     * lifetime accounting).
+     */
+    virtual void
+    onAlloc(TargetStructure structure, SmId sm, std::uint32_t first,
+            std::uint32_t count, Cycle cycle)
+    {
+        (void)structure; (void)sm; (void)first; (void)count; (void)cycle;
+    }
+
+    /** Words [first, first+count) were released at block completion. */
+    virtual void
+    onFree(TargetStructure structure, SmId sm, std::uint32_t first,
+           std::uint32_t count, Cycle cycle)
+    {
+        (void)structure; (void)sm; (void)first; (void)count; (void)cycle;
+    }
+
+    /** The kernel finished (cleanly or by trap) at @p cycle. */
+    virtual void onKernelEnd(Cycle cycle) { (void)cycle; }
+};
+
+} // namespace gpr
+
+#endif // GPR_SIM_OBSERVER_HH

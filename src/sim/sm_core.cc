@@ -1,0 +1,937 @@
+#include "sim/sm_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/alu.hh"
+
+namespace gpr {
+
+SmCore::SmCore(const GpuConfig& config, SmId id)
+    : config_(config),
+      id_(id),
+      vrf_(config.regFileWordsPerSm),
+      lds_(config.smemWordsPerSm())
+{
+    if (config.scalarRegWordsPerSm > 0)
+        srf_.emplace(config.scalarRegWordsPerSm);
+
+    blocks_.resize(config.maxBlocksPerSm);
+    warps_.resize(config.maxWarpsPerSm);
+    warp_slot_used_.assign(config.maxWarpsPerSm, false);
+    warp_age_.assign(config.maxWarpsPerSm, 0);
+}
+
+void
+SmCore::reset()
+{
+    vrf_ = WordStorage(config_.regFileWordsPerSm);
+    if (srf_)
+        srf_.emplace(config_.scalarRegWordsPerSm);
+    lds_ = WordStorage(config_.smemWordsPerSm());
+
+    for (auto& b : blocks_)
+        b = BlockContext{};
+    for (auto& w : warps_)
+        w = WarpContext{};
+    std::fill(warp_slot_used_.begin(), warp_slot_used_.end(), false);
+    std::fill(warp_age_.begin(), warp_age_.end(), 0);
+    resident_blocks_ = 0;
+    resident_warps_ = 0;
+    dispatch_seq_ = 0;
+    rr_cursor_ = 0;
+    gto_last_ = -1;
+}
+
+void
+SmCore::flipSrfBit(BitIndex bit)
+{
+    GPR_ASSERT(srf_, "no scalar register file on this architecture");
+    srf_->flipBitAt(bit);
+}
+
+bool
+SmCore::tryDispatchBlock(RunContext& ctx, std::uint32_t block_id, Cycle now)
+{
+    // Find a free block slot.
+    std::int32_t slot = -1;
+    for (std::uint32_t i = 0; i < blocks_.size(); ++i) {
+        if (!blocks_[i].active) {
+            slot = static_cast<std::int32_t>(i);
+            break;
+        }
+    }
+    if (slot < 0)
+        return false;
+
+    const std::uint32_t warps_needed = ctx.warpsPerBlock;
+    if (resident_warps_ + warps_needed > config_.maxWarpsPerSm)
+        return false;
+
+    // Allocate storage: vector RF, scalar RF, LDS.
+    const auto vrf_base = ctx.vrfWordsPerBlock
+                              ? vrf_.allocate(ctx.vrfWordsPerBlock)
+                              : std::optional<std::uint32_t>(0u);
+    if (!vrf_base)
+        return false;
+
+    std::optional<std::uint32_t> srf_base = 0u;
+    if (ctx.srfWordsPerBlock) {
+        GPR_ASSERT(srf_, "scalar registers demanded on a scalar-less GPU");
+        srf_base = srf_->allocate(ctx.srfWordsPerBlock);
+        if (!srf_base) {
+            if (ctx.vrfWordsPerBlock)
+                vrf_.release(*vrf_base, ctx.vrfWordsPerBlock);
+            return false;
+        }
+    }
+
+    std::optional<std::uint32_t> lds_base = 0u;
+    if (ctx.ldsWordsPerBlock) {
+        lds_base = lds_.allocate(ctx.ldsWordsPerBlock);
+        if (!lds_base) {
+            if (ctx.vrfWordsPerBlock)
+                vrf_.release(*vrf_base, ctx.vrfWordsPerBlock);
+            if (ctx.srfWordsPerBlock)
+                srf_->release(*srf_base, ctx.srfWordsPerBlock);
+            return false;
+        }
+    }
+
+    BlockContext& block = blocks_[static_cast<std::size_t>(slot)];
+    block.active = true;
+    block.blockId = block_id;
+    block.bx = block_id % ctx.launch->gridX;
+    block.by = block_id / ctx.launch->gridX;
+    block.vrfBase = *vrf_base;
+    block.srfBase = *srf_base;
+    block.ldsBase = *lds_base;
+    block.warpSlots.clear();
+    block.liveWarps = 0;
+    block.barrierArrived = 0;
+
+    if (ctx.observer) {
+        if (ctx.vrfWordsPerBlock) {
+            ctx.observer->onAlloc(TargetStructure::VectorRegisterFile, id_,
+                                  block.vrfBase, ctx.vrfWordsPerBlock, now);
+        }
+        if (ctx.srfWordsPerBlock) {
+            ctx.observer->onAlloc(TargetStructure::ScalarRegisterFile, id_,
+                                  block.srfBase, ctx.srfWordsPerBlock, now);
+        }
+        if (ctx.ldsWordsPerBlock) {
+            ctx.observer->onAlloc(TargetStructure::SharedMemory, id_,
+                                  block.ldsBase, ctx.ldsWordsPerBlock, now);
+        }
+    }
+
+    // Populate warps.
+    const std::uint32_t threads = ctx.launch->threadsPerBlock();
+    for (std::uint32_t w = 0; w < warps_needed; ++w) {
+        std::int32_t wslot = -1;
+        for (std::uint32_t i = 0; i < warp_slot_used_.size(); ++i) {
+            if (!warp_slot_used_[i]) {
+                wslot = static_cast<std::int32_t>(i);
+                break;
+            }
+        }
+        GPR_ASSERT(wslot >= 0, "warp slot accounting is broken");
+        warp_slot_used_[static_cast<std::size_t>(wslot)] = true;
+        warp_age_[static_cast<std::size_t>(wslot)] = dispatch_seq_++;
+
+        WarpContext& warp = warps_[static_cast<std::size_t>(wslot)];
+        warp = WarpContext{};
+        warp.blockSlot = static_cast<std::uint32_t>(slot);
+        warp.warpInBlock = w;
+        const std::uint32_t first_thread = w * config_.warpWidth;
+        warp.laneCount = std::min(config_.warpWidth,
+                                  threads - std::min(threads, first_thread));
+        GPR_ASSERT(warp.laneCount > 0, "empty warp dispatched");
+        warp.activeMask = fullMask(warp.laneCount);
+        warp.status = WarpStatus::Ready;
+        warp.readyCycle = now + 1;
+        warp.vregReady.assign(ctx.program->numVRegs(), 0);
+        warp.sregReady.assign(ctx.program->numSRegs(), 0);
+        warp.stack.reserve(8);
+
+        block.warpSlots.push_back(static_cast<std::uint32_t>(wslot));
+        ++block.liveWarps;
+    }
+
+    resident_warps_ += warps_needed;
+    ++resident_blocks_;
+    return true;
+}
+
+std::uint32_t
+SmCore::vrfIndex(const WarpContext& w, RegIndex r, unsigned lane) const
+{
+    const BlockContext& block = blocks_[w.blockSlot];
+    return block.vrfBase +
+           (w.warpInBlock * static_cast<std::uint32_t>(
+                                w.vregReady.size()) + r) *
+               config_.warpWidth +
+           lane;
+}
+
+std::uint32_t
+SmCore::srfIndex(const WarpContext& w, RegIndex r) const
+{
+    const BlockContext& block = blocks_[w.blockSlot];
+    return block.srfBase +
+           w.warpInBlock * static_cast<std::uint32_t>(w.sregReady.size()) +
+           r;
+}
+
+Word
+SmCore::readSpecial(const RunContext& ctx, const WarpContext& w,
+                    SpecialReg sr, unsigned lane) const
+{
+    const BlockContext& block = blocks_[w.blockSlot];
+    const LaunchConfig& launch = *ctx.launch;
+    const std::uint32_t linear = w.warpInBlock * config_.warpWidth + lane;
+
+    switch (sr) {
+      case SpecialReg::TidX:
+        return linear % launch.blockX;
+      case SpecialReg::TidY:
+        return linear / launch.blockX;
+      case SpecialReg::CtaIdX:
+        return block.bx;
+      case SpecialReg::CtaIdY:
+        return block.by;
+      case SpecialReg::NTidX:
+        return launch.blockX;
+      case SpecialReg::NTidY:
+        return launch.blockY;
+      case SpecialReg::NCtaIdX:
+        return launch.gridX;
+      case SpecialReg::NCtaIdY:
+        return launch.gridY;
+      case SpecialReg::Lane:
+        return lane;
+      case SpecialReg::WarpId:
+        return w.warpInBlock;
+      default:
+        panic("bad special register");
+    }
+}
+
+Word
+SmCore::readUniformOperand(RunContext& ctx, const WarpContext& w,
+                           const Operand& op, Cycle now)
+{
+    switch (op.kind) {
+      case OperandKind::Imm:
+        return op.imm;
+      case OperandKind::SReg: {
+        const std::uint32_t idx = srfIndex(w, op.index);
+        if (ctx.observer) {
+            ctx.observer->onRead(TargetStructure::ScalarRegisterFile, id_,
+                                 idx, now);
+        }
+        return srf_->read(idx);
+      }
+      default:
+        panic("operand is not uniform: ", op.toString());
+    }
+}
+
+Word
+SmCore::readLaneOperand(RunContext& ctx, const WarpContext& w,
+                        const Operand& op, unsigned lane, Cycle now,
+                        Word uniform_value)
+{
+    if (op.kind != OperandKind::VReg)
+        return uniform_value;
+    const std::uint32_t idx = vrfIndex(w, op.index, lane);
+    if (ctx.observer) {
+        ctx.observer->onRead(TargetStructure::VectorRegisterFile, id_, idx,
+                             now);
+    }
+    return vrf_.read(idx);
+}
+
+void
+SmCore::writeVReg(RunContext& ctx, const WarpContext& w, RegIndex r,
+                  unsigned lane, Word value, Cycle now)
+{
+    const std::uint32_t idx = vrfIndex(w, r, lane);
+    vrf_.write(idx, value);
+    if (ctx.observer) {
+        ctx.observer->onWrite(TargetStructure::VectorRegisterFile, id_, idx,
+                              now);
+    }
+}
+
+bool
+SmCore::canIssue(const RunContext& ctx, const WarpContext& w, Cycle now,
+                 Cycle& stall_until) const
+{
+    Cycle blocked = w.readyCycle;
+    const Instruction& inst = ctx.program->inst(w.pc);
+    const OpTraits& t = inst.traits();
+
+    auto track_reg = [&](const Operand& op) {
+        if (op.kind == OperandKind::VReg)
+            blocked = std::max(blocked, w.vregReady[op.index]);
+        else if (op.kind == OperandKind::SReg)
+            blocked = std::max(blocked, w.sregReady[op.index]);
+    };
+
+    if (inst.guard != kNoPred) {
+        blocked = std::max(
+            blocked, w.predReady[static_cast<unsigned>(inst.guard)]);
+    }
+    for (unsigned s = 0; s < t.numSrcs; ++s)
+        track_reg(inst.src[s]);
+    if (t.writesDst)
+        track_reg(inst.dst);
+    if (t.writesPred)
+        blocked = std::max(blocked, w.predReady[inst.predDst]);
+    if (t.readsPredSrc)
+        blocked = std::max(blocked, w.predReady[inst.predSrc]);
+
+    if (blocked > now) {
+        stall_until = blocked;
+        return false;
+    }
+    return true;
+}
+
+void
+SmCore::popToNextPath(WarpContext& w, bool& underflow)
+{
+    underflow = false;
+    while (!w.stack.empty()) {
+        const ReconvEntry top = w.stack.back();
+        w.stack.pop_back();
+        const LaneMask live = top.mask & ~w.exitedMask;
+        if (live == 0)
+            continue;
+        w.pc = top.pc;
+        w.activeMask = live;
+        return;
+    }
+    underflow = true;
+}
+
+void
+SmCore::finishWarp(RunContext& ctx, WarpContext& w, Cycle now)
+{
+    w.status = WarpStatus::Finished;
+    w.activeMask = 0;
+    BlockContext& block = blocks_[w.blockSlot];
+    GPR_ASSERT(block.liveWarps > 0, "block live-warp accounting broken");
+    --block.liveWarps;
+
+    if (block.liveWarps == 0) {
+        completeBlock(ctx, block, now);
+    } else {
+        // An exited warp implicitly satisfies any outstanding barrier.
+        releaseBarrierIfReady(ctx, block, now);
+    }
+}
+
+void
+SmCore::releaseBarrierIfReady(RunContext& ctx, BlockContext& block,
+                              Cycle now)
+{
+    if (block.barrierArrived == 0)
+        return;
+    // Release when every live warp of the block is parked at the barrier.
+    std::uint32_t waiting = 0;
+    for (std::uint32_t slot : block.warpSlots) {
+        if (warps_[slot].status == WarpStatus::AtBarrier)
+            ++waiting;
+    }
+    if (waiting < block.liveWarps)
+        return;
+
+    for (std::uint32_t slot : block.warpSlots) {
+        WarpContext& w = warps_[slot];
+        if (w.status == WarpStatus::AtBarrier) {
+            w.status = WarpStatus::Ready;
+            w.readyCycle = now + 1;
+        }
+    }
+    block.barrierArrived = 0;
+    if (ctx.stats)
+        ++ctx.stats->barriersExecuted;
+}
+
+void
+SmCore::completeBlock(RunContext& ctx, BlockContext& block, Cycle now)
+{
+    if (ctx.vrfWordsPerBlock) {
+        vrf_.release(block.vrfBase, ctx.vrfWordsPerBlock);
+        if (ctx.observer) {
+            ctx.observer->onFree(TargetStructure::VectorRegisterFile, id_,
+                                 block.vrfBase, ctx.vrfWordsPerBlock, now);
+        }
+    }
+    if (ctx.srfWordsPerBlock) {
+        srf_->release(block.srfBase, ctx.srfWordsPerBlock);
+        if (ctx.observer) {
+            ctx.observer->onFree(TargetStructure::ScalarRegisterFile, id_,
+                                 block.srfBase, ctx.srfWordsPerBlock, now);
+        }
+    }
+    if (ctx.ldsWordsPerBlock) {
+        lds_.release(block.ldsBase, ctx.ldsWordsPerBlock);
+        if (ctx.observer) {
+            ctx.observer->onFree(TargetStructure::SharedMemory, id_,
+                                 block.ldsBase, ctx.ldsWordsPerBlock, now);
+        }
+    }
+
+    for (std::uint32_t slot : block.warpSlots)
+        warp_slot_used_[slot] = false;
+
+    GPR_ASSERT(resident_warps_ >=
+                   static_cast<std::uint32_t>(block.warpSlots.size()),
+               "warp residency accounting broken");
+    resident_warps_ -=
+        static_cast<std::uint32_t>(block.warpSlots.size());
+    GPR_ASSERT(resident_blocks_ > 0, "block residency accounting broken");
+    --resident_blocks_;
+    block.active = false;
+    if (ctx.stats)
+        ++ctx.stats->blocksCompleted;
+}
+
+std::optional<TrapKind>
+SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
+{
+    const Instruction& inst = ctx.program->inst(w.pc);
+    const OpTraits& t = inst.traits();
+    const LatencyModel& lat = config_.latency;
+
+    if (ctx.stats) {
+        ++ctx.stats->warpInstructions;
+        ctx.stats->threadInstructions +=
+            static_cast<std::uint64_t>(popcount(
+                static_cast<Word>(w.activeMask & 0xffffffffu))) +
+            popcount(static_cast<Word>(w.activeMask >> 32));
+    }
+
+    // Lanes this instruction affects (guard applied); BRA and EXIT use the
+    // guard as the *condition* instead, handled in their cases.
+    LaneMask exec = w.activeMask;
+    if (inst.guard != kNoPred && inst.op != Opcode::Bra &&
+        inst.op != Opcode::Exit) {
+        const LaneMask p = w.preds[static_cast<unsigned>(inst.guard)];
+        exec &= inst.guardNegate ? ~p : p;
+    }
+
+    // Consume the issue slot.
+    w.readyCycle = now + config_.warpIssueInterval;
+
+    auto for_each_lane = [&](LaneMask mask, auto&& fn) {
+        for (unsigned lane = 0; lane < config_.warpWidth; ++lane) {
+            if (mask & (LaneMask{1} << lane))
+                fn(lane);
+        }
+    };
+
+    auto category_latency = [&](OpCategory cat) -> Cycle {
+        switch (cat) {
+          case OpCategory::Misc:
+            return lat.misc;
+          case OpCategory::IntAlu:
+            return lat.intAlu;
+          case OpCategory::FloatAlu:
+            return lat.floatAlu;
+          case OpCategory::Sfu:
+            return lat.sfu;
+          case OpCategory::Compare:
+            return lat.compare;
+          default:
+            return lat.misc;
+        }
+    };
+
+    auto retire_dst = [&](Cycle ready) {
+        if (inst.dst.kind == OperandKind::VReg)
+            w.vregReady[inst.dst.index] = ready;
+        else if (inst.dst.kind == OperandKind::SReg)
+            w.sregReady[inst.dst.index] = ready;
+    };
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        ++w.pc;
+        return std::nullopt;
+
+      case Opcode::S2r: {
+        const SpecialReg sr = inst.src[0].sreg;
+        if (inst.dst.kind == OperandKind::SReg) {
+            // Uniform special only (verified): read via lane 0.
+            const Word v = readSpecial(ctx, w, sr, 0);
+            const std::uint32_t idx = srfIndex(w, inst.dst.index);
+            srf_->write(idx, v);
+            if (ctx.observer) {
+                ctx.observer->onWrite(TargetStructure::ScalarRegisterFile,
+                                      id_, idx, now);
+            }
+        } else {
+            for_each_lane(exec, [&](unsigned lane) {
+                writeVReg(ctx, w, inst.dst.index, lane,
+                          readSpecial(ctx, w, sr, lane), now);
+            });
+        }
+        retire_dst(now + lat.misc);
+        ++w.pc;
+        return std::nullopt;
+      }
+
+      case Opcode::LdParam: {
+        const std::uint32_t pidx = inst.src[0].imm;
+        GPR_ASSERT(pidx < ctx.launch->params.size(),
+                   "kernel reads parameter ", pidx, " but only ",
+                   ctx.launch->params.size(), " were provided");
+        const Word v = ctx.launch->params[pidx];
+        if (inst.dst.kind == OperandKind::SReg) {
+            const std::uint32_t idx = srfIndex(w, inst.dst.index);
+            srf_->write(idx, v);
+            if (ctx.observer) {
+                ctx.observer->onWrite(TargetStructure::ScalarRegisterFile,
+                                      id_, idx, now);
+            }
+        } else {
+            for_each_lane(exec, [&](unsigned lane) {
+                writeVReg(ctx, w, inst.dst.index, lane, v, now);
+            });
+        }
+        retire_dst(now + lat.misc);
+        ++w.pc;
+        return std::nullopt;
+      }
+
+      // --- Generic ALU / conversions / MOV / SELP ------------------------
+      case Opcode::Mov:
+      case Opcode::IAdd:
+      case Opcode::ISub:
+      case Opcode::IMul:
+      case Opcode::IMad:
+      case Opcode::IMin:
+      case Opcode::IMax:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Not:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Shra:
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FFma:
+      case Opcode::FMin:
+      case Opcode::FMax:
+      case Opcode::FRcp:
+      case Opcode::FSqrt:
+      case Opcode::FExp2:
+      case Opcode::FAbs:
+      case Opcode::FNeg:
+      case Opcode::FDiv:
+      case Opcode::F2i:
+      case Opcode::I2f:
+      case Opcode::Selp: {
+        // Pre-read uniform sources once (immediates / scalar registers).
+        std::array<Word, 3> uni{};
+        for (unsigned s = 0; s < t.numSrcs; ++s) {
+            if (inst.src[s].kind != OperandKind::VReg)
+                uni[s] = readUniformOperand(ctx, w, inst.src[s], now);
+        }
+
+        if (inst.dst.kind == OperandKind::SReg) {
+            // Scalar ALU: executes once per wavefront.
+            Word v;
+            if (inst.op == Opcode::Selp) {
+                panic("SELP cannot target a scalar register");
+            } else {
+                v = evalAlu(inst.op, uni[0], uni[1], uni[2]);
+            }
+            const std::uint32_t idx = srfIndex(w, inst.dst.index);
+            srf_->write(idx, v);
+            if (ctx.observer) {
+                ctx.observer->onWrite(TargetStructure::ScalarRegisterFile,
+                                      id_, idx, now);
+            }
+        } else {
+            const LaneMask sel =
+                inst.op == Opcode::Selp ? w.preds[inst.predSrc] : 0;
+            for_each_lane(exec, [&](unsigned lane) {
+                std::array<Word, 3> v = uni;
+                for (unsigned s = 0; s < t.numSrcs; ++s) {
+                    v[s] = readLaneOperand(ctx, w, inst.src[s], lane, now,
+                                           v[s]);
+                }
+                Word out;
+                if (inst.op == Opcode::Selp) {
+                    out = (sel & (LaneMask{1} << lane)) ? v[0] : v[1];
+                } else {
+                    out = evalAlu(inst.op, v[0], v[1], v[2]);
+                }
+                writeVReg(ctx, w, inst.dst.index, lane, out, now);
+            });
+        }
+        retire_dst(now + category_latency(t.category));
+        ++w.pc;
+        return std::nullopt;
+      }
+
+      case Opcode::ISetp:
+      case Opcode::FSetp: {
+        std::array<Word, 2> uni{};
+        for (unsigned s = 0; s < 2; ++s) {
+            if (inst.src[s].kind != OperandKind::VReg)
+                uni[s] = readUniformOperand(ctx, w, inst.src[s], now);
+        }
+        LaneMask result = w.preds[inst.predDst] & ~exec;
+        for_each_lane(exec, [&](unsigned lane) {
+            const Word a =
+                readLaneOperand(ctx, w, inst.src[0], lane, now, uni[0]);
+            const Word b =
+                readLaneOperand(ctx, w, inst.src[1], lane, now, uni[1]);
+            const bool r = inst.op == Opcode::ISetp
+                               ? evalCmpInt(inst.cmp, a, b)
+                               : evalCmpFloat(inst.cmp, a, b);
+            if (r)
+                result |= LaneMask{1} << lane;
+        });
+        w.preds[inst.predDst] = result;
+        w.predReady[inst.predDst] = now + lat.compare;
+        ++w.pc;
+        return std::nullopt;
+      }
+
+      // --- Control flow ---------------------------------------------------
+      case Opcode::Ssy:
+        w.stack.push_back(
+            {ReconvEntry::Kind::SyncToken, inst.target, w.activeMask});
+        ++w.pc;
+        return std::nullopt;
+
+      case Opcode::Bra: {
+        LaneMask taken = w.activeMask;
+        if (inst.guard != kNoPred) {
+            const LaneMask p = w.preds[static_cast<unsigned>(inst.guard)];
+            taken &= inst.guardNegate ? ~p : p;
+        }
+        if (taken == w.activeMask) {
+            w.pc = inst.target; // uniformly taken
+        } else if (taken == 0) {
+            ++w.pc;             // uniformly not taken
+        } else {
+            // Divergence: defer the taken lanes, continue fall-through.
+            if (ctx.stats)
+                ++ctx.stats->divergenceEvents;
+            w.stack.push_back(
+                {ReconvEntry::Kind::PendingPath, inst.target, taken});
+            w.activeMask &= ~taken;
+            ++w.pc;
+        }
+        return std::nullopt;
+      }
+
+      case Opcode::Sync: {
+        bool underflow = false;
+        popToNextPath(w, underflow);
+        if (underflow) {
+            // Lanes are parked with nowhere to reconverge: corrupted
+            // control state (only reachable through injected faults).
+            return TrapKind::InvalidControlFlow;
+        }
+        return std::nullopt;
+      }
+
+      case Opcode::Exit: {
+        LaneMask exiting = w.activeMask;
+        if (inst.guard != kNoPred) {
+            const LaneMask p = w.preds[static_cast<unsigned>(inst.guard)];
+            exiting &= inst.guardNegate ? ~p : p;
+        }
+        w.exitedMask |= exiting;
+        w.activeMask &= ~exiting;
+        if (w.activeMask != 0) {
+            ++w.pc; // guard-false lanes continue
+            return std::nullopt;
+        }
+        bool underflow = false;
+        popToNextPath(w, underflow);
+        if (underflow)
+            finishWarp(ctx, w, now);
+        return std::nullopt;
+      }
+
+      case Opcode::Bar: {
+        ++w.pc;
+        w.status = WarpStatus::AtBarrier;
+        BlockContext& block = blocks_[w.blockSlot];
+        ++block.barrierArrived;
+        releaseBarrierIfReady(ctx, block, now);
+        return std::nullopt;
+      }
+
+      // --- Memory ----------------------------------------------------------
+      case Opcode::Ldg:
+      case Opcode::Stg:
+      case Opcode::AtomgAdd: {
+        const bool is_load = inst.op == Opcode::Ldg;
+        const bool is_atomic = inst.op == Opcode::AtomgAdd;
+        Word addr_uni = 0, val_uni = 0;
+        if (inst.src[0].kind != OperandKind::VReg)
+            addr_uni = readUniformOperand(ctx, w, inst.src[0], now);
+        if (!is_load && inst.src[1].kind != OperandKind::VReg)
+            val_uni = readUniformOperand(ctx, w, inst.src[1], now);
+
+        // Gather addresses, bounds-check, count 128-byte segments.
+        std::optional<TrapKind> trap;
+        std::uint64_t seg_bits_lo = 0; // cheap small-set: segment ids hash
+        std::vector<std::uint64_t> segments;
+        segments.reserve(8);
+        std::uint32_t lane_ops = 0;
+
+        for_each_lane(exec, [&](unsigned lane) {
+            if (trap)
+                return;
+            const Word base =
+                readLaneOperand(ctx, w, inst.src[0], lane, now, addr_uni);
+            const Addr addr =
+                (static_cast<Addr>(base) +
+                 static_cast<Addr>(
+                     static_cast<std::int64_t>(inst.memOffset))) &
+                0xffffffffULL;
+            if (!ctx.memory->inBounds(addr)) {
+                trap = TrapKind::GlobalOutOfBounds;
+                return;
+            }
+            const Addr aligned = addr & ~Addr{3};
+            const std::uint64_t seg = aligned >> 7;
+            if (std::find(segments.begin(), segments.end(), seg) ==
+                segments.end()) {
+                segments.push_back(seg);
+            }
+            (void)seg_bits_lo;
+
+            if (is_load) {
+                writeVReg(ctx, w, inst.dst.index, lane,
+                          ctx.memory->readWord(aligned), now);
+            } else {
+                const Word v = readLaneOperand(ctx, w, inst.src[1], lane,
+                                               now, val_uni);
+                if (is_atomic) {
+                    ctx.memory->writeWord(
+                        aligned, ctx.memory->readWord(aligned) + v);
+                } else {
+                    ctx.memory->writeWord(aligned, v);
+                }
+            }
+            ++lane_ops;
+        });
+        if (trap)
+            return trap;
+
+        // Timing: the chip-wide pipe serialises transactions.
+        const std::uint64_t txns =
+            is_atomic ? lane_ops
+                      : static_cast<std::uint64_t>(segments.size());
+        if (txns > 0) {
+            const Cycle start = std::max(now, ctx.memPipe.nextFree);
+            ctx.memPipe.nextFree =
+                start + txns * config_.memTransactionCycles;
+            if (is_load)
+                retire_dst(ctx.memPipe.nextFree + lat.global);
+            if (ctx.stats) {
+                ctx.stats->globalTransactions += txns;
+                if (is_load)
+                    ++ctx.stats->globalLoads;
+                else
+                    ++ctx.stats->globalStores;
+            }
+        }
+        ++w.pc;
+        return std::nullopt;
+      }
+
+      case Opcode::Lds:
+      case Opcode::Sts:
+      case Opcode::AtomsAdd: {
+        const bool is_load = inst.op == Opcode::Lds;
+        const bool is_atomic = inst.op == Opcode::AtomsAdd;
+        const BlockContext& block = blocks_[w.blockSlot];
+
+        Word addr_uni = 0, val_uni = 0;
+        if (inst.src[0].kind != OperandKind::VReg)
+            addr_uni = readUniformOperand(ctx, w, inst.src[0], now);
+        if (!is_load && inst.src[1].kind != OperandKind::VReg)
+            val_uni = readUniformOperand(ctx, w, inst.src[1], now);
+
+        std::optional<TrapKind> trap;
+        // Bank-conflict model: count accesses per bank; the replay factor
+        // is the worst bank's distinct-word count.
+        std::vector<std::uint32_t> bank_words;
+        bank_words.reserve(config_.warpWidth);
+        std::uint32_t lane_ops = 0;
+
+        for_each_lane(exec, [&](unsigned lane) {
+            if (trap)
+                return;
+            const Word base =
+                readLaneOperand(ctx, w, inst.src[0], lane, now, addr_uni);
+            const Word byte_addr =
+                base + static_cast<Word>(inst.memOffset);
+            const std::uint32_t word = byte_addr >> 2;
+            if (word >= ctx.ldsWordsPerBlock) {
+                trap = TrapKind::SharedOutOfBounds;
+                return;
+            }
+            const std::uint32_t idx = block.ldsBase + word;
+            if (std::find(bank_words.begin(), bank_words.end(), word) ==
+                bank_words.end()) {
+                bank_words.push_back(word);
+            }
+
+            if (is_load) {
+                if (ctx.observer) {
+                    ctx.observer->onRead(TargetStructure::SharedMemory,
+                                         id_, idx, now);
+                }
+                writeVReg(ctx, w, inst.dst.index, lane, lds_.read(idx),
+                          now);
+            } else {
+                const Word v = readLaneOperand(ctx, w, inst.src[1], lane,
+                                               now, val_uni);
+                if (is_atomic) {
+                    if (ctx.observer) {
+                        ctx.observer->onRead(TargetStructure::SharedMemory,
+                                             id_, idx, now);
+                    }
+                    lds_.write(idx, lds_.read(idx) + v);
+                } else {
+                    lds_.write(idx, v);
+                }
+                if (ctx.observer) {
+                    ctx.observer->onWrite(TargetStructure::SharedMemory,
+                                          id_, idx, now);
+                }
+            }
+            ++lane_ops;
+        });
+        if (trap)
+            return trap;
+
+        // Replay factor: distinct words per bank.
+        std::uint32_t replay = 1;
+        if (!bank_words.empty()) {
+            std::vector<std::uint32_t> per_bank(config_.smemBanks, 0);
+            for (std::uint32_t word : bank_words)
+                ++per_bank[word % config_.smemBanks];
+            replay = *std::max_element(per_bank.begin(), per_bank.end());
+            replay = std::max(replay, 1u);
+        }
+        const Cycle extra =
+            is_atomic ? (lane_ops > 0 ? lane_ops - 1 : 0) : (replay - 1);
+        if (is_load)
+            retire_dst(now + lat.shared + extra);
+        if (ctx.stats) {
+            ++ctx.stats->sharedAccesses;
+            ctx.stats->sharedBankConflictReplays += replay - 1;
+        }
+        ++w.pc;
+        return std::nullopt;
+      }
+
+      default:
+        panic("unhandled opcode ", opMnemonic(inst.op));
+    }
+}
+
+std::int32_t
+SmCore::pickWarpRoundRobin(const RunContext& ctx, Cycle now,
+                           Cycle& next_event)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(warps_.size());
+    for (std::uint32_t probe = 0; probe < n; ++probe) {
+        const std::uint32_t slot = (rr_cursor_ + 1 + probe) % n;
+        if (!warp_slot_used_[slot])
+            continue;
+        const WarpContext& w = warps_[slot];
+        if (w.status != WarpStatus::Ready)
+            continue;
+        Cycle stall = 0;
+        if (canIssue(ctx, w, now, stall)) {
+            rr_cursor_ = slot;
+            return static_cast<std::int32_t>(slot);
+        }
+        next_event = std::min(next_event, stall);
+    }
+    return -1;
+}
+
+std::int32_t
+SmCore::pickWarpGto(const RunContext& ctx, Cycle now, Cycle& next_event)
+{
+    // Greedy: stick with the last issued warp while it can issue.
+    if (gto_last_ >= 0 &&
+        warp_slot_used_[static_cast<std::uint32_t>(gto_last_)]) {
+        const WarpContext& w =
+            warps_[static_cast<std::uint32_t>(gto_last_)];
+        if (w.status == WarpStatus::Ready) {
+            Cycle stall = 0;
+            if (canIssue(ctx, w, now, stall))
+                return gto_last_;
+            next_event = std::min(next_event, stall);
+        }
+    }
+    // Then oldest (smallest dispatch sequence number).
+    std::int32_t best = -1;
+    std::uint64_t best_age = ~std::uint64_t{0};
+    for (std::uint32_t slot = 0; slot < warps_.size(); ++slot) {
+        if (!warp_slot_used_[slot])
+            continue;
+        const WarpContext& w = warps_[slot];
+        if (w.status != WarpStatus::Ready)
+            continue;
+        Cycle stall = 0;
+        if (canIssue(ctx, w, now, stall)) {
+            if (warp_age_[slot] < best_age) {
+                best_age = warp_age_[slot];
+                best = static_cast<std::int32_t>(slot);
+            }
+        } else {
+            next_event = std::min(next_event, stall);
+        }
+    }
+    if (best >= 0)
+        gto_last_ = best;
+    return best;
+}
+
+std::optional<TrapKind>
+SmCore::stepCycle(RunContext& ctx, Cycle now, bool& issued_any,
+                  Cycle& next_event)
+{
+    if (resident_blocks_ == 0)
+        return std::nullopt;
+
+    for (std::uint32_t slot_issue = 0; slot_issue < config_.issueWidth;
+         ++slot_issue) {
+        std::int32_t pick =
+            config_.scheduler == SchedulerKind::GreedyThenOldest
+                ? pickWarpGto(ctx, now, next_event)
+                : pickWarpRoundRobin(ctx, now, next_event);
+        if (pick < 0)
+            break;
+        WarpContext& w = warps_[static_cast<std::uint32_t>(pick)];
+        const auto trap = executeInstruction(ctx, w, now);
+        if (trap)
+            return trap;
+        issued_any = true;
+    }
+    return std::nullopt;
+}
+
+} // namespace gpr

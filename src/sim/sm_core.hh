@@ -1,0 +1,181 @@
+/**
+ * @file
+ * One streaming multiprocessor (NVIDIA) / compute unit (AMD).
+ *
+ * Owns the storage structures under study — vector register file, scalar
+ * register file (SI), LDS — plus the resident-block table, the warp
+ * contexts, the warp scheduler and the functional executor.  Timing is
+ * "GPGPU-Sim-lite": in-order issue per warp with a register scoreboard,
+ * configurable latencies per functional category, shared-memory bank
+ * conflicts and a chip-level global-memory bandwidth pipe.
+ */
+
+#ifndef GPR_SIM_SM_CORE_HH
+#define GPR_SIM_SM_CORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "isa/program.hh"
+#include "sim/launch.hh"
+#include "sim/memory_image.hh"
+#include "sim/observer.hh"
+#include "sim/stats.hh"
+#include "sim/storage.hh"
+#include "sim/trap.hh"
+#include "sim/warp.hh"
+
+namespace gpr {
+
+/** Chip-level global-memory bandwidth model (shared by all SMs). */
+struct MemPipe
+{
+    Cycle nextFree = 0;
+};
+
+/** Everything one kernel run needs; owned by Gpu, passed down by ref. */
+struct RunContext
+{
+    const GpuConfig* config = nullptr;
+    const Program* program = nullptr;
+    const LaunchConfig* launch = nullptr;
+    MemoryImage* memory = nullptr;
+    SimObserver* observer = nullptr;
+    SimStats* stats = nullptr;
+    MemPipe memPipe;
+
+    // Launch-derived constants (filled by Gpu::run).
+    std::uint32_t warpsPerBlock = 0;
+    std::uint32_t vrfWordsPerBlock = 0;
+    std::uint32_t srfWordsPerBlock = 0;
+    std::uint32_t ldsWordsPerBlock = 0;
+};
+
+class SmCore
+{
+  public:
+    SmCore(const GpuConfig& config, SmId id);
+
+    SmCore(const SmCore&) = delete;
+    SmCore& operator=(const SmCore&) = delete;
+    SmCore(SmCore&&) = default;
+
+    /** Wipe all storage and residency state before a new run. */
+    void reset();
+
+    /**
+     * Try to make block @p block_id resident; allocates registers, scalar
+     * registers and LDS.  Returns false if resources do not fit.
+     */
+    bool tryDispatchBlock(RunContext& ctx, std::uint32_t block_id,
+                          Cycle now);
+
+    /**
+     * Run one cycle: issue up to issueWidth warp-instructions.
+     * @p issued_any is set if at least one instruction issued;
+     * @p next_event is lowered to the earliest cycle any stalled warp
+     * could issue.  Returns a trap if execution faulted.
+     */
+    std::optional<TrapKind> stepCycle(RunContext& ctx, Cycle now,
+                                      bool& issued_any, Cycle& next_event);
+
+    /** Number of blocks currently resident. */
+    std::uint32_t residentBlocks() const { return resident_blocks_; }
+    /** Warp slots claimed by resident blocks. */
+    std::uint32_t residentWarps() const { return resident_warps_; }
+
+    std::uint32_t allocatedVrfWords() const
+    {
+        return vrf_.allocatedWords();
+    }
+    std::uint32_t allocatedSrfWords() const
+    {
+        return srf_ ? srf_->allocatedWords() : 0;
+    }
+    std::uint32_t allocatedLdsWords() const
+    {
+        return lds_.allocatedWords();
+    }
+
+    /** Direct storage access for fault injection (bit-linear indices). */
+    void flipVrfBit(BitIndex bit) { vrf_.flipBitAt(bit); }
+    void flipSrfBit(BitIndex bit);
+    void flipLdsBit(BitIndex bit) { lds_.flipBitAt(bit); }
+
+  private:
+    struct BlockContext
+    {
+        bool active = false;
+        std::uint32_t blockId = 0;
+        std::uint32_t bx = 0;
+        std::uint32_t by = 0;
+        std::uint32_t vrfBase = 0;
+        std::uint32_t srfBase = 0;
+        std::uint32_t ldsBase = 0;
+        std::vector<std::uint32_t> warpSlots;
+        std::uint32_t liveWarps = 0;
+        std::uint32_t barrierArrived = 0;
+    };
+
+    // --- Issue & execution -----------------------------------------------
+    /** Can warp @p w issue at @p now?  If not, raises @p stall_until. */
+    bool canIssue(const RunContext& ctx, const WarpContext& w, Cycle now,
+                  Cycle& stall_until) const;
+
+    std::optional<TrapKind> executeInstruction(RunContext& ctx,
+                                               WarpContext& w, Cycle now);
+
+    // Operand access.
+    Word readUniformOperand(RunContext& ctx, const WarpContext& w,
+                            const Operand& op, Cycle now);
+    Word readLaneOperand(RunContext& ctx, const WarpContext& w,
+                         const Operand& op, unsigned lane, Cycle now,
+                         Word uniform_value);
+    void writeVReg(RunContext& ctx, const WarpContext& w, RegIndex r,
+                   unsigned lane, Word value, Cycle now);
+    Word readSpecial(const RunContext& ctx, const WarpContext& w,
+                     SpecialReg sr, unsigned lane) const;
+
+    std::uint32_t vrfIndex(const WarpContext& w, RegIndex r,
+                           unsigned lane) const;
+    std::uint32_t srfIndex(const WarpContext& w, RegIndex r) const;
+
+    // Control-flow helpers.
+    void popToNextPath(WarpContext& w, bool& underflow);
+    void finishWarp(RunContext& ctx, WarpContext& w, Cycle now);
+    void releaseBarrierIfReady(RunContext& ctx, BlockContext& block,
+                               Cycle now);
+    void completeBlock(RunContext& ctx, BlockContext& block, Cycle now);
+
+    // Scheduling.
+    std::int32_t pickWarpRoundRobin(const RunContext& ctx, Cycle now,
+                                    Cycle& next_event);
+    std::int32_t pickWarpGto(const RunContext& ctx, Cycle now,
+                             Cycle& next_event);
+
+    const GpuConfig& config_;
+    SmId id_;
+
+    WordStorage vrf_;
+    std::optional<WordStorage> srf_; ///< SI only
+    WordStorage lds_;                ///< word-granular LDS
+
+    std::vector<BlockContext> blocks_;   ///< maxBlocksPerSm slots
+    std::vector<WarpContext> warps_;     ///< maxWarpsPerSm slots
+    std::vector<bool> warp_slot_used_;
+    std::vector<std::uint64_t> warp_age_; ///< dispatch sequence, for GTO
+
+    std::uint32_t resident_blocks_ = 0;
+    std::uint32_t resident_warps_ = 0;
+    std::uint64_t dispatch_seq_ = 0;
+
+    // Scheduler state.
+    std::uint32_t rr_cursor_ = 0;
+    std::int32_t gto_last_ = -1;
+};
+
+} // namespace gpr
+
+#endif // GPR_SIM_SM_CORE_HH

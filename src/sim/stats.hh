@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-run simulation statistics.
+ */
+
+#ifndef GPR_SIM_STATS_HH
+#define GPR_SIM_STATS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace gpr {
+
+struct SimStats
+{
+    Cycle cycles = 0;
+    std::uint64_t warpInstructions = 0;
+    std::uint64_t threadInstructions = 0; ///< active-lane-weighted
+
+    std::uint64_t globalLoads = 0;
+    std::uint64_t globalStores = 0;
+    std::uint64_t globalTransactions = 0; ///< 128-byte segments
+    std::uint64_t sharedAccesses = 0;
+    std::uint64_t sharedBankConflictReplays = 0;
+    std::uint64_t barriersExecuted = 0;
+    std::uint64_t divergenceEvents = 0;   ///< warp-splitting branches
+
+    std::uint64_t blocksCompleted = 0;
+
+    // Time-averaged fraction of each structure's words that were
+    // allocated to resident blocks (chip-wide); this is the "occupancy"
+    // red line of the paper's figures.
+    double avgRegFileOccupancy = 0.0;
+    double avgScalarRegOccupancy = 0.0;
+    double avgSmemOccupancy = 0.0;
+    /** Time-averaged resident warps / total warp slots, chip-wide. */
+    double avgWarpOccupancy = 0.0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(warpInstructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+} // namespace gpr
+
+#endif // GPR_SIM_STATS_HH

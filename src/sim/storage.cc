@@ -1,0 +1,91 @@
+#include "sim/storage.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpr {
+
+WordStorage::WordStorage(std::uint32_t num_words)
+    : words_(num_words, 0u)
+{
+    GPR_ASSERT(num_words > 0, "zero-sized storage");
+    free_list_.push_back({0, num_words});
+}
+
+Word
+WordStorage::read(std::uint32_t index) const
+{
+    GPR_ASSERT(index < words_.size(), "storage read out of range");
+    return words_[index];
+}
+
+void
+WordStorage::write(std::uint32_t index, Word value)
+{
+    GPR_ASSERT(index < words_.size(), "storage write out of range");
+    words_[index] = value;
+}
+
+void
+WordStorage::flipBitAt(BitIndex bit_index)
+{
+    const std::uint32_t word = static_cast<std::uint32_t>(bit_index / 32);
+    const unsigned bit = static_cast<unsigned>(bit_index % 32);
+    GPR_ASSERT(word < words_.size(), "bit flip out of range");
+    words_[word] = flipBit(words_[word], bit);
+}
+
+std::optional<std::uint32_t>
+WordStorage::allocate(std::uint32_t count)
+{
+    GPR_ASSERT(count > 0, "zero-sized allocation");
+    for (std::size_t i = 0; i < free_list_.size(); ++i) {
+        if (free_list_[i].count >= count) {
+            const std::uint32_t base = free_list_[i].base;
+            free_list_[i].base += count;
+            free_list_[i].count -= count;
+            if (free_list_[i].count == 0)
+                free_list_.erase(free_list_.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+            allocated_words_ += count;
+            return base;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+WordStorage::release(std::uint32_t base, std::uint32_t count)
+{
+    GPR_ASSERT(count > 0 && base + count <= words_.size(),
+               "bad release range");
+    GPR_ASSERT(allocated_words_ >= count, "double free");
+    allocated_words_ -= count;
+
+    // Insert sorted, then coalesce neighbours.
+    const Range range{base, count};
+    const auto pos = std::lower_bound(
+        free_list_.begin(), free_list_.end(), range,
+        [](const Range& a, const Range& b) { return a.base < b.base; });
+    const auto it = free_list_.insert(pos, range);
+
+    const std::size_t idx = static_cast<std::size_t>(it - free_list_.begin());
+    // Coalesce with successor.
+    if (idx + 1 < free_list_.size() &&
+        free_list_[idx].base + free_list_[idx].count ==
+            free_list_[idx + 1].base) {
+        free_list_[idx].count += free_list_[idx + 1].count;
+        free_list_.erase(free_list_.begin() +
+                         static_cast<std::ptrdiff_t>(idx + 1));
+    }
+    // Coalesce with predecessor.
+    if (idx > 0 && free_list_[idx - 1].base + free_list_[idx - 1].count ==
+                       free_list_[idx].base) {
+        free_list_[idx - 1].count += free_list_[idx].count;
+        free_list_.erase(free_list_.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+    }
+}
+
+} // namespace gpr

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bit-accurate word storage with block-granular allocation — the model
+ * behind the vector/scalar register files and the LDS of one SM.
+ */
+
+#ifndef GPR_SIM_STORAGE_HH
+#define GPR_SIM_STORAGE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace gpr {
+
+/**
+ * A fixed-size array of 32-bit words plus a first-fit range allocator.
+ * Values of unallocated words persist (like real SRAM), which matters for
+ * fault injection: a flip landing in free space stays until the space is
+ * reallocated — and allocation is modelled as making contents undefined,
+ * so such flips are architecturally masked.
+ */
+class WordStorage
+{
+  public:
+    explicit WordStorage(std::uint32_t num_words);
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(words_.size());
+    }
+
+    Word read(std::uint32_t index) const;
+    void write(std::uint32_t index, Word value);
+
+    /** Flip one bit; @p bit_index addresses the structure bit-linearly. */
+    void flipBitAt(BitIndex bit_index);
+
+    /**
+     * First-fit allocation of @p count contiguous words.
+     * Returns the base index, or nullopt if no hole fits.
+     */
+    std::optional<std::uint32_t> allocate(std::uint32_t count);
+
+    /** Release a range previously returned by allocate(). */
+    void release(std::uint32_t base, std::uint32_t count);
+
+    /** Words currently allocated (for occupancy accounting). */
+    std::uint32_t allocatedWords() const { return allocated_words_; }
+
+  private:
+    struct Range
+    {
+        std::uint32_t base;
+        std::uint32_t count;
+    };
+
+    std::vector<Word> words_;
+    std::vector<Range> free_list_; ///< sorted by base, coalesced
+    std::uint32_t allocated_words_ = 0;
+};
+
+} // namespace gpr
+
+#endif // GPR_SIM_STORAGE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Simulation traps: abnormal kernel terminations.
+ *
+ * Traps are *expected data* in a fault-injection campaign (they classify as
+ * DUE — Detected Unrecoverable Error), never C++ errors.  A fault-free run
+ * that traps indicates a workload bug and is rejected by the campaign
+ * driver before any injection happens.
+ */
+
+#ifndef GPR_SIM_TRAP_HH
+#define GPR_SIM_TRAP_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpr {
+
+enum class TrapKind : std::uint8_t
+{
+    None,              ///< clean EXIT
+    GlobalOutOfBounds, ///< global access outside the memory image
+    SharedOutOfBounds, ///< LDS access outside the block's allocation
+    BarrierDeadlock,   ///< no warp can ever make progress again
+    Watchdog,          ///< exceeded the cycle budget (hang / livelock)
+    InvalidControlFlow, ///< reconvergence-stack underflow (corrupted state)
+};
+
+constexpr std::string_view
+trapKindName(TrapKind k)
+{
+    switch (k) {
+      case TrapKind::None:
+        return "none";
+      case TrapKind::GlobalOutOfBounds:
+        return "global-out-of-bounds";
+      case TrapKind::SharedOutOfBounds:
+        return "shared-out-of-bounds";
+      case TrapKind::BarrierDeadlock:
+        return "barrier-deadlock";
+      case TrapKind::Watchdog:
+        return "watchdog-timeout";
+      case TrapKind::InvalidControlFlow:
+        return "invalid-control-flow";
+    }
+    return "unknown";
+}
+
+} // namespace gpr
+
+#endif // GPR_SIM_TRAP_HH

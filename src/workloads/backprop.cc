@@ -1,0 +1,181 @@
+/**
+ * @file
+ * backprop — the Rodinia layer-forward kernel: one block per hidden unit;
+ * threads compute input x weight partial products, reduce them in shared
+ * memory, and thread 0 applies the sigmoid activation:
+ *
+ *     h[j] = 1 / (1 + exp(-sum_i in[i] * w[j][i]))
+ *
+ * exp() is lowered to the hardware EXP2 SFU (exp(x) = 2^(x*log2 e)),
+ * exactly as both vendors' compilers do.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+#include "workloads/kernel_util.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::uint32_t kInputs = 512;
+constexpr std::uint32_t kHidden = 64;  ///< one block per hidden unit
+constexpr std::uint32_t kBlock = 256;  ///< 2 products per thread
+constexpr float kLog2E = 1.44269504088896340736f;
+
+class Backprop : public Workload
+{
+  public:
+    std::string_view name() const override { return "backprop"; }
+    bool usesLocalMemory() const override { return true; }
+
+    WorkloadInstance
+    build(IsaDialect dialect, const WorkloadParams& params) const override
+    {
+        WorkloadInstance inst;
+        inst.workloadName = std::string(name());
+
+        Rng rng(deriveSeed(params.seed, 0xBAC2));
+        Buffer in = inst.image.allocBuffer(kInputs);
+        Buffer w = inst.image.allocBuffer(kHidden * kInputs);
+        Buffer h = inst.image.allocBuffer(kHidden);
+
+        std::vector<float> iv(kInputs);
+        std::vector<float> wv(kHidden * kInputs);
+        for (std::uint32_t i = 0; i < kInputs; ++i) {
+            iv[i] = rng.uniformF(-1.0f, 1.0f);
+            inst.image.setFloat(in, i, iv[i]);
+        }
+        for (std::uint32_t i = 0; i < kHidden * kInputs; ++i) {
+            wv[i] = rng.uniformF(-0.25f, 0.25f);
+            inst.image.setFloat(w, i, wv[i]);
+        }
+
+        // Golden replays the kernel's partial-product and tree order.
+        ExpectedOutput out;
+        out.label = "hidden";
+        out.buffer = h;
+        out.compare = CompareKind::FloatRelTol;
+        out.tolerance = 1e-4f;
+        out.golden.resize(kHidden);
+        for (std::uint32_t j = 0; j < kHidden; ++j) {
+            float sdata[kBlock];
+            for (std::uint32_t t = 0; t < kBlock; ++t) {
+                const float p0 = iv[t] * wv[j * kInputs + t];
+                sdata[t] = std::fma(iv[t + kBlock],
+                                    wv[j * kInputs + t + kBlock], p0);
+            }
+            for (std::uint32_t s = kBlock / 2; s > 0; s >>= 1)
+                for (std::uint32_t t = 0; t < s; ++t)
+                    sdata[t] += sdata[t + s];
+            const float act =
+                1.0f / (1.0f + std::exp2(-sdata[0] * kLog2E));
+            out.golden[j] = floatBits(act);
+        }
+        inst.outputs.push_back(std::move(out));
+
+        inst.program = buildKernel(dialect);
+
+        inst.launch.blockX = kBlock;
+        inst.launch.gridX = kHidden;
+        inst.launch.addParamAddr(in.byteAddr);
+        inst.launch.addParamAddr(w.byteAddr);
+        inst.launch.addParamAddr(h.byteAddr);
+        return inst;
+    }
+
+  private:
+    static Program
+    buildKernel(IsaDialect dialect)
+    {
+        KernelBuilder kb("backprop", dialect);
+        const Operand tid = kb.vreg();
+        const Operand bid = kb.uniformReg(); // hidden-unit index j
+        const Operand pin = kb.uniformReg();
+        const Operand pw = kb.uniformReg();
+        const Operand ph = kb.uniformReg();
+
+        kb.s2r(tid, SpecialReg::TidX);
+        kb.s2r(bid, SpecialReg::CtaIdX);
+        kb.ldparam(pin, 0);
+        kb.ldparam(pw, 1);
+        kb.ldparam(ph, 2);
+
+        const Operand t_off = kb.vreg();
+        kb.shl(t_off, tid, KernelBuilder::imm(2));
+
+        // Weight row base: pw + j*kInputs*4.
+        const Operand w_row = kb.uniformReg();
+        kb.imul(w_row, bid, KernelBuilder::imm(kInputs * 4));
+        kb.iadd(w_row, w_row, pw);
+
+        const Operand in_addr = kb.vreg();
+        const Operand w_addr = kb.vreg();
+        kb.iadd(in_addr, pin, t_off);
+        kb.iadd(w_addr, w_row, t_off);
+
+        // partial = in[t]*w[t] + in[t+128]*w[t+128] (FMUL then FFMA).
+        const Operand x0 = kb.vreg();
+        const Operand w0 = kb.vreg();
+        const Operand x1 = kb.vreg();
+        const Operand w1 = kb.vreg();
+        kb.ldg(x0, in_addr, 0);
+        kb.ldg(w0, w_addr, 0);
+        kb.ldg(x1, in_addr, kBlock * 4);
+        kb.ldg(w1, w_addr, kBlock * 4);
+
+        const Operand partial = kb.vreg();
+        kb.fmul(partial, x0, w0);
+        kb.ffma(partial, x1, w1, partial);
+        kb.sts(t_off, partial);
+        kb.bar();
+
+        // Shared-memory tree reduction (divergent guards).
+        const unsigned p0 = kb.preg();
+        const Operand v_a = kb.vreg();
+        const Operand v_b = kb.vreg();
+        for (std::uint32_t s = kBlock / 2; s > 0; s >>= 1) {
+            kb.isetp(CmpOp::Lt, p0, tid,
+                     KernelBuilder::imm(static_cast<std::int32_t>(s)));
+            DivergentIf div(kb, p0);
+            kb.lds(v_a, t_off, 0);
+            kb.lds(v_b, t_off, static_cast<std::int32_t>(s * 4));
+            kb.fadd(v_a, v_a, v_b);
+            kb.sts(t_off, v_a);
+            div.close();
+            kb.bar();
+        }
+
+        // Thread 0: sigmoid via EXP2 and reciprocal, store h[j].
+        const unsigned p1 = kb.preg();
+        kb.isetp(CmpOp::Eq, p1, tid, KernelBuilder::imm(0));
+        const Operand sum = kb.vreg();
+        const Operand e = kb.vreg();
+        kb.lds(sum, t_off, 0, ifP(p1));
+        kb.fmul(e, sum, KernelBuilder::fimm(-kLog2E), ifP(p1));
+        kb.fexp2(e, e, ifP(p1));
+        kb.fadd(e, e, KernelBuilder::fimm(1.0f), ifP(p1));
+        kb.frcp(e, e, ifP(p1));
+
+        const Operand o_addr = kb.vreg();
+        kb.shl(o_addr, bid, KernelBuilder::imm(2));
+        kb.iadd(o_addr, o_addr, ph);
+        kb.stg(o_addr, e, 0, ifP(p1));
+        kb.exit();
+
+        return kb.finish(kBlock * 4);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBackprop()
+{
+    return std::make_unique<Backprop>();
+}
+
+} // namespace gpr

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * dwtHaar1D — the SDK one-level 1-D Haar wavelet decomposition: each block
+ * stages 2*blockDim signal samples in shared memory, then every thread
+ * produces one approximation and one detail coefficient:
+ *
+ *     a[i] = (x[2i] + x[2i+1]) / sqrt(2)
+ *     d[i] = (x[2i] - x[2i+1]) / sqrt(2)
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::uint32_t kBlock = 256;
+constexpr std::uint32_t kElemsPerBlock = 2 * kBlock;
+constexpr std::uint32_t kBlocks = 64;
+constexpr std::uint32_t kN = kElemsPerBlock * kBlocks;
+constexpr float kInvSqrt2 = 0.70710678118654752440f;
+
+class DwtHaar1D : public Workload
+{
+  public:
+    std::string_view name() const override { return "dwtHaar1D"; }
+    bool usesLocalMemory() const override { return true; }
+
+    WorkloadInstance
+    build(IsaDialect dialect, const WorkloadParams& params) const override
+    {
+        WorkloadInstance inst;
+        inst.workloadName = std::string(name());
+
+        Rng rng(deriveSeed(params.seed, 0xD317));
+        Buffer in = inst.image.allocBuffer(kN);
+        Buffer out_buf = inst.image.allocBuffer(kN);
+
+        std::vector<float> signal(kN);
+        for (std::uint32_t i = 0; i < kN; ++i) {
+            signal[i] = rng.uniformF(-1.0f, 1.0f);
+            inst.image.setFloat(in, i, signal[i]);
+        }
+
+        // Output layout: approx coefficients in the first half, details in
+        // the second half (global index = block*kBlock + tid).
+        ExpectedOutput out;
+        out.label = "coefficients";
+        out.buffer = out_buf;
+        out.compare = CompareKind::FloatRelTol;
+        out.tolerance = 1e-5f;
+        out.golden.resize(kN);
+        for (std::uint32_t i = 0; i < kN / 2; ++i) {
+            const float x0 = signal[2 * i];
+            const float x1 = signal[2 * i + 1];
+            out.golden[i] = floatBits((x0 + x1) * kInvSqrt2);
+            out.golden[kN / 2 + i] = floatBits((x0 - x1) * kInvSqrt2);
+        }
+        inst.outputs.push_back(std::move(out));
+
+        inst.program = buildKernel(dialect);
+
+        inst.launch.blockX = kBlock;
+        inst.launch.gridX = kBlocks;
+        inst.launch.addParamAddr(in.byteAddr);
+        inst.launch.addParamAddr(out_buf.byteAddr);
+        return inst;
+    }
+
+  private:
+    static Program
+    buildKernel(IsaDialect dialect)
+    {
+        KernelBuilder kb("dwtHaar1D", dialect);
+        const Operand tid = kb.vreg();
+        const Operand bid = kb.uniformReg();
+        const Operand pin = kb.uniformReg();
+        const Operand pout = kb.uniformReg();
+
+        kb.s2r(tid, SpecialReg::TidX);
+        kb.s2r(bid, SpecialReg::CtaIdX);
+        kb.ldparam(pin, 0);
+        kb.ldparam(pout, 1);
+
+        // Stage 2 samples per thread into shared memory (coalesced reads:
+        // thread t loads x[t] and x[t + kBlock] of the block's chunk).
+        const Operand base = kb.uniformReg();
+        kb.imul(base, bid, KernelBuilder::imm(kElemsPerBlock * 4));
+        kb.iadd(base, base, pin);
+
+        const Operand t_off = kb.vreg();
+        kb.shl(t_off, tid, KernelBuilder::imm(2));
+        const Operand g_addr = kb.vreg();
+        kb.iadd(g_addr, base, t_off);
+
+        const Operand v = kb.vreg();
+        kb.ldg(v, g_addr, 0);
+        kb.sts(t_off, v, 0);
+        kb.ldg(v, g_addr, kBlock * 4);
+        kb.sts(t_off, v, kBlock * 4);
+        kb.bar();
+
+        // Each thread reads its pair x[2t], x[2t+1] from shared memory.
+        const Operand pair_off = kb.vreg(); // 2*tid*4
+        kb.shl(pair_off, tid, KernelBuilder::imm(3));
+        const Operand x0 = kb.vreg();
+        const Operand x1 = kb.vreg();
+        kb.lds(x0, pair_off, 0);
+        kb.lds(x1, pair_off, 4);
+
+        const Operand approx = kb.vreg();
+        const Operand detail = kb.vreg();
+        kb.fadd(approx, x0, x1);
+        kb.fmul(approx, approx, KernelBuilder::fimm(kInvSqrt2));
+        kb.fsub(detail, x0, x1);
+        kb.fmul(detail, detail, KernelBuilder::fimm(kInvSqrt2));
+
+        // out[bid*kBlock + tid] = approx;
+        // out[kN/2 + bid*kBlock + tid] = detail.
+        const Operand o_base = kb.uniformReg();
+        kb.imul(o_base, bid, KernelBuilder::imm(kBlock * 4));
+        kb.iadd(o_base, o_base, pout);
+        const Operand o_addr = kb.vreg();
+        kb.iadd(o_addr, o_base, t_off);
+        kb.stg(o_addr, approx, 0);
+        kb.stg(o_addr, detail, (kN / 2) * 4);
+        kb.exit();
+
+        return kb.finish(kElemsPerBlock * 4);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDwtHaar1D()
+{
+    return std::make_unique<DwtHaar1D>();
+}
+
+} // namespace gpr

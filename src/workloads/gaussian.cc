@@ -1,0 +1,165 @@
+/**
+ * @file
+ * gaussian — the Rodinia Gaussian-elimination update (Fan kernels) for one
+ * pivot step: every thread (i, j) computes the multiplier
+ * m = a[i][0] / a[0][0] and the eliminated element
+ * out[i][j] = a[i][j] - m * a[0][j]; row 0 is copied through.  The update
+ * is out-of-place, as in Rodinia's Fan2 which consumes the separately
+ * produced multiplier column.  No shared memory (matching the paper's
+ * Fig. 2 benchmark set).
+ */
+
+#include "workloads/workloads.hh"
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::uint32_t kN = 64;
+constexpr std::uint32_t kTile = 8;
+
+class Gaussian : public Workload
+{
+  public:
+    std::string_view name() const override { return "gaussian"; }
+    bool usesLocalMemory() const override { return false; }
+
+    WorkloadInstance
+    build(IsaDialect dialect, const WorkloadParams& params) const override
+    {
+        WorkloadInstance inst;
+        inst.workloadName = std::string(name());
+
+        Rng rng(deriveSeed(params.seed, 0x6A55));
+        Buffer a = inst.image.allocBuffer(kN * kN);
+        Buffer out_buf = inst.image.allocBuffer(kN * kN);
+
+        // Diagonally dominant matrix keeps the pivot well conditioned.
+        std::vector<float> av(kN * kN);
+        for (std::uint32_t i = 0; i < kN; ++i) {
+            for (std::uint32_t j = 0; j < kN; ++j) {
+                float v = rng.uniformF(-1.0f, 1.0f);
+                if (i == j)
+                    v += 8.0f;
+                av[i * kN + j] = v;
+                inst.image.setFloat(a, i * kN + j, v);
+            }
+        }
+
+        ExpectedOutput out;
+        out.label = "eliminated";
+        out.buffer = out_buf;
+        out.compare = CompareKind::FloatRelTol;
+        out.tolerance = 1e-4f;
+        out.golden.resize(kN * kN);
+        for (std::uint32_t i = 0; i < kN; ++i) {
+            for (std::uint32_t j = 0; j < kN; ++j) {
+                if (i == 0) {
+                    out.golden[j] = floatBits(av[j]);
+                    continue;
+                }
+                const float m = av[i * kN] / av[0];
+                const float v =
+                    std::fma(-m, av[j], av[i * kN + j]);
+                out.golden[i * kN + j] = floatBits(v);
+            }
+        }
+        inst.outputs.push_back(std::move(out));
+
+        inst.program = buildKernel(dialect);
+
+        inst.launch.blockX = kTile;
+        inst.launch.blockY = kTile;
+        inst.launch.gridX = kN / kTile;
+        inst.launch.gridY = kN / kTile;
+        inst.launch.addParamAddr(a.byteAddr);
+        inst.launch.addParamAddr(out_buf.byteAddr);
+        inst.launch.addParamInt(static_cast<std::int32_t>(kN));
+        return inst;
+    }
+
+  private:
+    static Program
+    buildKernel(IsaDialect dialect)
+    {
+        KernelBuilder kb("gaussian", dialect);
+        const Operand tx = kb.vreg();
+        const Operand ty = kb.vreg();
+        const Operand bx = kb.uniformReg();
+        const Operand by = kb.uniformReg();
+        const Operand pa = kb.uniformReg();
+        const Operand pout = kb.uniformReg();
+        const Operand n = kb.uniformReg();
+
+        kb.s2r(tx, SpecialReg::TidX);
+        kb.s2r(ty, SpecialReg::TidY);
+        kb.s2r(bx, SpecialReg::CtaIdX);
+        kb.s2r(by, SpecialReg::CtaIdY);
+        kb.ldparam(pa, 0);
+        kb.ldparam(pout, 1);
+        kb.ldparam(n, 2);
+
+        const Operand i = kb.vreg();
+        const Operand j = kb.vreg();
+        kb.imad(i, by, KernelBuilder::imm(kTile), ty);
+        kb.imad(j, bx, KernelBuilder::imm(kTile), tx);
+
+        // Addresses of a[i][0], a[0][j], a[i][j].
+        const Operand row_addr = kb.vreg(); // &a[i][0]
+        kb.imul(row_addr, i, n);
+        kb.shl(row_addr, row_addr, KernelBuilder::imm(2));
+        kb.iadd(row_addr, row_addr, pa);
+
+        const Operand col_addr = kb.vreg(); // &a[0][j]
+        kb.shl(col_addr, j, KernelBuilder::imm(2));
+        kb.iadd(col_addr, col_addr, pa);
+
+        const Operand elem_addr = kb.vreg(); // &a[i][j]
+        const Operand tmp = kb.vreg();
+        kb.imad(tmp, i, n, j);
+        kb.shl(tmp, tmp, KernelBuilder::imm(2));
+        kb.iadd(elem_addr, tmp, pa);
+
+        const Operand a_i0 = kb.vreg();
+        const Operand a_00 = kb.vreg();
+        const Operand a_0j = kb.vreg();
+        const Operand a_ij = kb.vreg();
+        kb.ldg(a_i0, row_addr, 0);
+        kb.ldg(a_00, pa, 0);
+        kb.ldg(a_0j, col_addr, 0);
+        kb.ldg(a_ij, elem_addr, 0);
+
+        // m = a[i][0] / a[0][0];  v = a[i][j] - m * a[0][j].
+        const Operand m = kb.vreg();
+        kb.fdiv(m, a_i0, a_00);
+        const Operand v = kb.vreg();
+        kb.fneg(m, m);
+        kb.ffma(v, m, a_0j, a_ij);
+
+        // Row 0 is passed through unchanged.
+        const unsigned p_row0 = kb.preg();
+        kb.isetp(CmpOp::Eq, p_row0, i, KernelBuilder::imm(0));
+        kb.selp(v, a_ij, v, p_row0);
+
+        const Operand o_addr = kb.vreg();
+        kb.iadd(o_addr, tmp, pout);
+        kb.stg(o_addr, v, 0);
+        kb.exit();
+
+        return kb.finish();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGaussian()
+{
+    return std::make_unique<Gaussian>();
+}
+
+} // namespace gpr

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * histogram — the SDK 256-bin histogram: per-block bins in shared memory
+ * filled with shared-memory atomics, then merged into the global
+ * histogram with global atomics.  Integer counts, bit-exact verification.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::uint32_t kBins = 256;
+constexpr std::uint32_t kBlock = 256;
+constexpr std::uint32_t kBlocks = 64;
+constexpr std::uint32_t kElemsPerThread = 4;
+constexpr std::uint32_t kN = kBlocks * kBlock * kElemsPerThread;
+
+class Histogram : public Workload
+{
+  public:
+    std::string_view name() const override { return "histogram"; }
+    bool usesLocalMemory() const override { return true; }
+
+    WorkloadInstance
+    build(IsaDialect dialect, const WorkloadParams& params) const override
+    {
+        WorkloadInstance inst;
+        inst.workloadName = std::string(name());
+
+        Rng rng(deriveSeed(params.seed, 0x4157));
+        Buffer data = inst.image.allocBuffer(kN);
+        Buffer bins = inst.image.allocBuffer(kBins);
+
+        ExpectedOutput out;
+        out.label = "bins";
+        out.buffer = bins;
+        out.compare = CompareKind::ExactWords;
+        out.golden.assign(kBins, 0);
+        for (std::uint32_t i = 0; i < kN; ++i) {
+            // Skewed distribution (squared uniform) like image data.
+            const double u = rng.uniform();
+            const Word v = static_cast<Word>(u * u * kBins) % kBins;
+            inst.image.setWord(data, i, v);
+            ++out.golden[v];
+        }
+        inst.outputs.push_back(std::move(out));
+
+        inst.program = buildKernel(dialect);
+
+        inst.launch.blockX = kBlock;
+        inst.launch.gridX = kBlocks;
+        inst.launch.addParamAddr(data.byteAddr);
+        inst.launch.addParamAddr(bins.byteAddr);
+        return inst;
+    }
+
+  private:
+    static Program
+    buildKernel(IsaDialect dialect)
+    {
+        KernelBuilder kb("histogram", dialect);
+        const Operand tid = kb.vreg();
+        const Operand bid = kb.uniformReg();
+        const Operand pdata = kb.uniformReg();
+        const Operand pbins = kb.uniformReg();
+
+        kb.s2r(tid, SpecialReg::TidX);
+        kb.s2r(bid, SpecialReg::CtaIdX);
+        kb.ldparam(pdata, 0);
+        kb.ldparam(pbins, 1);
+
+        // Zero the shared bins: each thread clears kBins/kBlock slots.
+        const Operand t_off = kb.vreg();
+        kb.shl(t_off, tid, KernelBuilder::imm(2));
+        const Operand zero = kb.vreg();
+        kb.mov(zero, KernelBuilder::imm(0));
+        for (std::uint32_t k = 0; k < kBins / kBlock; ++k) {
+            kb.sts(t_off, zero,
+                   static_cast<std::int32_t>(k * kBlock * 4));
+        }
+        kb.bar();
+
+        // Accumulate kElemsPerThread values via shared atomics.
+        const Operand chunk = kb.uniformReg(); // block chunk base bytes
+        kb.imul(chunk, bid,
+                KernelBuilder::imm(kBlock * kElemsPerThread * 4));
+        kb.iadd(chunk, chunk, pdata);
+        const Operand g_addr = kb.vreg();
+        kb.iadd(g_addr, chunk, t_off);
+
+        const Operand value = kb.vreg();
+        const Operand s_bin = kb.vreg();
+        const Operand one = kb.vreg();
+        kb.mov(one, KernelBuilder::imm(1));
+        for (std::uint32_t k = 0; k < kElemsPerThread; ++k) {
+            kb.ldg(value, g_addr, static_cast<std::int32_t>(k * kBlock * 4));
+            kb.shl(s_bin, value, KernelBuilder::imm(2));
+            kb.atomsAdd(s_bin, one);
+        }
+        kb.bar();
+
+        // Merge into the global histogram with global atomics.
+        const Operand s_val = kb.vreg();
+        const Operand g_bin = kb.vreg();
+        kb.iadd(g_bin, pbins, t_off);
+        for (std::uint32_t k = 0; k < kBins / kBlock; ++k) {
+            const auto off = static_cast<std::int32_t>(k * kBlock * 4);
+            kb.lds(s_val, t_off, off);
+            kb.atomgAdd(g_bin, s_val, off);
+        }
+        kb.exit();
+
+        return kb.finish(kBins * 4);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHistogram()
+{
+    return std::make_unique<Histogram>();
+}
+
+} // namespace gpr

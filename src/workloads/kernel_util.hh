@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared emission idioms for workload kernels.
+ */
+
+#ifndef GPR_WORKLOADS_KERNEL_UTIL_HH
+#define GPR_WORKLOADS_KERNEL_UTIL_HH
+
+#include "isa/builder.hh"
+
+namespace gpr {
+
+/**
+ * Emit the canonical global-thread-id computation
+ * gid = ctaid.x * ntid.x + tid.x into fresh registers;
+ * returns (gid, tid) for further addressing.
+ */
+struct Tid1D
+{
+    Operand gid;
+    Operand tid;
+};
+
+inline Tid1D
+emitGlobalTid1D(KernelBuilder& kb)
+{
+    const Operand tid = kb.vreg();
+    const Operand bid = kb.uniformReg();
+    const Operand bdim = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.s2r(bid, SpecialReg::CtaIdX);
+    kb.s2r(bdim, SpecialReg::NTidX);
+    const Operand gid = kb.vreg();
+    kb.imad(gid, bid, bdim, tid);
+    return {gid, tid};
+}
+
+/**
+ * RAII-style emitter for the SASS divergent-if idiom:
+ *
+ *     SSY  endif
+ *     @!P  BRA sync
+ *          ...body (lanes where P holds)...
+ *     sync: SYNC
+ *     endif:
+ *
+ * Construct with the guard predicate, emit the body, then close().
+ */
+class DivergentIf
+{
+  public:
+    DivergentIf(KernelBuilder& kb, unsigned pred)
+        : kb_(kb),
+          sync_(kb.newLabel("ifsync")),
+          end_(kb.newLabel("endif"))
+    {
+        kb_.ssy(end_);
+        kb_.bra(sync_, ifNotP(pred));
+    }
+
+    /** Terminate the body; all lanes reconverge after this point. */
+    void
+    close()
+    {
+        kb_.bind(sync_);
+        kb_.sync();
+        kb_.bind(end_);
+    }
+
+  private:
+    KernelBuilder& kb_;
+    Label sync_;
+    Label end_;
+};
+
+} // namespace gpr
+
+#endif // GPR_WORKLOADS_KERNEL_UTIL_HH

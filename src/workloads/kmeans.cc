@@ -1,0 +1,159 @@
+/**
+ * @file
+ * kmeans — the Rodinia classification step: each thread takes one point
+ * (4 features) and labels it with the index of the nearest of 8 centroids
+ * (squared Euclidean distance, argmin with strict less-than, ties keep
+ * the lower index).  Labels are verified bit-exactly; the simulator and
+ * the host golden use the identical FMA evaluation order, so the argmin
+ * is deterministic.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <limits>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+#include "workloads/kernel_util.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::uint32_t kPoints = 8192;
+constexpr std::uint32_t kDim = 4;
+constexpr std::uint32_t kClusters = 8;
+constexpr std::uint32_t kBlock = 128;
+
+class Kmeans : public Workload
+{
+  public:
+    std::string_view name() const override { return "kmeans"; }
+    bool usesLocalMemory() const override { return false; }
+
+    WorkloadInstance
+    build(IsaDialect dialect, const WorkloadParams& params) const override
+    {
+        WorkloadInstance inst;
+        inst.workloadName = std::string(name());
+
+        Rng rng(deriveSeed(params.seed, 0x4EA5));
+        Buffer pts = inst.image.allocBuffer(kPoints * kDim);
+        Buffer cents = inst.image.allocBuffer(kClusters * kDim);
+        Buffer labels = inst.image.allocBuffer(kPoints);
+
+        std::vector<float> pv(kPoints * kDim);
+        std::vector<float> cv(kClusters * kDim);
+        for (std::uint32_t c = 0; c < kClusters * kDim; ++c) {
+            cv[c] = rng.uniformF(-4.0f, 4.0f);
+            inst.image.setFloat(cents, c, cv[c]);
+        }
+        for (std::uint32_t i = 0; i < kPoints * kDim; ++i) {
+            pv[i] = rng.uniformF(-5.0f, 5.0f);
+            inst.image.setFloat(pts, i, pv[i]);
+        }
+
+        ExpectedOutput out;
+        out.label = "labels";
+        out.buffer = labels;
+        out.compare = CompareKind::ExactWords;
+        out.golden.resize(kPoints);
+        for (std::uint32_t p = 0; p < kPoints; ++p) {
+            float best_dist = std::numeric_limits<float>::infinity();
+            Word best = 0;
+            for (std::uint32_t c = 0; c < kClusters; ++c) {
+                float dist = 0.0f;
+                for (std::uint32_t d = 0; d < kDim; ++d) {
+                    const float diff =
+                        pv[p * kDim + d] - cv[c * kDim + d];
+                    dist = std::fma(diff, diff, dist);
+                }
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+            out.golden[p] = best;
+        }
+        inst.outputs.push_back(std::move(out));
+
+        inst.program = buildKernel(dialect);
+
+        inst.launch.blockX = kBlock;
+        inst.launch.gridX = kPoints / kBlock;
+        inst.launch.addParamAddr(pts.byteAddr);
+        inst.launch.addParamAddr(cents.byteAddr);
+        inst.launch.addParamAddr(labels.byteAddr);
+        return inst;
+    }
+
+  private:
+    static Program
+    buildKernel(IsaDialect dialect)
+    {
+        KernelBuilder kb("kmeans", dialect);
+        const Tid1D t = emitGlobalTid1D(kb);
+
+        const Operand ppts = kb.uniformReg();
+        const Operand pcents = kb.uniformReg();
+        const Operand plabels = kb.uniformReg();
+        kb.ldparam(ppts, 0);
+        kb.ldparam(pcents, 1);
+        kb.ldparam(plabels, 2);
+
+        // Load the point's 4 features.
+        const Operand p_addr = kb.vreg();
+        kb.shl(p_addr, t.gid, KernelBuilder::imm(4)); // * kDim * 4 bytes
+        kb.iadd(p_addr, p_addr, ppts);
+        std::array<Operand, kDim> x{};
+        for (std::uint32_t d = 0; d < kDim; ++d) {
+            x[d] = kb.vreg();
+            kb.ldg(x[d], p_addr, static_cast<std::int32_t>(d * 4));
+        }
+
+        const Operand best = kb.vreg();
+        const Operand best_dist = kb.vreg();
+        kb.mov(best, KernelBuilder::imm(0));
+        kb.mov(best_dist, KernelBuilder::imm(0x7f800000)); // +inf
+
+        const Operand diff = kb.vreg();
+        const Operand dist = kb.vreg();
+        const Operand cvreg = kb.vreg();
+        const unsigned p_lt = kb.preg();
+
+        // Unrolled over clusters (the Rodinia kernel's inner loops are
+        // compile-time constant and get unrolled the same way).
+        for (std::uint32_t c = 0; c < kClusters; ++c) {
+            kb.mov(dist, KernelBuilder::fimm(0.0f));
+            for (std::uint32_t d = 0; d < kDim; ++d) {
+                kb.ldg(cvreg, pcents,
+                       static_cast<std::int32_t>((c * kDim + d) * 4));
+                kb.fsub(diff, x[d], cvreg);
+                kb.ffma(dist, diff, diff, dist);
+            }
+            kb.fsetp(CmpOp::Lt, p_lt, dist, best_dist);
+            kb.selp(best_dist, dist, best_dist, p_lt);
+            kb.selp(best, KernelBuilder::imm(static_cast<std::int32_t>(c)),
+                    best, p_lt);
+        }
+
+        const Operand o_addr = kb.vreg();
+        kb.shl(o_addr, t.gid, KernelBuilder::imm(2));
+        kb.iadd(o_addr, o_addr, plabels);
+        kb.stg(o_addr, best);
+        kb.exit();
+
+        return kb.finish();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeKmeans()
+{
+    return std::make_unique<Kmeans>();
+}
+
+} // namespace gpr

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * matrixMul — the SDK tiled GEMM: C = A x B with two shared-memory tiles,
+ * 8x8 thread blocks, barrier-synchronised tile loop, unrolled inner
+ * product.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::uint32_t kN = 128;   ///< square matrix dimension
+constexpr std::uint32_t kTile = 16; ///< tile edge (block is kTile x kTile)
+constexpr std::uint32_t kTileShift = 4;   ///< log2(kTile)
+
+class MatrixMul : public Workload
+{
+  public:
+    std::string_view name() const override { return "matrixMul"; }
+    bool usesLocalMemory() const override { return true; }
+
+    WorkloadInstance
+    build(IsaDialect dialect, const WorkloadParams& params) const override
+    {
+        WorkloadInstance inst;
+        inst.workloadName = std::string(name());
+
+        Rng rng(deriveSeed(params.seed, 0x33A7));
+        Buffer a = inst.image.allocBuffer(kN * kN);
+        Buffer b = inst.image.allocBuffer(kN * kN);
+        Buffer c = inst.image.allocBuffer(kN * kN);
+
+        std::vector<float> av(kN * kN), bv(kN * kN);
+        for (std::uint32_t i = 0; i < kN * kN; ++i) {
+            av[i] = rng.uniformF(-1.0f, 1.0f);
+            bv[i] = rng.uniformF(-1.0f, 1.0f);
+            inst.image.setFloat(a, i, av[i]);
+            inst.image.setFloat(b, i, bv[i]);
+        }
+
+        // Host golden with the kernel's accumulation order (fmaf chain
+        // over k ascending).
+        ExpectedOutput out;
+        out.label = "C";
+        out.buffer = c;
+        out.compare = CompareKind::FloatRelTol;
+        out.tolerance = 1e-4f;
+        out.golden.resize(kN * kN);
+        for (std::uint32_t row = 0; row < kN; ++row) {
+            for (std::uint32_t col = 0; col < kN; ++col) {
+                float acc = 0.0f;
+                for (std::uint32_t k = 0; k < kN; ++k)
+                    acc = std::fma(av[row * kN + k], bv[k * kN + col], acc);
+                out.golden[row * kN + col] = floatBits(acc);
+            }
+        }
+        inst.outputs.push_back(std::move(out));
+
+        inst.program = buildKernel(dialect);
+
+        inst.launch.blockX = kTile;
+        inst.launch.blockY = kTile;
+        inst.launch.gridX = kN / kTile;
+        inst.launch.gridY = kN / kTile;
+        inst.launch.addParamAddr(a.byteAddr);
+        inst.launch.addParamAddr(b.byteAddr);
+        inst.launch.addParamAddr(c.byteAddr);
+        inst.launch.addParamInt(static_cast<std::int32_t>(kN));
+        return inst;
+    }
+
+  private:
+    static Program
+    buildKernel(IsaDialect dialect)
+    {
+        // Shared layout: As[kTile][kTile] at byte 0,
+        //                Bs[kTile][kTile] at byte kTile*kTile*4.
+        constexpr std::uint32_t kTileBytes = kTile * kTile * 4;
+
+        KernelBuilder kb("matrixMul", dialect);
+        const Operand tx = kb.vreg();
+        const Operand ty = kb.vreg();
+        const Operand bx = kb.uniformReg();
+        const Operand by = kb.uniformReg();
+        const Operand pa = kb.uniformReg();
+        const Operand pb = kb.uniformReg();
+        const Operand pc = kb.uniformReg();
+        const Operand n = kb.uniformReg();
+
+        kb.s2r(tx, SpecialReg::TidX);
+        kb.s2r(ty, SpecialReg::TidY);
+        kb.s2r(bx, SpecialReg::CtaIdX);
+        kb.s2r(by, SpecialReg::CtaIdY);
+        kb.ldparam(pa, 0);
+        kb.ldparam(pb, 1);
+        kb.ldparam(pc, 2);
+        kb.ldparam(n, 3);
+
+        // row = by*kTile + ty; col = bx*kTile + tx.
+        const Operand row = kb.vreg();
+        const Operand col = kb.vreg();
+        kb.imad(row, by, KernelBuilder::imm(kTile), ty);
+        kb.imad(col, bx, KernelBuilder::imm(kTile), tx);
+
+        // In-tile shared byte addresses.
+        const Operand s_store = kb.vreg(); // (ty*kTile + tx) * 4
+        kb.imad(s_store, ty, KernelBuilder::imm(kTile), tx);
+        kb.shl(s_store, s_store, KernelBuilder::imm(2));
+
+        const Operand acc = kb.vreg();
+        kb.mov(acc, KernelBuilder::fimm(0.0f));
+
+        // a_ptr walks A[row][t*kTile + tx]; b_ptr walks B[t*kTile+ty][col].
+        const Operand a_ptr = kb.vreg();
+        const Operand tmp = kb.vreg();
+        kb.imad(tmp, row, n, tx);              // row*N + tx
+        kb.shl(tmp, tmp, KernelBuilder::imm(2));
+        kb.iadd(a_ptr, tmp, pa);
+
+        const Operand b_ptr = kb.vreg();
+        kb.imad(tmp, ty, n, col);              // ty*N + col
+        kb.shl(tmp, tmp, KernelBuilder::imm(2));
+        kb.iadd(b_ptr, tmp, pb);
+
+        // Per-iteration pointer strides (bytes).
+        const Operand a_stride = kb.uniformReg(); // kTile * 4
+        const Operand b_stride = kb.uniformReg(); // kTile * N * 4
+        kb.mov(a_stride, KernelBuilder::imm(kTile * 4));
+        kb.shl(b_stride, n, KernelBuilder::imm(2 + kTileShift)); // N*4*kTile
+
+        // Tile loop (uniform trip count N/kTile).
+        const Operand t = kb.uniformReg();
+        kb.mov(t, KernelBuilder::imm(0));
+        const Label loop = kb.newLabel("tile_loop");
+        const unsigned p_loop = kb.preg();
+        kb.bind(loop);
+
+        const Operand va = kb.vreg();
+        const Operand vb = kb.vreg();
+        kb.ldg(va, a_ptr);
+        kb.ldg(vb, b_ptr);
+        kb.sts(s_store, va);                       // As[ty][tx]
+        kb.sts(s_store, vb, kTileBytes);           // Bs[ty][tx]
+        kb.bar();
+
+        // acc += As[ty][k] * Bs[k][tx], k unrolled.
+        const Operand s_a = kb.vreg(); // &As[ty][0] byte offset
+        const Operand s_b = kb.vreg(); // &Bs[0][tx] byte offset
+        kb.shl(s_a, ty, KernelBuilder::imm(2 + kTileShift)); // ty*kTile*4
+        kb.shl(s_b, tx, KernelBuilder::imm(2));     // tx*4
+        const Operand ea = kb.vreg();
+        const Operand eb = kb.vreg();
+        for (std::uint32_t k = 0; k < kTile; ++k) {
+            kb.lds(ea, s_a, static_cast<std::int32_t>(k * 4));
+            kb.lds(eb, s_b,
+                   static_cast<std::int32_t>(kTileBytes + k * kTile * 4));
+            kb.ffma(acc, ea, eb, acc);
+        }
+        kb.bar();
+
+        kb.iadd(a_ptr, a_ptr, a_stride);
+        kb.iadd(b_ptr, b_ptr, b_stride);
+        kb.iadd(t, t, KernelBuilder::imm(1));
+        kb.isetp(CmpOp::Lt, p_loop, t, KernelBuilder::imm(kN / kTile));
+        kb.bra(loop, ifP(p_loop));
+
+        // C[row][col] = acc.
+        const Operand c_ptr = kb.vreg();
+        kb.imad(tmp, row, n, col);
+        kb.shl(tmp, tmp, KernelBuilder::imm(2));
+        kb.iadd(c_ptr, tmp, pc);
+        kb.stg(c_ptr, acc);
+        kb.exit();
+
+        return kb.finish(2 * kTileBytes);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMatrixMul()
+{
+    return std::make_unique<MatrixMul>();
+}
+
+} // namespace gpr

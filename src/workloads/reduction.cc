@@ -1,0 +1,148 @@
+/**
+ * @file
+ * reduction — the SDK parallel sum: each block loads 2*blockDim elements,
+ * reduces them in shared memory with a barrier-synchronised binary tree
+ * (divergent `if (tid < s)` steps), and writes one partial sum per block.
+ * The output is the vector of per-block partials, exactly what the SDK
+ * kernel emits before the host (or a second launch) finishes the sum.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+#include "workloads/kernel_util.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::uint32_t kBlock = 256;          ///< threads per block
+constexpr std::uint32_t kElemsPerBlock = 512;  ///< 2 loads per thread
+constexpr std::uint32_t kBlocks = 64;
+constexpr std::uint32_t kN = kElemsPerBlock * kBlocks;
+
+class Reduction : public Workload
+{
+  public:
+    std::string_view name() const override { return "reduction"; }
+    bool usesLocalMemory() const override { return true; }
+
+    WorkloadInstance
+    build(IsaDialect dialect, const WorkloadParams& params) const override
+    {
+        WorkloadInstance inst;
+        inst.workloadName = std::string(name());
+
+        Rng rng(deriveSeed(params.seed, 0x5ED0));
+        Buffer in = inst.image.allocBuffer(kN);
+        Buffer out_buf = inst.image.allocBuffer(kBlocks);
+
+        std::vector<float> data(kN);
+        for (std::uint32_t i = 0; i < kN; ++i) {
+            data[i] = rng.uniformF(-2.0f, 2.0f);
+            inst.image.setFloat(in, i, data[i]);
+        }
+
+        // Golden replays the kernel's exact tree order (float addition is
+        // not associative).
+        ExpectedOutput out;
+        out.label = "partials";
+        out.buffer = out_buf;
+        out.compare = CompareKind::FloatRelTol;
+        out.tolerance = 1e-5f;
+        out.golden.resize(kBlocks);
+        for (std::uint32_t blk = 0; blk < kBlocks; ++blk) {
+            float sdata[kBlock];
+            const std::uint32_t base = blk * kElemsPerBlock;
+            for (std::uint32_t t = 0; t < kBlock; ++t)
+                sdata[t] = data[base + t] + data[base + t + kBlock];
+            for (std::uint32_t s = kBlock / 2; s > 0; s >>= 1)
+                for (std::uint32_t t = 0; t < s; ++t)
+                    sdata[t] += sdata[t + s];
+            out.golden[blk] = floatBits(sdata[0]);
+        }
+        inst.outputs.push_back(std::move(out));
+
+        inst.program = buildKernel(dialect);
+
+        inst.launch.blockX = kBlock;
+        inst.launch.gridX = kBlocks;
+        inst.launch.addParamAddr(in.byteAddr);
+        inst.launch.addParamAddr(out_buf.byteAddr);
+        return inst;
+    }
+
+  private:
+    static Program
+    buildKernel(IsaDialect dialect)
+    {
+        KernelBuilder kb("reduction", dialect);
+        const Operand tid = kb.vreg();
+        const Operand bid = kb.uniformReg();
+        const Operand pin = kb.uniformReg();
+        const Operand pout = kb.uniformReg();
+
+        kb.s2r(tid, SpecialReg::TidX);
+        kb.s2r(bid, SpecialReg::CtaIdX);
+        kb.ldparam(pin, 0);
+        kb.ldparam(pout, 1);
+
+        // sdata[tid] = in[base + tid] + in[base + tid + kBlock].
+        const Operand base = kb.uniformReg(); // block base byte address
+        kb.imul(base, bid, KernelBuilder::imm(kElemsPerBlock * 4));
+        kb.iadd(base, base, pin);
+
+        const Operand t_off = kb.vreg(); // tid * 4
+        kb.shl(t_off, tid, KernelBuilder::imm(2));
+        const Operand g_addr = kb.vreg();
+        kb.iadd(g_addr, base, t_off);
+
+        const Operand x0 = kb.vreg();
+        const Operand x1 = kb.vreg();
+        kb.ldg(x0, g_addr, 0);
+        kb.ldg(x1, g_addr, kBlock * 4);
+        const Operand sum = kb.vreg();
+        kb.fadd(sum, x0, x1);
+        kb.sts(t_off, sum);
+        kb.bar();
+
+        // Tree reduction with divergent guards, statically unrolled.
+        const unsigned p0 = kb.preg();
+        const Operand v_a = kb.vreg();
+        const Operand v_b = kb.vreg();
+        for (std::uint32_t s = kBlock / 2; s > 0; s >>= 1) {
+            kb.isetp(CmpOp::Lt, p0, tid,
+                     KernelBuilder::imm(static_cast<std::int32_t>(s)));
+            DivergentIf div(kb, p0);
+            kb.lds(v_a, t_off, 0);
+            kb.lds(v_b, t_off, static_cast<std::int32_t>(s * 4));
+            kb.fadd(v_a, v_a, v_b);
+            kb.sts(t_off, v_a);
+            div.close();
+            kb.bar();
+        }
+
+        // tid == 0 writes the block partial.
+        const unsigned p1 = kb.preg();
+        kb.isetp(CmpOp::Eq, p1, tid, KernelBuilder::imm(0));
+        const Operand o_addr = kb.vreg();
+        const Operand result = kb.vreg();
+        kb.shl(o_addr, bid, KernelBuilder::imm(2));
+        kb.iadd(o_addr, o_addr, pout);
+        kb.lds(result, t_off, 0, ifP(p1));
+        kb.stg(o_addr, result, 0, ifP(p1));
+        kb.exit();
+
+        return kb.finish(kBlock * 4);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeReduction()
+{
+    return std::make_unique<Reduction>();
+}
+
+} // namespace gpr

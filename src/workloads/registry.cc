@@ -1,0 +1,53 @@
+#include "workloads/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace gpr {
+
+const std::vector<std::string_view>&
+allWorkloadNames()
+{
+    static const std::vector<std::string_view> names = {
+        "backprop", "dwtHaar1D", "gaussian",  "histogram", "kmeans",
+        "matrixMul", "reduction", "scan",     "transpose", "vectoradd",
+    };
+    return names;
+}
+
+const std::vector<std::string_view>&
+localMemoryWorkloadNames()
+{
+    static const std::vector<std::string_view> names = {
+        "backprop",  "dwtHaar1D", "histogram", "matrixMul",
+        "reduction", "scan",      "transpose",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(std::string_view name)
+{
+    if (name == "backprop")
+        return makeBackprop();
+    if (name == "dwtHaar1D")
+        return makeDwtHaar1D();
+    if (name == "gaussian")
+        return makeGaussian();
+    if (name == "histogram")
+        return makeHistogram();
+    if (name == "kmeans")
+        return makeKmeans();
+    if (name == "matrixMul")
+        return makeMatrixMul();
+    if (name == "reduction")
+        return makeReduction();
+    if (name == "scan")
+        return makeScan();
+    if (name == "transpose")
+        return makeTranspose();
+    if (name == "vectoradd")
+        return makeVectorAdd();
+    fatal("unknown workload '", std::string(name), "'");
+}
+
+} // namespace gpr

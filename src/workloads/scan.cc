@@ -1,0 +1,186 @@
+/**
+ * @file
+ * scan — the SDK work-efficient (Blelloch) exclusive prefix sum: each
+ * block scans a 256-element tile in shared memory with barrier-separated
+ * up-sweep and down-sweep phases full of divergent `if (tid < d)` steps.
+ * Integer data, bit-exact verification.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+#include "workloads/kernel_util.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::uint32_t kBlock = 256;
+constexpr std::uint32_t kTileElems = 512; ///< 2 elements per thread
+constexpr std::uint32_t kBlocks = 64;
+constexpr std::uint32_t kN = kTileElems * kBlocks;
+
+class Scan : public Workload
+{
+  public:
+    std::string_view name() const override { return "scan"; }
+    bool usesLocalMemory() const override { return true; }
+
+    WorkloadInstance
+    build(IsaDialect dialect, const WorkloadParams& params) const override
+    {
+        WorkloadInstance inst;
+        inst.workloadName = std::string(name());
+
+        Rng rng(deriveSeed(params.seed, 0x5CA9));
+        Buffer in = inst.image.allocBuffer(kN);
+        Buffer out_buf = inst.image.allocBuffer(kN);
+
+        std::vector<std::int32_t> data(kN);
+        for (std::uint32_t i = 0; i < kN; ++i) {
+            data[i] = static_cast<std::int32_t>(rng.below(1000));
+            inst.image.setInt(in, i, data[i]);
+        }
+
+        // Golden: per-tile exclusive scan (wraparound int32 semantics).
+        ExpectedOutput out;
+        out.label = "scanned";
+        out.buffer = out_buf;
+        out.compare = CompareKind::ExactWords;
+        out.golden.resize(kN);
+        for (std::uint32_t blk = 0; blk < kBlocks; ++blk) {
+            std::uint32_t acc = 0;
+            for (std::uint32_t i = 0; i < kTileElems; ++i) {
+                out.golden[blk * kTileElems + i] = acc;
+                acc += static_cast<std::uint32_t>(data[blk * kTileElems + i]);
+            }
+        }
+        inst.outputs.push_back(std::move(out));
+
+        inst.program = buildKernel(dialect);
+
+        inst.launch.blockX = kBlock;
+        inst.launch.gridX = kBlocks;
+        inst.launch.addParamAddr(in.byteAddr);
+        inst.launch.addParamAddr(out_buf.byteAddr);
+        return inst;
+    }
+
+  private:
+    static Program
+    buildKernel(IsaDialect dialect)
+    {
+        KernelBuilder kb("scan", dialect);
+        const Operand tid = kb.vreg();
+        const Operand bid = kb.uniformReg();
+        const Operand pin = kb.uniformReg();
+        const Operand pout = kb.uniformReg();
+
+        kb.s2r(tid, SpecialReg::TidX);
+        kb.s2r(bid, SpecialReg::CtaIdX);
+        kb.ldparam(pin, 0);
+        kb.ldparam(pout, 1);
+
+        const Operand base = kb.uniformReg(); // tile base byte address
+        kb.imul(base, bid, KernelBuilder::imm(kTileElems * 4));
+
+        // Load 2 elements per thread into shared: s[2t], s[2t+1].
+        const Operand two_t = kb.vreg(); // 2*tid*4 bytes
+        kb.shl(two_t, tid, KernelBuilder::imm(3));
+        const Operand g_in = kb.vreg();
+        kb.iadd(g_in, base, pin);
+        kb.iadd(g_in, g_in, two_t);
+        const Operand e0 = kb.vreg();
+        const Operand e1 = kb.vreg();
+        kb.ldg(e0, g_in, 0);
+        kb.ldg(e1, g_in, 4);
+        kb.sts(two_t, e0, 0);
+        kb.sts(two_t, e1, 4);
+        kb.bar();
+
+        const unsigned p0 = kb.preg();
+        const Operand ai = kb.vreg(); // byte address of s[ai]
+        const Operand bi = kb.vreg();
+        const Operand va = kb.vreg();
+        const Operand vb = kb.vreg();
+
+        // Up-sweep: offset doubles; active threads tid < d.
+        std::uint32_t offset = 1;
+        for (std::uint32_t d = kTileElems >> 1; d > 0; d >>= 1) {
+            kb.isetp(CmpOp::Lt, p0, tid,
+                     KernelBuilder::imm(static_cast<std::int32_t>(d)));
+            DivergentIf div(kb, p0);
+            // ai = offset*(2*tid+1) - 1;  bi = offset*(2*tid+2) - 1.
+            emitPairAddrs(kb, tid, offset, ai, bi);
+            kb.lds(va, ai, 0);
+            kb.lds(vb, bi, 0);
+            kb.iadd(vb, vb, va);
+            kb.sts(bi, vb, 0);
+            div.close();
+            kb.bar();
+            offset <<= 1;
+        }
+
+        // Clear the last element (tid == 0).
+        const unsigned p1 = kb.preg();
+        kb.isetp(CmpOp::Eq, p1, tid, KernelBuilder::imm(0));
+        const Operand zero = kb.vreg();
+        kb.mov(zero, KernelBuilder::imm(0), ifP(p1));
+        kb.sts(KernelBuilder::imm((kTileElems - 1) * 4), zero, 0, ifP(p1));
+        kb.bar();
+
+        // Down-sweep: offset halves; t = s[ai]; s[ai] = s[bi]; s[bi] += t.
+        for (std::uint32_t d = 1; d < kTileElems; d <<= 1) {
+            offset >>= 1;
+            kb.isetp(CmpOp::Lt, p0, tid,
+                     KernelBuilder::imm(static_cast<std::int32_t>(d)));
+            DivergentIf div(kb, p0);
+            emitPairAddrs(kb, tid, offset, ai, bi);
+            kb.lds(va, ai, 0);
+            kb.lds(vb, bi, 0);
+            kb.sts(ai, vb, 0);
+            kb.iadd(vb, vb, va);
+            kb.sts(bi, vb, 0);
+            div.close();
+            kb.bar();
+        }
+
+        // Write both elements back.
+        const Operand g_out = kb.vreg();
+        kb.iadd(g_out, base, pout);
+        kb.iadd(g_out, g_out, two_t);
+        kb.lds(e0, two_t, 0);
+        kb.lds(e1, two_t, 4);
+        kb.stg(g_out, e0, 0);
+        kb.stg(g_out, e1, 4);
+        kb.exit();
+
+        return kb.finish(kTileElems * 4);
+    }
+
+    /** ai = (offset*(2*tid+1) - 1) * 4;  bi = (offset*(2*tid+2) - 1) * 4. */
+    static void
+    emitPairAddrs(KernelBuilder& kb, Operand tid, std::uint32_t offset,
+                  Operand ai, Operand bi)
+    {
+        // 2*tid+1 and 2*tid+2 via IMAD on the fly.
+        kb.imad(ai, tid, KernelBuilder::imm(2), KernelBuilder::imm(1));
+        kb.imul(ai, ai, KernelBuilder::imm(static_cast<std::int32_t>(offset)));
+        kb.isub(ai, ai, KernelBuilder::imm(1));
+        kb.shl(ai, ai, KernelBuilder::imm(2));
+        kb.imad(bi, tid, KernelBuilder::imm(2), KernelBuilder::imm(2));
+        kb.imul(bi, bi, KernelBuilder::imm(static_cast<std::int32_t>(offset)));
+        kb.isub(bi, bi, KernelBuilder::imm(1));
+        kb.shl(bi, bi, KernelBuilder::imm(2));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeScan()
+{
+    return std::make_unique<Scan>();
+}
+
+} // namespace gpr

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * transpose — the SDK shared-memory matrix transpose: 8x8 tiles staged in
+ * LDS so that both global read and write are coalesced.  Integer data,
+ * bit-exact verification.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::uint32_t kN = 128;
+constexpr std::uint32_t kTile = 16;
+
+class Transpose : public Workload
+{
+  public:
+    std::string_view name() const override { return "transpose"; }
+    bool usesLocalMemory() const override { return true; }
+
+    WorkloadInstance
+    build(IsaDialect dialect, const WorkloadParams& params) const override
+    {
+        WorkloadInstance inst;
+        inst.workloadName = std::string(name());
+
+        Rng rng(deriveSeed(params.seed, 0x7359));
+        Buffer in = inst.image.allocBuffer(kN * kN);
+        Buffer out_buf = inst.image.allocBuffer(kN * kN);
+
+        ExpectedOutput out;
+        out.label = "transposed";
+        out.buffer = out_buf;
+        out.compare = CompareKind::ExactWords;
+        out.golden.resize(kN * kN);
+        for (std::uint32_t y = 0; y < kN; ++y) {
+            for (std::uint32_t x = 0; x < kN; ++x) {
+                const Word v = static_cast<Word>(rng());
+                inst.image.setWord(in, y * kN + x, v);
+                out.golden[x * kN + y] = v;
+            }
+        }
+        inst.outputs.push_back(std::move(out));
+
+        inst.program = buildKernel(dialect);
+
+        inst.launch.blockX = kTile;
+        inst.launch.blockY = kTile;
+        inst.launch.gridX = kN / kTile;
+        inst.launch.gridY = kN / kTile;
+        inst.launch.addParamAddr(in.byteAddr);
+        inst.launch.addParamAddr(out_buf.byteAddr);
+        inst.launch.addParamInt(static_cast<std::int32_t>(kN));
+        return inst;
+    }
+
+  private:
+    static Program
+    buildKernel(IsaDialect dialect)
+    {
+        KernelBuilder kb("transpose", dialect);
+        const Operand tx = kb.vreg();
+        const Operand ty = kb.vreg();
+        const Operand bx = kb.uniformReg();
+        const Operand by = kb.uniformReg();
+        const Operand pin = kb.uniformReg();
+        const Operand pout = kb.uniformReg();
+        const Operand n = kb.uniformReg();
+
+        kb.s2r(tx, SpecialReg::TidX);
+        kb.s2r(ty, SpecialReg::TidY);
+        kb.s2r(bx, SpecialReg::CtaIdX);
+        kb.s2r(by, SpecialReg::CtaIdY);
+        kb.ldparam(pin, 0);
+        kb.ldparam(pout, 1);
+        kb.ldparam(n, 2);
+
+        // Read in[(by*kTile+ty)*N + bx*kTile+tx] -> tile[ty][tx].
+        const Operand gx = kb.vreg();
+        const Operand gy = kb.vreg();
+        kb.imad(gx, bx, KernelBuilder::imm(kTile), tx);
+        kb.imad(gy, by, KernelBuilder::imm(kTile), ty);
+
+        const Operand addr = kb.vreg();
+        kb.imad(addr, gy, n, gx);
+        kb.shl(addr, addr, KernelBuilder::imm(2));
+        kb.iadd(addr, addr, pin);
+        const Operand v = kb.vreg();
+        kb.ldg(v, addr);
+
+        const Operand s_w = kb.vreg(); // (ty*kTile+tx)*4
+        kb.imad(s_w, ty, KernelBuilder::imm(kTile), tx);
+        kb.shl(s_w, s_w, KernelBuilder::imm(2));
+        kb.sts(s_w, v);
+        kb.bar();
+
+        // Write out[(bx*kTile+ty)*N + by*kTile+tx] = tile[tx][ty]
+        // (coalesced store: consecutive tx writes consecutive addresses).
+        const Operand ox = kb.vreg();
+        const Operand oy = kb.vreg();
+        kb.imad(ox, by, KernelBuilder::imm(kTile), tx);
+        kb.imad(oy, bx, KernelBuilder::imm(kTile), ty);
+
+        const Operand s_r = kb.vreg(); // (tx*kTile+ty)*4
+        kb.imad(s_r, tx, KernelBuilder::imm(kTile), ty);
+        kb.shl(s_r, s_r, KernelBuilder::imm(2));
+        const Operand tv = kb.vreg();
+        kb.lds(tv, s_r);
+
+        const Operand oaddr = kb.vreg();
+        kb.imad(oaddr, oy, n, ox);
+        kb.shl(oaddr, oaddr, KernelBuilder::imm(2));
+        kb.iadd(oaddr, oaddr, pout);
+        kb.stg(oaddr, tv);
+        kb.exit();
+
+        return kb.finish(kTile * kTile * 4);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTranspose()
+{
+    return std::make_unique<Transpose>();
+}
+
+} // namespace gpr

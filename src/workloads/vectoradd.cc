@@ -1,0 +1,113 @@
+/**
+ * @file
+ * vectoradd — the CUDA SDK / AMD-APP "VectorAdd" sample: C[i] = A[i] + B[i]
+ * with a bounds guard, one thread per element.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace gpr {
+namespace {
+
+constexpr std::uint32_t kN = 32768;
+constexpr std::uint32_t kBlock = 128;
+
+class VectorAdd : public Workload
+{
+  public:
+    std::string_view name() const override { return "vectoradd"; }
+    bool usesLocalMemory() const override { return false; }
+
+    WorkloadInstance
+    build(IsaDialect dialect, const WorkloadParams& params) const override
+    {
+        WorkloadInstance inst;
+        inst.workloadName = std::string(name());
+
+        // --- Inputs & golden -------------------------------------------
+        Rng rng(deriveSeed(params.seed, 0xADD));
+        Buffer a = inst.image.allocBuffer(kN);
+        Buffer b = inst.image.allocBuffer(kN);
+        Buffer c = inst.image.allocBuffer(kN);
+
+        ExpectedOutput out;
+        out.label = "C";
+        out.buffer = c;
+        out.compare = CompareKind::FloatRelTol;
+        out.tolerance = 1e-5f;
+        out.golden.resize(kN);
+        for (std::uint32_t i = 0; i < kN; ++i) {
+            const float av = rng.uniformF(-4.0f, 4.0f);
+            const float bv = rng.uniformF(-4.0f, 4.0f);
+            inst.image.setFloat(a, i, av);
+            inst.image.setFloat(b, i, bv);
+            out.golden[i] = floatBits(av + bv);
+        }
+        inst.outputs.push_back(std::move(out));
+
+        // --- Kernel ------------------------------------------------------
+        KernelBuilder kb(std::string(name()), dialect);
+        const Operand tid = kb.vreg();
+        const Operand bid = kb.uniformReg();
+        const Operand bdim = kb.uniformReg();
+        const Operand pa = kb.uniformReg();
+        const Operand pb = kb.uniformReg();
+        const Operand pc = kb.uniformReg();
+        const Operand n = kb.uniformReg();
+
+        kb.s2r(tid, SpecialReg::TidX);
+        kb.s2r(bid, SpecialReg::CtaIdX);
+        kb.s2r(bdim, SpecialReg::NTidX);
+        kb.ldparam(pa, 0);
+        kb.ldparam(pb, 1);
+        kb.ldparam(pc, 2);
+        kb.ldparam(n, 3);
+
+        const Operand gid = kb.vreg();
+        kb.imad(gid, bid, bdim, tid);
+        const unsigned p0 = kb.preg();
+        kb.isetp(CmpOp::Lt, p0, gid, n);
+
+        const Operand off = kb.vreg();
+        kb.shl(off, gid, KernelBuilder::imm(2));
+        const Operand aaddr = kb.vreg();
+        const Operand baddr = kb.vreg();
+        const Operand caddr = kb.vreg();
+        kb.iadd(aaddr, off, pa);
+        kb.iadd(baddr, off, pb);
+        kb.iadd(caddr, off, pc);
+
+        const Operand va = kb.vreg();
+        const Operand vb = kb.vreg();
+        const Operand vc = kb.vreg();
+        kb.ldg(va, aaddr, 0, ifP(p0));
+        kb.ldg(vb, baddr, 0, ifP(p0));
+        kb.fadd(vc, va, vb, ifP(p0));
+        kb.stg(caddr, vc, 0, ifP(p0));
+        kb.exit();
+
+        inst.program = kb.finish();
+
+        // --- Launch ------------------------------------------------------
+        inst.launch.blockX = kBlock;
+        inst.launch.gridX = kN / kBlock;
+        inst.launch.addParamAddr(a.byteAddr);
+        inst.launch.addParamAddr(b.byteAddr);
+        inst.launch.addParamAddr(c.byteAddr);
+        inst.launch.addParamInt(static_cast<std::int32_t>(kN));
+        return inst;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVectorAdd()
+{
+    return std::make_unique<VectorAdd>();
+}
+
+} // namespace gpr

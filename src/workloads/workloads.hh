@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Registry of the paper's ten benchmarks.
+ *
+ * Seven are common to the CUDA SDK and the AMD-APP SDK (vectoradd,
+ * matrixMul, reduction, scan, histogram, transpose, dwtHaar1D) and three
+ * come from Rodinia (backprop, gaussian, kmeans), exactly as in Section
+ * III of the paper.  Names match the figure labels.
+ */
+
+#ifndef GPR_WORKLOADS_WORKLOADS_HH
+#define GPR_WORKLOADS_WORKLOADS_HH
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace gpr {
+
+std::unique_ptr<Workload> makeBackprop();
+std::unique_ptr<Workload> makeDwtHaar1D();
+std::unique_ptr<Workload> makeGaussian();
+std::unique_ptr<Workload> makeHistogram();
+std::unique_ptr<Workload> makeKmeans();
+std::unique_ptr<Workload> makeMatrixMul();
+std::unique_ptr<Workload> makeReduction();
+std::unique_ptr<Workload> makeScan();
+std::unique_ptr<Workload> makeTranspose();
+std::unique_ptr<Workload> makeVectorAdd();
+
+/** All ten benchmark names in the paper's figure order. */
+const std::vector<std::string_view>& allWorkloadNames();
+
+/** The seven benchmarks that use local/shared memory (Fig. 2 set). */
+const std::vector<std::string_view>& localMemoryWorkloadNames();
+
+/** Factory by figure label; throws FatalError for unknown names. */
+std::unique_ptr<Workload> makeWorkload(std::string_view name);
+
+} // namespace gpr
+
+#endif // GPR_WORKLOADS_WORKLOADS_HH

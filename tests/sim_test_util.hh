@@ -1,0 +1,44 @@
+/** @file Shared helpers for simulator tests: small configs, run wrappers. */
+
+#ifndef GPR_TESTS_SIM_TEST_UTIL_HH
+#define GPR_TESTS_SIM_TEST_UTIL_HH
+
+#include "arch/gpu_config.hh"
+#include "sim/gpu.hh"
+
+namespace gpr {
+namespace test {
+
+/** A shrunken Fermi-class device: fast to construct/reset in tests. */
+inline GpuConfig
+smallCudaConfig()
+{
+    GpuConfig cfg = gpuConfig(GpuModel::GeforceGtx480);
+    cfg.name = "test-fermi-2sm";
+    cfg.numSms = 2;
+    return cfg;
+}
+
+/** A shrunken Southern-Islands device. */
+inline GpuConfig
+smallSiConfig()
+{
+    GpuConfig cfg = gpuConfig(GpuModel::HdRadeon7970);
+    cfg.name = "test-tahiti-2cu";
+    cfg.numSms = 2;
+    return cfg;
+}
+
+inline RunResult
+runProgram(const GpuConfig& cfg, const Program& prog,
+           const LaunchConfig& launch, MemoryImage image,
+           const RunOptions& options = {})
+{
+    Gpu gpu(cfg);
+    return gpu.run(prog, launch, std::move(image), options);
+}
+
+} // namespace test
+} // namespace gpr
+
+#endif // GPR_TESTS_SIM_TEST_UTIL_HH

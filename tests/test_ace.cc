@@ -1,0 +1,167 @@
+/** @file Tests for ACE lifetime accounting, driven both synthetically and
+ *  through full simulations. */
+
+#include <gtest/gtest.h>
+
+#include "reliability/ace.hh"
+#include "sim_test_util.hh"
+#include "workloads/workloads.hh"
+
+namespace gpr {
+namespace {
+
+constexpr auto kRf = TargetStructure::VectorRegisterFile;
+constexpr auto kLds = TargetStructure::SharedMemory;
+
+/** Synthetic event streams against a small config. */
+class AceSynthetic : public ::testing::Test
+{
+  protected:
+    GpuConfig cfg_ = test::smallCudaConfig();
+};
+
+TEST_F(AceSynthetic, WriteThenReadsCountsToLastRead)
+{
+    AceAnalyzer ace(cfg_, AceMode::Standard);
+    ace.onAlloc(kRf, 0, 0, 8, 0);
+    ace.onWrite(kRf, 0, 3, 10);
+    ace.onRead(kRf, 0, 3, 20);
+    ace.onRead(kRf, 0, 3, 50);
+    ace.onWrite(kRf, 0, 3, 70); // commits [10, 50]
+    ace.onKernelEnd(100);        // second epoch never read: dead
+    EXPECT_EQ(ace.aceWordCycles(kRf), 40u);
+}
+
+TEST_F(AceSynthetic, DeadWriteCountsNothing)
+{
+    AceAnalyzer ace(cfg_, AceMode::Standard);
+    ace.onAlloc(kRf, 0, 0, 4, 0);
+    ace.onWrite(kRf, 0, 1, 5);
+    ace.onWrite(kRf, 0, 1, 25); // overwrite with no read between
+    ace.onKernelEnd(50);
+    EXPECT_EQ(ace.aceWordCycles(kRf), 0u);
+}
+
+TEST_F(AceSynthetic, ConservativeModeExtendsToOverwrite)
+{
+    AceAnalyzer ace(cfg_, AceMode::Conservative);
+    ace.onAlloc(kRf, 0, 0, 4, 0);
+    ace.onWrite(kRf, 0, 1, 10);
+    ace.onRead(kRf, 0, 1, 15);
+    ace.onWrite(kRf, 0, 1, 60); // conservative: [10, 60]
+    ace.onKernelEnd(100);
+    EXPECT_EQ(ace.aceWordCycles(kRf), 50u);
+}
+
+TEST_F(AceSynthetic, FreeCommitsPendingInterval)
+{
+    AceAnalyzer ace(cfg_, AceMode::Standard);
+    ace.onAlloc(kLds, 1, 0, 16, 0);
+    ace.onWrite(kLds, 1, 2, 10);
+    ace.onRead(kLds, 1, 2, 30);
+    ace.onFree(kLds, 1, 0, 16, 40); // commits [10, 30]
+    ace.onKernelEnd(80);
+    EXPECT_EQ(ace.aceWordCycles(kLds), 20u);
+}
+
+TEST_F(AceSynthetic, KernelEndCommitsOpenInterval)
+{
+    AceAnalyzer ace(cfg_, AceMode::Standard);
+    ace.onAlloc(kRf, 0, 0, 4, 0);
+    ace.onWrite(kRf, 0, 0, 10);
+    ace.onRead(kRf, 0, 0, 90);
+    ace.onKernelEnd(100); // commits [10, 90]
+    EXPECT_EQ(ace.aceWordCycles(kRf), 80u);
+}
+
+TEST_F(AceSynthetic, ReadOfUninitialisedAllocationIsConservative)
+{
+    // Allocation opens an epoch; reading it without a program write
+    // counts from the alloc (undefined contents could matter).
+    AceAnalyzer ace(cfg_, AceMode::Standard);
+    ace.onAlloc(kRf, 0, 0, 4, 5);
+    ace.onRead(kRf, 0, 2, 35);
+    ace.onKernelEnd(50);
+    EXPECT_EQ(ace.aceWordCycles(kRf), 30u);
+}
+
+TEST_F(AceSynthetic, SmIndexingSeparatesInstances)
+{
+    AceAnalyzer ace(cfg_, AceMode::Standard);
+    ace.onAlloc(kRf, 0, 0, 4, 0);
+    ace.onAlloc(kRf, 1, 0, 4, 0);
+    ace.onWrite(kRf, 0, 0, 10);
+    ace.onRead(kRf, 1, 0, 40); // different SM: separate word
+    ace.onWrite(kRf, 0, 0, 50); // SM0 word unread => dead
+    ace.onKernelEnd(60);
+    // Only SM1's alloc-to-read interval counts: [0, 40].
+    EXPECT_EQ(ace.aceWordCycles(kRf), 40u);
+}
+
+/** Full-simulation properties. */
+TEST(AceAnalysis, AvfWithinBounds)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    for (auto name : {"vectoradd", "reduction", "histogram"}) {
+        const auto wl = makeWorkload(name);
+        const WorkloadInstance inst = wl->build(cfg.dialect, {});
+        const AceResult r = runAceAnalysis(cfg, inst);
+        for (const AceStructureResult* s :
+             {&r.registerFile, &r.sharedMemory}) {
+            EXPECT_GE(s->avf(), 0.0) << name;
+            EXPECT_LE(s->avf(), 1.0) << name;
+        }
+        // A word can only be ACE while allocated, so the structure AVF
+        // cannot exceed its time-averaged occupancy (plus epsilon for
+        // cycle-boundary accounting).
+        EXPECT_LE(r.registerFile.avf(),
+                  r.goldenStats.avgRegFileOccupancy + 0.02)
+            << name;
+        EXPECT_LE(r.sharedMemory.avf(),
+                  r.goldenStats.avgSmemOccupancy + 0.02)
+            << name;
+    }
+}
+
+TEST(AceAnalysis, ConservativeDominatesStandard)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    for (auto name : {"vectoradd", "scan"}) {
+        const auto wl = makeWorkload(name);
+        const WorkloadInstance inst = wl->build(cfg.dialect, {});
+        const AceResult std_mode =
+            runAceAnalysis(cfg, inst, AceMode::Standard);
+        const AceResult cons_mode =
+            runAceAnalysis(cfg, inst, AceMode::Conservative);
+        EXPECT_GE(cons_mode.registerFile.avf() + 1e-12,
+                  std_mode.registerFile.avf())
+            << name;
+        EXPECT_GE(cons_mode.sharedMemory.avf() + 1e-12,
+                  std_mode.sharedMemory.avf())
+            << name;
+    }
+}
+
+TEST(AceAnalysis, DeterministicAcrossRuns)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const auto wl = makeWorkload("transpose");
+    const WorkloadInstance inst = wl->build(cfg.dialect, {});
+    const AceResult a = runAceAnalysis(cfg, inst);
+    const AceResult b = runAceAnalysis(cfg, inst);
+    EXPECT_EQ(a.registerFile.aceWordCycles, b.registerFile.aceWordCycles);
+    EXPECT_EQ(a.sharedMemory.aceWordCycles, b.sharedMemory.aceWordCycles);
+}
+
+TEST(AceAnalysis, NoSharedUseMeansZeroLdsAce)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const auto wl = makeWorkload("kmeans"); // no local memory
+    const WorkloadInstance inst = wl->build(cfg.dialect, {});
+    const AceResult r = runAceAnalysis(cfg, inst);
+    EXPECT_EQ(r.sharedMemory.aceWordCycles, 0u);
+    EXPECT_GT(r.registerFile.aceWordCycles, 0u);
+}
+
+} // namespace
+} // namespace gpr

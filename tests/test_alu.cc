@@ -1,0 +1,128 @@
+/** @file Parameterized tests for the functional ALU semantics. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "sim/alu.hh"
+
+namespace gpr {
+namespace {
+
+Word
+f(float v)
+{
+    return floatBits(v);
+}
+
+struct AluCase
+{
+    const char* label;
+    Opcode op;
+    Word a, b, c;
+    Word expected;
+};
+
+class AluEval : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(AluEval, MatchesExpected)
+{
+    const AluCase& tc = GetParam();
+    EXPECT_EQ(evalAlu(tc.op, tc.a, tc.b, tc.c), tc.expected) << tc.label;
+}
+
+const AluCase alu_cases[] = {
+    {"mov", Opcode::Mov, 0xdeadbeef, 0, 0, 0xdeadbeef},
+    {"iadd", Opcode::IAdd, 2, 3, 0, 5},
+    {"iadd_wrap", Opcode::IAdd, 0xffffffff, 1, 0, 0},
+    {"isub", Opcode::ISub, 3, 5, 0, static_cast<Word>(-2)},
+    {"imul", Opcode::IMul, 7, 6, 0, 42},
+    {"imul_low32", Opcode::IMul, 0x10000, 0x10000, 0, 0},
+    {"imad", Opcode::IMad, 3, 4, 5, 17},
+    {"imin_signed", Opcode::IMin, static_cast<Word>(-5), 3, 0,
+     static_cast<Word>(-5)},
+    {"imax_signed", Opcode::IMax, static_cast<Word>(-5), 3, 0, 3},
+    {"and", Opcode::And, 0xff00ff00, 0x0ff00ff0, 0, 0x0f000f00},
+    {"or", Opcode::Or, 0xf0, 0x0f, 0, 0xff},
+    {"xor", Opcode::Xor, 0xff, 0x0f, 0, 0xf0},
+    {"not", Opcode::Not, 0, 0, 0, 0xffffffff},
+    {"shl", Opcode::Shl, 1, 5, 0, 32},
+    {"shl_mask", Opcode::Shl, 1, 32, 0, 1}, // shift masked to 5 bits
+    {"shr_logical", Opcode::Shr, 0x80000000, 4, 0, 0x08000000},
+    {"shra_arith", Opcode::Shra, 0x80000000, 4, 0, 0xf8000000},
+    {"fadd", Opcode::FAdd, f(1.5f), f(2.25f), 0, f(3.75f)},
+    {"fsub", Opcode::FSub, f(1.0f), f(3.0f), 0, f(-2.0f)},
+    {"fmul", Opcode::FMul, f(3.0f), f(-2.0f), 0, f(-6.0f)},
+    {"fmin", Opcode::FMin, f(1.0f), f(-2.0f), 0, f(-2.0f)},
+    {"fmax", Opcode::FMax, f(1.0f), f(-2.0f), 0, f(1.0f)},
+    {"frcp", Opcode::FRcp, f(4.0f), 0, 0, f(0.25f)},
+    {"fsqrt", Opcode::FSqrt, f(9.0f), 0, 0, f(3.0f)},
+    {"fexp2", Opcode::FExp2, f(3.0f), 0, 0, f(8.0f)},
+    {"fabs", Opcode::FAbs, f(-2.5f), 0, 0, f(2.5f)},
+    {"fneg", Opcode::FNeg, f(2.5f), 0, 0, f(-2.5f)},
+    {"fneg_zero", Opcode::FNeg, f(0.0f), 0, 0, f(-0.0f)},
+    {"fdiv", Opcode::FDiv, f(7.0f), f(2.0f), 0, f(3.5f)},
+    {"f2i_trunc", Opcode::F2i, f(2.9f), 0, 0, 2},
+    {"f2i_trunc_neg", Opcode::F2i, f(-2.9f), 0, 0, static_cast<Word>(-2)},
+    {"f2i_nan", Opcode::F2i, 0x7fc00000, 0, 0, 0},
+    {"f2i_sat_hi", Opcode::F2i, f(1e20f), 0, 0, 0x7fffffff},
+    {"f2i_sat_lo", Opcode::F2i, f(-1e20f), 0, 0, 0x80000000},
+    {"i2f", Opcode::I2f, static_cast<Word>(-3), 0, 0, f(-3.0f)},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllOps, AluEval, ::testing::ValuesIn(alu_cases),
+                         [](const auto& info) {
+                             return std::string(info.param.label);
+                         });
+
+TEST(Alu, FfmaIsFused)
+{
+    // FFMA must match std::fma bit-for-bit (single rounding).
+    const float a = 1.0000001f, b = 1.0000001f, c = -1.0000002f;
+    EXPECT_EQ(evalAlu(Opcode::FFma, f(a), f(b), f(c)),
+              f(std::fma(a, b, c)));
+}
+
+TEST(Alu, NonAluOpcodePanics)
+{
+    EXPECT_THROW(evalAlu(Opcode::Bra, 0, 0, 0), PanicError);
+    EXPECT_THROW(evalAlu(Opcode::Ldg, 0, 0, 0), PanicError);
+}
+
+TEST(AluCmp, IntComparisons)
+{
+    EXPECT_TRUE(evalCmpInt(CmpOp::Eq, 5, 5));
+    EXPECT_FALSE(evalCmpInt(CmpOp::Ne, 5, 5));
+    EXPECT_TRUE(evalCmpInt(CmpOp::Lt, static_cast<Word>(-1), 0)); // signed
+    EXPECT_FALSE(evalCmpInt(CmpOp::Gt, static_cast<Word>(-1), 0));
+    EXPECT_TRUE(evalCmpInt(CmpOp::Le, 3, 3));
+    EXPECT_TRUE(evalCmpInt(CmpOp::Ge, 4, 3));
+}
+
+TEST(AluCmp, FloatComparisons)
+{
+    EXPECT_TRUE(evalCmpFloat(CmpOp::Lt, f(1.0f), f(2.0f)));
+    EXPECT_TRUE(evalCmpFloat(CmpOp::Eq, f(-0.0f), f(0.0f))); // IEEE
+    const Word nan = 0x7fc00000;
+    // NaN: all ordered comparisons false, NE true.
+    EXPECT_FALSE(evalCmpFloat(CmpOp::Eq, nan, nan));
+    EXPECT_FALSE(evalCmpFloat(CmpOp::Lt, nan, f(1.0f)));
+    EXPECT_FALSE(evalCmpFloat(CmpOp::Ge, nan, f(1.0f)));
+    EXPECT_TRUE(evalCmpFloat(CmpOp::Ne, nan, nan));
+}
+
+TEST(Alu, DivisionSpecialCases)
+{
+    EXPECT_EQ(evalAlu(Opcode::FDiv, f(1.0f), f(0.0f), 0),
+              f(std::numeric_limits<float>::infinity()));
+    EXPECT_EQ(evalAlu(Opcode::FRcp, f(0.0f), 0, 0),
+              f(std::numeric_limits<float>::infinity()));
+}
+
+} // namespace
+} // namespace gpr

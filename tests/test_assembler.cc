@@ -1,0 +1,174 @@
+/** @file Tests for the text assembler and disassembler round-trip. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+#include "workloads/workloads.hh"
+
+namespace gpr {
+namespace {
+
+TEST(Assembler, MinimalKernel)
+{
+    const Program p = assemble(".kernel tiny\nEXIT\n");
+    EXPECT_EQ(p.name(), "tiny");
+    EXPECT_EQ(p.size(), 1u);
+    EXPECT_EQ(p.inst(0).op, Opcode::Exit);
+}
+
+TEST(Assembler, FullSyntaxForms)
+{
+    const Program p = assemble(R"(
+.kernel forms
+.dialect cuda
+.smem 64
+start:
+    S2R   V0, SR_TID_X
+    MOV   V1, 0x10          # hex immediate
+    MOV   V2, -3            // negative immediate
+    FADD  V3, V1, 1.5f      # float immediate
+    IMAD  V4, V0, V1, V2
+    ISETP.LT P0, V4, 100
+    SELP  V5, V1, V2, P0
+@P0 BRA   start
+@!P1 LDG  V6, [V4 + 8]
+    STG   [V4 - 4], V6
+    LDS   V7, [V0]
+    STS   [V0 + 12], V7
+    ATOMS_ADD [V0], V1
+    BAR
+    SYNC_LABEL: SYNC
+    EXIT
+)");
+    EXPECT_EQ(p.size(), 16u);
+    EXPECT_EQ(p.inst(1).src[0].imm, 0x10u);
+    EXPECT_EQ(p.inst(2).src[0].imm, static_cast<Word>(-3));
+    EXPECT_EQ(p.inst(3).src[0].imm, 0u); // dst V3; src0 = V1
+    EXPECT_EQ(p.inst(3).src[1].imm, 0x3fc00000u); // 1.5f
+    EXPECT_EQ(p.inst(5).cmp, CmpOp::Lt);
+    EXPECT_EQ(p.inst(6).predSrc, 0u);
+    EXPECT_EQ(p.inst(7).guard, 0);
+    EXPECT_FALSE(p.inst(7).guardNegate);
+    EXPECT_EQ(p.inst(7).target, 0u);
+    EXPECT_EQ(p.inst(8).guard, 1);
+    EXPECT_TRUE(p.inst(8).guardNegate);
+    EXPECT_EQ(p.inst(8).memOffset, 8);
+    EXPECT_EQ(p.inst(9).memOffset, -4);
+    EXPECT_TRUE(p.inst(12).traits().isAtomic);
+}
+
+TEST(Assembler, SouthernIslandsScalarRegs)
+{
+    const Program p = assemble(R"(
+.kernel si_test
+.dialect si
+    LDPARAM S0, 0
+    IADD    S1, S0, 4
+    MOV     V0, S1
+    EXIT
+)");
+    EXPECT_EQ(p.dialect(), IsaDialect::SouthernIslands);
+    EXPECT_EQ(p.numSRegs(), 2u);
+    EXPECT_EQ(p.inst(1).dst.kind, OperandKind::SReg);
+}
+
+TEST(Assembler, ErrorsAreFatalWithDiagnostics)
+{
+    // Unknown mnemonic.
+    EXPECT_THROW(assemble(".kernel k\nBOGUS V0, V1\nEXIT\n"), FatalError);
+    // Unresolved label.
+    EXPECT_THROW(assemble(".kernel k\nBRA nowhere\nEXIT\n"), FatalError);
+    // Wrong operand count.
+    EXPECT_THROW(assemble(".kernel k\nIADD V0, V1\nEXIT\n"), FatalError);
+    // Bad guard register.
+    EXPECT_THROW(assemble(".kernel k\n@P9 MOV V0, 1\nEXIT\n"), FatalError);
+    // SETP without comparison suffix.
+    EXPECT_THROW(assemble(".kernel k\nISETP P0, V0, V1\nEXIT\n"),
+                 FatalError);
+    // Redefined label.
+    EXPECT_THROW(assemble(".kernel k\nx:\nx:\nEXIT\n"), FatalError);
+    // Scalar register in CUDA dialect.
+    EXPECT_THROW(assemble(".kernel k\n.dialect cuda\nMOV S0, 1\nEXIT\n"),
+                 FatalError);
+    // Empty program.
+    EXPECT_THROW(assemble(".kernel k\n"), FatalError);
+    // Missing EXIT.
+    EXPECT_THROW(assemble(".kernel k\nMOV V0, 1\n"), FatalError);
+    // Shared access without .smem declaration.
+    EXPECT_THROW(assemble(".kernel k\nLDS V0, [V1]\nEXIT\n"), FatalError);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = assemble(R"(
+# full-line comment
+.kernel c   // trailing comment
+
+    NOP     # after instruction
+    EXIT
+)");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Disassembler, RoundTripSynthetic)
+{
+    const char* source = R"(
+.kernel rt
+.dialect cuda
+.smem 128
+loop:
+    S2R   V0, SR_CTAID_Y
+    ISETP.GE P2, V0, 7
+@!P2 BRA loop
+    LDS   V1, [V0 + 4]
+    FFMA  V2, V1, V1, V0
+    STG   [V2], V1
+    EXIT
+)";
+    const Program p1 = assemble(source);
+    const Program p2 = assemble(disassemble(p1));
+    ASSERT_EQ(p1.size(), p2.size());
+    EXPECT_EQ(p1.numVRegs(), p2.numVRegs());
+    EXPECT_EQ(p1.smemBytes(), p2.smemBytes());
+    for (std::uint32_t i = 0; i < p1.size(); ++i) {
+        EXPECT_EQ(p1.inst(i).toString(), p2.inst(i).toString())
+            << "at pc " << i;
+    }
+}
+
+/** Round-trip every built-in workload kernel through text and back. */
+class WorkloadRoundTrip
+    : public ::testing::TestWithParam<std::string_view>
+{
+};
+
+TEST_P(WorkloadRoundTrip, DisassembleAssembleIdentity)
+{
+    for (IsaDialect dialect :
+         {IsaDialect::Cuda, IsaDialect::SouthernIslands}) {
+        const auto wl = makeWorkload(GetParam());
+        const WorkloadInstance inst = wl->build(dialect, {});
+        const Program& p1 = inst.program;
+        const Program p2 = assemble(disassemble(p1));
+        ASSERT_EQ(p1.size(), p2.size());
+        EXPECT_EQ(p1.numVRegs(), p2.numVRegs());
+        EXPECT_EQ(p1.numSRegs(), p2.numSRegs());
+        EXPECT_EQ(p1.smemBytes(), p2.smemBytes());
+        for (std::uint32_t i = 0; i < p1.size(); ++i) {
+            ASSERT_EQ(p1.inst(i).op, p2.inst(i).op) << "at pc " << i;
+            ASSERT_EQ(p1.inst(i).toString(), p2.inst(i).toString())
+                << "at pc " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadRoundTrip,
+                         ::testing::ValuesIn(allWorkloadNames()),
+                         [](const auto& info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,97 @@
+/** @file Tests for the bench command-line plumbing. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/bench_cli.hh"
+
+namespace gpr {
+namespace {
+
+bool
+parseArgs(BenchCli& cli, std::vector<std::string> args)
+{
+    std::vector<char*> argv;
+    static std::string prog = "bench";
+    argv.push_back(prog.data());
+    for (auto& a : args)
+        argv.push_back(a.data());
+    return cli.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchCli, DefaultsAreSane)
+{
+    BenchCli cli;
+    ASSERT_TRUE(parseArgs(cli, {}));
+    EXPECT_EQ(cli.study.analysis.plan.injections, 150u);
+    EXPECT_DOUBLE_EQ(cli.study.analysis.plan.confidence, 0.99);
+    EXPECT_FALSE(cli.study.analysis.aceOnly);
+    EXPECT_FALSE(cli.csv);
+    EXPECT_TRUE(cli.study.workloads.empty());
+    EXPECT_TRUE(cli.study.gpus.empty());
+}
+
+TEST(BenchCli, ParsesAllFlags)
+{
+    BenchCli cli;
+    ASSERT_TRUE(parseArgs(cli, {"--injections=2000", "--confidence=0.95",
+                                "--seed=42", "--threads=3",
+                                "--workloads=scan,kmeans",
+                                "--gpus=gtx480,7970", "--ace-only",
+                                "--csv"}));
+    EXPECT_EQ(cli.study.analysis.plan.injections, 2000u);
+    EXPECT_DOUBLE_EQ(cli.study.analysis.plan.confidence, 0.95);
+    EXPECT_EQ(cli.study.analysis.seed, 42u);
+    EXPECT_EQ(cli.study.analysis.numThreads, 3u);
+    ASSERT_EQ(cli.study.workloads.size(), 2u);
+    EXPECT_EQ(cli.study.workloads[0], "scan");
+    ASSERT_EQ(cli.study.gpus.size(), 2u);
+    EXPECT_EQ(cli.study.gpus[0], GpuModel::GeforceGtx480);
+    EXPECT_EQ(cli.study.gpus[1], GpuModel::HdRadeon7970);
+    EXPECT_TRUE(cli.study.analysis.aceOnly);
+    EXPECT_TRUE(cli.csv);
+}
+
+TEST(BenchCli, RejectsBadValues)
+{
+    BenchCli a;
+    EXPECT_FALSE(parseArgs(a, {"--injections=xyz"}));
+    BenchCli b;
+    EXPECT_FALSE(parseArgs(b, {"--confidence=1.5"}));
+    BenchCli c;
+    EXPECT_FALSE(parseArgs(c, {"--no-such-flag"}));
+    BenchCli d;
+    EXPECT_FALSE(parseArgs(d, {"--help"}));
+}
+
+TEST(BenchCli, UnknownGpuIsFatal)
+{
+    BenchCli cli;
+    EXPECT_THROW(parseArgs(cli, {"--gpus=riva128"}), FatalError);
+}
+
+TEST(BenchCli, HeaderMentionsPlan)
+{
+    BenchCli cli;
+    ASSERT_TRUE(parseArgs(cli, {"--injections=2000"}));
+    std::ostringstream os;
+    cli.printHeader(os, "Test Title");
+    const std::string text = os.str();
+    EXPECT_NE(text.find("Test Title"), std::string::npos);
+    EXPECT_NE(text.find("2000 injections"), std::string::npos);
+    EXPECT_NE(text.find("2.88"), std::string::npos);
+}
+
+TEST(BenchCli, AceOnlyHeader)
+{
+    BenchCli cli;
+    ASSERT_TRUE(parseArgs(cli, {"--ace-only"}));
+    std::ostringstream os;
+    cli.printHeader(os, "T");
+    EXPECT_NE(os.str().find("ACE analysis only"), std::string::npos);
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,56 @@
+/** @file Tests for bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+
+namespace gpr {
+namespace {
+
+TEST(BitUtils, FlipBit)
+{
+    EXPECT_EQ(flipBit(0x0, 0), 0x1u);
+    EXPECT_EQ(flipBit(0x1, 0), 0x0u);
+    EXPECT_EQ(flipBit(0x0, 31), 0x80000000u);
+    // Flipping twice restores.
+    for (unsigned b = 0; b < 32; ++b)
+        EXPECT_EQ(flipBit(flipBit(0xdeadbeefu, b), b), 0xdeadbeefu);
+}
+
+TEST(BitUtils, GetSetBit)
+{
+    Word w = 0;
+    w = setBit(w, 5, true);
+    EXPECT_TRUE(getBit(w, 5));
+    EXPECT_FALSE(getBit(w, 4));
+    w = setBit(w, 5, false);
+    EXPECT_EQ(w, 0u);
+}
+
+TEST(BitUtils, Popcount)
+{
+    EXPECT_EQ(popcount(0u), 0u);
+    EXPECT_EQ(popcount(0xffffffffu), 32u);
+    EXPECT_EQ(popcount(0x80000001u), 2u);
+}
+
+TEST(BitUtils, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1, 128), 1);
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+}
+
+TEST(BitUtils, FloatBitsRoundTrip)
+{
+    for (float f : {0.0f, 1.0f, -2.5f, 3.14159f, 1e-20f, -1e20f}) {
+        EXPECT_EQ(wordToFloat(floatBits(f)), f);
+    }
+    EXPECT_EQ(floatBits(1.0f), 0x3f800000u);
+    EXPECT_EQ(floatBits(-0.0f), 0x80000000u);
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,129 @@
+/** @file Tests for the KernelBuilder programmatic assembler. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+
+namespace gpr {
+namespace {
+
+TEST(KernelBuilder, CountsRegisters)
+{
+    KernelBuilder kb("t", IsaDialect::Cuda);
+    const Operand a = kb.vreg();
+    const Operand b = kb.vreg();
+    const Operand c = kb.vreg();
+    kb.iadd(c, a, b);
+    kb.exit();
+    const Program p = kb.finish();
+    EXPECT_EQ(p.numVRegs(), 3u);
+    EXPECT_EQ(p.numSRegs(), 0u);
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(KernelBuilder, UniformRegIsScalarOnSouthernIslands)
+{
+    KernelBuilder si("t", IsaDialect::SouthernIslands);
+    EXPECT_EQ(si.uniformReg().kind, OperandKind::SReg);
+    EXPECT_EQ(si.warpWidth(), 64u);
+
+    KernelBuilder cuda("t", IsaDialect::Cuda);
+    EXPECT_EQ(cuda.uniformReg().kind, OperandKind::VReg);
+    EXPECT_EQ(cuda.warpWidth(), 32u);
+}
+
+TEST(KernelBuilder, LabelsResolve)
+{
+    KernelBuilder kb("t", IsaDialect::Cuda);
+    const Operand r = kb.vreg();
+    const unsigned p = kb.preg();
+    const Label loop = kb.newLabel("loop");
+    kb.mov(r, KernelBuilder::imm(0));
+    kb.bind(loop);
+    kb.iadd(r, r, KernelBuilder::imm(1));
+    kb.isetp(CmpOp::Lt, p, r, KernelBuilder::imm(10));
+    kb.bra(loop, ifP(p));
+    kb.exit();
+    const Program prog = kb.finish();
+    EXPECT_EQ(prog.inst(3).target, 1u); // BRA jumps to the IADD
+    EXPECT_EQ(prog.inst(3).guard, static_cast<std::int8_t>(p));
+}
+
+TEST(KernelBuilder, UnboundLabelIsFatal)
+{
+    KernelBuilder kb("t", IsaDialect::Cuda);
+    const Label never = kb.newLabel("never");
+    kb.bra(never);
+    kb.exit();
+    EXPECT_THROW(kb.finish(), FatalError);
+}
+
+TEST(KernelBuilder, DoubleBindPanics)
+{
+    KernelBuilder kb("t", IsaDialect::Cuda);
+    const Label l = kb.newLabel();
+    kb.bind(l);
+    EXPECT_THROW(kb.bind(l), PanicError);
+}
+
+TEST(KernelBuilder, DoubleFinishPanics)
+{
+    KernelBuilder kb("t", IsaDialect::Cuda);
+    kb.exit();
+    kb.finish();
+    EXPECT_THROW(kb.finish(), PanicError);
+}
+
+TEST(KernelBuilder, PredicateExhaustionPanics)
+{
+    KernelBuilder kb("t", IsaDialect::Cuda);
+    for (unsigned i = 0; i < kNumPredRegs; ++i)
+        kb.preg();
+    EXPECT_THROW(kb.preg(), PanicError);
+}
+
+TEST(KernelBuilder, GuardEncodedOnInstruction)
+{
+    KernelBuilder kb("t", IsaDialect::Cuda);
+    const Operand r = kb.vreg();
+    const unsigned p = kb.preg();
+    kb.mov(r, KernelBuilder::imm(1), ifNotP(p));
+    kb.exit();
+    const Program prog = kb.finish();
+    EXPECT_EQ(prog.inst(0).guard, static_cast<std::int8_t>(p));
+    EXPECT_TRUE(prog.inst(0).guardNegate);
+}
+
+TEST(KernelBuilder, MemOffsetsStored)
+{
+    KernelBuilder kb("t", IsaDialect::Cuda);
+    const Operand a = kb.vreg();
+    const Operand v = kb.vreg();
+    kb.ldg(v, a, 16);
+    kb.stg(a, v, -4);
+    kb.exit();
+    const Program prog = kb.finish();
+    EXPECT_EQ(prog.inst(0).memOffset, 16);
+    EXPECT_EQ(prog.inst(1).memOffset, -4);
+}
+
+TEST(KernelBuilder, SmemBytesRecorded)
+{
+    KernelBuilder kb("t", IsaDialect::Cuda);
+    const Operand a = kb.vreg();
+    kb.sts(a, a);
+    kb.exit();
+    const Program prog = kb.finish(1024);
+    EXPECT_EQ(prog.smemBytes(), 1024u);
+    EXPECT_EQ(prog.sharedMemoryOpCount(), 1u);
+}
+
+TEST(KernelBuilder, ImmediateHelpers)
+{
+    EXPECT_EQ(KernelBuilder::imm(-1).imm, 0xffffffffu);
+    EXPECT_EQ(KernelBuilder::fimm(1.0f).imm, 0x3f800000u);
+}
+
+} // namespace
+} // namespace gpr

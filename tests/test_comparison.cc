@@ -1,0 +1,100 @@
+/** @file Tests for the cross-architecture comparison study driver. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/comparison.hh"
+
+namespace gpr {
+namespace {
+
+StudyOptions
+tinyStudy()
+{
+    StudyOptions options;
+    options.workloads = {"vectoradd", "reduction"};
+    options.gpus = {GpuModel::QuadroFx5600, GpuModel::GeforceGtx480};
+    options.analysis.aceOnly = true;
+    options.verbose = false;
+    return options;
+}
+
+TEST(ComparisonStudy, ShapeAndIndexing)
+{
+    const StudyResult study = runComparisonStudy(tinyStudy());
+    ASSERT_EQ(study.workloads.size(), 2u);
+    ASSERT_EQ(study.gpus.size(), 2u);
+    ASSERT_EQ(study.reports.size(), 4u);
+    EXPECT_EQ(study.at(0, 0).workload, "vectoradd");
+    EXPECT_EQ(study.at(0, 1).gpuName, "GeForce GTX 480");
+    EXPECT_EQ(study.at(1, 0).workload, "reduction");
+    EXPECT_THROW(study.at(2, 0), PanicError);
+}
+
+TEST(ComparisonStudy, Figure1HasRowPerCellPlusAverages)
+{
+    const StudyResult study = runComparisonStudy(tinyStudy());
+    const TextTable fig1 = study.figure1();
+    // 2 workloads x 2 gpus + 2 average rows.
+    EXPECT_EQ(fig1.rowCount(), 6u);
+    EXPECT_EQ(fig1.columnCount(), 5u);
+}
+
+TEST(ComparisonStudy, Figure2OnlyLocalMemoryBenchmarks)
+{
+    const StudyResult study = runComparisonStudy(tinyStudy());
+    const TextTable fig2 = study.figure2();
+    // Only 'reduction' uses local memory: 1 workload x 2 gpus + 2 avgs.
+    EXPECT_EQ(fig2.rowCount(), 4u);
+}
+
+TEST(ComparisonStudy, Figure3CoversAllCells)
+{
+    const StudyResult study = runComparisonStudy(tinyStudy());
+    const TextTable fig3 = study.figure3();
+    EXPECT_EQ(fig3.rowCount(), 4u);
+    EXPECT_EQ(fig3.columnCount(), 6u);
+}
+
+TEST(ComparisonStudy, ClaimsComputable)
+{
+    const StudyResult study = runComparisonStudy(tinyStudy());
+    const auto claims = study.claims();
+    EXPECT_GE(claims.rfAvfOccupancyCorrelation, -1.0);
+    EXPECT_LE(claims.rfAvfOccupancyCorrelation, 1.0);
+    EXPECT_GT(claims.aceSecondsTotal, 0.0);
+
+    std::ostringstream os;
+    study.printClaims(os);
+    EXPECT_NE(os.str().find("occupancy"), std::string::npos);
+}
+
+TEST(ComparisonStudy, DefaultsCoverFullGrid)
+{
+    // Don't run it (expensive) — just check the option defaults resolve
+    // to the paper's full grid.
+    StudyOptions options;
+    EXPECT_TRUE(options.workloads.empty());
+    EXPECT_TRUE(options.gpus.empty());
+    // Defaults are applied inside runComparisonStudy; validated by the
+    // fig benches.  Here we sanity-check the sources they draw from.
+    EXPECT_EQ(allWorkloadNames().size(), 10u);
+    EXPECT_EQ(allGpuModels().size(), 4u);
+}
+
+TEST(ComparisonStudy, SmallFiStudyProducesMargins)
+{
+    StudyOptions options = tinyStudy();
+    options.analysis.aceOnly = false;
+    options.analysis.plan.injections = 25;
+    options.workloads = {"vectoradd"};
+    const StudyResult study = runComparisonStudy(options);
+    for (const auto& rep : study.reports) {
+        EXPECT_EQ(rep.registerFile.injections, 25u);
+        EXPECT_GT(rep.registerFile.fiErrorMargin, 0.0);
+    }
+}
+
+} // namespace
+} // namespace gpr

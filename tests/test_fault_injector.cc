@@ -1,0 +1,94 @@
+/** @file Tests for single-injection classification. */
+
+#include <gtest/gtest.h>
+
+#include "reliability/fault_injector.hh"
+#include "sim_test_util.hh"
+#include "workloads/workloads.hh"
+
+namespace gpr {
+namespace {
+
+TEST(FaultInjector, GoldenRunValidatesAndCaches)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const auto wl = makeWorkload("vectoradd");
+    const WorkloadInstance inst = wl->build(cfg.dialect, {});
+
+    FaultInjector injector(cfg, inst);
+    const RunResult& g1 = injector.goldenRun();
+    const RunResult& g2 = injector.goldenRun();
+    EXPECT_EQ(&g1, &g2); // cached, not re-run
+    EXPECT_GT(injector.goldenCycles(), 0u);
+}
+
+TEST(FaultInjector, DialectMismatchIsFatal)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const auto wl = makeWorkload("vectoradd");
+    const WorkloadInstance si_inst =
+        wl->build(IsaDialect::SouthernIslands, {});
+    EXPECT_THROW(FaultInjector(cfg, si_inst), FatalError);
+}
+
+TEST(FaultInjector, UnallocatedFlipClassifiesMasked)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const auto wl = makeWorkload("vectoradd");
+    const WorkloadInstance inst = wl->build(cfg.dialect, {});
+
+    FaultInjector injector(cfg, inst);
+    FaultSpec fault;
+    fault.structure = TargetStructure::SharedMemory; // kernel uses none
+    fault.bitIndex = 5;
+    fault.cycle = injector.goldenCycles() / 2;
+    const InjectionResult r = injector.inject(fault);
+    EXPECT_EQ(r.outcome, FaultOutcome::Masked);
+    EXPECT_EQ(r.trap, TrapKind::None);
+}
+
+TEST(FaultInjector, RandomInjectionsAreClassified)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const auto wl = makeWorkload("vectoradd");
+    const WorkloadInstance inst = wl->build(cfg.dialect, {});
+
+    FaultInjector injector(cfg, inst);
+    Rng rng(99);
+    std::size_t outcomes[3] = {0, 0, 0};
+    for (int i = 0; i < 40; ++i) {
+        const InjectionResult r = injector.injectRandom(
+            TargetStructure::VectorRegisterFile, rng);
+        ++outcomes[static_cast<int>(r.outcome)];
+        EXPECT_LT(r.fault.bitIndex,
+                  injector.gpu().structureBits(
+                      TargetStructure::VectorRegisterFile));
+        EXPECT_LT(r.fault.cycle, injector.goldenCycles());
+        // DUE iff trapped.
+        EXPECT_EQ(r.outcome == FaultOutcome::Due,
+                  r.trap != TrapKind::None);
+    }
+    // With a 2-SM device occupancy is high: expect at least one masked
+    // and (statistically near-certain) at least one non-masked outcome.
+    EXPECT_GT(outcomes[0] + outcomes[1] + outcomes[2], 0u);
+}
+
+TEST(FaultInjector, SameFaultSameOutcome)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const auto wl = makeWorkload("reduction");
+    const WorkloadInstance inst = wl->build(cfg.dialect, {});
+
+    FaultInjector injector(cfg, inst);
+    FaultSpec fault;
+    fault.structure = TargetStructure::VectorRegisterFile;
+    fault.bitIndex = 4242;
+    fault.cycle = injector.goldenCycles() / 3;
+    const InjectionResult a = injector.inject(fault);
+    const InjectionResult b = injector.inject(fault);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.trap, b.trap);
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,102 @@
+/** @file Tests for the FIT / EIT / EPF algebra. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "reliability/fit_epf.hh"
+
+namespace gpr {
+namespace {
+
+TEST(Fit, StructureFitScalesLinearly)
+{
+    FitParams params;
+    params.rawFitPerMbit = 1000.0;
+    const double base = structureFit(1024 * 1024, 0.5, params);
+    EXPECT_DOUBLE_EQ(base, 500.0); // 1 Mbit * 1000 FIT/Mbit * 0.5
+
+    // Linear in size and in AVF.
+    EXPECT_DOUBLE_EQ(structureFit(2 * 1024 * 1024, 0.5, params),
+                     2 * base);
+    EXPECT_DOUBLE_EQ(structureFit(1024 * 1024, 0.25, params), base / 2);
+    EXPECT_DOUBLE_EQ(structureFit(1024 * 1024, 0.0, params), 0.0);
+}
+
+TEST(Fit, RejectsNonProbabilityAvf)
+{
+    EXPECT_THROW(structureFit(1024, 1.5), PanicError);
+    EXPECT_THROW(structureFit(1024, -0.1), PanicError);
+}
+
+TEST(Eit, ExecutionTimeFromClock)
+{
+    const GpuConfig& fermi = gpuConfig(GpuModel::GeforceGtx480);
+    // 1401 MHz: 1401e6 cycles take exactly one second.
+    EXPECT_NEAR(executionSeconds(fermi, 1401000000ull), 1.0, 1e-9);
+    // Executions in 1e9 hours = 3.6e12 s / t.
+    EXPECT_NEAR(executionsInTime(1.0), 3.6e12, 1.0);
+    EXPECT_NEAR(executionsInTime(1e-6), 3.6e18, 1e7);
+}
+
+TEST(Epf, CombinesStructures)
+{
+    const GpuConfig& fermi = gpuConfig(GpuModel::GeforceGtx480);
+    const EpfResult r = computeEpf(fermi, 1401000, 0.2, 0.1);
+
+    // RF: 15 SMs x 128 KB = 15 Mbit; FIT = 15360 KB*8/1Mbit... check via
+    // the helper itself for consistency.
+    EXPECT_DOUBLE_EQ(r.fitRegisterFile,
+                     structureFit(fermi.totalRegFileBits(), 0.2));
+    EXPECT_DOUBLE_EQ(r.fitLocalMemory,
+                     structureFit(fermi.totalSmemBits(), 0.1));
+    EXPECT_EQ(r.fitScalarRegisterFile, 0.0); // NVIDIA: no scalar RF
+    EXPECT_DOUBLE_EQ(r.fitTotal(),
+                     r.fitRegisterFile + r.fitLocalMemory);
+
+    // 1401000 cycles @ 1401 MHz = 1 ms => EIT = 3.6e15.
+    EXPECT_NEAR(r.execSeconds, 1e-3, 1e-12);
+    EXPECT_NEAR(r.eit, 3.6e15, 1e6);
+    EXPECT_NEAR(r.epf(), r.eit / r.fitTotal(), 1e-3);
+}
+
+TEST(Epf, ScalarFileCountsOnAmd)
+{
+    const GpuConfig& tahiti = gpuConfig(GpuModel::HdRadeon7970);
+    const EpfResult r = computeEpf(tahiti, 925000, 0.1, 0.1, 0.3);
+    EXPECT_GT(r.fitScalarRegisterFile, 0.0);
+    EXPECT_DOUBLE_EQ(r.fitScalarRegisterFile,
+                     structureFit(tahiti.totalScalarRegBits(), 0.3));
+}
+
+TEST(Epf, ZeroAvfMeansInfiniteEpfGuard)
+{
+    const GpuConfig& fermi = gpuConfig(GpuModel::GeforceGtx480);
+    const EpfResult r = computeEpf(fermi, 1000, 0.0, 0.0);
+    EXPECT_EQ(r.fitTotal(), 0.0);
+    EXPECT_EQ(r.epf(), 0.0); // guarded, not a division by zero
+}
+
+TEST(Epf, PaperMagnitudeRange)
+{
+    // Representative numbers: ~5k-cycle kernels with AVFs of a few
+    // percent land inside the paper's 1e12..1e16 EPF band.
+    for (GpuModel m : allGpuModels()) {
+        const GpuConfig& cfg = gpuConfig(m);
+        const EpfResult r = computeEpf(cfg, 5000, 0.10, 0.02, 0.05);
+        EXPECT_GT(r.epf(), 1e12) << cfg.name;
+        EXPECT_LT(r.epf(), 1e17) << cfg.name;
+    }
+}
+
+TEST(Epf, FasterChipHigherEitAtFixedCycles)
+{
+    const EpfResult slow =
+        computeEpf(gpuConfig(GpuModel::HdRadeon7970), 10000, 0.1, 0.1);
+    const EpfResult fast =
+        computeEpf(gpuConfig(GpuModel::GeforceGtx480), 10000, 0.1, 0.1);
+    // 1401 MHz vs 925 MHz at equal cycle count.
+    EXPECT_GT(fast.eit, slow.eit);
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,100 @@
+/** @file End-to-end tests of the ReliabilityFramework facade. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/framework.hh"
+
+namespace gpr {
+namespace {
+
+TEST(Framework, AceOnlyAnalysisIsFastAndComplete)
+{
+    ReliabilityFramework fw(GpuModel::GeforceGtx480);
+    AnalysisOptions options;
+    options.aceOnly = true;
+    const ReliabilityReport r = fw.analyze("reduction", options);
+
+    EXPECT_EQ(r.workload, "reduction");
+    EXPECT_EQ(r.gpuName, "GeForce GTX 480");
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.execSeconds, 0.0);
+    EXPECT_GT(r.ipc, 0.0);
+
+    EXPECT_TRUE(r.registerFile.applicable);
+    EXPECT_GT(r.registerFile.avfAce, 0.0);
+    EXPECT_EQ(r.registerFile.injections, 0u); // no FI in aceOnly mode
+
+    EXPECT_TRUE(r.localMemory.applicable); // reduction uses smem
+    EXPECT_FALSE(r.scalarRegisterFile.applicable); // NVIDIA
+
+    // EPF assembled from the ACE AVFs.
+    const EpfResult check = computeEpf(
+        fw.config(), r.cycles, r.registerFile.avfAce,
+        r.localMemory.avfAce, 0.0);
+    EXPECT_DOUBLE_EQ(r.epf.fitTotal(), check.fitTotal());
+    EXPECT_DOUBLE_EQ(r.epf.eit, check.eit);
+}
+
+TEST(Framework, FiAnalysisPopulatesCampaignFields)
+{
+    ReliabilityFramework fw(GpuModel::QuadroFx5600);
+    AnalysisOptions options;
+    options.plan.injections = 40;
+    const ReliabilityReport r = fw.analyze("vectoradd", options);
+
+    EXPECT_EQ(r.registerFile.injections, 40u);
+    EXPECT_GT(r.registerFile.fiErrorMargin, 0.0);
+    EXPECT_GE(r.registerFile.avfFi, 0.0);
+    EXPECT_LE(r.registerFile.avfFi, 1.0);
+    EXPECT_NEAR(r.registerFile.avfFi,
+                r.registerFile.sdcRate + r.registerFile.dueRate, 1e-12);
+    EXPECT_FALSE(r.localMemory.applicable); // vectoradd has no smem
+    EXPECT_GT(r.registerFile.occupancy, 0.0);
+}
+
+TEST(Framework, ScalarFileReportedOnAmd)
+{
+    ReliabilityFramework fw(GpuModel::HdRadeon7970);
+    AnalysisOptions options;
+    options.aceOnly = true;
+    const ReliabilityReport r = fw.analyze("vectoradd", options);
+    EXPECT_TRUE(r.scalarRegisterFile.applicable);
+    EXPECT_GE(r.scalarRegisterFile.avfAce, 0.0);
+}
+
+TEST(Framework, BuildInstanceUsesDeviceDialect)
+{
+    ReliabilityFramework amd(GpuModel::HdRadeon7970);
+    EXPECT_EQ(amd.buildInstance("scan").program.dialect(),
+              IsaDialect::SouthernIslands);
+    ReliabilityFramework nv(GpuModel::QuadroFx5800);
+    EXPECT_EQ(nv.buildInstance("scan").program.dialect(),
+              IsaDialect::Cuda);
+}
+
+TEST(Framework, UnknownWorkloadIsFatal)
+{
+    ReliabilityFramework fw(GpuModel::GeforceGtx480);
+    EXPECT_THROW(fw.analyze("bogus"), FatalError);
+}
+
+TEST(Framework, SummaryPrintsAllSections)
+{
+    ReliabilityFramework fw(GpuModel::GeforceGtx480);
+    AnalysisOptions options;
+    options.aceOnly = true;
+    const ReliabilityReport r = fw.analyze("matrixMul", options);
+    std::ostringstream os;
+    r.printSummary(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("matrixMul on GeForce GTX 480"),
+              std::string::npos);
+    EXPECT_NE(text.find("register file"), std::string::npos);
+    EXPECT_NE(text.find("local memory"), std::string::npos);
+    EXPECT_NE(text.find("EPF"), std::string::npos);
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,109 @@
+/** @file Tests for the four chip configuration records. */
+
+#include <gtest/gtest.h>
+
+#include "arch/gpu_config.hh"
+#include "common/logging.hh"
+
+namespace gpr {
+namespace {
+
+TEST(GpuConfig, FourModelsInFigureOrder)
+{
+    const auto& models = allGpuModels();
+    ASSERT_EQ(models.size(), 4u);
+    EXPECT_EQ(models[0], GpuModel::HdRadeon7970);
+    EXPECT_EQ(models[1], GpuModel::QuadroFx5600);
+    EXPECT_EQ(models[2], GpuModel::QuadroFx5800);
+    EXPECT_EQ(models[3], GpuModel::GeforceGtx480);
+}
+
+TEST(GpuConfig, DialectMatchesVendor)
+{
+    for (GpuModel m : allGpuModels()) {
+        const GpuConfig& c = gpuConfig(m);
+        if (c.vendor == Vendor::Amd) {
+            EXPECT_EQ(c.dialect, IsaDialect::SouthernIslands);
+            EXPECT_EQ(c.warpWidth, 64u);
+            EXPECT_GT(c.scalarRegWordsPerSm, 0u);
+        } else {
+            EXPECT_EQ(c.dialect, IsaDialect::Cuda);
+            EXPECT_EQ(c.warpWidth, 32u);
+            EXPECT_EQ(c.scalarRegWordsPerSm, 0u);
+        }
+        EXPECT_EQ(c.warpWidth, dialectWarpWidth(c.dialect));
+    }
+}
+
+TEST(GpuConfig, DatasheetNumbers)
+{
+    const GpuConfig& g80 = gpuConfig(GpuModel::QuadroFx5600);
+    EXPECT_EQ(g80.numSms, 16u);
+    EXPECT_EQ(g80.regFileWordsPerSm, 8192u);   // 32 KB
+    EXPECT_EQ(g80.smemBytesPerSm, 16u * 1024);
+    EXPECT_EQ(g80.maxWarpsPerSm, 24u);         // 768 threads
+
+    const GpuConfig& gt200 = gpuConfig(GpuModel::QuadroFx5800);
+    EXPECT_EQ(gt200.numSms, 30u);
+    EXPECT_EQ(gt200.regFileWordsPerSm, 16384u); // 64 KB
+
+    const GpuConfig& fermi = gpuConfig(GpuModel::GeforceGtx480);
+    EXPECT_EQ(fermi.numSms, 15u);
+    EXPECT_EQ(fermi.regFileWordsPerSm, 32768u); // 128 KB
+    EXPECT_EQ(fermi.smemBytesPerSm, 48u * 1024);
+    EXPECT_EQ(fermi.scheduler, SchedulerKind::GreedyThenOldest);
+
+    const GpuConfig& tahiti = gpuConfig(GpuModel::HdRadeon7970);
+    EXPECT_EQ(tahiti.numSms, 32u);
+    EXPECT_EQ(tahiti.regFileWordsPerSm, 65536u); // 256 KB
+    EXPECT_EQ(tahiti.smemBytesPerSm, 64u * 1024);
+}
+
+TEST(GpuConfig, RegisterFileGrowsAcrossGenerations)
+{
+    // G80 < GT200 < Fermi per-SM register file (the paper's size axis).
+    EXPECT_LT(gpuConfig(GpuModel::QuadroFx5600).regFileWordsPerSm,
+              gpuConfig(GpuModel::QuadroFx5800).regFileWordsPerSm);
+    EXPECT_LT(gpuConfig(GpuModel::QuadroFx5800).regFileWordsPerSm,
+              gpuConfig(GpuModel::GeforceGtx480).regFileWordsPerSm);
+}
+
+TEST(GpuConfig, DerivedBitCounts)
+{
+    const GpuConfig& fermi = gpuConfig(GpuModel::GeforceGtx480);
+    EXPECT_EQ(fermi.totalRegFileBits(),
+              15ull * 32768 * 32); // 15 SMs x 128 KB
+    EXPECT_EQ(fermi.totalSmemBits(), 15ull * 48 * 1024 * 8);
+    EXPECT_EQ(fermi.totalScalarRegBits(), 0ull);
+    EXPECT_EQ(fermi.smemWordsPerSm(), 48u * 1024 / 4);
+
+    const GpuConfig& tahiti = gpuConfig(GpuModel::HdRadeon7970);
+    EXPECT_GT(tahiti.totalScalarRegBits(), 0ull);
+}
+
+TEST(GpuConfig, SaneTimingParameters)
+{
+    for (GpuModel m : allGpuModels()) {
+        const GpuConfig& c = gpuConfig(m);
+        EXPECT_GT(c.clockMhz, 100.0);
+        EXPECT_GT(c.issueWidth, 0u);
+        EXPECT_GT(c.warpIssueInterval, 0u);
+        EXPECT_GT(c.latency.global, c.latency.shared);
+        EXPECT_GT(c.latency.shared, 0u);
+        EXPECT_GE(c.watchdogFactor, 2.0);
+        EXPECT_GT(c.maxThreadsPerBlock, 0u);
+    }
+}
+
+TEST(GpuConfig, NameLookup)
+{
+    EXPECT_EQ(gpuModelFromName("GTX480"), GpuModel::GeforceGtx480);
+    EXPECT_EQ(gpuModelFromName("fermi"), GpuModel::GeforceGtx480);
+    EXPECT_EQ(gpuModelFromName("7970"), GpuModel::HdRadeon7970);
+    EXPECT_EQ(gpuModelFromName("Quadro FX 5600"), GpuModel::QuadroFx5600);
+    EXPECT_EQ(gpuModelFromName("gt200"), GpuModel::QuadroFx5800);
+    EXPECT_THROW(gpuModelFromName("voodoo2"), FatalError);
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,82 @@
+/** @file Rendering tests: Instruction::toString covers every syntactic
+ *  form the assembler accepts (keeps the round-trip property honest). */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+
+namespace gpr {
+namespace {
+
+/** Assemble a one-instruction kernel and return that instruction's
+ *  printed form. */
+std::string
+printOf(const std::string& line, const char* extra_directives = "")
+{
+    const Program p = assemble(std::string(".kernel t\n") +
+                               extra_directives + line + "\nEXIT\n");
+    return p.inst(0).toString();
+}
+
+TEST(InstructionPrint, AluForms)
+{
+    EXPECT_EQ(printOf("IADD V1, V2, V3"), "IADD V1, V2, V3");
+    EXPECT_EQ(printOf("IMAD V1, V2, V3, V4"), "IMAD V1, V2, V3, V4");
+    EXPECT_EQ(printOf("NOT V1, V2"), "NOT V1, V2");
+    EXPECT_EQ(printOf("MOV V0, 0x10"), "MOV V0, 0x10");
+}
+
+TEST(InstructionPrint, GuardPrefixes)
+{
+    EXPECT_EQ(printOf("@P0 IADD V1, V2, V3"), "@P0 IADD V1, V2, V3");
+    EXPECT_EQ(printOf("@!P3 MOV V1, 5"), "@!P3 MOV V1, 0x5");
+}
+
+TEST(InstructionPrint, PredicateForms)
+{
+    EXPECT_EQ(printOf("ISETP.LT P2, V1, V2"), "ISETP.LT P2, V1, V2");
+    EXPECT_EQ(printOf("FSETP.GE P0, V1, 0x0"), "FSETP.GE P0, V1, 0x0");
+    EXPECT_EQ(printOf("SELP V0, V1, V2, P1"), "SELP V0, V1, V2, P1");
+}
+
+TEST(InstructionPrint, MemoryForms)
+{
+    EXPECT_EQ(printOf("LDG V1, [V2]"), "LDG V1, [V2]");
+    EXPECT_EQ(printOf("LDG V1, [V2 + 16]"), "LDG V1, [V2 + 16]");
+    EXPECT_EQ(printOf("STG [V2 - 4], V1"), "STG [V2 - 4], V1");
+    EXPECT_EQ(printOf("LDS V1, [V0 + 8]", ".smem 64\n"),
+              "LDS V1, [V0 + 8]");
+    EXPECT_EQ(printOf("ATOMS_ADD [V0], V1", ".smem 64\n"),
+              "ATOMS_ADD [V0], V1");
+    EXPECT_EQ(printOf("ATOMG_ADD [V0 + 4], V1"), "ATOMG_ADD [V0 + 4], V1");
+}
+
+TEST(InstructionPrint, SpecialAndControl)
+{
+    EXPECT_EQ(printOf("S2R V0, SR_CTAID_X"), "S2R V0, SR_CTAID_X");
+    EXPECT_EQ(printOf("LDPARAM V0, 2"), "LDPARAM V0, 0x2");
+    EXPECT_EQ(printOf("BAR"), "BAR");
+    EXPECT_EQ(printOf("NOP"), "NOP");
+
+    // Branch targets print the label.
+    const Program p = assemble(
+        ".kernel t\nl0:\nBRA l0\nEXIT\n");
+    EXPECT_EQ(p.inst(0).toString(), "BRA l0");
+}
+
+TEST(InstructionPrint, ScalarRegisters)
+{
+    const Program p = assemble(
+        ".kernel t\n.dialect si\nIADD S1, S0, 4\nEXIT\n");
+    EXPECT_EQ(p.inst(0).toString(), "IADD S1, S0, 0x4");
+}
+
+TEST(InstructionPrint, DefaultInstructionIsNop)
+{
+    Instruction i;
+    EXPECT_EQ(i.toString(), "NOP");
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,75 @@
+/** @file Tests for the global-memory image. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/memory_image.hh"
+
+namespace gpr {
+namespace {
+
+TEST(MemoryImage, BufferAllocationIsContiguous)
+{
+    MemoryImage img;
+    const Buffer a = img.allocBuffer(10);
+    const Buffer b = img.allocBuffer(5);
+    EXPECT_EQ(a.byteAddr, 0u);
+    EXPECT_EQ(b.byteAddr, 40u);
+    EXPECT_EQ(img.sizeWords(), 15u);
+    EXPECT_EQ(img.sizeBytes(), 60u);
+}
+
+TEST(MemoryImage, TypedAccess)
+{
+    MemoryImage img;
+    const Buffer buf = img.allocBuffer(4);
+    img.setFloat(buf, 0, 1.5f);
+    img.setInt(buf, 1, -7);
+    img.setWord(buf, 2, 0xffffffff);
+    EXPECT_FLOAT_EQ(img.getFloat(buf, 0), 1.5f);
+    EXPECT_EQ(img.getInt(buf, 1), -7);
+    EXPECT_EQ(img.getWord(buf, 2), 0xffffffffu);
+}
+
+TEST(MemoryImage, WordAccessAlignsDown)
+{
+    MemoryImage img;
+    img.allocBuffer(2);
+    img.writeWord(0, 0x11);
+    // Misaligned byte address within word 0 reads word 0.
+    EXPECT_EQ(img.readWord(1), 0x11u);
+    EXPECT_EQ(img.readWord(3), 0x11u);
+}
+
+TEST(MemoryImage, Bounds)
+{
+    MemoryImage img;
+    img.allocBuffer(2);
+    EXPECT_TRUE(img.inBounds(0));
+    EXPECT_TRUE(img.inBounds(7));
+    EXPECT_FALSE(img.inBounds(8));
+    EXPECT_FALSE(img.inBounds(1ull << 40));
+    EXPECT_THROW(img.readWord(8), PanicError);
+    EXPECT_THROW(img.writeWord(8, 1), PanicError);
+}
+
+TEST(MemoryImage, BufferIndexChecked)
+{
+    MemoryImage img;
+    const Buffer buf = img.allocBuffer(2);
+    EXPECT_THROW(buf.byteAddrOfWord(2), PanicError);
+}
+
+TEST(MemoryImage, CopySemanticsIsolateRuns)
+{
+    MemoryImage a;
+    const Buffer buf = a.allocBuffer(1);
+    a.setWord(buf, 0, 1);
+    MemoryImage b = a; // value copy
+    b.setWord(buf, 0, 2);
+    EXPECT_EQ(a.getWord(buf, 0), 1u);
+    EXPECT_EQ(b.getWord(buf, 0), 2u);
+}
+
+} // namespace
+} // namespace gpr

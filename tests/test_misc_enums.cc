@@ -1,0 +1,114 @@
+/** @file Coverage for the small enum/name/value helpers that glue the
+ *  public API together. */
+
+#include <gtest/gtest.h>
+
+#include "isa/dialect.hh"
+#include "isa/operand.hh"
+#include "sim/fault_model.hh"
+#include "sim/launch.hh"
+#include "sim/trap.hh"
+#include "sim/warp.hh"
+
+namespace gpr {
+namespace {
+
+TEST(TrapNames, AllDistinctAndStable)
+{
+    EXPECT_EQ(trapKindName(TrapKind::None), "none");
+    EXPECT_EQ(trapKindName(TrapKind::GlobalOutOfBounds),
+              "global-out-of-bounds");
+    EXPECT_EQ(trapKindName(TrapKind::SharedOutOfBounds),
+              "shared-out-of-bounds");
+    EXPECT_EQ(trapKindName(TrapKind::BarrierDeadlock), "barrier-deadlock");
+    EXPECT_EQ(trapKindName(TrapKind::Watchdog), "watchdog-timeout");
+    EXPECT_EQ(trapKindName(TrapKind::InvalidControlFlow),
+              "invalid-control-flow");
+}
+
+TEST(StructureNames, Stable)
+{
+    EXPECT_EQ(targetStructureName(TargetStructure::VectorRegisterFile),
+              "register-file");
+    EXPECT_EQ(targetStructureName(TargetStructure::SharedMemory),
+              "local-memory");
+    EXPECT_EQ(targetStructureName(TargetStructure::ScalarRegisterFile),
+              "scalar-register-file");
+}
+
+TEST(Dialect, Helpers)
+{
+    EXPECT_EQ(dialectName(IsaDialect::Cuda), "CUDA");
+    EXPECT_EQ(dialectName(IsaDialect::SouthernIslands),
+              "SouthernIslands");
+    EXPECT_EQ(dialectWarpWidth(IsaDialect::Cuda), 32u);
+    EXPECT_EQ(dialectWarpWidth(IsaDialect::SouthernIslands), 64u);
+    EXPECT_FALSE(dialectHasScalarUnit(IsaDialect::Cuda));
+    EXPECT_TRUE(dialectHasScalarUnit(IsaDialect::SouthernIslands));
+}
+
+TEST(SpecialRegs, NameRoundTrip)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(SpecialReg::NumSpecialRegs); ++i) {
+        const auto sr = static_cast<SpecialReg>(i);
+        const auto parsed = specialRegFromName(specialRegName(sr));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, sr);
+    }
+    EXPECT_FALSE(specialRegFromName("SR_NOPE").has_value());
+    EXPECT_EQ(specialRegFromName("sr_tid_x"), SpecialReg::TidX);
+}
+
+TEST(Operand, EqualityBySemantics)
+{
+    EXPECT_EQ(Operand::vreg(3), Operand::vreg(3));
+    EXPECT_FALSE(Operand::vreg(3) == Operand::vreg(4));
+    EXPECT_FALSE(Operand::vreg(3) == Operand::sreg_(3));
+    EXPECT_EQ(Operand::immediate(7), Operand::immediate(7));
+    EXPECT_EQ(Operand::special(SpecialReg::Lane),
+              Operand::special(SpecialReg::Lane));
+    EXPECT_FALSE(Operand::special(SpecialReg::Lane) ==
+                 Operand::special(SpecialReg::TidX));
+}
+
+TEST(Operand, ToStringForms)
+{
+    EXPECT_EQ(Operand::vreg(12).toString(), "V12");
+    EXPECT_EQ(Operand::sreg_(2).toString(), "S2");
+    EXPECT_EQ(Operand::immediate(0xff).toString(), "0xff");
+    EXPECT_EQ(Operand::special(SpecialReg::NCtaIdY).toString(),
+              "SR_NCTAID_Y");
+    EXPECT_EQ(Operand().toString(), "<none>");
+}
+
+TEST(LaunchConfig, DerivedCounts)
+{
+    LaunchConfig launch;
+    launch.gridX = 4;
+    launch.gridY = 3;
+    launch.blockX = 16;
+    launch.blockY = 2;
+    EXPECT_EQ(launch.numBlocks(), 12u);
+    EXPECT_EQ(launch.threadsPerBlock(), 32u);
+    EXPECT_EQ(launch.totalThreads(), 384u);
+
+    launch.addParamInt(-1);
+    launch.addParamFloat(1.0f);
+    launch.addParamAddr(0x100);
+    ASSERT_EQ(launch.params.size(), 3u);
+    EXPECT_EQ(launch.params[0], 0xffffffffu);
+    EXPECT_EQ(launch.params[1], 0x3f800000u);
+    EXPECT_EQ(launch.params[2], 0x100u);
+}
+
+TEST(LaneMask, FullMaskWidths)
+{
+    EXPECT_EQ(fullMask(1), 0x1ull);
+    EXPECT_EQ(fullMask(32), 0xffffffffull);
+    EXPECT_EQ(fullMask(64), ~0ull);
+    EXPECT_EQ(fullMask(33), 0x1ffffffffull);
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,126 @@
+/** @file Tests for the static occupancy calculator. */
+
+#include <gtest/gtest.h>
+
+#include "arch/occupancy.hh"
+#include "common/logging.hh"
+#include "isa/builder.hh"
+
+namespace gpr {
+namespace {
+
+/** Build a trivial kernel with a given register/smem footprint. */
+Program
+kernelWith(IsaDialect dialect, std::uint32_t vregs, std::uint32_t smem)
+{
+    KernelBuilder kb("occ", dialect);
+    Operand last = kb.vreg();
+    for (std::uint32_t i = 1; i < vregs; ++i)
+        last = kb.vreg();
+    kb.mov(last, KernelBuilder::imm(0));
+    if (smem > 0)
+        kb.sts(last, last);
+    kb.exit();
+    return kb.finish(smem);
+}
+
+TEST(Occupancy, BlockSlotLimited)
+{
+    const GpuConfig& fermi = gpuConfig(GpuModel::GeforceGtx480);
+    // 4 regs x 128 threads = tiny; 8-block cap binds.
+    const Program p = kernelWith(IsaDialect::Cuda, 4, 0);
+    const OccupancyInfo o = computeOccupancy(fermi, p, 128, 1000);
+    EXPECT_EQ(o.blocksPerSm, 8u);
+    EXPECT_EQ(o.limiter, OccupancyInfo::Limiter::BlockSlots);
+    EXPECT_EQ(o.warpsPerBlock, 4u);
+    EXPECT_EQ(o.activeWarpsPerSm, 32u);
+    EXPECT_NEAR(o.warpOccupancy, 32.0 / 48.0, 1e-12);
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    const GpuConfig& g80 = gpuConfig(GpuModel::QuadroFx5600);
+    // 16 regs x 128 threads = 2048 words; 8192-word file => 4 blocks.
+    const Program p = kernelWith(IsaDialect::Cuda, 16, 0);
+    const OccupancyInfo o = computeOccupancy(g80, p, 128, 1000);
+    EXPECT_EQ(o.blocksPerSm, 4u);
+    EXPECT_EQ(o.limiter, OccupancyInfo::Limiter::Registers);
+    EXPECT_NEAR(o.regFileOccupancy, 1.0, 1e-12);
+}
+
+TEST(Occupancy, SharedMemoryLimited)
+{
+    const GpuConfig& g80 = gpuConfig(GpuModel::QuadroFx5600);
+    // 6 KB per block on a 16 KB SM => 2 blocks.
+    const Program p = kernelWith(IsaDialect::Cuda, 4, 6 * 1024);
+    const OccupancyInfo o = computeOccupancy(g80, p, 64, 1000);
+    EXPECT_EQ(o.blocksPerSm, 2u);
+    EXPECT_EQ(o.limiter, OccupancyInfo::Limiter::SharedMemory);
+    EXPECT_NEAR(o.smemOccupancy, 12.0 / 16.0, 1e-12);
+}
+
+TEST(Occupancy, WarpSlotLimited)
+{
+    const GpuConfig& g80 = gpuConfig(GpuModel::QuadroFx5600);
+    // 512-thread blocks = 16 warps; 24 slots => 1 block.
+    const Program p = kernelWith(IsaDialect::Cuda, 4, 0);
+    const OccupancyInfo o = computeOccupancy(g80, p, 512, 1000);
+    EXPECT_EQ(o.blocksPerSm, 1u);
+    EXPECT_EQ(o.limiter, OccupancyInfo::Limiter::WarpSlots);
+}
+
+TEST(Occupancy, GridSizeLimited)
+{
+    const GpuConfig& fermi = gpuConfig(GpuModel::GeforceGtx480);
+    const Program p = kernelWith(IsaDialect::Cuda, 4, 0);
+    // 15 blocks over 15 SMs: one each.
+    const OccupancyInfo o = computeOccupancy(fermi, p, 128, 15);
+    EXPECT_EQ(o.blocksPerSm, 1u);
+    EXPECT_EQ(o.limiter, OccupancyInfo::Limiter::GridSize);
+}
+
+TEST(Occupancy, SouthernIslandsWavefronts)
+{
+    const GpuConfig& tahiti = gpuConfig(GpuModel::HdRadeon7970);
+    const Program p = kernelWith(IsaDialect::SouthernIslands, 8, 0);
+    // 256 threads = 4 waves of 64.
+    const OccupancyInfo o = computeOccupancy(tahiti, p, 256, 100000);
+    EXPECT_EQ(o.warpsPerBlock, 4u);
+    EXPECT_EQ(o.regsPerBlock, 4u * 64 * 8);
+}
+
+TEST(Occupancy, PartialWarpRoundsUp)
+{
+    const GpuConfig& fermi = gpuConfig(GpuModel::GeforceGtx480);
+    const Program p = kernelWith(IsaDialect::Cuda, 4, 0);
+    const OccupancyInfo o = computeOccupancy(fermi, p, 33, 1000);
+    EXPECT_EQ(o.warpsPerBlock, 2u); // 33 threads occupy 2 warps
+}
+
+TEST(Occupancy, RejectsImpossibleLaunches)
+{
+    const GpuConfig& g80 = gpuConfig(GpuModel::QuadroFx5600);
+    // Block larger than the device maximum.
+    const Program small = kernelWith(IsaDialect::Cuda, 4, 0);
+    EXPECT_THROW(computeOccupancy(g80, small, 1024, 1), FatalError);
+    // One block exceeding the register file.
+    const Program fat = kernelWith(IsaDialect::Cuda, 64, 0);
+    EXPECT_THROW(computeOccupancy(g80, fat, 512, 1), FatalError);
+    // One block exceeding shared memory.
+    const Program smem_hog = kernelWith(IsaDialect::Cuda, 4, 20 * 1024);
+    EXPECT_THROW(computeOccupancy(g80, smem_hog, 64, 1), FatalError);
+    // Dialect mismatch.
+    const Program si = kernelWith(IsaDialect::SouthernIslands, 4, 0);
+    EXPECT_THROW(computeOccupancy(g80, si, 64, 1), FatalError);
+}
+
+TEST(Occupancy, LimiterNames)
+{
+    EXPECT_EQ(occupancyLimiterName(OccupancyInfo::Limiter::Registers),
+              "registers");
+    EXPECT_EQ(occupancyLimiterName(OccupancyInfo::Limiter::GridSize),
+              "grid-size");
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,104 @@
+/** @file Property sweep of the occupancy calculator: invariants that must
+ *  hold for every (GPU, register demand, block size, grid size) point. */
+
+#include <gtest/gtest.h>
+
+#include "arch/occupancy.hh"
+#include "isa/builder.hh"
+
+namespace gpr {
+namespace {
+
+Program
+kernelWith(IsaDialect dialect, std::uint32_t vregs, std::uint32_t smem)
+{
+    KernelBuilder kb("sweep", dialect);
+    Operand last = Operand();
+    for (std::uint32_t i = 0; i < vregs; ++i)
+        last = kb.vreg();
+    kb.mov(last, KernelBuilder::imm(0));
+    if (smem > 0)
+        kb.sts(last, last);
+    kb.exit();
+    return kb.finish(smem);
+}
+
+struct SweepPoint
+{
+    GpuModel model;
+    std::uint32_t vregs;
+    std::uint32_t smem;
+    std::uint32_t threads;
+    std::uint32_t blocks;
+};
+
+class OccupancySweep : public ::testing::TestWithParam<SweepPoint>
+{
+};
+
+TEST_P(OccupancySweep, InvariantsHold)
+{
+    const SweepPoint& p = GetParam();
+    const GpuConfig& cfg = gpuConfig(p.model);
+    if (p.threads > cfg.maxThreadsPerBlock)
+        GTEST_SKIP() << "block exceeds device limit by construction";
+
+    const Program prog = kernelWith(cfg.dialect, p.vregs, p.smem);
+    const OccupancyInfo o =
+        computeOccupancy(cfg, prog, p.threads, p.blocks);
+
+    // At least one block always fits (validated launches only).
+    EXPECT_GE(o.blocksPerSm, 1u);
+    EXPECT_LE(o.blocksPerSm, cfg.maxBlocksPerSm);
+
+    // Warp accounting.
+    EXPECT_EQ(o.warpsPerBlock,
+              (p.threads + cfg.warpWidth - 1) / cfg.warpWidth);
+    EXPECT_LE(o.activeWarpsPerSm, cfg.maxWarpsPerSm);
+    EXPECT_EQ(o.activeWarpsPerSm, o.blocksPerSm * o.warpsPerBlock);
+
+    // Resource sums never exceed the device.
+    EXPECT_LE(o.blocksPerSm * o.regsPerBlock, cfg.regFileWordsPerSm);
+    EXPECT_LE(o.blocksPerSm * o.smemPerBlock, cfg.smemBytesPerSm);
+
+    // All occupancies are proper fractions.
+    EXPECT_GT(o.warpOccupancy, 0.0);
+    EXPECT_LE(o.warpOccupancy, 1.0);
+    EXPECT_GE(o.regFileOccupancy, 0.0);
+    EXPECT_LE(o.regFileOccupancy, 1.0);
+    EXPECT_GE(o.smemOccupancy, 0.0);
+    EXPECT_LE(o.smemOccupancy, 1.0);
+
+    // Adding one more block per SM must violate some resource or limit
+    // (maximality of the residency computation).
+    const std::uint32_t next = o.blocksPerSm + 1;
+    const bool would_violate =
+        next > cfg.maxBlocksPerSm ||
+        next * o.warpsPerBlock > cfg.maxWarpsPerSm ||
+        next * o.regsPerBlock > cfg.regFileWordsPerSm ||
+        (o.smemPerBlock > 0 &&
+         next * o.smemPerBlock > cfg.smemBytesPerSm) ||
+        o.limiter == OccupancyInfo::Limiter::GridSize;
+    EXPECT_TRUE(would_violate)
+        << "residency " << o.blocksPerSm << " is not maximal";
+}
+
+std::vector<SweepPoint>
+sweepPoints()
+{
+    std::vector<SweepPoint> points;
+    for (GpuModel model : allGpuModels())
+        for (std::uint32_t vregs : {4u, 12u, 24u})
+            for (std::uint32_t smem : {0u, 1024u, 4096u})
+                for (std::uint32_t threads : {64u, 128u, 256u})
+                    for (std::uint32_t blocks : {8u, 1024u})
+                        points.push_back(
+                            {model, vregs, smem, threads, blocks});
+    return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, OccupancySweep,
+                         ::testing::ValuesIn(sweepPoints()));
+
+} // namespace
+} // namespace gpr

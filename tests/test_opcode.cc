@@ -1,0 +1,82 @@
+/** @file Tests for opcode traits and mnemonic round-trips. */
+
+#include <gtest/gtest.h>
+
+#include "isa/opcode.hh"
+
+namespace gpr {
+namespace {
+
+TEST(Opcode, MnemonicRoundTripsForAllOpcodes)
+{
+    for (std::size_t i = 0; i < static_cast<std::size_t>(Opcode::NumOpcodes);
+         ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const auto parsed = opcodeFromMnemonic(opMnemonic(op));
+        ASSERT_TRUE(parsed.has_value()) << opMnemonic(op);
+        EXPECT_EQ(*parsed, op);
+    }
+}
+
+TEST(Opcode, MnemonicParsingIsCaseInsensitive)
+{
+    EXPECT_EQ(opcodeFromMnemonic("iadd"), Opcode::IAdd);
+    EXPECT_EQ(opcodeFromMnemonic("IaDd"), Opcode::IAdd);
+    EXPECT_EQ(opcodeFromMnemonic("ffma"), Opcode::FFma);
+}
+
+TEST(Opcode, UnknownMnemonicRejected)
+{
+    EXPECT_FALSE(opcodeFromMnemonic("BOGUS").has_value());
+    EXPECT_FALSE(opcodeFromMnemonic("").has_value());
+}
+
+TEST(Opcode, TraitsConsistency)
+{
+    for (std::size_t i = 0; i < static_cast<std::size_t>(Opcode::NumOpcodes);
+         ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const OpTraits& t = opTraits(op);
+        // Stores never write a register destination.
+        if (t.isStore) {
+            EXPECT_FALSE(t.writesDst) << t.mnemonic;
+        }
+        // Atomics are memory ops.
+        if (t.isAtomic) {
+            EXPECT_TRUE(t.isMemory) << t.mnemonic;
+        }
+        // Branch implies control category.
+        if (t.isBranch) {
+            EXPECT_EQ(t.category, OpCategory::Control) << t.mnemonic;
+        }
+        // SETP writes predicates, not registers.
+        if (t.writesPred) {
+            EXPECT_FALSE(t.writesDst) << t.mnemonic;
+        }
+        EXPECT_LE(t.numSrcs, 3u) << t.mnemonic;
+    }
+}
+
+TEST(Opcode, MemoryCategories)
+{
+    EXPECT_EQ(opTraits(Opcode::Ldg).category, OpCategory::MemGlobal);
+    EXPECT_EQ(opTraits(Opcode::Sts).category, OpCategory::MemShared);
+    EXPECT_TRUE(opTraits(Opcode::AtomsAdd).isAtomic);
+    EXPECT_TRUE(opTraits(Opcode::Stg).isStore);
+    EXPECT_FALSE(opTraits(Opcode::Ldg).isStore);
+}
+
+TEST(CmpOp, NameRoundTrip)
+{
+    for (auto cmp : {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt,
+                     CmpOp::Ge}) {
+        const auto parsed = cmpOpFromName(cmpOpName(cmp));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, cmp);
+    }
+    EXPECT_FALSE(cmpOpFromName("XX").has_value());
+    EXPECT_EQ(cmpOpFromName("lt"), CmpOp::Lt);
+}
+
+} // namespace
+} // namespace gpr

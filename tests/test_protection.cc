@@ -1,0 +1,70 @@
+/** @file Tests for protection-scheme what-if models. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "reliability/protection.hh"
+
+namespace gpr {
+namespace {
+
+TEST(Protection, UnprotectedIsIdentity)
+{
+    const ProtectedRates r = applyProtection(unprotectedScheme(), 0.2, 0.1);
+    EXPECT_DOUBLE_EQ(r.sdc, 0.2);
+    EXPECT_DOUBLE_EQ(r.due, 0.1);
+    EXPECT_DOUBLE_EQ(r.avf(), 0.3);
+}
+
+TEST(Protection, ParityConvertsSdcToDue)
+{
+    const ProtectedRates r = applyProtection(parityScheme(), 0.2, 0.1);
+    EXPECT_DOUBLE_EQ(r.sdc, 0.0);
+    EXPECT_DOUBLE_EQ(r.due, 0.3); // all former SDCs detected
+    // Parity does not reduce total AVF, it re-classifies it.
+    EXPECT_DOUBLE_EQ(r.avf(), 0.3);
+}
+
+TEST(Protection, EccNearlyEliminatesBoth)
+{
+    const ProtectedRates r = applyProtection(eccSecdedScheme(), 0.2, 0.1);
+    EXPECT_NEAR(r.sdc, 0.002, 1e-12);
+    EXPECT_NEAR(r.due, 0.001, 1e-12);
+    EXPECT_LT(r.avf(), 0.01);
+}
+
+TEST(Protection, PerfOverheadsOrdered)
+{
+    // Stronger protection costs more performance.
+    EXPECT_EQ(unprotectedScheme().perfOverhead, 0.0);
+    EXPECT_GT(parityScheme().perfOverhead, 0.0);
+    EXPECT_GT(eccSecdedScheme().perfOverhead,
+              parityScheme().perfOverhead);
+}
+
+TEST(Protection, BuiltinsListedOnce)
+{
+    const auto& schemes = builtinProtectionSchemes();
+    ASSERT_EQ(schemes.size(), 3u);
+    EXPECT_EQ(schemes[0].name, "unprotected");
+    EXPECT_EQ(schemes[1].name, "parity");
+    EXPECT_EQ(schemes[2].name, "ECC-SECDED");
+}
+
+TEST(Protection, RejectsInvalidRates)
+{
+    EXPECT_THROW(applyProtection(parityScheme(), 0.8, 0.5), PanicError);
+    EXPECT_THROW(applyProtection(parityScheme(), -0.1, 0.0), PanicError);
+}
+
+TEST(Protection, ZeroRatesStayZero)
+{
+    for (const auto& scheme : builtinProtectionSchemes()) {
+        const ProtectedRates r = applyProtection(scheme, 0.0, 0.0);
+        EXPECT_EQ(r.sdc, 0.0);
+        EXPECT_EQ(r.due, 0.0);
+    }
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,138 @@
+/** @file Tests for the deterministic PRNG infrastructure. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace gpr {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence)
+{
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL,
+                                1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroPanics)
+{
+    Rng rng(9);
+    EXPECT_THROW(rng.below(0), PanicError);
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.between(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) with n=10000: ~0.5 +/- ~0.01; allow generous slack.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(19);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(10)];
+    for (int c : counts) {
+        // Each bucket expects 10000; 5-sigma is ~475.
+        EXPECT_NEAR(c, n / 10, 600);
+    }
+}
+
+TEST(Rng, DeriveProducesIndependentStreams)
+{
+    Rng root(23);
+    Rng a = root.derive(0);
+    Rng b = root.derive(1);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a() == b() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(DeriveSeed, StableAndDistinct)
+{
+    const std::uint64_t s0 = deriveSeed(100, 0);
+    EXPECT_EQ(s0, deriveSeed(100, 0));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seen.insert(deriveSeed(100, i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(DeriveSeed, RootSeedMatters)
+{
+    EXPECT_NE(deriveSeed(1, 5), deriveSeed(2, 5));
+}
+
+} // namespace
+} // namespace gpr

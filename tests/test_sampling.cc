@@ -1,0 +1,42 @@
+/** @file Tests for FI sample planning (footnote 4 reproduction). */
+
+#include <gtest/gtest.h>
+
+#include "reliability/sampling.hh"
+
+namespace gpr {
+namespace {
+
+TEST(SamplePlan, PaperPlanIs2000At99)
+{
+    const SamplePlan plan = paperSamplePlan();
+    EXPECT_EQ(plan.injections, 2000u);
+    EXPECT_DOUBLE_EQ(plan.confidence, 0.99);
+    // The number quoted in footnote 4.
+    EXPECT_NEAR(plan.errorMargin(), 0.0288, 5e-4);
+}
+
+TEST(SamplePlan, PlanForMarginAchievesIt)
+{
+    for (double margin : {0.10, 0.05, 0.02}) {
+        const SamplePlan plan = planForMargin(margin, 0.99);
+        EXPECT_LE(plan.errorMargin(), margin + 1e-12);
+    }
+}
+
+TEST(SamplePlan, MarginMonotoneInInjections)
+{
+    SamplePlan small{100, 0.99};
+    SamplePlan large{1000, 0.99};
+    EXPECT_GT(small.errorMargin(), large.errorMargin());
+}
+
+TEST(SamplePlan, DefaultBenchPlanDocumented)
+{
+    // The benches default to 150 injections; the header prints ~10.5%.
+    SamplePlan bench{150, 0.99};
+    EXPECT_NEAR(bench.errorMargin(), 0.1052, 1e-3);
+}
+
+} // namespace
+} // namespace gpr

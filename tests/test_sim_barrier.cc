@@ -1,0 +1,154 @@
+/** @file Barrier semantics: ordering, exited-warp interaction, deadlock. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim_test_util.hh"
+
+namespace gpr {
+namespace {
+
+using test::runProgram;
+using test::smallCudaConfig;
+
+/**
+ * Producer/consumer across warps: warp 0 writes shared slots, all warps
+ * barrier, then every warp reads warp 0's data.  Without a working
+ * barrier the consumers would read zeroes.
+ */
+TEST(SimBarrier, OrdersProducerConsumer)
+{
+    KernelBuilder kb("prodcons", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pout, 0);
+
+    const unsigned p = kb.preg();
+    kb.isetp(CmpOp::Lt, p, tid, KernelBuilder::imm(32)); // warp 0 only
+    const Operand s_addr = kb.vreg();
+    kb.shl(s_addr, tid, KernelBuilder::imm(2));
+    const Operand v = kb.vreg();
+    kb.imad(v, tid, KernelBuilder::imm(7), KernelBuilder::imm(1));
+    kb.sts(s_addr, v, 0, ifP(p));
+    kb.bar();
+
+    // Everyone reads slot (tid % 32).
+    const Operand r_addr = kb.vreg();
+    kb.and_(r_addr, tid, KernelBuilder::imm(31));
+    kb.shl(r_addr, r_addr, KernelBuilder::imm(2));
+    const Operand got = kb.vreg();
+    kb.lds(got, r_addr);
+
+    const Operand o_addr = kb.vreg();
+    kb.shl(o_addr, tid, KernelBuilder::imm(2));
+    kb.iadd(o_addr, o_addr, pout);
+    kb.stg(o_addr, got);
+    kb.exit();
+    const Program prog = kb.finish(32 * 4);
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(128);
+    LaunchConfig launch;
+    launch.blockX = 128; // 4 warps
+    launch.gridX = 1;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    for (std::uint32_t i = 0; i < 128; ++i)
+        EXPECT_EQ(r.memory.getWord(out, i), (i % 32) * 7 + 1) << i;
+    EXPECT_GE(r.stats.barriersExecuted, 1u);
+}
+
+/** A warp that exits before the barrier still lets the block pass it. */
+TEST(SimBarrier, ExitedWarpDoesNotBlockBarrier)
+{
+    KernelBuilder kb("earlyexit", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pout, 0);
+    // Warp 1 (tid >= 32) exits immediately.
+    const unsigned p = kb.preg();
+    kb.isetp(CmpOp::Ge, p, tid, KernelBuilder::imm(32));
+    kb.exit(ifP(p));
+    // Warp 0 hits a barrier that warp 1 never reaches.
+    kb.bar();
+    const Operand v = kb.vreg();
+    kb.mov(v, KernelBuilder::imm(1));
+    const Operand addr = kb.vreg();
+    kb.shl(addr, tid, KernelBuilder::imm(2));
+    kb.iadd(addr, addr, pout);
+    kb.stg(addr, v);
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(64);
+    LaunchConfig launch;
+    launch.blockX = 64; // 2 warps
+    launch.gridX = 1;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean()) << trapKindName(r.trap);
+    for (std::uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(r.memory.getWord(out, i), 1u);
+    for (std::uint32_t i = 32; i < 64; ++i)
+        EXPECT_EQ(r.memory.getWord(out, i), 0u);
+}
+
+/** Several barriers in sequence all synchronise. */
+TEST(SimBarrier, MultipleBarrierPhases)
+{
+    KernelBuilder kb("phases", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pout, 0);
+    const Operand s_addr = kb.vreg();
+    kb.shl(s_addr, tid, KernelBuilder::imm(2));
+    const Operand v = kb.vreg();
+    kb.mov(v, KernelBuilder::imm(1));
+    kb.sts(s_addr, v);
+    // Three ping-pong phases: each phase reads the neighbour and adds.
+    for (int phase = 0; phase < 3; ++phase) {
+        kb.bar();
+        const Operand n_addr = kb.vreg();
+        kb.iadd(n_addr, tid, KernelBuilder::imm(1));
+        kb.and_(n_addr, n_addr, KernelBuilder::imm(63));
+        kb.shl(n_addr, n_addr, KernelBuilder::imm(2));
+        const Operand nv = kb.vreg();
+        kb.lds(nv, n_addr);
+        kb.bar();
+        kb.iadd(v, v, nv);
+        kb.sts(s_addr, v);
+    }
+    kb.bar();
+    const Operand got = kb.vreg();
+    kb.lds(got, s_addr);
+    const Operand o_addr = kb.vreg();
+    kb.shl(o_addr, tid, KernelBuilder::imm(2));
+    kb.iadd(o_addr, o_addr, pout);
+    kb.stg(o_addr, got);
+    kb.exit();
+    const Program prog = kb.finish(64 * 4);
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(64);
+    LaunchConfig launch;
+    launch.blockX = 64;
+    launch.gridX = 1;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    // Phase sums: 1 -> 2 -> 4 -> 8 for every lane (uniform neighbours).
+    for (std::uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(r.memory.getWord(out, i), 8u);
+    EXPECT_GE(r.stats.barriersExecuted, 7u);
+}
+
+} // namespace
+} // namespace gpr

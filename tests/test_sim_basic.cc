@@ -1,0 +1,270 @@
+/** @file Basic simulator execution: data movement, ALU, predication,
+ *  special registers, parameters, 2-D geometry. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim_test_util.hh"
+
+namespace gpr {
+namespace {
+
+using test::runProgram;
+using test::smallCudaConfig;
+
+/** Each thread stores a constant to out[gid]. */
+TEST(SimBasic, StoreConstantPerThread)
+{
+    KernelBuilder kb("store_const", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand bid = kb.uniformReg();
+    const Operand bdim = kb.uniformReg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.s2r(bid, SpecialReg::CtaIdX);
+    kb.s2r(bdim, SpecialReg::NTidX);
+    kb.ldparam(pout, 0);
+    const Operand gid = kb.vreg();
+    kb.imad(gid, bid, bdim, tid);
+    const Operand addr = kb.vreg();
+    kb.shl(addr, gid, KernelBuilder::imm(2));
+    kb.iadd(addr, addr, pout);
+    const Operand v = kb.vreg();
+    kb.mov(v, KernelBuilder::imm(0x5a5a));
+    kb.stg(addr, v);
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(128);
+    LaunchConfig launch;
+    launch.blockX = 64;
+    launch.gridX = 2;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean()) << trapKindName(r.trap);
+    for (std::uint32_t i = 0; i < 128; ++i)
+        EXPECT_EQ(r.memory.getWord(out, i), 0x5a5au) << i;
+    EXPECT_GT(r.stats.cycles, 0u);
+    EXPECT_GT(r.stats.warpInstructions, 0u);
+    EXPECT_EQ(r.stats.blocksCompleted, 2u);
+}
+
+/** Thread/block indices land in the right output slots (2-D geometry). */
+TEST(SimBasic, TwoDimensionalGeometry)
+{
+    KernelBuilder kb("geom2d", IsaDialect::Cuda);
+    const Operand tx = kb.vreg();
+    const Operand ty = kb.vreg();
+    const Operand bx = kb.uniformReg();
+    const Operand by = kb.uniformReg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(tx, SpecialReg::TidX);
+    kb.s2r(ty, SpecialReg::TidY);
+    kb.s2r(bx, SpecialReg::CtaIdX);
+    kb.s2r(by, SpecialReg::CtaIdY);
+    kb.ldparam(pout, 0);
+
+    // gx = bx*4+tx (0..7), gy = by*2+ty (0..3); out[gy*8+gx] = gy*100+gx.
+    const Operand gx = kb.vreg();
+    const Operand gy = kb.vreg();
+    kb.imad(gx, bx, KernelBuilder::imm(4), tx);
+    kb.imad(gy, by, KernelBuilder::imm(2), ty);
+    const Operand val = kb.vreg();
+    kb.imad(val, gy, KernelBuilder::imm(100), gx);
+    const Operand addr = kb.vreg();
+    kb.imad(addr, gy, KernelBuilder::imm(8), gx);
+    kb.shl(addr, addr, KernelBuilder::imm(2));
+    kb.iadd(addr, addr, pout);
+    kb.stg(addr, val);
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(32);
+    LaunchConfig launch;
+    launch.blockX = 4;
+    launch.blockY = 2;
+    launch.gridX = 2;
+    launch.gridY = 2;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    for (std::uint32_t gy = 0; gy < 4; ++gy)
+        for (std::uint32_t gx = 0; gx < 8; ++gx)
+            EXPECT_EQ(r.memory.getWord(out, gy * 8 + gx), gy * 100 + gx);
+}
+
+/** Guarded instructions only touch lanes where the predicate holds. */
+TEST(SimBasic, PredicationMasksLanes)
+{
+    KernelBuilder kb("pred", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pout, 0);
+    const Operand addr = kb.vreg();
+    kb.shl(addr, tid, KernelBuilder::imm(2));
+    kb.iadd(addr, addr, pout);
+    const Operand v = kb.vreg();
+    kb.mov(v, KernelBuilder::imm(1));
+    const unsigned p = kb.preg();
+    // p := tid < 10; store 7 where p, 1 elsewhere.
+    kb.isetp(CmpOp::Lt, p, tid, KernelBuilder::imm(10));
+    kb.mov(v, KernelBuilder::imm(7), ifP(p));
+    kb.stg(addr, v);
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(32);
+    LaunchConfig launch;
+    launch.blockX = 32;
+    launch.gridX = 1;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    for (std::uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(r.memory.getWord(out, i), i < 10 ? 7u : 1u) << i;
+}
+
+/** SELP picks per-lane between two values. */
+TEST(SimBasic, SelpSelectsPerLane)
+{
+    KernelBuilder kb("selp", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pout, 0);
+    const unsigned p = kb.preg();
+    const Operand one = kb.vreg();
+    const Operand two = kb.vreg();
+    kb.mov(one, KernelBuilder::imm(111));
+    kb.mov(two, KernelBuilder::imm(222));
+    // even tid -> 111, odd tid -> 222.
+    const Operand lsb = kb.vreg();
+    kb.and_(lsb, tid, KernelBuilder::imm(1));
+    kb.isetp(CmpOp::Eq, p, lsb, KernelBuilder::imm(0));
+    const Operand sel = kb.vreg();
+    kb.selp(sel, one, two, p);
+    const Operand addr = kb.vreg();
+    kb.shl(addr, tid, KernelBuilder::imm(2));
+    kb.iadd(addr, addr, pout);
+    kb.stg(addr, sel);
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(64);
+    LaunchConfig launch;
+    launch.blockX = 64;
+    launch.gridX = 1;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    for (std::uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(r.memory.getWord(out, i), i % 2 ? 222u : 111u);
+}
+
+/** Scalar registers hold per-wavefront uniforms on Southern Islands. */
+TEST(SimBasic, ScalarUnitComputesUniforms)
+{
+    KernelBuilder kb("scalar", IsaDialect::SouthernIslands);
+    const Operand tid = kb.vreg();
+    const Operand bid = kb.uniformReg(); // SReg
+    const Operand pout = kb.uniformReg();
+    ASSERT_EQ(bid.kind, OperandKind::SReg);
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.s2r(bid, SpecialReg::CtaIdX);
+    kb.ldparam(pout, 0);
+
+    const Operand scaled = kb.uniformReg();
+    kb.imul(scaled, bid, KernelBuilder::imm(1000)); // scalar ALU op
+
+    // out[bid*64 + tid] = scaled + tid.
+    const Operand v = kb.vreg();
+    kb.iadd(v, scaled, tid); // vector op with scalar source
+    const Operand addr = kb.vreg();
+    kb.imad(addr, bid, KernelBuilder::imm(64), tid);
+    kb.shl(addr, addr, KernelBuilder::imm(2));
+    kb.iadd(addr, addr, pout);
+    kb.stg(addr, v);
+    kb.exit();
+    const Program prog = kb.finish();
+    EXPECT_GT(prog.numSRegs(), 0u);
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(128);
+    LaunchConfig launch;
+    launch.blockX = 64;
+    launch.gridX = 2;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r =
+        runProgram(test::smallSiConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    for (std::uint32_t b = 0; b < 2; ++b)
+        for (std::uint32_t t = 0; t < 64; ++t)
+            EXPECT_EQ(r.memory.getWord(out, b * 64 + t), b * 1000 + t);
+}
+
+/** Missing kernel parameters are an internal error (panic), not a trap. */
+TEST(SimBasic, MissingParameterPanics)
+{
+    KernelBuilder kb("noparam", IsaDialect::Cuda);
+    const Operand v = kb.vreg();
+    kb.ldparam(v, 3); // parameter 3 never provided
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    img.allocBuffer(1);
+    LaunchConfig launch;
+    launch.blockX = 32;
+    launch.gridX = 1;
+
+    EXPECT_THROW(runProgram(smallCudaConfig(), prog, launch, img),
+                 PanicError);
+}
+
+/** The lane special register counts within the warp. */
+TEST(SimBasic, LaneAndWarpIdSpecials)
+{
+    KernelBuilder kb("lanes", IsaDialect::Cuda);
+    const Operand lane = kb.vreg();
+    const Operand warp = kb.vreg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(lane, SpecialReg::Lane);
+    kb.s2r(warp, SpecialReg::WarpId);
+    kb.ldparam(pout, 0);
+    const Operand tid = kb.vreg();
+    kb.s2r(tid, SpecialReg::TidX);
+    // out[tid] = warp*1000 + lane.
+    const Operand v = kb.vreg();
+    kb.imad(v, warp, KernelBuilder::imm(1000), lane);
+    const Operand addr = kb.vreg();
+    kb.shl(addr, tid, KernelBuilder::imm(2));
+    kb.iadd(addr, addr, pout);
+    kb.stg(addr, v);
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(96);
+    LaunchConfig launch;
+    launch.blockX = 96; // 3 warps of 32
+    launch.gridX = 1;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    for (std::uint32_t i = 0; i < 96; ++i)
+        EXPECT_EQ(r.memory.getWord(out, i), (i / 32) * 1000 + i % 32);
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,200 @@
+/** @file Fault-application semantics inside the simulator. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim_test_util.hh"
+
+namespace gpr {
+namespace {
+
+using test::runProgram;
+using test::smallCudaConfig;
+
+/**
+ * A single-warp kernel that parks a known value in a register for many
+ * cycles and then stores it: out[0] = value held in V1 across the delay.
+ */
+Program
+makeHoldKernel()
+{
+    KernelBuilder kb("hold", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();          // V0
+    const Operand held = kb.vreg();         // V1 <- the victim register
+    const Operand pout = kb.uniformReg();   // V2
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pout, 0);
+    kb.mov(held, KernelBuilder::imm(0));
+    const unsigned p0 = kb.preg();
+    kb.isetp(CmpOp::Eq, p0, tid, KernelBuilder::imm(0));
+    kb.mov(held, KernelBuilder::imm(0x0f0f0f0f), ifP(p0));
+
+    // Busy delay loop (uniform) so the value sits in the file.
+    const Operand i = kb.vreg();
+    kb.mov(i, KernelBuilder::imm(0));
+    const unsigned p1 = kb.preg();
+    const Label loop = kb.newLabel("delay");
+    kb.bind(loop);
+    kb.iadd(i, i, KernelBuilder::imm(1));
+    kb.isetp(CmpOp::Lt, p1, i, KernelBuilder::imm(50));
+    kb.bra(loop, ifP(p1));
+
+    kb.stg(pout, held, 0, ifP(p0));
+    kb.exit();
+    return kb.finish();
+}
+
+struct HoldSetup
+{
+    Program prog = makeHoldKernel();
+    MemoryImage img;
+    Buffer out;
+    LaunchConfig launch;
+
+    HoldSetup()
+    {
+        out = img.allocBuffer(1);
+        launch.blockX = 32;
+        launch.gridX = 1;
+        launch.addParamAddr(out.byteAddr);
+    }
+};
+
+/** Locate the physical bit index of V1, lane 0, block 0, SM 0.
+ *  Layout: block base 0 (first dispatch), reg-major within warp:
+ *  word = (warpInBlock * numVRegs + r) * warpWidth + lane. */
+BitIndex
+victimBitIndex(const Program& prog, const GpuConfig& cfg, unsigned bit)
+{
+    const std::uint32_t word = (0 * prog.numVRegs() + 1) * cfg.warpWidth + 0;
+    (void)cfg;
+    return static_cast<BitIndex>(word) * 32 + bit;
+}
+
+TEST(SimFault, FlipOfLiveRegisterCorruptsOutput)
+{
+    HoldSetup s;
+    const GpuConfig cfg = smallCudaConfig();
+
+    RunOptions options;
+    FaultSpec fault;
+    fault.structure = TargetStructure::VectorRegisterFile;
+    fault.bitIndex = victimBitIndex(s.prog, cfg, 4); // flip bit 4
+    fault.cycle = 120; // mid-delay: after write, before the store
+    options.fault = fault;
+
+    const RunResult r =
+        runProgram(cfg, s.prog, s.launch, s.img, options);
+    ASSERT_TRUE(r.clean());
+    EXPECT_EQ(r.memory.getWord(s.out, 0), 0x0f0f0f0fu ^ 0x10u);
+}
+
+TEST(SimFault, FlipBeforeWriteIsMasked)
+{
+    HoldSetup s;
+    const GpuConfig cfg = smallCudaConfig();
+
+    RunOptions options;
+    FaultSpec fault;
+    fault.structure = TargetStructure::VectorRegisterFile;
+    fault.bitIndex = victimBitIndex(s.prog, cfg, 4);
+    fault.cycle = 0; // before the MOV writes the register
+    options.fault = fault;
+
+    const RunResult r =
+        runProgram(cfg, s.prog, s.launch, s.img, options);
+    ASSERT_TRUE(r.clean());
+    EXPECT_EQ(r.memory.getWord(s.out, 0), 0x0f0f0f0fu);
+}
+
+TEST(SimFault, FlipInUnallocatedSpaceIsMasked)
+{
+    HoldSetup s;
+    const GpuConfig cfg = smallCudaConfig();
+
+    RunOptions options;
+    FaultSpec fault;
+    fault.structure = TargetStructure::VectorRegisterFile;
+    // Last word of the last SM: far outside the single resident block.
+    fault.bitIndex =
+        (std::uint64_t{cfg.numSms} * cfg.regFileWordsPerSm) * 32 - 1;
+    fault.cycle = 100;
+    options.fault = fault;
+
+    const RunResult r =
+        runProgram(cfg, s.prog, s.launch, s.img, options);
+    ASSERT_TRUE(r.clean());
+    EXPECT_EQ(r.memory.getWord(s.out, 0), 0x0f0f0f0fu);
+}
+
+TEST(SimFault, FlipAfterKernelEndIsHarmless)
+{
+    HoldSetup s;
+    const GpuConfig cfg = smallCudaConfig();
+
+    RunOptions options;
+    FaultSpec fault;
+    fault.structure = TargetStructure::VectorRegisterFile;
+    fault.bitIndex = victimBitIndex(s.prog, cfg, 4);
+    fault.cycle = 1u << 30; // beyond the run
+    options.fault = fault;
+
+    const RunResult r =
+        runProgram(cfg, s.prog, s.launch, s.img, options);
+    ASSERT_TRUE(r.clean());
+    EXPECT_EQ(r.memory.getWord(s.out, 0), 0x0f0f0f0fu);
+}
+
+TEST(SimFault, SharedMemoryFlipCorruptsParkedData)
+{
+    // Park a value in shared memory across a delay, then read it back.
+    KernelBuilder kb("smem_hold", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pout, 0);
+    const unsigned p0 = kb.preg();
+    kb.isetp(CmpOp::Eq, p0, tid, KernelBuilder::imm(0));
+    const Operand v = kb.vreg();
+    kb.mov(v, KernelBuilder::imm(0x77));
+    const Operand zero = kb.vreg();
+    kb.mov(zero, KernelBuilder::imm(0));
+    kb.sts(zero, v, 0, ifP(p0));
+
+    const Operand i = kb.vreg();
+    kb.mov(i, KernelBuilder::imm(0));
+    const unsigned p1 = kb.preg();
+    const Label loop = kb.newLabel("delay");
+    kb.bind(loop);
+    kb.iadd(i, i, KernelBuilder::imm(1));
+    kb.isetp(CmpOp::Lt, p1, i, KernelBuilder::imm(50));
+    kb.bra(loop, ifP(p1));
+
+    const Operand got = kb.vreg();
+    kb.lds(got, zero, 0, ifP(p0));
+    kb.stg(pout, got, 0, ifP(p0));
+    kb.exit();
+    const Program prog = kb.finish(64);
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(1);
+    LaunchConfig launch;
+    launch.blockX = 32;
+    launch.gridX = 1;
+    launch.addParamAddr(out.byteAddr);
+
+    const GpuConfig cfg = smallCudaConfig();
+    RunOptions options;
+    FaultSpec fault;
+    fault.structure = TargetStructure::SharedMemory;
+    fault.bitIndex = 0; // word 0 bit 0 of SM 0's LDS (block 0 allocates it)
+    fault.cycle = 150;
+    options.fault = fault;
+
+    const RunResult r = runProgram(cfg, prog, launch, img, options);
+    ASSERT_TRUE(r.clean());
+    EXPECT_EQ(r.memory.getWord(out, 0), 0x77u ^ 0x1u);
+}
+
+} // namespace
+} // namespace gpr

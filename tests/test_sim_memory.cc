@@ -1,0 +1,252 @@
+/** @file Global/shared memory behaviour: coalescing, traps, atomics,
+ *  bank conflicts. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim_test_util.hh"
+
+namespace gpr {
+namespace {
+
+using test::runProgram;
+using test::smallCudaConfig;
+
+/** Coalesced warp load: 32 consecutive words = one 128-byte segment. */
+TEST(SimMemory, CoalescedLoadCountsOneTransaction)
+{
+    KernelBuilder kb("coalesced", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand pin = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pin, 0);
+    const Operand addr = kb.vreg();
+    kb.shl(addr, tid, KernelBuilder::imm(2));
+    kb.iadd(addr, addr, pin);
+    const Operand v = kb.vreg();
+    kb.ldg(v, addr);
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    img.allocBuffer(64);
+    LaunchConfig launch;
+    launch.blockX = 32;
+    launch.gridX = 1;
+    launch.addParamAddr(0);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    EXPECT_EQ(r.stats.globalLoads, 1u);
+    EXPECT_EQ(r.stats.globalTransactions, 1u);
+}
+
+/** Strided warp load: 32 words 128 bytes apart = 32 segments. */
+TEST(SimMemory, StridedLoadCountsManyTransactions)
+{
+    KernelBuilder kb("strided", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand pin = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pin, 0);
+    const Operand addr = kb.vreg();
+    kb.shl(addr, tid, KernelBuilder::imm(7)); // 128-byte stride
+    kb.iadd(addr, addr, pin);
+    const Operand v = kb.vreg();
+    kb.ldg(v, addr);
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    img.allocBuffer(32 * 32 + 32);
+    LaunchConfig launch;
+    launch.blockX = 32;
+    launch.gridX = 1;
+    launch.addParamAddr(0);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    EXPECT_EQ(r.stats.globalTransactions, 32u);
+}
+
+/** A global access beyond the image traps as DUE-style abort. */
+TEST(SimMemory, GlobalOutOfBoundsTraps)
+{
+    KernelBuilder kb("oob", IsaDialect::Cuda);
+    const Operand addr = kb.vreg();
+    kb.mov(addr, KernelBuilder::imm(1 << 20)); // way past the image
+    const Operand v = kb.vreg();
+    kb.ldg(v, addr);
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    img.allocBuffer(16);
+    LaunchConfig launch;
+    launch.blockX = 32;
+    launch.gridX = 1;
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    EXPECT_EQ(r.trap, TrapKind::GlobalOutOfBounds);
+}
+
+/** A shared access beyond the block allocation traps. */
+TEST(SimMemory, SharedOutOfBoundsTraps)
+{
+    KernelBuilder kb("soob", IsaDialect::Cuda);
+    const Operand addr = kb.vreg();
+    kb.mov(addr, KernelBuilder::imm(4096)); // block declared 64 bytes
+    const Operand v = kb.vreg();
+    kb.lds(v, addr);
+    kb.exit();
+    const Program prog = kb.finish(64);
+
+    MemoryImage img;
+    img.allocBuffer(16);
+    LaunchConfig launch;
+    launch.blockX = 32;
+    launch.gridX = 1;
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    EXPECT_EQ(r.trap, TrapKind::SharedOutOfBounds);
+}
+
+/** Shared memory round-trips data within a block. */
+TEST(SimMemory, SharedMemoryRoundTrip)
+{
+    KernelBuilder kb("smem_rt", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pout, 0);
+    const Operand s_addr = kb.vreg();
+    kb.shl(s_addr, tid, KernelBuilder::imm(2));
+    const Operand v = kb.vreg();
+    kb.imul(v, tid, KernelBuilder::imm(3));
+    kb.sts(s_addr, v);
+    kb.bar();
+    // Read the neighbour's slot (tid+1 mod 32).
+    const Operand n_addr = kb.vreg();
+    kb.iadd(n_addr, tid, KernelBuilder::imm(1));
+    kb.and_(n_addr, n_addr, KernelBuilder::imm(31));
+    kb.shl(n_addr, n_addr, KernelBuilder::imm(2));
+    const Operand got = kb.vreg();
+    kb.lds(got, n_addr);
+    const Operand o_addr = kb.vreg();
+    kb.shl(o_addr, tid, KernelBuilder::imm(2));
+    kb.iadd(o_addr, o_addr, pout);
+    kb.stg(o_addr, got);
+    kb.exit();
+    const Program prog = kb.finish(32 * 4);
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(32);
+    LaunchConfig launch;
+    launch.blockX = 32;
+    launch.gridX = 1;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    for (std::uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(r.memory.getWord(out, i), ((i + 1) % 32) * 3);
+    EXPECT_GT(r.stats.sharedAccesses, 0u);
+}
+
+/** All lanes hitting one word is a broadcast-conflict: replays counted. */
+TEST(SimMemory, BankConflictReplaysCounted)
+{
+    // Lanes read words tid*32 (mod 32 banks => all in bank 0): worst-case
+    // conflict, replay factor == active lanes with distinct words.
+    KernelBuilder kb("conflict", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    kb.s2r(tid, SpecialReg::TidX);
+    const Operand s_addr = kb.vreg();
+    kb.shl(s_addr, tid, KernelBuilder::imm(7)); // word index tid*32
+    const Operand v = kb.vreg();
+    kb.lds(v, s_addr);
+    kb.exit();
+    const Program prog = kb.finish(32 * 32 * 4);
+
+    MemoryImage img;
+    img.allocBuffer(4);
+    LaunchConfig launch;
+    launch.blockX = 32;
+    launch.gridX = 1;
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    // 32 distinct words, all mapping to bank 0 => 31 replays.
+    EXPECT_EQ(r.stats.sharedBankConflictReplays, 31u);
+}
+
+/** Shared atomics accumulate across all lanes and blocks' merges work. */
+TEST(SimMemory, AtomicsAccumulate)
+{
+    KernelBuilder kb("atomics", IsaDialect::Cuda);
+    const Operand tid = kb.vreg();
+    const Operand pout = kb.uniformReg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.ldparam(pout, 0);
+    const Operand one = kb.vreg();
+    kb.mov(one, KernelBuilder::imm(1));
+    const Operand zero_addr = kb.vreg();
+    kb.mov(zero_addr, KernelBuilder::imm(0));
+    // Everyone zeroes slot 0 once via tid 0, barrier, then all atoms-add.
+    const unsigned p = kb.preg();
+    kb.isetp(CmpOp::Eq, p, tid, KernelBuilder::imm(0));
+    const Operand z = kb.vreg();
+    kb.mov(z, KernelBuilder::imm(0));
+    kb.sts(zero_addr, z, 0, ifP(p));
+    kb.bar();
+    kb.atomsAdd(zero_addr, one);
+    kb.bar();
+    // tid 0 merges the block count into global slot 0 atomically.
+    const Operand count = kb.vreg();
+    kb.lds(count, zero_addr, 0, ifP(p));
+    kb.atomgAdd(pout, count, 0, ifP(p));
+    kb.exit();
+    const Program prog = kb.finish(64);
+
+    MemoryImage img;
+    const Buffer out = img.allocBuffer(1);
+    LaunchConfig launch;
+    launch.blockX = 64;
+    launch.gridX = 4;
+    launch.addParamAddr(out.byteAddr);
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    EXPECT_EQ(r.memory.getWord(out, 0), 256u); // 4 blocks x 64 threads
+}
+
+/** Stores reach the returned memory image. */
+TEST(SimMemory, StoreVisibleInResult)
+{
+    KernelBuilder kb("st", IsaDialect::Cuda);
+    const Operand addr = kb.vreg();
+    const Operand v = kb.vreg();
+    kb.mov(addr, KernelBuilder::imm(8));
+    kb.mov(v, KernelBuilder::imm(0xabc));
+    const unsigned p = kb.preg();
+    const Operand tid = kb.vreg();
+    kb.s2r(tid, SpecialReg::TidX);
+    kb.isetp(CmpOp::Eq, p, tid, KernelBuilder::imm(0));
+    kb.stg(addr, v, 0, ifP(p));
+    kb.exit();
+    const Program prog = kb.finish();
+
+    MemoryImage img;
+    img.allocBuffer(8);
+    LaunchConfig launch;
+    launch.blockX = 32;
+    launch.gridX = 1;
+
+    const RunResult r = runProgram(smallCudaConfig(), prog, launch, img);
+    ASSERT_TRUE(r.clean());
+    EXPECT_EQ(r.memory.readWord(8), 0xabcu);
+    EXPECT_EQ(r.stats.globalStores, 1u);
+}
+
+} // namespace
+} // namespace gpr

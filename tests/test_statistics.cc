@@ -1,0 +1,147 @@
+/** @file Tests for statistics helpers, including the paper's footnote 4. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.hh"
+#include "common/logging.hh"
+
+namespace gpr {
+namespace {
+
+TEST(RunningStat, KnownSeries)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyAndSingle)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    s.push(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(InverseNormalCdf, KnownQuantiles)
+{
+    EXPECT_NEAR(inverseNormalCdf(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(inverseNormalCdf(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(inverseNormalCdf(0.995), 2.575829, 1e-5);
+    EXPECT_NEAR(inverseNormalCdf(0.84134474), 1.0, 1e-4);
+    // Symmetry.
+    EXPECT_NEAR(inverseNormalCdf(0.025), -inverseNormalCdf(0.975), 1e-9);
+}
+
+TEST(InverseNormalCdf, RejectsOutOfDomain)
+{
+    EXPECT_THROW(inverseNormalCdf(0.0), PanicError);
+    EXPECT_THROW(inverseNormalCdf(1.0), PanicError);
+}
+
+TEST(Footnote4, PaperNumbersReproduce)
+{
+    // "2,000 fault injections ... 2.88% error margin for 99% confidence".
+    EXPECT_NEAR(proportionErrorMargin(2000, 0.99), 0.0288, 5e-4);
+}
+
+TEST(ProportionErrorMargin, ShrinksWithSamples)
+{
+    double prev = 1.0;
+    for (std::size_t n : {10u, 100u, 1000u, 10000u}) {
+        const double m = proportionErrorMargin(n, 0.99);
+        EXPECT_LT(m, prev);
+        prev = m;
+    }
+}
+
+TEST(ProportionErrorMargin, GrowsWithConfidence)
+{
+    EXPECT_LT(proportionErrorMargin(500, 0.90),
+              proportionErrorMargin(500, 0.99));
+}
+
+TEST(ProportionErrorMargin, MeasuredPeakedAtHalf)
+{
+    // Wald margin is maximal at p=0.5.
+    const double mid = proportionErrorMargin(0.5, 1000, 0.95);
+    EXPECT_GT(mid, proportionErrorMargin(0.1, 1000, 0.95));
+    EXPECT_GT(mid, proportionErrorMargin(0.9, 1000, 0.95));
+    EXPECT_EQ(proportionErrorMargin(0.0, 1000, 0.95), 0.0);
+}
+
+TEST(RequiredSamples, InverseOfMargin)
+{
+    for (double margin : {0.05, 0.0288, 0.01}) {
+        const std::size_t n = requiredSamples(margin, 0.99);
+        // The resulting plan must achieve the margin...
+        EXPECT_LE(proportionErrorMargin(n, 0.99), margin + 1e-9);
+        // ...and n-1 must not.
+        EXPECT_GT(proportionErrorMargin(n - 1, 0.99), margin);
+    }
+}
+
+TEST(RequiredSamples, PaperPlan)
+{
+    // 2.88% @ 99% needs just about 2000 injections.
+    const std::size_t n = requiredSamples(0.0288, 0.99);
+    EXPECT_NEAR(static_cast<double>(n), 2000.0, 10.0);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate)
+{
+    for (std::size_t k : {0u, 5u, 50u, 100u}) {
+        const Interval iv = wilsonInterval(k, 100, 0.99);
+        const double p = k / 100.0;
+        EXPECT_LE(iv.lo, p + 1e-12);
+        EXPECT_GE(iv.hi, p - 1e-12);
+        EXPECT_GE(iv.lo, 0.0);
+        EXPECT_LE(iv.hi, 1.0);
+    }
+}
+
+TEST(WilsonInterval, ZeroSuccessesHasOpenUpperBound)
+{
+    const Interval iv = wilsonInterval(0, 100, 0.95);
+    EXPECT_EQ(iv.lo, 0.0);
+    EXPECT_GT(iv.hi, 0.0); // rule of three-ish
+    EXPECT_LT(iv.hi, 0.06);
+}
+
+TEST(WilsonInterval, NarrowsWithSamples)
+{
+    EXPECT_GT(wilsonInterval(10, 100, 0.95).width(),
+              wilsonInterval(100, 1000, 0.95).width());
+}
+
+TEST(PearsonCorrelation, PerfectAndInverse)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearsonCorrelation(x, y), 1.0, 1e-12);
+    std::vector<double> z = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, DegenerateSeries)
+{
+    std::vector<double> x = {1, 2, 3};
+    std::vector<double> c = {5, 5, 5};
+    EXPECT_EQ(pearsonCorrelation(x, c), 0.0);
+    EXPECT_EQ(pearsonCorrelation({}, {}), 0.0);
+    EXPECT_EQ(pearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,93 @@
+/** @file Tests for WordStorage allocation and bit-flip behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/storage.hh"
+
+namespace gpr {
+namespace {
+
+TEST(WordStorage, ReadWrite)
+{
+    WordStorage s(16);
+    s.write(3, 0xabcd1234);
+    EXPECT_EQ(s.read(3), 0xabcd1234u);
+    EXPECT_EQ(s.read(0), 0u);
+}
+
+TEST(WordStorage, FlipBitLinearAddressing)
+{
+    WordStorage s(4);
+    s.flipBitAt(0);
+    EXPECT_EQ(s.read(0), 1u);
+    s.flipBitAt(33); // word 1, bit 1
+    EXPECT_EQ(s.read(1), 2u);
+    s.flipBitAt(33); // flip back
+    EXPECT_EQ(s.read(1), 0u);
+    s.flipBitAt(127); // word 3, bit 31
+    EXPECT_EQ(s.read(3), 0x80000000u);
+}
+
+TEST(WordStorage, AllocateFirstFit)
+{
+    WordStorage s(100);
+    const auto a = s.allocate(30);
+    const auto b = s.allocate(30);
+    const auto c = s.allocate(30);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(*a, 0u);
+    EXPECT_EQ(*b, 30u);
+    EXPECT_EQ(*c, 60u);
+    EXPECT_EQ(s.allocatedWords(), 90u);
+    EXPECT_FALSE(s.allocate(20).has_value()); // only 10 left
+    EXPECT_TRUE(s.allocate(10).has_value());
+}
+
+TEST(WordStorage, ReleaseCoalesces)
+{
+    WordStorage s(100);
+    const auto a = s.allocate(30);
+    const auto b = s.allocate(30);
+    const auto c = s.allocate(30);
+    ASSERT_TRUE(a && b && c);
+    // Free middle then neighbours; everything must coalesce back.
+    s.release(*b, 30);
+    EXPECT_FALSE(s.allocate(40).has_value());
+    s.release(*a, 30);
+    // Now [0,60) is free.
+    const auto big = s.allocate(60);
+    ASSERT_TRUE(big.has_value());
+    EXPECT_EQ(*big, 0u);
+    s.release(*big, 60);
+    s.release(*c, 30);
+    EXPECT_EQ(s.allocatedWords(), 0u);
+    // After full release the storage must hand out one span again.
+    EXPECT_TRUE(s.allocate(100).has_value());
+}
+
+TEST(WordStorage, ValuesPersistAcrossFree)
+{
+    // SRAM keeps contents: free then realloc sees the old bits (which
+    // the simulator treats as architecturally undefined).
+    WordStorage s(10);
+    const auto a = s.allocate(10);
+    ASSERT_TRUE(a.has_value());
+    s.write(5, 0x1234);
+    s.release(*a, 10);
+    EXPECT_EQ(s.read(5), 0x1234u);
+}
+
+TEST(WordStorage, Panics)
+{
+    WordStorage s(8);
+    EXPECT_THROW(s.read(8), PanicError);
+    EXPECT_THROW(s.write(9, 0), PanicError);
+    EXPECT_THROW(s.flipBitAt(8ull * 32), PanicError);
+    EXPECT_THROW(s.allocate(0), PanicError);
+    EXPECT_THROW(WordStorage(0), PanicError);
+    EXPECT_THROW(s.release(0, 4), PanicError); // nothing allocated
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,107 @@
+/** @file Tests for string helpers used by the assembler and reports. */
+
+#include <gtest/gtest.h>
+
+#include "common/string_utils.hh"
+
+namespace gpr {
+namespace {
+
+TEST(Trim, Basics)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("\t x \n"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Split, CommaSeparated)
+{
+    const auto parts = split("a, b ,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyPieces)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitWhitespace, DropsEmpty)
+{
+    const auto parts = splitWhitespace("  one\t two   three ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "one");
+    EXPECT_EQ(parts[2], "three");
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(StartsWith, Basics)
+{
+    EXPECT_TRUE(startsWith("--flag=x", "--flag="));
+    EXPECT_FALSE(startsWith("-f", "--"));
+    EXPECT_TRUE(startsWith("abc", ""));
+    EXPECT_FALSE(startsWith("", "a"));
+}
+
+TEST(CaseConversion, Basics)
+{
+    EXPECT_EQ(toLower("AbC_1"), "abc_1");
+    EXPECT_EQ(toUpper("iAdd"), "IADD");
+}
+
+TEST(ParseInt, Decimal)
+{
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt("-17"), -17);
+    EXPECT_EQ(parseInt("+8"), 8);
+    EXPECT_EQ(parseInt(" 15 "), 15);
+}
+
+TEST(ParseInt, HexAndBinary)
+{
+    EXPECT_EQ(parseInt("0x10"), 16);
+    EXPECT_EQ(parseInt("0XFF"), 255);
+    EXPECT_EQ(parseInt("0b101"), 5);
+    EXPECT_EQ(parseInt("-0x8"), -8);
+}
+
+TEST(ParseInt, Rejections)
+{
+    EXPECT_FALSE(parseInt("").has_value());
+    EXPECT_FALSE(parseInt("12abc").has_value());
+    EXPECT_FALSE(parseInt("abc").has_value());
+    EXPECT_FALSE(parseInt("1.5").has_value());
+    EXPECT_FALSE(parseInt("--3").has_value());
+    // Overflow beyond int64.
+    EXPECT_FALSE(parseInt("99999999999999999999999").has_value());
+}
+
+TEST(ParseDouble, Basics)
+{
+    EXPECT_DOUBLE_EQ(*parseDouble("1.5"), 1.5);
+    EXPECT_DOUBLE_EQ(*parseDouble("-2e3"), -2000.0);
+    EXPECT_FALSE(parseDouble("1.5x").has_value());
+    EXPECT_FALSE(parseDouble("").has_value());
+}
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(SciNotation, Format)
+{
+    EXPECT_EQ(sciNotation(1.234e14), "1.23e+14");
+    EXPECT_EQ(sciNotation(0.00123, 1), "1.2e-03");
+}
+
+} // namespace
+} // namespace gpr

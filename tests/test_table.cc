@@ -1,0 +1,70 @@
+/** @file Tests for text/CSV table rendering. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace gpr {
+namespace {
+
+TEST(TextTable, RendersAlignedCells)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.render(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+    EXPECT_NE(out.find("| b     |    22 |"), std::string::npos);
+    EXPECT_NE(out.find("+-------+-------+"), std::string::npos);
+}
+
+TEST(TextTable, LeftAlignOverride)
+{
+    TextTable t({"h1", "h2"});
+    t.setAlign(1, Align::Left);
+    t.addRow({"x", "y"});
+    std::ostringstream os;
+    t.render(os);
+    EXPECT_NE(os.str().find("| y  |"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(TextTable, EmptyHeadersPanics)
+{
+    EXPECT_THROW(TextTable({}), PanicError);
+}
+
+TEST(TextTable, CsvEscaping)
+{
+    TextTable t({"k", "v"});
+    t.addRow({"plain", "with,comma"});
+    t.addRow({"quote\"inside", "line\nbreak"});
+    std::ostringstream os;
+    t.renderCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("k,v"), std::string::npos);
+    EXPECT_NE(out.find("plain,\"with,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TextTable, Counts)
+{
+    TextTable t({"a", "b", "c"});
+    EXPECT_EQ(t.columnCount(), 3u);
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+} // namespace
+} // namespace gpr

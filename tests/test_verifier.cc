@@ -1,0 +1,144 @@
+/** @file Tests for static program verification. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/verifier.hh"
+
+namespace gpr {
+namespace {
+
+Instruction
+makeInst(Opcode op)
+{
+    Instruction i;
+    i.op = op;
+    return i;
+}
+
+Program
+makeProgram(std::vector<Instruction> insts, IsaDialect dialect,
+            std::uint32_t vregs, std::uint32_t sregs, std::uint32_t smem)
+{
+    return Program("test", dialect, std::move(insts), {}, vregs, sregs,
+                   smem);
+}
+
+TEST(Verifier, AcceptsMinimalProgram)
+{
+    std::vector<Instruction> insts;
+    insts.push_back(makeInst(Opcode::Exit));
+    EXPECT_NO_THROW(verifyProgram(makeProgram(std::move(insts),
+                                              IsaDialect::Cuda, 0, 0, 0)));
+}
+
+TEST(Verifier, RejectsRegisterOutOfRange)
+{
+    Instruction mov = makeInst(Opcode::Mov);
+    mov.dst = Operand::vreg(5);
+    mov.src[0] = Operand::immediateInt(1);
+    std::vector<Instruction> insts{mov, makeInst(Opcode::Exit)};
+    // Only 2 vregs declared but V5 used.
+    EXPECT_THROW(verifyProgram(makeProgram(std::move(insts),
+                                           IsaDialect::Cuda, 2, 0, 0)),
+                 FatalError);
+}
+
+TEST(Verifier, RejectsScalarRegsInCudaDialect)
+{
+    Instruction mov = makeInst(Opcode::Mov);
+    mov.dst = Operand::sreg_(0);
+    mov.src[0] = Operand::immediateInt(1);
+    std::vector<Instruction> insts{mov, makeInst(Opcode::Exit)};
+    EXPECT_THROW(verifyProgram(makeProgram(std::move(insts),
+                                           IsaDialect::Cuda, 0, 1, 0)),
+                 FatalError);
+}
+
+TEST(Verifier, RejectsScalarDstWithVectorSource)
+{
+    Instruction add = makeInst(Opcode::IAdd);
+    add.dst = Operand::sreg_(0);
+    add.src[0] = Operand::vreg(0); // non-uniform source
+    add.src[1] = Operand::immediateInt(1);
+    std::vector<Instruction> insts{add, makeInst(Opcode::Exit)};
+    EXPECT_THROW(
+        verifyProgram(makeProgram(std::move(insts),
+                                  IsaDialect::SouthernIslands, 1, 1, 0)),
+        FatalError);
+}
+
+TEST(Verifier, AcceptsScalarDstWithUniformSources)
+{
+    Instruction add = makeInst(Opcode::IAdd);
+    add.dst = Operand::sreg_(0);
+    add.src[0] = Operand::sreg_(0);
+    add.src[1] = Operand::immediateInt(1);
+    std::vector<Instruction> insts{add, makeInst(Opcode::Exit)};
+    EXPECT_NO_THROW(
+        verifyProgram(makeProgram(std::move(insts),
+                                  IsaDialect::SouthernIslands, 0, 1, 0)));
+}
+
+TEST(Verifier, RejectsBranchTargetOutOfRange)
+{
+    Instruction bra = makeInst(Opcode::Bra);
+    bra.target = 99;
+    std::vector<Instruction> insts{bra, makeInst(Opcode::Exit)};
+    EXPECT_THROW(verifyProgram(makeProgram(std::move(insts),
+                                           IsaDialect::Cuda, 0, 0, 0)),
+                 FatalError);
+}
+
+TEST(Verifier, RejectsSharedAccessWithoutSmem)
+{
+    Instruction lds = makeInst(Opcode::Lds);
+    lds.dst = Operand::vreg(0);
+    lds.src[0] = Operand::vreg(0);
+    std::vector<Instruction> insts{lds, makeInst(Opcode::Exit)};
+    EXPECT_THROW(verifyProgram(makeProgram(std::move(insts),
+                                           IsaDialect::Cuda, 1, 0, 0)),
+                 FatalError);
+}
+
+TEST(Verifier, RejectsMissingExit)
+{
+    std::vector<Instruction> insts{makeInst(Opcode::Nop)};
+    EXPECT_THROW(verifyProgram(makeProgram(std::move(insts),
+                                           IsaDialect::Cuda, 0, 0, 0)),
+                 FatalError);
+}
+
+TEST(Verifier, RejectsFallThroughOffEnd)
+{
+    // EXIT exists but is not last, and the last instruction can fall off.
+    std::vector<Instruction> insts{makeInst(Opcode::Exit),
+                                   makeInst(Opcode::Nop)};
+    EXPECT_THROW(verifyProgram(makeProgram(std::move(insts),
+                                           IsaDialect::Cuda, 0, 0, 0)),
+                 FatalError);
+}
+
+TEST(Verifier, AcceptsTrailingUnconditionalBranch)
+{
+    Instruction bra = makeInst(Opcode::Bra);
+    bra.target = 0;
+    std::vector<Instruction> insts{makeInst(Opcode::Exit), bra};
+    EXPECT_NO_THROW(verifyProgram(makeProgram(std::move(insts),
+                                              IsaDialect::Cuda, 0, 0, 0)));
+}
+
+TEST(Verifier, RejectsSpecialOperandOutsideS2r)
+{
+    Instruction add = makeInst(Opcode::IAdd);
+    add.dst = Operand::vreg(0);
+    add.src[0] = Operand::special(SpecialReg::TidX);
+    add.src[1] = Operand::immediateInt(1);
+    std::vector<Instruction> insts{add, makeInst(Opcode::Exit)};
+    EXPECT_THROW(verifyProgram(makeProgram(std::move(insts),
+                                           IsaDialect::Cuda, 1, 0, 0)),
+                 FatalError);
+}
+
+} // namespace
+} // namespace gpr

@@ -1,0 +1,170 @@
+/** @file Parameterized integration tests: every benchmark on every GPU
+ *  runs to completion and verifies its golden output. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_utils.hh"
+
+#include "sim_test_util.hh"
+#include "workloads/workloads.hh"
+
+namespace gpr {
+namespace {
+
+using Combo = std::tuple<std::string_view, GpuModel>;
+
+class WorkloadOnGpu : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(WorkloadOnGpu, GoldenRunVerifies)
+{
+    const auto [name, model] = GetParam();
+    const GpuConfig& cfg = gpuConfig(model);
+    const auto wl = makeWorkload(name);
+    const WorkloadInstance inst = wl->build(cfg.dialect, {});
+
+    Gpu gpu(cfg);
+    const RunResult r = gpu.run(inst.program, inst.launch, inst.image);
+    ASSERT_TRUE(r.clean()) << trapKindName(r.trap);
+    std::string why;
+    EXPECT_TRUE(verifyOutputs(inst, r.memory, &why)) << why;
+
+    // Occupancies are proper fractions; the kernel did real work.
+    EXPECT_GT(r.stats.cycles, 0u);
+    EXPECT_GT(r.stats.warpInstructions, 0u);
+    EXPECT_GT(r.stats.avgRegFileOccupancy, 0.0);
+    EXPECT_LE(r.stats.avgRegFileOccupancy, 1.0);
+    EXPECT_GE(r.stats.avgSmemOccupancy, 0.0);
+    EXPECT_LE(r.stats.avgSmemOccupancy, 1.0);
+    EXPECT_LE(r.stats.avgWarpOccupancy, 1.0);
+
+    if (wl->usesLocalMemory()) {
+        EXPECT_GT(r.stats.sharedAccesses, 0u);
+        EXPECT_GT(r.stats.avgSmemOccupancy, 0.0);
+        EXPECT_GT(inst.program.smemBytes(), 0u);
+    } else {
+        EXPECT_EQ(inst.program.smemBytes(), 0u);
+    }
+}
+
+TEST_P(WorkloadOnGpu, DialectLoweringMatchesVendor)
+{
+    const auto [name, model] = GetParam();
+    const GpuConfig& cfg = gpuConfig(model);
+    const auto wl = makeWorkload(name);
+    const WorkloadInstance inst = wl->build(cfg.dialect, {});
+
+    EXPECT_EQ(inst.program.dialect(), cfg.dialect);
+    if (cfg.dialect == IsaDialect::SouthernIslands) {
+        // Uniform values must have been lowered onto the scalar file.
+        EXPECT_GT(inst.program.numSRegs(), 0u) << "no scalar registers";
+    } else {
+        EXPECT_EQ(inst.program.numSRegs(), 0u);
+    }
+    EXPECT_GT(inst.program.numVRegs(), 0u);
+}
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> combos;
+    for (auto name : allWorkloadNames())
+        for (GpuModel model : allGpuModels())
+            combos.emplace_back(name, model);
+    return combos;
+}
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo>& info)
+{
+    std::string n = std::string(std::get<0>(info.param)) + "_";
+    switch (std::get<1>(info.param)) {
+      case GpuModel::HdRadeon7970:
+        n += "hd7970";
+        break;
+      case GpuModel::QuadroFx5600:
+        n += "fx5600";
+        break;
+      case GpuModel::QuadroFx5800:
+        n += "fx5800";
+        break;
+      case GpuModel::GeforceGtx480:
+        n += "gtx480";
+        break;
+    }
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, WorkloadOnGpu,
+                         ::testing::ValuesIn(allCombos()), comboName);
+
+TEST(WorkloadRegistry, TenBenchmarksInFigureOrder)
+{
+    const auto& names = allWorkloadNames();
+    ASSERT_EQ(names.size(), 10u);
+    EXPECT_EQ(names.front(), "backprop");
+    EXPECT_EQ(names.back(), "vectoradd");
+    // Sorted as in the paper's figures.
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end(),
+                               [](auto a, auto b) {
+                                   return toLower(std::string(a)) <
+                                          toLower(std::string(b));
+                               }));
+}
+
+TEST(WorkloadRegistry, LocalMemorySetMatchesFigure2)
+{
+    // Fig. 2 has exactly these seven benchmarks.
+    const std::set<std::string_view> expected = {
+        "backprop",  "dwtHaar1D", "histogram", "matrixMul",
+        "reduction", "scan",      "transpose"};
+    std::set<std::string_view> actual(localMemoryWorkloadNames().begin(),
+                                      localMemoryWorkloadNames().end());
+    EXPECT_EQ(actual, expected);
+
+    // And usesLocalMemory() agrees with the registry split.
+    for (auto name : allWorkloadNames()) {
+        EXPECT_EQ(makeWorkload(name)->usesLocalMemory(),
+                  expected.count(name) == 1)
+            << name;
+    }
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makeWorkload("nonesuch"), FatalError);
+}
+
+TEST(WorkloadRegistry, SeedChangesInputsButStaysValid)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const auto wl = makeWorkload("vectoradd");
+    WorkloadParams p1, p2;
+    p1.seed = 1;
+    p2.seed = 2;
+    const WorkloadInstance a = wl->build(cfg.dialect, p1);
+    const WorkloadInstance b = wl->build(cfg.dialect, p2);
+
+    // Different inputs...
+    bool any_diff = false;
+    for (std::uint32_t i = 0; i < a.image.sizeWords() && !any_diff; ++i)
+        any_diff = a.image.readWord(i * 4) != b.image.readWord(i * 4);
+    EXPECT_TRUE(any_diff);
+
+    // ...but both verify on their own goldens.
+    Gpu gpu(cfg);
+    for (const WorkloadInstance* inst : {&a, &b}) {
+        const RunResult r =
+            gpu.run(inst->program, inst->launch, inst->image);
+        ASSERT_TRUE(r.clean());
+        std::string why;
+        EXPECT_TRUE(verifyOutputs(*inst, r.memory, &why)) << why;
+    }
+}
+
+} // namespace
+} // namespace gpr

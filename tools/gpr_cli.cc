@@ -1,0 +1,274 @@
+/**
+ * @file
+ * gpr — the command-line front end of the library.
+ *
+ *   gpr list                         benchmarks and GPU models
+ *   gpr info <gpu>                   device configuration dump
+ *   gpr disasm <workload> <gpu>      kernel listing as lowered per vendor
+ *   gpr run <workload> <gpu>         golden run: perf + occupancy stats
+ *   gpr profile <workload> <gpu>     access-traffic profile per structure
+ *   gpr analyze <workload> <gpu> [n] full FI + ACE + EPF report
+ *   gpr inject <workload> <gpu> <structure> <bit> <cycle>
+ *                                    single deterministic injection
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_utils.hh"
+#include "core/export.hh"
+#include "core/framework.hh"
+#include "isa/disassembler.hh"
+#include "reliability/access_profile.hh"
+#include "reliability/fault_injector.hh"
+#include "sim/gpu.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace gpr;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  gpr list\n"
+        "  gpr info <gpu>\n"
+        "  gpr disasm <workload> <gpu>\n"
+        "  gpr run <workload> <gpu>\n"
+        "  gpr profile <workload> <gpu>\n"
+        "  gpr analyze <workload> <gpu> [injections] [--json]\n"
+        "  gpr inject <workload> <gpu> <rf|lds|srf> <bit> <cycle>\n"
+        "gpus: 7970, fx5600, fx5800, gtx480\n");
+    return 2;
+}
+
+int
+cmdList()
+{
+    std::printf("benchmarks:\n");
+    for (auto name : allWorkloadNames()) {
+        const auto wl = makeWorkload(name);
+        std::printf("  %-10s %s\n", std::string(name).c_str(),
+                    wl->usesLocalMemory() ? "(uses local memory)" : "");
+    }
+    std::printf("gpus:\n");
+    for (GpuModel m : allGpuModels()) {
+        const GpuConfig& c = gpuConfig(m);
+        std::printf("  %-16s %s\n", c.name.c_str(),
+                    c.microarchitecture.c_str());
+    }
+    return 0;
+}
+
+int
+cmdInfo(const std::string& gpu)
+{
+    const GpuConfig& c = gpuConfig(gpuModelFromName(gpu));
+    std::printf("%s (%s, %s dialect)\n", c.name.c_str(),
+                c.microarchitecture.c_str(),
+                std::string(dialectName(c.dialect)).c_str());
+    std::printf("  SMs/CUs:            %u\n", c.numSms);
+    std::printf("  warp width:         %u\n", c.warpWidth);
+    std::printf("  warps/SM:           %u\n", c.maxWarpsPerSm);
+    std::printf("  blocks/SM:          %u\n", c.maxBlocksPerSm);
+    std::printf("  register file/SM:   %u words (%u KB), chip total %.1f "
+                "Mbit\n",
+                c.regFileWordsPerSm, c.regFileWordsPerSm * 4 / 1024,
+                static_cast<double>(c.totalRegFileBits()) / (1 << 20));
+    if (c.scalarRegWordsPerSm) {
+        std::printf("  scalar RF/CU:       %u words\n",
+                    c.scalarRegWordsPerSm);
+    }
+    std::printf("  local memory/SM:    %u KB, chip total %.1f Mbit\n",
+                c.smemBytesPerSm / 1024,
+                static_cast<double>(c.totalSmemBits()) / (1 << 20));
+    std::printf("  shader clock:       %.0f MHz\n", c.clockMhz);
+    std::printf("  scheduler:          %s\n",
+                c.scheduler == SchedulerKind::RoundRobin
+                    ? "round-robin"
+                    : "greedy-then-oldest");
+    return 0;
+}
+
+int
+cmdDisasm(const std::string& workload, const std::string& gpu)
+{
+    ReliabilityFramework fw(gpuModelFromName(gpu));
+    const WorkloadInstance inst = fw.buildInstance(workload);
+    std::cout << disassemble(inst.program);
+    std::printf("# %u instructions, %u vregs, %u sregs, %u smem bytes\n",
+                inst.program.size(), inst.program.numVRegs(),
+                inst.program.numSRegs(), inst.program.smemBytes());
+    std::printf("# launch: grid %ux%u, block %ux%u\n", inst.launch.gridX,
+                inst.launch.gridY, inst.launch.blockX, inst.launch.blockY);
+    return 0;
+}
+
+int
+cmdRun(const std::string& workload, const std::string& gpu)
+{
+    const GpuConfig& cfg = gpuConfig(gpuModelFromName(gpu));
+    ReliabilityFramework fw(cfg.model);
+    const WorkloadInstance inst = fw.buildInstance(workload);
+    Gpu dev(cfg);
+    const RunResult r = dev.run(inst.program, inst.launch, inst.image);
+    std::string why;
+    const bool ok = r.clean() && verifyOutputs(inst, r.memory, &why);
+
+    std::printf("%s on %s: %s\n", workload.c_str(), cfg.name.c_str(),
+                ok ? "PASS" : ("FAIL " + why).c_str());
+    std::printf("  cycles:            %llu (%.3e s @ %.0f MHz)\n",
+                static_cast<unsigned long long>(r.stats.cycles),
+                executionSeconds(cfg, r.stats.cycles), cfg.clockMhz);
+    std::printf("  warp instructions: %llu (IPC %.2f)\n",
+                static_cast<unsigned long long>(r.stats.warpInstructions),
+                r.stats.ipc());
+    std::printf("  global txns:       %llu   shared accesses: %llu "
+                "(+%llu conflict replays)\n",
+                static_cast<unsigned long long>(r.stats.globalTransactions),
+                static_cast<unsigned long long>(r.stats.sharedAccesses),
+                static_cast<unsigned long long>(
+                    r.stats.sharedBankConflictReplays));
+    std::printf("  occupancy:         RF %.1f%%  LDS %.1f%%  warps %.1f%%\n",
+                100 * r.stats.avgRegFileOccupancy,
+                100 * r.stats.avgSmemOccupancy,
+                100 * r.stats.avgWarpOccupancy);
+    std::printf("  divergence events: %llu   barriers: %llu\n",
+                static_cast<unsigned long long>(r.stats.divergenceEvents),
+                static_cast<unsigned long long>(r.stats.barriersExecuted));
+    return ok ? 0 : 1;
+}
+
+int
+cmdProfile(const std::string& workload, const std::string& gpu)
+{
+    const GpuConfig& cfg = gpuConfig(gpuModelFromName(gpu));
+    ReliabilityFramework fw(cfg.model);
+    const WorkloadInstance inst = fw.buildInstance(workload);
+    const AccessProfileResult p = profileAccesses(cfg, inst);
+
+    auto line = [&](const char* label, const AccessSummary& s) {
+        if (s.totalWords == 0)
+            return;
+        std::printf("  %-14s touched %8llu/%llu words (%.2f%%)  reads "
+                    "%9llu  writes %8llu  r/w %.2f  top10%% share %.0f%%\n",
+                    label,
+                    static_cast<unsigned long long>(s.touchedWords),
+                    static_cast<unsigned long long>(s.totalWords),
+                    100 * s.touchedFraction(),
+                    static_cast<unsigned long long>(s.reads),
+                    static_cast<unsigned long long>(s.writes),
+                    s.readsPerWrite(), 100 * s.top10Share);
+    };
+    std::printf("%s on %s:\n", workload.c_str(), cfg.name.c_str());
+    line("register file", p.registerFile);
+    line("local memory", p.sharedMemory);
+    line("scalar RF", p.scalarRegisterFile);
+    return 0;
+}
+
+int
+cmdAnalyze(const std::string& workload, const std::string& gpu,
+           const char* n_arg, bool json)
+{
+    ReliabilityFramework fw(gpuModelFromName(gpu));
+    AnalysisOptions options;
+    options.plan.injections = 400;
+    if (n_arg) {
+        if (const auto n = parseInt(n_arg); n && *n >= 0)
+            options.plan.injections = static_cast<std::size_t>(*n);
+    }
+    const ReliabilityReport report = fw.analyze(workload, options);
+    if (json) {
+        writeReportJson(std::cout, report);
+        std::cout << '\n';
+    } else {
+        report.printSummary(std::cout);
+    }
+    return 0;
+}
+
+int
+cmdInject(const std::string& workload, const std::string& gpu,
+          const std::string& structure, const char* bit_arg,
+          const char* cycle_arg)
+{
+    const GpuConfig& cfg = gpuConfig(gpuModelFromName(gpu));
+    ReliabilityFramework fw(cfg.model);
+    const WorkloadInstance inst = fw.buildInstance(workload);
+
+    FaultSpec fault;
+    if (structure == "rf")
+        fault.structure = TargetStructure::VectorRegisterFile;
+    else if (structure == "lds")
+        fault.structure = TargetStructure::SharedMemory;
+    else if (structure == "srf")
+        fault.structure = TargetStructure::ScalarRegisterFile;
+    else
+        return usage();
+
+    const auto bit = parseInt(bit_arg);
+    const auto cyc = parseInt(cycle_arg);
+    if (!bit || !cyc || *bit < 0 || *cyc < 0)
+        return usage();
+    fault.bitIndex = static_cast<BitIndex>(*bit);
+    fault.cycle = static_cast<Cycle>(*cyc);
+
+    FaultInjector injector(cfg, inst);
+    std::printf("golden run: %llu cycles\n",
+                static_cast<unsigned long long>(injector.goldenCycles()));
+    const InjectionResult r = injector.inject(fault);
+    std::printf("fault: %s bit %llu @ cycle %llu -> %s%s%s\n",
+                std::string(targetStructureName(fault.structure)).c_str(),
+                static_cast<unsigned long long>(fault.bitIndex),
+                static_cast<unsigned long long>(fault.cycle),
+                std::string(faultOutcomeName(r.outcome)).c_str(),
+                r.trap != TrapKind::None ? " / " : "",
+                r.trap != TrapKind::None
+                    ? std::string(trapKindName(r.trap)).c_str()
+                    : "");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "info" && argc == 3)
+            return cmdInfo(argv[2]);
+        if (cmd == "disasm" && argc == 4)
+            return cmdDisasm(argv[2], argv[3]);
+        if (cmd == "run" && argc == 4)
+            return cmdRun(argv[2], argv[3]);
+        if (cmd == "profile" && argc == 4)
+            return cmdProfile(argv[2], argv[3]);
+        if (cmd == "analyze" && argc >= 4) {
+            bool json = false;
+            const char* n_arg = nullptr;
+            for (int i = 4; i < argc; ++i) {
+                if (std::string(argv[i]) == "--json")
+                    json = true;
+                else
+                    n_arg = argv[i];
+            }
+            return cmdAnalyze(argv[2], argv[3], n_arg, json);
+        }
+        if (cmd == "inject" && argc == 7)
+            return cmdInject(argv[2], argv[3], argv[4], argv[5], argv[6]);
+    } catch (const gpr::FatalError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
