@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "core/bench_cli.hh"
+#include "core/export.hh"
 
 int
 main(int argc, char** argv)
@@ -25,10 +26,15 @@ main(int argc, char** argv)
     if (!cli.parse(argc, argv))
         return 1;
 
-    cli.printHeader(std::cout,
-                    "Fig. 1 - AVF for Register File (FI + ACE + occupancy)");
+    if (!cli.json) {
+        cli.printHeader(
+            std::cout,
+            "Fig. 1 - AVF for Register File (FI + ACE + occupancy)");
+    }
 
-    const gpr::StudyResult study = gpr::runComparisonStudy(cli.study);
+    const gpr::StudyResult study = gpr::runStudy(cli.study, cli.orch);
+    if (cli.printStudyJson(std::cout, study))
+        return 0;
     const gpr::TextTable table = study.figure1();
     table.render(std::cout);
     if (cli.csv)

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "core/bench_cli.hh"
+#include "core/export.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -30,10 +31,15 @@ main(int argc, char** argv)
             cli.study.workloads.emplace_back(name);
     }
 
-    cli.printHeader(std::cout,
-                    "Fig. 2 - AVF for Local Memory (FI + ACE + occupancy)");
+    if (!cli.json) {
+        cli.printHeader(
+            std::cout,
+            "Fig. 2 - AVF for Local Memory (FI + ACE + occupancy)");
+    }
 
-    const gpr::StudyResult study = gpr::runComparisonStudy(cli.study);
+    const gpr::StudyResult study = gpr::runStudy(cli.study, cli.orch);
+    if (cli.printStudyJson(std::cout, study))
+        return 0;
     const gpr::TextTable table = study.figure2();
     table.render(std::cout);
     if (cli.csv)

@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "core/bench_cli.hh"
+#include "core/export.hh"
 
 int
 main(int argc, char** argv)
@@ -34,11 +35,15 @@ main(int argc, char** argv)
     if (!injections_given)
         cli.study.analysis.aceOnly = true;
 
-    cli.printHeader(std::cout, "Fig. 3 - Executions per Failure (EPF)");
-    std::cout << "FIT model: 1000 FIT/Mbit intrinsic SER; structures: "
-                 "vector RF + local memory (+ scalar RF on SI)\n";
+    if (!cli.json) {
+        cli.printHeader(std::cout, "Fig. 3 - Executions per Failure (EPF)");
+        std::cout << "FIT model: 1000 FIT/Mbit intrinsic SER; structures: "
+                     "vector RF + local memory (+ scalar RF on SI)\n";
+    }
 
-    const gpr::StudyResult study = gpr::runComparisonStudy(cli.study);
+    const gpr::StudyResult study = gpr::runStudy(cli.study, cli.orch);
+    if (cli.printStudyJson(std::cout, study))
+        return 0;
     const gpr::TextTable table = study.figure3();
     table.render(std::cout);
     if (cli.csv)

@@ -14,6 +14,7 @@
 
 #include "arch/gpu_config.hh"
 #include "common/random.hh"
+#include "core/orchestrator.hh"
 #include "reliability/ace.hh"
 #include "reliability/fault_injector.hh"
 #include "sim/gpu.hh"
@@ -85,6 +86,33 @@ BM_AceAnalysis(benchmark::State& state, GpuModel model,
 }
 
 void
+BM_OrchestratedStudy(benchmark::State& state)
+{
+    // A mini grid through the sharded orchestrator: quantifies the
+    // scaling of the full-study path (golden-run cache + one global
+    // worker pool) as the job count grows.
+    StudyOptions study;
+    study.workloads = {"vectoradd", "reduction"};
+    study.gpus = {GpuModel::QuadroFx5600, GpuModel::GeforceGtx480};
+    study.analysis.plan.injections = 60;
+    study.verbose = false;
+
+    OrchestratorOptions orch;
+    orch.jobs = static_cast<unsigned>(state.range(0));
+    orch.shardsPerCampaign = 4;
+
+    std::size_t shards = 0;
+    for (auto _ : state) {
+        StudyProgress progress;
+        const StudyResult r = runStudy(study, orch, &progress);
+        benchmark::DoNotOptimize(r.reports.front().registerFile.avfFi);
+        shards = progress.totalShards;
+    }
+    state.counters["shards"] =
+        benchmark::Counter(static_cast<double>(shards));
+}
+
+void
 registerAll()
 {
     static const struct
@@ -117,6 +145,12 @@ registerAll()
                 ->Unit(benchmark::kMillisecond);
         }
     }
+    benchmark::RegisterBenchmark("orchestrated_study/jobs",
+                                 BM_OrchestratedStudy)
+        ->Arg(1)
+        ->Arg(4)
+        ->Arg(8)
+        ->Unit(benchmark::kMillisecond);
 }
 
 } // namespace

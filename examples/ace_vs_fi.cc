@@ -38,7 +38,7 @@ main(int argc, char** argv)
         100 * ace.registerFile.avf());
 
     TextTable table({"injections", "AVF-FI", "Wilson 99% CI", "margin",
-                     "time (s)", "speed vs ACE"});
+                     "worker-s", "cost vs ACE"});
     for (std::size_t n : {50u, 100u, 200u, 400u, 800u, 1600u}) {
         CampaignConfig cc;
         cc.plan.injections = n;
@@ -50,7 +50,7 @@ main(int argc, char** argv)
              strprintf("[%.1f%%, %.1f%%]", 100 * ci.lo, 100 * ci.hi),
              strprintf("+/-%.2f%%", 100 * fi.errorMargin()),
              strprintf("%.2f", fi.wallSeconds),
-             strprintf("%.0fx slower",
+             strprintf("%.0fx work",
                        ace.wallSeconds > 0
                            ? fi.wallSeconds / ace.wallSeconds
                            : 0.0)});

@@ -6,8 +6,8 @@
 #ifndef GPR_COMMON_BITUTILS_HH
 #define GPR_COMMON_BITUTILS_HH
 
-#include <bit>
 #include <cstdint>
+#include <cstring>
 
 #include "common/types.hh"
 
@@ -39,7 +39,7 @@ setBit(Word w, unsigned bit, bool value)
 constexpr unsigned
 popcount(Word w)
 {
-    return static_cast<unsigned>(std::popcount(w));
+    return static_cast<unsigned>(__builtin_popcountll(w));
 }
 
 /** Integer ceiling division. */
@@ -58,18 +58,23 @@ roundUp(T a, T b)
     return ceilDiv(a, b) * b;
 }
 
-/** Reinterpret a float's bits as a Word (type-pun via bit_cast). */
+/** Reinterpret a float's bits as a Word (type-pun via memcpy). */
 inline Word
 floatBits(float f)
 {
-    return std::bit_cast<Word>(f);
+    static_assert(sizeof(Word) == sizeof(float), "Word/float size mismatch");
+    Word w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
 }
 
 /** Reinterpret a Word as float. */
 inline float
 wordToFloat(Word w)
 {
-    return std::bit_cast<float>(w);
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
 }
 
 } // namespace gpr

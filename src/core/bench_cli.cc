@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/string_utils.hh"
+#include "core/export.hh"
 
 namespace gpr {
 namespace {
@@ -18,8 +19,9 @@ usage()
     std::fprintf(
         stderr,
         "flags: --injections=N --confidence=C --seed=S --threads=T\n"
+        "       --jobs=N --shards=N --store=FILE --resume[=FILE]\n"
         "       --workloads=a,b,... --gpus=7970,fx5600,fx5800,gtx480\n"
-        "       --ace-only --csv --quiet\n"
+        "       --ace-only --csv --json --quiet\n"
         "env:   GPR_INJECTIONS overrides the default injection count\n");
 }
 
@@ -63,13 +65,32 @@ BenchCli::parse(int argc, char** argv)
                 return false;
             }
             study.analysis.seed = static_cast<std::uint64_t>(*s);
-        } else if (startsWith(arg, "--threads=")) {
-            const auto t = parseInt(value("--threads="));
+        } else if (startsWith(arg, "--threads=") ||
+                   startsWith(arg, "--jobs=")) {
+            const auto t = parseInt(
+                value(startsWith(arg, "--jobs=") ? "--jobs=" : "--threads="));
             if (!t || *t < 0) {
                 usage();
                 return false;
             }
             study.analysis.numThreads = static_cast<unsigned>(*t);
+            orch.jobs = static_cast<unsigned>(*t);
+        } else if (startsWith(arg, "--shards=")) {
+            const auto s = parseInt(value("--shards="));
+            if (!s || *s < 0) {
+                usage();
+                return false;
+            }
+            orch.shardsPerCampaign = static_cast<std::size_t>(*s);
+        } else if (startsWith(arg, "--store=")) {
+            orch.storePath = value("--store=");
+        } else if (startsWith(arg, "--resume=")) {
+            orch.storePath = value("--resume=");
+            orch.resume = true;
+        } else if (arg == "--resume") {
+            orch.resume = true;
+            if (orch.storePath.empty())
+                orch.storePath = "study.jsonl";
         } else if (startsWith(arg, "--workloads=")) {
             study.workloads.clear();
             for (const auto& w : split(value("--workloads="), ','))
@@ -84,6 +105,8 @@ BenchCli::parse(int argc, char** argv)
             study.analysis.aceOnly = true;
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--quiet") {
             study.verbose = false;
             setInformEnabled(false);
@@ -96,6 +119,18 @@ BenchCli::parse(int argc, char** argv)
             return false;
         }
     }
+    return true;
+}
+
+bool
+BenchCli::printStudyJson(std::ostream& os, const StudyResult& study) const
+{
+    if (!json)
+        return false;
+    if (csv)
+        std::fprintf(stderr, "note: --json supersedes --csv\n");
+    writeStudyJson(os, study);
+    os << '\n';
     return true;
 }
 

@@ -9,10 +9,15 @@
  *   --confidence=C    confidence level for margins (default 0.99)
  *   --seed=S          campaign seed (default 0xC0FFEE)
  *   --threads=T       worker threads (default: hardware concurrency)
+ *   --jobs=N          alias of --threads (orchestrator wording)
+ *   --shards=N        campaign shards (default: derived from the plan)
+ *   --store=FILE      JSONL shard store to checkpoint into
+ *   --resume[=FILE]   resume from the store, skipping finished shards
  *   --workloads=a,b   subset of benchmarks
  *   --gpus=a,b        subset of GPUs (7970, fx5600, fx5800, gtx480)
  *   --ace-only        skip fault injection (ACE + occupancy + perf only)
  *   --csv             additionally print tables as CSV
+ *   --json            print the study as JSON instead of tables
  */
 
 #ifndef GPR_CORE_BENCH_CLI_HH
@@ -20,20 +25,29 @@
 
 #include <string>
 
-#include "core/comparison.hh"
+#include "core/orchestrator.hh"
 
 namespace gpr {
 
 struct BenchCli
 {
     StudyOptions study;
+    OrchestratorOptions orch;
     bool csv = false;
+    bool json = false;
 
     /** Parse argv; returns false (after printing usage) on bad flags. */
     bool parse(int argc, char** argv);
 
     /** Print the standard bench header (plan, margin, GPUs). */
     void printHeader(std::ostream& os, const std::string& title) const;
+
+    /**
+     * If --json was given, write @p study as one JSON document to @p os
+     * and return true — the caller should then skip its tables.  JSON
+     * supersedes --csv (noted on stderr when both are requested).
+     */
+    bool printStudyJson(std::ostream& os, const StudyResult& study) const;
 };
 
 } // namespace gpr

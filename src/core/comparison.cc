@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/statistics.hh"
 #include "common/string_utils.hh"
+#include "core/orchestrator.hh"
 
 namespace gpr {
 namespace {
@@ -144,8 +145,8 @@ StudyResult::printClaims(std::ostream& os) const
         "  ACE overestimate (mean ACE-FI):     RF %+.1f pp  LM gap %.1f pp\n",
         100.0 * c.rfMeanAceOverestimate, 100.0 * c.lmMeanAceGap);
     os << strprintf(
-        "  analysis cost:                      FI %.1f s vs ACE %.2f s "
-        "(%.0fx)\n",
+        "  analysis cost:                      FI %.1f worker-s vs ACE "
+        "%.2f s (%.0fx work)\n",
         c.fiSecondsTotal, c.aceSecondsTotal,
         c.aceSecondsTotal > 0 ? c.fiSecondsTotal / c.aceSecondsTotal : 0.0);
 }
@@ -153,30 +154,11 @@ StudyResult::printClaims(std::ostream& os) const
 StudyResult
 runComparisonStudy(const StudyOptions& options)
 {
-    StudyResult result;
-    result.workloads = options.workloads;
-    if (result.workloads.empty()) {
-        for (auto name : allWorkloadNames())
-            result.workloads.emplace_back(name);
-    }
-    result.gpus = options.gpus.empty() ? allGpuModels() : options.gpus;
-
-    result.reports.reserve(result.workloads.size() * result.gpus.size());
-    for (const std::string& w : result.workloads) {
-        for (GpuModel gpu : result.gpus) {
-            ReliabilityFramework fw(gpu);
-            if (options.verbose) {
-                inform("study: ", w, " on ", gpuModelName(gpu), " (",
-                       options.analysis.aceOnly
-                           ? "ACE only"
-                           : strprintf("%zu injections/structure",
-                                       options.analysis.plan.injections),
-                       ")");
-            }
-            result.reports.push_back(fw.analyze(w, options.analysis));
-        }
-    }
-    return result;
+    // The grid no longer runs cell-by-cell: the orchestrator flattens it
+    // into campaign shards on one worker pool (see core/orchestrator.hh).
+    OrchestratorOptions orch;
+    orch.jobs = options.analysis.numThreads;
+    return runStudy(options, orch);
 }
 
 } // namespace gpr

@@ -1,7 +1,10 @@
 #include "core/export.hh"
 
 #include <cmath>
+#include <cstdlib>
+#include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "common/string_utils.hh"
@@ -253,6 +256,162 @@ writeStudyCsv(std::ostream& os, const StudyResult& study)
              strprintf("%.6e", r.epf.epf())});
     }
     table.renderCsv(os);
+}
+
+// ------------------------------------------------------------- shard store
+
+namespace {
+
+/**
+ * Locate the raw value token of @p key in a flat one-line JSON object we
+ * emitted ourselves (string values never contain escapes: workload and
+ * GPU names are plain identifiers).  Not a general JSON parser.
+ */
+bool
+findField(std::string_view line, std::string_view key, std::string_view& out)
+{
+    const std::string needle = "\"" + std::string(key) + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string_view::npos)
+        return false;
+    std::size_t begin = pos + needle.size();
+    if (begin >= line.size())
+        return false;
+    std::size_t end;
+    if (line[begin] == '"') {
+        ++begin;
+        end = line.find('"', begin);
+        if (end == std::string_view::npos)
+            return false;
+    } else {
+        end = line.find_first_of(",}", begin);
+        if (end == std::string_view::npos)
+            return false;
+    }
+    out = line.substr(begin, end - begin);
+    return true;
+}
+
+bool
+fieldU64(std::string_view line, std::string_view key, std::uint64_t& out)
+{
+    std::string_view tok;
+    if (!findField(line, key, tok) || tok.empty())
+        return false;
+    char* end = nullptr;
+    const std::string s(tok);
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+fieldDouble(std::string_view line, std::string_view key, double& out)
+{
+    std::string_view tok;
+    if (!findField(line, key, tok) || tok.empty())
+        return false;
+    char* end = nullptr;
+    const std::string s(tok);
+    out = std::strtod(s.c_str(), &end);
+    return end && *end == '\0';
+}
+
+bool
+structureFromName(std::string_view name, TargetStructure& out)
+{
+    for (TargetStructure s : {TargetStructure::VectorRegisterFile,
+                              TargetStructure::SharedMemory,
+                              TargetStructure::ScalarRegisterFile}) {
+        if (name == targetStructureName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+void
+writeShardRecord(std::ostream& os, const ShardRecord& record)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.kv("workload", record.key.workload);
+    j.kv("gpu", gpuModelName(record.key.gpu));
+    j.kv("structure", targetStructureName(record.key.structure));
+    j.kv("shard", std::uint64_t{record.key.shardIndex});
+    j.kv("begin", record.key.injectionBegin);
+    j.kv("end", record.key.injectionEnd);
+    j.kv("campaign_seed", record.key.campaignSeed);
+    j.kv("workload_seed", record.key.workloadSeed);
+    j.kv("masked", record.counts.masked);
+    j.kv("sdc", record.counts.sdc);
+    j.kv("due", record.counts.due);
+    j.kv("busy_seconds", record.counts.busySeconds);
+    j.endObject();
+}
+
+bool
+parseShardRecord(std::string_view line, ShardRecord& out)
+{
+    // A complete record ends in '}' — a truncated tail line does not.
+    const auto close = line.find_last_not_of(" \t\r");
+    if (close == std::string_view::npos || line[close] != '}')
+        return false;
+
+    std::string_view workload, gpu, structure;
+    if (!findField(line, "workload", workload) ||
+        !findField(line, "gpu", gpu) ||
+        !findField(line, "structure", structure)) {
+        return false;
+    }
+
+    ShardRecord r;
+    r.key.workload = std::string(workload);
+    if (!structureFromName(structure, r.key.structure))
+        return false;
+    try {
+        r.key.gpu = gpuModelFromName(gpu);
+    } catch (const FatalError&) {
+        return false;
+    }
+
+    std::uint64_t shard = 0;
+    if (!fieldU64(line, "shard", shard) ||
+        !fieldU64(line, "begin", r.key.injectionBegin) ||
+        !fieldU64(line, "end", r.key.injectionEnd) ||
+        !fieldU64(line, "campaign_seed", r.key.campaignSeed) ||
+        !fieldU64(line, "workload_seed", r.key.workloadSeed) ||
+        !fieldU64(line, "masked", r.counts.masked) ||
+        !fieldU64(line, "sdc", r.counts.sdc) ||
+        !fieldU64(line, "due", r.counts.due) ||
+        !fieldDouble(line, "busy_seconds", r.counts.busySeconds)) {
+        return false;
+    }
+    r.key.shardIndex = static_cast<std::uint32_t>(shard);
+
+    // Internal consistency: counts must cover exactly the stated range.
+    const std::uint64_t n = r.counts.masked + r.counts.sdc + r.counts.due;
+    if (r.key.injectionEnd < r.key.injectionBegin ||
+        n != r.key.injectionEnd - r.key.injectionBegin) {
+        return false;
+    }
+    out = std::move(r);
+    return true;
+}
+
+std::vector<ShardRecord>
+readShardStore(std::istream& is)
+{
+    std::vector<ShardRecord> records;
+    std::string line;
+    while (std::getline(is, line)) {
+        ShardRecord r;
+        if (parseShardRecord(line, r))
+            records.push_back(std::move(r));
+    }
+    return records;
 }
 
 } // namespace gpr

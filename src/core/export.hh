@@ -13,8 +13,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/comparison.hh"
+#include "core/shard.hh"
 
 namespace gpr {
 
@@ -67,6 +69,21 @@ void writeStudyJson(std::ostream& os, const StudyResult& study);
 
 /** Flat CSV of a study: one row per (benchmark, GPU) cell. */
 void writeStudyCsv(std::ostream& os, const StudyResult& study);
+
+// ------------------------------------------------------------------------
+// JSONL shard store — the orchestrator's checkpoint format.  One record
+// per line, append-only, so a killed study leaves at worst one truncated
+// line (which the reader skips).
+
+/** Serialise @p record as a single JSON object on one line (no '\n'). */
+void writeShardRecord(std::ostream& os, const ShardRecord& record);
+
+/** Parse one store line into @p out; false for malformed/truncated
+ *  lines (the caller should skip them, not abort). */
+bool parseShardRecord(std::string_view line, ShardRecord& out);
+
+/** Read every well-formed record from a shard-store stream. */
+std::vector<ShardRecord> readShardStore(std::istream& is);
 
 } // namespace gpr
 

@@ -1,9 +1,11 @@
 #include "core/framework.hh"
 
 #include <ostream>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/string_utils.hh"
+#include "core/orchestrator.hh"
 
 namespace gpr {
 
@@ -26,73 +28,22 @@ ReliabilityReport
 ReliabilityFramework::analyze(std::string_view workload_name,
                               const AnalysisOptions& options) const
 {
-    const auto workload = makeWorkload(workload_name);
-    WorkloadParams params;
-    params.seed = options.workloadSeed;
-    const WorkloadInstance instance =
-        workload->build(config_.dialect, params);
+    // A full analysis is a one-cell study: the orchestrator supplies the
+    // golden-run cache, the shard fan-out, and the report assembly, so a
+    // standalone analyze() is bit-identical to the same cell inside a
+    // grid run (identical (campaign seed, injection index) derivation).
+    StudyOptions study;
+    study.workloads = {std::string(workload_name)};
+    study.gpus = {model_};
+    study.analysis = options;
+    study.verbose = false;
 
-    ReliabilityReport report;
-    report.workload = std::string(workload_name);
-    report.gpu = model_;
-    report.gpuName = config_.name;
+    OrchestratorOptions orch;
+    orch.jobs = options.numThreads;
 
-    // ACE analysis: one instrumented run covers all structures and also
-    // provides the golden performance stats.
-    const AceResult ace = runAceAnalysis(config_, instance);
-    report.aceWallSeconds = ace.wallSeconds;
-    report.cycles = ace.goldenStats.cycles;
-    report.execSeconds = executionSeconds(config_, report.cycles);
-    report.ipc = ace.goldenStats.ipc();
-    report.warpOccupancy = ace.goldenStats.avgWarpOccupancy;
-
-    const bool uses_lds = workload->usesLocalMemory();
-
-    auto fill_structure = [&](StructureReport& sr, TargetStructure s,
-                              bool applicable, double occupancy) {
-        sr.structure = s;
-        sr.applicable = applicable;
-        if (!applicable)
-            return;
-        sr.avfAce = ace.forStructure(s).avf();
-        sr.occupancy = occupancy;
-        if (options.aceOnly)
-            return;
-        CampaignConfig cc;
-        cc.plan = options.plan;
-        cc.seed = deriveSeed(options.seed, static_cast<std::uint64_t>(s));
-        cc.numThreads = options.numThreads;
-        const CampaignResult fi = runCampaign(config_, instance, s, cc);
-        sr.avfFi = fi.avf();
-        sr.fiErrorMargin = fi.errorMargin();
-        sr.sdcRate = fi.sdcRate();
-        sr.dueRate = fi.dueRate();
-        sr.fiWallSeconds = fi.wallSeconds;
-        sr.injections = fi.injections;
-    };
-
-    fill_structure(report.registerFile,
-                   TargetStructure::VectorRegisterFile, true,
-                   ace.goldenStats.avgRegFileOccupancy);
-    fill_structure(report.localMemory, TargetStructure::SharedMemory,
-                   uses_lds, ace.goldenStats.avgSmemOccupancy);
-    fill_structure(report.scalarRegisterFile,
-                   TargetStructure::ScalarRegisterFile,
-                   config_.scalarRegWordsPerSm > 0,
-                   ace.goldenStats.avgScalarRegOccupancy);
-
-    // EPF from the FI AVFs (ACE AVFs when aceOnly).
-    const auto pick = [&](const StructureReport& sr) {
-        if (!sr.applicable)
-            return 0.0;
-        return options.aceOnly ? sr.avfAce : sr.avfFi;
-    };
-    report.epf = computeEpf(config_, report.cycles,
-                            pick(report.registerFile),
-                            pick(report.localMemory),
-                            pick(report.scalarRegisterFile),
-                            options.fitParams);
-    return report;
+    StudyResult result = runStudy(study, orch);
+    GPR_ASSERT(result.reports.size() == 1, "one-cell study shape");
+    return std::move(result.reports.front());
 }
 
 void

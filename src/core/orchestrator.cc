@@ -1,0 +1,521 @@
+#include "core/orchestrator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/string_utils.hh"
+#include "core/export.hh"
+#include "reliability/ace.hh"
+#include "reliability/fault_injector.hh"
+#include "workloads/workloads.hh"
+
+namespace gpr {
+
+// ------------------------------------------------------------- WorkerPool
+
+WorkerPool::WorkerPool(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    threads_.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        GPR_ASSERT(!stop_, "submit() on a stopped pool");
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+WorkerPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+WorkerPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------- decomposition
+
+std::size_t
+defaultShardCount(const SamplePlan& plan)
+{
+    if (plan.injections == 0)
+        return 0;
+    // ~250 injections per shard: fine-grained enough to keep a pool busy
+    // and to make resume checkpoints frequent, coarse enough that the
+    // per-shard simulator setup stays negligible.  Deliberately *not* a
+    // function of the worker count, so a store written at --jobs 1
+    // resumes cleanly at --jobs 8.
+    const std::size_t shards = (plan.injections + 249) / 250;
+    return std::min<std::size_t>(std::max<std::size_t>(shards, 1), 64);
+}
+
+namespace {
+
+/** Structures a campaign targets on this (workload, GPU) cell, in enum
+ *  order (the order StructureReports are laid out in). */
+std::vector<TargetStructure>
+applicableStructures(const GpuConfig& config, bool uses_lds)
+{
+    std::vector<TargetStructure> out;
+    out.push_back(TargetStructure::VectorRegisterFile);
+    if (uses_lds)
+        out.push_back(TargetStructure::SharedMemory);
+    if (config.scalarRegWordsPerSm > 0)
+        out.push_back(TargetStructure::ScalarRegisterFile);
+    return out;
+}
+
+std::vector<std::string>
+resolveWorkloads(const StudyOptions& study)
+{
+    if (!study.workloads.empty())
+        return study.workloads;
+    std::vector<std::string> all;
+    for (auto name : allWorkloadNames())
+        all.emplace_back(name);
+    return all;
+}
+
+std::vector<GpuModel>
+resolveGpus(const StudyOptions& study)
+{
+    return study.gpus.empty() ? allGpuModels() : study.gpus;
+}
+
+} // namespace
+
+std::vector<ShardKey>
+decomposeStudy(const StudyOptions& study, std::size_t shards_per_campaign)
+{
+    std::vector<ShardKey> shards;
+    if (study.analysis.aceOnly)
+        return shards;
+    const std::size_t n = study.analysis.plan.injections;
+    if (n == 0)
+        return shards;
+    if (shards_per_campaign == 0)
+        shards_per_campaign = defaultShardCount(study.analysis.plan);
+    const std::size_t per =
+        (n + shards_per_campaign - 1) / shards_per_campaign;
+
+    // Duplicate (workload, GPU) grid entries are one cell: identical
+    // seeds produce identical counts, so they share one set of shards
+    // (and one store identity — ShardKeys could not tell them apart).
+    std::set<std::pair<std::string, GpuModel>> seen;
+    for (const std::string& w : resolveWorkloads(study)) {
+        const bool uses_lds = makeWorkload(w)->usesLocalMemory();
+        for (GpuModel gpu : resolveGpus(study)) {
+            if (!seen.insert({w, gpu}).second)
+                continue;
+            const GpuConfig& config = gpuConfig(gpu);
+            for (TargetStructure s :
+                 applicableStructures(config, uses_lds)) {
+                for (std::size_t begin = 0, index = 0; begin < n;
+                     begin += per, ++index) {
+                    ShardKey key;
+                    key.workload = w;
+                    key.gpu = gpu;
+                    key.structure = s;
+                    key.shardIndex = static_cast<std::uint32_t>(index);
+                    key.injectionBegin = begin;
+                    key.injectionEnd = std::min(begin + per, n);
+                    key.campaignSeed =
+                        deriveSeed(study.analysis.seed,
+                                   static_cast<std::uint64_t>(s));
+                    key.workloadSeed = study.analysis.workloadSeed;
+                    shards.push_back(std::move(key));
+                }
+            }
+        }
+    }
+    return shards;
+}
+
+// -------------------------------------------------------------- execution
+
+namespace {
+
+/** One (workload, GPU) grid cell with its cached golden/ACE pass. */
+struct Cell
+{
+    std::string workload;
+    GpuModel gpu = GpuModel::GeforceGtx480;
+    const GpuConfig* config = nullptr;
+    bool usesLds = false;
+    WorkloadInstance instance;
+    AceResult ace;
+};
+
+/** Per-campaign accumulation of shard outcomes. */
+struct CampaignTotals
+{
+    ShardCounts counts;
+    std::size_t shardsDone = 0;
+    std::size_t shardsTotal = 0;
+};
+
+void
+assembleReport(ReliabilityReport& report, const Cell& cell,
+               const AnalysisOptions& options,
+               const std::map<TargetStructure, CampaignTotals>& campaigns)
+{
+    report.workload = cell.workload;
+    report.gpu = cell.gpu;
+    report.gpuName = cell.config->name;
+    report.aceWallSeconds = cell.ace.wallSeconds;
+    report.cycles = cell.ace.goldenStats.cycles;
+    report.execSeconds = executionSeconds(*cell.config, report.cycles);
+    report.ipc = cell.ace.goldenStats.ipc();
+    report.warpOccupancy = cell.ace.goldenStats.avgWarpOccupancy;
+
+    auto fill = [&](StructureReport& sr, TargetStructure s, bool applicable,
+                    double occupancy) {
+        sr.structure = s;
+        sr.applicable = applicable;
+        if (!applicable)
+            return;
+        sr.avfAce = cell.ace.forStructure(s).avf();
+        sr.occupancy = occupancy;
+        if (options.aceOnly)
+            return;
+        // Fold the shard counts through CampaignResult so the statistics
+        // (AVF, rates, Wilson margin) share one implementation with the
+        // standalone campaign path.
+        const auto it = campaigns.find(s);
+        CampaignResult cr;
+        cr.structure = s;
+        cr.confidence = options.plan.confidence;
+        cr.injections = options.plan.injections;
+        if (it != campaigns.end()) {
+            cr.masked = static_cast<std::size_t>(it->second.counts.masked);
+            cr.sdc = static_cast<std::size_t>(it->second.counts.sdc);
+            cr.due = static_cast<std::size_t>(it->second.counts.due);
+            cr.wallSeconds = it->second.counts.busySeconds;
+        }
+        sr.avfFi = cr.avf();
+        sr.fiErrorMargin = cr.errorMargin();
+        sr.sdcRate = cr.sdcRate();
+        sr.dueRate = cr.dueRate();
+        sr.fiWallSeconds = cr.wallSeconds;
+        sr.injections = cr.injections;
+    };
+
+    fill(report.registerFile, TargetStructure::VectorRegisterFile, true,
+         cell.ace.goldenStats.avgRegFileOccupancy);
+    fill(report.localMemory, TargetStructure::SharedMemory, cell.usesLds,
+         cell.ace.goldenStats.avgSmemOccupancy);
+    fill(report.scalarRegisterFile, TargetStructure::ScalarRegisterFile,
+         cell.config->scalarRegWordsPerSm > 0,
+         cell.ace.goldenStats.avgScalarRegOccupancy);
+
+    const auto pick = [&](const StructureReport& sr) {
+        if (!sr.applicable)
+            return 0.0;
+        return options.aceOnly ? sr.avfAce : sr.avfFi;
+    };
+    report.epf = computeEpf(*cell.config, report.cycles,
+                            pick(report.registerFile),
+                            pick(report.localMemory),
+                            pick(report.scalarRegisterFile),
+                            options.fitParams);
+}
+
+} // namespace
+
+StudyResult
+runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
+         StudyProgress* progress_out)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    StudyResult result;
+    result.workloads = resolveWorkloads(study);
+    result.gpus = resolveGpus(study);
+    const std::size_t num_gpus = result.gpus.size();
+
+    StudyProgress progress;
+    progress.cells = result.workloads.size() * num_gpus;
+
+    // Load completed shards from a previous (possibly killed) run.
+    std::map<ShardKey, ShardCounts> checkpointed;
+    if (orch.resume && !orch.storePath.empty()) {
+        std::ifstream in(orch.storePath);
+        if (in) {
+            for (ShardRecord& r : readShardStore(in))
+                checkpointed[std::move(r.key)] = r.counts;
+        }
+    }
+
+    std::ofstream store;
+    std::mutex store_mutex;
+    if (!orch.storePath.empty()) {
+        // A killed run can leave a truncated tail line without a newline;
+        // start appending on a fresh line so the glued bytes stay one
+        // (skippable) broken line instead of corrupting a new record.
+        bool needs_newline = false;
+        if (orch.resume) {
+            std::ifstream probe(orch.storePath, std::ios::binary);
+            if (probe && probe.seekg(-1, std::ios::end)) {
+                char last = '\n';
+                probe.get(last);
+                needs_newline = last != '\n';
+            }
+        }
+        store.open(orch.storePath, orch.resume
+                                       ? std::ios::out | std::ios::app
+                                       : std::ios::out | std::ios::trunc);
+        if (!store) {
+            fatal("cannot open shard store '", orch.storePath,
+                  "' for writing");
+        }
+        if (needs_newline)
+            store << '\n';
+    }
+
+    // Canonical cells (duplicate grid entries collapse into one) and the
+    // flat shard work-list are known up front, so the pool never spawns
+    // more threads than it has work for the larger wave.
+    std::map<std::pair<std::string, GpuModel>, std::size_t> canonical;
+    std::vector<std::size_t> cell_of_grid(progress.cells);
+    std::vector<Cell> cells;
+    for (std::size_t w = 0; w < result.workloads.size(); ++w) {
+        for (std::size_t g = 0; g < num_gpus; ++g) {
+            const auto [it, fresh] = canonical.try_emplace(
+                std::make_pair(result.workloads[w], result.gpus[g]),
+                cells.size());
+            cell_of_grid[w * num_gpus + g] = it->second;
+            if (!fresh)
+                continue;
+            Cell cell;
+            cell.workload = result.workloads[w];
+            cell.gpu = result.gpus[g];
+            cell.config = &gpuConfig(cell.gpu);
+            cells.push_back(std::move(cell));
+        }
+    }
+    const std::vector<ShardKey> shards =
+        decomposeStudy(study, orch.shardsPerCampaign);
+    progress.totalShards = shards.size();
+
+    unsigned jobs = orch.jobs
+                        ? orch.jobs
+                        : std::max(1u, std::thread::hardware_concurrency());
+    jobs = static_cast<unsigned>(std::min<std::size_t>(
+        jobs, std::max({std::size_t{1}, cells.size(), shards.size()})));
+    WorkerPool pool(jobs);
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    auto record_error = [&]() {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error)
+            first_error = std::current_exception();
+    };
+    // Once any task fails, remaining tasks become no-ops so the error
+    // surfaces after in-flight work only, not after the whole study.
+    auto errored = [&]() {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        return static_cast<bool>(first_error);
+    };
+    auto rethrow_errors = [&]() {
+        pool.waitIdle();
+        if (first_error)
+            std::rethrow_exception(first_error);
+    };
+
+    // Wave 1 — golden-run cache: one ACE-instrumented reference
+    // simulation per unique (workload, GPU, workloadSeed) cell.  Every
+    // campaign shard of the cell — and every duplicate grid entry —
+    // reuses it instead of re-running the golden.
+    for (Cell& c : cells) {
+        Cell* cell = &c;
+        pool.submit([&study, &record_error, &errored, cell]() {
+            if (errored())
+                return;
+            try {
+                const auto workload = makeWorkload(cell->workload);
+                cell->usesLds = workload->usesLocalMemory();
+                WorkloadParams params;
+                params.seed = study.analysis.workloadSeed;
+                cell->instance =
+                    workload->build(cell->config->dialect, params);
+                cell->ace = runAceAnalysis(*cell->config, cell->instance);
+            } catch (...) {
+                record_error();
+            }
+        });
+    }
+    rethrow_errors();
+    progress.goldenRuns = cells.size();
+    if (study.verbose) {
+        inform("study: ", cells.size(), " golden+ACE runs cached (",
+               result.workloads.size(), " workloads x ", num_gpus,
+               " GPUs)");
+    }
+
+    // Wave 2 — the flat shard work-list, one global pool, no nesting.
+    std::map<std::size_t, std::map<TargetStructure, CampaignTotals>>
+        totals_by_cell;
+    std::mutex totals_mutex;
+
+    auto cell_index = [&](const ShardKey& key) {
+        return canonical.at(std::make_pair(key.workload, key.gpu));
+    };
+
+    for (const ShardKey& key : shards) {
+        const std::size_t ci = cell_index(key);
+        totals_by_cell[ci][key.structure].shardsTotal++;
+    }
+
+    auto merge_shard = [&](const ShardKey& key, const ShardCounts& counts,
+                           bool executed) {
+        std::lock_guard<std::mutex> lock(totals_mutex);
+        CampaignTotals& t = totals_by_cell[cell_index(key)][key.structure];
+        t.counts.masked += counts.masked;
+        t.counts.sdc += counts.sdc;
+        t.counts.due += counts.due;
+        // Busy seconds are per-worker loop time: campaigns sharing the
+        // pool sum to total worker-seconds, never double-counting
+        // concurrent wall-clock.
+        t.counts.busySeconds += counts.busySeconds;
+        ++t.shardsDone;
+        if (executed) {
+            ++progress.executedShards;
+            progress.shardBusySeconds += counts.busySeconds;
+        } else {
+            ++progress.resumedShards;
+        }
+        if (study.verbose && t.shardsDone == t.shardsTotal) {
+            inform("study: ", key.workload, " on ",
+                   gpuModelName(key.gpu), " ",
+                   targetStructureName(key.structure), " campaign done (",
+                   t.shardsTotal, " shards, ",
+                   strprintf("%.2f", t.counts.busySeconds), " worker-s)");
+        }
+    };
+
+    for (const ShardKey& key : shards) {
+        if (const auto it = checkpointed.find(key);
+            it != checkpointed.end()) {
+            merge_shard(key, it->second, /*executed=*/false);
+            continue;
+        }
+        const Cell* cell = &cells[cell_index(key)];
+        pool.submit([&, key, cell]() {
+            if (errored())
+                return;
+            try {
+                const auto s0 = std::chrono::steady_clock::now();
+                FaultInjector injector(*cell->config, cell->instance);
+                injector.adoptGoldenCycles(cell->ace.goldenStats.cycles);
+                ShardCounts counts;
+                for (std::uint64_t i = key.injectionBegin;
+                     i < key.injectionEnd; ++i) {
+                    const InjectionResult r = runIndexedInjection(
+                        injector, key.structure, key.campaignSeed, i);
+                    switch (r.outcome) {
+                      case FaultOutcome::Masked:
+                        ++counts.masked;
+                        break;
+                      case FaultOutcome::Sdc:
+                        ++counts.sdc;
+                        break;
+                      case FaultOutcome::Due:
+                        ++counts.due;
+                        break;
+                    }
+                }
+                const auto s1 = std::chrono::steady_clock::now();
+                counts.busySeconds =
+                    std::chrono::duration<double>(s1 - s0).count();
+                merge_shard(key, counts, /*executed=*/true);
+                if (store.is_open()) {
+                    std::lock_guard<std::mutex> lock(store_mutex);
+                    writeShardRecord(store, ShardRecord{key, counts});
+                    store << '\n';
+                    store.flush();
+                }
+            } catch (...) {
+                record_error();
+            }
+        });
+    }
+    rethrow_errors();
+
+    // Assembly — pure arithmetic over integer counts, so the reports are
+    // bit-identical for any jobs/shards/resume configuration.  Duplicate
+    // grid entries replicate their canonical cell's report (identical
+    // seeds make that the result a recomputation would produce).
+    result.reports.resize(progress.cells);
+    static const std::map<TargetStructure, CampaignTotals> kNoCampaigns;
+    for (std::size_t pos = 0; pos < progress.cells; ++pos) {
+        const std::size_t ci = cell_of_grid[pos];
+        const auto it = totals_by_cell.find(ci);
+        assembleReport(result.reports[pos], cells[ci], study.analysis,
+                       it != totals_by_cell.end() ? it->second
+                                                  : kNoCampaigns);
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    progress.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    if (study.verbose) {
+        inform("study: ", progress.executedShards, " shards executed, ",
+               progress.resumedShards, " resumed from store, ",
+               strprintf("%.2f", progress.wallSeconds), " s wall (",
+               strprintf("%.2f", progress.shardBusySeconds),
+               " worker-s injecting)");
+    }
+    if (progress_out)
+        *progress_out = progress;
+    return result;
+}
+
+} // namespace gpr

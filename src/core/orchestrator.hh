@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Study orchestrator — decomposes a ComparisonStudy into a flat work-list
+ * of (workload, GPU, structure) campaign shards and executes them on one
+ * persistent worker pool, instead of nesting a fresh per-campaign pool
+ * inside every grid cell.
+ *
+ * Three properties make the full 10x4 grid tractable:
+ *
+ *  - **Golden-run cache.**  The fault-free reference simulation (which is
+ *    also the ACE-instrumented run) executes once per (workload, GPU,
+ *    workloadSeed) cell; every campaign shard of that cell adopts its
+ *    golden cycle count instead of re-simulating.
+ *  - **Checkpoint/resume.**  Completed shards stream as JSONL records to
+ *    an append-only results store; a restarted study loads the store and
+ *    skips every shard whose identity (workload, GPU, structure, shard
+ *    index, injection range, seeds) matches.
+ *  - **Determinism.**  Each injection's RNG derives from (campaign seed,
+ *    injection index) — the scheme FaultInjectionCampaign already uses —
+ *    so aggregate counts are bit-identical regardless of shard count,
+ *    worker count, or resume history.
+ */
+
+#ifndef GPR_CORE_ORCHESTRATOR_HH
+#define GPR_CORE_ORCHESTRATOR_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/comparison.hh"
+#include "core/shard.hh"
+
+namespace gpr {
+
+/** Knobs of the orchestrated execution (the grid itself comes from
+ *  StudyOptions). */
+struct OrchestratorOptions
+{
+    /** Worker threads; 0 selects std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+    /** Shards per campaign; 0 derives a deterministic default from the
+     *  sample plan (independent of `jobs`, so stores written at one job
+     *  count resume cleanly at another). */
+    std::size_t shardsPerCampaign = 0;
+    /** JSONL shard store path; empty disables checkpointing. */
+    std::string storePath;
+    /** Load @ref storePath (if present) and skip already-completed
+     *  shards; new results are appended to the same file. */
+    bool resume = false;
+};
+
+/** Execution statistics of one orchestrated study. */
+struct StudyProgress
+{
+    std::size_t cells = 0;          ///< (workload, GPU) pairs
+    std::size_t goldenRuns = 0;     ///< reference simulations performed
+    std::size_t totalShards = 0;
+    std::size_t executedShards = 0; ///< computed this run
+    std::size_t resumedShards = 0;  ///< satisfied from the store
+    /** Aggregate worker-seconds across executed shards. */
+    double shardBusySeconds = 0.0;
+    double wallSeconds = 0.0;       ///< end-to-end study wall-clock
+};
+
+/**
+ * A persistent pool of worker threads draining one task queue.  Tasks
+ * may be submitted from any thread; waitIdle() blocks until the queue is
+ * empty and every worker is idle, so one pool can serve several waves of
+ * tasks (golden runs, then shards) without re-spawning threads.
+ */
+class WorkerPool
+{
+  public:
+    /** @p jobs worker threads; 0 = hardware concurrency. */
+    explicit WorkerPool(unsigned jobs = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    void submit(std::function<void()> task);
+    /** Block until all submitted tasks have finished. */
+    void waitIdle();
+
+    unsigned size() const { return static_cast<unsigned>(threads_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
+
+/** Deterministic default shard count for @p plan (independent of the
+ *  worker count; ~250 injections per shard, at most 64 shards). */
+std::size_t defaultShardCount(const SamplePlan& plan);
+
+/**
+ * Decompose @p study into its flat shard work-list (no execution).  The
+ * order is deterministic: cells in grid order, structures in enum order,
+ * shards by index.  Exposed for tests and tooling.
+ */
+std::vector<ShardKey> decomposeStudy(const StudyOptions& study,
+                                     std::size_t shards_per_campaign = 0);
+
+/**
+ * Run @p study through the orchestrator.  Drop-in replacement for the
+ * serial runComparisonStudy() loop: given equal StudyOptions the
+ * resulting reports are bit-identical to each other at every `jobs` /
+ * `shardsPerCampaign` setting.  @p progress (optional) receives
+ * execution statistics.
+ */
+StudyResult runStudy(const StudyOptions& study,
+                     const OrchestratorOptions& orch = {},
+                     StudyProgress* progress = nullptr);
+
+} // namespace gpr
+
+#endif // GPR_CORE_ORCHESTRATOR_HH

@@ -40,18 +40,20 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
     if (cc.keepRecords)
         records.resize(n);
 
-    const auto t0 = std::chrono::steady_clock::now();
-
     auto worker_fn = [&]() {
+        // Adopt the shared golden: the reference simulation already ran
+        // once for this campaign; workers only need its cycle count.
         FaultInjector injector(config, instance);
+        injector.adoptGoldenCycles(result.goldenStats.cycles);
         std::size_t local_masked = 0, local_sdc = 0, local_due = 0;
 
+        const auto t0 = std::chrono::steady_clock::now();
         while (true) {
             const std::size_t i = next.fetch_add(1);
             if (i >= n)
                 break;
-            Rng rng(deriveSeed(cc.seed, i));
-            const InjectionResult r = injector.injectRandom(structure, rng);
+            const InjectionResult r =
+                runIndexedInjection(injector, structure, cc.seed, i);
             switch (r.outcome) {
               case FaultOutcome::Masked:
                 ++local_masked;
@@ -66,11 +68,18 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
             if (cc.keepRecords)
                 records[i] = r;
         }
+        const auto t1 = std::chrono::steady_clock::now();
 
         std::lock_guard<std::mutex> lock(merge_mutex);
         result.masked += local_masked;
         result.sdc += local_sdc;
         result.due += local_due;
+        // Busy time, not pool wall-clock: summing per-worker injection
+        // time stays correct when several campaigns share worker threads
+        // (concurrent campaigns would otherwise each claim the same
+        // wall-clock span).
+        result.wallSeconds +=
+            std::chrono::duration<double>(t1 - t0).count();
     };
 
     if (workers <= 1) {
@@ -84,9 +93,6 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
             t.join();
     }
 
-    const auto t1 = std::chrono::steady_clock::now();
-    result.wallSeconds =
-        std::chrono::duration<double>(t1 - t0).count();
     result.records = std::move(records);
 
     GPR_ASSERT(result.masked + result.sdc + result.due == n,

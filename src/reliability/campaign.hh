@@ -40,7 +40,11 @@ struct CampaignResult
     /** Golden-run performance & occupancy statistics. */
     SimStats goldenStats;
 
-    /** Wall-clock seconds spent on the injection runs. */
+    /**
+     * Aggregate worker-seconds spent on the injection runs (summed busy
+     * time across workers — equals wall-clock for a single-threaded
+     * campaign, and never double-counts when campaigns share a pool).
+     */
     double wallSeconds = 0.0;
 
     /** Confidence level the margins below are quoted at. */
@@ -90,6 +94,22 @@ struct CampaignResult
         return wilsonInterval(sdc + due, injections, confidence);
     }
 };
+
+/**
+ * The campaign seeding scheme, shared by every execution engine
+ * (standalone campaigns and orchestrated study shards): injection
+ * @p index of a campaign seeded with @p campaign_seed draws its fault
+ * from Rng(deriveSeed(campaign_seed, index)).  Keeping this in one
+ * place is what makes campaign outcomes a pure function of
+ * (seed, index) — independent of threads, shards, and resume history.
+ */
+inline InjectionResult
+runIndexedInjection(FaultInjector& injector, TargetStructure structure,
+                    std::uint64_t campaign_seed, std::uint64_t index)
+{
+    Rng rng(deriveSeed(campaign_seed, index));
+    return injector.injectRandom(structure, rng);
+}
 
 /**
  * Run a statistical FI campaign for one (GPU, workload, structure)

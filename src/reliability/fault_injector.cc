@@ -18,6 +18,9 @@ FaultInjector::FaultInjector(const GpuConfig& config,
 const RunResult&
 FaultInjector::goldenRun()
 {
+    GPR_ASSERT(!golden_adopted_,
+               "goldenRun() unavailable after adoptGoldenCycles() — only "
+               "the cycle count was adopted, not a full RunResult");
     if (have_golden_)
         return golden_;
 
@@ -40,7 +43,19 @@ FaultInjector::goldenRun()
 Cycle
 FaultInjector::goldenCycles()
 {
+    if (golden_adopted_)
+        return golden_.stats.cycles;
     return goldenRun().stats.cycles;
+}
+
+void
+FaultInjector::adoptGoldenCycles(Cycle cycles)
+{
+    GPR_ASSERT(cycles > 0, "adopted golden run must have executed");
+    golden_ = RunResult{};
+    golden_.stats.cycles = cycles;
+    have_golden_ = true;
+    golden_adopted_ = true;
 }
 
 InjectionResult

@@ -70,6 +70,18 @@ class FaultInjector
     /** Golden cycle count (runs the golden execution if needed). */
     Cycle goldenCycles();
 
+    /**
+     * Adopt the golden cycle count of a previously *validated* fault-free
+     * run of the same instance (e.g. the cell's ACE-instrumented pass),
+     * so this injector skips its own reference simulation.  Injection
+     * outcomes only consume the golden run through its cycle count — the
+     * output comparison is against the instance's host-computed goldens —
+     * so adopted and self-run injectors classify identically.  After
+     * adoption goldenRun() is unavailable (there is no full RunResult to
+     * return); goldenCycles() and inject*() keep working.
+     */
+    void adoptGoldenCycles(Cycle cycles);
+
     /** Inject @p fault and classify the outcome. */
     InjectionResult inject(const FaultSpec& fault);
 
@@ -88,6 +100,7 @@ class FaultInjector
     Gpu gpu_;
     RunResult golden_;
     bool have_golden_ = false;
+    bool golden_adopted_ = false;
 };
 
 } // namespace gpr

@@ -1,0 +1,402 @@
+/** @file Tests for the sharded study orchestrator. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "core/export.hh"
+#include "core/orchestrator.hh"
+#include "reliability/campaign.hh"
+#include "workloads/workloads.hh"
+
+namespace gpr {
+namespace {
+
+StudyOptions
+miniStudy(std::size_t injections = 24)
+{
+    StudyOptions s;
+    s.workloads = {"vectoradd", "reduction"};
+    s.gpus = {GpuModel::QuadroFx5600};
+    s.analysis.plan.injections = injections;
+    s.verbose = false;
+    return s;
+}
+
+std::string
+tempStorePath(const char* name)
+{
+    return testing::TempDir() + "gpr_orchestrator_" + name + ".jsonl";
+}
+
+std::vector<std::string>
+storeLines(const std::string& path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+void
+expectIdenticalReports(const StudyResult& a, const StudyResult& b)
+{
+    ASSERT_EQ(a.reports.size(), b.reports.size());
+    for (std::size_t i = 0; i < a.reports.size(); ++i) {
+        const ReliabilityReport& ra = a.reports[i];
+        const ReliabilityReport& rb = b.reports[i];
+        EXPECT_EQ(ra.workload, rb.workload);
+        EXPECT_EQ(ra.gpuName, rb.gpuName);
+        EXPECT_EQ(ra.cycles, rb.cycles);
+        auto same_structure = [](const StructureReport& sa,
+                                 const StructureReport& sb) {
+            EXPECT_EQ(sa.applicable, sb.applicable);
+            EXPECT_EQ(sa.avfFi, sb.avfFi);
+            EXPECT_EQ(sa.sdcRate, sb.sdcRate);
+            EXPECT_EQ(sa.dueRate, sb.dueRate);
+            EXPECT_EQ(sa.avfAce, sb.avfAce);
+            EXPECT_EQ(sa.injections, sb.injections);
+        };
+        same_structure(ra.registerFile, rb.registerFile);
+        same_structure(ra.localMemory, rb.localMemory);
+        same_structure(ra.scalarRegisterFile, rb.scalarRegisterFile);
+        EXPECT_EQ(ra.epf.epf(), rb.epf.epf());
+        EXPECT_EQ(ra.epf.fitTotal(), rb.epf.fitTotal());
+    }
+}
+
+TEST(Decomposition, PartitionsEveryCampaignPlan)
+{
+    const StudyOptions study = miniStudy(24);
+    const std::vector<ShardKey> shards = decomposeStudy(study, 4);
+
+    // vectoradd: RF only; reduction: RF + LDS.  FX 5600 has no scalar RF.
+    // 3 campaigns x 4 shards.
+    ASSERT_EQ(shards.size(), 12u);
+
+    std::map<std::pair<std::string, TargetStructure>, std::uint64_t> next;
+    for (const ShardKey& key : shards) {
+        EXPECT_EQ(key.gpu, GpuModel::QuadroFx5600);
+        EXPECT_EQ(key.campaignSeed,
+                  deriveSeed(study.analysis.seed,
+                             static_cast<std::uint64_t>(key.structure)));
+        EXPECT_EQ(key.workloadSeed, study.analysis.workloadSeed);
+        // Shards of one campaign tile [0, injections) contiguously.
+        auto& expected_begin = next[{key.workload, key.structure}];
+        EXPECT_EQ(key.injectionBegin, expected_begin);
+        EXPECT_LT(key.injectionBegin, key.injectionEnd);
+        expected_begin = key.injectionEnd;
+    }
+    for (const auto& [campaign, end] : next)
+        EXPECT_EQ(end, 24u) << campaign.first;
+    EXPECT_EQ(next.size(), 3u);
+}
+
+TEST(Decomposition, DefaultShardCountIndependentOfJobs)
+{
+    SamplePlan plan;
+    plan.injections = 2000;
+    EXPECT_EQ(defaultShardCount(plan), 8u); // 2000 / 250
+    plan.injections = 10;
+    EXPECT_EQ(defaultShardCount(plan), 1u);
+    plan.injections = 0;
+    EXPECT_EQ(defaultShardCount(plan), 0u);
+    plan.injections = 1000000;
+    EXPECT_EQ(defaultShardCount(plan), 64u); // capped
+}
+
+TEST(Orchestrator, JobsAndShardsDoNotChangeResults)
+{
+    const StudyOptions study = miniStudy();
+
+    OrchestratorOptions serial;
+    serial.jobs = 1;
+    serial.shardsPerCampaign = 1;
+    const StudyResult a = runStudy(study, serial);
+
+    OrchestratorOptions wide;
+    wide.jobs = 8;
+    wide.shardsPerCampaign = 8;
+    const StudyResult b = runStudy(study, wide);
+
+    expectIdenticalReports(a, b);
+    // And the public entry point (auto jobs/shards) agrees too.
+    const StudyResult c = runComparisonStudy(study);
+    expectIdenticalReports(a, c);
+}
+
+TEST(Orchestrator, DuplicateGridEntriesShareOneCell)
+{
+    // Listing the same (workload, GPU) twice must not split or double
+    // its shard counts: duplicates share one canonical cell and both
+    // grid positions report the single-entry result.
+    StudyOptions study = miniStudy();
+    study.workloads = {"vectoradd", "vectoradd"};
+    OrchestratorOptions orch;
+    orch.jobs = 2;
+    orch.shardsPerCampaign = 2;
+    StudyProgress progress;
+    const StudyResult dup = runStudy(study, orch, &progress);
+    EXPECT_EQ(progress.goldenRuns, 1u);
+    EXPECT_EQ(progress.totalShards, 2u); // one RF campaign, not two
+
+    StudyOptions single = study;
+    single.workloads = {"vectoradd"};
+    const StudyResult one = runStudy(single, orch);
+    ASSERT_EQ(dup.reports.size(), 2u);
+    for (const ReliabilityReport& r : dup.reports) {
+        EXPECT_EQ(r.registerFile.avfFi,
+                  one.reports.front().registerFile.avfFi);
+        EXPECT_EQ(r.registerFile.injections,
+                  study.analysis.plan.injections);
+    }
+}
+
+TEST(Orchestrator, MatchesStandaloneCampaignEngine)
+{
+    // The orchestrated register-file numbers must equal a standalone
+    // runCampaign() with the same (campaign seed, injection index)
+    // derivation — the orchestrator changes scheduling, not sampling.
+    StudyOptions study = miniStudy();
+    study.workloads = {"vectoradd"};
+    OrchestratorOptions orch;
+    orch.jobs = 4;
+    orch.shardsPerCampaign = 3;
+    const StudyResult result = runStudy(study, orch);
+    const StructureReport& sr = result.reports.front().registerFile;
+
+    const GpuConfig& cfg = gpuConfig(GpuModel::QuadroFx5600);
+    const auto workload = makeWorkload("vectoradd");
+    WorkloadParams params;
+    params.seed = study.analysis.workloadSeed;
+    const WorkloadInstance inst = workload->build(cfg.dialect, params);
+    CampaignConfig cc;
+    cc.plan = study.analysis.plan;
+    cc.seed = deriveSeed(study.analysis.seed,
+                         static_cast<std::uint64_t>(
+                             TargetStructure::VectorRegisterFile));
+    cc.numThreads = 1;
+    const CampaignResult fi =
+        runCampaign(cfg, inst, TargetStructure::VectorRegisterFile, cc);
+
+    EXPECT_EQ(sr.avfFi, fi.avf());
+    EXPECT_EQ(sr.sdcRate, fi.sdcRate());
+    EXPECT_EQ(sr.dueRate, fi.dueRate());
+    EXPECT_EQ(sr.fiErrorMargin, fi.errorMargin());
+}
+
+TEST(Orchestrator, CheckpointsEveryShardToTheStore)
+{
+    const std::string path = tempStorePath("checkpoint");
+    StudyProgress progress;
+    OrchestratorOptions orch;
+    orch.jobs = 2;
+    orch.shardsPerCampaign = 4;
+    orch.storePath = path;
+    runStudy(miniStudy(), orch, &progress);
+
+    EXPECT_EQ(progress.totalShards, 12u);
+    EXPECT_EQ(progress.executedShards, 12u);
+    EXPECT_EQ(progress.resumedShards, 0u);
+
+    const auto lines = storeLines(path);
+    ASSERT_EQ(lines.size(), 12u);
+    for (const std::string& line : lines) {
+        ShardRecord r;
+        EXPECT_TRUE(parseShardRecord(line, r)) << line;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Orchestrator, ResumeSkipsFinishedShardsAndMatchesBitForBit)
+{
+    const std::string path = tempStorePath("resume");
+    const StudyOptions study = miniStudy();
+
+    OrchestratorOptions first;
+    first.jobs = 1;
+    first.shardsPerCampaign = 4;
+    first.storePath = path;
+    StudyProgress full_progress;
+    const StudyResult full = runStudy(study, first, &full_progress);
+    ASSERT_EQ(full_progress.executedShards, 12u);
+
+    // Simulate a kill after 5 shards: keep a prefix of the store.
+    const auto lines = storeLines(path);
+    ASSERT_EQ(lines.size(), 12u);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (std::size_t i = 0; i < 5; ++i)
+            out << lines[i] << '\n';
+        // ...plus a truncated tail line, as a real kill would leave.
+        out << lines[5].substr(0, lines[5].size() / 2);
+    }
+
+    OrchestratorOptions second;
+    second.jobs = 8; // resume at a different job count
+    second.shardsPerCampaign = 4;
+    second.storePath = path;
+    second.resume = true;
+    StudyProgress resumed_progress;
+    const StudyResult resumed = runStudy(study, second, &resumed_progress);
+
+    EXPECT_EQ(resumed_progress.resumedShards, 5u);
+    EXPECT_EQ(resumed_progress.executedShards, 7u);
+    expectIdenticalReports(full, resumed);
+
+    // A third run finds everything done and recomputes nothing.
+    StudyProgress third_progress;
+    const StudyResult third = runStudy(study, second, &third_progress);
+    EXPECT_EQ(third_progress.resumedShards, 12u);
+    EXPECT_EQ(third_progress.executedShards, 0u);
+    expectIdenticalReports(full, third);
+    std::remove(path.c_str());
+}
+
+TEST(Orchestrator, ResumeRejectsRecordsFromADifferentPlan)
+{
+    const std::string path = tempStorePath("mismatch");
+    const StudyOptions study = miniStudy();
+
+    OrchestratorOptions orch;
+    orch.jobs = 4;
+    orch.shardsPerCampaign = 4;
+    orch.storePath = path;
+    runStudy(study, orch);
+
+    // Same store, different campaign seed: every key mismatches, so the
+    // whole grid recomputes rather than silently mixing plans.
+    StudyOptions reseeded = study;
+    reseeded.analysis.seed = 0xDEADBEEF;
+    orch.resume = true;
+    StudyProgress progress;
+    runStudy(reseeded, orch, &progress);
+    EXPECT_EQ(progress.resumedShards, 0u);
+    EXPECT_EQ(progress.executedShards, 12u);
+    std::remove(path.c_str());
+}
+
+TEST(Orchestrator, WallSecondsAggregateWithoutDoubleCounting)
+{
+    StudyProgress progress;
+    OrchestratorOptions orch;
+    orch.jobs = 4;
+    orch.shardsPerCampaign = 4;
+    const StudyResult result = runStudy(miniStudy(), orch, &progress);
+
+    // Per-campaign fiWallSeconds are sums of per-shard busy time, so the
+    // study total equals the orchestrator's busy-seconds tally exactly
+    // (nothing is counted once per concurrent campaign).
+    double total = 0.0;
+    for (const ReliabilityReport& r : result.reports) {
+        total += r.registerFile.fiWallSeconds +
+                 r.localMemory.fiWallSeconds +
+                 r.scalarRegisterFile.fiWallSeconds;
+        if (r.registerFile.applicable) {
+            EXPECT_GT(r.registerFile.fiWallSeconds, 0.0);
+        }
+    }
+    EXPECT_NEAR(total, progress.shardBusySeconds,
+                1e-9 * std::max(1.0, progress.shardBusySeconds));
+    EXPECT_EQ(result.claims().fiSecondsTotal, total);
+}
+
+TEST(ShardStore, RecordRoundTrips)
+{
+    ShardRecord r;
+    r.key.workload = "reduction";
+    r.key.gpu = GpuModel::HdRadeon7970;
+    r.key.structure = TargetStructure::ScalarRegisterFile;
+    r.key.shardIndex = 3;
+    r.key.injectionBegin = 750;
+    r.key.injectionEnd = 1000;
+    r.key.campaignSeed = 0xFEEDFACECAFEBEEFULL; // > int64 range
+    r.key.workloadSeed = 42;
+    r.counts.masked = 200;
+    r.counts.sdc = 30;
+    r.counts.due = 20;
+    r.counts.busySeconds = 1.25;
+
+    std::ostringstream os;
+    writeShardRecord(os, r);
+    ShardRecord back;
+    ASSERT_TRUE(parseShardRecord(os.str(), back));
+    EXPECT_TRUE(back.key == r.key);
+    EXPECT_EQ(back.counts.masked, r.counts.masked);
+    EXPECT_EQ(back.counts.sdc, r.counts.sdc);
+    EXPECT_EQ(back.counts.due, r.counts.due);
+    EXPECT_EQ(back.counts.busySeconds, r.counts.busySeconds);
+}
+
+TEST(ShardStore, RejectsMalformedLines)
+{
+    ShardRecord r;
+    EXPECT_FALSE(parseShardRecord("", r));
+    EXPECT_FALSE(parseShardRecord("not json", r));
+    EXPECT_FALSE(parseShardRecord(R"({"workload":"x"})", r));
+
+    // A well-formed record...
+    ShardRecord good;
+    good.key.workload = "vectoradd";
+    good.key.gpu = GpuModel::GeforceGtx480;
+    good.key.injectionEnd = 10;
+    good.counts.masked = 10;
+    std::ostringstream os;
+    writeShardRecord(os, good);
+    ASSERT_TRUE(parseShardRecord(os.str(), r));
+
+    // ...fails once truncated (kill mid-write) ...
+    const std::string line = os.str();
+    EXPECT_FALSE(parseShardRecord(line.substr(0, line.size() - 5), r));
+
+    // ...or when counts do not cover the stated injection range.
+    ShardRecord bad = good;
+    bad.counts.masked = 7;
+    std::ostringstream os2;
+    writeShardRecord(os2, bad);
+    EXPECT_FALSE(parseShardRecord(os2.str(), r));
+}
+
+TEST(ShardStore, ReaderSkipsBrokenLines)
+{
+    ShardRecord r;
+    r.key.workload = "scan";
+    r.key.gpu = GpuModel::QuadroFx5800;
+    r.key.injectionEnd = 5;
+    r.counts.sdc = 5;
+    std::ostringstream os;
+    writeShardRecord(os, r);
+    const std::string good_line = os.str();
+
+    std::istringstream is("garbage\n" + good_line + "\n" +
+                          good_line.substr(0, 20));
+    const std::vector<ShardRecord> records = readShardStore(is);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records.front().key.workload, "scan");
+}
+
+TEST(WorkerPoolTest, RunsEveryTaskAcrossWaves)
+{
+    WorkerPool pool(4);
+    std::atomic<int> count{0};
+    for (int wave = 0; wave < 3; ++wave) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.waitIdle();
+        EXPECT_EQ(count.load(), 50 * (wave + 1));
+    }
+}
+
+} // namespace
+} // namespace gpr

@@ -10,6 +10,8 @@
  *   gpr analyze <workload> <gpu> [n] full FI + ACE + EPF report
  *   gpr inject <workload> <gpu> <structure> <bit> <cycle>
  *                                    single deterministic injection
+ *   gpr study [flags]                sharded grid study with
+ *                                    checkpoint/resume (see --help)
  */
 
 #include <cstdio>
@@ -17,8 +19,10 @@
 #include <string>
 
 #include "common/string_utils.hh"
+#include "core/bench_cli.hh"
 #include "core/export.hh"
 #include "core/framework.hh"
+#include "core/orchestrator.hh"
 #include "isa/disassembler.hh"
 #include "reliability/access_profile.hh"
 #include "reliability/fault_injector.hh"
@@ -42,6 +46,9 @@ usage()
         "  gpr profile <workload> <gpu>\n"
         "  gpr analyze <workload> <gpu> [injections] [--json]\n"
         "  gpr inject <workload> <gpu> <rf|lds|srf> <bit> <cycle>\n"
+        "  gpr study [--workloads=a,b] [--gpus=a,b] [--injections=N]\n"
+        "            [--jobs=N] [--shards=N] [--store=FILE]\n"
+        "            [--resume[=FILE]] [--ace-only] [--json] [--csv]\n"
         "gpus: 7970, fx5600, fx5800, gtx480\n");
     return 2;
 }
@@ -193,6 +200,41 @@ cmdAnalyze(const std::string& workload, const std::string& gpu,
 }
 
 int
+cmdStudy(int argc, char** argv)
+{
+    BenchCli cli;
+    if (!cli.parse(argc, argv))
+        return 2;
+
+    StudyProgress progress;
+    const StudyResult study = runStudy(cli.study, cli.orch, &progress);
+
+    if (!cli.printStudyJson(std::cout, study)) {
+        std::printf("== Fig. 1: register-file AVF ==\n");
+        study.figure1().render(std::cout);
+        std::printf("\n== Fig. 2: local-memory AVF ==\n");
+        study.figure2().render(std::cout);
+        std::printf("\n== Fig. 3: EPF ==\n");
+        study.figure3().render(std::cout);
+        std::printf("\n");
+        study.printClaims(std::cout);
+        if (cli.csv) {
+            std::printf("\n");
+            writeStudyCsv(std::cout, study);
+        }
+    }
+
+    std::fprintf(stderr,
+                 "study: %zu cells, %zu/%zu shards executed "
+                 "(%zu resumed from store), %.2f s wall, "
+                 "%.2f worker-s injecting\n",
+                 progress.cells, progress.executedShards,
+                 progress.totalShards, progress.resumedShards,
+                 progress.wallSeconds, progress.shardBusySeconds);
+    return 0;
+}
+
+int
 cmdInject(const std::string& workload, const std::string& gpu,
           const std::string& structure, const char* bit_arg,
           const char* cycle_arg)
@@ -266,6 +308,8 @@ main(int argc, char** argv)
         }
         if (cmd == "inject" && argc == 7)
             return cmdInject(argv[2], argv[3], argv[4], argv[5], argv[6]);
+        if (cmd == "study")
+            return cmdStudy(argc - 1, argv + 1);
     } catch (const gpr::FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
