@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Injection-throughput benchmark: legacy from-scratch engine vs the
+ * checkpoint-restore + early-termination engine, over the paper's
+ * (workload, GPU, structure) grid.
+ *
+ * Every cell runs the *same* deterministically derived fault list
+ * through both engines, so the run doubles as a differential check:
+ * any per-injection outcome mismatch flags the cell (and fails the
+ * process).  Results are emitted as one BENCH JSON document on stdout
+ * (CI parses it and fails if the checkpointed engine is slower).
+ *
+ *     $ bench_injection_throughput [--workloads=a,b] [--gpus=a,b]
+ *           [--injections=N] [--checkpoints=N] [--seed=S]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/string_utils.hh"
+#include "reliability/campaign.hh"
+#include "reliability/fault_injector.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace gpr;
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+struct CellResult
+{
+    std::string workload;
+    std::string gpu;
+    std::string structure;
+    std::size_t injections = 0;
+    std::size_t prefiltered = 0; ///< masked via dead windows (no sim)
+    std::size_t hashConverged = 0;
+    double goldenSeconds = 0.0; ///< one golden run (scale reference)
+    double packSeconds = 0.0;   ///< recording pass + pack assembly
+    double packShare = 0.0;     ///< this cell's share of packSeconds
+    double legacySeconds = 0.0;
+    double checkpointSeconds = 0.0;
+    bool outcomesEqual = true;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> workloads;
+    for (auto name : allWorkloadNames())
+        workloads.emplace_back(name);
+    std::vector<GpuModel> gpus = allGpuModels();
+    std::size_t injections = 40;
+    unsigned checkpoints = kDefaultCheckpoints;
+    std::uint64_t seed = 0xC0FFEE;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (startsWith(arg, "--workloads=")) {
+            workloads.clear();
+            for (const auto& w :
+                 split(arg.substr(std::string("--workloads=").size()), ','))
+                if (!w.empty())
+                    workloads.push_back(w);
+        } else if (startsWith(arg, "--gpus=")) {
+            gpus.clear();
+            for (const auto& g :
+                 split(arg.substr(std::string("--gpus=").size()), ','))
+                if (!g.empty())
+                    gpus.push_back(gpuModelFromName(g));
+        } else if (startsWith(arg, "--injections=")) {
+            const auto n =
+                parseInt(arg.substr(std::string("--injections=").size()));
+            if (n && *n > 0)
+                injections = static_cast<std::size_t>(*n);
+        } else if (startsWith(arg, "--checkpoints=")) {
+            const auto n =
+                parseInt(arg.substr(std::string("--checkpoints=").size()));
+            if (n && *n >= 0)
+                checkpoints = static_cast<unsigned>(*n);
+        } else if (startsWith(arg, "--seed=")) {
+            const auto s =
+                parseInt(arg.substr(std::string("--seed=").size()));
+            if (s)
+                seed = static_cast<std::uint64_t>(*s);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_injection_throughput "
+                         "[--workloads=a,b] [--gpus=a,b] [--injections=N] "
+                         "[--checkpoints=N] [--seed=S]\n");
+            return 2;
+        }
+    }
+
+    std::vector<CellResult> cells;
+    bool all_equal = true;
+    double legacy_total = 0.0, ckpt_total = 0.0;
+    std::size_t injections_total = 0;
+
+    for (const std::string& wname : workloads) {
+        const auto workload = makeWorkload(wname);
+        for (GpuModel model : gpus) {
+            const GpuConfig& cfg = gpuConfig(model);
+            const WorkloadInstance inst = workload->build(cfg.dialect, {});
+
+            std::vector<TargetStructure> structures;
+            structures.push_back(TargetStructure::VectorRegisterFile);
+            if (workload->usesLocalMemory())
+                structures.push_back(TargetStructure::SharedMemory);
+            if (cfg.scalarRegWordsPerSm > 0)
+                structures.push_back(TargetStructure::ScalarRegisterFile);
+
+            // Legacy engine: golden + from-scratch injections.
+            FaultInjector legacy(cfg, inst);
+            auto t0 = std::chrono::steady_clock::now();
+            legacy.goldenRun();
+            auto t1 = std::chrono::steady_clock::now();
+            const double golden_s = seconds(t0, t1);
+
+            // Checkpointed engine: same golden, plus the pack.
+            FaultInjector ckpt(cfg, inst);
+            ckpt.adoptGoldenCycles(legacy.goldenCycles());
+            t0 = std::chrono::steady_clock::now();
+            ckpt.buildCheckpointPack(checkpoints);
+            t1 = std::chrono::steady_clock::now();
+            const double pack_s = seconds(t0, t1);
+
+            for (TargetStructure s : structures) {
+                CellResult cell;
+                cell.workload = wname;
+                cell.gpu = cfg.name;
+                cell.structure = std::string(targetStructureName(s));
+                cell.injections = injections;
+                cell.goldenSeconds = golden_s;
+                cell.packSeconds = pack_s;
+
+                const std::uint64_t cseed =
+                    deriveSeed(seed, static_cast<std::uint64_t>(s));
+
+                std::vector<InjectionResult> legacy_results;
+                legacy_results.reserve(injections);
+                t0 = std::chrono::steady_clock::now();
+                for (std::size_t i = 0; i < injections; ++i) {
+                    legacy_results.push_back(
+                        runIndexedInjection(legacy, s, cseed, i));
+                }
+                t1 = std::chrono::steady_clock::now();
+                cell.legacySeconds = seconds(t0, t1);
+
+                t0 = std::chrono::steady_clock::now();
+                for (std::size_t i = 0; i < injections; ++i) {
+                    const InjectionResult r =
+                        runIndexedInjection(ckpt, s, cseed, i);
+                    if (r.shortcut == InjectionShortcut::DeadWindow)
+                        ++cell.prefiltered;
+                    else if (r.shortcut ==
+                             InjectionShortcut::HashConvergence)
+                        ++cell.hashConverged;
+                    if (r.outcome != legacy_results[i].outcome ||
+                        r.trap != legacy_results[i].trap) {
+                        cell.outcomesEqual = false;
+                    }
+                }
+                t1 = std::chrono::steady_clock::now();
+                cell.checkpointSeconds = seconds(t0, t1);
+
+                cell.packShare =
+                    cell.packSeconds /
+                    static_cast<double>(structures.size());
+                all_equal = all_equal && cell.outcomesEqual;
+                legacy_total += cell.legacySeconds;
+                ckpt_total += cell.checkpointSeconds + cell.packShare;
+                injections_total += injections;
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+
+    // ---- BENCH JSON ----
+    std::printf("{\n  \"bench\": \"injection_throughput\",\n");
+    std::printf("  \"checkpoints\": %u,\n", checkpoints);
+    std::printf("  \"injections_per_cell\": %zu,\n", injections);
+    std::printf("  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellResult& c = cells[i];
+        // Per-cell speedup uses the same basis as the aggregate: the
+        // cell's share of the pack-recording cost is charged to the
+        // checkpointed engine (packShare below), so a cell can never
+        // look like a win while being a net slowdown.
+        const double ckpt_total_s = c.checkpointSeconds + c.packShare;
+        std::printf(
+            "    {\"workload\": \"%s\", \"gpu\": \"%s\", "
+            "\"structure\": \"%s\", \"injections\": %zu, "
+            "\"prefiltered\": %zu, \"hash_converged\": %zu, "
+            "\"golden_s\": %.6f, \"pack_s\": %.6f, "
+            "\"pack_share_s\": %.6f, "
+            "\"legacy_s\": %.6f, \"checkpoint_s\": %.6f, "
+            "\"legacy_ips\": %.2f, \"checkpoint_ips\": %.2f, "
+            "\"speedup\": %.3f, \"outcomes_equal\": %s}%s\n",
+            c.workload.c_str(), c.gpu.c_str(), c.structure.c_str(),
+            c.injections, c.prefiltered, c.hashConverged, c.goldenSeconds,
+            c.packSeconds, c.packShare, c.legacySeconds,
+            c.checkpointSeconds,
+            c.legacySeconds > 0 ? c.injections / c.legacySeconds : 0.0,
+            ckpt_total_s > 0 ? c.injections / ckpt_total_s : 0.0,
+            ckpt_total_s > 0 ? c.legacySeconds / ckpt_total_s : 0.0,
+            c.outcomesEqual ? "true" : "false",
+            i + 1 < cells.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"aggregate\": {\n");
+    std::printf("    \"injections\": %zu,\n", injections_total);
+    std::printf("    \"legacy_s\": %.6f,\n", legacy_total);
+    std::printf("    \"checkpoint_s\": %.6f,\n", ckpt_total);
+    std::printf("    \"legacy_ips\": %.2f,\n",
+                legacy_total > 0 ? injections_total / legacy_total : 0.0);
+    std::printf("    \"checkpoint_ips\": %.2f,\n",
+                ckpt_total > 0 ? injections_total / ckpt_total : 0.0);
+    std::printf("    \"speedup\": %.3f,\n",
+                ckpt_total > 0 ? legacy_total / ckpt_total : 0.0);
+    std::printf("    \"outcomes_equal\": %s\n", all_equal ? "true" : "false");
+    std::printf("  }\n}\n");
+
+    if (!all_equal) {
+        std::fprintf(stderr,
+                     "FAIL: checkpointed engine outcomes differ from the "
+                     "legacy engine\n");
+        return 1;
+    }
+    return 0;
+}

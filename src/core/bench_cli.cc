@@ -19,9 +19,12 @@ usage()
     std::fprintf(
         stderr,
         "flags: --injections=N --confidence=C --seed=S --threads=T\n"
-        "       --jobs=N --shards=N --store=FILE --resume[=FILE]\n"
-        "       --workloads=a,b,... --gpus=7970,fx5600,fx5800,gtx480\n"
+        "       --jobs=N --shards=N --checkpoints=N --store=FILE\n"
+        "       --resume[=FILE] --workloads=a,b,...\n"
+        "       --gpus=7970,fx5600,fx5800,gtx480\n"
         "       --ace-only --csv --json --quiet\n"
+        "       (--checkpoints=0 runs every injection from scratch — the\n"
+        "        legacy engine kept for differential testing)\n"
         "env:   GPR_INJECTIONS overrides the default injection count\n");
 }
 
@@ -82,6 +85,13 @@ BenchCli::parse(int argc, char** argv)
                 return false;
             }
             orch.shardsPerCampaign = static_cast<std::size_t>(*s);
+        } else if (startsWith(arg, "--checkpoints=")) {
+            const auto c = parseInt(value("--checkpoints="));
+            if (!c || *c < 0) {
+                usage();
+                return false;
+            }
+            orch.checkpoints = static_cast<unsigned>(*c);
         } else if (startsWith(arg, "--store=")) {
             orch.storePath = value("--store=");
         } else if (startsWith(arg, "--resume=")) {

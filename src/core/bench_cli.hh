@@ -11,6 +11,9 @@
  *   --threads=T       worker threads (default: hardware concurrency)
  *   --jobs=N          alias of --threads (orchestrator wording)
  *   --shards=N        campaign shards (default: derived from the plan)
+ *   --checkpoints=N   golden-run checkpoints for the checkpoint-restore
+ *                     injection engine (default 8; 0 = legacy
+ *                     from-scratch engine, kept for differential tests)
  *   --store=FILE      JSONL shard store to checkpoint into
  *   --resume[=FILE]   resume from the store, skipping finished shards
  *   --workloads=a,b   subset of benchmarks

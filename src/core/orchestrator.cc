@@ -1,11 +1,15 @@
 #include "core/orchestrator.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
@@ -13,74 +17,9 @@
 #include "common/string_utils.hh"
 #include "core/export.hh"
 #include "reliability/ace.hh"
-#include "reliability/fault_injector.hh"
 #include "workloads/workloads.hh"
 
 namespace gpr {
-
-// ------------------------------------------------------------- WorkerPool
-
-WorkerPool::WorkerPool(unsigned jobs)
-{
-    if (jobs == 0)
-        jobs = std::max(1u, std::thread::hardware_concurrency());
-    threads_.reserve(jobs);
-    for (unsigned t = 0; t < jobs; ++t)
-        threads_.emplace_back([this] { workerLoop(); });
-}
-
-WorkerPool::~WorkerPool()
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stop_ = true;
-    }
-    wake_.notify_all();
-    for (auto& t : threads_)
-        t.join();
-}
-
-void
-WorkerPool::submit(std::function<void()> task)
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        GPR_ASSERT(!stop_, "submit() on a stopped pool");
-        queue_.push_back(std::move(task));
-    }
-    wake_.notify_one();
-}
-
-void
-WorkerPool::waitIdle()
-{
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-}
-
-void
-WorkerPool::workerLoop()
-{
-    while (true) {
-        std::function<void()> task;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-            if (queue_.empty())
-                return; // stop_ and drained
-            task = std::move(queue_.front());
-            queue_.pop_front();
-            ++active_;
-        }
-        task();
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            --active_;
-            if (queue_.empty() && active_ == 0)
-                idle_.notify_all();
-        }
-    }
-}
 
 // ---------------------------------------------------------- decomposition
 
@@ -193,6 +132,15 @@ struct Cell
     bool usesLds = false;
     WorkloadInstance instance;
     AceResult ace;
+
+    // Checkpoint pack shared by every shard of this cell.  Built
+    // lazily by the first shard worker that needs it (one extra golden
+    // pass) and released when the cell's last shard retires, so peak
+    // pack memory tracks the cells currently in flight, not the whole
+    // grid.
+    std::once_flag packOnce;
+    std::shared_ptr<const CheckpointPack> pack;
+    std::atomic<std::size_t> shardsLeft{0};
 };
 
 /** Per-campaign accumulation of shard outcomes. */
@@ -326,7 +274,8 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
     // more threads than it has work for the larger wave.
     std::map<std::pair<std::string, GpuModel>, std::size_t> canonical;
     std::vector<std::size_t> cell_of_grid(progress.cells);
-    std::vector<Cell> cells;
+    std::vector<std::unique_ptr<Cell>> cells; // stable addresses (and
+                                              // Cell holds a once_flag)
     for (std::size_t w = 0; w < result.workloads.size(); ++w) {
         for (std::size_t g = 0; g < num_gpus; ++g) {
             const auto [it, fresh] = canonical.try_emplace(
@@ -335,10 +284,10 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
             cell_of_grid[w * num_gpus + g] = it->second;
             if (!fresh)
                 continue;
-            Cell cell;
-            cell.workload = result.workloads[w];
-            cell.gpu = result.gpus[g];
-            cell.config = &gpuConfig(cell.gpu);
+            auto cell = std::make_unique<Cell>();
+            cell->workload = result.workloads[w];
+            cell->gpu = result.gpus[g];
+            cell->config = &gpuConfig(cell->gpu);
             cells.push_back(std::move(cell));
         }
     }
@@ -375,8 +324,8 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
     // simulation per unique (workload, GPU, workloadSeed) cell.  Every
     // campaign shard of the cell — and every duplicate grid entry —
     // reuses it instead of re-running the golden.
-    for (Cell& c : cells) {
-        Cell* cell = &c;
+    for (auto& c : cells) {
+        Cell* cell = c.get();
         pool.submit([&study, &record_error, &errored, cell]() {
             if (errored())
                 return;
@@ -413,6 +362,7 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
     for (const ShardKey& key : shards) {
         const std::size_t ci = cell_index(key);
         totals_by_cell[ci][key.structure].shardsTotal++;
+        cells[ci]->shardsLeft.fetch_add(1, std::memory_order_relaxed);
     }
 
     auto merge_shard = [&](const ShardKey& key, const ShardCounts& counts,
@@ -429,6 +379,8 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
         ++t.shardsDone;
         if (executed) {
             ++progress.executedShards;
+            progress.injectionsExecuted +=
+                key.injectionEnd - key.injectionBegin;
             progress.shardBusySeconds += counts.busySeconds;
         } else {
             ++progress.resumedShards;
@@ -442,13 +394,33 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
         }
     };
 
+    // A cell's pack is recorded by whichever shard worker gets there
+    // first (the others block on the once_flag for the duration of one
+    // golden pass) and freed as soon as the cell's last shard retires.
+    auto adopt_cell_pack = [&](Cell* cell, FaultInjector& injector) {
+        if (orch.checkpoints == 0)
+            return;
+        std::call_once(cell->packOnce, [&]() {
+            cell->pack = injector.buildCheckpointPack(orch.checkpoints);
+            std::lock_guard<std::mutex> lock(totals_mutex);
+            ++progress.checkpointPacks;
+        });
+        if (cell->pack)
+            injector.adoptCheckpointPack(cell->pack);
+    };
+    auto retire_cell_shard = [](Cell* cell) {
+        if (cell->shardsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            cell->pack.reset();
+    };
+
     for (const ShardKey& key : shards) {
+        Cell* cell = cells[cell_index(key)].get();
         if (const auto it = checkpointed.find(key);
             it != checkpointed.end()) {
             merge_shard(key, it->second, /*executed=*/false);
+            retire_cell_shard(cell);
             continue;
         }
-        const Cell* cell = &cells[cell_index(key)];
         pool.submit([&, key, cell]() {
             if (errored())
                 return;
@@ -456,6 +428,7 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
                 const auto s0 = std::chrono::steady_clock::now();
                 FaultInjector injector(*cell->config, cell->instance);
                 injector.adoptGoldenCycles(cell->ace.goldenStats.cycles);
+                adopt_cell_pack(cell, injector);
                 ShardCounts counts;
                 for (std::uint64_t i = key.injectionBegin;
                      i < key.injectionEnd; ++i) {
@@ -486,6 +459,7 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
             } catch (...) {
                 record_error();
             }
+            retire_cell_shard(cell);
         });
     }
     rethrow_errors();
@@ -499,7 +473,7 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
     for (std::size_t pos = 0; pos < progress.cells; ++pos) {
         const std::size_t ci = cell_of_grid[pos];
         const auto it = totals_by_cell.find(ci);
-        assembleReport(result.reports[pos], cells[ci], study.analysis,
+        assembleReport(result.reports[pos], *cells[ci], study.analysis,
                        it != totals_by_cell.end() ? it->second
                                                   : kNoCampaigns);
     }
@@ -511,7 +485,10 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
                progress.resumedShards, " resumed from store, ",
                strprintf("%.2f", progress.wallSeconds), " s wall (",
                strprintf("%.2f", progress.shardBusySeconds),
-               " worker-s injecting)");
+               " worker-s injecting, ", progress.injectionsExecuted,
+               " injections at ",
+               strprintf("%.1f", progress.injectionsPerSecond()), "/s, ",
+               progress.checkpointPacks, " checkpoint packs)");
     }
     if (progress_out)
         *progress_out = progress;

@@ -24,17 +24,14 @@
 #ifndef GPR_CORE_ORCHESTRATOR_HH
 #define GPR_CORE_ORCHESTRATOR_HH
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "common/worker_pool.hh"
 #include "core/comparison.hh"
 #include "core/shard.hh"
+#include "reliability/fault_injector.hh"
 
 namespace gpr {
 
@@ -53,6 +50,14 @@ struct OrchestratorOptions
     /** Load @ref storePath (if present) and skip already-completed
      *  shards; new results are appended to the same file. */
     bool resume = false;
+    /**
+     * Checkpoints per golden run for the checkpoint-restore injection
+     * engine; 0 selects the legacy from-scratch engine (kept for
+     * differential testing).  Either way the outcome counts are
+     * bit-identical — checkpointing only changes how much of each
+     * injected run is simulated.
+     */
+    unsigned checkpoints = kDefaultCheckpoints;
 };
 
 /** Execution statistics of one orchestrated study. */
@@ -63,43 +68,22 @@ struct StudyProgress
     std::size_t totalShards = 0;
     std::size_t executedShards = 0; ///< computed this run
     std::size_t resumedShards = 0;  ///< satisfied from the store
+    /** Injections simulated this run (resumed shards excluded). */
+    std::uint64_t injectionsExecuted = 0;
+    /** Checkpoint packs recorded (one per cell that ran any shard). */
+    std::size_t checkpointPacks = 0;
     /** Aggregate worker-seconds across executed shards. */
     double shardBusySeconds = 0.0;
     double wallSeconds = 0.0;       ///< end-to-end study wall-clock
-};
 
-/**
- * A persistent pool of worker threads draining one task queue.  Tasks
- * may be submitted from any thread; waitIdle() blocks until the queue is
- * empty and every worker is idle, so one pool can serve several waves of
- * tasks (golden runs, then shards) without re-spawning threads.
- */
-class WorkerPool
-{
-  public:
-    /** @p jobs worker threads; 0 = hardware concurrency. */
-    explicit WorkerPool(unsigned jobs = 0);
-    ~WorkerPool();
-
-    WorkerPool(const WorkerPool&) = delete;
-    WorkerPool& operator=(const WorkerPool&) = delete;
-
-    void submit(std::function<void()> task);
-    /** Block until all submitted tasks have finished. */
-    void waitIdle();
-
-    unsigned size() const { return static_cast<unsigned>(threads_.size()); }
-
-  private:
-    void workerLoop();
-
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::condition_variable idle_;
-    std::deque<std::function<void()>> queue_;
-    std::size_t active_ = 0;
-    bool stop_ = false;
-    std::vector<std::thread> threads_;
+    /** Executed injections per wall-clock second. */
+    double
+    injectionsPerSecond() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(injectionsExecuted) / wallSeconds
+                   : 0.0;
+    }
 };
 
 /** Deterministic default shard count for @p plan (independent of the

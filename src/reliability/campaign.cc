@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/worker_pool.hh"
 
 namespace gpr {
 
@@ -17,10 +19,19 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
     result.structure = structure;
     result.confidence = cc.plan.confidence;
 
-    // Golden run once up front (also validates the workload).
+    // Golden run once up front (also validates the workload); the same
+    // probe then records the campaign's shared checkpoint pack.  That
+    // recording pass is a second full golden simulation — unavoidable,
+    // since checkpoint/hash-boundary spacing needs the golden cycle
+    // count before the recording run starts — and it amortises across
+    // the campaign's injections the same way the golden run itself
+    // does.
+    std::shared_ptr<const CheckpointPack> pack;
     {
         FaultInjector probe(config, instance);
         result.goldenStats = probe.goldenRun().stats;
+        if (cc.checkpoints > 0 && cc.plan.injections > 0)
+            pack = probe.buildCheckpointPack(cc.checkpoints);
     }
 
     const std::size_t n = cc.plan.injections;
@@ -42,9 +53,12 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
 
     auto worker_fn = [&]() {
         // Adopt the shared golden: the reference simulation already ran
-        // once for this campaign; workers only need its cycle count.
+        // once for this campaign; workers only need its cycle count
+        // (and the checkpoint pack, which is read-only and shared).
         FaultInjector injector(config, instance);
         injector.adoptGoldenCycles(result.goldenStats.cycles);
+        if (pack)
+            injector.adoptCheckpointPack(pack);
         std::size_t local_masked = 0, local_sdc = 0, local_due = 0;
 
         const auto t0 = std::chrono::steady_clock::now();
@@ -82,15 +96,32 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
             std::chrono::duration<double>(t1 - t0).count();
     };
 
-    if (workers <= 1) {
+    if (workers <= 1 || WorkerPool::onWorkerThread()) {
+        // Single-threaded, or already running on some pool's worker:
+        // drain inline.  (Blocking a worker on tasks it queued behind
+        // itself can deadlock, and fanning out from inside a pool is
+        // the oversubscription this path exists to avoid.)
         worker_fn();
     } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned t = 0; t < workers; ++t)
-            pool.emplace_back(worker_fn);
-        for (auto& t : pool)
-            t.join();
+        // Fan out over the process-wide shared pool instead of
+        // spawning (and joining) a fresh std::thread set per campaign.
+        // Completion is tracked with a local latch rather than
+        // waitIdle() so concurrent campaigns can share the pool.
+        WorkerPool& pool = sharedWorkerPool();
+        workers = std::min(workers, pool.size());
+        std::mutex done_mutex;
+        std::condition_variable done_cv;
+        unsigned done = 0;
+        for (unsigned t = 0; t < workers; ++t) {
+            pool.submit([&]() {
+                worker_fn();
+                std::lock_guard<std::mutex> lock(done_mutex);
+                ++done;
+                done_cv.notify_one();
+            });
+        }
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.wait(lock, [&] { return done == workers; });
     }
 
     result.records = std::move(records);

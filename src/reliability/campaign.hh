@@ -23,10 +23,15 @@ struct CampaignConfig
 {
     SamplePlan plan = paperSamplePlan();
     std::uint64_t seed = 0xC0FFEE;
-    /** Worker threads; 0 selects std::thread::hardware_concurrency(). */
+    /** Parallel workers; 0 selects std::thread::hardware_concurrency().
+     *  Workers run as tasks on the process-wide shared pool, so
+     *  back-to-back or concurrent campaigns reuse one set of threads. */
     unsigned numThreads = 0;
     /** Keep every per-injection record (memory-heavy for big campaigns). */
     bool keepRecords = false;
+    /** Checkpoints for the checkpoint-restore injection engine; 0 runs
+     *  every injection from scratch (legacy engine, identical counts). */
+    unsigned checkpoints = kDefaultCheckpoints;
 };
 
 struct CampaignResult

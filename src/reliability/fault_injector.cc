@@ -1,8 +1,30 @@
 #include "reliability/fault_injector.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace gpr {
+namespace {
+
+/**
+ * Hash-boundary spacing for a golden run of @p golden_cycles on a chip
+ * whose hashable state is @p state_words 32-bit words.  Two pressures:
+ * boundaries should be dense enough that a converged run exits soon
+ * after its flip is erased (<= golden/64), but each fingerprint walks
+ * the full state, so on big-state/short-run cells the interval is
+ * floored at state_words/256 to keep hashing a small fraction of the
+ * simulation work.
+ */
+Cycle
+chooseHashInterval(Cycle golden_cycles, std::uint64_t state_words)
+{
+    const Cycle by_run = golden_cycles / 64;
+    const Cycle by_state = static_cast<Cycle>(state_words / 256);
+    return std::max<Cycle>(1, std::max(by_run, by_state));
+}
+
+} // namespace
 
 FaultInjector::FaultInjector(const GpuConfig& config,
                              const WorkloadInstance& instance)
@@ -58,10 +80,76 @@ FaultInjector::adoptGoldenCycles(Cycle cycles)
     golden_adopted_ = true;
 }
 
+std::shared_ptr<const CheckpointPack>
+FaultInjector::buildCheckpointPack(unsigned checkpoints)
+{
+    const Cycle golden = goldenCycles();
+
+    auto pack = std::make_shared<CheckpointPack>();
+    pack->goldenCycles = golden;
+    const std::uint64_t state_words =
+        static_cast<std::uint64_t>(config_.numSms) *
+            (config_.regFileWordsPerSm + config_.scalarRegWordsPerSm +
+             config_.smemWordsPerSm()) +
+        instance_.image.sizeWords();
+    pack->hashInterval = chooseHashInterval(golden, state_words);
+
+    CheckpointRecorder recorder;
+    for (unsigned i = 1; i <= checkpoints; ++i) {
+        const Cycle c = static_cast<Cycle>(
+            static_cast<std::uint64_t>(golden) * i / (checkpoints + 1));
+        if (c > 0 && (recorder.checkpointCycles.empty() ||
+                      recorder.checkpointCycles.back() != c)) {
+            recorder.checkpointCycles.push_back(c);
+        }
+    }
+
+    FaultWindowRecorder window_recorder(config_);
+    RunOptions options;
+    options.recorder = &recorder;
+    options.hashInterval = pack->hashInterval;
+    options.observer = &window_recorder;
+    const RunResult run = gpu_.run(instance_.program, instance_.launch,
+                                   instance_.image, options);
+    GPR_ASSERT(run.clean() && run.stats.cycles == golden,
+               "recording pass diverged from the golden run — the "
+               "simulator is not deterministic");
+
+    pack->hashes = std::move(recorder.hashes);
+    pack->checkpoints = std::move(recorder.checkpoints);
+    window_recorder.finalize(pack->windows);
+    adoptCheckpointPack(pack);
+    return pack;
+}
+
+void
+FaultInjector::adoptCheckpointPack(
+    std::shared_ptr<const CheckpointPack> pack)
+{
+    GPR_ASSERT(pack, "adopting an empty checkpoint pack");
+    GPR_ASSERT(pack->goldenCycles == goldenCycles(),
+               "checkpoint pack was recorded for a different golden run");
+    pack_ = std::move(pack);
+}
+
 InjectionResult
 FaultInjector::inject(const FaultSpec& fault)
 {
     const Cycle golden_cycles = goldenCycles();
+
+    if (pack_ &&
+        !pack_->windows.observed(fault.structure, fault.bitIndex / 32,
+                                 fault.cycle)) {
+        // The golden run never reads this word between the flip and the
+        // word's next overwrite (or the end of the run): the flip can
+        // not enter any computation, so the injected run is the golden
+        // run — exactly Masked, no simulation needed.
+        InjectionResult result;
+        result.fault = fault;
+        result.outcome = FaultOutcome::Masked;
+        result.shortcut = InjectionShortcut::DeadWindow;
+        return result;
+    }
 
     RunOptions options;
     options.fault = fault;
@@ -71,13 +159,42 @@ FaultInjector::inject(const FaultSpec& fault)
                            config_.watchdogFactor) +
         1000;
 
-    RunResult run = gpu_.run(instance_.program, instance_.launch,
-                             instance_.image, options);
+    RunResult run;
+    if (pack_) {
+        options.hashInterval = pack_->hashInterval;
+        options.goldenHashes = &pack_->hashes;
+        // Nearest checkpoint at or before the fault cycle; everything
+        // before it is bit-identical to the golden run, so restoring
+        // skips it outright.
+        const auto it = std::upper_bound(
+            pack_->checkpoints.begin(), pack_->checkpoints.end(),
+            fault.cycle,
+            [](Cycle c, const GpuCheckpoint& cp) { return c < cp.now; });
+        if (it != pack_->checkpoints.begin()) {
+            options.resume = &*std::prev(it);
+            run = gpu_.run(instance_.program, instance_.launch,
+                           MemoryImage{}, options);
+        } else {
+            run = gpu_.run(instance_.program, instance_.launch,
+                           instance_.image, options);
+        }
+    } else {
+        run = gpu_.run(instance_.program, instance_.launch,
+                       instance_.image, options);
+    }
 
     InjectionResult result;
     result.fault = fault;
     result.trap = run.trap;
-    if (!run.clean()) {
+    if (run.convergedToGolden)
+        result.shortcut = InjectionShortcut::HashConvergence;
+    if (run.convergedToGolden) {
+        // State rejoined the golden trajectory: the remainder of the run
+        // is the golden run's, whose output verified — Masked by
+        // construction, no output comparison needed (or possible: the
+        // run stopped before producing its outputs).
+        result.outcome = FaultOutcome::Masked;
+    } else if (!run.clean()) {
         result.outcome = FaultOutcome::Due;
     } else if (verifyOutputs(instance_, run.memory)) {
         result.outcome = FaultOutcome::Masked;

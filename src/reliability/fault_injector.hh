@@ -8,9 +8,12 @@
 #define GPR_RELIABILITY_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
+#include <vector>
 
 #include "common/random.hh"
+#include "reliability/fault_windows.hh"
 #include "sim/gpu.hh"
 #include "workloads/workload.hh"
 
@@ -38,12 +41,53 @@ faultOutcomeName(FaultOutcome o)
     return "unknown";
 }
 
+/** How the checkpoint engine classified an injection Masked without
+ *  simulating to completion.  Engine metadata only: the outcome is
+ *  identical to a full from-scratch simulation either way. */
+enum class InjectionShortcut : std::uint8_t
+{
+    None,           ///< simulated to trap/completion (or legacy engine)
+    DeadWindow,     ///< outside every observability window: no simulation
+    HashConvergence ///< post-fault state hash rejoined the golden run
+};
+
 /** Result of one injection. */
 struct InjectionResult
 {
     FaultSpec fault;
     FaultOutcome outcome = FaultOutcome::Masked;
     TrapKind trap = TrapKind::None;
+    InjectionShortcut shortcut = InjectionShortcut::None;
+
+    /** Classified Masked without a full simulation. */
+    bool
+    converged() const
+    {
+        return shortcut != InjectionShortcut::None;
+    }
+};
+
+/**
+ * One golden run's checkpoint pack: N evenly spaced full-state
+ * checkpoints plus the golden trajectory's state hash at every
+ * hashInterval boundary.  Built once per (workload, GPU, workloadSeed)
+ * cell and shared (read-only) by every injector of that cell.  An
+ * injection consults the observability windows first (a fault outside
+ * every window is exactly Masked with zero simulation), then restores
+ * the nearest checkpoint at or before its fault cycle and early-outs
+ * as soon as its post-fault state hash rejoins the golden trajectory.
+ */
+struct CheckpointPack
+{
+    Cycle goldenCycles = 0;
+    Cycle hashInterval = 0;
+    /** Golden state hash at cycle k*hashInterval, k = 1, 2, ... */
+    std::vector<std::uint64_t> hashes;
+    /** Checkpoints in ascending .now order (none at cycle 0 — starting
+     *  from scratch is already free). */
+    std::vector<GpuCheckpoint> checkpoints;
+    /** Exact per-word observability windows of the golden run. */
+    FaultWindows windows;
 };
 
 /**
@@ -82,7 +126,39 @@ class FaultInjector
      */
     void adoptGoldenCycles(Cycle cycles);
 
-    /** Inject @p fault and classify the outcome. */
+    /**
+     * Run one extra golden pass that records @p checkpoints evenly
+     * spaced checkpoints plus the golden trajectory's per-interval state
+     * hashes, and arm this injector with the result.  Requires the
+     * golden cycle count (runs or adopts it first).  Returns the pack
+     * so sibling injectors of the same cell can adopt it instead of
+     * re-recording.  @p checkpoints == 0 yields a hash-only pack (still
+     * enables early-out, no prefix skipping).
+     */
+    std::shared_ptr<const CheckpointPack>
+    buildCheckpointPack(unsigned checkpoints);
+
+    /**
+     * Share a pack recorded by another injector of the same
+     * (config, instance, workloadSeed) cell.
+     */
+    void adoptCheckpointPack(std::shared_ptr<const CheckpointPack> pack);
+
+    /** The armed pack, if any. */
+    const std::shared_ptr<const CheckpointPack>&
+    checkpointPack() const
+    {
+        return pack_;
+    }
+
+    /**
+     * Inject @p fault and classify the outcome.  With a checkpoint pack
+     * armed, the run restores the nearest checkpoint <= fault.cycle and
+     * early-outs on state convergence; the classification is identical
+     * to the from-scratch path either way (outcomes depend only on
+     * trap + final memory, and a state-hash match pins both to the
+     * golden run's).
+     */
     InjectionResult inject(const FaultSpec& fault);
 
     /**
@@ -101,7 +177,12 @@ class FaultInjector
     RunResult golden_;
     bool have_golden_ = false;
     bool golden_adopted_ = false;
+    std::shared_ptr<const CheckpointPack> pack_;
 };
+
+/** Default checkpoint count per golden run (the `--checkpoints` CLI
+ *  default); 0 selects the legacy from-scratch engine. */
+constexpr unsigned kDefaultCheckpoints = 8;
 
 } // namespace gpr
 

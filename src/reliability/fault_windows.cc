@@ -1,0 +1,121 @@
+#include "reliability/fault_windows.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpr {
+namespace {
+
+/**
+ * Safety cap on recorded intervals (~1 GB of windows at 16 B each
+ * would be far past it).  A pathological run that exceeds it simply
+ * loses the prefilter — observed() turns conservative — while the
+ * checkpoint/hash engine keeps working.
+ */
+constexpr std::size_t kMaxIntervals = std::size_t{1} << 24;
+
+} // namespace
+
+bool
+FaultWindows::observed(TargetStructure structure, std::uint64_t word,
+                       Cycle cycle) const
+{
+    if (!enabled_)
+        return true;
+    const StructureWindows& w = forStructure(structure);
+    if (word + 1 >= w.offsets.size())
+        return true; // unknown structure/word: stay conservative
+    const auto begin = w.intervals.begin() +
+                       static_cast<std::ptrdiff_t>(w.offsets[word]);
+    const auto end = w.intervals.begin() +
+                     static_cast<std::ptrdiff_t>(w.offsets[word + 1]);
+    // First interval whose end >= cycle; observable iff it started.
+    const auto it = std::lower_bound(
+        begin, end, cycle,
+        [](const Interval& iv, Cycle c) { return iv.end < c; });
+    return it != end && it->begin <= cycle;
+}
+
+std::size_t
+FaultWindows::intervalCount() const
+{
+    std::size_t n = 0;
+    for (const StructureWindows& w : windows_)
+        n += w.intervals.size();
+    return n;
+}
+
+FaultWindowRecorder::FaultWindowRecorder(const GpuConfig& config)
+{
+    auto init = [&](TargetStructure s, std::uint32_t words_per_sm) {
+        Tracker& t = tracker(s);
+        t.wordsPerSm = words_per_sm;
+        const std::size_t total =
+            static_cast<std::size_t>(config.numSms) * words_per_sm;
+        t.lastWrite.assign(total, 0);
+        t.perWord.resize(total);
+    };
+    init(TargetStructure::VectorRegisterFile, config.regFileWordsPerSm);
+    init(TargetStructure::SharedMemory, config.smemWordsPerSm());
+    init(TargetStructure::ScalarRegisterFile, config.scalarRegWordsPerSm);
+}
+
+void
+FaultWindowRecorder::onRead(TargetStructure structure, SmId sm,
+                            std::uint32_t word, Cycle cycle)
+{
+    Tracker& t = tracker(structure);
+    const std::size_t w =
+        static_cast<std::size_t>(sm) * t.wordsPerSm + word;
+    GPR_ASSERT(w < t.perWord.size(), "observer word out of range");
+    auto& ivs = t.perWord[w];
+    const Cycle begin = t.lastWrite[w];
+    if (!ivs.empty() && begin <= ivs.back().end + 1) {
+        ivs.back().end = std::max(ivs.back().end, cycle);
+    } else {
+        ivs.push_back({begin, cycle});
+        ++total_intervals_;
+    }
+}
+
+void
+FaultWindowRecorder::onWrite(TargetStructure structure, SmId sm,
+                             std::uint32_t word, Cycle cycle)
+{
+    Tracker& t = tracker(structure);
+    const std::size_t w =
+        static_cast<std::size_t>(sm) * t.wordsPerSm + word;
+    GPR_ASSERT(w < t.lastWrite.size(), "observer word out of range");
+    // A flip lands at a cycle *start*; a write lands mid-cycle and
+    // erases any flip from the same cycle, so observability windows
+    // opened by later reads begin the following cycle.
+    t.lastWrite[w] = cycle + 1;
+}
+
+void
+FaultWindowRecorder::finalize(FaultWindows& out)
+{
+    if (total_intervals_ > kMaxIntervals) {
+        out.enabled_ = false;
+        return;
+    }
+    for (std::size_t s = 0; s < trackers_.size(); ++s) {
+        Tracker& t = trackers_[s];
+        FaultWindows::StructureWindows& w = out.windows_[s];
+        w.offsets.clear();
+        w.offsets.reserve(t.perWord.size() + 1);
+        w.intervals.clear();
+        w.offsets.push_back(0);
+        for (auto& ivs : t.perWord) {
+            w.intervals.insert(w.intervals.end(), ivs.begin(), ivs.end());
+            w.offsets.push_back(w.intervals.size());
+            ivs = {};
+        }
+        t.lastWrite = {};
+        t.perWord = {};
+    }
+    out.enabled_ = true;
+}
+
+} // namespace gpr

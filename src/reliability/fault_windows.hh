@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Exact golden-run observability windows — the zero-simulation half of
+ * the checkpoint-restore injection engine.
+ *
+ * A single-bit flip only enters computation through a *read* of its
+ * word: every other event (writes overwrite the whole word,
+ * alloc/free/dispatch move metadata) leaves the injected trajectory
+ * bit-identical to the golden run.  So a flip applied at the start of
+ * cycle C in word W changes the outcome only if the golden run reads W
+ * at some cycle r >= C whose defining write precedes C — i.e. only if
+ * C lies inside one of W's live intervals [w, r] (w = last write
+ * strictly before the read, with w advanced past a write's own cycle
+ * since the flip lands at cycle *start* and the write lands mid-cycle).
+ *
+ * Recording one merged, disjoint interval list per word during the
+ * golden pass therefore yields an exact O(log k) pre-classification:
+ * outside every window the fault is Masked with *no* simulation at all.
+ * Unlike ACE lifetime accounting this is not conservative-by-design —
+ * allocation does NOT close a window (a later block that read a word
+ * before writing it would observe the stale flipped value, so such
+ * reads extend windows across alloc boundaries) — which is what keeps
+ * the classification bit-identical to a from-scratch injected run.
+ */
+
+#ifndef GPR_RELIABILITY_FAULT_WINDOWS_HH
+#define GPR_RELIABILITY_FAULT_WINDOWS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "sim/observer.hh"
+
+namespace gpr {
+
+/**
+ * Per-structure observability windows, finalised into CSR layout
+ * (offsets into one flat interval array) for compact sharing inside a
+ * CheckpointPack.
+ */
+class FaultWindows
+{
+  public:
+    struct Interval
+    {
+        Cycle begin = 0; ///< first start-of-cycle the flip is observable
+        Cycle end = 0;   ///< last such cycle (inclusive)
+    };
+
+    /** True when windows were recorded (and not discarded by the
+     *  interval-count safety cap). */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Would a flip applied at the start of @p cycle in chip-global
+     * @p word of @p structure ever be read before being overwritten?
+     * False means the fault is exactly Masked.  Conservative on a
+     * disabled/unknown structure (returns true).
+     */
+    bool observed(TargetStructure structure, std::uint64_t word,
+                  Cycle cycle) const;
+
+    /** Total recorded intervals (tests / diagnostics). */
+    std::size_t intervalCount() const;
+
+  private:
+    friend class FaultWindowRecorder;
+
+    struct StructureWindows
+    {
+        std::vector<std::uint64_t> offsets; ///< words+1 entries (CSR)
+        std::vector<Interval> intervals;
+    };
+
+    const StructureWindows&
+    forStructure(TargetStructure s) const
+    {
+        return windows_[static_cast<std::size_t>(s)];
+    }
+
+    std::array<StructureWindows, 3> windows_;
+    bool enabled_ = false;
+};
+
+/**
+ * The SimObserver that records windows during one golden pass.  Events
+ * arrive in nondecreasing cycle order per word, so intervals are built
+ * and merged in O(1) amortised per access.  finalize() flattens the
+ * per-word lists into the CSR FaultWindows and frees the working set.
+ */
+class FaultWindowRecorder : public SimObserver
+{
+  public:
+    explicit FaultWindowRecorder(const GpuConfig& config);
+
+    void onRead(TargetStructure structure, SmId sm, std::uint32_t word,
+                Cycle cycle) override;
+    void onWrite(TargetStructure structure, SmId sm, std::uint32_t word,
+                 Cycle cycle) override;
+
+    /** Flatten into @p out; the recorder is spent afterwards. */
+    void finalize(FaultWindows& out);
+
+  private:
+    struct Tracker
+    {
+        std::uint32_t wordsPerSm = 0;
+        std::vector<Cycle> lastWrite; ///< next observable start cycle
+        std::vector<std::vector<FaultWindows::Interval>> perWord;
+    };
+
+    Tracker& tracker(TargetStructure s)
+    {
+        return trackers_[static_cast<std::size_t>(s)];
+    }
+
+    std::array<Tracker, 3> trackers_;
+    std::size_t total_intervals_ = 0;
+};
+
+} // namespace gpr
+
+#endif // GPR_RELIABILITY_FAULT_WINDOWS_HH

@@ -70,6 +70,84 @@ Gpu::applyFault(const FaultSpec& fault)
     }
 }
 
+GpuCheckpoint
+Gpu::snapshot() const
+{
+    GpuCheckpoint cp;
+    cp.sms.reserve(sms_.size());
+    for (const auto& sm : sms_)
+        cp.sms.push_back(sm->snapshot());
+    cp.nextBlock = next_block_;
+    cp.dispatchRr = dispatch_rr_;
+    return cp;
+}
+
+void
+Gpu::restore(const GpuCheckpoint& cp)
+{
+    GPR_ASSERT(cp.sms.size() == sms_.size(),
+               "checkpoint was taken on a chip with a different SM count");
+    for (std::size_t i = 0; i < sms_.size(); ++i)
+        sms_[i]->restore(cp.sms[i]);
+    next_block_ = cp.nextBlock;
+    dispatch_rr_ = cp.dispatchRr;
+}
+
+void
+Gpu::hashDeviceInto(StateHash& h) const
+{
+    for (const auto& sm : sms_)
+        sm->hashInto(h);
+    h.mix(next_block_);
+    h.mix(dispatch_rr_);
+}
+
+std::uint64_t
+Gpu::deviceStateHash() const
+{
+    StateHash h;
+    hashDeviceInto(h);
+    return h.value();
+}
+
+/**
+ * The trajectory state hash: everything that determines the remainder of
+ * a run.  Covers the device (storage contents incl. free space, free
+ * lists, active blocks, used warp contexts with scoreboards, residency,
+ * scheduler cursors, dispatch state), the global-memory image, the
+ * MemPipe timestamp and the completed-block count.  Deliberately NOT
+ * covered: performance counters and occupancy integrators — they are
+ * write-only accumulators that never feed back into execution, and
+ * excluding them lets a run whose *architectural* state rejoined the
+ * golden trajectory be classified Masked even though its counters
+ * differ.  Hash equality at a common cycle therefore implies the two
+ * runs produce identical traps and identical final memory — which is
+ * exactly (and only) what outcome classification consumes.
+ */
+std::uint64_t
+Gpu::runStateHash(const RunContext& ctx, const MemoryImage& image,
+                  std::uint64_t blocks_completed) const
+{
+    StateHash h;
+    hashDeviceInto(h);
+    h.mix(ctx.memPipe.nextFree);
+    h.mixWords(image.words().data(), image.words().size());
+    h.mix(blocks_completed);
+    return h.value();
+}
+
+GpuCheckpoint
+Gpu::captureCheckpoint(const RunContext& ctx, const SimStats& stats,
+                       const MemoryImage& image, Cycle now) const
+{
+    GpuCheckpoint cp = snapshot();
+    cp.now = now;
+    cp.memPipe = ctx.memPipe;
+    cp.stats = stats;
+    cp.memory = image;
+    return cp;
+}
+
 void
 Gpu::dispatchBlocks(RunContext& ctx, Cycle now)
 {
@@ -100,6 +178,13 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
                      std::max(1u, launch.numBlocks()));
     GPR_ASSERT(launch.numBlocks() > 0, "empty grid");
 
+    GPR_ASSERT(!options.resume || (!options.observer && !options.recorder),
+               "a resumed run cannot be observed or re-recorded");
+    GPR_ASSERT(!options.recorder || !options.fault,
+               "checkpoints are recorded on the fault-free golden run");
+    GPR_ASSERT(!options.recorder || options.hashInterval > 0,
+               "recording requires a hash interval");
+
     RunResult result;
     RunContext ctx;
     ctx.config = &config_;
@@ -116,12 +201,6 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
     ctx.srfWordsPerBlock = ctx.warpsPerBlock * prog.numSRegs();
     ctx.ldsWordsPerBlock = ceilDiv(prog.smemBytes(), 4u);
 
-    for (auto& sm : sms_)
-        sm->reset();
-    next_block_ = 0;
-    num_blocks_ = launch.numBlocks();
-    dispatch_rr_ = 0;
-
     const Cycle max_cycles =
         options.maxCycles ? options.maxCycles : kDefaultMaxCycles;
     bool fault_pending = options.fault.has_value();
@@ -133,9 +212,42 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
     double warp_occ_acc = 0.0;
 
     Cycle now = 0;
-    dispatchBlocks(ctx, now);
-
     std::uint64_t last_completed = 0;
+    num_blocks_ = launch.numBlocks();
+
+    if (options.resume) {
+        // Continue a previous run: the checkpoint holds the state at the
+        // *start* of cycle cp.now, so the loop picks up exactly where the
+        // recorded run left off.
+        const GpuCheckpoint& cp = *options.resume;
+        GPR_ASSERT(!options.fault || options.fault->cycle >= cp.now,
+                   "fault predates the resume checkpoint");
+        restore(cp);
+        ctx.memPipe = cp.memPipe;
+        result.stats = cp.stats;
+        image = cp.memory;
+        vrf_occ_acc = cp.vrfOccAcc;
+        srf_occ_acc = cp.srfOccAcc;
+        lds_occ_acc = cp.ldsOccAcc;
+        warp_occ_acc = cp.warpOccAcc;
+        last_completed = cp.lastCompleted;
+        now = cp.now;
+    } else {
+        for (auto& sm : sms_)
+            sm->reset();
+        next_block_ = 0;
+        dispatch_rr_ = 0;
+        dispatchBlocks(ctx, now);
+    }
+
+    // State-hash boundaries at cycles k*hashInterval (k >= 1).  The loop
+    // is clamped to land exactly on each boundary so recording and
+    // comparing runs fingerprint identical cycles; stepping through an
+    // extra idle cycle never changes the simulation.
+    const Cycle hash_interval = options.hashInterval;
+    Cycle next_boundary =
+        hash_interval ? (now / hash_interval + 1) * hash_interval : 0;
+    std::size_t rec_idx = 0;
     auto finalize = [&](TrapKind trap) {
         result.trap = trap;
         result.stats.cycles = now + 1;
@@ -167,6 +279,42 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
         if (fault_pending && now >= options.fault->cycle) {
             applyFault(*options.fault);
             fault_pending = false;
+        }
+
+        if (options.recorder &&
+            rec_idx < options.recorder->checkpointCycles.size() &&
+            now >= options.recorder->checkpointCycles[rec_idx]) {
+            GpuCheckpoint cp =
+                captureCheckpoint(ctx, result.stats, image, now);
+            cp.vrfOccAcc = vrf_occ_acc;
+            cp.srfOccAcc = srf_occ_acc;
+            cp.ldsOccAcc = lds_occ_acc;
+            cp.warpOccAcc = warp_occ_acc;
+            cp.lastCompleted = last_completed;
+            options.recorder->checkpoints.push_back(std::move(cp));
+            ++rec_idx;
+        }
+
+        if (hash_interval && now == next_boundary) {
+            if (options.recorder) {
+                options.recorder->hashes.push_back(runStateHash(
+                    ctx, image, result.stats.blocksCompleted));
+            } else if (options.goldenHashes && !fault_pending) {
+                // The flip (if any) landed earlier this iteration, so the
+                // digest reflects post-fault state; matching the golden
+                // fingerprint here means the remaining trajectory is the
+                // golden one — classify without simulating it.
+                const std::size_t idx =
+                    static_cast<std::size_t>(now / hash_interval) - 1;
+                if (idx < options.goldenHashes->size() &&
+                    (*options.goldenHashes)[idx] ==
+                        runStateHash(ctx, image,
+                                     result.stats.blocksCompleted)) {
+                    result.convergedToGolden = true;
+                    return finalize(TrapKind::None);
+                }
+            }
+            next_boundary += hash_interval;
         }
 
         bool issued = false;
@@ -208,6 +356,16 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
         }
         if (fault_pending && options.fault->cycle > now) {
             next = std::min(next, std::max(now + 1, options.fault->cycle));
+        }
+        // Land exactly on hash boundaries and requested checkpoint
+        // cycles (both are > now here by construction).
+        if (hash_interval)
+            next = std::min(next, next_boundary);
+        if (options.recorder &&
+            rec_idx < options.recorder->checkpointCycles.size()) {
+            next = std::min(
+                next, std::max(now + 1,
+                               options.recorder->checkpointCycles[rec_idx]));
         }
 
         // Integrate occupancy over [now, next).

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/gpu_config.hh"
+#include "common/hash.hh"
 #include "sim/fault_model.hh"
 #include "sim/launch.hh"
 #include "sim/memory_image.hh"
@@ -27,6 +28,55 @@
 
 namespace gpr {
 
+/**
+ * Complete mid-run device + run-loop state at the start of one cycle.
+ * Restoring it and resuming reproduces the original run's remaining
+ * trajectory bit-for-bit, with one caveat: the occupancy *averages* of a
+ * resumed run can differ from an uninterrupted run in the last ulp
+ * (the integrators accumulate over differently split intervals) —
+ * classification never reads them.
+ *
+ * The device portion (SMs + dispatch) is captured by Gpu::snapshot();
+ * the run-loop portion (cycle, stats, memory, occupancy integrators)
+ * is filled in by the run loop when recording via CheckpointRecorder.
+ */
+struct GpuCheckpoint
+{
+    Cycle now = 0;
+
+    // Device state.
+    std::vector<SmCore::Snapshot> sms;
+    std::uint32_t nextBlock = 0;
+    std::uint32_t dispatchRr = 0;
+
+    // Run-loop state.
+    MemPipe memPipe;
+    SimStats stats;
+    MemoryImage memory;
+    double vrfOccAcc = 0.0;
+    double srfOccAcc = 0.0;
+    double ldsOccAcc = 0.0;
+    double warpOccAcc = 0.0;
+    std::uint64_t lastCompleted = 0;
+};
+
+/**
+ * Output channel for a golden recording pass: Gpu::run snapshots a
+ * GpuCheckpoint at each requested cycle and appends the trajectory's
+ * state hash at every hashInterval boundary (cycle k*hashInterval for
+ * k = 1, 2, ...; hashes[k-1] is the digest at the *start* of that
+ * cycle).
+ */
+struct CheckpointRecorder
+{
+    /** Cycles to checkpoint at, ascending (input). */
+    std::vector<Cycle> checkpointCycles;
+    /** Captured checkpoints, one per reached requested cycle (output). */
+    std::vector<GpuCheckpoint> checkpoints;
+    /** Golden state hashes, one per crossed hash boundary (output). */
+    std::vector<std::uint64_t> hashes;
+};
+
 struct RunOptions
 {
     /** Hard cycle budget; 0 selects the default cap (50M cycles). */
@@ -35,6 +85,20 @@ struct RunOptions
     std::optional<FaultSpec> fault;
     /** Optional access-trace observer (ACE analysis). */
     SimObserver* observer = nullptr;
+
+    /** Start mid-execution from this checkpoint instead of cycle 0 (the
+     *  passed-in MemoryImage is ignored; the checkpoint's is used).
+     *  Incompatible with observer/recorder. */
+    const GpuCheckpoint* resume = nullptr;
+    /** Record checkpoints + golden hashes along this (fault-free) run. */
+    CheckpointRecorder* recorder = nullptr;
+    /** State-hash boundary spacing in cycles; 0 disables hashing.  Must
+     *  be identical between the recording run and any comparing run. */
+    Cycle hashInterval = 0;
+    /** Golden trajectory hashes to compare against at each boundary
+     *  after the fault has been applied; on a match the run ends early
+     *  with RunResult::convergedToGolden set. */
+    const std::vector<std::uint64_t>* goldenHashes = nullptr;
 };
 
 struct RunResult
@@ -42,6 +106,11 @@ struct RunResult
     TrapKind trap = TrapKind::None;
     SimStats stats;
     MemoryImage memory;
+    /** The post-fault state hash matched the golden trajectory: the rest
+     *  of the run is bit-identical to the golden run, so the outcome is
+     *  Masked without simulating (or verifying) the remainder.  stats
+     *  and memory hold the state at the convergence point. */
+    bool convergedToGolden = false;
 
     bool clean() const { return trap == TrapKind::None; }
 };
@@ -67,9 +136,36 @@ class Gpu
     /** Total bits of @p structure across the whole chip. */
     std::uint64_t structureBits(TargetStructure structure) const;
 
+    /**
+     * Deep-copy the device portion of the state (all SMs + dispatch)
+     * into a checkpoint; the run-loop fields are left default (the run
+     * loop fills them when recording via CheckpointRecorder).
+     */
+    GpuCheckpoint snapshot() const;
+
+    /** Restore the device portion captured by snapshot(). */
+    void restore(const GpuCheckpoint& cp);
+
+    /**
+     * Fingerprint of the device portion (SMs + dispatch state) — the
+     * round-trip invariant: restore(cp) always reproduces the same
+     * deviceStateHash().  The run loop's trajectory hash additionally
+     * folds in the memory image, MemPipe and completed-block count; see
+     * Gpu::runStateHash in gpu.cc for the full definition.
+     */
+    std::uint64_t deviceStateHash() const;
+
   private:
     void applyFault(const FaultSpec& fault);
     void dispatchBlocks(RunContext& ctx, Cycle now);
+    void hashDeviceInto(StateHash& h) const;
+    std::uint64_t runStateHash(const RunContext& ctx,
+                               const MemoryImage& image,
+                               std::uint64_t blocks_completed) const;
+    GpuCheckpoint captureCheckpoint(const RunContext& ctx,
+                                    const SimStats& stats,
+                                    const MemoryImage& image,
+                                    Cycle now) const;
 
     const GpuConfig& config_;
     std::vector<std::unique_ptr<SmCore>> sms_;

@@ -102,6 +102,9 @@ class MemoryImage
         return static_cast<std::int32_t>(getWord(b, i));
     }
 
+    /** Raw word array (state hashing, whole-image comparisons). */
+    const std::vector<Word>& words() const { return words_; }
+
   private:
     std::vector<Word> words_;
 };

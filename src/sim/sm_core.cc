@@ -50,6 +50,85 @@ SmCore::flipSrfBit(BitIndex bit)
     srf_->flipBitAt(bit);
 }
 
+SmCore::Snapshot
+SmCore::snapshot() const
+{
+    return Snapshot{vrf_,
+                    srf_,
+                    lds_,
+                    blocks_,
+                    warps_,
+                    warp_slot_used_,
+                    warp_age_,
+                    resident_blocks_,
+                    resident_warps_,
+                    dispatch_seq_,
+                    rr_cursor_,
+                    gto_last_};
+}
+
+void
+SmCore::restore(const Snapshot& s)
+{
+    GPR_ASSERT(s.vrf.size() == vrf_.size() &&
+                   s.lds.size() == lds_.size() &&
+                   s.srf.has_value() == srf_.has_value() &&
+                   s.blocks.size() == blocks_.size() &&
+                   s.warps.size() == warps_.size(),
+               "checkpoint shape does not match this SM's configuration");
+    vrf_ = s.vrf;
+    srf_ = s.srf;
+    lds_ = s.lds;
+    blocks_ = s.blocks;
+    warps_ = s.warps;
+    warp_slot_used_ = s.warpSlotUsed;
+    warp_age_ = s.warpAge;
+    resident_blocks_ = s.residentBlocks;
+    resident_warps_ = s.residentWarps;
+    dispatch_seq_ = s.dispatchSeq;
+    rr_cursor_ = s.rrCursor;
+    gto_last_ = s.gtoLast;
+}
+
+void
+SmCore::hashInto(StateHash& h) const
+{
+    vrf_.hashInto(h);
+    if (srf_)
+        srf_->hashInto(h);
+    lds_.hashInto(h);
+
+    for (const BlockContext& b : blocks_) {
+        h.mix(b.active);
+        if (!b.active)
+            continue; // stale slots are reinitialised on dispatch
+        h.mix(b.blockId);
+        h.mix(b.bx);
+        h.mix(b.by);
+        h.mix(b.vrfBase);
+        h.mix(b.srfBase);
+        h.mix(b.ldsBase);
+        h.mix(b.warpSlots.size());
+        for (std::uint32_t slot : b.warpSlots)
+            h.mix(slot);
+        h.mix(b.liveWarps);
+        h.mix(b.barrierArrived);
+    }
+    for (std::size_t i = 0; i < warps_.size(); ++i) {
+        h.mix(static_cast<std::uint64_t>(warp_slot_used_[i]));
+        if (!warp_slot_used_[i])
+            continue; // ditto
+        h.mix(warp_age_[i]);
+        warps_[i].hashInto(h);
+    }
+    h.mix(resident_blocks_);
+    h.mix(resident_warps_);
+    h.mix(dispatch_seq_);
+    h.mix(rr_cursor_);
+    h.mix(static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(gto_last_)));
+}
+
 bool
 SmCore::tryDispatchBlock(RunContext& ctx, std::uint32_t block_id, Cycle now)
 {

@@ -104,6 +104,29 @@ class SmCore
     void flipSrfBit(BitIndex bit);
     void flipLdsBit(BitIndex bit) { lds_.flipBitAt(bit); }
 
+    // --- Checkpoint support ----------------------------------------------
+    struct Snapshot; ///< full mid-run state of one SM (defined below)
+
+    /** Deep copy of all mutable SM state (storage, blocks, warps,
+     *  scheduler).  Paired with restore() for checkpoint-resume runs. */
+    Snapshot snapshot() const;
+
+    /** Overwrite all mutable state from @p s (taken on a same-config
+     *  SmCore); after this the SM continues exactly where @p s was. */
+    void restore(const Snapshot& s);
+
+    /**
+     * Fold this SM's trajectory-determining state into @p h.  Hashed:
+     * all three storages (contents + free lists), every *active* block
+     * context, every *used* warp slot (with its age), the residency
+     * bitmaps/counters, and the scheduler cursors.  Deliberately NOT
+     * hashed: the contents of inactive block slots and unused warp
+     * slots — dispatch fully reinitialises them before reuse, so their
+     * stale bytes can never influence future execution and would only
+     * produce false "diverged" verdicts.
+     */
+    void hashInto(StateHash& h) const;
+
   private:
     struct BlockContext
     {
@@ -174,6 +197,28 @@ class SmCore
     // Scheduler state.
     std::uint32_t rr_cursor_ = 0;
     std::int32_t gto_last_ = -1;
+};
+
+/**
+ * One SM's complete mid-run state, deep-copied.  Mirrors every mutable
+ * member of SmCore; restore() asserts the shape matches the config the
+ * snapshot was taken under.  Opaque to everything outside the sim layer
+ * (GpuCheckpoint just carries a vector of these).
+ */
+struct SmCore::Snapshot
+{
+    WordStorage vrf;
+    std::optional<WordStorage> srf;
+    WordStorage lds;
+    std::vector<BlockContext> blocks;
+    std::vector<WarpContext> warps;
+    std::vector<bool> warpSlotUsed;
+    std::vector<std::uint64_t> warpAge;
+    std::uint32_t residentBlocks = 0;
+    std::uint32_t residentWarps = 0;
+    std::uint64_t dispatchSeq = 0;
+    std::uint32_t rrCursor = 0;
+    std::int32_t gtoLast = -1;
 };
 
 } // namespace gpr

@@ -56,6 +56,18 @@ WordStorage::allocate(std::uint32_t count)
 }
 
 void
+WordStorage::hashInto(StateHash& h) const
+{
+    h.mixWords(words_.data(), words_.size());
+    h.mix(free_list_.size());
+    for (const Range& r : free_list_) {
+        h.mix(r.base);
+        h.mix(r.count);
+    }
+    h.mix(allocated_words_);
+}
+
+void
 WordStorage::release(std::uint32_t base, std::uint32_t count)
 {
     GPR_ASSERT(count > 0 && base + count <= words_.size(),

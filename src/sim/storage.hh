@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bitutils.hh"
+#include "common/hash.hh"
 #include "common/types.hh"
 
 namespace gpr {
@@ -50,6 +51,15 @@ class WordStorage
 
     /** Words currently allocated (for occupancy accounting). */
     std::uint32_t allocatedWords() const { return allocated_words_; }
+
+    /**
+     * Fold the full storage state into @p h: every word's contents
+     * (allocated *and* free — free words persist and may be observed by
+     * a later block that reads before writing, so they are part of the
+     * architecturally visible state) plus the free list (fragmentation
+     * steers future allocations, hence future behaviour).
+     */
+    void hashInto(StateHash& h) const;
 
   private:
     struct Range

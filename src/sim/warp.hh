@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hash.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
 
@@ -82,6 +83,40 @@ struct WarpContext
     finished() const
     {
         return status == WarpStatus::Finished;
+    }
+
+    /**
+     * Fold everything that steers this warp's future execution into
+     * @p h: control flow (PC, masks, reconvergence stack, predicates)
+     * *and* timing (readyCycle, scoreboards) — two states that differ
+     * only in a scoreboard entry still schedule differently, so timing
+     * is architecturally visible to the trajectory.
+     */
+    void
+    hashInto(StateHash& h) const
+    {
+        h.mix(blockSlot);
+        h.mix(warpInBlock);
+        h.mix(laneCount);
+        h.mix(pc);
+        h.mix(activeMask);
+        h.mix(exitedMask);
+        h.mix(stack.size());
+        for (const ReconvEntry& e : stack) {
+            h.mix(static_cast<std::uint64_t>(e.kind));
+            h.mix(e.pc);
+            h.mix(e.mask);
+        }
+        h.mix(static_cast<std::uint64_t>(status));
+        for (LaneMask p : preds)
+            h.mix(p);
+        h.mix(readyCycle);
+        for (Cycle c : vregReady)
+            h.mix(c);
+        for (Cycle c : sregReady)
+            h.mix(c);
+        for (Cycle c : predReady)
+            h.mix(c);
     }
 };
 

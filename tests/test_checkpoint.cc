@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Checkpoint-restore injection engine tests: snapshot/restore round
+ * trips, resumed-run equivalence, and the exhaustive differential
+ * guarantee — per-injection outcomes of the checkpointed engine are
+ * bit-identical to the legacy from-scratch engine across structures,
+ * workloads and both ISA dialects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/campaign.hh"
+#include "reliability/fault_injector.hh"
+#include "sim_test_util.hh"
+#include "workloads/workloads.hh"
+
+namespace gpr {
+namespace {
+
+WorkloadInstance
+buildFor(const GpuConfig& cfg, const char* workload)
+{
+    return makeWorkload(workload)->build(cfg.dialect, {});
+}
+
+/** Record a mid-run checkpoint of @p inst on @p cfg. */
+GpuCheckpoint
+midRunCheckpoint(Gpu& gpu, const WorkloadInstance& inst)
+{
+    Gpu probe(gpu.config());
+    const RunResult golden =
+        probe.run(inst.program, inst.launch, inst.image);
+    EXPECT_TRUE(golden.clean());
+
+    CheckpointRecorder recorder;
+    recorder.checkpointCycles = {golden.stats.cycles / 2};
+    RunOptions options;
+    options.recorder = &recorder;
+    options.hashInterval = std::max<Cycle>(1, golden.stats.cycles / 16);
+    const RunResult rec = gpu.run(inst.program, inst.launch, inst.image,
+                                  options);
+    EXPECT_TRUE(rec.clean());
+    EXPECT_EQ(rec.stats.cycles, golden.stats.cycles);
+    EXPECT_EQ(recorder.checkpoints.size(), 1u);
+    return std::move(recorder.checkpoints.front());
+}
+
+TEST(Checkpoint, SnapshotMutateRestoreRoundTrip)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const WorkloadInstance inst = buildFor(cfg, "reduction");
+
+    Gpu gpu(cfg);
+    const GpuCheckpoint cp = midRunCheckpoint(gpu, inst);
+    EXPECT_GT(cp.now, 0u);
+
+    gpu.restore(cp);
+    const std::uint64_t h0 = gpu.deviceStateHash();
+
+    // snapshot() of the restored device must round-trip bit-for-bit.
+    const GpuCheckpoint again = gpu.snapshot();
+    gpu.restore(again);
+    EXPECT_EQ(gpu.deviceStateHash(), h0);
+
+    // Mutate device state (one VRF bit flip) -> the fingerprint moves...
+    GpuCheckpoint flipped = cp;
+    flipped.sms.front().vrf.flipBitAt(7);
+    gpu.restore(flipped);
+    const std::uint64_t h1 = gpu.deviceStateHash();
+    EXPECT_NE(h1, h0);
+
+    // ...and restoring the original snapshot brings it back exactly.
+    gpu.restore(cp);
+    EXPECT_EQ(gpu.deviceStateHash(), h0);
+}
+
+TEST(Checkpoint, ResumedRunReproducesGoldenExactly)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const WorkloadInstance inst = buildFor(cfg, "scan");
+
+    Gpu gpu(cfg);
+    const RunResult golden =
+        gpu.run(inst.program, inst.launch, inst.image);
+    ASSERT_TRUE(golden.clean());
+
+    const GpuCheckpoint cp = midRunCheckpoint(gpu, inst);
+
+    RunOptions options;
+    options.resume = &cp;
+    const RunResult resumed =
+        gpu.run(inst.program, inst.launch, MemoryImage{}, options);
+    ASSERT_TRUE(resumed.clean());
+    EXPECT_EQ(resumed.stats.cycles, golden.stats.cycles);
+    EXPECT_EQ(resumed.stats.warpInstructions,
+              golden.stats.warpInstructions);
+    EXPECT_EQ(resumed.memory.words(), golden.memory.words());
+}
+
+TEST(Checkpoint, PackShapeAndAdoption)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const WorkloadInstance inst = buildFor(cfg, "vectoradd");
+
+    FaultInjector injector(cfg, inst);
+    const auto pack = injector.buildCheckpointPack(4);
+    ASSERT_TRUE(pack);
+    EXPECT_EQ(pack->goldenCycles, injector.goldenCycles());
+    EXPECT_GT(pack->hashInterval, 0u);
+    EXPECT_TRUE(pack->windows.enabled());
+    EXPECT_GT(pack->windows.intervalCount(), 0u);
+    EXPECT_LE(pack->checkpoints.size(), 4u);
+    for (std::size_t i = 0; i < pack->checkpoints.size(); ++i) {
+        EXPECT_GT(pack->checkpoints[i].now, 0u);
+        EXPECT_LT(pack->checkpoints[i].now, pack->goldenCycles);
+        if (i > 0) {
+            EXPECT_LT(pack->checkpoints[i - 1].now,
+                      pack->checkpoints[i].now);
+        }
+    }
+
+    // Sibling injector of the same cell adopts the shared pack.
+    FaultInjector sibling(cfg, inst);
+    sibling.adoptGoldenCycles(pack->goldenCycles);
+    sibling.adoptCheckpointPack(pack);
+    EXPECT_EQ(sibling.checkpointPack().get(), pack.get());
+}
+
+/**
+ * The tentpole guarantee: for every injection, the checkpointed engine
+ * classifies exactly like the from-scratch engine.  Swept across all
+ * three structures, several workloads, and both dialects (CUDA via the
+ * small Fermi config, Southern Islands via the small Tahiti config,
+ * which is also the only scalar-register-file chip).
+ */
+TEST(Checkpoint, DifferentialOutcomeEquality)
+{
+    constexpr std::size_t kInjections = 25;
+    const GpuConfig configs[] = {test::smallCudaConfig(),
+                                 test::smallSiConfig()};
+    const char* workloads[] = {"vectoradd", "reduction", "histogram"};
+
+    std::size_t converged_total = 0;
+    for (const GpuConfig& cfg : configs) {
+        for (const char* wname : workloads) {
+            const WorkloadInstance inst = buildFor(cfg, wname);
+
+            std::vector<TargetStructure> structures;
+            structures.push_back(TargetStructure::VectorRegisterFile);
+            if (makeWorkload(wname)->usesLocalMemory())
+                structures.push_back(TargetStructure::SharedMemory);
+            if (cfg.scalarRegWordsPerSm > 0)
+                structures.push_back(TargetStructure::ScalarRegisterFile);
+
+            FaultInjector legacy(cfg, inst);
+            FaultInjector ckpt(cfg, inst);
+            ckpt.adoptGoldenCycles(legacy.goldenCycles());
+            ckpt.buildCheckpointPack(4);
+
+            for (TargetStructure s : structures) {
+                for (std::size_t i = 0; i < kInjections; ++i) {
+                    const std::uint64_t seed = deriveSeed(
+                        0xD1FF, static_cast<std::uint64_t>(s) * 1000 + i);
+                    const InjectionResult a =
+                        runIndexedInjection(legacy, s, seed, i);
+                    const InjectionResult b =
+                        runIndexedInjection(ckpt, s, seed, i);
+                    EXPECT_EQ(a.fault.bitIndex, b.fault.bitIndex);
+                    EXPECT_EQ(a.fault.cycle, b.fault.cycle);
+                    EXPECT_EQ(a.outcome, b.outcome)
+                        << wname << " on " << cfg.name << " "
+                        << targetStructureName(s) << " bit "
+                        << a.fault.bitIndex << " cycle " << a.fault.cycle;
+                    EXPECT_EQ(a.trap, b.trap);
+                    EXPECT_FALSE(a.converged()); // legacy never shortcuts
+                    if (b.converged()) {
+                        ++converged_total;
+                        EXPECT_EQ(b.outcome, FaultOutcome::Masked);
+                    }
+                }
+            }
+        }
+    }
+    // The engine must actually shortcut a healthy share of the masked
+    // population (deterministic given the fixed seeds).
+    EXPECT_GT(converged_total, 0u);
+}
+
+/** The campaign path: checkpoints on vs off is count-for-count equal. */
+TEST(Checkpoint, CampaignCountsInvariantUnderEngine)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const WorkloadInstance inst = buildFor(cfg, "reduction");
+
+    CampaignConfig legacy;
+    legacy.plan.injections = 80;
+    legacy.numThreads = 2;
+    legacy.checkpoints = 0;
+
+    CampaignConfig ckpt = legacy;
+    ckpt.checkpoints = 6;
+
+    const CampaignResult a = runCampaign(
+        cfg, inst, TargetStructure::SharedMemory, legacy);
+    const CampaignResult b =
+        runCampaign(cfg, inst, TargetStructure::SharedMemory, ckpt);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.due, b.due);
+}
+
+/**
+ * Regression: this exact fault (scan on the full-size FX 5600, LDS bit
+ * 1325566 flipped at cycle 2619) once hash-"converged" spuriously.  The
+ * flip is read into a register, leaving two single-bit differences at
+ * bit 30 of odd-position words — bit 62 of the hash chunks — and the
+ * original XOR-multiply hash was triangular mod 2^64, so the two
+ * top-bit differences cancelled with probability ~1/4.  The rotate in
+ * StateHash::round exists because of this fault; it must stay SDC.
+ */
+TEST(Checkpoint, HashIsNotTriangularRegression)
+{
+    const GpuConfig& cfg = gpuConfig(GpuModel::QuadroFx5600);
+    const WorkloadInstance inst = buildFor(cfg, "scan");
+
+    FaultSpec fault;
+    fault.structure = TargetStructure::SharedMemory;
+    fault.bitIndex = 1325566;
+    fault.cycle = 2619;
+
+    FaultInjector legacy(cfg, inst);
+    const InjectionResult a = legacy.inject(fault);
+    ASSERT_EQ(a.outcome, FaultOutcome::Sdc);
+
+    FaultInjector ckpt(cfg, inst);
+    ckpt.adoptGoldenCycles(legacy.goldenCycles());
+    ckpt.buildCheckpointPack(8);
+    const InjectionResult b = ckpt.inject(fault);
+    EXPECT_EQ(b.outcome, FaultOutcome::Sdc);
+    EXPECT_FALSE(b.converged());
+}
+
+/** Dead-window prefilter edge: a fault in never-touched space is
+ *  masked without simulation, and inject() agrees with a from-scratch
+ *  run of the very same fault. */
+TEST(Checkpoint, PrefilterAgreesOnUntouchedStorage)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const WorkloadInstance inst = buildFor(cfg, "vectoradd");
+
+    FaultInjector legacy(cfg, inst);
+    FaultInjector ckpt(cfg, inst);
+    ckpt.adoptGoldenCycles(legacy.goldenCycles());
+    ckpt.buildCheckpointPack(2);
+
+    FaultSpec fault;
+    fault.structure = TargetStructure::SharedMemory; // kernel uses none
+    fault.bitIndex = 1234;
+    fault.cycle = legacy.goldenCycles() / 2;
+
+    const InjectionResult a = legacy.inject(fault);
+    const InjectionResult b = ckpt.inject(fault);
+    EXPECT_EQ(a.outcome, FaultOutcome::Masked);
+    EXPECT_EQ(b.outcome, FaultOutcome::Masked);
+    EXPECT_TRUE(b.converged());
+}
+
+} // namespace
+} // namespace gpr

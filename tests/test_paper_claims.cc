@@ -102,7 +102,13 @@ TEST(PaperClaims, AvfVariesAcrossBenchmarks)
         << "register-file AVF should vary clearly across benchmarks";
 }
 
-/** Finding: ACE analysis is orders of magnitude cheaper than FI. */
+/**
+ * Finding: ACE analysis is orders of magnitude cheaper than FI — *as
+ * the paper's tools run FI*, i.e. every injection simulated from
+ * scratch (checkpoints = 0).  The checkpoint-restore engine has since
+ * overturned this cost ratio (see bench/injection_throughput.cc), so
+ * the claim is pinned to the legacy engine it was made about.
+ */
 TEST(PaperClaims, AceIsMuchCheaperThanFi)
 {
     const GpuConfig cfg = test::smallCudaConfig();
@@ -110,6 +116,7 @@ TEST(PaperClaims, AceIsMuchCheaperThanFi)
     const WorkloadInstance inst = wl->build(cfg.dialect, {});
     CampaignConfig cc;
     cc.plan.injections = 100;
+    cc.checkpoints = 0; // the paper's from-scratch FI methodology
     const CampaignResult fi =
         runCampaign(cfg, inst, TargetStructure::VectorRegisterFile, cc);
     const AceResult ace = runAceAnalysis(cfg, inst);

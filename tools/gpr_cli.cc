@@ -47,8 +47,9 @@ usage()
         "  gpr analyze <workload> <gpu> [injections] [--json]\n"
         "  gpr inject <workload> <gpu> <rf|lds|srf> <bit> <cycle>\n"
         "  gpr study [--workloads=a,b] [--gpus=a,b] [--injections=N]\n"
-        "            [--jobs=N] [--shards=N] [--store=FILE]\n"
-        "            [--resume[=FILE]] [--ace-only] [--json] [--csv]\n"
+        "            [--jobs=N] [--shards=N] [--checkpoints=N]\n"
+        "            [--store=FILE] [--resume[=FILE]] [--ace-only]\n"
+        "            [--json] [--csv]\n"
         "gpus: 7970, fx5600, fx5800, gtx480\n");
     return 2;
 }
@@ -231,6 +232,17 @@ cmdStudy(int argc, char** argv)
                  progress.cells, progress.executedShards,
                  progress.totalShards, progress.resumedShards,
                  progress.wallSeconds, progress.shardBusySeconds);
+    std::fprintf(stderr,
+                 "study: %llu injections at %.1f/s wall "
+                 "(%.1f/worker-s, %zu checkpoint packs)\n",
+                 static_cast<unsigned long long>(
+                     progress.injectionsExecuted),
+                 progress.injectionsPerSecond(),
+                 progress.shardBusySeconds > 0
+                     ? static_cast<double>(progress.injectionsExecuted) /
+                           progress.shardBusySeconds
+                     : 0.0,
+                 progress.checkpointPacks);
     return 0;
 }
 
