@@ -38,6 +38,8 @@ sweep(const BenchCli& cli, const std::string& label,
         const GpuConfig& cfg = configs[i];
         const WorkloadInstance inst = workload->build(cfg.dialect, {});
         const AceResult ace = runAceAnalysis(cfg, inst);
+        const AceStructureResult& rf_ace =
+            ace.forStructure(TargetStructure::VectorRegisterFile);
 
         double avf_fi = 0.0;
         if (!cli.study.analysis.aceOnly) {
@@ -54,7 +56,7 @@ sweep(const BenchCli& cli, const std::string& label,
              strprintf("%.1f%%",
                        100.0 * ace.goldenStats.avgRegFileOccupancy),
              strprintf("%.1f%%", 100.0 * avf_fi),
-             strprintf("%.1f%%", 100.0 * ace.registerFile.avf()),
+             strprintf("%.1f%%", 100.0 * rf_ace.avf()),
              strprintf("%llu", static_cast<unsigned long long>(
                                    ace.goldenStats.cycles))});
     }

@@ -50,6 +50,8 @@ main(int argc, char** argv)
                 workload->build(cfg->dialect, {});
             const AceResult ace = runAceAnalysis(*cfg, inst);
 
+            const AceStructureResult& rf_ace =
+                ace.forStructure(TargetStructure::VectorRegisterFile);
             double avf_fi = 0.0;
             if (!cli.study.analysis.aceOnly) {
                 CampaignConfig cc;
@@ -67,7 +69,7 @@ main(int argc, char** argv)
                                        ace.goldenStats.cycles)),
                  strprintf("%.2f", ace.goldenStats.ipc()),
                  strprintf("%.1f%%", 100.0 * avf_fi),
-                 strprintf("%.1f%%", 100.0 * ace.registerFile.avf())});
+                 strprintf("%.1f%%", 100.0 * rf_ace.avf())});
         }
     }
     table.render(std::cout);

@@ -11,9 +11,16 @@
  * (CI parses it and fails if the checkpointed engine is slower).
  *
  *     $ bench_injection_throughput [--workloads=a,b] [--gpus=a,b]
- *           [--injections=N] [--checkpoints=N] [--seed=S]
+ *           [--structures=a,b] [--injections=N] [--checkpoints=N]
+ *           [--seed=S]
+ *
+ * By default every registered structure applicable to a cell is run
+ * (including the control-state targets, which skip the dead-window
+ * prefilter); --structures restricts to a registry subset, e.g. the
+ * paper's original rf,lds,srf grid for the CI perf gate.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -23,6 +30,7 @@
 #include "common/string_utils.hh"
 #include "reliability/campaign.hh"
 #include "reliability/fault_injector.hh"
+#include "sim/structure_registry.hh"
 #include "workloads/workloads.hh"
 
 namespace {
@@ -61,6 +69,7 @@ main(int argc, char** argv)
     for (auto name : allWorkloadNames())
         workloads.emplace_back(name);
     std::vector<GpuModel> gpus = allGpuModels();
+    std::vector<TargetStructure> requested;
     std::size_t injections = 40;
     unsigned checkpoints = kDefaultCheckpoints;
     std::uint64_t seed = 0xC0FFEE;
@@ -79,6 +88,13 @@ main(int argc, char** argv)
                  split(arg.substr(std::string("--gpus=").size()), ','))
                 if (!g.empty())
                     gpus.push_back(gpuModelFromName(g));
+        } else if (startsWith(arg, "--structures=")) {
+            requested.clear();
+            for (const auto& s :
+                 split(arg.substr(std::string("--structures=").size()),
+                       ','))
+                if (!s.empty())
+                    requested.push_back(targetStructureFromName(s));
         } else if (startsWith(arg, "--injections=")) {
             const auto n =
                 parseInt(arg.substr(std::string("--injections=").size()));
@@ -97,7 +113,8 @@ main(int argc, char** argv)
         } else {
             std::fprintf(stderr,
                          "usage: bench_injection_throughput "
-                         "[--workloads=a,b] [--gpus=a,b] [--injections=N] "
+                         "[--workloads=a,b] [--gpus=a,b] "
+                         "[--structures=a,b] [--injections=N] "
                          "[--checkpoints=N] [--seed=S]\n");
             return 2;
         }
@@ -114,12 +131,11 @@ main(int argc, char** argv)
             const GpuConfig& cfg = gpuConfig(model);
             const WorkloadInstance inst = workload->build(cfg.dialect, {});
 
-            std::vector<TargetStructure> structures;
-            structures.push_back(TargetStructure::VectorRegisterFile);
-            if (workload->usesLocalMemory())
-                structures.push_back(TargetStructure::SharedMemory);
-            if (cfg.scalarRegWordsPerSm > 0)
-                structures.push_back(TargetStructure::ScalarRegisterFile);
+            const std::vector<TargetStructure> structures =
+                selectStructures(cfg, workload->usesLocalMemory(),
+                                 requested);
+            if (structures.empty())
+                continue;
 
             // Legacy engine: golden + from-scratch injections.
             FaultInjector legacy(cfg, inst);

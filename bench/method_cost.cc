@@ -81,7 +81,9 @@ BM_AceAnalysis(benchmark::State& state, GpuModel model,
     const WorkloadInstance& inst = cachedInstance(model, workload);
     for (auto _ : state) {
         const AceResult r = runAceAnalysis(cfg, inst);
-        benchmark::DoNotOptimize(r.registerFile.aceWordCycles);
+        benchmark::DoNotOptimize(
+            r.forStructure(TargetStructure::VectorRegisterFile)
+                .aceUnitCycles);
     }
 }
 
@@ -105,7 +107,10 @@ BM_OrchestratedStudy(benchmark::State& state)
     for (auto _ : state) {
         StudyProgress progress;
         const StudyResult r = runStudy(study, orch, &progress);
-        benchmark::DoNotOptimize(r.reports.front().registerFile.avfFi);
+        benchmark::DoNotOptimize(
+            r.reports.front()
+                .forStructure(TargetStructure::VectorRegisterFile)
+                .avfFi);
         shards = progress.totalShards;
     }
     state.counters["shards"] =

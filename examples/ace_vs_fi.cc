@@ -35,7 +35,7 @@ main(int argc, char** argv)
         "%s on %s: ACE analysis takes %.3f s (single instrumented run)\n"
         "  register-file AVF-ACE = %.2f%%\n\n",
         workload.c_str(), cfg.name.c_str(), ace.wallSeconds,
-        100 * ace.registerFile.avf());
+        100 * ace.forStructure(TargetStructure::VectorRegisterFile).avf());
 
     TextTable table({"injections", "AVF-FI", "Wilson 99% CI", "margin",
                      "worker-s", "cost vs ACE"});

@@ -34,15 +34,19 @@ main(int argc, char** argv)
         AnalysisOptions options;
         options.plan.injections = injections;
         const ReliabilityReport r = framework.analyze(workload, options);
+        const StructureReport& rf =
+            r.forStructure(TargetStructure::VectorRegisterFile);
+        const StructureReport& lm =
+            r.forStructure(TargetStructure::SharedMemory);
         table.addRow({r.gpuName, framework.config().microarchitecture,
                       strprintf("%llu",
                                 static_cast<unsigned long long>(r.cycles)),
                       sciNotation(r.execSeconds),
-                      strprintf("%.1f%%", 100 * r.registerFile.avfFi),
-                      strprintf("%.1f%%", 100 * r.registerFile.avfAce),
-                      strprintf("%.1f%%", 100 * r.registerFile.occupancy),
-                      r.localMemory.applicable
-                          ? strprintf("%.1f%%", 100 * r.localMemory.avfFi)
+                      strprintf("%.1f%%", 100 * rf.avfFi),
+                      strprintf("%.1f%%", 100 * rf.avfAce),
+                      strprintf("%.1f%%", 100 * rf.occupancy),
+                      lm.applicable
+                          ? strprintf("%.1f%%", 100 * lm.avfFi)
                           : std::string("n/a"),
                       sciNotation(r.epf.epf())});
     }

@@ -101,10 +101,11 @@ main()
     std::printf("saxpy on %s: cycles=%llu IPC=%.2f\n", cfg.name.c_str(),
                 static_cast<unsigned long long>(ace.goldenStats.cycles),
                 ace.goldenStats.ipc());
+    const AceStructureResult& rf_ace =
+        ace.forStructure(TargetStructure::VectorRegisterFile);
     std::printf("register file: AVF-FI=%.1f%% (+/-%.1f%%)  AVF-ACE=%.1f%%  "
                 "occupancy=%.1f%%\n",
-                100 * fi.avf(), 100 * fi.errorMargin(),
-                100 * ace.registerFile.avf(),
+                100 * fi.avf(), 100 * fi.errorMargin(), 100 * rf_ace.avf(),
                 100 * fi.goldenStats.avgRegFileOccupancy);
     return 0;
 }

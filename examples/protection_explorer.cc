@@ -47,20 +47,26 @@ main(int argc, char** argv)
     TextTable table({"scheme", "RF AVF", "LM AVF", "FIT_GPU", "exec (s)",
                      "EPF", "EPF gain"});
 
+    const StructureReport& base_rf =
+        base.forStructure(TargetStructure::VectorRegisterFile);
+    const StructureReport& base_lm =
+        base.forStructure(TargetStructure::SharedMemory);
+    const StructureReport& base_srf =
+        base.forStructure(TargetStructure::ScalarRegisterFile);
+
     const double base_epf = base.epf.epf();
     for (const ProtectionScheme& scheme : builtinProtectionSchemes()) {
         // Protect both studied structures with the same scheme.
-        const ProtectedRates rf = applyProtection(
-            scheme, base.registerFile.sdcRate, base.registerFile.dueRate);
+        const ProtectedRates rf =
+            applyProtection(scheme, base_rf.sdcRate, base_rf.dueRate);
         const ProtectedRates lm =
-            base.localMemory.applicable
-                ? applyProtection(scheme, base.localMemory.sdcRate,
-                                  base.localMemory.dueRate)
+            base_lm.applicable
+                ? applyProtection(scheme, base_lm.sdcRate, base_lm.dueRate)
                 : ProtectedRates{};
         const ProtectedRates srf =
-            base.scalarRegisterFile.applicable
-                ? applyProtection(scheme, base.scalarRegisterFile.sdcRate,
-                                  base.scalarRegisterFile.dueRate)
+            base_srf.applicable
+                ? applyProtection(scheme, base_srf.sdcRate,
+                                  base_srf.dueRate)
                 : ProtectedRates{};
 
         const auto slowdown_cycles = static_cast<Cycle>(
@@ -70,7 +76,7 @@ main(int argc, char** argv)
 
         table.addRow(
             {scheme.name, strprintf("%.2f%%", 100 * rf.avf()),
-             base.localMemory.applicable
+             base_lm.applicable
                  ? strprintf("%.2f%%", 100 * lm.avf())
                  : std::string("n/a"),
              strprintf("%.2f", epf.fitTotal()), sciNotation(epf.execSeconds),

@@ -74,7 +74,11 @@ struct GpuConfig
      *  issue from the same warp. */
     std::uint32_t warpIssueInterval = 4;
 
-    // Storage structures under study (sizes per SM/CU).
+    // Storage structures under study (sizes per SM/CU).  These fields
+    // are raw capacities; the canonical per-structure fault/ACE budgets
+    // (including the control-state targets, which derive from
+    // maxWarpsPerSm and warpWidth) live in the structure registry —
+    // see structureBitsTotal() in sim/structure_registry.hh.
     std::uint32_t regFileWordsPerSm = 32768; ///< 32-bit vector registers
     std::uint32_t scalarRegWordsPerSm = 0;   ///< SI scalar registers
     std::uint32_t smemBytesPerSm = 48 * 1024;

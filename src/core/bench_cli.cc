@@ -22,6 +22,7 @@ usage()
         "       --jobs=N --shards=N --checkpoints=N --store=FILE\n"
         "       --resume[=FILE] --workloads=a,b,...\n"
         "       --gpus=7970,fx5600,fx5800,gtx480\n"
+        "       --structures=rf,lds,srf,pred,simt (registry subset)\n"
         "       --ace-only --csv --json --quiet\n"
         "       (--checkpoints=0 runs every injection from scratch — the\n"
         "        legacy engine kept for differential testing)\n"
@@ -111,6 +112,12 @@ BenchCli::parse(int argc, char** argv)
             for (const auto& g : split(value("--gpus="), ','))
                 if (!g.empty())
                     study.gpus.push_back(gpuModelFromName(g));
+        } else if (startsWith(arg, "--structures=")) {
+            study.structures.clear();
+            for (const auto& s : split(value("--structures="), ','))
+                if (!s.empty())
+                    study.structures.push_back(
+                        targetStructureFromName(s));
         } else if (arg == "--ace-only") {
             study.analysis.aceOnly = true;
         } else if (arg == "--csv") {

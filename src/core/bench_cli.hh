@@ -18,6 +18,9 @@
  *   --resume[=FILE]   resume from the store, skipping finished shards
  *   --workloads=a,b   subset of benchmarks
  *   --gpus=a,b        subset of GPUs (7970, fx5600, fx5800, gtx480)
+ *   --structures=a,b  subset of registered target structures, by
+ *                     canonical or short name (rf, lds, srf, pred, simt);
+ *                     validated against the structure registry
  *   --ace-only        skip fault injection (ACE + occupancy + perf only)
  *   --csv             additionally print tables as CSV
  *   --json            print the study as JSON instead of tables

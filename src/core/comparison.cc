@@ -37,18 +37,25 @@ StudyResult::figure1() const
     for (std::size_t w = 0; w < workloads.size(); ++w) {
         for (std::size_t g = 0; g < gpus.size(); ++g) {
             const ReliabilityReport& r = at(w, g);
-            const StructureReport& sr = r.registerFile;
-            table.addRow({workloads[w], r.gpuName, pct(sr.avfFi),
+            const StructureReport& sr =
+                r.forStructure(TargetStructure::VectorRegisterFile);
+            // A structure no injections ran on (--ace-only, or excluded
+            // by --structures) is not-measured, not ultra-reliable.
+            table.addRow({workloads[w], r.gpuName,
+                          sr.injections ? pct(sr.avfFi)
+                                        : std::string("n/a"),
                           pct(sr.avfAce), pct(sr.occupancy)});
-            fi_avg[g].push(sr.avfFi);
+            if (sr.injections)
+                fi_avg[g].push(sr.avfFi);
             ace_avg[g].push(sr.avfAce);
             occ_avg[g].push(sr.occupancy);
         }
     }
     for (std::size_t g = 0; g < gpus.size(); ++g) {
         table.addRow({"average", std::string(gpuModelName(gpus[g])),
-                      pct(fi_avg[g].mean()), pct(ace_avg[g].mean()),
-                      pct(occ_avg[g].mean())});
+                      fi_avg[g].count() ? pct(fi_avg[g].mean())
+                                        : std::string("n/a"),
+                      pct(ace_avg[g].mean()), pct(occ_avg[g].mean())});
     }
     return table;
 }
@@ -62,24 +69,31 @@ StudyResult::figure2() const
 
     for (std::size_t w = 0; w < workloads.size(); ++w) {
         // Fig. 2 includes only benchmarks that use local memory.
-        if (!at(w, 0).localMemory.applicable)
+        if (!at(w, 0)
+                 .forStructure(TargetStructure::SharedMemory)
+                 .applicable)
             continue;
         for (std::size_t g = 0; g < gpus.size(); ++g) {
             const ReliabilityReport& r = at(w, g);
-            const StructureReport& sr = r.localMemory;
-            table.addRow({workloads[w], r.gpuName, pct(sr.avfFi),
+            const StructureReport& sr =
+                r.forStructure(TargetStructure::SharedMemory);
+            table.addRow({workloads[w], r.gpuName,
+                          sr.injections ? pct(sr.avfFi)
+                                        : std::string("n/a"),
                           pct(sr.avfAce), pct(sr.occupancy)});
-            fi_avg[g].push(sr.avfFi);
+            if (sr.injections)
+                fi_avg[g].push(sr.avfFi);
             ace_avg[g].push(sr.avfAce);
             occ_avg[g].push(sr.occupancy);
         }
     }
     for (std::size_t g = 0; g < gpus.size(); ++g) {
-        if (fi_avg[g].count() == 0)
+        if (ace_avg[g].count() == 0)
             continue;
         table.addRow({"average", std::string(gpuModelName(gpus[g])),
-                      pct(fi_avg[g].mean()), pct(ace_avg[g].mean()),
-                      pct(occ_avg[g].mean())});
+                      fi_avg[g].count() ? pct(fi_avg[g].mean())
+                                        : std::string("n/a"),
+                      pct(ace_avg[g].mean()), pct(occ_avg[g].mean())});
     }
     return table;
 }
@@ -111,19 +125,26 @@ StudyResult::claims() const
 
     for (const ReliabilityReport& r : reports) {
         c.aceSecondsTotal += r.aceWallSeconds;
-        c.fiSecondsTotal += r.registerFile.fiWallSeconds +
-                            r.localMemory.fiWallSeconds +
-                            r.scalarRegisterFile.fiWallSeconds;
+        for (const StructureReport& sr : r.structures)
+            c.fiSecondsTotal += sr.fiWallSeconds;
 
-        rf_fi.push_back(r.registerFile.avfFi);
-        rf_occ.push_back(r.registerFile.occupancy);
-        rf_gap.push(r.registerFile.avfAce - r.registerFile.avfFi);
+        // Only measured FI numbers feed the claim statistics — a
+        // structure excluded by --structures (or --ace-only) left
+        // placeholder zeros that would fabricate correlations/gaps.
+        const StructureReport& rf =
+            r.forStructure(TargetStructure::VectorRegisterFile);
+        if (rf.injections) {
+            rf_fi.push_back(rf.avfFi);
+            rf_occ.push_back(rf.occupancy);
+            rf_gap.push(rf.avfAce - rf.avfFi);
+        }
 
-        if (r.localMemory.applicable) {
-            lm_fi.push_back(r.localMemory.avfFi);
-            lm_occ.push_back(r.localMemory.occupancy);
-            lm_gap.push(std::abs(r.localMemory.avfAce -
-                                 r.localMemory.avfFi));
+        const StructureReport& lm =
+            r.forStructure(TargetStructure::SharedMemory);
+        if (lm.applicable && lm.injections) {
+            lm_fi.push_back(lm.avfFi);
+            lm_occ.push_back(lm.occupancy);
+            lm_gap.push(std::abs(lm.avfAce - lm.avfFi));
         }
     }
     c.rfAvfOccupancyCorrelation = pearsonCorrelation(rf_fi, rf_occ);

@@ -25,6 +25,15 @@ struct StudyOptions
     std::vector<std::string> workloads;
     /** GPUs to include (defaults to all four, figure order). */
     std::vector<GpuModel> gpus;
+    /**
+     * Restrict fault injection to these registered structures (empty =
+     * every structure applicable to a cell).  The restriction composes
+     * with per-cell applicability and keeps the per-structure campaign
+     * seeding, so a restricted study's counts are bit-identical to the
+     * matching slice of an unrestricted one — and resume against a
+     * store written either way just works.
+     */
+    std::vector<TargetStructure> structures;
     /** Print progress lines to stderr as cells complete. */
     bool verbose = true;
 };

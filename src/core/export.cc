@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/string_utils.hh"
+#include "sim/structure_registry.hh"
 
 namespace gpr {
 
@@ -156,15 +157,21 @@ JsonWriter::value(bool v)
 namespace {
 
 void
-writeStructure(JsonWriter& j, const char* name, const StructureReport& sr)
+writeStructure(JsonWriter& j, std::string_view key,
+               const StructureReport& sr)
 {
-    j.key(name).beginObject();
+    j.key(key).beginObject();
     j.kv("applicable", sr.applicable);
     if (sr.applicable) {
-        j.kv("avf_fi", sr.avfFi);
-        j.kv("fi_error_margin", sr.fiErrorMargin);
-        j.kv("sdc_rate", sr.sdcRate);
-        j.kv("due_rate", sr.dueRate);
+        // FI fields only exist when injections actually ran on this
+        // structure (--ace-only and --structures exclusions leave
+        // placeholder zeros that would read as measured reliability).
+        if (sr.injections) {
+            j.kv("avf_fi", sr.avfFi);
+            j.kv("fi_error_margin", sr.fiErrorMargin);
+            j.kv("sdc_rate", sr.sdcRate);
+            j.kv("due_rate", sr.dueRate);
+        }
         j.kv("avf_ace", sr.avfAce);
         j.kv("occupancy", sr.occupancy);
         j.kv("injections", static_cast<std::uint64_t>(sr.injections));
@@ -185,9 +192,8 @@ writeReportJson(std::ostream& os, const ReliabilityReport& report)
     j.kv("exec_seconds", report.execSeconds);
     j.kv("ipc", report.ipc);
     j.kv("warp_occupancy", report.warpOccupancy);
-    writeStructure(j, "register_file", report.registerFile);
-    writeStructure(j, "local_memory", report.localMemory);
-    writeStructure(j, "scalar_register_file", report.scalarRegisterFile);
+    for (const StructureSpec& spec : structureRegistry())
+        writeStructure(j, spec.jsonKey, report.forStructure(spec.id));
     j.key("epf").beginObject();
     j.kv("fit_register_file", report.epf.fitRegisterFile);
     j.kv("fit_local_memory", report.epf.fitLocalMemory);
@@ -238,19 +244,29 @@ writeStudyCsv(std::ostream& os, const StudyResult& study)
          "lm_applicable", "lm_avf_fi", "lm_avf_ace", "lm_occupancy",
          "fit_total", "eit", "epf"});
     for (const ReliabilityReport& r : study.reports) {
+        const StructureReport& rf =
+            r.forStructure(TargetStructure::VectorRegisterFile);
+        const StructureReport& lm =
+            r.forStructure(TargetStructure::SharedMemory);
+        // FI cells of a structure no injections ran on stay empty —
+        // "0.000000" would read as a measured ultra-reliable result.
+        auto fi_cell = [](const StructureReport& sr, double value) {
+            return sr.injections ? strprintf("%.6f", value)
+                                 : std::string();
+        };
         table.addRow(
             {r.workload, r.gpuName,
              strprintf("%llu", static_cast<unsigned long long>(r.cycles)),
              strprintf("%.6e", r.execSeconds), strprintf("%.3f", r.ipc),
-             strprintf("%.6f", r.registerFile.avfFi),
-             strprintf("%.6f", r.registerFile.avfAce),
-             strprintf("%.6f", r.registerFile.occupancy),
-             strprintf("%.6f", r.registerFile.sdcRate),
-             strprintf("%.6f", r.registerFile.dueRate),
-             r.localMemory.applicable ? "1" : "0",
-             strprintf("%.6f", r.localMemory.avfFi),
-             strprintf("%.6f", r.localMemory.avfAce),
-             strprintf("%.6f", r.localMemory.occupancy),
+             fi_cell(rf, rf.avfFi),
+             strprintf("%.6f", rf.avfAce),
+             strprintf("%.6f", rf.occupancy),
+             fi_cell(rf, rf.sdcRate),
+             fi_cell(rf, rf.dueRate),
+             lm.applicable ? "1" : "0",
+             fi_cell(lm, lm.avfFi),
+             strprintf("%.6f", lm.avfAce),
+             strprintf("%.6f", lm.occupancy),
              strprintf("%.3f", r.epf.fitTotal()),
              strprintf("%.6e", r.epf.eit),
              strprintf("%.6e", r.epf.epf())});
@@ -316,20 +332,6 @@ fieldDouble(std::string_view line, std::string_view key, double& out)
     return end && *end == '\0';
 }
 
-bool
-structureFromName(std::string_view name, TargetStructure& out)
-{
-    for (TargetStructure s : {TargetStructure::VectorRegisterFile,
-                              TargetStructure::SharedMemory,
-                              TargetStructure::ScalarRegisterFile}) {
-        if (name == targetStructureName(s)) {
-            out = s;
-            return true;
-        }
-    }
-    return false;
-}
-
 } // namespace
 
 void
@@ -369,7 +371,7 @@ parseShardRecord(std::string_view line, ShardRecord& out)
 
     ShardRecord r;
     r.key.workload = std::string(workload);
-    if (!structureFromName(structure, r.key.structure))
+    if (!tryTargetStructureFromName(structure, r.key.structure))
         return false;
     try {
         r.key.gpu = gpuModelFromName(gpu);

@@ -14,6 +14,12 @@ ReliabilityFramework::ReliabilityFramework(GpuModel model)
 {
 }
 
+const StructureReport&
+ReliabilityReport::forStructure(TargetStructure s) const
+{
+    return structureEntry(structures, s, "ReliabilityReport");
+}
+
 WorkloadInstance
 ReliabilityFramework::buildInstance(std::string_view workload_name,
                                     std::uint64_t workload_seed) const
@@ -54,21 +60,20 @@ ReliabilityReport::printSummary(std::ostream& os) const
                     static_cast<unsigned long long>(cycles), execSeconds,
                     ipc, 100.0 * warpOccupancy);
 
-    auto line = [&](const char* label, const StructureReport& sr) {
+    for (const StructureSpec& spec : structureRegistry()) {
+        const StructureReport& sr = forStructure(spec.id);
+        const std::string label(spec.name);
         if (!sr.applicable) {
-            os << strprintf("  %-22s n/a\n", label);
-            return;
+            os << strprintf("  %-22s n/a\n", label.c_str());
+            continue;
         }
         os << strprintf(
             "  %-22s AVF-FI %5.1f%% (+/-%4.1f%%, SDC %4.1f%% DUE %4.1f%%)"
             "  AVF-ACE %5.1f%%  occ %5.1f%%\n",
-            label, 100.0 * sr.avfFi, 100.0 * sr.fiErrorMargin,
+            label.c_str(), 100.0 * sr.avfFi, 100.0 * sr.fiErrorMargin,
             100.0 * sr.sdcRate, 100.0 * sr.dueRate, 100.0 * sr.avfAce,
             100.0 * sr.occupancy);
-    };
-    line("register file", registerFile);
-    line("local memory", localMemory);
-    line("scalar register file", scalarRegisterFile);
+    }
 
     os << strprintf(
         "  FIT: RF %.1f  LDS %.1f  SRF %.1f  total %.1f   EIT %.3e   "

@@ -19,11 +19,13 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "arch/gpu_config.hh"
 #include "reliability/ace.hh"
 #include "reliability/campaign.hh"
 #include "reliability/fit_epf.hh"
+#include "sim/structure_registry.hh"
 #include "workloads/workloads.hh"
 
 namespace gpr {
@@ -63,9 +65,11 @@ struct ReliabilityReport
     GpuModel gpu = GpuModel::GeforceGtx480;
     std::string gpuName;
 
-    StructureReport registerFile;
-    StructureReport localMemory;
-    StructureReport scalarRegisterFile;
+    /** One entry per registered structure, in registry order. */
+    std::vector<StructureReport> structures;
+
+    /** Lookup by id; throws FatalError on an unregistered structure. */
+    const StructureReport& forStructure(TargetStructure s) const;
 
     // Performance.
     Cycle cycles = 0;

@@ -39,20 +39,6 @@ defaultShardCount(const SamplePlan& plan)
 
 namespace {
 
-/** Structures a campaign targets on this (workload, GPU) cell, in enum
- *  order (the order StructureReports are laid out in). */
-std::vector<TargetStructure>
-applicableStructures(const GpuConfig& config, bool uses_lds)
-{
-    std::vector<TargetStructure> out;
-    out.push_back(TargetStructure::VectorRegisterFile);
-    if (uses_lds)
-        out.push_back(TargetStructure::SharedMemory);
-    if (config.scalarRegWordsPerSm > 0)
-        out.push_back(TargetStructure::ScalarRegisterFile);
-    return out;
-}
-
 std::vector<std::string>
 resolveWorkloads(const StudyOptions& study)
 {
@@ -89,6 +75,11 @@ decomposeStudy(const StudyOptions& study, std::size_t shards_per_campaign)
     // Duplicate (workload, GPU) grid entries are one cell: identical
     // seeds produce identical counts, so they share one set of shards
     // (and one store identity — ShardKeys could not tell them apart).
+    // Requested structures are validated against the registry up front
+    // so a typo fails loudly before any simulation runs.
+    for (TargetStructure s : study.structures)
+        structureSpec(s);
+
     std::set<std::pair<std::string, GpuModel>> seen;
     for (const std::string& w : resolveWorkloads(study)) {
         const bool uses_lds = makeWorkload(w)->usesLocalMemory();
@@ -96,8 +87,8 @@ decomposeStudy(const StudyOptions& study, std::size_t shards_per_campaign)
             if (!seen.insert({w, gpu}).second)
                 continue;
             const GpuConfig& config = gpuConfig(gpu);
-            for (TargetStructure s :
-                 applicableStructures(config, uses_lds)) {
+            for (TargetStructure s : selectStructures(
+                     config, uses_lds, study.structures)) {
                 for (std::size_t begin = 0, index = 0; begin < n;
                      begin += per, ++index) {
                     ShardKey key;
@@ -154,6 +145,7 @@ struct CampaignTotals
 void
 assembleReport(ReliabilityReport& report, const Cell& cell,
                const AnalysisOptions& options,
+               const std::vector<TargetStructure>& requested,
                const std::map<TargetStructure, CampaignTotals>& campaigns)
 {
     report.workload = cell.workload;
@@ -165,55 +157,70 @@ assembleReport(ReliabilityReport& report, const Cell& cell,
     report.ipc = cell.ace.goldenStats.ipc();
     report.warpOccupancy = cell.ace.goldenStats.avgWarpOccupancy;
 
-    auto fill = [&](StructureReport& sr, TargetStructure s, bool applicable,
-                    double occupancy) {
-        sr.structure = s;
-        sr.applicable = applicable;
-        if (!applicable)
-            return;
-        sr.avfAce = cell.ace.forStructure(s).avf();
-        sr.occupancy = occupancy;
-        if (options.aceOnly)
-            return;
-        // Fold the shard counts through CampaignResult so the statistics
-        // (AVF, rates, Wilson margin) share one implementation with the
-        // standalone campaign path.
-        const auto it = campaigns.find(s);
-        CampaignResult cr;
-        cr.structure = s;
-        cr.confidence = options.plan.confidence;
-        cr.injections = options.plan.injections;
-        if (it != campaigns.end()) {
-            cr.masked = static_cast<std::size_t>(it->second.counts.masked);
-            cr.sdc = static_cast<std::size_t>(it->second.counts.sdc);
-            cr.due = static_cast<std::size_t>(it->second.counts.due);
-            cr.wallSeconds = it->second.counts.busySeconds;
+    report.structures.clear();
+    report.structures.reserve(kNumTargetStructures);
+    for (const StructureSpec& spec : structureRegistry()) {
+        StructureReport sr;
+        sr.structure = spec.id;
+        sr.applicable =
+            structureApplies(*cell.config, spec.id, cell.usesLds);
+        const bool selected =
+            requested.empty() ||
+            std::find(requested.begin(), requested.end(), spec.id) !=
+                requested.end();
+        if (sr.applicable) {
+            sr.avfAce = cell.ace.forStructure(spec.id).avf();
+            sr.occupancy = spec.occupancy(cell.ace.goldenStats);
+            // FI fields (incl. the injection count, which downstream
+            // consumers read as "was this measured") stay zero for
+            // structures a --structures restriction excluded; ACE +
+            // occupancy are still reported — the golden pass covers
+            // every structure for free.
+            if (!options.aceOnly && selected) {
+                // Fold the shard counts through CampaignResult so the
+                // statistics (AVF, rates, Wilson margin) share one
+                // implementation with the standalone campaign path.
+                const auto it = campaigns.find(spec.id);
+                CampaignResult cr;
+                cr.structure = spec.id;
+                cr.confidence = options.plan.confidence;
+                cr.injections = options.plan.injections;
+                if (it != campaigns.end()) {
+                    cr.masked =
+                        static_cast<std::size_t>(it->second.counts.masked);
+                    cr.sdc =
+                        static_cast<std::size_t>(it->second.counts.sdc);
+                    cr.due =
+                        static_cast<std::size_t>(it->second.counts.due);
+                    cr.wallSeconds = it->second.counts.busySeconds;
+                }
+                sr.avfFi = cr.avf();
+                sr.fiErrorMargin = cr.errorMargin();
+                sr.sdcRate = cr.sdcRate();
+                sr.dueRate = cr.dueRate();
+                sr.fiWallSeconds = cr.wallSeconds;
+                sr.injections = cr.injections;
+            }
         }
-        sr.avfFi = cr.avf();
-        sr.fiErrorMargin = cr.errorMargin();
-        sr.sdcRate = cr.sdcRate();
-        sr.dueRate = cr.dueRate();
-        sr.fiWallSeconds = cr.wallSeconds;
-        sr.injections = cr.injections;
-    };
+        report.structures.push_back(sr);
+    }
 
-    fill(report.registerFile, TargetStructure::VectorRegisterFile, true,
-         cell.ace.goldenStats.avgRegFileOccupancy);
-    fill(report.localMemory, TargetStructure::SharedMemory, cell.usesLds,
-         cell.ace.goldenStats.avgSmemOccupancy);
-    fill(report.scalarRegisterFile, TargetStructure::ScalarRegisterFile,
-         cell.config->scalarRegWordsPerSm > 0,
-         cell.ace.goldenStats.avgScalarRegOccupancy);
-
-    const auto pick = [&](const StructureReport& sr) {
+    // EPF models the paper's three storage structures (the FIT roll-up
+    // has no per-bit rate calibration for control cells).  Structures
+    // without measured FI (--ace-only, or excluded by --structures)
+    // fall back to their ACE AVF — reporting FIT 0 for a structure that
+    // merely wasn't injected would read as ultra-reliable rather than
+    // not-measured.
+    const auto pick = [&](TargetStructure s) {
+        const StructureReport& sr = report.forStructure(s);
         if (!sr.applicable)
             return 0.0;
-        return options.aceOnly ? sr.avfAce : sr.avfFi;
+        return sr.injections ? sr.avfFi : sr.avfAce;
     };
     report.epf = computeEpf(*cell.config, report.cycles,
-                            pick(report.registerFile),
-                            pick(report.localMemory),
-                            pick(report.scalarRegisterFile),
+                            pick(TargetStructure::VectorRegisterFile),
+                            pick(TargetStructure::SharedMemory),
+                            pick(TargetStructure::ScalarRegisterFile),
                             options.fitParams);
 }
 
@@ -474,6 +481,7 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
         const std::size_t ci = cell_of_grid[pos];
         const auto it = totals_by_cell.find(ci);
         assembleReport(result.reports[pos], *cells[ci], study.analysis,
+                       study.structures,
                        it != totals_by_cell.end() ? it->second
                                                   : kNoCampaigns);
     }

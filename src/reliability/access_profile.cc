@@ -7,31 +7,35 @@
 
 namespace gpr {
 
+const AccessSummary&
+AccessProfileResult::forStructure(TargetStructure s) const
+{
+    return structureEntry(structures, s, "AccessProfileResult");
+}
+
 AccessProfiler::AccessProfiler(const GpuConfig& config)
 {
-    auto init = [&](Counters& c, std::uint32_t words_per_sm) {
-        c.wordsPerSm = words_per_sm;
-        c.reads.assign(std::uint64_t{config.numSms} * words_per_sm, 0);
-        c.writes.assign(std::uint64_t{config.numSms} * words_per_sm, 0);
-    };
-    init(vrf_, config.regFileWordsPerSm);
-    init(lds_, config.smemWordsPerSm());
-    if (config.scalarRegWordsPerSm > 0)
-        init(srf_, config.scalarRegWordsPerSm);
+    counters_.resize(kNumTargetStructures);
+    for (const StructureSpec& spec : structureRegistry()) {
+        Counters& c = counters_[static_cast<std::size_t>(spec.id)];
+        const std::uint64_t units_per_sm = spec.aceUnitsPerSm(config);
+        if (units_per_sm == 0)
+            continue;
+        c.unitsPerSm = static_cast<std::uint32_t>(units_per_sm);
+        c.reads.assign(std::uint64_t{config.numSms} * units_per_sm, 0);
+        c.writes.assign(std::uint64_t{config.numSms} * units_per_sm, 0);
+    }
 }
 
 AccessProfiler::Counters&
 AccessProfiler::counters(TargetStructure structure)
 {
-    switch (structure) {
-      case TargetStructure::VectorRegisterFile:
-        return vrf_;
-      case TargetStructure::SharedMemory:
-        return lds_;
-      case TargetStructure::ScalarRegisterFile:
-        return srf_;
+    const auto index = static_cast<std::size_t>(structure);
+    if (index >= counters_.size()) {
+        fatal("access event for unregistered structure id ",
+              static_cast<unsigned>(structure));
     }
-    panic("bad structure");
+    return counters_[index];
 }
 
 const AccessProfiler::Counters&
@@ -45,7 +49,7 @@ AccessProfiler::onRead(TargetStructure structure, SmId sm,
                        std::uint32_t word, Cycle)
 {
     Counters& c = counters(structure);
-    ++c.reads[std::uint64_t{sm} * c.wordsPerSm + word];
+    ++c.reads[std::uint64_t{sm} * c.unitsPerSm + word];
 }
 
 void
@@ -53,7 +57,7 @@ AccessProfiler::onWrite(TargetStructure structure, SmId sm,
                         std::uint32_t word, Cycle)
 {
     Counters& c = counters(structure);
-    ++c.writes[std::uint64_t{sm} * c.wordsPerSm + word];
+    ++c.writes[std::uint64_t{sm} * c.unitsPerSm + word];
 }
 
 AccessSummary
@@ -110,13 +114,9 @@ profileAccesses(const GpuConfig& config, const WorkloadInstance& instance)
     }
 
     AccessProfileResult result;
-    result.registerFile =
-        profiler.summary(TargetStructure::VectorRegisterFile);
-    result.sharedMemory = profiler.summary(TargetStructure::SharedMemory);
-    if (config.scalarRegWordsPerSm > 0) {
-        result.scalarRegisterFile =
-            profiler.summary(TargetStructure::ScalarRegisterFile);
-    }
+    result.structures.reserve(kNumTargetStructures);
+    for (const StructureSpec& spec : structureRegistry())
+        result.structures.push_back(profiler.summary(spec.id));
     return result;
 }
 

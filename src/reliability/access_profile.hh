@@ -3,10 +3,12 @@
  * Storage access profiling — the "resource occupancy / usage" analysis
  * axis from Section I of the paper.
  *
- * One instrumented run counts reads and writes per physical word of each
- * studied structure and summarises how concentrated the traffic is.
- * High concentration (e.g. a histogram's hot bins, a reduction's low
- * tree slots) explains why AVF is not simply proportional to occupancy.
+ * One instrumented run counts reads and writes per physical unit of each
+ * registered structure (32-bit words for storage, logical control units
+ * for the predicate file / SIMT stack) and summarises how concentrated
+ * the traffic is.  High concentration (e.g. a histogram's hot bins, a
+ * reduction's low tree slots) explains why AVF is not simply
+ * proportional to occupancy.
  */
 
 #ifndef GPR_RELIABILITY_ACCESS_PROFILE_HH
@@ -17,6 +19,7 @@
 
 #include "arch/gpu_config.hh"
 #include "sim/observer.hh"
+#include "sim/structure_registry.hh"
 #include "workloads/workload.hh"
 
 namespace gpr {
@@ -25,13 +28,13 @@ namespace gpr {
 struct AccessSummary
 {
     TargetStructure structure = TargetStructure::VectorRegisterFile;
-    std::uint64_t totalWords = 0;    ///< structure size (chip-wide)
-    std::uint64_t touchedWords = 0;  ///< words with >= 1 access
+    std::uint64_t totalWords = 0;    ///< structure size in units (chip-wide)
+    std::uint64_t touchedWords = 0;  ///< units with >= 1 access
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
 
     /** Fraction of all accesses landing in the busiest 10 % of touched
-     *  words (0.1 = perfectly even, 1.0 = fully concentrated). */
+     *  units (0.1 = perfectly even, 1.0 = fully concentrated). */
     double top10Share = 0.0;
 
     double
@@ -50,7 +53,7 @@ struct AccessSummary
     }
 };
 
-/** SimObserver counting per-word accesses. */
+/** SimObserver counting per-unit accesses. */
 class AccessProfiler : public SimObserver
 {
   public:
@@ -69,23 +72,24 @@ class AccessProfiler : public SimObserver
     {
         std::vector<std::uint32_t> reads;
         std::vector<std::uint32_t> writes;
-        std::uint32_t wordsPerSm = 0;
+        std::uint32_t unitsPerSm = 0;
     };
 
     Counters& counters(TargetStructure structure);
     const Counters& counters(TargetStructure structure) const;
 
-    Counters vrf_;
-    Counters lds_;
-    Counters srf_;
+    /** One counter set per registered structure, in registry order. */
+    std::vector<Counters> counters_;
 };
 
-/** Run one instrumented execution and return all three summaries. */
+/** Run one instrumented execution and return a summary per registered
+ *  structure (registry order). */
 struct AccessProfileResult
 {
-    AccessSummary registerFile;
-    AccessSummary sharedMemory;
-    AccessSummary scalarRegisterFile;
+    std::vector<AccessSummary> structures;
+
+    /** Lookup by id; throws FatalError on an unregistered structure. */
+    const AccessSummary& forStructure(TargetStructure s) const;
 };
 
 AccessProfileResult profileAccesses(const GpuConfig& config,

@@ -7,34 +7,40 @@
 
 namespace gpr {
 
+const AceStructureResult&
+AceResult::forStructure(TargetStructure s) const
+{
+    return structureEntry(structures, s, "AceResult");
+}
+
 AceAnalyzer::AceAnalyzer(const GpuConfig& config, AceMode mode)
     : mode_(mode)
 {
-    vrf_.wordsPerSm = config.regFileWordsPerSm;
-    vrf_.words.resize(std::uint64_t{config.numSms} *
-                      config.regFileWordsPerSm);
-    lds_.wordsPerSm = config.smemWordsPerSm();
-    lds_.words.resize(std::uint64_t{config.numSms} *
-                      config.smemWordsPerSm());
-    if (config.scalarRegWordsPerSm > 0) {
-        srf_.wordsPerSm = config.scalarRegWordsPerSm;
-        srf_.words.resize(std::uint64_t{config.numSms} *
-                          config.scalarRegWordsPerSm);
+    trackers_.resize(kNumTargetStructures);
+    for (const StructureSpec& spec : structureRegistry()) {
+        StructureTracker& t = trackers_[static_cast<std::size_t>(spec.id)];
+        const std::uint64_t units_per_sm = spec.aceUnitsPerSm(config);
+        if (units_per_sm == 0)
+            continue; // structure absent on this chip
+        t.unitsPerSm = static_cast<std::uint32_t>(units_per_sm);
+        t.units.resize(std::uint64_t{config.numSms} * units_per_sm);
+        if (spec.aceUnitBits) {
+            t.unitBits.resize(t.unitsPerSm);
+            for (std::uint32_t u = 0; u < t.unitsPerSm; ++u)
+                t.unitBits[u] = spec.aceUnitBits(config, u);
+        }
     }
 }
 
 AceAnalyzer::StructureTracker&
 AceAnalyzer::tracker(TargetStructure structure)
 {
-    switch (structure) {
-      case TargetStructure::VectorRegisterFile:
-        return vrf_;
-      case TargetStructure::SharedMemory:
-        return lds_;
-      case TargetStructure::ScalarRegisterFile:
-        return srf_;
+    const auto index = static_cast<std::size_t>(structure);
+    if (index >= trackers_.size()) {
+        fatal("ACE event for unregistered structure id ",
+              static_cast<unsigned>(structure));
     }
-    panic("bad structure");
+    return trackers_[index];
 }
 
 const AceAnalyzer::StructureTracker&
@@ -44,13 +50,22 @@ AceAnalyzer::tracker(TargetStructure structure) const
 }
 
 void
-AceAnalyzer::commit(StructureTracker& t, WordState& w, Cycle upto)
+AceAnalyzer::commit(StructureTracker& t, UnitState& u, Cycle upto)
 {
-    if (!w.allocated || !w.readSinceWrite)
+    if (!u.allocated || !u.readSinceWrite)
         return;
-    const Cycle end = mode_ == AceMode::Standard ? w.lastRead : upto;
-    if (end > w.write)
-        t.aceCycles += end - w.write;
+    const Cycle end = mode_ == AceMode::Standard ? u.lastRead : upto;
+    if (end > u.write) {
+        std::uint64_t weight = 1;
+        if (!t.unitBits.empty()) {
+            // Nonuniform units: weight the interval by the unit's bit
+            // count so the structure AVF bounds bit-uniform injection.
+            const auto index =
+                static_cast<std::size_t>(&u - t.units.data());
+            weight = t.unitBits[index % t.unitsPerSm];
+        }
+        t.aceCycles += (end - u.write) * weight;
+    }
 }
 
 void
@@ -58,9 +73,9 @@ AceAnalyzer::onRead(TargetStructure structure, SmId sm, std::uint32_t word,
                     Cycle cycle)
 {
     StructureTracker& t = tracker(structure);
-    WordState& w = t.words[std::uint64_t{sm} * t.wordsPerSm + word];
-    w.lastRead = cycle;
-    w.readSinceWrite = true;
+    UnitState& u = t.units[std::uint64_t{sm} * t.unitsPerSm + word];
+    u.lastRead = cycle;
+    u.readSinceWrite = true;
 }
 
 void
@@ -68,10 +83,10 @@ AceAnalyzer::onWrite(TargetStructure structure, SmId sm, std::uint32_t word,
                      Cycle cycle)
 {
     StructureTracker& t = tracker(structure);
-    WordState& w = t.words[std::uint64_t{sm} * t.wordsPerSm + word];
-    commit(t, w, cycle);
-    w.write = cycle;
-    w.readSinceWrite = false;
+    UnitState& u = t.units[std::uint64_t{sm} * t.unitsPerSm + word];
+    commit(t, u, cycle);
+    u.write = cycle;
+    u.readSinceWrite = false;
 }
 
 void
@@ -79,12 +94,12 @@ AceAnalyzer::onAlloc(TargetStructure structure, SmId sm,
                      std::uint32_t first, std::uint32_t count, Cycle cycle)
 {
     StructureTracker& t = tracker(structure);
-    const std::uint64_t base = std::uint64_t{sm} * t.wordsPerSm + first;
+    const std::uint64_t base = std::uint64_t{sm} * t.unitsPerSm + first;
     for (std::uint64_t i = 0; i < count; ++i) {
-        WordState& w = t.words[base + i];
-        w.allocated = true;
-        w.write = cycle; // contents architecturally undefined => new epoch
-        w.readSinceWrite = false;
+        UnitState& u = t.units[base + i];
+        u.allocated = true;
+        u.write = cycle; // contents architecturally undefined => new epoch
+        u.readSinceWrite = false;
     }
 }
 
@@ -93,29 +108,29 @@ AceAnalyzer::onFree(TargetStructure structure, SmId sm, std::uint32_t first,
                     std::uint32_t count, Cycle cycle)
 {
     StructureTracker& t = tracker(structure);
-    const std::uint64_t base = std::uint64_t{sm} * t.wordsPerSm + first;
+    const std::uint64_t base = std::uint64_t{sm} * t.unitsPerSm + first;
     for (std::uint64_t i = 0; i < count; ++i) {
-        WordState& w = t.words[base + i];
-        commit(t, w, cycle);
-        w.allocated = false;
-        w.readSinceWrite = false;
+        UnitState& u = t.units[base + i];
+        commit(t, u, cycle);
+        u.allocated = false;
+        u.readSinceWrite = false;
     }
 }
 
 void
 AceAnalyzer::onKernelEnd(Cycle cycle)
 {
-    for (StructureTracker* t : {&vrf_, &lds_, &srf_}) {
-        for (WordState& w : t->words) {
-            commit(*t, w, cycle);
-            w.allocated = false;
-            w.readSinceWrite = false;
+    for (StructureTracker& t : trackers_) {
+        for (UnitState& u : t.units) {
+            commit(t, u, cycle);
+            u.allocated = false;
+            u.readSinceWrite = false;
         }
     }
 }
 
 std::uint64_t
-AceAnalyzer::aceWordCycles(TargetStructure structure) const
+AceAnalyzer::aceUnitCycles(TargetStructure structure) const
 {
     return tracker(structure).aceCycles;
 }
@@ -143,20 +158,19 @@ runAceAnalysis(const GpuConfig& config, const WorkloadInstance& instance,
 
     AceResult result;
     result.goldenStats = run.stats;
-
-    auto fill = [&](AceStructureResult& r, TargetStructure s,
-                    std::uint64_t total_words) {
-        r.structure = s;
-        r.aceWordCycles = analyzer.aceWordCycles(s);
-        r.totalWords = total_words;
+    result.structures.reserve(kNumTargetStructures);
+    for (const StructureSpec& spec : structureRegistry()) {
+        AceStructureResult r;
+        r.structure = spec.id;
+        r.aceUnitCycles = analyzer.aceUnitCycles(spec.id);
+        // Bit-weighted structures divide bit-cycles by bits; uniform
+        // structures divide unit-cycles by units (same ratio per bit).
+        r.totalUnits = spec.aceUnitBits
+                           ? structureBitsTotal(config, spec.id)
+                           : structureAceUnitsTotal(config, spec.id);
         r.cycles = run.stats.cycles;
-    };
-    fill(result.registerFile, TargetStructure::VectorRegisterFile,
-         std::uint64_t{config.numSms} * config.regFileWordsPerSm);
-    fill(result.sharedMemory, TargetStructure::SharedMemory,
-         std::uint64_t{config.numSms} * config.smemWordsPerSm());
-    fill(result.scalarRegisterFile, TargetStructure::ScalarRegisterFile,
-         std::uint64_t{config.numSms} * config.scalarRegWordsPerSm);
+        result.structures.push_back(r);
+    }
 
     const auto t1 = std::chrono::steady_clock::now();
     result.wallSeconds = std::chrono::duration<double>(t1 - t0).count();

@@ -4,18 +4,20 @@
  * to fault injection (Mukherjee et al., MICRO 2003), as implemented inside
  * GUFI/SIFI.
  *
- * One instrumented simulation tracks, for every 32-bit word of the studied
- * structures, the intervals during which a bit flip *could* propagate to
- * the output.  Two accounting modes:
+ * One instrumented simulation tracks, for every lifetime-accounting unit
+ * of every registered structure (32-bit words for storage structures,
+ * logical control units — a predicate register, a SIMT stack entry, the
+ * PC/mask group — for control-bit structures), the intervals during which
+ * a bit flip *could* propagate to the output.  Two accounting modes:
  *
- *  - Standard (offline, what the paper's tools use): a word is ACE from
+ *  - Standard (offline, what the paper's tools use): a unit is ACE from
  *    each write to the *last* read before the next write / deallocation.
  *  - Conservative: from each write to the next write / deallocation,
  *    provided at least one read consumed the value ("no future knowledge"
  *    — used by the ablation bench to show the accuracy/overhead knob).
  *
  * Both are conservative relative to fault injection: every read is assumed
- * to matter, whole words are counted even when only a few bits are live,
+ * to matter, whole units are counted even when only a few bits are live,
  * and logical masking (tolerance slack, pruned comparisons, saturation) is
  * invisible — which is exactly why the paper finds ACE overestimating the
  * register file AVF while matching FI closely for local memory.
@@ -24,13 +26,13 @@
 #ifndef GPR_RELIABILITY_ACE_HH
 #define GPR_RELIABILITY_ACE_HH
 
-#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "arch/gpu_config.hh"
 #include "sim/observer.hh"
 #include "sim/stats.hh"
+#include "sim/structure_registry.hh"
 #include "workloads/workload.hh"
 
 namespace gpr {
@@ -45,44 +47,41 @@ enum class AceMode : std::uint8_t
 struct AceStructureResult
 {
     TargetStructure structure = TargetStructure::VectorRegisterFile;
-    /** Sum over words of ACE cycles (word-granular). */
-    std::uint64_t aceWordCycles = 0;
-    /** Structure size in words (chip-wide). */
-    std::uint64_t totalWords = 0;
+    /**
+     * Sum over units of ACE cycles.  Uniform-unit structures (word
+     * storage, predicate file) count one per unit-cycle; structures
+     * with nonuniform units (the SIMT stack: a wide PC/mask group next
+     * to narrower stack entries) weight each unit by its bit count so
+     * the AVF stays a conservative bound on bit-uniform fault
+     * injection.  totalUnits uses the matching denominator (units vs.
+     * bits), so avf() is comparable either way.
+     */
+    std::uint64_t aceUnitCycles = 0;
+    /** Denominator: lifetime-accounting units, or bits for structures
+     *  with nonuniform unit widths (chip-wide). */
+    std::uint64_t totalUnits = 0;
     /** Kernel duration in cycles. */
     Cycle cycles = 0;
 
     double
     avf() const
     {
-        const double denom = static_cast<double>(totalWords) *
+        const double denom = static_cast<double>(totalUnits) *
                              static_cast<double>(cycles);
-        return denom > 0 ? static_cast<double>(aceWordCycles) / denom : 0.0;
+        return denom > 0 ? static_cast<double>(aceUnitCycles) / denom : 0.0;
     }
 };
 
 /** Full ACE analysis output for one (GPU, workload) pair. */
 struct AceResult
 {
-    AceStructureResult registerFile;
-    AceStructureResult sharedMemory;
-    AceStructureResult scalarRegisterFile;
+    /** One entry per registered structure, in registry order. */
+    std::vector<AceStructureResult> structures;
     SimStats goldenStats;
     double wallSeconds = 0.0;
 
-    const AceStructureResult&
-    forStructure(TargetStructure s) const
-    {
-        switch (s) {
-          case TargetStructure::VectorRegisterFile:
-            return registerFile;
-          case TargetStructure::SharedMemory:
-            return sharedMemory;
-          case TargetStructure::ScalarRegisterFile:
-            return scalarRegisterFile;
-        }
-        return registerFile;
-    }
+    /** Lookup by id; throws FatalError on an unregistered structure. */
+    const AceStructureResult& forStructure(TargetStructure s) const;
 };
 
 /**
@@ -104,11 +103,11 @@ class AceAnalyzer : public SimObserver
                 std::uint32_t count, Cycle cycle) override;
     void onKernelEnd(Cycle cycle) override;
 
-    /** Accumulated ACE word-cycles for @p structure. */
-    std::uint64_t aceWordCycles(TargetStructure structure) const;
+    /** Accumulated ACE unit-cycles for @p structure. */
+    std::uint64_t aceUnitCycles(TargetStructure structure) const;
 
   private:
-    struct WordState
+    struct UnitState
     {
         Cycle write = 0;
         Cycle lastRead = 0;
@@ -118,24 +117,26 @@ class AceAnalyzer : public SimObserver
 
     struct StructureTracker
     {
-        std::vector<WordState> words; ///< numSms * wordsPerSm
-        std::uint32_t wordsPerSm = 0;
+        std::vector<UnitState> units; ///< numSms * unitsPerSm
+        /** Per-unit bit weights (unitsPerSm entries, repeated per SM);
+         *  empty = uniform units, weight 1. */
+        std::vector<std::uint32_t> unitBits;
+        std::uint32_t unitsPerSm = 0;
         std::uint64_t aceCycles = 0;
     };
 
     StructureTracker& tracker(TargetStructure structure);
     const StructureTracker& tracker(TargetStructure structure) const;
-    void commit(StructureTracker& t, WordState& w, Cycle upto);
+    void commit(StructureTracker& t, UnitState& u, Cycle upto);
 
     AceMode mode_;
-    StructureTracker vrf_;
-    StructureTracker lds_;
-    StructureTracker srf_;
+    /** One tracker per registered structure, in registry order. */
+    std::vector<StructureTracker> trackers_;
 };
 
 /**
  * Run one instrumented execution of @p instance on @p config and return
- * the ACE AVF of all structures.
+ * the ACE AVF of all registered structures.
  */
 AceResult runAceAnalysis(const GpuConfig& config,
                          const WorkloadInstance& instance,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/structure_registry.hh"
 
 namespace gpr {
 namespace {
@@ -137,7 +138,11 @@ FaultInjector::inject(const FaultSpec& fault)
 {
     const Cycle golden_cycles = goldenCycles();
 
-    if (pack_ &&
+    // The dead-window prefilter exists only for word-granular storage:
+    // control-bit structures (predicate file, SIMT stack) act on the
+    // trajectory without a modelled read, so they go straight to the
+    // checkpoint-restore + hash-early-out path.
+    if (pack_ && structureSpec(fault.structure).exactDeadWindows &&
         !pack_->windows.observed(fault.structure, fault.bitIndex / 32,
                                  fault.cycle)) {
         // The golden run never reads this word between the flip and the

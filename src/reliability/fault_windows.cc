@@ -48,17 +48,18 @@ FaultWindows::intervalCount() const
 
 FaultWindowRecorder::FaultWindowRecorder(const GpuConfig& config)
 {
-    auto init = [&](TargetStructure s, std::uint32_t words_per_sm) {
-        Tracker& t = tracker(s);
-        t.wordsPerSm = words_per_sm;
+    for (const StructureSpec& spec : structureRegistry()) {
+        if (!spec.exactDeadWindows)
+            continue; // control bits: no exact windows exist
+        Tracker& t = tracker(spec.id);
+        t.tracked = true;
+        t.wordsPerSm =
+            static_cast<std::uint32_t>(spec.aceUnitsPerSm(config));
         const std::size_t total =
-            static_cast<std::size_t>(config.numSms) * words_per_sm;
+            static_cast<std::size_t>(config.numSms) * t.wordsPerSm;
         t.lastWrite.assign(total, 0);
         t.perWord.resize(total);
-    };
-    init(TargetStructure::VectorRegisterFile, config.regFileWordsPerSm);
-    init(TargetStructure::SharedMemory, config.smemWordsPerSm());
-    init(TargetStructure::ScalarRegisterFile, config.scalarRegWordsPerSm);
+    }
 }
 
 void
@@ -66,6 +67,8 @@ FaultWindowRecorder::onRead(TargetStructure structure, SmId sm,
                             std::uint32_t word, Cycle cycle)
 {
     Tracker& t = tracker(structure);
+    if (!t.tracked)
+        return;
     const std::size_t w =
         static_cast<std::size_t>(sm) * t.wordsPerSm + word;
     GPR_ASSERT(w < t.perWord.size(), "observer word out of range");
@@ -84,6 +87,8 @@ FaultWindowRecorder::onWrite(TargetStructure structure, SmId sm,
                              std::uint32_t word, Cycle cycle)
 {
     Tracker& t = tracker(structure);
+    if (!t.tracked)
+        return;
     const std::size_t w =
         static_cast<std::size_t>(sm) * t.wordsPerSm + word;
     GPR_ASSERT(w < t.lastWrite.size(), "observer word out of range");

@@ -21,6 +21,14 @@
  * before writing it would observe the stale flipped value, so such
  * reads extend windows across alloc boundaries) — which is what keeps
  * the classification bit-identical to a from-scratch injected run.
+ *
+ * The read-only-entry argument above holds only for word-granular
+ * storage.  Control-bit structures (predicate file, SIMT stack) become
+ * architecturally visible without any modelled "read" — a flipped PC
+ * acts at the next issue — so only registry entries with
+ * exactDeadWindows participate; observed() stays conservatively true
+ * for every other structure and the injector skips the prefilter for
+ * them up front.
  */
 
 #ifndef GPR_RELIABILITY_FAULT_WINDOWS_HH
@@ -32,6 +40,7 @@
 
 #include "arch/gpu_config.hh"
 #include "sim/observer.hh"
+#include "sim/structure_registry.hh"
 
 namespace gpr {
 
@@ -80,7 +89,7 @@ class FaultWindows
         return windows_[static_cast<std::size_t>(s)];
     }
 
-    std::array<StructureWindows, 3> windows_;
+    std::array<StructureWindows, kNumTargetStructures> windows_;
     bool enabled_ = false;
 };
 
@@ -106,6 +115,9 @@ class FaultWindowRecorder : public SimObserver
   private:
     struct Tracker
     {
+        /** False for structures without exact windows (control bits):
+         *  their events are ignored and no intervals are recorded. */
+        bool tracked = false;
         std::uint32_t wordsPerSm = 0;
         std::vector<Cycle> lastWrite; ///< next observable start cycle
         std::vector<std::vector<FaultWindows::Interval>> perWord;
@@ -116,7 +128,7 @@ class FaultWindowRecorder : public SimObserver
         return trackers_[static_cast<std::size_t>(s)];
     }
 
-    std::array<Tracker, 3> trackers_;
+    std::array<Tracker, kNumTargetStructures> trackers_;
     std::size_t total_intervals_ = 0;
 };
 

@@ -7,29 +7,45 @@
 #ifndef GPR_SIM_FAULT_MODEL_HH
 #define GPR_SIM_FAULT_MODEL_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 #include "common/types.hh"
 
 namespace gpr {
 
-/** Storage structures that can be targeted by injection / ACE analysis. */
+/**
+ * Structures that can be targeted by injection / ACE analysis.  The
+ * enumerators are dense indices into the structure registry (see
+ * sim/structure_registry.hh), which holds everything else that used to
+ * live in per-structure switch statements: names, kinds, bit budgets,
+ * dead-window availability.
+ */
 enum class TargetStructure : std::uint8_t
 {
+    // Word-granular storage (the paper's three structures).
     VectorRegisterFile,
     SharedMemory,       ///< local memory in AMD terminology
     ScalarRegisterFile, ///< Southern Islands only
+
+    // Packed control bits over resident warp slots.
+    PredicateFile,      ///< per-warp predicate registers (lane masks)
+    SimtStack,          ///< PC + active/exited masks + reconvergence stack
 };
 
+/** Number of registered target structures (registry size). */
+constexpr std::size_t kNumTargetStructures = 5;
+
+/** Canonical display name; throws FatalError on an unregistered id. */
 std::string_view targetStructureName(TargetStructure s);
 
 /**
  * One transient fault: flip chip-wide bit @p bitIndex of @p structure at
  * the start of cycle @p cycle.  bitIndex spans every SM's instance of the
- * structure (bitsPerSm * numSms bits total); unallocated storage is part
- * of the target space by design — hitting it is how occupancy couples to
- * AVF.
+ * structure (bitsPerSm * numSms bits total); unallocated storage and
+ * empty control cells are part of the target space by design — hitting
+ * them is how occupancy couples to AVF.
  */
 struct FaultSpec
 {
@@ -37,20 +53,6 @@ struct FaultSpec
     BitIndex bitIndex = 0;
     Cycle cycle = 0;
 };
-
-inline std::string_view
-targetStructureName(TargetStructure s)
-{
-    switch (s) {
-      case TargetStructure::VectorRegisterFile:
-        return "register-file";
-      case TargetStructure::SharedMemory:
-        return "local-memory";
-      case TargetStructure::ScalarRegisterFile:
-        return "scalar-register-file";
-    }
-    return "unknown";
-}
 
 } // namespace gpr
 

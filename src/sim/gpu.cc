@@ -6,6 +6,7 @@
 #include "arch/occupancy.hh"
 #include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "sim/structure_registry.hh"
 
 namespace gpr {
 namespace {
@@ -25,49 +26,20 @@ Gpu::Gpu(const GpuConfig& config)
 std::uint64_t
 Gpu::structureBits(TargetStructure structure) const
 {
-    switch (structure) {
-      case TargetStructure::VectorRegisterFile:
-        return config_.totalRegFileBits();
-      case TargetStructure::ScalarRegisterFile:
-        return config_.totalScalarRegBits();
-      case TargetStructure::SharedMemory:
-        return config_.totalSmemBits();
-    }
-    panic("bad structure");
+    return structureBitsTotal(config_, structure);
 }
 
 void
 Gpu::applyFault(const FaultSpec& fault)
 {
-    std::uint64_t bits_per_sm = 0;
-    switch (fault.structure) {
-      case TargetStructure::VectorRegisterFile:
-        bits_per_sm = std::uint64_t{config_.regFileWordsPerSm} * 32;
-        break;
-      case TargetStructure::ScalarRegisterFile:
-        bits_per_sm = std::uint64_t{config_.scalarRegWordsPerSm} * 32;
-        break;
-      case TargetStructure::SharedMemory:
-        bits_per_sm = std::uint64_t{config_.smemWordsPerSm()} * 32;
-        break;
-    }
+    const std::uint64_t bits_per_sm =
+        structureSpec(fault.structure).bitsPerSm(config_);
     GPR_ASSERT(bits_per_sm > 0, "fault targets a structure this chip "
                "does not have");
     const SmId sm = static_cast<SmId>(fault.bitIndex / bits_per_sm);
     const BitIndex local = fault.bitIndex % bits_per_sm;
     GPR_ASSERT(sm < sms_.size(), "fault bit index out of range");
-
-    switch (fault.structure) {
-      case TargetStructure::VectorRegisterFile:
-        sms_[sm]->flipVrfBit(local);
-        break;
-      case TargetStructure::ScalarRegisterFile:
-        sms_[sm]->flipSrfBit(local);
-        break;
-      case TargetStructure::SharedMemory:
-        sms_[sm]->flipLdsBit(local);
-        break;
-    }
+    sms_[sm]->flipBit(fault.structure, local);
 }
 
 GpuCheckpoint

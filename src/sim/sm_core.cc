@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "sim/alu.hh"
+#include "sim/structure_registry.hh"
 
 namespace gpr {
 
@@ -44,10 +45,97 @@ SmCore::reset()
 }
 
 void
-SmCore::flipSrfBit(BitIndex bit)
+SmCore::flipBit(TargetStructure structure, BitIndex bit)
 {
-    GPR_ASSERT(srf_, "no scalar register file on this architecture");
-    srf_->flipBitAt(bit);
+    switch (structure) {
+      case TargetStructure::VectorRegisterFile:
+        vrf_.flipBitAt(bit);
+        return;
+      case TargetStructure::ScalarRegisterFile:
+        GPR_ASSERT(srf_, "no scalar register file on this architecture");
+        srf_->flipBitAt(bit);
+        return;
+      case TargetStructure::SharedMemory:
+        lds_.flipBitAt(bit);
+        return;
+
+      case TargetStructure::PredicateFile: {
+        const std::uint64_t per_warp = predBitsPerWarp(config_);
+        const auto slot = static_cast<std::size_t>(bit / per_warp);
+        const std::uint64_t rem = bit % per_warp;
+        GPR_ASSERT(slot < warps_.size(),
+                   "predicate-file fault bit out of range");
+        const auto preg = static_cast<unsigned>(rem / config_.warpWidth);
+        const auto lane = static_cast<unsigned>(rem % config_.warpWidth);
+        // A flip in an unused warp slot is dead state: dispatch fully
+        // reinitialises the context before reuse, and unused slots are
+        // (deliberately) outside the trajectory hash.
+        warps_[slot].preds[preg] ^= LaneMask{1} << lane;
+        return;
+      }
+
+      case TargetStructure::SimtStack: {
+        const std::uint64_t per_warp = simtBitsPerWarp(config_);
+        const auto slot = static_cast<std::size_t>(bit / per_warp);
+        std::uint64_t rem = bit % per_warp;
+        GPR_ASSERT(slot < warps_.size(),
+                   "SIMT-stack fault bit out of range");
+        WarpContext& w = warps_[slot];
+        if (rem < 32) {
+            w.pc ^= std::uint32_t{1} << rem;
+            return;
+        }
+        rem -= 32;
+        if (rem < config_.warpWidth) {
+            w.activeMask ^= LaneMask{1} << rem;
+            return;
+        }
+        rem -= config_.warpWidth;
+        if (rem < config_.warpWidth) {
+            w.exitedMask ^= LaneMask{1} << rem;
+            return;
+        }
+        rem -= config_.warpWidth;
+        const std::uint64_t entry_bits = simtEntryBits(config_);
+        const auto entry = static_cast<std::size_t>(rem / entry_bits);
+        std::uint64_t ebit = rem % entry_bits;
+        if (entry >= w.stack.size())
+            return; // empty hardware cell: contents are dead
+        ReconvEntry& e = w.stack[entry];
+        if (ebit == 0) {
+            e.kind = e.kind == ReconvEntry::Kind::SyncToken
+                         ? ReconvEntry::Kind::PendingPath
+                         : ReconvEntry::Kind::SyncToken;
+            return;
+        }
+        ebit -= 1;
+        if (ebit < 32) {
+            e.pc ^= std::uint32_t{1} << ebit;
+            return;
+        }
+        e.mask ^= LaneMask{1} << (ebit - 32);
+        return;
+      }
+    }
+    panic("bad structure");
+}
+
+std::uint32_t
+SmCore::warpSlotOf(const WarpContext& w) const
+{
+    return static_cast<std::uint32_t>(&w - warps_.data());
+}
+
+std::uint32_t
+SmCore::predUnit(const WarpContext& w, unsigned preg) const
+{
+    return warpSlotOf(w) * kNumPredRegs + preg;
+}
+
+std::uint32_t
+SmCore::simtUnit(const WarpContext& w, unsigned unit) const
+{
+    return warpSlotOf(w) * kSimtUnitsPerWarp + unit;
 }
 
 SmCore::Snapshot
@@ -233,6 +321,18 @@ SmCore::tryDispatchBlock(RunContext& ctx, std::uint32_t block_id, Cycle now)
         warp.sregReady.assign(ctx.program->numSRegs(), 0);
         warp.stack.reserve(8);
 
+        if (ctx.observer) {
+            // Dispatch initialises the warp's control state (preds to
+            // zero, PC/masks to their entry values) — a fresh lifetime
+            // epoch for the control-bit structures.
+            const auto uslot = static_cast<std::uint32_t>(wslot);
+            ctx.observer->onAlloc(TargetStructure::PredicateFile, id_,
+                                  uslot * kNumPredRegs, kNumPredRegs, now);
+            ctx.observer->onAlloc(TargetStructure::SimtStack, id_,
+                                  uslot * kSimtUnitsPerWarp,
+                                  kSimtUnitsPerWarp, now);
+        }
+
         block.warpSlots.push_back(static_cast<std::uint32_t>(wslot));
         ++block.liveWarps;
     }
@@ -347,6 +447,16 @@ bool
 SmCore::canIssue(const RunContext& ctx, const WarpContext& w, Cycle now,
                  Cycle& stall_until) const
 {
+    if (w.pc >= ctx.program->size()) {
+        // Fault-corrupted PC: issue immediately so executeInstruction
+        // can raise the InvalidControlFlow trap.
+        if (w.readyCycle > now) {
+            stall_until = w.readyCycle;
+            return false;
+        }
+        return true;
+    }
+
     Cycle blocked = w.readyCycle;
     const Instruction& inst = ctx.program->inst(w.pc);
     const OpTraits& t = inst.traits();
@@ -379,12 +489,32 @@ SmCore::canIssue(const RunContext& ctx, const WarpContext& w, Cycle now,
 }
 
 void
-SmCore::popToNextPath(WarpContext& w, bool& underflow)
+SmCore::pushReconv(RunContext& ctx, WarpContext& w,
+                   const ReconvEntry& entry, Cycle now)
+{
+    // Only the first kSimtStackDepth entries are modelled hardware
+    // cells; deeper pushes still simulate but have no lifetime events.
+    if (ctx.observer && w.stack.size() < kSimtStackDepth) {
+        ctx.observer->onWrite(
+            TargetStructure::SimtStack, id_,
+            simtUnit(w, 1 + static_cast<unsigned>(w.stack.size())), now);
+    }
+    w.stack.push_back(entry);
+}
+
+void
+SmCore::popToNextPath(RunContext& ctx, WarpContext& w, Cycle now,
+                      bool& underflow)
 {
     underflow = false;
     while (!w.stack.empty()) {
+        const auto depth = static_cast<unsigned>(w.stack.size() - 1);
         const ReconvEntry top = w.stack.back();
         w.stack.pop_back();
+        if (ctx.observer && depth < kSimtStackDepth) {
+            ctx.observer->onRead(TargetStructure::SimtStack, id_,
+                                 simtUnit(w, 1 + depth), now);
+        }
         const LaneMask live = top.mask & ~w.exitedMask;
         if (live == 0)
             continue;
@@ -464,8 +594,16 @@ SmCore::completeBlock(RunContext& ctx, BlockContext& block, Cycle now)
         }
     }
 
-    for (std::uint32_t slot : block.warpSlots)
+    for (std::uint32_t slot : block.warpSlots) {
         warp_slot_used_[slot] = false;
+        if (ctx.observer) {
+            ctx.observer->onFree(TargetStructure::PredicateFile, id_,
+                                 slot * kNumPredRegs, kNumPredRegs, now);
+            ctx.observer->onFree(TargetStructure::SimtStack, id_,
+                                 slot * kSimtUnitsPerWarp,
+                                 kSimtUnitsPerWarp, now);
+        }
+    }
 
     GPR_ASSERT(resident_warps_ >=
                    static_cast<std::uint32_t>(block.warpSlots.size()),
@@ -482,9 +620,29 @@ SmCore::completeBlock(RunContext& ctx, BlockContext& block, Cycle now)
 std::optional<TrapKind>
 SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
 {
+    // A PC outside the program (only reachable through injected control
+    // faults) is a fetch from nonexistent instruction memory.
+    if (w.pc >= ctx.program->size())
+        return TrapKind::InvalidControlFlow;
+
     const Instruction& inst = ctx.program->inst(w.pc);
     const OpTraits& t = inst.traits();
     const LatencyModel& lat = config_.latency;
+
+    if (ctx.observer) {
+        // Issue consumes the warp's PC + masks and every instruction
+        // updates them (the PC always advances): the PC/mask unit of
+        // the SIMT-stack target is read and rewritten each issue.
+        ctx.observer->onRead(TargetStructure::SimtStack, id_,
+                             simtUnit(w, 0), now);
+        ctx.observer->onWrite(TargetStructure::SimtStack, id_,
+                              simtUnit(w, 0), now);
+        if (inst.guard != kNoPred) {
+            ctx.observer->onRead(
+                TargetStructure::PredicateFile, id_,
+                predUnit(w, static_cast<unsigned>(inst.guard)), now);
+        }
+    }
 
     if (ctx.stats) {
         ++ctx.stats->warpInstructions;
@@ -639,6 +797,10 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
                                       id_, idx, now);
             }
         } else {
+            if (inst.op == Opcode::Selp && ctx.observer) {
+                ctx.observer->onRead(TargetStructure::PredicateFile, id_,
+                                     predUnit(w, inst.predSrc), now);
+            }
             const LaneMask sel =
                 inst.op == Opcode::Selp ? w.preds[inst.predSrc] : 0;
             for_each_lane(exec, [&](unsigned lane) {
@@ -668,6 +830,12 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
             if (inst.src[s].kind != OperandKind::VReg)
                 uni[s] = readUniformOperand(ctx, w, inst.src[s], now);
         }
+        if (ctx.observer) {
+            // Guard-false lanes merge the old predicate value into the
+            // result, so SETP both reads and writes its destination.
+            ctx.observer->onRead(TargetStructure::PredicateFile, id_,
+                                 predUnit(w, inst.predDst), now);
+        }
         LaneMask result = w.preds[inst.predDst] & ~exec;
         for_each_lane(exec, [&](unsigned lane) {
             const Word a =
@@ -682,14 +850,20 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
         });
         w.preds[inst.predDst] = result;
         w.predReady[inst.predDst] = now + lat.compare;
+        if (ctx.observer) {
+            ctx.observer->onWrite(TargetStructure::PredicateFile, id_,
+                                  predUnit(w, inst.predDst), now);
+        }
         ++w.pc;
         return std::nullopt;
       }
 
       // --- Control flow ---------------------------------------------------
       case Opcode::Ssy:
-        w.stack.push_back(
-            {ReconvEntry::Kind::SyncToken, inst.target, w.activeMask});
+        pushReconv(ctx, w,
+                   {ReconvEntry::Kind::SyncToken, inst.target,
+                    w.activeMask},
+                   now);
         ++w.pc;
         return std::nullopt;
 
@@ -707,8 +881,10 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
             // Divergence: defer the taken lanes, continue fall-through.
             if (ctx.stats)
                 ++ctx.stats->divergenceEvents;
-            w.stack.push_back(
-                {ReconvEntry::Kind::PendingPath, inst.target, taken});
+            pushReconv(ctx, w,
+                       {ReconvEntry::Kind::PendingPath, inst.target,
+                        taken},
+                       now);
             w.activeMask &= ~taken;
             ++w.pc;
         }
@@ -717,7 +893,7 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
 
       case Opcode::Sync: {
         bool underflow = false;
-        popToNextPath(w, underflow);
+        popToNextPath(ctx, w, now, underflow);
         if (underflow) {
             // Lanes are parked with nowhere to reconverge: corrupted
             // control state (only reachable through injected faults).
@@ -739,7 +915,7 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
             return std::nullopt;
         }
         bool underflow = false;
-        popToNextPath(w, underflow);
+        popToNextPath(ctx, w, now, underflow);
         if (underflow)
             finishWarp(ctx, w, now);
         return std::nullopt;

@@ -99,10 +99,15 @@ class SmCore
         return lds_.allocatedWords();
     }
 
-    /** Direct storage access for fault injection (bit-linear indices). */
-    void flipVrfBit(BitIndex bit) { vrf_.flipBitAt(bit); }
-    void flipSrfBit(BitIndex bit);
-    void flipLdsBit(BitIndex bit) { lds_.flipBitAt(bit); }
+    /**
+     * Flip one bit of @p structure on this SM; @p bit addresses the
+     * structure's SM-local fault space bit-linearly (see the structure
+     * registry for per-structure geometry).  This is the single place
+     * where registry ids bind to physical simulator state.  Flips into
+     * dead cells (unallocated storage, unused warp slots, empty stack
+     * entries) are architecturally inert by design.
+     */
+    void flipBit(TargetStructure structure, BitIndex bit);
 
     // --- Checkpoint support ----------------------------------------------
     struct Snapshot; ///< full mid-run state of one SM (defined below)
@@ -165,8 +170,16 @@ class SmCore
                            unsigned lane) const;
     std::uint32_t srfIndex(const WarpContext& w, RegIndex r) const;
 
+    // Registry-unit indices of a warp's control state (SM-relative).
+    std::uint32_t warpSlotOf(const WarpContext& w) const;
+    std::uint32_t predUnit(const WarpContext& w, unsigned preg) const;
+    std::uint32_t simtUnit(const WarpContext& w, unsigned unit) const;
+
     // Control-flow helpers.
-    void popToNextPath(WarpContext& w, bool& underflow);
+    void popToNextPath(RunContext& ctx, WarpContext& w, Cycle now,
+                       bool& underflow);
+    void pushReconv(RunContext& ctx, WarpContext& w,
+                    const ReconvEntry& entry, Cycle now);
     void finishWarp(RunContext& ctx, WarpContext& w, Cycle now);
     void releaseBarrierIfReady(RunContext& ctx, BlockContext& block,
                                Cycle now);

@@ -1,0 +1,229 @@
+#include "sim/structure_registry.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace gpr {
+namespace {
+
+std::uint64_t
+vrfBits(const GpuConfig& c)
+{
+    return std::uint64_t{c.regFileWordsPerSm} * 32;
+}
+
+std::uint64_t
+ldsBits(const GpuConfig& c)
+{
+    return std::uint64_t{c.smemWordsPerSm()} * 32;
+}
+
+std::uint64_t
+srfBits(const GpuConfig& c)
+{
+    return std::uint64_t{c.scalarRegWordsPerSm} * 32;
+}
+
+std::uint64_t
+predBits(const GpuConfig& c)
+{
+    return std::uint64_t{c.maxWarpsPerSm} * predBitsPerWarp(c);
+}
+
+std::uint64_t
+simtBits(const GpuConfig& c)
+{
+    return std::uint64_t{c.maxWarpsPerSm} * simtBitsPerWarp(c);
+}
+
+std::uint64_t
+vrfUnits(const GpuConfig& c)
+{
+    return c.regFileWordsPerSm;
+}
+
+std::uint64_t
+ldsUnits(const GpuConfig& c)
+{
+    return c.smemWordsPerSm();
+}
+
+std::uint64_t
+srfUnits(const GpuConfig& c)
+{
+    return c.scalarRegWordsPerSm;
+}
+
+std::uint64_t
+predUnits(const GpuConfig& c)
+{
+    return std::uint64_t{c.maxWarpsPerSm} * kNumPredRegs;
+}
+
+std::uint64_t
+simtUnits(const GpuConfig& c)
+{
+    return std::uint64_t{c.maxWarpsPerSm} * kSimtUnitsPerWarp;
+}
+
+std::uint32_t
+simtUnitBits(const GpuConfig& c, std::uint32_t unit)
+{
+    // Unit 0 of each warp is the PC + active/exited masks; units
+    // 1..kSimtStackDepth are (kind, pc, mask) stack entries.
+    return unit % kSimtUnitsPerWarp == 0
+               ? 32 + 2 * c.warpWidth
+               : static_cast<std::uint32_t>(simtEntryBits(c));
+}
+
+double
+vrfOcc(const SimStats& s)
+{
+    return s.avgRegFileOccupancy;
+}
+
+double
+ldsOcc(const SimStats& s)
+{
+    return s.avgSmemOccupancy;
+}
+
+double
+srfOcc(const SimStats& s)
+{
+    return s.avgScalarRegOccupancy;
+}
+
+double
+warpOcc(const SimStats& s)
+{
+    return s.avgWarpOccupancy;
+}
+
+} // namespace
+
+const std::array<StructureSpec, kNumTargetStructures>&
+structureRegistry()
+{
+    static const std::array<StructureSpec, kNumTargetStructures> registry = {{
+        {TargetStructure::VectorRegisterFile, StructureKind::WordStorage,
+         "register-file", "rf", "register_file",
+         /*exactDeadWindows=*/true, vrfBits, vrfUnits,
+         /*aceUnitBits=*/nullptr, vrfOcc},
+        {TargetStructure::SharedMemory, StructureKind::WordStorage,
+         "local-memory", "lds", "local_memory",
+         /*exactDeadWindows=*/true, ldsBits, ldsUnits,
+         /*aceUnitBits=*/nullptr, ldsOcc},
+        {TargetStructure::ScalarRegisterFile, StructureKind::WordStorage,
+         "scalar-register-file", "srf", "scalar_register_file",
+         /*exactDeadWindows=*/true, srfBits, srfUnits,
+         /*aceUnitBits=*/nullptr, srfOcc},
+        // Predicate units are uniform (one warpWidth-bit lane mask per
+        // register), so no per-unit bit weighting is needed: unit-cycle
+        // over unit accounting already equals the bit-weighted ratio.
+        {TargetStructure::PredicateFile, StructureKind::ControlBits,
+         "predicate-file", "pred", "predicate_file",
+         /*exactDeadWindows=*/false, predBits, predUnits,
+         /*aceUnitBits=*/nullptr, warpOcc},
+        {TargetStructure::SimtStack, StructureKind::ControlBits,
+         "simt-stack", "simt", "simt_stack",
+         /*exactDeadWindows=*/false, simtBits, simtUnits, simtUnitBits,
+         warpOcc},
+    }};
+    return registry;
+}
+
+const StructureSpec&
+structureSpec(TargetStructure id)
+{
+    const auto& registry = structureRegistry();
+    const auto index = static_cast<std::size_t>(id);
+    if (index >= registry.size()) {
+        fatal("unregistered target structure id ",
+              static_cast<unsigned>(id), " (registry holds ",
+              registry.size(), " structures)");
+    }
+    const StructureSpec& spec = registry[index];
+    GPR_ASSERT(spec.id == id, "structure registry is not enum-ordered");
+    return spec;
+}
+
+std::string_view
+targetStructureName(TargetStructure s)
+{
+    return structureSpec(s).name;
+}
+
+bool
+tryTargetStructureFromName(std::string_view name, TargetStructure& out)
+{
+    for (const StructureSpec& spec : structureRegistry()) {
+        if (name == spec.name || name == spec.shortName) {
+            out = spec.id;
+            return true;
+        }
+    }
+    return false;
+}
+
+TargetStructure
+targetStructureFromName(std::string_view name)
+{
+    TargetStructure out;
+    if (tryTargetStructureFromName(name, out))
+        return out;
+
+    std::string known;
+    for (const StructureSpec& spec : structureRegistry()) {
+        if (!known.empty())
+            known += ", ";
+        known += std::string(spec.name) + " (" +
+                 std::string(spec.shortName) + ")";
+    }
+    fatal("unknown target structure '", name, "'; registered: ", known);
+}
+
+std::uint64_t
+structureBitsTotal(const GpuConfig& config, TargetStructure id)
+{
+    return structureSpec(id).bitsPerSm(config) * config.numSms;
+}
+
+bool
+structureApplies(const GpuConfig& config, TargetStructure id,
+                 bool uses_local_memory)
+{
+    if (structureBitsTotal(config, id) == 0)
+        return false;
+    if (id == TargetStructure::SharedMemory && !uses_local_memory)
+        return false;
+    return true;
+}
+
+std::vector<TargetStructure>
+selectStructures(const GpuConfig& config, bool uses_local_memory,
+                 const std::vector<TargetStructure>& requested)
+{
+    std::vector<TargetStructure> out;
+    for (const StructureSpec& spec : structureRegistry()) {
+        if (!structureApplies(config, spec.id, uses_local_memory))
+            continue;
+        if (!requested.empty() &&
+            std::find(requested.begin(), requested.end(), spec.id) ==
+                requested.end()) {
+            continue;
+        }
+        out.push_back(spec.id);
+    }
+    return out;
+}
+
+std::uint64_t
+structureAceUnitsTotal(const GpuConfig& config, TargetStructure id)
+{
+    return structureSpec(id).aceUnitsPerSm(config) * config.numSms;
+}
+
+} // namespace gpr

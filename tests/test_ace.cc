@@ -29,7 +29,7 @@ TEST_F(AceSynthetic, WriteThenReadsCountsToLastRead)
     ace.onRead(kRf, 0, 3, 50);
     ace.onWrite(kRf, 0, 3, 70); // commits [10, 50]
     ace.onKernelEnd(100);        // second epoch never read: dead
-    EXPECT_EQ(ace.aceWordCycles(kRf), 40u);
+    EXPECT_EQ(ace.aceUnitCycles(kRf), 40u);
 }
 
 TEST_F(AceSynthetic, DeadWriteCountsNothing)
@@ -39,7 +39,7 @@ TEST_F(AceSynthetic, DeadWriteCountsNothing)
     ace.onWrite(kRf, 0, 1, 5);
     ace.onWrite(kRf, 0, 1, 25); // overwrite with no read between
     ace.onKernelEnd(50);
-    EXPECT_EQ(ace.aceWordCycles(kRf), 0u);
+    EXPECT_EQ(ace.aceUnitCycles(kRf), 0u);
 }
 
 TEST_F(AceSynthetic, ConservativeModeExtendsToOverwrite)
@@ -50,7 +50,7 @@ TEST_F(AceSynthetic, ConservativeModeExtendsToOverwrite)
     ace.onRead(kRf, 0, 1, 15);
     ace.onWrite(kRf, 0, 1, 60); // conservative: [10, 60]
     ace.onKernelEnd(100);
-    EXPECT_EQ(ace.aceWordCycles(kRf), 50u);
+    EXPECT_EQ(ace.aceUnitCycles(kRf), 50u);
 }
 
 TEST_F(AceSynthetic, FreeCommitsPendingInterval)
@@ -61,7 +61,7 @@ TEST_F(AceSynthetic, FreeCommitsPendingInterval)
     ace.onRead(kLds, 1, 2, 30);
     ace.onFree(kLds, 1, 0, 16, 40); // commits [10, 30]
     ace.onKernelEnd(80);
-    EXPECT_EQ(ace.aceWordCycles(kLds), 20u);
+    EXPECT_EQ(ace.aceUnitCycles(kLds), 20u);
 }
 
 TEST_F(AceSynthetic, KernelEndCommitsOpenInterval)
@@ -71,7 +71,7 @@ TEST_F(AceSynthetic, KernelEndCommitsOpenInterval)
     ace.onWrite(kRf, 0, 0, 10);
     ace.onRead(kRf, 0, 0, 90);
     ace.onKernelEnd(100); // commits [10, 90]
-    EXPECT_EQ(ace.aceWordCycles(kRf), 80u);
+    EXPECT_EQ(ace.aceUnitCycles(kRf), 80u);
 }
 
 TEST_F(AceSynthetic, ReadOfUninitialisedAllocationIsConservative)
@@ -82,7 +82,7 @@ TEST_F(AceSynthetic, ReadOfUninitialisedAllocationIsConservative)
     ace.onAlloc(kRf, 0, 0, 4, 5);
     ace.onRead(kRf, 0, 2, 35);
     ace.onKernelEnd(50);
-    EXPECT_EQ(ace.aceWordCycles(kRf), 30u);
+    EXPECT_EQ(ace.aceUnitCycles(kRf), 30u);
 }
 
 TEST_F(AceSynthetic, SmIndexingSeparatesInstances)
@@ -95,7 +95,7 @@ TEST_F(AceSynthetic, SmIndexingSeparatesInstances)
     ace.onWrite(kRf, 0, 0, 50); // SM0 word unread => dead
     ace.onKernelEnd(60);
     // Only SM1's alloc-to-read interval counts: [0, 40].
-    EXPECT_EQ(ace.aceWordCycles(kRf), 40u);
+    EXPECT_EQ(ace.aceUnitCycles(kRf), 40u);
 }
 
 /** Full-simulation properties. */
@@ -106,18 +106,17 @@ TEST(AceAnalysis, AvfWithinBounds)
         const auto wl = makeWorkload(name);
         const WorkloadInstance inst = wl->build(cfg.dialect, {});
         const AceResult r = runAceAnalysis(cfg, inst);
-        for (const AceStructureResult* s :
-             {&r.registerFile, &r.sharedMemory}) {
-            EXPECT_GE(s->avf(), 0.0) << name;
-            EXPECT_LE(s->avf(), 1.0) << name;
+        for (const AceStructureResult& s : r.structures) {
+            EXPECT_GE(s.avf(), 0.0) << name;
+            EXPECT_LE(s.avf(), 1.0) << name;
         }
         // A word can only be ACE while allocated, so the structure AVF
         // cannot exceed its time-averaged occupancy (plus epsilon for
         // cycle-boundary accounting).
-        EXPECT_LE(r.registerFile.avf(),
+        EXPECT_LE(r.forStructure(kRf).avf(),
                   r.goldenStats.avgRegFileOccupancy + 0.02)
             << name;
-        EXPECT_LE(r.sharedMemory.avf(),
+        EXPECT_LE(r.forStructure(kLds).avf(),
                   r.goldenStats.avgSmemOccupancy + 0.02)
             << name;
     }
@@ -133,11 +132,11 @@ TEST(AceAnalysis, ConservativeDominatesStandard)
             runAceAnalysis(cfg, inst, AceMode::Standard);
         const AceResult cons_mode =
             runAceAnalysis(cfg, inst, AceMode::Conservative);
-        EXPECT_GE(cons_mode.registerFile.avf() + 1e-12,
-                  std_mode.registerFile.avf())
+        EXPECT_GE(cons_mode.forStructure(kRf).avf() + 1e-12,
+                  std_mode.forStructure(kRf).avf())
             << name;
-        EXPECT_GE(cons_mode.sharedMemory.avf() + 1e-12,
-                  std_mode.sharedMemory.avf())
+        EXPECT_GE(cons_mode.forStructure(kLds).avf() + 1e-12,
+                  std_mode.forStructure(kLds).avf())
             << name;
     }
 }
@@ -149,8 +148,9 @@ TEST(AceAnalysis, DeterministicAcrossRuns)
     const WorkloadInstance inst = wl->build(cfg.dialect, {});
     const AceResult a = runAceAnalysis(cfg, inst);
     const AceResult b = runAceAnalysis(cfg, inst);
-    EXPECT_EQ(a.registerFile.aceWordCycles, b.registerFile.aceWordCycles);
-    EXPECT_EQ(a.sharedMemory.aceWordCycles, b.sharedMemory.aceWordCycles);
+    ASSERT_EQ(a.structures.size(), b.structures.size());
+    for (std::size_t i = 0; i < a.structures.size(); ++i)
+        EXPECT_EQ(a.structures[i].aceUnitCycles, b.structures[i].aceUnitCycles);
 }
 
 TEST(AceAnalysis, NoSharedUseMeansZeroLdsAce)
@@ -159,8 +159,8 @@ TEST(AceAnalysis, NoSharedUseMeansZeroLdsAce)
     const auto wl = makeWorkload("kmeans"); // no local memory
     const WorkloadInstance inst = wl->build(cfg.dialect, {});
     const AceResult r = runAceAnalysis(cfg, inst);
-    EXPECT_EQ(r.sharedMemory.aceWordCycles, 0u);
-    EXPECT_GT(r.registerFile.aceWordCycles, 0u);
+    EXPECT_EQ(r.forStructure(kLds).aceUnitCycles, 0u);
+    EXPECT_GT(r.forStructure(kRf).aceUnitCycles, 0u);
 }
 
 } // namespace

@@ -77,19 +77,29 @@ TEST(AccessProfile, CountsMatchKernelShape)
     const WorkloadInstance inst = wl->build(cfg.dialect, {});
     const AccessProfileResult p = profileAccesses(cfg, inst);
 
-    // The kernel reads and writes registers and shared memory.
-    EXPECT_GT(p.registerFile.reads, 0u);
-    EXPECT_GT(p.registerFile.writes, 0u);
-    EXPECT_GT(p.registerFile.touchedWords, 0u);
-    EXPECT_LE(p.registerFile.touchedFraction(), 1.0);
+    const AccessSummary& rf =
+        p.forStructure(TargetStructure::VectorRegisterFile);
+    const AccessSummary& lm =
+        p.forStructure(TargetStructure::SharedMemory);
 
-    EXPECT_GT(p.sharedMemory.reads, 0u);
-    EXPECT_GT(p.sharedMemory.writes, 0u);
+    // The kernel reads and writes registers and shared memory.
+    EXPECT_GT(rf.reads, 0u);
+    EXPECT_GT(rf.writes, 0u);
+    EXPECT_GT(rf.touchedWords, 0u);
+    EXPECT_LE(rf.touchedFraction(), 1.0);
+
+    EXPECT_GT(lm.reads, 0u);
+    EXPECT_GT(lm.writes, 0u);
+
+    // Control-state traffic is profiled too: the SIMT PC/mask unit is
+    // read every issue, and reduction's guarded branches touch preds.
+    EXPECT_GT(p.forStructure(TargetStructure::SimtStack).reads, 0u);
+    EXPECT_GT(p.forStructure(TargetStructure::PredicateFile).writes, 0u);
 
     // Traffic concentration is a valid share.
-    EXPECT_GE(p.registerFile.top10Share, 0.0);
-    EXPECT_LE(p.registerFile.top10Share, 1.0);
-    EXPECT_GT(p.registerFile.readsPerWrite(), 0.0);
+    EXPECT_GE(rf.top10Share, 0.0);
+    EXPECT_LE(rf.top10Share, 1.0);
+    EXPECT_GT(rf.readsPerWrite(), 0.0);
 }
 
 TEST(AccessProfile, ReductionTreeConcentratesSharedTraffic)
@@ -101,7 +111,8 @@ TEST(AccessProfile, ReductionTreeConcentratesSharedTraffic)
     const auto wl = makeWorkload("reduction");
     const WorkloadInstance inst = wl->build(cfg.dialect, {});
     const AccessProfileResult p = profileAccesses(cfg, inst);
-    EXPECT_GT(p.sharedMemory.top10Share, 0.12);
+    EXPECT_GT(p.forStructure(TargetStructure::SharedMemory).top10Share,
+              0.12);
 }
 
 TEST(AccessProfile, NoSharedTrafficWithoutLocalMemory)
@@ -110,8 +121,10 @@ TEST(AccessProfile, NoSharedTrafficWithoutLocalMemory)
     const auto wl = makeWorkload("gaussian");
     const WorkloadInstance inst = wl->build(cfg.dialect, {});
     const AccessProfileResult p = profileAccesses(cfg, inst);
-    EXPECT_EQ(p.sharedMemory.reads + p.sharedMemory.writes, 0u);
-    EXPECT_EQ(p.sharedMemory.touchedWords, 0u);
+    const AccessSummary& lm =
+        p.forStructure(TargetStructure::SharedMemory);
+    EXPECT_EQ(lm.reads + lm.writes, 0u);
+    EXPECT_EQ(lm.touchedWords, 0u);
 }
 
 } // namespace

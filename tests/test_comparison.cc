@@ -91,9 +91,48 @@ TEST(ComparisonStudy, SmallFiStudyProducesMargins)
     options.workloads = {"vectoradd"};
     const StudyResult study = runComparisonStudy(options);
     for (const auto& rep : study.reports) {
-        EXPECT_EQ(rep.registerFile.injections, 25u);
-        EXPECT_GT(rep.registerFile.fiErrorMargin, 0.0);
+        const StructureReport& rf =
+            rep.forStructure(TargetStructure::VectorRegisterFile);
+        EXPECT_EQ(rf.injections, 25u);
+        EXPECT_GT(rf.fiErrorMargin, 0.0);
     }
+}
+
+TEST(ComparisonStudy, StructureRestrictionMatchesFullSlice)
+{
+    // A --structures restricted study reproduces the matching slice of
+    // the unrestricted study bit-for-bit (per-structure campaign seeds
+    // are independent), and leaves excluded structures FI-free.
+    StudyOptions all = tinyStudy();
+    all.analysis.aceOnly = false;
+    all.analysis.plan.injections = 20;
+    all.workloads = {"vectoradd"};
+    all.gpus = {GpuModel::GeforceGtx480};
+    StudyOptions only_pred = all;
+    only_pred.structures = {TargetStructure::PredicateFile};
+
+    const StudyResult full = runComparisonStudy(all);
+    const StudyResult restricted = runComparisonStudy(only_pred);
+    ASSERT_EQ(full.reports.size(), 1u);
+    ASSERT_EQ(restricted.reports.size(), 1u);
+
+    const auto& fp =
+        full.reports[0].forStructure(TargetStructure::PredicateFile);
+    const auto& rp =
+        restricted.reports[0].forStructure(TargetStructure::PredicateFile);
+    EXPECT_EQ(fp.sdcRate, rp.sdcRate);
+    EXPECT_EQ(fp.dueRate, rp.dueRate);
+    EXPECT_EQ(fp.avfFi, rp.avfFi);
+    EXPECT_EQ(fp.injections, rp.injections);
+
+    const auto& rf = restricted.reports[0].forStructure(
+        TargetStructure::VectorRegisterFile);
+    EXPECT_EQ(rf.injections, 0u); // excluded: ACE only
+    EXPECT_GT(rf.avfAce, 0.0);
+
+    // The FIT/EPF roll-up of an excluded storage structure falls back
+    // to its ACE AVF — never a bogus "measured zero".
+    EXPECT_GT(restricted.reports[0].epf.fitRegisterFile, 0.0);
 }
 
 } // namespace

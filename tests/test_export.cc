@@ -73,12 +73,19 @@ sampleReport()
     r.cycles = 3110;
     r.execSeconds = 2.2e-6;
     r.ipc = 5.9;
-    r.registerFile.applicable = true;
-    r.registerFile.avfFi = 0.067;
-    r.registerFile.avfAce = 0.070;
-    r.registerFile.occupancy = 0.36;
-    r.registerFile.injections = 150;
-    r.localMemory.applicable = false;
+    for (const StructureSpec& spec : structureRegistry()) {
+        StructureReport sr;
+        sr.structure = spec.id;
+        r.structures.push_back(sr);
+    }
+    StructureReport& rf =
+        r.structures[static_cast<std::size_t>(
+            TargetStructure::VectorRegisterFile)];
+    rf.applicable = true;
+    rf.avfFi = 0.067;
+    rf.avfAce = 0.070;
+    rf.occupancy = 0.36;
+    rf.injections = 150;
     r.epf.eit = 1.6e18;
     r.epf.fitRegisterFile = 1000.0;
     return r;
@@ -94,6 +101,15 @@ TEST(Export, ReportJsonHasAllSections)
               std::string::npos);
     EXPECT_NE(out.find("\"local_memory\":{\"applicable\":false}"),
               std::string::npos);
+    // Every registered structure appears exactly once.
+    for (const StructureSpec& spec : structureRegistry()) {
+        const std::string key =
+            "\"" + std::string(spec.jsonKey) + "\":{";
+        const auto first = out.find(key);
+        EXPECT_NE(first, std::string::npos) << spec.jsonKey;
+        EXPECT_EQ(out.find(key, first + 1), std::string::npos)
+            << spec.jsonKey;
+    }
     EXPECT_NE(out.find("\"epf\":{"), std::string::npos);
     // Balanced braces (cheap well-formedness check).
     EXPECT_EQ(std::count(out.begin(), out.end(), '{'),

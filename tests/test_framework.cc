@@ -22,17 +22,27 @@ TEST(Framework, AceOnlyAnalysisIsFastAndComplete)
     EXPECT_GT(r.execSeconds, 0.0);
     EXPECT_GT(r.ipc, 0.0);
 
-    EXPECT_TRUE(r.registerFile.applicable);
-    EXPECT_GT(r.registerFile.avfAce, 0.0);
-    EXPECT_EQ(r.registerFile.injections, 0u); // no FI in aceOnly mode
+    const StructureReport& rf =
+        r.forStructure(TargetStructure::VectorRegisterFile);
+    const StructureReport& lm =
+        r.forStructure(TargetStructure::SharedMemory);
+    EXPECT_TRUE(rf.applicable);
+    EXPECT_GT(rf.avfAce, 0.0);
+    EXPECT_EQ(rf.injections, 0u); // no FI in aceOnly mode
 
-    EXPECT_TRUE(r.localMemory.applicable); // reduction uses smem
-    EXPECT_FALSE(r.scalarRegisterFile.applicable); // NVIDIA
+    EXPECT_TRUE(lm.applicable); // reduction uses smem
+    EXPECT_FALSE(
+        r.forStructure(TargetStructure::ScalarRegisterFile).applicable);
+
+    // The control-state targets are registered and reported too.
+    EXPECT_TRUE(
+        r.forStructure(TargetStructure::PredicateFile).applicable);
+    EXPECT_TRUE(r.forStructure(TargetStructure::SimtStack).applicable);
+    EXPECT_GT(r.forStructure(TargetStructure::SimtStack).avfAce, 0.0);
 
     // EPF assembled from the ACE AVFs.
-    const EpfResult check = computeEpf(
-        fw.config(), r.cycles, r.registerFile.avfAce,
-        r.localMemory.avfAce, 0.0);
+    const EpfResult check =
+        computeEpf(fw.config(), r.cycles, rf.avfAce, lm.avfAce, 0.0);
     EXPECT_DOUBLE_EQ(r.epf.fitTotal(), check.fitTotal());
     EXPECT_DOUBLE_EQ(r.epf.eit, check.eit);
 }
@@ -44,14 +54,17 @@ TEST(Framework, FiAnalysisPopulatesCampaignFields)
     options.plan.injections = 40;
     const ReliabilityReport r = fw.analyze("vectoradd", options);
 
-    EXPECT_EQ(r.registerFile.injections, 40u);
-    EXPECT_GT(r.registerFile.fiErrorMargin, 0.0);
-    EXPECT_GE(r.registerFile.avfFi, 0.0);
-    EXPECT_LE(r.registerFile.avfFi, 1.0);
-    EXPECT_NEAR(r.registerFile.avfFi,
-                r.registerFile.sdcRate + r.registerFile.dueRate, 1e-12);
-    EXPECT_FALSE(r.localMemory.applicable); // vectoradd has no smem
-    EXPECT_GT(r.registerFile.occupancy, 0.0);
+    const StructureReport& rf =
+        r.forStructure(TargetStructure::VectorRegisterFile);
+    EXPECT_EQ(rf.injections, 40u);
+    EXPECT_GT(rf.fiErrorMargin, 0.0);
+    EXPECT_GE(rf.avfFi, 0.0);
+    EXPECT_LE(rf.avfFi, 1.0);
+    EXPECT_NEAR(rf.avfFi, rf.sdcRate + rf.dueRate, 1e-12);
+    // vectoradd has no smem
+    EXPECT_FALSE(
+        r.forStructure(TargetStructure::SharedMemory).applicable);
+    EXPECT_GT(rf.occupancy, 0.0);
 }
 
 TEST(Framework, ScalarFileReportedOnAmd)
@@ -60,8 +73,10 @@ TEST(Framework, ScalarFileReportedOnAmd)
     AnalysisOptions options;
     options.aceOnly = true;
     const ReliabilityReport r = fw.analyze("vectoradd", options);
-    EXPECT_TRUE(r.scalarRegisterFile.applicable);
-    EXPECT_GE(r.scalarRegisterFile.avfAce, 0.0);
+    const StructureReport& srf =
+        r.forStructure(TargetStructure::ScalarRegisterFile);
+    EXPECT_TRUE(srf.applicable);
+    EXPECT_GE(srf.avfAce, 0.0);
 }
 
 TEST(Framework, BuildInstanceUsesDeviceDialect)
@@ -91,8 +106,10 @@ TEST(Framework, SummaryPrintsAllSections)
     const std::string text = os.str();
     EXPECT_NE(text.find("matrixMul on GeForce GTX 480"),
               std::string::npos);
-    EXPECT_NE(text.find("register file"), std::string::npos);
-    EXPECT_NE(text.find("local memory"), std::string::npos);
+    EXPECT_NE(text.find("register-file"), std::string::npos);
+    EXPECT_NE(text.find("local-memory"), std::string::npos);
+    EXPECT_NE(text.find("predicate-file"), std::string::npos);
+    EXPECT_NE(text.find("simt-stack"), std::string::npos);
     EXPECT_NE(text.find("EPF"), std::string::npos);
 }
 

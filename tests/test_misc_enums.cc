@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "isa/dialect.hh"
 #include "isa/operand.hh"
 #include "sim/fault_model.hh"
 #include "sim/launch.hh"
+#include "sim/structure_registry.hh"
 #include "sim/trap.hh"
 #include "sim/warp.hh"
 
@@ -34,6 +36,17 @@ TEST(StructureNames, Stable)
               "local-memory");
     EXPECT_EQ(targetStructureName(TargetStructure::ScalarRegisterFile),
               "scalar-register-file");
+    EXPECT_EQ(targetStructureName(TargetStructure::PredicateFile),
+              "predicate-file");
+    EXPECT_EQ(targetStructureName(TargetStructure::SimtStack),
+              "simt-stack");
+}
+
+TEST(StructureNames, UnregisteredIdFailsLoudly)
+{
+    EXPECT_THROW(targetStructureName(static_cast<TargetStructure>(200)),
+                 FatalError);
+    EXPECT_THROW(targetStructureFromName("bogus-structure"), FatalError);
 }
 
 TEST(Dialect, Helpers)

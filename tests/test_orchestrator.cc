@@ -68,9 +68,9 @@ expectIdenticalReports(const StudyResult& a, const StudyResult& b)
             EXPECT_EQ(sa.avfAce, sb.avfAce);
             EXPECT_EQ(sa.injections, sb.injections);
         };
-        same_structure(ra.registerFile, rb.registerFile);
-        same_structure(ra.localMemory, rb.localMemory);
-        same_structure(ra.scalarRegisterFile, rb.scalarRegisterFile);
+        ASSERT_EQ(ra.structures.size(), rb.structures.size());
+        for (std::size_t k = 0; k < ra.structures.size(); ++k)
+            same_structure(ra.structures[k], rb.structures[k]);
         EXPECT_EQ(ra.epf.epf(), rb.epf.epf());
         EXPECT_EQ(ra.epf.fitTotal(), rb.epf.fitTotal());
     }
@@ -81,9 +81,9 @@ TEST(Decomposition, PartitionsEveryCampaignPlan)
     const StudyOptions study = miniStudy(24);
     const std::vector<ShardKey> shards = decomposeStudy(study, 4);
 
-    // vectoradd: RF only; reduction: RF + LDS.  FX 5600 has no scalar RF.
-    // 3 campaigns x 4 shards.
-    ASSERT_EQ(shards.size(), 12u);
+    // vectoradd: RF + the two control targets; reduction adds LDS.
+    // FX 5600 has no scalar RF.  7 campaigns x 4 shards.
+    ASSERT_EQ(shards.size(), 28u);
 
     std::map<std::pair<std::string, TargetStructure>, std::uint64_t> next;
     for (const ShardKey& key : shards) {
@@ -100,7 +100,7 @@ TEST(Decomposition, PartitionsEveryCampaignPlan)
     }
     for (const auto& [campaign, end] : next)
         EXPECT_EQ(end, 24u) << campaign.first;
-    EXPECT_EQ(next.size(), 3u);
+    EXPECT_EQ(next.size(), 7u);
 }
 
 TEST(Decomposition, DefaultShardCountIndependentOfJobs)
@@ -149,17 +149,21 @@ TEST(Orchestrator, DuplicateGridEntriesShareOneCell)
     StudyProgress progress;
     const StudyResult dup = runStudy(study, orch, &progress);
     EXPECT_EQ(progress.goldenRuns, 1u);
-    EXPECT_EQ(progress.totalShards, 2u); // one RF campaign, not two
+    // One cell's campaigns (RF + pred + simt), not two cells' worth.
+    EXPECT_EQ(progress.totalShards, 6u);
 
     StudyOptions single = study;
     single.workloads = {"vectoradd"};
     const StudyResult one = runStudy(single, orch);
     ASSERT_EQ(dup.reports.size(), 2u);
     for (const ReliabilityReport& r : dup.reports) {
-        EXPECT_EQ(r.registerFile.avfFi,
-                  one.reports.front().registerFile.avfFi);
-        EXPECT_EQ(r.registerFile.injections,
-                  study.analysis.plan.injections);
+        const StructureReport& rf =
+            r.forStructure(TargetStructure::VectorRegisterFile);
+        EXPECT_EQ(rf.avfFi,
+                  one.reports.front()
+                      .forStructure(TargetStructure::VectorRegisterFile)
+                      .avfFi);
+        EXPECT_EQ(rf.injections, study.analysis.plan.injections);
     }
 }
 
@@ -174,7 +178,8 @@ TEST(Orchestrator, MatchesStandaloneCampaignEngine)
     orch.jobs = 4;
     orch.shardsPerCampaign = 3;
     const StudyResult result = runStudy(study, orch);
-    const StructureReport& sr = result.reports.front().registerFile;
+    const StructureReport& sr = result.reports.front().forStructure(
+        TargetStructure::VectorRegisterFile);
 
     const GpuConfig& cfg = gpuConfig(GpuModel::QuadroFx5600);
     const auto workload = makeWorkload("vectoradd");
@@ -206,12 +211,12 @@ TEST(Orchestrator, CheckpointsEveryShardToTheStore)
     orch.storePath = path;
     runStudy(miniStudy(), orch, &progress);
 
-    EXPECT_EQ(progress.totalShards, 12u);
-    EXPECT_EQ(progress.executedShards, 12u);
+    EXPECT_EQ(progress.totalShards, 28u);
+    EXPECT_EQ(progress.executedShards, 28u);
     EXPECT_EQ(progress.resumedShards, 0u);
 
     const auto lines = storeLines(path);
-    ASSERT_EQ(lines.size(), 12u);
+    ASSERT_EQ(lines.size(), 28u);
     for (const std::string& line : lines) {
         ShardRecord r;
         EXPECT_TRUE(parseShardRecord(line, r)) << line;
@@ -230,11 +235,11 @@ TEST(Orchestrator, ResumeSkipsFinishedShardsAndMatchesBitForBit)
     first.storePath = path;
     StudyProgress full_progress;
     const StudyResult full = runStudy(study, first, &full_progress);
-    ASSERT_EQ(full_progress.executedShards, 12u);
+    ASSERT_EQ(full_progress.executedShards, 28u);
 
     // Simulate a kill after 5 shards: keep a prefix of the store.
     const auto lines = storeLines(path);
-    ASSERT_EQ(lines.size(), 12u);
+    ASSERT_EQ(lines.size(), 28u);
     {
         std::ofstream out(path, std::ios::trunc);
         for (std::size_t i = 0; i < 5; ++i)
@@ -252,13 +257,13 @@ TEST(Orchestrator, ResumeSkipsFinishedShardsAndMatchesBitForBit)
     const StudyResult resumed = runStudy(study, second, &resumed_progress);
 
     EXPECT_EQ(resumed_progress.resumedShards, 5u);
-    EXPECT_EQ(resumed_progress.executedShards, 7u);
+    EXPECT_EQ(resumed_progress.executedShards, 23u);
     expectIdenticalReports(full, resumed);
 
     // A third run finds everything done and recomputes nothing.
     StudyProgress third_progress;
     const StudyResult third = runStudy(study, second, &third_progress);
-    EXPECT_EQ(third_progress.resumedShards, 12u);
+    EXPECT_EQ(third_progress.resumedShards, 28u);
     EXPECT_EQ(third_progress.executedShards, 0u);
     expectIdenticalReports(full, third);
     std::remove(path.c_str());
@@ -283,7 +288,7 @@ TEST(Orchestrator, ResumeRejectsRecordsFromADifferentPlan)
     StudyProgress progress;
     runStudy(reseeded, orch, &progress);
     EXPECT_EQ(progress.resumedShards, 0u);
-    EXPECT_EQ(progress.executedShards, 12u);
+    EXPECT_EQ(progress.executedShards, 28u);
     std::remove(path.c_str());
 }
 
@@ -300,12 +305,11 @@ TEST(Orchestrator, WallSecondsAggregateWithoutDoubleCounting)
     // (nothing is counted once per concurrent campaign).
     double total = 0.0;
     for (const ReliabilityReport& r : result.reports) {
-        total += r.registerFile.fiWallSeconds +
-                 r.localMemory.fiWallSeconds +
-                 r.scalarRegisterFile.fiWallSeconds;
-        if (r.registerFile.applicable) {
-            EXPECT_GT(r.registerFile.fiWallSeconds, 0.0);
-        }
+        for (const StructureReport& sr : r.structures)
+            total += sr.fiWallSeconds;
+        EXPECT_GT(r.forStructure(TargetStructure::VectorRegisterFile)
+                      .fiWallSeconds,
+                  0.0);
     }
     EXPECT_NEAR(total, progress.shardBusySeconds,
                 1e-9 * std::max(1.0, progress.shardBusySeconds));

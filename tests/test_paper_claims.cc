@@ -95,8 +95,12 @@ TEST(PaperClaims, AvfVariesAcrossBenchmarks)
         const auto workload = makeWorkload(wl);
         const WorkloadInstance inst = workload->build(cfg.dialect, {});
         const AceResult ace = runAceAnalysis(cfg, inst);
-        lo = std::min(lo, ace.registerFile.avf());
-        hi = std::max(hi, ace.registerFile.avf());
+        lo = std::min(
+            lo, ace.forStructure(TargetStructure::VectorRegisterFile)
+                    .avf());
+        hi = std::max(
+            hi, ace.forStructure(TargetStructure::VectorRegisterFile)
+                    .avf());
     }
     EXPECT_GT(hi - lo, 0.05)
         << "register-file AVF should vary clearly across benchmarks";
@@ -133,9 +137,10 @@ TEST(PaperClaims, EpfInPaperRange)
         const auto wl = makeWorkload("reduction");
         const WorkloadInstance inst = wl->build(cfg.dialect, {});
         const AceResult ace = runAceAnalysis(cfg, inst);
-        const EpfResult epf = computeEpf(cfg, ace.goldenStats.cycles,
-                                         ace.registerFile.avf(),
-                                         ace.sharedMemory.avf());
+        const EpfResult epf = computeEpf(
+            cfg, ace.goldenStats.cycles,
+            ace.forStructure(TargetStructure::VectorRegisterFile).avf(),
+            ace.forStructure(TargetStructure::SharedMemory).avf());
         EXPECT_GT(epf.epf(), 1e12) << cfg.name;
         EXPECT_LT(epf.epf(), 1e17) << cfg.name;
     }
@@ -159,7 +164,8 @@ TEST(PaperClaims, AvfDiffersAcrossArchitectures)
 
     // G80's tiny register file concentrates live state: higher AVF than
     // Tahiti's huge file at the same benchmark.
-    EXPECT_GT(nv.registerFile.avf(), amd.registerFile.avf());
+    EXPECT_GT(nv.forStructure(TargetStructure::VectorRegisterFile).avf(),
+              amd.forStructure(TargetStructure::VectorRegisterFile).avf());
 }
 
 } // namespace

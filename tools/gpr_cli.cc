@@ -27,6 +27,7 @@
 #include "reliability/access_profile.hh"
 #include "reliability/fault_injector.hh"
 #include "sim/gpu.hh"
+#include "sim/structure_registry.hh"
 #include "workloads/workloads.hh"
 
 namespace {
@@ -45,12 +46,18 @@ usage()
         "  gpr run <workload> <gpu>\n"
         "  gpr profile <workload> <gpu>\n"
         "  gpr analyze <workload> <gpu> [injections] [--json]\n"
-        "  gpr inject <workload> <gpu> <rf|lds|srf> <bit> <cycle>\n"
+        "  gpr inject <workload> <gpu> <structure> <bit> <cycle>\n"
         "  gpr study [--workloads=a,b] [--gpus=a,b] [--injections=N]\n"
-        "            [--jobs=N] [--shards=N] [--checkpoints=N]\n"
-        "            [--store=FILE] [--resume[=FILE]] [--ace-only]\n"
-        "            [--json] [--csv]\n"
-        "gpus: 7970, fx5600, fx5800, gtx480\n");
+        "            [--structures=a,b] [--jobs=N] [--shards=N]\n"
+        "            [--checkpoints=N] [--store=FILE] [--resume[=FILE]]\n"
+        "            [--ace-only] [--json] [--csv]\n"
+        "gpus: 7970, fx5600, fx5800, gtx480\n"
+        "structures (canonical or short name):\n");
+    for (const StructureSpec& spec : structureRegistry()) {
+        std::fprintf(stderr, "  %-22s %s\n",
+                     std::string(spec.name).c_str(),
+                     std::string(spec.shortName).c_str());
+    }
     return 2;
 }
 
@@ -94,6 +101,19 @@ cmdInfo(const std::string& gpu)
     std::printf("  local memory/SM:    %u KB, chip total %.1f Mbit\n",
                 c.smemBytesPerSm / 1024,
                 static_cast<double>(c.totalSmemBits()) / (1 << 20));
+    std::printf("  fault targets (registry):\n");
+    for (const StructureSpec& spec : structureRegistry()) {
+        const std::uint64_t bits = structureBitsTotal(c, spec.id);
+        if (bits == 0)
+            continue;
+        std::printf("    %-20s %10llu bits chip-wide (%s%s)\n",
+                    std::string(spec.name).c_str(),
+                    static_cast<unsigned long long>(bits),
+                    spec.kind == StructureKind::WordStorage
+                        ? "word storage"
+                        : "control bits",
+                    spec.exactDeadWindows ? ", exact dead windows" : "");
+    }
     std::printf("  shader clock:       %.0f MHz\n", c.clockMhz);
     std::printf("  scheduler:          %s\n",
                 c.scheduler == SchedulerKind::RoundRobin
@@ -159,23 +179,21 @@ cmdProfile(const std::string& workload, const std::string& gpu)
     const WorkloadInstance inst = fw.buildInstance(workload);
     const AccessProfileResult p = profileAccesses(cfg, inst);
 
-    auto line = [&](const char* label, const AccessSummary& s) {
+    std::printf("%s on %s:\n", workload.c_str(), cfg.name.c_str());
+    for (const StructureSpec& spec : structureRegistry()) {
+        const AccessSummary& s = p.forStructure(spec.id);
         if (s.totalWords == 0)
-            return;
-        std::printf("  %-14s touched %8llu/%llu words (%.2f%%)  reads "
+            continue;
+        std::printf("  %-20s touched %8llu/%llu units (%.2f%%)  reads "
                     "%9llu  writes %8llu  r/w %.2f  top10%% share %.0f%%\n",
-                    label,
+                    std::string(spec.name).c_str(),
                     static_cast<unsigned long long>(s.touchedWords),
                     static_cast<unsigned long long>(s.totalWords),
                     100 * s.touchedFraction(),
                     static_cast<unsigned long long>(s.reads),
                     static_cast<unsigned long long>(s.writes),
                     s.readsPerWrite(), 100 * s.top10Share);
-    };
-    std::printf("%s on %s:\n", workload.c_str(), cfg.name.c_str());
-    line("register file", p.registerFile);
-    line("local memory", p.sharedMemory);
-    line("scalar RF", p.scalarRegisterFile);
+    }
     return 0;
 }
 
@@ -256,13 +274,7 @@ cmdInject(const std::string& workload, const std::string& gpu,
     const WorkloadInstance inst = fw.buildInstance(workload);
 
     FaultSpec fault;
-    if (structure == "rf")
-        fault.structure = TargetStructure::VectorRegisterFile;
-    else if (structure == "lds")
-        fault.structure = TargetStructure::SharedMemory;
-    else if (structure == "srf")
-        fault.structure = TargetStructure::ScalarRegisterFile;
-    else
+    if (!tryTargetStructureFromName(structure, fault.structure))
         return usage();
 
     const auto bit = parseInt(bit_arg);
