@@ -26,6 +26,8 @@ main(int argc, char** argv)
     BenchCli cli;
     if (!cli.parse(argc, argv))
         return 1;
+    if (cli.rejectMetaActions("bench_ablation_ace_mode"))
+        return 2;
     cli.printHeader(std::cout,
                     "Ablation - ACE accounting mode (GTX 480)");
 
@@ -36,7 +38,7 @@ main(int argc, char** argv)
 
     // Default to a representative subset (the full set is available via
     // --workloads=...); matrixMul dominates runtime otherwise.
-    std::vector<std::string> names = cli.study.workloads;
+    std::vector<std::string> names = cli.spec.workloads;
     if (names.empty())
         names = {"vectoradd", "reduction", "scan", "kmeans", "histogram"};
 
@@ -50,10 +52,10 @@ main(int argc, char** argv)
 
         auto row = [&](TargetStructure s, const char* label) {
             double fi = 0.0;
-            if (!cli.study.analysis.aceOnly) {
+            if (!cli.spec.aceOnly) {
                 CampaignConfig cc;
-                cc.plan = cli.study.analysis.plan;
-                cc.seed = cli.study.analysis.seed;
+                cc.plan = cli.spec.plan;
+                cc.seed = cli.spec.seed;
                 fi = runCampaign(cfg, inst, s, cc).avf();
             }
             table.addRow(

@@ -42,10 +42,10 @@ sweep(const BenchCli& cli, const std::string& label,
             ace.forStructure(TargetStructure::VectorRegisterFile);
 
         double avf_fi = 0.0;
-        if (!cli.study.analysis.aceOnly) {
+        if (!cli.spec.aceOnly) {
             CampaignConfig cc;
-            cc.plan = cli.study.analysis.plan;
-            cc.seed = cli.study.analysis.seed;
+            cc.plan = cli.spec.plan;
+            cc.seed = cli.spec.seed;
             const CampaignResult fi = runCampaign(
                 cfg, inst, TargetStructure::VectorRegisterFile, cc);
             avf_fi = fi.avf();
@@ -71,6 +71,8 @@ main(int argc, char** argv)
     BenchCli cli;
     if (!cli.parse(argc, argv))
         return 1;
+    if (cli.rejectMetaActions("bench_ablation_occupancy"))
+        return 2;
     cli.printHeader(std::cout,
                     "Ablation - occupancy vs AVF (matrixMul on Fermi)");
 

@@ -25,6 +25,8 @@ main(int argc, char** argv)
     BenchCli cli;
     if (!cli.parse(argc, argv))
         return 1;
+    if (cli.rejectMetaActions("bench_ablation_scheduler"))
+        return 2;
     cli.printHeader(std::cout,
                     "Ablation - warp scheduler (RR vs GTO on Fermi)");
 
@@ -39,7 +41,7 @@ main(int argc, char** argv)
 
     // Default to a representative subset (the full set is available via
     // --workloads=...); matrixMul dominates runtime otherwise.
-    std::vector<std::string> names = cli.study.workloads;
+    std::vector<std::string> names = cli.spec.workloads;
     if (names.empty())
         names = {"vectoradd", "reduction", "scan", "kmeans", "histogram"};
 
@@ -53,10 +55,10 @@ main(int argc, char** argv)
             const AceStructureResult& rf_ace =
                 ace.forStructure(TargetStructure::VectorRegisterFile);
             double avf_fi = 0.0;
-            if (!cli.study.analysis.aceOnly) {
+            if (!cli.spec.aceOnly) {
                 CampaignConfig cc;
-                cc.plan = cli.study.analysis.plan;
-                cc.seed = cli.study.analysis.seed;
+                cc.plan = cli.spec.plan;
+                cc.seed = cli.spec.seed;
                 const CampaignResult fi = runCampaign(
                     *cfg, inst, TargetStructure::VectorRegisterFile, cc);
                 avf_fi = fi.avf();

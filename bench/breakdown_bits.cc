@@ -26,11 +26,13 @@ main(int argc, char** argv)
     BenchCli cli;
     if (!cli.parse(argc, argv))
         return 1;
+    if (cli.rejectMetaActions("bench_breakdown_bits"))
+        return 2;
     cli.printHeader(std::cout,
                     "Breakdown - AVF by bit position and run phase");
 
     const GpuConfig& cfg = gpuConfig(GpuModel::GeforceGtx480);
-    std::vector<std::string> names = cli.study.workloads;
+    std::vector<std::string> names = cli.spec.workloads;
     if (names.empty())
         names = {"matrixMul", "scan"}; // one float, one integer kernel
 
@@ -38,11 +40,11 @@ main(int argc, char** argv)
         const auto workload = makeWorkload(name);
         const WorkloadInstance inst = workload->build(cfg.dialect, {});
         CampaignConfig cc;
-        cc.plan = cli.study.analysis.plan;
+        cc.plan = cli.spec.plan;
         // Breakdown needs more samples per bucket than a plain AVF.
         cc.plan.injections = std::max<std::size_t>(cc.plan.injections * 4,
                                                    600);
-        cc.seed = cli.study.analysis.seed;
+        cc.seed = cli.spec.seed;
         const VulnerabilityBreakdown bd = runBreakdownCampaign(
             cfg, inst, TargetStructure::VectorRegisterFile, cc);
 

@@ -25,6 +25,8 @@ main(int argc, char** argv)
     gpr::BenchCli cli;
     if (!cli.parse(argc, argv))
         return 1;
+    if (cli.runMetaActions(std::cout))
+        return 0;
 
     if (!cli.json) {
         cli.printHeader(
@@ -32,7 +34,7 @@ main(int argc, char** argv)
             "Fig. 1 - AVF for Register File (FI + ACE + occupancy)");
     }
 
-    const gpr::StudyResult study = gpr::runStudy(cli.study, cli.orch);
+    const gpr::StudyResult study = gpr::runStudy(cli.spec);
     if (cli.printStudyJson(std::cout, study))
         return 0;
     const gpr::TextTable table = study.figure1();

@@ -26,10 +26,12 @@ main(int argc, char** argv)
         return 1;
 
     // Restrict to the Fig. 2 benchmark set unless overridden.
-    if (cli.study.workloads.empty()) {
+    if (cli.spec.workloads.empty()) {
         for (auto name : gpr::localMemoryWorkloadNames())
-            cli.study.workloads.emplace_back(name);
+            cli.spec.workloads.emplace_back(name);
     }
+    if (cli.runMetaActions(std::cout))
+        return 0;
 
     if (!cli.json) {
         cli.printHeader(
@@ -37,7 +39,7 @@ main(int argc, char** argv)
             "Fig. 2 - AVF for Local Memory (FI + ACE + occupancy)");
     }
 
-    const gpr::StudyResult study = gpr::runStudy(cli.study, cli.orch);
+    const gpr::StudyResult study = gpr::runStudy(cli.spec);
     if (cli.printStudyJson(std::cout, study))
         return 0;
     const gpr::TextTable table = study.figure2();

@@ -24,16 +24,22 @@ int
 main(int argc, char** argv)
 {
     gpr::BenchCli cli;
-    // ACE-based unless the user explicitly chooses an injection count.
-    bool injections_given = false;
+    // ACE-based unless the user explicitly chooses a campaign — either
+    // an injection count or a full spec artifact (whose campaign section
+    // must be honoured verbatim, ace_only included).
+    bool campaign_given = false;
     for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--injections=", 13) == 0)
-            injections_given = true;
+        if (std::strncmp(argv[i], "--injections=", 13) == 0 ||
+            std::strncmp(argv[i], "--spec=", 7) == 0) {
+            campaign_given = true;
+        }
     }
     if (!cli.parse(argc, argv))
         return 1;
-    if (!injections_given)
-        cli.study.analysis.aceOnly = true;
+    if (!campaign_given)
+        cli.spec.aceOnly = true;
+    if (cli.runMetaActions(std::cout))
+        return 0;
 
     if (!cli.json) {
         cli.printHeader(std::cout, "Fig. 3 - Executions per Failure (EPF)");
@@ -41,7 +47,7 @@ main(int argc, char** argv)
                      "vector RF + local memory (+ scalar RF on SI)\n";
     }
 
-    const gpr::StudyResult study = gpr::runStudy(cli.study, cli.orch);
+    const gpr::StudyResult study = gpr::runStudy(cli.spec);
     if (cli.printStudyJson(std::cout, study))
         return 0;
     const gpr::TextTable table = study.figure3();

@@ -28,6 +28,7 @@
 
 #include "common/random.hh"
 #include "common/string_utils.hh"
+#include "core/study_spec.hh"
 #include "reliability/campaign.hh"
 #include "reliability/fault_injector.hh"
 #include "sim/structure_registry.hh"
@@ -77,24 +78,14 @@ main(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (startsWith(arg, "--workloads=")) {
-            workloads.clear();
-            for (const auto& w :
-                 split(arg.substr(std::string("--workloads=").size()), ','))
-                if (!w.empty())
-                    workloads.push_back(w);
+            workloads = parseWorkloadList(
+                arg.substr(std::string("--workloads=").size()));
         } else if (startsWith(arg, "--gpus=")) {
-            gpus.clear();
-            for (const auto& g :
-                 split(arg.substr(std::string("--gpus=").size()), ','))
-                if (!g.empty())
-                    gpus.push_back(gpuModelFromName(g));
+            gpus = parseGpuList(
+                arg.substr(std::string("--gpus=").size()));
         } else if (startsWith(arg, "--structures=")) {
-            requested.clear();
-            for (const auto& s :
-                 split(arg.substr(std::string("--structures=").size()),
-                       ','))
-                if (!s.empty())
-                    requested.push_back(targetStructureFromName(s));
+            requested = parseStructureList(
+                arg.substr(std::string("--structures=").size()));
         } else if (startsWith(arg, "--injections=")) {
             const auto n =
                 parseInt(arg.substr(std::string("--injections=").size()));

@@ -93,20 +93,20 @@ BM_OrchestratedStudy(benchmark::State& state)
     // A mini grid through the sharded orchestrator: quantifies the
     // scaling of the full-study path (golden-run cache + one global
     // worker pool) as the job count grows.
-    StudyOptions study;
-    study.workloads = {"vectoradd", "reduction"};
-    study.gpus = {GpuModel::QuadroFx5600, GpuModel::GeforceGtx480};
-    study.analysis.plan.injections = 60;
-    study.verbose = false;
-
-    OrchestratorOptions orch;
-    orch.jobs = static_cast<unsigned>(state.range(0));
-    orch.shardsPerCampaign = 4;
+    const StudySpec spec =
+        StudySpecBuilder()
+            .workloads({"vectoradd", "reduction"})
+            .gpus({GpuModel::QuadroFx5600, GpuModel::GeforceGtx480})
+            .injections(60)
+            .jobs(static_cast<unsigned>(state.range(0)))
+            .shardsPerCampaign(4)
+            .verbose(false)
+            .build();
 
     std::size_t shards = 0;
     for (auto _ : state) {
         StudyProgress progress;
-        const StudyResult r = runStudy(study, orch, &progress);
+        const StudyResult r = runStudy(spec, &progress);
         benchmark::DoNotOptimize(
             r.reports.front()
                 .forStructure(TargetStructure::VectorRegisterFile)

@@ -37,11 +37,16 @@ main(int argc, char** argv)
         workload.c_str(), cfg.name.c_str(), ace.wallSeconds,
         100 * ace.forStructure(TargetStructure::VectorRegisterFile).avf());
 
+    // The sweep inherits the paper spec's campaign parameters (99 %
+    // confidence) and only varies the sample size.
+    const StudySpec paper = paperStudySpec();
     TextTable table({"injections", "AVF-FI", "Wilson 99% CI", "margin",
                      "worker-s", "cost vs ACE"});
     for (std::size_t n : {50u, 100u, 200u, 400u, 800u, 1600u}) {
         CampaignConfig cc;
+        cc.plan = paper.plan;
         cc.plan.injections = n;
+        cc.seed = paper.seed;
         const CampaignResult fi = runCampaign(
             cfg, inst, TargetStructure::VectorRegisterFile, cc);
         const Interval ci = fi.wilson();

@@ -12,7 +12,7 @@
 
 #include "common/string_utils.hh"
 #include "common/table.hh"
-#include "core/framework.hh"
+#include "core/orchestrator.hh"
 
 int
 main(int argc, char** argv)
@@ -29,16 +29,22 @@ main(int argc, char** argv)
     TextTable table({"GPU", "uarch", "cycles", "exec (s)", "RF AVF-FI",
                      "RF AVF-ACE", "RF occ", "LM AVF-FI", "EPF"});
 
-    for (GpuModel gpu : allGpuModels()) {
-        ReliabilityFramework framework(gpu);
-        AnalysisOptions options;
-        options.plan.injections = injections;
-        const ReliabilityReport r = framework.analyze(workload, options);
+    // One spec describes the whole cross-GPU slice; the orchestrator
+    // fans its campaigns out on one worker pool.
+    const StudySpec spec = StudySpecBuilder()
+                               .workload(workload)
+                               .injections(injections)
+                               .verbose(false)
+                               .build();
+    const StudyResult study = runStudy(spec);
+
+    for (const ReliabilityReport& r : study.reports) {
         const StructureReport& rf =
             r.forStructure(TargetStructure::VectorRegisterFile);
         const StructureReport& lm =
             r.forStructure(TargetStructure::SharedMemory);
-        table.addRow({r.gpuName, framework.config().microarchitecture,
+        table.addRow({r.gpuName,
+                      gpuConfig(r.gpu).microarchitecture,
                       strprintf("%llu",
                                 static_cast<unsigned long long>(r.cycles)),
                       sciNotation(r.execSeconds),

@@ -35,9 +35,9 @@ main(int argc, char** argv)
     }
 
     ReliabilityFramework framework(gpu);
-    AnalysisOptions options;
-    options.plan.injections = injections;
-    const ReliabilityReport base = framework.analyze(workload, options);
+    const StudySpec spec =
+        StudySpecBuilder().injections(injections).build();
+    const ReliabilityReport base = framework.analyze(workload, spec);
 
     std::cout << "baseline:\n";
     base.printSummary(std::cout);

@@ -23,21 +23,26 @@ main(int argc, char** argv)
     const GpuModel gpu =
         argc > 2 ? gpuModelFromName(argv[2]) : GpuModel::GeforceGtx480;
 
-    AnalysisOptions options;
-    options.plan.injections = 400;
+    std::size_t injections = 400;
     if (argc > 3) {
         if (const auto n = parseInt(argv[3]); n && *n >= 0)
-            options.plan.injections = static_cast<std::size_t>(*n);
+            injections = static_cast<std::size_t>(*n);
     }
+
+    // One declarative spec describes the whole experiment; the same
+    // value serialises to JSON for `gpr study --spec` (see
+    // examples/specs/smoke.json).
+    const StudySpec spec =
+        StudySpecBuilder().injections(injections).build();
 
     std::printf("analyzing '%s' with %zu injections per structure "
                 "(+/-%.1f%% at %.0f%% confidence)...\n",
-                workload.c_str(), options.plan.injections,
-                100.0 * options.plan.errorMargin(),
-                100.0 * options.plan.confidence);
+                workload.c_str(), spec.plan.injections,
+                100.0 * spec.plan.errorMargin(),
+                100.0 * spec.plan.confidence);
 
     ReliabilityFramework framework(gpu);
-    const ReliabilityReport report = framework.analyze(workload, options);
+    const ReliabilityReport report = framework.analyze(workload, spec);
     report.printSummary(std::cout);
     return 0;
 }

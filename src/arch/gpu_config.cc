@@ -159,6 +159,22 @@ gpuModelName(GpuModel model)
     return gpuConfig(model).name;
 }
 
+std::string_view
+gpuShortName(GpuModel model)
+{
+    switch (model) {
+      case GpuModel::HdRadeon7970:
+        return "7970";
+      case GpuModel::QuadroFx5600:
+        return "fx5600";
+      case GpuModel::QuadroFx5800:
+        return "fx5800";
+      case GpuModel::GeforceGtx480:
+        return "gtx480";
+    }
+    panic("unknown GPU model ", static_cast<int>(model));
+}
+
 GpuModel
 gpuModelFromName(std::string_view name)
 {

@@ -119,6 +119,10 @@ const std::vector<GpuModel>& allGpuModels();
 /** Display name, e.g. "HD Radeon 7970". */
 std::string_view gpuModelName(GpuModel model);
 
+/** Canonical short name used by CLIs and serialized specs, e.g. "7970",
+ *  "fx5600", "fx5800", "gtx480".  Round-trips via gpuModelFromName(). */
+std::string_view gpuShortName(GpuModel model);
+
 /** Parse a model from its display or short name; throws FatalError. */
 GpuModel gpuModelFromName(std::string_view name);
 

@@ -18,14 +18,17 @@ usage()
 {
     std::fprintf(
         stderr,
-        "flags: --injections=N --confidence=C --seed=S --threads=T\n"
+        "flags: --spec=FILE --dump-spec --dry-run\n"
+        "       --injections=N --confidence=C --seed=S --threads=T\n"
         "       --jobs=N --shards=N --checkpoints=N --store=FILE\n"
         "       --resume[=FILE] --workloads=a,b,...\n"
         "       --gpus=7970,fx5600,fx5800,gtx480\n"
         "       --structures=rf,lds,srf,pred,simt (registry subset)\n"
         "       --ace-only --csv --json --quiet\n"
-        "       (--checkpoints=0 runs every injection from scratch — the\n"
-        "        legacy engine kept for differential testing)\n"
+        "       (--spec loads a StudySpec JSON; later flags override\n"
+        "        individual fields.  --checkpoints=0 runs every injection\n"
+        "        from scratch — the legacy engine kept for differential\n"
+        "        testing)\n"
         "env:   GPR_INJECTIONS overrides the default injection count\n");
 }
 
@@ -34,12 +37,10 @@ usage()
 bool
 BenchCli::parse(int argc, char** argv)
 {
-    study.analysis.plan.injections = kDefaultInjections;
+    spec.plan.injections = kDefaultInjections;
     if (const char* env = std::getenv("GPR_INJECTIONS")) {
-        if (const auto n = parseInt(env); n && *n >= 0) {
-            study.analysis.plan.injections =
-                static_cast<std::size_t>(*n);
-        }
+        if (const auto n = parseInt(env); n && *n >= 0)
+            spec.plan.injections = static_cast<std::size_t>(*n);
     }
 
     for (int i = 1; i < argc; ++i) {
@@ -48,27 +49,34 @@ BenchCli::parse(int argc, char** argv)
             return arg.substr(prefix.size());
         };
 
-        if (startsWith(arg, "--injections=")) {
+        if (startsWith(arg, "--spec=")) {
+            // The file is the baseline; flags after it override fields.
+            spec = StudySpec::fromJsonFile(value("--spec="));
+        } else if (arg == "--dump-spec") {
+            dumpSpec = true;
+        } else if (arg == "--dry-run") {
+            dryRun = true;
+        } else if (startsWith(arg, "--injections=")) {
             const auto n = parseInt(value("--injections="));
             if (!n || *n < 0) {
                 usage();
                 return false;
             }
-            study.analysis.plan.injections = static_cast<std::size_t>(*n);
+            spec.plan.injections = static_cast<std::size_t>(*n);
         } else if (startsWith(arg, "--confidence=")) {
             const auto c = parseDouble(value("--confidence="));
             if (!c || *c <= 0 || *c >= 1) {
                 usage();
                 return false;
             }
-            study.analysis.plan.confidence = *c;
+            spec.plan.confidence = *c;
         } else if (startsWith(arg, "--seed=")) {
             const auto s = parseInt(value("--seed="));
             if (!s) {
                 usage();
                 return false;
             }
-            study.analysis.seed = static_cast<std::uint64_t>(*s);
+            spec.seed = static_cast<std::uint64_t>(*s);
         } else if (startsWith(arg, "--threads=") ||
                    startsWith(arg, "--jobs=")) {
             const auto t = parseInt(
@@ -77,55 +85,44 @@ BenchCli::parse(int argc, char** argv)
                 usage();
                 return false;
             }
-            study.analysis.numThreads = static_cast<unsigned>(*t);
-            orch.jobs = static_cast<unsigned>(*t);
+            spec.jobs = static_cast<unsigned>(*t);
         } else if (startsWith(arg, "--shards=")) {
             const auto s = parseInt(value("--shards="));
             if (!s || *s < 0) {
                 usage();
                 return false;
             }
-            orch.shardsPerCampaign = static_cast<std::size_t>(*s);
+            spec.shardsPerCampaign = static_cast<std::size_t>(*s);
         } else if (startsWith(arg, "--checkpoints=")) {
             const auto c = parseInt(value("--checkpoints="));
             if (!c || *c < 0) {
                 usage();
                 return false;
             }
-            orch.checkpoints = static_cast<unsigned>(*c);
+            spec.checkpoints = static_cast<unsigned>(*c);
         } else if (startsWith(arg, "--store=")) {
-            orch.storePath = value("--store=");
+            spec.storePath = value("--store=");
         } else if (startsWith(arg, "--resume=")) {
-            orch.storePath = value("--resume=");
-            orch.resume = true;
+            spec.storePath = value("--resume=");
+            spec.resume = true;
         } else if (arg == "--resume") {
-            orch.resume = true;
-            if (orch.storePath.empty())
-                orch.storePath = "study.jsonl";
+            spec.resume = true;
+            if (spec.storePath.empty())
+                spec.storePath = "study.jsonl";
         } else if (startsWith(arg, "--workloads=")) {
-            study.workloads.clear();
-            for (const auto& w : split(value("--workloads="), ','))
-                if (!w.empty())
-                    study.workloads.push_back(w);
+            spec.workloads = parseWorkloadList(value("--workloads="));
         } else if (startsWith(arg, "--gpus=")) {
-            study.gpus.clear();
-            for (const auto& g : split(value("--gpus="), ','))
-                if (!g.empty())
-                    study.gpus.push_back(gpuModelFromName(g));
+            spec.gpus = parseGpuList(value("--gpus="));
         } else if (startsWith(arg, "--structures=")) {
-            study.structures.clear();
-            for (const auto& s : split(value("--structures="), ','))
-                if (!s.empty())
-                    study.structures.push_back(
-                        targetStructureFromName(s));
+            spec.structures = parseStructureList(value("--structures="));
         } else if (arg == "--ace-only") {
-            study.analysis.aceOnly = true;
+            spec.aceOnly = true;
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--quiet") {
-            study.verbose = false;
+            spec.verbose = false;
             setInformEnabled(false);
         } else if (arg == "--help" || arg == "-h") {
             usage();
@@ -136,6 +133,57 @@ BenchCli::parse(int argc, char** argv)
             return false;
         }
     }
+    // Full validation is deferred to runMetaActions()/runStudy(): some
+    // harnesses legitimately adjust the spec after parsing (fig3 flips
+    // ace-only when no campaign was requested) and must not be failed
+    // on the intermediate state.  Name typos still fail right here —
+    // the list parsers validate against the registries.
+    return true;
+}
+
+bool
+BenchCli::runMetaActions(std::ostream& os) const
+{
+    if (dumpSpec) {
+        spec.validate();
+        spec.toJson(os);
+        os << '\n';
+        return true;
+    }
+    if (!dryRun)
+        return false;
+
+    const StudyPlan plan = planStudy(spec);
+    os << "study plan (spec " << spec.campaignHashHex() << "):\n";
+    os << strprintf("  %zu grid cells, %zu golden+ACE runs\n",
+                    plan.gridCells, plan.goldenRuns);
+    for (const StudyPlanCampaign& c : plan.campaigns) {
+        os << strprintf(
+            "  %-10s %-8s %-22s %3zu shards  %6llu injections\n",
+            c.workload.c_str(),
+            std::string(gpuShortName(c.gpu)).c_str(),
+            std::string(targetStructureName(c.structure)).c_str(),
+            c.shards, static_cast<unsigned long long>(c.injections));
+    }
+    os << strprintf("  total: %zu campaigns, %zu shards, %llu injections\n",
+                    plan.campaigns.size(), plan.totalShards(),
+                    static_cast<unsigned long long>(
+                        plan.totalInjections()));
+    if (spec.aceOnly)
+        os << "  (ace-only: no fault-injection shards)\n";
+    return true;
+}
+
+bool
+BenchCli::rejectMetaActions(std::string_view harness) const
+{
+    if (!dumpSpec && !dryRun)
+        return false;
+    std::fprintf(stderr,
+                 "%s runs a custom campaign, not the grid study its "
+                 "spec would describe; --dump-spec/--dry-run apply to "
+                 "grid harnesses (gpr study, bench_fig1/2/3)\n",
+                 std::string(harness).c_str());
     return true;
 }
 
@@ -155,15 +203,14 @@ void
 BenchCli::printHeader(std::ostream& os, const std::string& title) const
 {
     os << "== " << title << " ==\n";
-    if (study.analysis.aceOnly) {
+    if (spec.aceOnly) {
         os << "mode: ACE analysis only (no fault injection)\n";
     } else {
         os << strprintf(
             "statistical FI: %zu injections/structure, +/-%.2f%% margin "
             "at %.0f%% confidence (paper: 2000 => 2.88%% at 99%%)\n",
-            study.analysis.plan.injections,
-            100.0 * study.analysis.plan.errorMargin(),
-            100.0 * study.analysis.plan.confidence);
+            spec.plan.injections, 100.0 * spec.plan.errorMargin(),
+            100.0 * spec.plan.confidence);
     }
 }
 

@@ -1,9 +1,18 @@
 /**
  * @file
- * Command-line/environment parsing shared by the bench harnesses and
- * examples.
+ * Command-line/environment parsing shared by gpr_cli, the bench
+ * harnesses and the examples.  The flags are a thin veneer over
+ * StudySpec — every run is describable as (and reproducible from) one
+ * spec JSON artifact.
  *
  * Flags:
+ *   --spec=FILE       load a StudySpec JSON document as the baseline
+ *                     (flags after --spec override individual fields)
+ *   --dump-spec       print the resolved spec JSON and exit (feed it
+ *                     back through --spec to reproduce the run)
+ *   --dry-run         print the decomposed shard work-list (per-cell
+ *                     shard counts, total injections, golden runs)
+ *                     without executing anything
  *   --injections=N    FI samples per structure (default 150; the paper's
  *                     value is 2000).  Env fallback: GPR_INJECTIONS.
  *   --confidence=C    confidence level for margins (default 0.99)
@@ -16,6 +25,8 @@
  *                     from-scratch engine, kept for differential tests)
  *   --store=FILE      JSONL shard store to checkpoint into
  *   --resume[=FILE]   resume from the store, skipping finished shards
+ *                     (refused with a spec-hash error if the store was
+ *                     written under a different campaign spec)
  *   --workloads=a,b   subset of benchmarks
  *   --gpus=a,b        subset of GPUs (7970, fx5600, fx5800, gtx480)
  *   --structures=a,b  subset of registered target structures, by
@@ -37,13 +48,35 @@ namespace gpr {
 
 struct BenchCli
 {
-    StudyOptions study;
-    OrchestratorOptions orch;
+    /** The experiment the flags describe. */
+    StudySpec spec;
     bool csv = false;
     bool json = false;
+    /** --dry-run: plan and cost the spec, execute nothing. */
+    bool dryRun = false;
+    /** --dump-spec: emit the spec JSON, execute nothing. */
+    bool dumpSpec = false;
 
     /** Parse argv; returns false (after printing usage) on bad flags. */
     bool parse(int argc, char** argv);
+
+    /**
+     * Handle --dump-spec / --dry-run: when either was requested, write
+     * the spec JSON or the decomposed work-list to @p os and return
+     * true — the caller should exit without running the study.  Only
+     * for harnesses that execute runStudy(spec); custom-campaign
+     * harnesses use rejectMetaActions() instead.
+     */
+    bool runMetaActions(std::ostream& os) const;
+
+    /**
+     * For harnesses that run custom (non-grid) campaigns, where a
+     * planStudy() work-list would misdescribe the actual work: when
+     * --dump-spec / --dry-run was requested, explain on stderr that
+     * @p harness does not support it and return true — the caller
+     * should exit nonzero.
+     */
+    bool rejectMetaActions(std::string_view harness) const;
 
     /** Print the standard bench header (plan, margin, GPUs). */
     void printHeader(std::ostream& os, const std::string& title) const;

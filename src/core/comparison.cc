@@ -173,13 +173,23 @@ StudyResult::printClaims(std::ostream& os) const
 }
 
 StudyResult
+runComparisonStudy(const StudySpec& spec)
+{
+    // The grid does not run cell-by-cell: the orchestrator flattens it
+    // into campaign shards on one worker pool (see core/orchestrator.hh).
+    return runStudy(spec);
+}
+
+StudyResult
+runComparisonStudy()
+{
+    return runComparisonStudy(paperStudySpec());
+}
+
+StudyResult
 runComparisonStudy(const StudyOptions& options)
 {
-    // The grid no longer runs cell-by-cell: the orchestrator flattens it
-    // into campaign shards on one worker pool (see core/orchestrator.hh).
-    OrchestratorOptions orch;
-    orch.jobs = options.analysis.numThreads;
-    return runStudy(options, orch);
+    return runStudy(studySpecFromLegacy(options));
 }
 
 } // namespace gpr

@@ -15,9 +15,12 @@
 
 #include "common/table.hh"
 #include "core/framework.hh"
+#include "core/study_spec.hh"
 
 namespace gpr {
 
+/** @deprecated Superseded by the grid section of StudySpec; kept for
+ *  one PR so existing callers keep compiling. */
 struct StudyOptions
 {
     AnalysisOptions analysis;
@@ -75,8 +78,15 @@ struct StudyResult
     void printClaims(std::ostream& os) const;
 };
 
-/** Run the full study.  This is the expensive entry point. */
-StudyResult runComparisonStudy(const StudyOptions& options = {});
+/** Run the study @p spec describes.  This is the expensive entry point
+ *  (equivalent to runStudy(spec) with default execution settings). */
+StudyResult runComparisonStudy(const StudySpec& spec);
+
+/** Run the paper's full experiment (paperStudySpec()). */
+StudyResult runComparisonStudy();
+
+/** @deprecated Use runComparisonStudy(const StudySpec&). */
+StudyResult runComparisonStudy(const StudyOptions& options);
 
 } // namespace gpr
 

@@ -1,5 +1,7 @@
 #include "core/export.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <istream>
@@ -152,6 +154,382 @@ JsonWriter::value(bool v)
     os_ << (v ? "true" : "false");
     need_comma_ = true;
     return *this;
+}
+
+JsonWriter&
+JsonWriter::raw(std::string_view token)
+{
+    separator();
+    os_ << token;
+    need_comma_ = true;
+    return *this;
+}
+
+// ------------------------------------------------------------ JSON reader
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("JSON value is not a boolean");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind_ != Kind::Number)
+        fatal("JSON value is not a number");
+    char* end = nullptr;
+    const double v = std::strtod(scalar_.c_str(), &end);
+    if (!end || *end != '\0')
+        fatal("malformed JSON number token '", scalar_, "'");
+    return v;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (kind_ != Kind::Number)
+        fatal("JSON value is not a number");
+    // Parse the raw token so 64-bit seeds above 2^53 survive exactly.
+    if (scalar_.find_first_of(".eE-") != std::string::npos)
+        fatal("JSON number '", scalar_, "' is not an unsigned integer");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+    if (!end || *end != '\0' || errno == ERANGE)
+        fatal("JSON number '", scalar_, "' does not fit in 64 bits");
+    return v;
+}
+
+const std::string&
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        fatal("JSON value is not a string");
+    return scalar_;
+}
+
+const std::vector<JsonValue>&
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        fatal("JSON value is not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>&
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        fatal("JSON value is not an object");
+    return members_;
+}
+
+const JsonValue*
+JsonValue::find(std::string_view key) const
+{
+    for (const auto& [k, v] : members()) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(std::string token)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = std::move(token);
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.scalar_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.items_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(
+    std::vector<std::pair<std::string, JsonValue>> members)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.members_ = std::move(members);
+    return v;
+}
+
+namespace {
+
+/** Recursive-descent parser over the subset JsonWriter emits (full JSON
+ *  minus \uXXXX escapes above ASCII). */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing garbage after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(std::string_view what) const
+    {
+        fatal("JSON parse error at byte ", pos_, ": ", what);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(strprintf("expected '%c'", c));
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        const char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return JsonValue::makeString(parseString());
+          case 't':
+          case 'f': {
+            if (consumeLiteral("true"))
+                return JsonValue::makeBool(true);
+            if (consumeLiteral("false"))
+                return JsonValue::makeBool(false);
+            fail("malformed literal");
+          }
+          case 'n': {
+            if (!consumeLiteral("null"))
+                fail("malformed literal");
+            return JsonValue::makeNull();
+          }
+          default:
+            return parseNumber();
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("malformed \\u escape");
+                }
+                if (code > 0x7f)
+                    fail("\\u escapes above ASCII are not supported");
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                fail("unknown escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWhitespace();
+        const std::size_t begin = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            ++pos_;
+        }
+        if (pos_ == begin)
+            fail("expected a value");
+        std::string token(text_.substr(begin, pos_ - begin));
+        // Validate the token now so accessors can assume it is sound.
+        char* end = nullptr;
+        std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0')
+            fail("malformed number");
+        return JsonValue::makeNumber(std::move(token));
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        std::vector<JsonValue> items;
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue::makeArray(std::move(items));
+        }
+        while (true) {
+            items.push_back(parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return JsonValue::makeArray(std::move(items));
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        std::vector<std::pair<std::string, JsonValue>> members;
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue::makeObject(std::move(members));
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key = parseString();
+            expect(':');
+            JsonValue member = parseValue();
+            for (const auto& [seen, ignored] : members) {
+                (void)ignored;
+                if (seen == key)
+                    fail("duplicate object key '" + key + "'");
+            }
+            members.emplace_back(std::move(key), std::move(member));
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return JsonValue::makeObject(std::move(members));
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return JsonParser(text).parseDocument();
 }
 
 namespace {
@@ -333,6 +711,37 @@ fieldDouble(std::string_view line, std::string_view key, double& out)
 }
 
 } // namespace
+
+void
+writeStoreHeader(std::ostream& os, const StoreHeader& header)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.kv("gpr_store", header.version);
+    j.kv("spec_hash", header.specHash);
+    if (!header.specJson.empty())
+        j.key("spec").raw(header.specJson); // pre-serialised object
+    j.endObject();
+}
+
+bool
+parseStoreHeader(std::string_view line, StoreHeader& out)
+{
+    try {
+        const JsonValue v = parseJson(line);
+        const JsonValue* version = v.find("gpr_store");
+        const JsonValue* hash = v.find("spec_hash");
+        if (!version || !hash)
+            return false;
+        StoreHeader h;
+        h.version = version->asU64();
+        h.specHash = hash->asString();
+        out = std::move(h);
+        return true;
+    } catch (const FatalError&) {
+        return false;
+    }
+}
 
 void
 writeShardRecord(std::ostream& os, const ShardRecord& record)

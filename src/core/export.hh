@@ -41,6 +41,11 @@ class JsonWriter
     JsonWriter& value(std::uint64_t v);
     JsonWriter& value(bool v);
 
+    /** Emit @p token verbatim as a value.  Callers guarantee it is one
+     *  valid, fully serialised JSON value (a shortest-round-trip double
+     *  token, a pre-rendered object, ...). */
+    JsonWriter& raw(std::string_view token);
+
     /** key + value in one call. */
     template <typename T>
     JsonWriter&
@@ -61,6 +66,63 @@ class JsonWriter
     bool after_key_ = false;
 };
 
+// ------------------------------------------------------------------------
+// JSON reader — the parsing counterpart of JsonWriter, sized for the
+// shapes this repository serialises (specs, store headers).  Numbers keep
+// their raw token so 64-bit seeds survive exactly.
+
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /** Typed accessors; each throws FatalError on a kind mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    /** Exact unsigned 64-bit value (fatal on sign/fraction/overflow). */
+    std::uint64_t asU64() const;
+    const std::string& asString() const;
+    /** Array elements, in document order. */
+    const std::vector<JsonValue>& items() const;
+    /** Object members, in document order. */
+    const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+    /** Object member lookup; nullptr when absent (fatal on non-object). */
+    const JsonValue* find(std::string_view key) const;
+
+    // Construction (used by the parser; exposed for tests).
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    /** @p token must be a valid JSON number literal. */
+    static JsonValue makeNumber(std::string token);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> members);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::string scalar_; ///< string value, or the raw number token
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Parse one JSON document (trailing garbage is an error).  Throws
+ *  FatalError with a byte offset on malformed input. */
+JsonValue parseJson(std::string_view text);
+
 /** Serialise one per-benchmark report as a JSON object. */
 void writeReportJson(std::ostream& os, const ReliabilityReport& report);
 
@@ -74,6 +136,28 @@ void writeStudyCsv(std::ostream& os, const StudyResult& study);
 // JSONL shard store — the orchestrator's checkpoint format.  One record
 // per line, append-only, so a killed study leaves at worst one truncated
 // line (which the reader skips).
+
+/**
+ * The store's first line: identifies the StudySpec the shards were
+ * computed under, so --resume can refuse a mismatched store instead of
+ * silently mixing results.  Stores written before this header existed
+ * simply start with a shard record; readers treat those as legacy.
+ */
+struct StoreHeader
+{
+    std::uint64_t version = 1;
+    /** StudySpec::campaignHashHex() of the writing spec. */
+    std::string specHash;
+    /** Full spec JSON, for forensics (ignored on load). */
+    std::string specJson;
+};
+
+/** Serialise @p header as a single JSON object on one line (no '\n'). */
+void writeStoreHeader(std::ostream& os, const StoreHeader& header);
+
+/** Parse a store line as a header record; false for anything else
+ *  (including ordinary shard records and malformed lines). */
+bool parseStoreHeader(std::string_view line, StoreHeader& out);
 
 /** Serialise @p record as a single JSON object on one line (no '\n'). */
 void writeShardRecord(std::ostream& os, const ShardRecord& record);

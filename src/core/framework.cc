@@ -32,24 +32,42 @@ ReliabilityFramework::buildInstance(std::string_view workload_name,
 
 ReliabilityReport
 ReliabilityFramework::analyze(std::string_view workload_name,
-                              const AnalysisOptions& options) const
+                              const StudySpec& spec) const
 {
     // A full analysis is a one-cell study: the orchestrator supplies the
     // golden-run cache, the shard fan-out, and the report assembly, so a
     // standalone analyze() is bit-identical to the same cell inside a
     // grid run (identical (campaign seed, injection index) derivation).
-    StudyOptions study;
-    study.workloads = {std::string(workload_name)};
-    study.gpus = {model_};
-    study.analysis = options;
-    study.verbose = false;
+    StudySpec cell = spec;
+    cell.workloads = {std::string(workload_name)};
+    cell.gpus = {model_};
+    cell.storePath.clear();
+    cell.resume = false;
+    cell.verbose = false;
 
-    OrchestratorOptions orch;
-    orch.jobs = options.numThreads;
-
-    StudyResult result = runStudy(study, orch);
+    StudyResult result = runStudy(cell);
     GPR_ASSERT(result.reports.size() == 1, "one-cell study shape");
     return std::move(result.reports.front());
+}
+
+ReliabilityReport
+ReliabilityFramework::analyze(std::string_view workload_name) const
+{
+    return analyze(workload_name, StudySpec{});
+}
+
+ReliabilityReport
+ReliabilityFramework::analyze(std::string_view workload_name,
+                              const AnalysisOptions& options) const
+{
+    StudySpec spec;
+    spec.plan = options.plan;
+    spec.seed = options.seed;
+    spec.workloadSeed = options.workloadSeed;
+    spec.aceOnly = options.aceOnly;
+    spec.fitParams = options.fitParams;
+    spec.jobs = options.numThreads;
+    return analyze(workload_name, spec);
 }
 
 void

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "arch/gpu_config.hh"
+#include "core/study_spec.hh"
 #include "reliability/ace.hh"
 #include "reliability/campaign.hh"
 #include "reliability/fit_epf.hh"
@@ -30,7 +31,9 @@
 
 namespace gpr {
 
-/** Knobs for a full per-benchmark analysis. */
+/** Knobs for a full per-benchmark analysis.
+ *  @deprecated Superseded by the campaign section of StudySpec; kept
+ *  for one PR so existing callers keep compiling. */
 struct AnalysisOptions
 {
     /** Injections per structure (paper: 2,000). */
@@ -94,12 +97,22 @@ class ReliabilityFramework
     const GpuConfig& config() const { return config_; }
 
     /**
-     * Full analysis of @p workload_name: golden run, FI campaigns on the
-     * register file and (if used) local memory, ACE analysis of all
-     * structures, and the FIT/EPF roll-up.
+     * Full analysis of @p workload_name: golden run, FI campaigns on
+     * every applicable structure, ACE analysis, and the FIT/EPF
+     * roll-up.  The spec's workload/GPU grid is replaced by this one
+     * (workload, GPU) cell (a structure restriction is honoured), and
+     * store / resume / verbosity are cleared — a one-cell analysis is
+     * not a checkpointable grid study.
      */
     ReliabilityReport analyze(std::string_view workload_name,
-                              const AnalysisOptions& options = {}) const;
+                              const StudySpec& spec) const;
+
+    /** Full analysis under the default campaign (the paper's plan). */
+    ReliabilityReport analyze(std::string_view workload_name) const;
+
+    /** @deprecated Use analyze(name, const StudySpec&). */
+    ReliabilityReport analyze(std::string_view workload_name,
+                              const AnalysisOptions& options) const;
 
     /** Build the workload instance this framework would analyze. */
     WorkloadInstance buildInstance(std::string_view workload_name,

@@ -37,38 +37,18 @@ defaultShardCount(const SamplePlan& plan)
     return std::min<std::size_t>(std::max<std::size_t>(shards, 1), 64);
 }
 
-namespace {
-
-std::vector<std::string>
-resolveWorkloads(const StudyOptions& study)
-{
-    if (!study.workloads.empty())
-        return study.workloads;
-    std::vector<std::string> all;
-    for (auto name : allWorkloadNames())
-        all.emplace_back(name);
-    return all;
-}
-
-std::vector<GpuModel>
-resolveGpus(const StudyOptions& study)
-{
-    return study.gpus.empty() ? allGpuModels() : study.gpus;
-}
-
-} // namespace
-
 std::vector<ShardKey>
-decomposeStudy(const StudyOptions& study, std::size_t shards_per_campaign)
+decomposeStudy(const StudySpec& spec)
 {
     std::vector<ShardKey> shards;
-    if (study.analysis.aceOnly)
+    if (spec.aceOnly)
         return shards;
-    const std::size_t n = study.analysis.plan.injections;
+    const std::size_t n = spec.plan.injections;
     if (n == 0)
         return shards;
+    std::size_t shards_per_campaign = spec.shardsPerCampaign;
     if (shards_per_campaign == 0)
-        shards_per_campaign = defaultShardCount(study.analysis.plan);
+        shards_per_campaign = defaultShardCount(spec.plan);
     const std::size_t per =
         (n + shards_per_campaign - 1) / shards_per_campaign;
 
@@ -77,18 +57,18 @@ decomposeStudy(const StudyOptions& study, std::size_t shards_per_campaign)
     // (and one store identity — ShardKeys could not tell them apart).
     // Requested structures are validated against the registry up front
     // so a typo fails loudly before any simulation runs.
-    for (TargetStructure s : study.structures)
+    for (TargetStructure s : spec.structures)
         structureSpec(s);
 
     std::set<std::pair<std::string, GpuModel>> seen;
-    for (const std::string& w : resolveWorkloads(study)) {
+    for (const std::string& w : spec.resolvedWorkloads()) {
         const bool uses_lds = makeWorkload(w)->usesLocalMemory();
-        for (GpuModel gpu : resolveGpus(study)) {
+        for (GpuModel gpu : spec.resolvedGpus()) {
             if (!seen.insert({w, gpu}).second)
                 continue;
             const GpuConfig& config = gpuConfig(gpu);
             for (TargetStructure s : selectStructures(
-                     config, uses_lds, study.structures)) {
+                     config, uses_lds, spec.structures)) {
                 for (std::size_t begin = 0, index = 0; begin < n;
                      begin += per, ++index) {
                     ShardKey key;
@@ -99,15 +79,68 @@ decomposeStudy(const StudyOptions& study, std::size_t shards_per_campaign)
                     key.injectionBegin = begin;
                     key.injectionEnd = std::min(begin + per, n);
                     key.campaignSeed =
-                        deriveSeed(study.analysis.seed,
+                        deriveSeed(spec.seed,
                                    static_cast<std::uint64_t>(s));
-                    key.workloadSeed = study.analysis.workloadSeed;
+                    key.workloadSeed = spec.workloadSeed;
                     shards.push_back(std::move(key));
                 }
             }
         }
     }
     return shards;
+}
+
+std::size_t
+StudyPlan::totalShards() const
+{
+    std::size_t total = 0;
+    for (const StudyPlanCampaign& c : campaigns)
+        total += c.shards;
+    return total;
+}
+
+std::uint64_t
+StudyPlan::totalInjections() const
+{
+    std::uint64_t total = 0;
+    for (const StudyPlanCampaign& c : campaigns)
+        total += c.injections;
+    return total;
+}
+
+StudyPlan
+planStudy(const StudySpec& spec)
+{
+    spec.validate();
+    StudyPlan plan;
+    plan.gridCells =
+        spec.resolvedWorkloads().size() * spec.resolvedGpus().size();
+
+    std::set<std::pair<std::string, GpuModel>> cells;
+    for (const std::string& w : spec.resolvedWorkloads())
+        for (GpuModel g : spec.resolvedGpus())
+            cells.insert({w, g});
+    plan.goldenRuns = cells.size();
+
+    for (const ShardKey& key : decomposeStudy(spec)) {
+        if (!plan.campaigns.empty()) {
+            StudyPlanCampaign& last = plan.campaigns.back();
+            if (last.workload == key.workload && last.gpu == key.gpu &&
+                last.structure == key.structure) {
+                ++last.shards;
+                last.injections += key.injectionEnd - key.injectionBegin;
+                continue;
+            }
+        }
+        StudyPlanCampaign c;
+        c.workload = key.workload;
+        c.gpu = key.gpu;
+        c.structure = key.structure;
+        c.shards = 1;
+        c.injections = key.injectionEnd - key.injectionBegin;
+        plan.campaigns.push_back(std::move(c));
+    }
+    return plan;
 }
 
 // -------------------------------------------------------------- execution
@@ -144,10 +177,10 @@ struct CampaignTotals
 
 void
 assembleReport(ReliabilityReport& report, const Cell& cell,
-               const AnalysisOptions& options,
-               const std::vector<TargetStructure>& requested,
+               const StudySpec& spec,
                const std::map<TargetStructure, CampaignTotals>& campaigns)
 {
+    const std::vector<TargetStructure>& requested = spec.structures;
     report.workload = cell.workload;
     report.gpu = cell.gpu;
     report.gpuName = cell.config->name;
@@ -159,32 +192,32 @@ assembleReport(ReliabilityReport& report, const Cell& cell,
 
     report.structures.clear();
     report.structures.reserve(kNumTargetStructures);
-    for (const StructureSpec& spec : structureRegistry()) {
+    for (const StructureSpec& sspec : structureRegistry()) {
         StructureReport sr;
-        sr.structure = spec.id;
+        sr.structure = sspec.id;
         sr.applicable =
-            structureApplies(*cell.config, spec.id, cell.usesLds);
+            structureApplies(*cell.config, sspec.id, cell.usesLds);
         const bool selected =
             requested.empty() ||
-            std::find(requested.begin(), requested.end(), spec.id) !=
+            std::find(requested.begin(), requested.end(), sspec.id) !=
                 requested.end();
         if (sr.applicable) {
-            sr.avfAce = cell.ace.forStructure(spec.id).avf();
-            sr.occupancy = spec.occupancy(cell.ace.goldenStats);
+            sr.avfAce = cell.ace.forStructure(sspec.id).avf();
+            sr.occupancy = sspec.occupancy(cell.ace.goldenStats);
             // FI fields (incl. the injection count, which downstream
             // consumers read as "was this measured") stay zero for
             // structures a --structures restriction excluded; ACE +
             // occupancy are still reported — the golden pass covers
             // every structure for free.
-            if (!options.aceOnly && selected) {
+            if (!spec.aceOnly && selected) {
                 // Fold the shard counts through CampaignResult so the
                 // statistics (AVF, rates, Wilson margin) share one
                 // implementation with the standalone campaign path.
-                const auto it = campaigns.find(spec.id);
+                const auto it = campaigns.find(sspec.id);
                 CampaignResult cr;
-                cr.structure = spec.id;
-                cr.confidence = options.plan.confidence;
-                cr.injections = options.plan.injections;
+                cr.structure = sspec.id;
+                cr.confidence = spec.plan.confidence;
+                cr.injections = spec.plan.injections;
                 if (it != campaigns.end()) {
                     cr.masked =
                         static_cast<std::size_t>(it->second.counts.masked);
@@ -221,59 +254,107 @@ assembleReport(ReliabilityReport& report, const Cell& cell,
                             pick(TargetStructure::VectorRegisterFile),
                             pick(TargetStructure::SharedMemory),
                             pick(TargetStructure::ScalarRegisterFile),
-                            options.fitParams);
+                            spec.fitParams);
 }
 
 } // namespace
 
 StudyResult
-runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
-         StudyProgress* progress_out)
+runStudy(const StudySpec& spec, StudyProgress* progress_out)
 {
     const auto t0 = std::chrono::steady_clock::now();
+    spec.validate();
 
     StudyResult result;
-    result.workloads = resolveWorkloads(study);
-    result.gpus = resolveGpus(study);
+    result.workloads = spec.resolvedWorkloads();
+    result.gpus = spec.resolvedGpus();
     const std::size_t num_gpus = result.gpus.size();
 
     StudyProgress progress;
     progress.cells = result.workloads.size() * num_gpus;
 
-    // Load completed shards from a previous (possibly killed) run.
+    // Load completed shards from a previous (possibly killed) run.  The
+    // store's header pins the campaign spec the shards were computed
+    // under: resuming with a different campaign fails loudly instead of
+    // silently mixing two experiments' counts.  (Execution knobs are
+    // not part of the hash — stores stay resumable at any jobs/shards/
+    // checkpoints setting.)
     std::map<ShardKey, ShardCounts> checkpointed;
-    if (orch.resume && !orch.storePath.empty()) {
-        std::ifstream in(orch.storePath);
+    bool store_exists = false;
+    bool backfill_header = false;
+    if (spec.resume && !spec.storePath.empty()) {
+        std::ifstream in(spec.storePath);
         if (in) {
-            for (ShardRecord& r : readShardStore(in))
-                checkpointed[std::move(r.key)] = r.counts;
+            store_exists = true;
+            // Header records are recognised at any line, not just the
+            // first: a run killed before its header flushed — or a
+            // legacy store that was back-filled on a previous resume —
+            // must not lose the guard.
+            bool saw_header = false;
+            std::string line;
+            while (std::getline(in, line)) {
+                StoreHeader header;
+                if (parseStoreHeader(line, header)) {
+                    saw_header = true;
+                    if (header.specHash != spec.campaignHashHex()) {
+                        fatal("shard store '", spec.storePath,
+                              "' was written under campaign spec ",
+                              header.specHash,
+                              " but the current spec is ",
+                              spec.campaignHashHex(),
+                              "; refusing to resume a mismatched store "
+                              "(use a fresh --store to start over)");
+                    }
+                    continue;
+                }
+                ShardRecord r;
+                if (parseShardRecord(line, r))
+                    checkpointed[std::move(r.key)] = r.counts;
+            }
+            if (!saw_header) {
+                warn("shard store '", spec.storePath,
+                     "' has no spec header (older version, or a run "
+                     "killed before the header flushed); resuming with "
+                     "per-key matching only and stamping the current "
+                     "spec so future resumes are verified again");
+                backfill_header = true;
+            }
         }
     }
 
     std::ofstream store;
     std::mutex store_mutex;
-    if (!orch.storePath.empty()) {
+    if (!spec.storePath.empty()) {
         // A killed run can leave a truncated tail line without a newline;
         // start appending on a fresh line so the glued bytes stay one
         // (skippable) broken line instead of corrupting a new record.
         bool needs_newline = false;
-        if (orch.resume) {
-            std::ifstream probe(orch.storePath, std::ios::binary);
+        if (spec.resume && store_exists) {
+            std::ifstream probe(spec.storePath, std::ios::binary);
             if (probe && probe.seekg(-1, std::ios::end)) {
                 char last = '\n';
                 probe.get(last);
                 needs_newline = last != '\n';
             }
         }
-        store.open(orch.storePath, orch.resume
+        const bool fresh_store = !spec.resume || !store_exists;
+        store.open(spec.storePath, spec.resume
                                        ? std::ios::out | std::ios::app
                                        : std::ios::out | std::ios::trunc);
         if (!store) {
-            fatal("cannot open shard store '", orch.storePath,
+            fatal("cannot open shard store '", spec.storePath,
                   "' for writing");
         }
         if (needs_newline)
             store << '\n';
+        if (fresh_store || backfill_header) {
+            StoreHeader header;
+            header.specHash = spec.campaignHashHex();
+            header.specJson = spec.toJsonString();
+            writeStoreHeader(store, header);
+            store << '\n';
+            store.flush();
+        }
     }
 
     // Canonical cells (duplicate grid entries collapse into one) and the
@@ -298,12 +379,11 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
             cells.push_back(std::move(cell));
         }
     }
-    const std::vector<ShardKey> shards =
-        decomposeStudy(study, orch.shardsPerCampaign);
+    const std::vector<ShardKey> shards = decomposeStudy(spec);
     progress.totalShards = shards.size();
 
-    unsigned jobs = orch.jobs
-                        ? orch.jobs
+    unsigned jobs = spec.jobs
+                        ? spec.jobs
                         : std::max(1u, std::thread::hardware_concurrency());
     jobs = static_cast<unsigned>(std::min<std::size_t>(
         jobs, std::max({std::size_t{1}, cells.size(), shards.size()})));
@@ -333,14 +413,14 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
     // reuses it instead of re-running the golden.
     for (auto& c : cells) {
         Cell* cell = c.get();
-        pool.submit([&study, &record_error, &errored, cell]() {
+        pool.submit([&spec, &record_error, &errored, cell]() {
             if (errored())
                 return;
             try {
                 const auto workload = makeWorkload(cell->workload);
                 cell->usesLds = workload->usesLocalMemory();
                 WorkloadParams params;
-                params.seed = study.analysis.workloadSeed;
+                params.seed = spec.workloadSeed;
                 cell->instance =
                     workload->build(cell->config->dialect, params);
                 cell->ace = runAceAnalysis(*cell->config, cell->instance);
@@ -351,7 +431,7 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
     }
     rethrow_errors();
     progress.goldenRuns = cells.size();
-    if (study.verbose) {
+    if (spec.verbose) {
         inform("study: ", cells.size(), " golden+ACE runs cached (",
                result.workloads.size(), " workloads x ", num_gpus,
                " GPUs)");
@@ -392,7 +472,7 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
         } else {
             ++progress.resumedShards;
         }
-        if (study.verbose && t.shardsDone == t.shardsTotal) {
+        if (spec.verbose && t.shardsDone == t.shardsTotal) {
             inform("study: ", key.workload, " on ",
                    gpuModelName(key.gpu), " ",
                    targetStructureName(key.structure), " campaign done (",
@@ -405,10 +485,10 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
     // first (the others block on the once_flag for the duration of one
     // golden pass) and freed as soon as the cell's last shard retires.
     auto adopt_cell_pack = [&](Cell* cell, FaultInjector& injector) {
-        if (orch.checkpoints == 0)
+        if (spec.checkpoints == 0)
             return;
         std::call_once(cell->packOnce, [&]() {
-            cell->pack = injector.buildCheckpointPack(orch.checkpoints);
+            cell->pack = injector.buildCheckpointPack(spec.checkpoints);
             std::lock_guard<std::mutex> lock(totals_mutex);
             ++progress.checkpointPacks;
         });
@@ -480,15 +560,14 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
     for (std::size_t pos = 0; pos < progress.cells; ++pos) {
         const std::size_t ci = cell_of_grid[pos];
         const auto it = totals_by_cell.find(ci);
-        assembleReport(result.reports[pos], *cells[ci], study.analysis,
-                       study.structures,
+        assembleReport(result.reports[pos], *cells[ci], spec,
                        it != totals_by_cell.end() ? it->second
                                                   : kNoCampaigns);
     }
 
     const auto t1 = std::chrono::steady_clock::now();
     progress.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
-    if (study.verbose) {
+    if (spec.verbose) {
         inform("study: ", progress.executedShards, " shards executed, ",
                progress.resumedShards, " resumed from store, ",
                strprintf("%.2f", progress.wallSeconds), " s wall (",
@@ -501,6 +580,44 @@ runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
     if (progress_out)
         *progress_out = progress;
     return result;
+}
+
+// ------------------------------------------------- legacy shims (one PR)
+
+StudySpec
+studySpecFromLegacy(const StudyOptions& study, const OrchestratorOptions& orch)
+{
+    StudySpec spec;
+    spec.workloads = study.workloads;
+    spec.gpus = study.gpus;
+    spec.structures = study.structures;
+    spec.plan = study.analysis.plan;
+    spec.seed = study.analysis.seed;
+    spec.workloadSeed = study.analysis.workloadSeed;
+    spec.aceOnly = study.analysis.aceOnly;
+    spec.fitParams = study.analysis.fitParams;
+    spec.verbose = study.verbose;
+    spec.jobs = orch.jobs ? orch.jobs : study.analysis.numThreads;
+    spec.shardsPerCampaign = orch.shardsPerCampaign;
+    spec.checkpoints = orch.checkpoints;
+    spec.storePath = orch.storePath;
+    spec.resume = orch.resume;
+    return spec;
+}
+
+std::vector<ShardKey>
+decomposeStudy(const StudyOptions& study, std::size_t shards_per_campaign)
+{
+    StudySpec spec = studySpecFromLegacy(study);
+    spec.shardsPerCampaign = shards_per_campaign;
+    return decomposeStudy(spec);
+}
+
+StudyResult
+runStudy(const StudyOptions& study, const OrchestratorOptions& orch,
+         StudyProgress* progress)
+{
+    return runStudy(studySpecFromLegacy(study, orch), progress);
 }
 
 } // namespace gpr

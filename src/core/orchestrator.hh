@@ -31,12 +31,15 @@
 #include "common/worker_pool.hh"
 #include "core/comparison.hh"
 #include "core/shard.hh"
+#include "core/study_spec.hh"
 #include "reliability/fault_injector.hh"
 
 namespace gpr {
 
 /** Knobs of the orchestrated execution (the grid itself comes from
- *  StudyOptions). */
+ *  StudyOptions).
+ *  @deprecated Superseded by the execution section of StudySpec; kept
+ *  for one PR so existing callers keep compiling. */
 struct OrchestratorOptions
 {
     /** Worker threads; 0 selects std::thread::hardware_concurrency(). */
@@ -91,20 +94,64 @@ struct StudyProgress
 std::size_t defaultShardCount(const SamplePlan& plan);
 
 /**
- * Decompose @p study into its flat shard work-list (no execution).  The
+ * Decompose @p spec into its flat shard work-list (no execution).  The
  * order is deterministic: cells in grid order, structures in enum order,
  * shards by index.  Exposed for tests and tooling.
  */
+std::vector<ShardKey> decomposeStudy(const StudySpec& spec);
+
+/** One campaign of a planned study: its shard count and injections. */
+struct StudyPlanCampaign
+{
+    std::string workload;
+    GpuModel gpu = GpuModel::GeforceGtx480;
+    TargetStructure structure = TargetStructure::VectorRegisterFile;
+    std::size_t shards = 0;
+    std::uint64_t injections = 0;
+};
+
+/** The decomposed work-list of a spec, summarised for costing a study
+ *  before running it (`gpr_cli study --dry-run`). */
+struct StudyPlan
+{
+    /** (workload, GPU) grid positions, duplicates included. */
+    std::size_t gridCells = 0;
+    /** Golden+ACE reference simulations (one per unique cell). */
+    std::size_t goldenRuns = 0;
+    /** Campaigns in deterministic work-list order. */
+    std::vector<StudyPlanCampaign> campaigns;
+
+    std::size_t totalShards() const;
+    std::uint64_t totalInjections() const;
+};
+
+/** Plan @p spec without executing anything. */
+StudyPlan planStudy(const StudySpec& spec);
+
+/**
+ * Run the study @p spec describes.  Reports are bit-identical at every
+ * `jobs` / `shardsPerCampaign` / resume configuration.  When the spec
+ * names a store, completed shards stream to it under a header embedding
+ * the spec's campaign hash; resuming against a store written by a
+ * different campaign spec throws FatalError instead of mixing results.
+ * @p progress (optional) receives execution statistics.
+ */
+StudyResult runStudy(const StudySpec& spec,
+                     StudyProgress* progress = nullptr);
+
+// --- Legacy entry points (deprecated, kept compiling for one PR) --------
+
+/** @deprecated Build the equivalent StudySpec from the legacy option
+ *  structs (orch.jobs wins over study.analysis.numThreads when both are
+ *  set, matching the old orchestrator behaviour). */
+StudySpec studySpecFromLegacy(const StudyOptions& study,
+                              const OrchestratorOptions& orch = {});
+
+/** @deprecated Use decomposeStudy(const StudySpec&). */
 std::vector<ShardKey> decomposeStudy(const StudyOptions& study,
                                      std::size_t shards_per_campaign = 0);
 
-/**
- * Run @p study through the orchestrator.  Drop-in replacement for the
- * serial runComparisonStudy() loop: given equal StudyOptions the
- * resulting reports are bit-identical to each other at every `jobs` /
- * `shardsPerCampaign` setting.  @p progress (optional) receives
- * execution statistics.
- */
+/** @deprecated Use runStudy(const StudySpec&, StudyProgress*). */
 StudyResult runStudy(const StudyOptions& study,
                      const OrchestratorOptions& orch = {},
                      StudyProgress* progress = nullptr);

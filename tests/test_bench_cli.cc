@@ -1,7 +1,9 @@
-/** @file Tests for the bench command-line plumbing. */
+/** @file Tests for the spec-based bench command-line plumbing. */
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -25,12 +27,14 @@ TEST(BenchCli, DefaultsAreSane)
 {
     BenchCli cli;
     ASSERT_TRUE(parseArgs(cli, {}));
-    EXPECT_EQ(cli.study.analysis.plan.injections, 150u);
-    EXPECT_DOUBLE_EQ(cli.study.analysis.plan.confidence, 0.99);
-    EXPECT_FALSE(cli.study.analysis.aceOnly);
+    EXPECT_EQ(cli.spec.plan.injections, 150u);
+    EXPECT_DOUBLE_EQ(cli.spec.plan.confidence, 0.99);
+    EXPECT_FALSE(cli.spec.aceOnly);
     EXPECT_FALSE(cli.csv);
-    EXPECT_TRUE(cli.study.workloads.empty());
-    EXPECT_TRUE(cli.study.gpus.empty());
+    EXPECT_FALSE(cli.dryRun);
+    EXPECT_FALSE(cli.dumpSpec);
+    EXPECT_TRUE(cli.spec.workloads.empty());
+    EXPECT_TRUE(cli.spec.gpus.empty());
 }
 
 TEST(BenchCli, ParsesAllFlags)
@@ -41,16 +45,16 @@ TEST(BenchCli, ParsesAllFlags)
                                 "--workloads=scan,kmeans",
                                 "--gpus=gtx480,7970", "--ace-only",
                                 "--csv"}));
-    EXPECT_EQ(cli.study.analysis.plan.injections, 2000u);
-    EXPECT_DOUBLE_EQ(cli.study.analysis.plan.confidence, 0.95);
-    EXPECT_EQ(cli.study.analysis.seed, 42u);
-    EXPECT_EQ(cli.study.analysis.numThreads, 3u);
-    ASSERT_EQ(cli.study.workloads.size(), 2u);
-    EXPECT_EQ(cli.study.workloads[0], "scan");
-    ASSERT_EQ(cli.study.gpus.size(), 2u);
-    EXPECT_EQ(cli.study.gpus[0], GpuModel::GeforceGtx480);
-    EXPECT_EQ(cli.study.gpus[1], GpuModel::HdRadeon7970);
-    EXPECT_TRUE(cli.study.analysis.aceOnly);
+    EXPECT_EQ(cli.spec.plan.injections, 2000u);
+    EXPECT_DOUBLE_EQ(cli.spec.plan.confidence, 0.95);
+    EXPECT_EQ(cli.spec.seed, 42u);
+    EXPECT_EQ(cli.spec.jobs, 3u);
+    ASSERT_EQ(cli.spec.workloads.size(), 2u);
+    EXPECT_EQ(cli.spec.workloads[0], "scan");
+    ASSERT_EQ(cli.spec.gpus.size(), 2u);
+    EXPECT_EQ(cli.spec.gpus[0], GpuModel::GeforceGtx480);
+    EXPECT_EQ(cli.spec.gpus[1], GpuModel::HdRadeon7970);
+    EXPECT_TRUE(cli.spec.aceOnly);
     EXPECT_TRUE(cli.csv);
 }
 
@@ -70,6 +74,96 @@ TEST(BenchCli, UnknownGpuIsFatal)
 {
     BenchCli cli;
     EXPECT_THROW(parseArgs(cli, {"--gpus=riva128"}), FatalError);
+}
+
+TEST(BenchCli, UnknownWorkloadIsFatal)
+{
+    // Workload typos fail at parse time with the registered names in
+    // the message, not deep inside the study when makeWorkload trips.
+    BenchCli cli;
+    try {
+        parseArgs(cli, {"--workloads=vectorad"});
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("vectoradd"),
+                  std::string::npos);
+    }
+}
+
+TEST(BenchCli, ZeroInjectionPlanIsFatalAtRunTimeUnlessAceOnly)
+{
+    // Parsing succeeds (harnesses may adjust the spec afterwards, e.g.
+    // fig3 flips ace-only); the spec fails validation when acted on.
+    BenchCli fi;
+    ASSERT_TRUE(parseArgs(fi, {"--injections=0", "--dry-run"}));
+    std::ostringstream os;
+    EXPECT_THROW(fi.runMetaActions(os), FatalError);
+    EXPECT_THROW(fi.spec.validate(), FatalError);
+
+    BenchCli ace;
+    ASSERT_TRUE(parseArgs(ace, {"--injections=0", "--ace-only"}));
+    EXPECT_NO_THROW(ace.spec.validate());
+}
+
+TEST(BenchCli, SpecFlagLoadsBaselineAndLaterFlagsOverride)
+{
+    const std::string path = testing::TempDir() + "bench_cli_spec.json";
+    {
+        std::ofstream out(path);
+        out << R"({"grid":{"workloads":["scan"],"gpus":["gtx480"]},)"
+            << R"("campaign":{"injections":77,"seed":5}})";
+    }
+
+    BenchCli plain;
+    ASSERT_TRUE(parseArgs(plain, {"--spec=" + path}));
+    EXPECT_EQ(plain.spec.plan.injections, 77u);
+    EXPECT_EQ(plain.spec.seed, 5u);
+    ASSERT_EQ(plain.spec.workloads.size(), 1u);
+    EXPECT_EQ(plain.spec.workloads[0], "scan");
+
+    BenchCli overridden;
+    ASSERT_TRUE(
+        parseArgs(overridden, {"--spec=" + path, "--injections=99"}));
+    EXPECT_EQ(overridden.spec.plan.injections, 99u);
+    EXPECT_EQ(overridden.spec.seed, 5u);
+    std::remove(path.c_str());
+}
+
+TEST(BenchCli, DumpSpecRoundTrips)
+{
+    BenchCli cli;
+    ASSERT_TRUE(parseArgs(cli, {"--workloads=scan", "--gpus=7970",
+                                "--injections=10", "--dump-spec"}));
+    EXPECT_TRUE(cli.dumpSpec);
+    std::ostringstream os;
+    EXPECT_TRUE(cli.runMetaActions(os));
+    const StudySpec back = StudySpec::fromJson(os.str());
+    EXPECT_TRUE(back == cli.spec);
+}
+
+TEST(BenchCli, DryRunPrintsThePlan)
+{
+    BenchCli cli;
+    ASSERT_TRUE(parseArgs(cli, {"--workloads=vectoradd", "--gpus=fx5600",
+                                "--injections=24", "--shards=4",
+                                "--dry-run"}));
+    std::ostringstream os;
+    EXPECT_TRUE(cli.runMetaActions(os));
+    const std::string text = os.str();
+    // vectoradd on FX 5600: RF + pred + simt, 4 shards each.
+    EXPECT_NE(text.find("3 campaigns"), std::string::npos) << text;
+    EXPECT_NE(text.find("12 shards"), std::string::npos) << text;
+    EXPECT_NE(text.find("72 injections"), std::string::npos) << text;
+    EXPECT_NE(text.find(cli.spec.campaignHashHex()), std::string::npos);
+}
+
+TEST(BenchCli, NoMetaActionByDefault)
+{
+    BenchCli cli;
+    ASSERT_TRUE(parseArgs(cli, {}));
+    std::ostringstream os;
+    EXPECT_FALSE(cli.runMetaActions(os));
+    EXPECT_TRUE(os.str().empty());
 }
 
 TEST(BenchCli, HeaderMentionsPlan)

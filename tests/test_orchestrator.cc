@@ -215,11 +215,16 @@ TEST(Orchestrator, CheckpointsEveryShardToTheStore)
     EXPECT_EQ(progress.executedShards, 28u);
     EXPECT_EQ(progress.resumedShards, 0u);
 
+    // Line 0 is the spec header; the 28 shard records follow.
     const auto lines = storeLines(path);
-    ASSERT_EQ(lines.size(), 28u);
-    for (const std::string& line : lines) {
+    ASSERT_EQ(lines.size(), 29u);
+    StoreHeader header;
+    ASSERT_TRUE(parseStoreHeader(lines.front(), header));
+    EXPECT_EQ(header.specHash,
+              studySpecFromLegacy(miniStudy(), orch).campaignHashHex());
+    for (std::size_t i = 1; i < lines.size(); ++i) {
         ShardRecord r;
-        EXPECT_TRUE(parseShardRecord(line, r)) << line;
+        EXPECT_TRUE(parseShardRecord(lines[i], r)) << lines[i];
     }
     std::remove(path.c_str());
 }
@@ -237,15 +242,16 @@ TEST(Orchestrator, ResumeSkipsFinishedShardsAndMatchesBitForBit)
     const StudyResult full = runStudy(study, first, &full_progress);
     ASSERT_EQ(full_progress.executedShards, 28u);
 
-    // Simulate a kill after 5 shards: keep a prefix of the store.
+    // Simulate a kill after 5 shards: keep the header and a record
+    // prefix of the store.
     const auto lines = storeLines(path);
-    ASSERT_EQ(lines.size(), 28u);
+    ASSERT_EQ(lines.size(), 29u); // spec header + 28 records
     {
         std::ofstream out(path, std::ios::trunc);
-        for (std::size_t i = 0; i < 5; ++i)
+        for (std::size_t i = 0; i < 6; ++i)
             out << lines[i] << '\n';
         // ...plus a truncated tail line, as a real kill would leave.
-        out << lines[5].substr(0, lines[5].size() / 2);
+        out << lines[6].substr(0, lines[6].size() / 2);
     }
 
     OrchestratorOptions second;
@@ -269,7 +275,7 @@ TEST(Orchestrator, ResumeSkipsFinishedShardsAndMatchesBitForBit)
     std::remove(path.c_str());
 }
 
-TEST(Orchestrator, ResumeRejectsRecordsFromADifferentPlan)
+TEST(Orchestrator, ResumeRefusesAStoreFromADifferentSpec)
 {
     const std::string path = tempStorePath("mismatch");
     const StudyOptions study = miniStudy();
@@ -280,15 +286,99 @@ TEST(Orchestrator, ResumeRejectsRecordsFromADifferentPlan)
     orch.storePath = path;
     runStudy(study, orch);
 
-    // Same store, different campaign seed: every key mismatches, so the
-    // whole grid recomputes rather than silently mixing plans.
+    // Same store, different campaign seed: the spec hash mismatches, so
+    // resume fails loudly (naming both hashes) instead of silently
+    // recomputing — or worse, mixing — two different experiments.
     StudyOptions reseeded = study;
     reseeded.analysis.seed = 0xDEADBEEF;
     orch.resume = true;
+    const std::string original_hash =
+        studySpecFromLegacy(study, orch).campaignHashHex();
+    const std::string reseeded_hash =
+        studySpecFromLegacy(reseeded, orch).campaignHashHex();
+    try {
+        runStudy(reseeded, orch);
+        FAIL() << "expected FatalError on spec-hash mismatch";
+    } catch (const FatalError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(original_hash), std::string::npos) << what;
+        EXPECT_NE(what.find(reseeded_hash), std::string::npos) << what;
+    }
+
+    // Execution knobs are not part of the identity: the same campaign
+    // resumes fine at a different job count.
+    OrchestratorOptions rejobbed = orch;
+    rejobbed.jobs = 1;
     StudyProgress progress;
-    runStudy(reseeded, orch, &progress);
-    EXPECT_EQ(progress.resumedShards, 0u);
-    EXPECT_EQ(progress.executedShards, 28u);
+    runStudy(study, rejobbed, &progress);
+    EXPECT_EQ(progress.resumedShards, 28u);
+    EXPECT_EQ(progress.executedShards, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Orchestrator, LegacyHeaderlessStoreResumesWithKeyMatchingOnly)
+{
+    const std::string path = tempStorePath("legacy");
+    const StudyOptions study = miniStudy();
+
+    OrchestratorOptions orch;
+    orch.jobs = 4;
+    orch.shardsPerCampaign = 4;
+    orch.storePath = path;
+    runStudy(study, orch);
+
+    // Strip the header, as a store written before it existed would be.
+    const auto lines = storeLines(path);
+    ASSERT_EQ(lines.size(), 29u);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (std::size_t i = 1; i < lines.size(); ++i)
+            out << lines[i] << '\n';
+    }
+
+    // A header-less store loads with a warning; per-key matching still
+    // rejects records of a different plan, so a reseeded study simply
+    // recomputes everything.
+    orch.resume = true;
+    StudyProgress same_progress;
+    runStudy(study, orch, &same_progress);
+    EXPECT_EQ(same_progress.resumedShards, 28u);
+
+    // The resume back-fills a header (appended, recognised at any
+    // line), so the spec-hash guard is armed again: a doctored spec is
+    // now refused instead of sliding through the legacy path.
+    bool has_header = false;
+    for (const std::string& line : storeLines(path)) {
+        StoreHeader h;
+        if (parseStoreHeader(line, h)) {
+            has_header = true;
+            EXPECT_EQ(h.specHash,
+                      studySpecFromLegacy(study, orch).campaignHashHex());
+        }
+    }
+    EXPECT_TRUE(has_header);
+    {
+        StudyOptions doctored = study;
+        doctored.analysis.seed = 0xBAD;
+        EXPECT_THROW(runStudy(doctored, orch), FatalError);
+    }
+
+    StudyOptions reseeded = study;
+    reseeded.analysis.seed = 0xDEADBEEF;
+    std::remove(path.c_str());
+    orch.resume = false;
+    runStudy(study, orch);
+    {
+        const auto with_header = storeLines(path);
+        std::ofstream out(path, std::ios::trunc);
+        for (std::size_t i = 1; i < with_header.size(); ++i)
+            out << with_header[i] << '\n';
+    }
+    orch.resume = true;
+    StudyProgress reseeded_progress;
+    runStudy(reseeded, orch, &reseeded_progress);
+    EXPECT_EQ(reseeded_progress.resumedShards, 0u);
+    EXPECT_EQ(reseeded_progress.executedShards, 28u);
     std::remove(path.c_str());
 }
 

@@ -47,7 +47,8 @@ usage()
         "  gpr profile <workload> <gpu>\n"
         "  gpr analyze <workload> <gpu> [injections] [--json]\n"
         "  gpr inject <workload> <gpu> <structure> <bit> <cycle>\n"
-        "  gpr study [--workloads=a,b] [--gpus=a,b] [--injections=N]\n"
+        "  gpr study [--spec=FILE] [--dump-spec] [--dry-run]\n"
+        "            [--workloads=a,b] [--gpus=a,b] [--injections=N]\n"
         "            [--structures=a,b] [--jobs=N] [--shards=N]\n"
         "            [--checkpoints=N] [--store=FILE] [--resume[=FILE]]\n"
         "            [--ace-only] [--json] [--csv]\n"
@@ -202,13 +203,14 @@ cmdAnalyze(const std::string& workload, const std::string& gpu,
            const char* n_arg, bool json)
 {
     ReliabilityFramework fw(gpuModelFromName(gpu));
-    AnalysisOptions options;
-    options.plan.injections = 400;
+    std::size_t injections = 400;
     if (n_arg) {
         if (const auto n = parseInt(n_arg); n && *n >= 0)
-            options.plan.injections = static_cast<std::size_t>(*n);
+            injections = static_cast<std::size_t>(*n);
     }
-    const ReliabilityReport report = fw.analyze(workload, options);
+    const StudySpec spec =
+        StudySpecBuilder().injections(injections).build();
+    const ReliabilityReport report = fw.analyze(workload, spec);
     if (json) {
         writeReportJson(std::cout, report);
         std::cout << '\n';
@@ -224,9 +226,11 @@ cmdStudy(int argc, char** argv)
     BenchCli cli;
     if (!cli.parse(argc, argv))
         return 2;
+    if (cli.runMetaActions(std::cout))
+        return 0;
 
     StudyProgress progress;
-    const StudyResult study = runStudy(cli.study, cli.orch, &progress);
+    const StudyResult study = runStudy(cli.spec, &progress);
 
     if (!cli.printStudyJson(std::cout, study)) {
         std::printf("== Fig. 1: register-file AVF ==\n");
