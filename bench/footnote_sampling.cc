@@ -4,15 +4,17 @@
  * injections per hardware structure, which statistically provides 2.88%
  * error margin for 99% confidence level."
  *
- * Prints the error margin as a function of sample size at several
- * confidence levels, plus the inverse (samples needed for a target
- * margin).  The n=2000 @ 99% row must read 2.88%.
+ * All arithmetic goes through the sampling subsystem
+ * (reliability/sampling.hh) — SamplePlan margins, the required-N
+ * solver, the Wilson/Clopper–Pearson intervals, and the adaptive
+ * sequential schedule — so this bench doubles as a worked tour of the
+ * statistics the campaigns run on.  The n=2000 @ 99% row must read
+ * 2.88% (pinned in tests/test_paper_claims.cc).
  */
 
 #include <cstdio>
 #include <iostream>
 
-#include "common/statistics.hh"
 #include "common/string_utils.hh"
 #include "common/table.hh"
 #include "reliability/sampling.hh"
@@ -28,13 +30,12 @@ main()
                        "margin @99%"});
     for (std::size_t n : {50u, 100u, 150u, 250u, 500u, 1000u, 2000u,
                           5000u, 10000u}) {
-        margins.addRow({strprintf("%zu", n),
-                        strprintf("%.2f%%",
-                                  100 * proportionErrorMargin(n, 0.90)),
-                        strprintf("%.2f%%",
-                                  100 * proportionErrorMargin(n, 0.95)),
-                        strprintf("%.2f%%",
-                                  100 * proportionErrorMargin(n, 0.99))});
+        auto margin_cell = [n](double confidence) {
+            const SamplePlan plan{n, confidence, 0.0, 0};
+            return strprintf("%.2f%%", 100 * plan.errorMargin());
+        };
+        margins.addRow({strprintf("%zu", n), margin_cell(0.90),
+                        margin_cell(0.95), margin_cell(0.99)});
     }
     margins.render(std::cout);
 
@@ -48,12 +49,50 @@ main()
     TextTable inverse({"target margin", "confidence", "injections needed"});
     for (double margin : {0.05, 0.0288, 0.02, 0.01}) {
         for (double conf : {0.95, 0.99}) {
-            inverse.addRow(
-                {strprintf("%.2f%%", 100 * margin),
-                 strprintf("%.0f%%", 100 * conf),
-                 strprintf("%zu", requiredSamples(margin, conf))});
+            inverse.addRow({strprintf("%.2f%%", 100 * margin),
+                            strprintf("%.0f%%", 100 * conf),
+                            strprintf("%zu",
+                                      planForMargin(margin, conf)
+                                          .injections)});
         }
     }
     inverse.render(std::cout);
+
+    // The worst-case margin assumes p = 0.5; a measured campaign
+    // reports the data-driven Wilson interval (and Clopper–Pearson as
+    // the exact cross-check), which is what the adaptive engine
+    // exploits.
+    std::cout << "\nintervals at the paper plan (n=2000, 99%):\n";
+    TextTable intervals({"failures", "rate", "Wilson CI", "exact CI"});
+    for (std::size_t k : {0u, 20u, 100u, 500u, 1000u}) {
+        const Interval w = wilsonInterval(k, paper.injections,
+                                          paper.confidence);
+        const Interval c = clopperPearsonInterval(k, paper.injections,
+                                                  paper.confidence);
+        intervals.addRow(
+            {strprintf("%zu", k),
+             strprintf("%.1f%%",
+                       100.0 * k / static_cast<double>(paper.injections)),
+             strprintf("%.2f..%.2f%%", 100 * w.lo, 100 * w.hi),
+             strprintf("%.2f..%.2f%%", 100 * c.lo, 100 * c.hi)});
+    }
+    intervals.render(std::cout);
+
+    std::cout << "\nadaptive stopping (margin-driven campaigns):\n";
+    TextTable adaptive({"margin", "confidence", "cap", "looks",
+                        "guarded conf"});
+    for (double margin : {0.05, 0.0288}) {
+        for (double conf : {0.95, 0.99}) {
+            const SamplePlan plan = adaptivePlan(margin, conf);
+            adaptive.addRow(
+                {strprintf("%.2f%%", 100 * margin),
+                 strprintf("%.0f%%", 100 * conf),
+                 strprintf("%zu", plan.resolvedMaxInjections()),
+                 strprintf("%zu", sequentialSchedule(plan).size()),
+                 strprintf("%.3f%%",
+                           100 * sequentialConfidence(plan))});
+        }
+    }
+    adaptive.render(std::cout);
     return 0;
 }

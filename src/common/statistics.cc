@@ -117,8 +117,9 @@ requiredSamples(double margin, double confidence)
 Interval
 wilsonInterval(std::size_t successes, std::size_t n, double confidence)
 {
-    GPR_ASSERT(n > 0, "need at least one sample");
     GPR_ASSERT(successes <= n, "successes cannot exceed samples");
+    if (n == 0)
+        return Interval{0.0, 1.0}; // no data: the vacuous interval
     const double z = normalQuantileTwoSided(confidence);
     const double nn = static_cast<double>(n);
     const double p = static_cast<double>(successes) / nn;
@@ -128,8 +129,127 @@ wilsonInterval(std::size_t successes, std::size_t n, double confidence)
     const double half = z * std::sqrt(p * (1.0 - p) / nn +
                                       z2 / (4.0 * nn * nn));
     Interval iv;
-    iv.lo = std::max(0.0, (centre - half) / denom);
-    iv.hi = std::min(1.0, (centre + half) / denom);
+    // Pin the bounds exactly at the degenerate counts — floating-point
+    // cancellation otherwise leaves ~1e-17 residue where the bound is
+    // analytically 0 (k = 0) or 1 (k = n).
+    iv.lo = successes == 0 ? 0.0
+                           : std::max(0.0, (centre - half) / denom);
+    iv.hi = successes == n ? 1.0
+                           : std::min(1.0, (centre + half) / denom);
+    return iv;
+}
+
+namespace {
+
+/** Continued fraction for the incomplete beta (Lentz's method). */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int kMaxIterations = 300;
+    constexpr double kEpsilon = 3e-16;
+    constexpr double kTiny = 1e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::abs(d) < kTiny)
+        d = kTiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIterations; ++m) {
+        const double m2 = 2.0 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < kTiny)
+            d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < kTiny)
+            c = kTiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < kTiny)
+            d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < kTiny)
+            c = kTiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::abs(del - 1.0) < kEpsilon)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+incompleteBetaRegularized(double a, double b, double x)
+{
+    GPR_ASSERT(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    GPR_ASSERT(x >= 0.0 && x <= 1.0, "incomplete beta domain is [0,1]");
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                            std::lgamma(b) + a * std::log(x) +
+                            b * std::log1p(-x);
+    const double front = std::exp(ln_front);
+    // The continued fraction converges fast for x < (a+1)/(a+b+2);
+    // otherwise use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+betaQuantile(double p, double a, double b)
+{
+    GPR_ASSERT(p >= 0.0 && p <= 1.0, "quantile domain is [0,1]");
+    GPR_ASSERT(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    if (p <= 0.0)
+        return 0.0;
+    if (p >= 1.0)
+        return 1.0;
+    // Bisection: ~100 halvings reach full double resolution, the CDF is
+    // monotone, and this path is far from any hot loop.
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (incompleteBetaRegularized(a, b, mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo <= 1e-15 * std::max(1.0, std::abs(lo)))
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+Interval
+clopperPearsonInterval(std::size_t successes, std::size_t n,
+                       double confidence)
+{
+    GPR_ASSERT(successes <= n, "successes cannot exceed samples");
+    if (n == 0)
+        return Interval{0.0, 1.0}; // no data: the vacuous interval
+    const double alpha = 1.0 - confidence;
+    const double k = static_cast<double>(successes);
+    const double nn = static_cast<double>(n);
+    Interval iv;
+    iv.lo = successes == 0
+                ? 0.0
+                : betaQuantile(alpha / 2.0, k, nn - k + 1.0);
+    iv.hi = successes == n
+                ? 1.0
+                : betaQuantile(1.0 - alpha / 2.0, k + 1.0, nn - k);
+    iv.lo = std::max(0.0, iv.lo);
+    iv.hi = std::min(1.0, iv.hi);
     return iv;
 }
 

@@ -86,6 +86,20 @@ struct Interval
 Interval wilsonInterval(std::size_t successes, std::size_t n,
                         double confidence);
 
+/**
+ * Clopper–Pearson ("exact") interval: inverts the binomial CDF, so its
+ * coverage is >= the nominal confidence for every (n, p) — the
+ * verification-grade interval the property tests check Wilson against.
+ */
+Interval clopperPearsonInterval(std::size_t successes, std::size_t n,
+                                double confidence);
+
+/** Regularized incomplete beta function I_x(a, b), a,b > 0, x in [0,1]. */
+double incompleteBetaRegularized(double a, double b, double x);
+
+/** Quantile of the Beta(a, b) distribution: x with I_x(a, b) = p. */
+double betaQuantile(double p, double a, double b);
+
 /** Pearson correlation of two equally-sized series (0 if degenerate). */
 double pearsonCorrelation(const std::vector<double>& xs,
                           const std::vector<double>& ys);

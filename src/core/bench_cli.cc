@@ -19,16 +19,20 @@ usage()
     std::fprintf(
         stderr,
         "flags: --spec=FILE --dump-spec --dry-run\n"
-        "       --injections=N --confidence=C --seed=S --threads=T\n"
+        "       --injections=N --confidence=C --margin=M\n"
+        "       --max-injections=N --seed=S --threads=T\n"
         "       --jobs=N --shards=N --checkpoints=N --store=FILE\n"
         "       --resume[=FILE] --workloads=a,b,...\n"
         "       --gpus=7970,fx5600,fx5800,gtx480\n"
         "       --structures=rf,lds,srf,pred,simt (registry subset)\n"
         "       --ace-only --csv --json --quiet\n"
         "       (--spec loads a StudySpec JSON; later flags override\n"
-        "        individual fields.  --checkpoints=0 runs every injection\n"
-        "        from scratch — the legacy engine kept for differential\n"
-        "        testing)\n"
+        "        individual fields.  --margin=M > 0 switches to adaptive\n"
+        "        sequential stopping: each campaign injects until every\n"
+        "        rate's CI half-width <= M, capped at --max-injections\n"
+        "        [default: the fixed-size equivalent].  --checkpoints=0\n"
+        "        runs every injection from scratch — the legacy engine\n"
+        "        kept for differential testing)\n"
         "env:   GPR_INJECTIONS overrides the default injection count\n");
 }
 
@@ -70,6 +74,20 @@ BenchCli::parse(int argc, char** argv)
                 return false;
             }
             spec.plan.confidence = *c;
+        } else if (startsWith(arg, "--margin=")) {
+            const auto m = parseDouble(value("--margin="));
+            if (!m || *m < 0 || *m >= 1) {
+                usage();
+                return false;
+            }
+            spec.plan.margin = *m;
+        } else if (startsWith(arg, "--max-injections=")) {
+            const auto n = parseInt(value("--max-injections="));
+            if (!n || *n < 0) {
+                usage();
+                return false;
+            }
+            spec.plan.maxInjections = static_cast<std::size_t>(*n);
         } else if (startsWith(arg, "--seed=")) {
             const auto s = parseInt(value("--seed="));
             if (!s) {
@@ -171,6 +189,12 @@ BenchCli::runMetaActions(std::ostream& os) const
                         plan.totalInjections()));
     if (spec.aceOnly)
         os << "  (ace-only: no fault-injection shards)\n";
+    if (!spec.aceOnly && spec.plan.adaptive()) {
+        os << strprintf(
+            "  (adaptive: worst case; campaigns stop at +/-%.2f%% CI "
+            "half-width, %.0f%% confidence)\n",
+            100.0 * spec.plan.margin, 100.0 * spec.plan.confidence);
+    }
     return true;
 }
 
@@ -205,6 +229,16 @@ BenchCli::printHeader(std::ostream& os, const std::string& title) const
     os << "== " << title << " ==\n";
     if (spec.aceOnly) {
         os << "mode: ACE analysis only (no fault injection)\n";
+    } else if (spec.plan.adaptive()) {
+        os << strprintf(
+            "statistical FI: adaptive stopping at +/-%.2f%% CI "
+            "half-width, %.0f%% confidence, cap %zu "
+            "injections/structure (%zu looks, peeking guard at "
+            "%.2f%%)\n",
+            100.0 * spec.plan.margin, 100.0 * spec.plan.confidence,
+            spec.plan.resolvedMaxInjections(),
+            sequentialSchedule(spec.plan).size(),
+            100.0 * sequentialConfidence(spec.plan));
     } else {
         os << strprintf(
             "statistical FI: %zu injections/structure, +/-%.2f%% margin "

@@ -16,6 +16,12 @@
  *   --injections=N    FI samples per structure (default 150; the paper's
  *                     value is 2000).  Env fallback: GPR_INJECTIONS.
  *   --confidence=C    confidence level for margins (default 0.99)
+ *   --margin=M        > 0 switches to adaptive sequential stopping:
+ *                     each campaign injects until every rate's (SDC,
+ *                     DUE, AVF) CI half-width is <= M (see
+ *                     reliability/sampling.hh)
+ *   --max-injections=N  adaptive cap per campaign (default: the
+ *                     fixed-size equivalent of (margin, confidence))
  *   --seed=S          campaign seed (default 0xC0FFEE)
  *   --threads=T       worker threads (default: hardware concurrency)
  *   --jobs=N          alias of --threads (orchestrator wording)

@@ -17,6 +17,16 @@ pct(double v)
     return strprintf("%.1f%%", 100.0 * v);
 }
 
+/** The error bar of a measured FI rate: its CI as "lo..hi%". */
+std::string
+ciCell(const StructureReport& sr)
+{
+    if (!sr.injections)
+        return "n/a";
+    return strprintf("%.1f..%.1f%%", 100.0 * sr.avfCi.lo,
+                     100.0 * sr.avfCi.hi);
+}
+
 } // namespace
 
 const ReliabilityReport&
@@ -30,7 +40,8 @@ StudyResult::at(std::size_t w, std::size_t g) const
 TextTable
 StudyResult::figure1() const
 {
-    TextTable table({"benchmark", "GPU", "AVF-FI", "AVF-ACE", "occupancy"});
+    TextTable table({"benchmark", "GPU", "AVF-FI", "FI CI", "AVF-ACE",
+                     "occupancy"});
     std::vector<RunningStat> fi_avg(gpus.size()), ace_avg(gpus.size()),
         occ_avg(gpus.size());
 
@@ -44,7 +55,8 @@ StudyResult::figure1() const
             table.addRow({workloads[w], r.gpuName,
                           sr.injections ? pct(sr.avfFi)
                                         : std::string("n/a"),
-                          pct(sr.avfAce), pct(sr.occupancy)});
+                          ciCell(sr), pct(sr.avfAce),
+                          pct(sr.occupancy)});
             if (sr.injections)
                 fi_avg[g].push(sr.avfFi);
             ace_avg[g].push(sr.avfAce);
@@ -55,7 +67,8 @@ StudyResult::figure1() const
         table.addRow({"average", std::string(gpuModelName(gpus[g])),
                       fi_avg[g].count() ? pct(fi_avg[g].mean())
                                         : std::string("n/a"),
-                      pct(ace_avg[g].mean()), pct(occ_avg[g].mean())});
+                      "", pct(ace_avg[g].mean()),
+                      pct(occ_avg[g].mean())});
     }
     return table;
 }
@@ -63,7 +76,8 @@ StudyResult::figure1() const
 TextTable
 StudyResult::figure2() const
 {
-    TextTable table({"benchmark", "GPU", "AVF-FI", "AVF-ACE", "occupancy"});
+    TextTable table({"benchmark", "GPU", "AVF-FI", "FI CI", "AVF-ACE",
+                     "occupancy"});
     std::vector<RunningStat> fi_avg(gpus.size()), ace_avg(gpus.size()),
         occ_avg(gpus.size());
 
@@ -80,7 +94,8 @@ StudyResult::figure2() const
             table.addRow({workloads[w], r.gpuName,
                           sr.injections ? pct(sr.avfFi)
                                         : std::string("n/a"),
-                          pct(sr.avfAce), pct(sr.occupancy)});
+                          ciCell(sr), pct(sr.avfAce),
+                          pct(sr.occupancy)});
             if (sr.injections)
                 fi_avg[g].push(sr.avfFi);
             ace_avg[g].push(sr.avfAce);
@@ -93,7 +108,8 @@ StudyResult::figure2() const
         table.addRow({"average", std::string(gpuModelName(gpus[g])),
                       fi_avg[g].count() ? pct(fi_avg[g].mean())
                                         : std::string("n/a"),
-                      pct(ace_avg[g].mean()), pct(occ_avg[g].mean())});
+                      "", pct(ace_avg[g].mean()),
+                      pct(occ_avg[g].mean())});
     }
     return table;
 }
@@ -101,13 +117,18 @@ StudyResult::figure2() const
 TextTable
 StudyResult::figure3() const
 {
-    TextTable table({"benchmark", "GPU", "EPF", "EIT", "FIT_GPU",
-                     "exec_s"});
+    TextTable table({"benchmark", "GPU", "EPF", "EPF CI", "EIT",
+                     "FIT_GPU", "exec_s"});
     for (std::size_t w = 0; w < workloads.size(); ++w) {
         for (std::size_t g = 0; g < gpus.size(); ++g) {
             const ReliabilityReport& r = at(w, g);
+            // Degenerate interval (ACE-only study): no error bar.
+            const bool has_ci = r.epfCi.hi > r.epfCi.lo;
             table.addRow({workloads[w], r.gpuName,
                           sciNotation(r.epf.epf()),
+                          has_ci ? sciNotation(r.epfCi.lo) + ".." +
+                                       sciNotation(r.epfCi.hi)
+                                 : std::string("n/a"),
                           sciNotation(r.epf.eit),
                           strprintf("%.1f", r.epf.fitTotal()),
                           sciNotation(r.execSeconds)});

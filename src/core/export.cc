@@ -549,6 +549,18 @@ writeStructure(JsonWriter& j, std::string_view key,
             j.kv("fi_error_margin", sr.fiErrorMargin);
             j.kv("sdc_rate", sr.sdcRate);
             j.kv("due_rate", sr.dueRate);
+            // Every measured rate carries its Wilson interval at
+            // ci_confidence; achieved_margin is the largest half-width
+            // (<= the spec margin when the stopping rule ended the
+            // campaign; larger means a cap cut it short).
+            j.kv("avf_ci_lo", sr.avfCi.lo);
+            j.kv("avf_ci_hi", sr.avfCi.hi);
+            j.kv("sdc_ci_lo", sr.sdcCi.lo);
+            j.kv("sdc_ci_hi", sr.sdcCi.hi);
+            j.kv("due_ci_lo", sr.dueCi.lo);
+            j.kv("due_ci_hi", sr.dueCi.hi);
+            j.kv("achieved_margin", sr.achievedMargin);
+            j.kv("ci_confidence", sr.ciConfidence);
         }
         j.kv("avf_ace", sr.avfAce);
         j.kv("occupancy", sr.occupancy);
@@ -579,6 +591,8 @@ writeReportJson(std::ostream& os, const ReliabilityReport& report)
     j.kv("fit_total", report.epf.fitTotal());
     j.kv("eit", report.epf.eit);
     j.kv("epf", report.epf.epf());
+    j.kv("epf_ci_lo", report.epfCi.lo);
+    j.kv("epf_ci_hi", report.epfCi.hi);
     j.endObject();
     j.endObject();
 }
@@ -618,9 +632,12 @@ writeStudyCsv(std::ostream& os, const StudyResult& study)
 {
     TextTable table(
         {"benchmark", "gpu", "cycles", "exec_seconds", "ipc",
-         "rf_avf_fi", "rf_avf_ace", "rf_occupancy", "rf_sdc", "rf_due",
-         "lm_applicable", "lm_avf_fi", "lm_avf_ace", "lm_occupancy",
-         "fit_total", "eit", "epf"});
+         "rf_avf_fi", "rf_avf_lo", "rf_avf_hi", "rf_avf_ace",
+         "rf_occupancy", "rf_sdc", "rf_sdc_lo", "rf_sdc_hi", "rf_due",
+         "rf_due_lo", "rf_due_hi", "rf_injections",
+         "lm_applicable", "lm_avf_fi", "lm_avf_lo", "lm_avf_hi",
+         "lm_avf_ace", "lm_occupancy", "lm_injections",
+         "ci_confidence", "fit_total", "eit", "epf", "epf_lo", "epf_hi"});
     for (const ReliabilityReport& r : study.reports) {
         const StructureReport& rf =
             r.forStructure(TargetStructure::VectorRegisterFile);
@@ -632,22 +649,37 @@ writeStudyCsv(std::ostream& os, const StudyResult& study)
             return sr.injections ? strprintf("%.6f", value)
                                  : std::string();
         };
+        const double conf =
+            rf.injections ? rf.ciConfidence : lm.ciConfidence;
         table.addRow(
             {r.workload, r.gpuName,
              strprintf("%llu", static_cast<unsigned long long>(r.cycles)),
              strprintf("%.6e", r.execSeconds), strprintf("%.3f", r.ipc),
              fi_cell(rf, rf.avfFi),
+             fi_cell(rf, rf.avfCi.lo),
+             fi_cell(rf, rf.avfCi.hi),
              strprintf("%.6f", rf.avfAce),
              strprintf("%.6f", rf.occupancy),
              fi_cell(rf, rf.sdcRate),
+             fi_cell(rf, rf.sdcCi.lo),
+             fi_cell(rf, rf.sdcCi.hi),
              fi_cell(rf, rf.dueRate),
+             fi_cell(rf, rf.dueCi.lo),
+             fi_cell(rf, rf.dueCi.hi),
+             strprintf("%zu", rf.injections),
              lm.applicable ? "1" : "0",
              fi_cell(lm, lm.avfFi),
+             fi_cell(lm, lm.avfCi.lo),
+             fi_cell(lm, lm.avfCi.hi),
              strprintf("%.6f", lm.avfAce),
              strprintf("%.6f", lm.occupancy),
+             strprintf("%zu", lm.injections),
+             conf > 0.0 ? strprintf("%.4f", conf) : std::string(),
              strprintf("%.3f", r.epf.fitTotal()),
              strprintf("%.6e", r.epf.eit),
-             strprintf("%.6e", r.epf.epf())});
+             strprintf("%.6e", r.epf.epf()),
+             strprintf("%.6e", r.epfCi.lo),
+             strprintf("%.6e", r.epfCi.hi)});
     }
     table.renderCsv(os);
 }

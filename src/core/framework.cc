@@ -85,12 +85,21 @@ ReliabilityReport::printSummary(std::ostream& os) const
             os << strprintf("  %-22s n/a\n", label.c_str());
             continue;
         }
-        os << strprintf(
-            "  %-22s AVF-FI %5.1f%% (+/-%4.1f%%, SDC %4.1f%% DUE %4.1f%%)"
-            "  AVF-ACE %5.1f%%  occ %5.1f%%\n",
-            label.c_str(), 100.0 * sr.avfFi, 100.0 * sr.fiErrorMargin,
-            100.0 * sr.sdcRate, 100.0 * sr.dueRate, 100.0 * sr.avfAce,
-            100.0 * sr.occupancy);
+        if (sr.injections) {
+            os << strprintf(
+                "  %-22s AVF-FI %5.1f%% [%4.1f,%5.1f] "
+                "(SDC %4.1f%% DUE %4.1f%%, n=%zu)"
+                "  AVF-ACE %5.1f%%  occ %5.1f%%\n",
+                label.c_str(), 100.0 * sr.avfFi, 100.0 * sr.avfCi.lo,
+                100.0 * sr.avfCi.hi, 100.0 * sr.sdcRate,
+                100.0 * sr.dueRate, sr.injections, 100.0 * sr.avfAce,
+                100.0 * sr.occupancy);
+        } else {
+            os << strprintf(
+                "  %-22s AVF-FI   n/a"
+                "  AVF-ACE %5.1f%%  occ %5.1f%%\n",
+                label.c_str(), 100.0 * sr.avfAce, 100.0 * sr.occupancy);
+        }
     }
 
     os << strprintf(

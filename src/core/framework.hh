@@ -55,9 +55,21 @@ struct StructureReport
     double fiErrorMargin = 0.0;
     double sdcRate = 0.0;
     double dueRate = 0.0;
+    /** Wilson intervals around the three measured rates, quoted at
+     *  @ref ciConfidence (zero-width when nothing was injected). */
+    Interval avfCi;
+    Interval sdcCi;
+    Interval dueCi;
+    /** Largest CI half-width across SDC/DUE/AVF — what an adaptive
+     *  campaign drove below the plan's margin. */
+    double achievedMargin = 0.0;
+    /** Confidence level of the intervals above. */
+    double ciConfidence = 0.0;
     double avfAce = 0.0;
     double occupancy = 0.0;
     double fiWallSeconds = 0.0;
+    /** Injections actually run: the adaptive stopping point, or the
+     *  fixed plan size (0 = structure not measured). */
     std::size_t injections = 0;
 };
 
@@ -82,6 +94,9 @@ struct ReliabilityReport
 
     // Combined metric (Fig. 3).
     EpfResult epf;
+    /** EPF evaluated at the AVF interval endpoints — the error bar the
+     *  fig3 bench renders (degenerate for ACE-only studies). */
+    Interval epfCi;
 
     double aceWallSeconds = 0.0;
 

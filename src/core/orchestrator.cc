@@ -5,6 +5,7 @@
 #include <chrono>
 #include <exception>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,17 +24,50 @@ namespace gpr {
 
 // ---------------------------------------------------------- decomposition
 
+namespace {
+
+/**
+ * [begin, end) injection ranges of one campaign's shards.  Shard
+ * boundaries always coincide with the adaptive look schedule (a fixed
+ * plan is one "look" covering everything), so the cumulative counts the
+ * stopping rule reads at each look are whole-shard sums regardless of
+ * the shards-per-campaign setting — which is what keeps the stopping
+ * decision a pure function of the ordered record prefix.
+ */
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+campaignShardRanges(const SamplePlan& plan, std::size_t per)
+{
+    std::vector<std::uint64_t> looks;
+    if (plan.adaptive())
+        looks = sequentialSchedule(plan);
+    else
+        looks = {plan.injections};
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+    std::uint64_t prev = 0;
+    for (std::uint64_t look : looks) {
+        for (std::uint64_t begin = prev; begin < look; begin += per)
+            ranges.emplace_back(begin,
+                                std::min<std::uint64_t>(begin + per, look));
+        prev = look;
+    }
+    return ranges;
+}
+
+} // namespace
+
 std::size_t
 defaultShardCount(const SamplePlan& plan)
 {
-    if (plan.injections == 0)
+    const std::size_t n = plan.resolvedMaxInjections();
+    if (n == 0)
         return 0;
     // ~250 injections per shard: fine-grained enough to keep a pool busy
     // and to make resume checkpoints frequent, coarse enough that the
     // per-shard simulator setup stays negligible.  Deliberately *not* a
     // function of the worker count, so a store written at --jobs 1
     // resumes cleanly at --jobs 8.
-    const std::size_t shards = (plan.injections + 249) / 250;
+    const std::size_t shards = (n + 249) / 250;
     return std::min<std::size_t>(std::max<std::size_t>(shards, 1), 64);
 }
 
@@ -43,7 +77,7 @@ decomposeStudy(const StudySpec& spec)
     std::vector<ShardKey> shards;
     if (spec.aceOnly)
         return shards;
-    const std::size_t n = spec.plan.injections;
+    const std::size_t n = spec.plan.resolvedMaxInjections();
     if (n == 0)
         return shards;
     std::size_t shards_per_campaign = spec.shardsPerCampaign;
@@ -51,6 +85,7 @@ decomposeStudy(const StudySpec& spec)
         shards_per_campaign = defaultShardCount(spec.plan);
     const std::size_t per =
         (n + shards_per_campaign - 1) / shards_per_campaign;
+    const auto ranges = campaignShardRanges(spec.plan, per);
 
     // Duplicate (workload, GPU) grid entries are one cell: identical
     // seeds produce identical counts, so they share one set of shards
@@ -69,15 +104,15 @@ decomposeStudy(const StudySpec& spec)
             const GpuConfig& config = gpuConfig(gpu);
             for (TargetStructure s : selectStructures(
                      config, uses_lds, spec.structures)) {
-                for (std::size_t begin = 0, index = 0; begin < n;
-                     begin += per, ++index) {
+                for (std::size_t index = 0; index < ranges.size();
+                     ++index) {
                     ShardKey key;
                     key.workload = w;
                     key.gpu = gpu;
                     key.structure = s;
                     key.shardIndex = static_cast<std::uint32_t>(index);
-                    key.injectionBegin = begin;
-                    key.injectionEnd = std::min(begin + per, n);
+                    key.injectionBegin = ranges[index].first;
+                    key.injectionEnd = ranges[index].second;
                     key.campaignSeed =
                         deriveSeed(spec.seed,
                                    static_cast<std::uint64_t>(s));
@@ -159,20 +194,45 @@ struct Cell
 
     // Checkpoint pack shared by every shard of this cell.  Built
     // lazily by the first shard worker that needs it (one extra golden
-    // pass) and released when the cell's last shard retires, so peak
-    // pack memory tracks the cells currently in flight, not the whole
-    // grid.
+    // pass) and released when the cell's last campaign finishes, so
+    // peak pack memory tracks the cells currently in flight, not the
+    // whole grid.
     std::once_flag packOnce;
     std::shared_ptr<const CheckpointPack> pack;
-    std::atomic<std::size_t> shardsLeft{0};
+    std::atomic<std::size_t> campaignsLeft{0};
 };
 
-/** Per-campaign accumulation of shard outcomes. */
+/** Final accumulation of one campaign, fed to report assembly. */
 struct CampaignTotals
 {
     ShardCounts counts;
+    /** Injections actually run — the adaptive stopping point, or the
+     *  full fixed plan. */
+    std::uint64_t injections = 0;
+};
+
+/**
+ * One (cell, structure) campaign's execution state: the worst-case
+ * ordered shard list, its batch boundaries (one batch per adaptive
+ * look; a single batch for a fixed plan), and the cumulative counts of
+ * the merged prefix.  Batches are issued strictly in order and the
+ * next one only after the stopping rule declined to stop on the counts
+ * so far — shards beyond the stopping point are pruned, never run.
+ */
+struct CampaignExec
+{
+    std::size_t cellIndex = 0;
+    TargetStructure structure = TargetStructure::VectorRegisterFile;
+    std::vector<ShardKey> shards;
+    /** Exclusive shard index ending each batch. */
+    std::vector<std::size_t> batchEndShard;
+    std::size_t issuedBatches = 0;
+    /** Shards of the current batch still executing on the pool. */
+    std::size_t outstanding = 0;
+    ShardCounts counts;
+    std::uint64_t injectionsDone = 0;
     std::size_t shardsDone = 0;
-    std::size_t shardsTotal = 0;
+    bool finished = false;
 };
 
 void
@@ -211,14 +271,19 @@ assembleReport(ReliabilityReport& report, const Cell& cell,
             // every structure for free.
             if (!spec.aceOnly && selected) {
                 // Fold the shard counts through CampaignResult so the
-                // statistics (AVF, rates, Wilson margin) share one
-                // implementation with the standalone campaign path.
+                // statistics (AVF, rates, Wilson intervals, achieved
+                // margin) share one implementation with the standalone
+                // campaign path.
                 const auto it = campaigns.find(sspec.id);
                 CampaignResult cr;
                 cr.structure = sspec.id;
                 cr.confidence = spec.plan.confidence;
-                cr.injections = spec.plan.injections;
                 if (it != campaigns.end()) {
+                    // The campaign's own injection count — for an
+                    // adaptive plan this is its stopping point, not the
+                    // plan ceiling.
+                    cr.injections = static_cast<std::size_t>(
+                        it->second.injections);
                     cr.masked =
                         static_cast<std::size_t>(it->second.counts.masked);
                     cr.sdc =
@@ -226,11 +291,18 @@ assembleReport(ReliabilityReport& report, const Cell& cell,
                     cr.due =
                         static_cast<std::size_t>(it->second.counts.due);
                     cr.wallSeconds = it->second.counts.busySeconds;
+                } else if (!spec.plan.adaptive()) {
+                    cr.injections = spec.plan.injections;
                 }
                 sr.avfFi = cr.avf();
                 sr.fiErrorMargin = cr.errorMargin();
                 sr.sdcRate = cr.sdcRate();
                 sr.dueRate = cr.dueRate();
+                sr.avfCi = cr.avfInterval();
+                sr.sdcCi = cr.sdcInterval();
+                sr.dueCi = cr.dueInterval();
+                sr.achievedMargin = cr.achievedMargin();
+                sr.ciConfidence = spec.plan.confidence;
                 sr.fiWallSeconds = cr.wallSeconds;
                 sr.injections = cr.injections;
             }
@@ -255,6 +327,32 @@ assembleReport(ReliabilityReport& report, const Cell& cell,
                             pick(TargetStructure::SharedMemory),
                             pick(TargetStructure::ScalarRegisterFile),
                             spec.fitParams);
+
+    // Propagate the AVF intervals through the FIT/EPF roll-up: EPF is
+    // monotone (decreasing) in every AVF, so evaluating it at the two
+    // interval endpoints bounds the EPF itself.  Unmeasured structures
+    // contribute their (point) ACE fallback at both endpoints.
+    const auto pick_bound = [&](TargetStructure s, bool upper) {
+        const StructureReport& sr = report.forStructure(s);
+        if (!sr.applicable)
+            return 0.0;
+        if (!sr.injections)
+            return sr.avfAce;
+        return upper ? sr.avfCi.hi : sr.avfCi.lo;
+    };
+    const auto epf_at = [&](bool upper) {
+        return computeEpf(
+                   *cell.config, report.cycles,
+                   pick_bound(TargetStructure::VectorRegisterFile, upper),
+                   pick_bound(TargetStructure::SharedMemory, upper),
+                   pick_bound(TargetStructure::ScalarRegisterFile, upper),
+                   spec.fitParams)
+            .epf();
+    };
+    const double epf_a = epf_at(false);
+    const double epf_b = epf_at(true);
+    report.epfCi.lo = std::min(epf_a, epf_b);
+    report.epfCi.hi = std::max(epf_a, epf_b);
 }
 
 } // namespace
@@ -437,33 +535,71 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
                " GPUs)");
     }
 
-    // Wave 2 — the flat shard work-list, one global pool, no nesting.
-    std::map<std::size_t, std::map<TargetStructure, CampaignTotals>>
-        totals_by_cell;
-    std::mutex totals_mutex;
-
+    // Wave 2 — one CampaignExec per (cell, structure), batches issued
+    // dynamically: batch k+1 of a campaign is only submitted after every
+    // shard of batches 0..k merged and the stopping rule declined to
+    // stop on the cumulative counts (a fixed plan is a single batch).
+    // Campaigns advance independently, so the pool stays busy across
+    // the grid even though batches within one campaign serialize.
     auto cell_index = [&](const ShardKey& key) {
         return canonical.at(std::make_pair(key.workload, key.gpu));
     };
 
-    for (const ShardKey& key : shards) {
-        const std::size_t ci = cell_index(key);
-        totals_by_cell[ci][key.structure].shardsTotal++;
-        cells[ci]->shardsLeft.fetch_add(1, std::memory_order_relaxed);
+    const bool adaptive = spec.plan.adaptive() && !spec.aceOnly;
+    std::vector<std::uint64_t> looks;
+    double guarded_confidence = 0.0;
+    if (adaptive && !shards.empty()) {
+        looks = sequentialSchedule(spec.plan);
+        // Derived once: every stop evaluation below runs under the
+        // state mutex and must not rebuild the schedule.
+        guarded_confidence = sequentialConfidence(spec.plan);
     }
 
-    auto merge_shard = [&](const ShardKey& key, const ShardCounts& counts,
-                           bool executed) {
-        std::lock_guard<std::mutex> lock(totals_mutex);
-        CampaignTotals& t = totals_by_cell[cell_index(key)][key.structure];
-        t.counts.masked += counts.masked;
-        t.counts.sdc += counts.sdc;
-        t.counts.due += counts.due;
+    std::vector<CampaignExec> campaigns;
+    for (const ShardKey& key : shards) {
+        // decomposeStudy emits each campaign's shards contiguously and
+        // in injection order, so grouping is a linear scan.
+        if (campaigns.empty() ||
+            campaigns.back().cellIndex != cell_index(key) ||
+            campaigns.back().structure != key.structure) {
+            CampaignExec c;
+            c.cellIndex = cell_index(key);
+            c.structure = key.structure;
+            campaigns.push_back(std::move(c));
+        }
+        campaigns.back().shards.push_back(key);
+    }
+    for (CampaignExec& c : campaigns) {
+        if (adaptive) {
+            std::size_t look = 0;
+            for (std::size_t i = 0; i < c.shards.size(); ++i) {
+                if (c.shards[i].injectionEnd == looks[look]) {
+                    c.batchEndShard.push_back(i + 1);
+                    ++look;
+                }
+            }
+            GPR_ASSERT(look == looks.size(),
+                       "shard ranges must tile the look schedule");
+        } else {
+            c.batchEndShard = {c.shards.size()};
+        }
+        cells[c.cellIndex]->campaignsLeft.fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    std::mutex state_mutex; // guards campaigns' counts + progress
+
+    auto merge_locked = [&](CampaignExec& c, const ShardKey& key,
+                            const ShardCounts& counts, bool executed) {
+        c.counts.masked += counts.masked;
+        c.counts.sdc += counts.sdc;
+        c.counts.due += counts.due;
         // Busy seconds are per-worker loop time: campaigns sharing the
         // pool sum to total worker-seconds, never double-counting
         // concurrent wall-clock.
-        t.counts.busySeconds += counts.busySeconds;
-        ++t.shardsDone;
+        c.counts.busySeconds += counts.busySeconds;
+        c.injectionsDone += key.injectionEnd - key.injectionBegin;
+        ++c.shardsDone;
         if (executed) {
             ++progress.executedShards;
             progress.injectionsExecuted +=
@@ -472,84 +608,176 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
         } else {
             ++progress.resumedShards;
         }
-        if (spec.verbose && t.shardsDone == t.shardsTotal) {
-            inform("study: ", key.workload, " on ",
-                   gpuModelName(key.gpu), " ",
-                   targetStructureName(key.structure), " campaign done (",
-                   t.shardsTotal, " shards, ",
-                   strprintf("%.2f", t.counts.busySeconds), " worker-s)");
+    };
+
+    auto finish_locked = [&](CampaignExec& c) {
+        c.finished = true;
+        progress.prunedShards += c.shards.size() - c.shardsDone;
+        Cell* cell = cells[c.cellIndex].get();
+        if (cell->campaignsLeft.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+            cell->pack.reset();
+        }
+        if (spec.verbose) {
+            inform("study: ", cell->workload, " on ",
+                   gpuModelName(cell->gpu), " ",
+                   targetStructureName(c.structure), " campaign done (",
+                   c.injectionsDone, " injections, ", c.shardsDone,
+                   " shards, ",
+                   strprintf("%.2f", c.counts.busySeconds), " worker-s)");
+        }
+    };
+
+    /**
+     * Advance @p c until it is finished or has shards in flight: when
+     * the current batch is fully merged, evaluate the stopping rule on
+     * the cumulative counts and either finish or issue the next batch.
+     * Store-resumed shards merge inline (the while loop then re-
+     * evaluates immediately); the rest are handed back for submission
+     * outside the lock.
+     */
+    auto pump_locked = [&](CampaignExec& c,
+                           std::vector<std::pair<CampaignExec*,
+                                                 const ShardKey*>>&
+                               to_run) {
+        while (!c.finished && c.outstanding == 0) {
+            if (c.issuedBatches > 0) {
+                const bool last =
+                    c.issuedBatches == c.batchEndShard.size();
+                bool stop = !adaptive;
+                if (adaptive) {
+                    // The stopping decision reads only the ordered
+                    // record prefix [0, injectionsDone) — bit-identical
+                    // at every jobs/shards/resume configuration.
+                    stop = evaluateSequentialStop(c.counts.sdc,
+                                                  c.counts.due,
+                                                  c.injectionsDone,
+                                                  spec.plan,
+                                                  guarded_confidence)
+                               .stop;
+                }
+                if (stop || last) {
+                    finish_locked(c);
+                    break;
+                }
+            }
+            const std::size_t begin =
+                c.issuedBatches == 0
+                    ? 0
+                    : c.batchEndShard[c.issuedBatches - 1];
+            const std::size_t end = c.batchEndShard[c.issuedBatches];
+            ++c.issuedBatches;
+            for (std::size_t i = begin; i < end; ++i) {
+                const ShardKey& key = c.shards[i];
+                if (const auto it = checkpointed.find(key);
+                    it != checkpointed.end()) {
+                    merge_locked(c, key, it->second, /*executed=*/false);
+                } else {
+                    ++c.outstanding;
+                    to_run.emplace_back(&c, &key);
+                }
+            }
         }
     };
 
     // A cell's pack is recorded by whichever shard worker gets there
     // first (the others block on the once_flag for the duration of one
-    // golden pass) and freed as soon as the cell's last shard retires.
+    // golden pass) and freed as soon as the cell's last campaign
+    // finishes.
     auto adopt_cell_pack = [&](Cell* cell, FaultInjector& injector) {
         if (spec.checkpoints == 0)
             return;
         std::call_once(cell->packOnce, [&]() {
             cell->pack = injector.buildCheckpointPack(spec.checkpoints);
-            std::lock_guard<std::mutex> lock(totals_mutex);
+            std::lock_guard<std::mutex> lock(state_mutex);
             ++progress.checkpointPacks;
         });
         if (cell->pack)
             injector.adoptCheckpointPack(cell->pack);
     };
-    auto retire_cell_shard = [](Cell* cell) {
-        if (cell->shardsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
-            cell->pack.reset();
-    };
 
-    for (const ShardKey& key : shards) {
-        Cell* cell = cells[cell_index(key)].get();
-        if (const auto it = checkpointed.find(key);
-            it != checkpointed.end()) {
-            merge_shard(key, it->second, /*executed=*/false);
-            retire_cell_shard(cell);
-            continue;
-        }
-        pool.submit([&, key, cell]() {
-            if (errored())
-                return;
-            try {
-                const auto s0 = std::chrono::steady_clock::now();
-                FaultInjector injector(*cell->config, cell->instance);
-                injector.adoptGoldenCycles(cell->ace.goldenStats.cycles);
-                adopt_cell_pack(cell, injector);
-                ShardCounts counts;
-                for (std::uint64_t i = key.injectionBegin;
-                     i < key.injectionEnd; ++i) {
-                    const InjectionResult r = runIndexedInjection(
-                        injector, key.structure, key.campaignSeed, i);
-                    switch (r.outcome) {
-                      case FaultOutcome::Masked:
-                        ++counts.masked;
-                        break;
-                      case FaultOutcome::Sdc:
-                        ++counts.sdc;
-                        break;
-                      case FaultOutcome::Due:
-                        ++counts.due;
-                        break;
+    // Recursive through std::function: a worker that completes the last
+    // shard of a batch submits the campaign's next batch itself.
+    std::function<void(CampaignExec*, const ShardKey*)> submit_shard =
+        [&](CampaignExec* campaign, const ShardKey* keyp) {
+            Cell* cell = cells[campaign->cellIndex].get();
+            pool.submit([&, campaign, keyp, cell]() {
+                if (errored())
+                    return;
+                try {
+                    const ShardKey& key = *keyp;
+                    const auto s0 = std::chrono::steady_clock::now();
+                    FaultInjector injector(*cell->config, cell->instance);
+                    injector.adoptGoldenCycles(
+                        cell->ace.goldenStats.cycles);
+                    adopt_cell_pack(cell, injector);
+                    ShardCounts counts;
+                    for (std::uint64_t i = key.injectionBegin;
+                         i < key.injectionEnd; ++i) {
+                        const InjectionResult r = runIndexedInjection(
+                            injector, key.structure, key.campaignSeed, i);
+                        switch (r.outcome) {
+                          case FaultOutcome::Masked:
+                            ++counts.masked;
+                            break;
+                          case FaultOutcome::Sdc:
+                            ++counts.sdc;
+                            break;
+                          case FaultOutcome::Due:
+                            ++counts.due;
+                            break;
+                        }
                     }
+                    const auto s1 = std::chrono::steady_clock::now();
+                    counts.busySeconds =
+                        std::chrono::duration<double>(s1 - s0).count();
+                    if (store.is_open()) {
+                        std::lock_guard<std::mutex> lock(store_mutex);
+                        writeShardRecord(store, ShardRecord{key, counts});
+                        store << '\n';
+                        store.flush();
+                    }
+                    std::vector<std::pair<CampaignExec*, const ShardKey*>>
+                        to_run;
+                    {
+                        std::lock_guard<std::mutex> lock(state_mutex);
+                        merge_locked(*campaign, key, counts,
+                                     /*executed=*/true);
+                        --campaign->outstanding;
+                        if (campaign->outstanding == 0)
+                            pump_locked(*campaign, to_run);
+                    }
+                    for (const auto& [next_campaign, next_key] : to_run)
+                        submit_shard(next_campaign, next_key);
+                } catch (...) {
+                    record_error();
                 }
-                const auto s1 = std::chrono::steady_clock::now();
-                counts.busySeconds =
-                    std::chrono::duration<double>(s1 - s0).count();
-                merge_shard(key, counts, /*executed=*/true);
-                if (store.is_open()) {
-                    std::lock_guard<std::mutex> lock(store_mutex);
-                    writeShardRecord(store, ShardRecord{key, counts});
-                    store << '\n';
-                    store.flush();
-                }
-            } catch (...) {
-                record_error();
-            }
-            retire_cell_shard(cell);
-        });
+            });
+        };
+
+    {
+        std::vector<std::pair<CampaignExec*, const ShardKey*>> to_run;
+        {
+            std::lock_guard<std::mutex> lock(state_mutex);
+            for (CampaignExec& c : campaigns)
+                pump_locked(c, to_run);
+        }
+        for (const auto& [campaign, key] : to_run)
+            submit_shard(campaign, key);
     }
     rethrow_errors();
+    for (const CampaignExec& c : campaigns) {
+        GPR_ASSERT(c.finished && c.outstanding == 0,
+                   "campaign did not run to a stopping point");
+    }
+
+    std::map<std::size_t, std::map<TargetStructure, CampaignTotals>>
+        totals_by_cell;
+    for (const CampaignExec& c : campaigns) {
+        CampaignTotals& t = totals_by_cell[c.cellIndex][c.structure];
+        t.counts = c.counts;
+        t.injections = c.injectionsDone;
+    }
 
     // Assembly — pure arithmetic over integer counts, so the reports are
     // bit-identical for any jobs/shards/resume configuration.  Duplicate
@@ -570,6 +798,7 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
     if (spec.verbose) {
         inform("study: ", progress.executedShards, " shards executed, ",
                progress.resumedShards, " resumed from store, ",
+               progress.prunedShards, " pruned by early stopping, ",
                strprintf("%.2f", progress.wallSeconds), " s wall (",
                strprintf("%.2f", progress.shardBusySeconds),
                " worker-s injecting, ", progress.injectionsExecuted,

@@ -19,6 +19,15 @@
  *    injection index) — the scheme FaultInjectionCampaign already uses —
  *    so aggregate counts are bit-identical regardless of shard count,
  *    worker count, or resume history.
+ *
+ * Adaptive plans (StudySpec.plan.margin > 0) turn each campaign's shard
+ * list into dynamically issued batches: one batch per look of the
+ * sequential schedule (reliability/sampling.hh), the next batch issued
+ * only after the stopping rule declined to stop on the cumulative
+ * counts so far.  Because shard boundaries coincide with look
+ * boundaries and the rule reads only the ordered record prefix, the
+ * stopping point — and therefore every reported count and interval —
+ * stays bit-identical at any jobs/shards/resume configuration.
  */
 
 #ifndef GPR_CORE_ORCHESTRATOR_HH
@@ -68,9 +77,13 @@ struct StudyProgress
 {
     std::size_t cells = 0;          ///< (workload, GPU) pairs
     std::size_t goldenRuns = 0;     ///< reference simulations performed
+    /** Worst-case shard count (an adaptive study may prune some). */
     std::size_t totalShards = 0;
     std::size_t executedShards = 0; ///< computed this run
     std::size_t resumedShards = 0;  ///< satisfied from the store
+    /** Shards never run because the sequential stopping rule ended
+     *  their campaign first (adaptive plans only). */
+    std::size_t prunedShards = 0;
     /** Injections simulated this run (resumed shards excluded). */
     std::uint64_t injectionsExecuted = 0;
     /** Checkpoint packs recorded (one per cell that ran any shard). */
@@ -96,7 +109,10 @@ std::size_t defaultShardCount(const SamplePlan& plan);
 /**
  * Decompose @p spec into its flat shard work-list (no execution).  The
  * order is deterministic: cells in grid order, structures in enum order,
- * shards by index.  Exposed for tests and tooling.
+ * shards by index.  For an adaptive plan this is the *worst-case* list
+ * (up to the plan's injection cap, shard boundaries aligned to the
+ * sequential look schedule); execution prunes every shard past a
+ * campaign's stopping point.  Exposed for tests and tooling.
  */
 std::vector<ShardKey> decomposeStudy(const StudySpec& spec);
 

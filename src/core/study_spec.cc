@@ -123,13 +123,22 @@ StudySpec::validate() const
     }
     for (TargetStructure s : structures)
         structureSpec(s); // throws FatalError on an unregistered id
-    if (plan.injections == 0 && !aceOnly) {
-        fatal("spec has a zero-injection sample plan; either set "
-              "campaign.injections > 0 or campaign.ace_only = true");
+    if (plan.injections == 0 && !plan.adaptive() && !aceOnly) {
+        fatal("spec has a zero-injection sample plan; set "
+              "campaign.injections > 0, campaign.margin > 0 (adaptive "
+              "stopping), or campaign.ace_only = true");
     }
     if (plan.confidence <= 0.0 || plan.confidence >= 1.0) {
         fatal("spec confidence ", formatDouble(plan.confidence),
               " is outside (0, 1)");
+    }
+    if (plan.margin < 0.0 || plan.margin >= 1.0) {
+        fatal("spec margin ", formatDouble(plan.margin),
+              " is outside [0, 1); 0 disables adaptive stopping");
+    }
+    if (!plan.adaptive() && plan.maxInjections > 0) {
+        fatal("spec sets campaign.max_injections without a margin; the "
+              "cap only applies to adaptive (margin > 0) campaigns");
     }
     if (resume && storePath.empty())
         fatal("spec requests resume without a store path");
@@ -165,7 +174,18 @@ StudySpec::campaignHash() const
     h.mix(s.size());
     for (TargetStructure id : s)
         h.mix(static_cast<std::uint64_t>(id));
-    h.mix(plan.injections);
+    if (plan.adaptive()) {
+        // Adaptive campaigns are identified by (margin, cap) — the fixed
+        // injection count is unused and must not split their identity.
+        // The marker keeps the adaptive space disjoint from every fixed
+        // plan; fixed plans keep the pre-adaptive byte sequence, so
+        // existing stores stay resumable.
+        h.mix(0x414441505456ULL); // "ADAPTV"
+        h.mix(doubleBits(plan.margin));
+        h.mix(plan.resolvedMaxInjections());
+    } else {
+        h.mix(plan.injections);
+    }
     h.mix(doubleBits(plan.confidence));
     h.mix(seed);
     h.mix(workloadSeed);
@@ -207,6 +227,8 @@ StudySpec::writeJson(JsonWriter& j) const
     j.key("campaign").beginObject();
     j.kv("injections", static_cast<std::uint64_t>(plan.injections));
     j.key("confidence").raw(formatDouble(plan.confidence));
+    j.key("margin").raw(formatDouble(plan.margin));
+    j.kv("max_injections", static_cast<std::uint64_t>(plan.maxInjections));
     j.kv("seed", seed);
     j.kv("workload_seed", workloadSeed);
     j.kv("ace_only", aceOnly);
@@ -280,13 +302,18 @@ StudySpec::fromJson(std::string_view json)
 
     if (const JsonValue* campaign = doc.find("campaign")) {
         rejectUnknownKeys(*campaign, "campaign",
-                          {"injections", "confidence", "seed",
-                           "workload_seed", "ace_only",
-                           "raw_fit_per_mbit"});
+                          {"injections", "confidence", "margin",
+                           "max_injections", "seed", "workload_seed",
+                           "ace_only", "raw_fit_per_mbit"});
         if (const JsonValue* v = campaign->find("injections"))
             spec.plan.injections = static_cast<std::size_t>(v->asU64());
         if (const JsonValue* v = campaign->find("confidence"))
             spec.plan.confidence = v->asDouble();
+        if (const JsonValue* v = campaign->find("margin"))
+            spec.plan.margin = v->asDouble();
+        if (const JsonValue* v = campaign->find("max_injections"))
+            spec.plan.maxInjections =
+                static_cast<std::size_t>(v->asU64());
         if (const JsonValue* v = campaign->find("seed"))
             spec.seed = v->asU64();
         if (const JsonValue* v = campaign->find("workload_seed"))
@@ -341,7 +368,9 @@ StudySpec::operator==(const StudySpec& o) const
     return workloads == o.workloads && gpus == o.gpus &&
            structures == o.structures &&
            plan.injections == o.plan.injections &&
-           plan.confidence == o.plan.confidence && seed == o.seed &&
+           plan.confidence == o.plan.confidence &&
+           plan.margin == o.plan.margin &&
+           plan.maxInjections == o.plan.maxInjections && seed == o.seed &&
            workloadSeed == o.workloadSeed && aceOnly == o.aceOnly &&
            fitParams.rawFitPerMbit == o.fitParams.rawFitPerMbit &&
            jobs == o.jobs && shardsPerCampaign == o.shardsPerCampaign &&
@@ -411,6 +440,20 @@ StudySpecBuilder&
 StudySpecBuilder::confidence(double c)
 {
     spec_.plan.confidence = c;
+    return *this;
+}
+
+StudySpecBuilder&
+StudySpecBuilder::margin(double m)
+{
+    spec_.plan.margin = m;
+    return *this;
+}
+
+StudySpecBuilder&
+StudySpecBuilder::maxInjections(std::size_t n)
+{
+    spec_.plan.maxInjections = n;
     return *this;
 }
 

@@ -66,7 +66,11 @@ struct StudySpec
     std::vector<TargetStructure> structures;
 
     // --- Campaign: how to sample. -------------------------------------
-    /** Injections per structure + confidence (paper: 2000 @ 99 %). */
+    /** Injections per structure + confidence (paper: 2000 @ 99 %).
+     *  plan.margin > 0 switches the campaign to adaptive sequential
+     *  stopping: each cell injects until every reported rate's CI
+     *  half-width meets the margin, capped at plan.maxInjections (0 =
+     *  the fixed-size equivalent). */
     SamplePlan plan = paperSamplePlan();
     /** Seed the per-(structure, injection) RNGs derive from. */
     std::uint64_t seed = 0xC0FFEE;
@@ -156,6 +160,10 @@ class StudySpecBuilder
     StudySpecBuilder& plan(const SamplePlan& p);
     StudySpecBuilder& injections(std::size_t n);
     StudySpecBuilder& confidence(double c);
+    /** > 0 selects adaptive sequential stopping at this CI half-width. */
+    StudySpecBuilder& margin(double m);
+    /** Adaptive cap; 0 derives the fixed-size equivalent. */
+    StudySpecBuilder& maxInjections(std::size_t n);
     StudySpecBuilder& seed(std::uint64_t s);
     StudySpecBuilder& workloadSeed(std::uint64_t s);
     StudySpecBuilder& aceOnly(bool on = true);

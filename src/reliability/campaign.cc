@@ -19,6 +19,11 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
     result.structure = structure;
     result.confidence = cc.plan.confidence;
 
+    const bool adaptive = cc.plan.adaptive();
+    // The most injections this campaign can run (adaptive only ever
+    // stops earlier).
+    const std::size_t cap = cc.plan.resolvedMaxInjections();
+
     // Golden run once up front (also validates the workload); the same
     // probe then records the campaign's shared checkpoint pack.  That
     // recording pass is a second full golden simulation — unavoidable,
@@ -30,103 +35,136 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
     {
         FaultInjector probe(config, instance);
         result.goldenStats = probe.goldenRun().stats;
-        if (cc.checkpoints > 0 && cc.plan.injections > 0)
+        if (cc.checkpoints > 0 && cap > 0)
             pack = probe.buildCheckpointPack(cc.checkpoints);
     }
 
-    const std::size_t n = cc.plan.injections;
-    result.injections = n;
-    if (n == 0)
+    if (cap == 0)
         return result;
 
-    unsigned workers = cc.numThreads
-                           ? cc.numThreads
-                           : std::max(1u, std::thread::hardware_concurrency());
-    workers = static_cast<unsigned>(
-        std::min<std::size_t>(workers, n));
-
-    std::atomic<std::size_t> next{0};
     std::mutex merge_mutex;
     std::vector<InjectionResult> records;
     if (cc.keepRecords)
-        records.resize(n);
+        records.resize(cap);
 
-    auto worker_fn = [&]() {
-        // Adopt the shared golden: the reference simulation already ran
-        // once for this campaign; workers only need its cycle count
-        // (and the checkpoint pack, which is read-only and shared).
-        FaultInjector injector(config, instance);
-        injector.adoptGoldenCycles(result.goldenStats.cycles);
-        if (pack)
-            injector.adoptCheckpointPack(pack);
-        std::size_t local_masked = 0, local_sdc = 0, local_due = 0;
+    // Run injections [begin, end) and fold their outcomes into the
+    // result.  Adaptive campaigns call this once per look of the
+    // schedule; fixed campaigns once for the whole plan.
+    auto run_range = [&](std::size_t begin, std::size_t end) {
+        std::atomic<std::size_t> next{begin};
 
-        const auto t0 = std::chrono::steady_clock::now();
-        while (true) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= n)
-                break;
-            const InjectionResult r =
-                runIndexedInjection(injector, structure, cc.seed, i);
-            switch (r.outcome) {
-              case FaultOutcome::Masked:
-                ++local_masked;
-                break;
-              case FaultOutcome::Sdc:
-                ++local_sdc;
-                break;
-              case FaultOutcome::Due:
-                ++local_due;
-                break;
+        auto worker_fn = [&]() {
+            // Adopt the shared golden: the reference simulation already
+            // ran once for this campaign; workers only need its cycle
+            // count (and the checkpoint pack, which is read-only and
+            // shared).
+            FaultInjector injector(config, instance);
+            injector.adoptGoldenCycles(result.goldenStats.cycles);
+            if (pack)
+                injector.adoptCheckpointPack(pack);
+            std::size_t local_masked = 0, local_sdc = 0, local_due = 0;
+
+            const auto t0 = std::chrono::steady_clock::now();
+            while (true) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= end)
+                    break;
+                const InjectionResult r =
+                    runIndexedInjection(injector, structure, cc.seed, i);
+                switch (r.outcome) {
+                  case FaultOutcome::Masked:
+                    ++local_masked;
+                    break;
+                  case FaultOutcome::Sdc:
+                    ++local_sdc;
+                    break;
+                  case FaultOutcome::Due:
+                    ++local_due;
+                    break;
+                }
+                if (cc.keepRecords)
+                    records[i] = r;
             }
-            if (cc.keepRecords)
-                records[i] = r;
-        }
-        const auto t1 = std::chrono::steady_clock::now();
+            const auto t1 = std::chrono::steady_clock::now();
 
-        std::lock_guard<std::mutex> lock(merge_mutex);
-        result.masked += local_masked;
-        result.sdc += local_sdc;
-        result.due += local_due;
-        // Busy time, not pool wall-clock: summing per-worker injection
-        // time stays correct when several campaigns share worker threads
-        // (concurrent campaigns would otherwise each claim the same
-        // wall-clock span).
-        result.wallSeconds +=
-            std::chrono::duration<double>(t1 - t0).count();
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            result.masked += local_masked;
+            result.sdc += local_sdc;
+            result.due += local_due;
+            // Busy time, not pool wall-clock: summing per-worker
+            // injection time stays correct when several campaigns share
+            // worker threads (concurrent campaigns would otherwise each
+            // claim the same wall-clock span).
+            result.wallSeconds +=
+                std::chrono::duration<double>(t1 - t0).count();
+        };
+
+        unsigned workers =
+            cc.numThreads
+                ? cc.numThreads
+                : std::max(1u, std::thread::hardware_concurrency());
+        workers = static_cast<unsigned>(
+            std::min<std::size_t>(workers, end - begin));
+
+        if (workers <= 1 || WorkerPool::onWorkerThread()) {
+            // Single-threaded, or already running on some pool's worker:
+            // drain inline.  (Blocking a worker on tasks it queued
+            // behind itself can deadlock, and fanning out from inside a
+            // pool is the oversubscription this path exists to avoid.)
+            worker_fn();
+        } else {
+            // Fan out over the process-wide shared pool instead of
+            // spawning (and joining) a fresh std::thread set per
+            // campaign.  Completion is tracked with a local latch rather
+            // than waitIdle() so concurrent campaigns can share the
+            // pool.
+            WorkerPool& pool = sharedWorkerPool();
+            workers = std::min(workers, pool.size());
+            std::mutex done_mutex;
+            std::condition_variable done_cv;
+            unsigned done = 0;
+            for (unsigned t = 0; t < workers; ++t) {
+                pool.submit([&]() {
+                    worker_fn();
+                    std::lock_guard<std::mutex> lock(done_mutex);
+                    ++done;
+                    done_cv.notify_one();
+                });
+            }
+            std::unique_lock<std::mutex> lock(done_mutex);
+            done_cv.wait(lock, [&] { return done == workers; });
+        }
     };
 
-    if (workers <= 1 || WorkerPool::onWorkerThread()) {
-        // Single-threaded, or already running on some pool's worker:
-        // drain inline.  (Blocking a worker on tasks it queued behind
-        // itself can deadlock, and fanning out from inside a pool is
-        // the oversubscription this path exists to avoid.)
-        worker_fn();
+    if (!adaptive) {
+        run_range(0, cap);
+        result.injections = cap;
     } else {
-        // Fan out over the process-wide shared pool instead of
-        // spawning (and joining) a fresh std::thread set per campaign.
-        // Completion is tracked with a local latch rather than
-        // waitIdle() so concurrent campaigns can share the pool.
-        WorkerPool& pool = sharedWorkerPool();
-        workers = std::min(workers, pool.size());
-        std::mutex done_mutex;
-        std::condition_variable done_cv;
-        unsigned done = 0;
-        for (unsigned t = 0; t < workers; ++t) {
-            pool.submit([&]() {
-                worker_fn();
-                std::lock_guard<std::mutex> lock(done_mutex);
-                ++done;
-                done_cv.notify_one();
-            });
+        // Walk the deterministic look schedule; the decision at each
+        // look is a pure function of the cumulative counts, so the
+        // stopping point is independent of worker count.
+        const double guarded = sequentialConfidence(cc.plan);
+        std::size_t done = 0;
+        for (std::uint64_t look : sequentialSchedule(cc.plan)) {
+            const auto end = static_cast<std::size_t>(look);
+            run_range(done, end);
+            done = end;
+            result.injections = done;
+            if (evaluateSequentialStop(result.sdc, result.due, done,
+                                       cc.plan, guarded)
+                    .stop) {
+                break;
+            }
         }
-        std::unique_lock<std::mutex> lock(done_mutex);
-        done_cv.wait(lock, [&] { return done == workers; });
     }
 
-    result.records = std::move(records);
+    if (cc.keepRecords) {
+        records.resize(result.injections);
+        result.records = std::move(records);
+    }
 
-    GPR_ASSERT(result.masked + result.sdc + result.due == n,
+    GPR_ASSERT(result.masked + result.sdc + result.due ==
+                   result.injections,
                "campaign accounting mismatch");
     return result;
 }

@@ -92,11 +92,28 @@ struct CampaignResult
         return wilson().width() / 2.0;
     }
 
-    /** Wilson interval around the measured AVF. */
+    /** Wilson interval around a rate with @p successes outcomes (the
+     *  vacuous [0,1] when the campaign ran no injections). */
     Interval
-    wilson() const
+    rateInterval(std::size_t successes) const
     {
-        return wilsonInterval(sdc + due, injections, confidence);
+        return wilsonInterval(successes, injections, confidence);
+    }
+
+    Interval avfInterval() const { return rateInterval(sdc + due); }
+
+    /** Historical name for avfInterval(). */
+    Interval wilson() const { return avfInterval(); }
+    Interval sdcInterval() const { return rateInterval(sdc); }
+    Interval dueInterval() const { return rateInterval(due); }
+
+    /** Largest CI half-width across the three reported rates — the
+     *  same statistic the sequential stopping rule tests, so what an
+     *  adaptive campaign reports is exactly what it stopped on. */
+    double
+    achievedMargin() const
+    {
+        return maxRateHalfWidth(sdc, due, injections, confidence);
     }
 };
 

@@ -1,0 +1,92 @@
+#include "reliability/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpr {
+
+std::size_t
+SamplePlan::resolvedMaxInjections() const
+{
+    if (!adaptive())
+        return injections;
+    if (maxInjections > 0)
+        return maxInjections;
+    return requiredSamples(margin, confidence);
+}
+
+std::vector<std::uint64_t>
+sequentialSchedule(const SamplePlan& plan)
+{
+    GPR_ASSERT(plan.adaptive(), "schedule requires an adaptive plan");
+    const std::uint64_t max_n = plan.resolvedMaxInjections();
+    std::vector<std::uint64_t> looks;
+    double next = static_cast<double>(kSequentialInitialLook);
+    std::uint64_t last = 0;
+    while (true) {
+        const std::uint64_t n = std::min<std::uint64_t>(
+            max_n, static_cast<std::uint64_t>(std::llround(next)));
+        if (n > last) {
+            looks.push_back(n);
+            last = n;
+        }
+        if (last >= max_n)
+            break;
+        next *= kSequentialGrowth;
+    }
+    return looks;
+}
+
+double
+sequentialConfidence(const SamplePlan& plan)
+{
+    const std::size_t looks = sequentialSchedule(plan).size();
+    GPR_ASSERT(looks > 0, "empty look schedule");
+    return 1.0 - (1.0 - plan.confidence) / static_cast<double>(looks);
+}
+
+double
+maxRateHalfWidth(std::uint64_t sdc, std::uint64_t due, std::uint64_t n,
+                 double confidence)
+{
+    GPR_ASSERT(sdc + due <= n, "more failures than injections");
+    if (n == 0)
+        return 0.0;
+    const auto nsz = static_cast<std::size_t>(n);
+    double widest = 0.0;
+    for (std::uint64_t k : {sdc, due, sdc + due}) {
+        widest = std::max(
+            widest, wilsonInterval(static_cast<std::size_t>(k), nsz,
+                                   confidence)
+                        .width() /
+                        2.0);
+    }
+    return widest;
+}
+
+SequentialDecision
+evaluateSequentialStop(std::uint64_t sdc, std::uint64_t due,
+                       std::uint64_t n, const SamplePlan& plan)
+{
+    return evaluateSequentialStop(sdc, due, n, plan,
+                                  sequentialConfidence(plan));
+}
+
+SequentialDecision
+evaluateSequentialStop(std::uint64_t sdc, std::uint64_t due,
+                       std::uint64_t n, const SamplePlan& plan,
+                       double guarded_confidence)
+{
+    SequentialDecision decision;
+    if (n == 0)
+        return decision;
+    decision.stop =
+        maxRateHalfWidth(sdc, due, n, guarded_confidence) <= plan.margin;
+    decision.achievedMargin =
+        maxRateHalfWidth(sdc, due, n, plan.confidence);
+    return decision;
+}
+
+} // namespace gpr

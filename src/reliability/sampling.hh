@@ -1,17 +1,48 @@
 /**
  * @file
- * Statistical-fault-injection sample planning.
+ * Statistical-fault-injection sample planning — fixed-size plans and the
+ * adaptive sequential stopping rule.
  *
- * Implements the standard statistical FI methodology (Leveugle et al.,
- * DATE 2009) the paper uses in footnote 4: with n = 2,000 injections per
- * structure the measured AVF carries a 2.88 % error margin at 99 %
- * confidence (conservative p = 0.5, infinite fault population).
+ * Fixed-size plans implement the standard statistical FI methodology
+ * (Leveugle et al., DATE 2009) the paper uses in footnote 4: with
+ * n = 2,000 injections per structure the measured AVF carries a 2.88 %
+ * error margin at 99 % confidence (conservative p = 0.5, infinite fault
+ * population).
+ *
+ * Adaptive plans (margin > 0) invert that relationship: instead of a
+ * fixed n sized for the worst case p = 0.5, a campaign keeps injecting
+ * until every reported rate's (SDC, DUE, AVF) confidence-interval
+ * half-width falls below the requested margin — which for the typical
+ * masked-dominated campaign happens far earlier.  Three properties make
+ * the rule sound and reproducible:
+ *
+ *  - **Deterministic look schedule.**  Stopping is only evaluated at the
+ *    injection counts sequentialSchedule() returns — a geometric ladder
+ *    derived purely from (margin, confidence, maxInjections).  The
+ *    decision is therefore a pure function of the ordered outcome
+ *    prefix, independent of sharding, thread count, and resume history.
+ *  - **Peeking-bias guard.**  Checking an interval at L looks and
+ *    stopping at the first success inflates the overall type-I error up
+ *    to L-fold.  The rule therefore tests each look at the
+ *    Bonferroni-corrected confidence 1 - (1-confidence)/L
+ *    (sequentialConfidence()), so the *family-wise* coverage of the
+ *    stopped interval still meets the nominal level.  Reported
+ *    intervals use the nominal confidence; when the *rule* stops a
+ *    campaign they are strictly tighter than the margin.  (A campaign
+ *    that exhausts a user-set cap below the fixed-size equivalent ends
+ *    wider — visible as achievedMargin > margin in the report.)
+ *  - **Hard cap.**  maxInjections (default: the fixed-size n the same
+ *    (margin, confidence) pair would prescribe, i.e. requiredSamples())
+ *    bounds every campaign, so adaptive sampling never exceeds the
+ *    legacy fixed plan it replaces.
  */
 
 #ifndef GPR_RELIABILITY_SAMPLING_HH
 #define GPR_RELIABILITY_SAMPLING_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "common/statistics.hh"
 
@@ -20,30 +51,117 @@ namespace gpr {
 /** A sampling plan for one injection campaign. */
 struct SamplePlan
 {
+    /** Fixed campaign size (ignored when margin > 0 selects the
+     *  adaptive stopping rule). */
     std::size_t injections = 2000;
     double confidence = 0.99;
+    /** Target CI half-width for every reported rate; > 0 enables
+     *  adaptive sequential stopping, 0 keeps the legacy fixed size. */
+    double margin = 0.0;
+    /** Adaptive cap per campaign; 0 derives the fixed-size equivalent
+     *  requiredSamples(margin, confidence). */
+    std::size_t maxInjections = 0;
 
-    /** Worst-case (p = 0.5) error margin of the plan. */
+    /** Whether the plan stops adaptively instead of at a fixed n. */
+    bool adaptive() const { return margin > 0.0; }
+
+    /** Worst-case (p = 0.5) error margin of the fixed plan. */
     double
     errorMargin() const
     {
         return proportionErrorMargin(injections, confidence);
     }
+
+    /** The most injections one campaign of this plan can run: the
+     *  fixed plan size, or the adaptive cap (which early stopping only
+     *  ever undercuts). */
+    std::size_t resolvedMaxInjections() const;
 };
 
 /** The paper's plan: 2,000 injections, 99 % confidence, 2.88 % margin. */
 inline SamplePlan
 paperSamplePlan()
 {
-    return SamplePlan{2000, 0.99};
+    return SamplePlan{2000, 0.99, 0.0, 0};
 }
 
-/** Smallest plan achieving @p margin at @p confidence. */
+/** Smallest fixed plan achieving @p margin at @p confidence. */
 inline SamplePlan
 planForMargin(double margin, double confidence)
 {
-    return SamplePlan{requiredSamples(margin, confidence), confidence};
+    return SamplePlan{requiredSamples(margin, confidence), confidence,
+                      0.0, 0};
 }
+
+/** An adaptive plan: stop when every rate's CI half-width <= margin. */
+inline SamplePlan
+adaptivePlan(double margin, double confidence,
+             std::size_t max_injections = 0)
+{
+    return SamplePlan{0, confidence, margin, max_injections};
+}
+
+// --- The sequential stopping rule ---------------------------------------
+
+/** First look of the geometric schedule (then x kSequentialGrowth). */
+constexpr std::size_t kSequentialInitialLook = 50;
+/** Geometric growth factor between consecutive looks. */
+constexpr double kSequentialGrowth = 1.5;
+
+/**
+ * The deterministic look schedule of an adaptive @p plan: strictly
+ * increasing cumulative injection counts at which the stopping rule is
+ * evaluated, ending exactly at resolvedMaxInjections().  A pure function
+ * of the plan — never of execution knobs — which is what makes the
+ * stopping decision shard-, thread- and resume-invariant.
+ */
+std::vector<std::uint64_t> sequentialSchedule(const SamplePlan& plan);
+
+/**
+ * Bonferroni-corrected confidence the stopping rule tests each look at:
+ * 1 - (1 - confidence) / L for the L looks of the schedule.  Guards
+ * against peeking bias — without it, early stopping would report
+ * intervals whose real coverage is below the nominal level.
+ */
+double sequentialConfidence(const SamplePlan& plan);
+
+/**
+ * Largest Wilson half-width across the three reported rates (SDC, DUE,
+ * AVF) of a campaign with @p sdc + @p due failures in @p n injections —
+ * the single statistic both the stopping rule and the reported
+ * "achieved margin" are defined on.  0 when n is 0 (nothing measured).
+ */
+double maxRateHalfWidth(std::uint64_t sdc, std::uint64_t due,
+                        std::uint64_t n, double confidence);
+
+/** Outcome of evaluating the stopping rule at one look. */
+struct SequentialDecision
+{
+    /** All three rates met the margin at the guarded confidence. */
+    bool stop = false;
+    /** Largest nominal-confidence CI half-width across SDC/DUE/AVF —
+     *  what the campaign reports as its achieved margin. */
+    double achievedMargin = 0.0;
+};
+
+/**
+ * Evaluate the stopping rule on the cumulative counts of the first
+ * @p n injections (@p sdc + @p due <= @p n; the rest are masked).
+ * Pure: equal inputs give equal decisions on every machine, shard
+ * split, and resume history.  The second overload takes the
+ * sequentialConfidence() value precomputed — the callers that evaluate
+ * per look (or under a lock) derive it once per campaign instead of
+ * rebuilding the schedule on every evaluation.
+ */
+SequentialDecision evaluateSequentialStop(std::uint64_t sdc,
+                                          std::uint64_t due,
+                                          std::uint64_t n,
+                                          const SamplePlan& plan);
+SequentialDecision evaluateSequentialStop(std::uint64_t sdc,
+                                          std::uint64_t due,
+                                          std::uint64_t n,
+                                          const SamplePlan& plan,
+                                          double guarded_confidence);
 
 } // namespace gpr
 

@@ -58,6 +58,42 @@ TEST(BenchCli, ParsesAllFlags)
     EXPECT_TRUE(cli.csv);
 }
 
+TEST(BenchCli, ParsesAdaptiveFlags)
+{
+    BenchCli cli;
+    ASSERT_TRUE(parseArgs(cli, {"--margin=0.05", "--confidence=0.9",
+                                "--max-injections=300"}));
+    EXPECT_TRUE(cli.spec.plan.adaptive());
+    EXPECT_DOUBLE_EQ(cli.spec.plan.margin, 0.05);
+    EXPECT_DOUBLE_EQ(cli.spec.plan.confidence, 0.9);
+    EXPECT_EQ(cli.spec.plan.maxInjections, 300u);
+    EXPECT_NO_THROW(cli.spec.validate());
+
+    BenchCli bad;
+    EXPECT_FALSE(parseArgs(bad, {"--margin=1.5"}));
+    // A cap without a margin parses but fails validation.
+    BenchCli capped;
+    ASSERT_TRUE(parseArgs(capped, {"--max-injections=300"}));
+    EXPECT_THROW(capped.spec.validate(), FatalError);
+}
+
+TEST(BenchCli, AdaptiveHeaderAndDryRun)
+{
+    BenchCli cli;
+    ASSERT_TRUE(parseArgs(cli, {"--workloads=vectoradd", "--gpus=fx5600",
+                                "--margin=0.08", "--confidence=0.9",
+                                "--dry-run"}));
+    std::ostringstream header;
+    cli.printHeader(header, "T");
+    EXPECT_NE(header.str().find("adaptive stopping"), std::string::npos);
+
+    std::ostringstream os;
+    EXPECT_TRUE(cli.runMetaActions(os));
+    // The plan is the worst case; the note says campaigns stop early.
+    EXPECT_NE(os.str().find("adaptive: worst case"), std::string::npos)
+        << os.str();
+}
+
 TEST(BenchCli, RejectsBadValues)
 {
     BenchCli a;

@@ -36,9 +36,10 @@ TEST(ComparisonStudy, Figure1HasRowPerCellPlusAverages)
 {
     const StudyResult study = runComparisonStudy(tinyStudy());
     const TextTable fig1 = study.figure1();
-    // 2 workloads x 2 gpus + 2 average rows.
+    // 2 workloads x 2 gpus + 2 average rows; columns gained the FI
+    // confidence-interval error bar.
     EXPECT_EQ(fig1.rowCount(), 6u);
-    EXPECT_EQ(fig1.columnCount(), 5u);
+    EXPECT_EQ(fig1.columnCount(), 6u);
 }
 
 TEST(ComparisonStudy, Figure2OnlyLocalMemoryBenchmarks)
@@ -54,7 +55,7 @@ TEST(ComparisonStudy, Figure3CoversAllCells)
     const StudyResult study = runComparisonStudy(tinyStudy());
     const TextTable fig3 = study.figure3();
     EXPECT_EQ(fig3.rowCount(), 4u);
-    EXPECT_EQ(fig3.columnCount(), 6u);
+    EXPECT_EQ(fig3.columnCount(), 7u); // incl. the EPF CI error bar
 }
 
 TEST(ComparisonStudy, ClaimsComputable)

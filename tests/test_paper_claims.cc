@@ -128,6 +128,39 @@ TEST(PaperClaims, AceIsMuchCheaperThanFi)
         << "ACE must be much cheaper than a 100-injection campaign";
 }
 
+/**
+ * Footnote 4, pinned: "2,000 fault injections per hardware structure
+ * ... statistically provides 2.88% error margin for 99% confidence
+ * level."  bench/footnote_sampling.cc renders these numbers; this pins
+ * them to the sampling subsystem so a statistics regression (or a
+ * quantile-approximation swap) fails loudly.
+ */
+TEST(PaperClaims, Footnote4SamplePlanNumbers)
+{
+    const SamplePlan paper = paperSamplePlan();
+    ASSERT_EQ(paper.injections, 2000u);
+    ASSERT_DOUBLE_EQ(paper.confidence, 0.99);
+    // 2.88% to the printed precision of the footnote.
+    EXPECT_NEAR(paper.errorMargin(), 0.0288, 5e-5);
+
+    // Inverting the footnote's margin recovers the footnote's n
+    // exactly, and the resulting plan honours its target.
+    EXPECT_EQ(planForMargin(0.0288, 0.99).injections, 2000u);
+    EXPECT_LE(planForMargin(0.0288, 0.99).errorMargin(), 0.0288);
+
+    // An adaptive campaign at the footnote's precision can never
+    // exceed the footnote's budget — the cap defaults to the same n.
+    EXPECT_EQ(adaptivePlan(0.0288, 0.99).resolvedMaxInjections(), 2000u);
+
+    // The Wilson interval the campaigns report is consistent with the
+    // worst-case formula at p = 0.5: at the formula's own derivation
+    // point the half-width matches the quoted margin up to Wilson's
+    // finite-n shrinkage (z^2/n correction, ~5e-5 at n = 2000).
+    const Interval half =
+        wilsonInterval(1000, paper.injections, paper.confidence);
+    EXPECT_NEAR(half.width() / 2.0, paper.errorMargin(), 1e-4);
+}
+
 /** Finding: EPF sits in the paper's 1e12..1e16 band for real chips. */
 TEST(PaperClaims, EpfInPaperRange)
 {

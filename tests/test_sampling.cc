@@ -1,6 +1,11 @@
-/** @file Tests for FI sample planning (footnote 4 reproduction). */
+/** @file Tests for FI sample planning: the footnote 4 reproduction,
+ *  property tests for the binomial interval math, and the adaptive
+ *  sequential stopping rule. */
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
 
 #include "reliability/sampling.hh"
 
@@ -12,6 +17,7 @@ TEST(SamplePlan, PaperPlanIs2000At99)
     const SamplePlan plan = paperSamplePlan();
     EXPECT_EQ(plan.injections, 2000u);
     EXPECT_DOUBLE_EQ(plan.confidence, 0.99);
+    EXPECT_FALSE(plan.adaptive());
     // The number quoted in footnote 4.
     EXPECT_NEAR(plan.errorMargin(), 0.0288, 5e-4);
 }
@@ -26,16 +32,282 @@ TEST(SamplePlan, PlanForMarginAchievesIt)
 
 TEST(SamplePlan, MarginMonotoneInInjections)
 {
-    SamplePlan small{100, 0.99};
-    SamplePlan large{1000, 0.99};
+    SamplePlan small{100, 0.99, 0.0, 0};
+    SamplePlan large{1000, 0.99, 0.0, 0};
     EXPECT_GT(small.errorMargin(), large.errorMargin());
 }
 
 TEST(SamplePlan, DefaultBenchPlanDocumented)
 {
     // The benches default to 150 injections; the header prints ~10.5%.
-    SamplePlan bench{150, 0.99};
+    SamplePlan bench{150, 0.99, 0.0, 0};
     EXPECT_NEAR(bench.errorMargin(), 0.1052, 1e-3);
+}
+
+TEST(SamplePlan, AdaptiveCapDefaultsToTheFixedEquivalent)
+{
+    const SamplePlan plan = adaptivePlan(0.05, 0.95);
+    EXPECT_TRUE(plan.adaptive());
+    EXPECT_EQ(plan.resolvedMaxInjections(),
+              requiredSamples(0.05, 0.95));
+
+    const SamplePlan capped = adaptivePlan(0.05, 0.95, 123);
+    EXPECT_EQ(capped.resolvedMaxInjections(), 123u);
+
+    // For a fixed plan the ceiling *is* the plan size.
+    EXPECT_EQ(paperSamplePlan().resolvedMaxInjections(), 2000u);
+}
+
+// ------------------------------------------------- interval properties
+
+/** Binomial pmf via log-gamma (stable for n up to the test sweep). */
+double
+binomialPmf(std::size_t n, std::size_t k, double p)
+{
+    const double nn = static_cast<double>(n);
+    const double kk = static_cast<double>(k);
+    const double log_pmf = std::lgamma(nn + 1.0) - std::lgamma(kk + 1.0) -
+                           std::lgamma(nn - kk + 1.0) +
+                           kk * std::log(p) +
+                           (nn - kk) * std::log1p(-p);
+    return std::exp(log_pmf);
+}
+
+/** Coverage of @p intervals (indexed by k) at true proportion @p p. */
+double
+coverageAt(const std::vector<Interval>& intervals, double p)
+{
+    const std::size_t n = intervals.size() - 1;
+    double covered = 0.0;
+    for (std::size_t k = 0; k <= n; ++k) {
+        if (intervals[k].lo <= p && p <= intervals[k].hi)
+            covered += binomialPmf(n, k, p);
+    }
+    return covered;
+}
+
+void
+expectSane(const Interval& iv, const char* what)
+{
+    EXPECT_TRUE(std::isfinite(iv.lo)) << what;
+    EXPECT_TRUE(std::isfinite(iv.hi)) << what;
+    EXPECT_GE(iv.lo, 0.0) << what;
+    EXPECT_LE(iv.hi, 1.0) << what;
+    EXPECT_LE(iv.lo, iv.hi) << what;
+}
+
+TEST(Intervals, SaneOnTheWholeSweptGrid)
+{
+    for (std::size_t n : {1u, 2u, 7u, 25u, 100u}) {
+        for (double conf : {0.90, 0.95, 0.99}) {
+            for (std::size_t k = 0; k <= n; ++k) {
+                expectSane(wilsonInterval(k, n, conf), "wilson");
+                expectSane(clopperPearsonInterval(k, n, conf),
+                           "clopper-pearson");
+            }
+        }
+    }
+}
+
+TEST(Intervals, DegenerateCases)
+{
+    // n = 0: no data, the vacuous interval — never a NaN or a crash.
+    for (double conf : {0.90, 0.99}) {
+        for (const Interval& iv :
+             {wilsonInterval(0, 0, conf),
+              clopperPearsonInterval(0, 0, conf)}) {
+            EXPECT_DOUBLE_EQ(iv.lo, 0.0);
+            EXPECT_DOUBLE_EQ(iv.hi, 1.0);
+        }
+        // k = 0 pins the lower bound, k = n the upper.
+        for (std::size_t n : {1u, 10u, 500u}) {
+            EXPECT_DOUBLE_EQ(wilsonInterval(0, n, conf).lo, 0.0);
+            EXPECT_DOUBLE_EQ(clopperPearsonInterval(0, n, conf).lo, 0.0);
+            EXPECT_DOUBLE_EQ(wilsonInterval(n, n, conf).hi, 1.0);
+            EXPECT_DOUBLE_EQ(clopperPearsonInterval(n, n, conf).hi, 1.0);
+            // ...and the other bound stays strictly informative.
+            EXPECT_LT(wilsonInterval(0, n, conf).hi, 1.0);
+            EXPECT_LT(clopperPearsonInterval(0, n, conf).hi, 1.0);
+            EXPECT_GT(wilsonInterval(n, n, conf).lo, 0.0);
+            EXPECT_GT(clopperPearsonInterval(n, n, conf).lo, 0.0);
+        }
+    }
+}
+
+TEST(Intervals, SymmetricUnderSuccessFailureExchange)
+{
+    // I(k, n) mirrored about 1/2 is I(n-k, n): lo(k) = 1 - hi(n-k).
+    for (std::size_t n : {5u, 24u, 100u}) {
+        for (double conf : {0.90, 0.99}) {
+            for (std::size_t k = 0; k <= n; ++k) {
+                const Interval w = wilsonInterval(k, n, conf);
+                const Interval wm = wilsonInterval(n - k, n, conf);
+                EXPECT_NEAR(w.lo, 1.0 - wm.hi, 1e-12);
+                EXPECT_NEAR(w.hi, 1.0 - wm.lo, 1e-12);
+                const Interval c = clopperPearsonInterval(k, n, conf);
+                const Interval cm =
+                    clopperPearsonInterval(n - k, n, conf);
+                EXPECT_NEAR(c.lo, 1.0 - cm.hi, 1e-9);
+                EXPECT_NEAR(c.hi, 1.0 - cm.lo, 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Intervals, WidthMonotoneInSampleSize)
+{
+    // At a fixed observed proportion, more samples never widen the
+    // interval.
+    for (double conf : {0.90, 0.95, 0.99}) {
+        for (double rate : {0.0, 0.1, 0.5}) {
+            double prev_wilson = 2.0, prev_cp = 2.0;
+            for (std::size_t n : {20u, 40u, 80u, 160u, 320u, 640u}) {
+                const auto k = static_cast<std::size_t>(
+                    std::llround(rate * static_cast<double>(n)));
+                const double w = wilsonInterval(k, n, conf).width();
+                const double c =
+                    clopperPearsonInterval(k, n, conf).width();
+                EXPECT_LT(w, prev_wilson) << n << " @ " << rate;
+                EXPECT_LT(c, prev_cp) << n << " @ " << rate;
+                prev_wilson = w;
+                prev_cp = c;
+            }
+        }
+    }
+}
+
+TEST(Intervals, CoverageAgainstTheExactBinomial)
+{
+    // Clopper–Pearson inverts the binomial CDF, so its coverage is
+    // >= nominal for *every* (n, p); Wilson trades a little pointwise
+    // coverage near the edges for much tighter intervals, so it gets a
+    // small tolerance pointwise and must be nearly nominal on average.
+    for (std::size_t n : {10u, 50u, 200u}) {
+        for (double conf : {0.90, 0.95, 0.99}) {
+            std::vector<Interval> wilson, cp;
+            for (std::size_t k = 0; k <= n; ++k) {
+                wilson.push_back(wilsonInterval(k, n, conf));
+                cp.push_back(clopperPearsonInterval(k, n, conf));
+            }
+            double wilson_sum = 0.0;
+            int points = 0;
+            for (double p = 0.02; p < 0.99; p += 0.0243) {
+                const double cov_cp = coverageAt(cp, p);
+                EXPECT_GE(cov_cp, conf - 1e-9)
+                    << "CP undercovers at n=" << n << " p=" << p;
+                // Wilson's pointwise dips at tiny n near the boundary
+                // counts are a documented trade-off (min coverage
+                // ~0.82 at n=10); the bound below catches a *broken*
+                // interval, the mean check below catches a biased one.
+                const double cov_w = coverageAt(wilson, p);
+                EXPECT_GE(cov_w, conf - 0.10)
+                    << "Wilson far below nominal at n=" << n
+                    << " p=" << p;
+                wilson_sum += cov_w;
+                ++points;
+            }
+            EXPECT_GE(wilson_sum / points, conf - 0.015)
+                << "Wilson mean coverage at n=" << n;
+        }
+    }
+}
+
+TEST(Intervals, WilsonTighterThanClopperPearsonOnAverage)
+{
+    // CP buys its guaranteed coverage with width; Wilson is tighter on
+    // average (pointwise the order can flip at the extreme counts,
+    // where CP's one-sided bound is very sharp).
+    for (std::size_t n : {10u, 100u}) {
+        double wilson_total = 0.0, cp_total = 0.0;
+        for (std::size_t k = 0; k <= n; ++k) {
+            wilson_total += wilsonInterval(k, n, 0.95).width();
+            cp_total += clopperPearsonInterval(k, n, 0.95).width();
+            // Interior counts are strictly ordered.
+            if (k > 0 && k < n) {
+                EXPECT_LE(wilsonInterval(k, n, 0.95).width(),
+                          clopperPearsonInterval(k, n, 0.95).width() +
+                              1e-9)
+                    << k << "/" << n;
+            }
+        }
+        EXPECT_LT(wilson_total, cp_total) << n;
+    }
+}
+
+// ---------------------------------------------- sequential stopping rule
+
+TEST(Sequential, ScheduleIsDeterministicAndEndsAtTheCap)
+{
+    const SamplePlan plan = adaptivePlan(0.05, 0.95);
+    const auto schedule = sequentialSchedule(plan);
+    ASSERT_FALSE(schedule.empty());
+    EXPECT_EQ(schedule.front(), kSequentialInitialLook);
+    EXPECT_EQ(schedule.back(), plan.resolvedMaxInjections());
+    for (std::size_t i = 1; i < schedule.size(); ++i)
+        EXPECT_LT(schedule[i - 1], schedule[i]);
+    // Pure function of the plan.
+    EXPECT_EQ(schedule, sequentialSchedule(plan));
+
+    // A cap below the first look degenerates to a single look.
+    const auto tiny = sequentialSchedule(adaptivePlan(0.3, 0.9, 20));
+    ASSERT_EQ(tiny.size(), 1u);
+    EXPECT_EQ(tiny.front(), 20u);
+}
+
+TEST(Sequential, PeekingGuardInflatesTheConfidence)
+{
+    const SamplePlan plan = adaptivePlan(0.05, 0.95);
+    const double guarded = sequentialConfidence(plan);
+    EXPECT_GT(guarded, plan.confidence);
+    EXPECT_LT(guarded, 1.0);
+    // Bonferroni over the schedule's looks, exactly.
+    const double looks =
+        static_cast<double>(sequentialSchedule(plan).size());
+    EXPECT_DOUBLE_EQ(guarded, 1.0 - (1.0 - plan.confidence) / looks);
+}
+
+TEST(Sequential, StopsWhenEveryRateMeetsTheMargin)
+{
+    const SamplePlan plan = adaptivePlan(0.05, 0.95, 2000);
+
+    // Zero failures at a large n: everything is tight — stop.
+    const SequentialDecision clean =
+        evaluateSequentialStop(0, 0, 1000, plan);
+    EXPECT_TRUE(clean.stop);
+    EXPECT_LE(clean.achievedMargin, plan.margin);
+
+    // A mid-range rate at a small n: wide — keep going.
+    const SequentialDecision wide =
+        evaluateSequentialStop(20, 5, 50, plan);
+    EXPECT_FALSE(wide.stop);
+    EXPECT_GT(wide.achievedMargin, plan.margin);
+
+    // The decision tracks the *worst* of SDC/DUE/AVF: a tight SDC rate
+    // cannot mask a wide DUE rate.
+    const SequentialDecision lopsided =
+        evaluateSequentialStop(0, 25, 50, plan);
+    EXPECT_FALSE(lopsided.stop);
+
+    // n = 0 never stops (and never divides by zero).
+    EXPECT_FALSE(evaluateSequentialStop(0, 0, 0, plan).stop);
+}
+
+TEST(Sequential, GuardIsStricterThanTheNominalInterval)
+{
+    // Near the stopping boundary the guarded decision must be the
+    // conservative one: whenever it stops, the nominal interval is
+    // strictly within the margin too.
+    const SamplePlan plan = adaptivePlan(0.08, 0.9, 500);
+    for (std::uint64_t n : sequentialSchedule(plan)) {
+        for (std::uint64_t fails = 0; fails <= n / 4; fails += 3) {
+            const SequentialDecision d =
+                evaluateSequentialStop(fails / 2, fails - fails / 2, n,
+                                       plan);
+            if (d.stop) {
+                EXPECT_LE(d.achievedMargin, plan.margin);
+            }
+        }
+    }
 }
 
 } // namespace

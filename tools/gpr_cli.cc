@@ -49,9 +49,12 @@ usage()
         "  gpr inject <workload> <gpu> <structure> <bit> <cycle>\n"
         "  gpr study [--spec=FILE] [--dump-spec] [--dry-run]\n"
         "            [--workloads=a,b] [--gpus=a,b] [--injections=N]\n"
+        "            [--margin=M] [--confidence=C] [--max-injections=N]\n"
         "            [--structures=a,b] [--jobs=N] [--shards=N]\n"
         "            [--checkpoints=N] [--store=FILE] [--resume[=FILE]]\n"
         "            [--ace-only] [--json] [--csv]\n"
+        "            (--margin > 0: adaptive stopping — inject until\n"
+        "             every rate's CI half-width <= M)\n"
         "gpus: 7970, fx5600, fx5800, gtx480\n"
         "structures (canonical or short name):\n");
     for (const StructureSpec& spec : structureRegistry()) {
@@ -249,11 +252,12 @@ cmdStudy(int argc, char** argv)
 
     std::fprintf(stderr,
                  "study: %zu cells, %zu/%zu shards executed "
-                 "(%zu resumed from store), %.2f s wall, "
-                 "%.2f worker-s injecting\n",
+                 "(%zu resumed from store, %zu pruned by early "
+                 "stopping), %.2f s wall, %.2f worker-s injecting\n",
                  progress.cells, progress.executedShards,
                  progress.totalShards, progress.resumedShards,
-                 progress.wallSeconds, progress.shardBusySeconds);
+                 progress.prunedShards, progress.wallSeconds,
+                 progress.shardBusySeconds);
     std::fprintf(stderr,
                  "study: %llu injections at %.1f/s wall "
                  "(%.1f/worker-s, %zu checkpoint packs)\n",
