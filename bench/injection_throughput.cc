@@ -11,13 +11,21 @@
  * (CI parses it and fails if the checkpointed engine is slower).
  *
  *     $ bench_injection_throughput [--workloads=a,b] [--gpus=a,b]
- *           [--structures=a,b] [--injections=N] [--checkpoints=N]
- *           [--seed=S]
+ *           [--structures=a,b] [--behaviors=a,b] [--injections=N]
+ *           [--checkpoints=N] [--seed=S]
  *
  * By default every registered structure applicable to a cell is run
  * (including the control-state targets, which skip the dead-window
  * prefilter); --structures restricts to a registry subset, e.g. the
  * paper's original rf,lds,srf grid for the CI perf gate.
+ *
+ * --behaviors adds a fault-behavior axis (default: transient only, so
+ * the CI perf gate's aggregate keeps its historical meaning).  Each
+ * extra behavior re-runs every cell under that behavior; persistent
+ * behaviors disable the dead-window prefilter and hash early-out, so
+ * their throughput is reported separately in the "behaviors" breakdown
+ * and the legacy-vs-checkpoint equality check doubles as a persistent
+ * checkpoint-restore differential test.
  */
 
 #include <algorithm>
@@ -50,6 +58,7 @@ struct CellResult
     std::string workload;
     std::string gpu;
     std::string structure;
+    FaultBehavior behavior = FaultBehavior::Transient;
     std::size_t injections = 0;
     std::size_t prefiltered = 0; ///< masked via dead windows (no sim)
     std::size_t hashConverged = 0;
@@ -71,6 +80,7 @@ main(int argc, char** argv)
         workloads.emplace_back(name);
     std::vector<GpuModel> gpus = allGpuModels();
     std::vector<TargetStructure> requested;
+    std::vector<FaultBehavior> behaviors = {FaultBehavior::Transient};
     std::size_t injections = 40;
     unsigned checkpoints = kDefaultCheckpoints;
     std::uint64_t seed = 0xC0FFEE;
@@ -86,6 +96,16 @@ main(int argc, char** argv)
         } else if (startsWith(arg, "--structures=")) {
             requested = parseStructureList(
                 arg.substr(std::string("--structures=").size()));
+        } else if (startsWith(arg, "--behaviors=")) {
+            behaviors.clear();
+            for (const std::string& name : split(
+                     arg.substr(std::string("--behaviors=").size()), ',')) {
+                behaviors.push_back(faultBehaviorFromName(name));
+            }
+            if (behaviors.empty()) {
+                std::fprintf(stderr, "--behaviors: empty list\n");
+                return 2;
+            }
         } else if (startsWith(arg, "--injections=")) {
             const auto n =
                 parseInt(arg.substr(std::string("--injections=").size()));
@@ -105,7 +125,8 @@ main(int argc, char** argv)
             std::fprintf(stderr,
                          "usage: bench_injection_throughput "
                          "[--workloads=a,b] [--gpus=a,b] "
-                         "[--structures=a,b] [--injections=N] "
+                         "[--structures=a,b] [--behaviors=a,b] "
+                         "[--injections=N] "
                          "[--checkpoints=N] [--seed=S]\n");
             return 2;
         }
@@ -144,52 +165,62 @@ main(int argc, char** argv)
             const double pack_s = seconds(t0, t1);
 
             for (TargetStructure s : structures) {
-                CellResult cell;
-                cell.workload = wname;
-                cell.gpu = cfg.name;
-                cell.structure = std::string(targetStructureName(s));
-                cell.injections = injections;
-                cell.goldenSeconds = golden_s;
-                cell.packSeconds = pack_s;
+                for (FaultBehavior behavior : behaviors) {
+                    CellResult cell;
+                    cell.workload = wname;
+                    cell.gpu = cfg.name;
+                    cell.structure = std::string(targetStructureName(s));
+                    cell.behavior = behavior;
+                    cell.injections = injections;
+                    cell.goldenSeconds = golden_s;
+                    cell.packSeconds = pack_s;
 
-                const std::uint64_t cseed =
-                    deriveSeed(seed, static_cast<std::uint64_t>(s));
+                    // Same cell seed across behaviors: each behavior
+                    // re-runs the same bit/cycle fault list (the
+                    // intermittent duty-cycle draws come strictly
+                    // after, so they don't perturb the list).
+                    const std::uint64_t cseed =
+                        deriveSeed(seed, static_cast<std::uint64_t>(s));
+                    const FaultShape shape{behavior,
+                                           FaultPattern::SingleBit};
 
-                std::vector<InjectionResult> legacy_results;
-                legacy_results.reserve(injections);
-                t0 = std::chrono::steady_clock::now();
-                for (std::size_t i = 0; i < injections; ++i) {
-                    legacy_results.push_back(
-                        runIndexedInjection(legacy, s, cseed, i));
-                }
-                t1 = std::chrono::steady_clock::now();
-                cell.legacySeconds = seconds(t0, t1);
-
-                t0 = std::chrono::steady_clock::now();
-                for (std::size_t i = 0; i < injections; ++i) {
-                    const InjectionResult r =
-                        runIndexedInjection(ckpt, s, cseed, i);
-                    if (r.shortcut == InjectionShortcut::DeadWindow)
-                        ++cell.prefiltered;
-                    else if (r.shortcut ==
-                             InjectionShortcut::HashConvergence)
-                        ++cell.hashConverged;
-                    if (r.outcome != legacy_results[i].outcome ||
-                        r.trap != legacy_results[i].trap) {
-                        cell.outcomesEqual = false;
+                    std::vector<InjectionResult> legacy_results;
+                    legacy_results.reserve(injections);
+                    t0 = std::chrono::steady_clock::now();
+                    for (std::size_t i = 0; i < injections; ++i) {
+                        legacy_results.push_back(runIndexedInjection(
+                            legacy, s, cseed, i, shape));
                     }
-                }
-                t1 = std::chrono::steady_clock::now();
-                cell.checkpointSeconds = seconds(t0, t1);
+                    t1 = std::chrono::steady_clock::now();
+                    cell.legacySeconds = seconds(t0, t1);
 
-                cell.packShare =
-                    cell.packSeconds /
-                    static_cast<double>(structures.size());
-                all_equal = all_equal && cell.outcomesEqual;
-                legacy_total += cell.legacySeconds;
-                ckpt_total += cell.checkpointSeconds + cell.packShare;
-                injections_total += injections;
-                cells.push_back(std::move(cell));
+                    t0 = std::chrono::steady_clock::now();
+                    for (std::size_t i = 0; i < injections; ++i) {
+                        const InjectionResult r = runIndexedInjection(
+                            ckpt, s, cseed, i, shape);
+                        if (r.shortcut == InjectionShortcut::DeadWindow)
+                            ++cell.prefiltered;
+                        else if (r.shortcut ==
+                                 InjectionShortcut::HashConvergence)
+                            ++cell.hashConverged;
+                        if (r.outcome != legacy_results[i].outcome ||
+                            r.trap != legacy_results[i].trap) {
+                            cell.outcomesEqual = false;
+                        }
+                    }
+                    t1 = std::chrono::steady_clock::now();
+                    cell.checkpointSeconds = seconds(t0, t1);
+
+                    cell.packShare =
+                        cell.packSeconds /
+                        static_cast<double>(structures.size() *
+                                            behaviors.size());
+                    all_equal = all_equal && cell.outcomesEqual;
+                    legacy_total += cell.legacySeconds;
+                    ckpt_total += cell.checkpointSeconds + cell.packShare;
+                    injections_total += injections;
+                    cells.push_back(std::move(cell));
+                }
             }
         }
     }
@@ -208,7 +239,8 @@ main(int argc, char** argv)
         const double ckpt_total_s = c.checkpointSeconds + c.packShare;
         std::printf(
             "    {\"workload\": \"%s\", \"gpu\": \"%s\", "
-            "\"structure\": \"%s\", \"injections\": %zu, "
+            "\"structure\": \"%s\", \"behavior\": \"%s\", "
+            "\"injections\": %zu, "
             "\"prefiltered\": %zu, \"hash_converged\": %zu, "
             "\"golden_s\": %.6f, \"pack_s\": %.6f, "
             "\"pack_share_s\": %.6f, "
@@ -216,6 +248,7 @@ main(int argc, char** argv)
             "\"legacy_ips\": %.2f, \"checkpoint_ips\": %.2f, "
             "\"speedup\": %.3f, \"outcomes_equal\": %s}%s\n",
             c.workload.c_str(), c.gpu.c_str(), c.structure.c_str(),
+            std::string(faultBehaviorName(c.behavior)).c_str(),
             c.injections, c.prefiltered, c.hashConverged, c.goldenSeconds,
             c.packSeconds, c.packShare, c.legacySeconds,
             c.checkpointSeconds,
@@ -224,6 +257,34 @@ main(int argc, char** argv)
             ckpt_total_s > 0 ? c.legacySeconds / ckpt_total_s : 0.0,
             c.outcomesEqual ? "true" : "false",
             i + 1 < cells.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+
+    // Per-behavior aggregate: persistent behaviors run without the
+    // dead-window prefilter and hash early-out, so their throughput is
+    // quoted on its own line instead of diluting the transient numbers.
+    std::printf("  \"behaviors\": [\n");
+    for (std::size_t b = 0; b < behaviors.size(); ++b) {
+        double legacy_b = 0.0, ckpt_b = 0.0;
+        std::size_t injections_b = 0;
+        for (const CellResult& c : cells) {
+            if (c.behavior != behaviors[b])
+                continue;
+            legacy_b += c.legacySeconds;
+            ckpt_b += c.checkpointSeconds + c.packShare;
+            injections_b += c.injections;
+        }
+        std::printf(
+            "    {\"behavior\": \"%s\", \"injections\": %zu, "
+            "\"legacy_s\": %.6f, \"checkpoint_s\": %.6f, "
+            "\"legacy_ips\": %.2f, \"checkpoint_ips\": %.2f, "
+            "\"speedup\": %.3f}%s\n",
+            std::string(faultBehaviorName(behaviors[b])).c_str(),
+            injections_b, legacy_b, ckpt_b,
+            legacy_b > 0 ? injections_b / legacy_b : 0.0,
+            ckpt_b > 0 ? injections_b / ckpt_b : 0.0,
+            ckpt_b > 0 ? legacy_b / ckpt_b : 0.0,
+            b + 1 < behaviors.size() ? "," : "");
     }
     std::printf("  ],\n");
     std::printf("  \"aggregate\": {\n");

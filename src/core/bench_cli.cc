@@ -25,6 +25,8 @@ usage()
         "       --resume[=FILE] --workloads=a,b,...\n"
         "       --gpus=7970,fx5600,fx5800,gtx480\n"
         "       --structures=rf,lds,srf,pred,simt (registry subset)\n"
+        "       --behavior=transient|stuck-at-0|stuck-at-1|intermittent\n"
+        "       --pattern=single|adjacent-double|adjacent-quad\n"
         "       --ace-only --csv --json --quiet\n"
         "       (--spec loads a StudySpec JSON; later flags override\n"
         "        individual fields.  --margin=M > 0 switches to adaptive\n"
@@ -133,6 +135,10 @@ BenchCli::parse(int argc, char** argv)
             spec.gpus = parseGpuList(value("--gpus="));
         } else if (startsWith(arg, "--structures=")) {
             spec.structures = parseStructureList(value("--structures="));
+        } else if (startsWith(arg, "--behavior=")) {
+            spec.faultBehavior = faultBehaviorFromName(value("--behavior="));
+        } else if (startsWith(arg, "--pattern=")) {
+            spec.faultPattern = faultPatternFromName(value("--pattern="));
         } else if (arg == "--ace-only") {
             spec.aceOnly = true;
         } else if (arg == "--csv") {
@@ -245,6 +251,11 @@ BenchCli::printHeader(std::ostream& os, const std::string& title) const
             "at %.0f%% confidence (paper: 2000 => 2.88%% at 99%%)\n",
             spec.plan.injections, 100.0 * spec.plan.errorMargin(),
             100.0 * spec.plan.confidence);
+    }
+    if (!spec.aceOnly && !spec.faultShape().isDefault()) {
+        os << "fault model: "
+           << std::string(faultBehaviorName(spec.faultBehavior)) << " x "
+           << std::string(faultPatternName(spec.faultPattern)) << "\n";
     }
 }
 

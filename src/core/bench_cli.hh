@@ -38,6 +38,10 @@
  *   --structures=a,b  subset of registered target structures, by
  *                     canonical or short name (rf, lds, srf, pred, simt);
  *                     validated against the structure registry
+ *   --behavior=B      fault behavior: transient (default), stuck-at-0,
+ *                     stuck-at-1, intermittent (see sim/fault_model.hh)
+ *   --pattern=P       fault pattern: single (default), adjacent-double,
+ *                     adjacent-quad (aligned multi-bit upset masks)
  *   --ace-only        skip fault injection (ACE + occupancy + perf only)
  *   --csv             additionally print tables as CSV
  *   --json            print the study as JSON instead of tables

@@ -545,6 +545,10 @@ writeStructure(JsonWriter& j, std::string_view key,
         // structure (--ace-only and --structures exclusions leave
         // placeholder zeros that would read as measured reliability).
         if (sr.injections) {
+            // The fault model the rates were measured under — always
+            // present so per-behavior exports are self-describing.
+            j.kv("fault_behavior", faultBehaviorName(sr.behavior));
+            j.kv("fault_pattern", faultPatternName(sr.pattern));
             j.kv("avf_fi", sr.avfFi);
             j.kv("fi_error_margin", sr.fiErrorMargin);
             j.kv("sdc_rate", sr.sdcRate);
@@ -788,6 +792,12 @@ writeShardRecord(std::ostream& os, const ShardRecord& record)
     j.kv("end", record.key.injectionEnd);
     j.kv("campaign_seed", record.key.campaignSeed);
     j.kv("workload_seed", record.key.workloadSeed);
+    // Shape keys only when non-default, so every pre-shape store stays
+    // byte-identical to what this build writes for default campaigns.
+    if (record.key.behavior != FaultBehavior::Transient)
+        j.kv("behavior", faultBehaviorName(record.key.behavior));
+    if (record.key.pattern != FaultPattern::SingleBit)
+        j.kv("pattern", faultPatternName(record.key.pattern));
     j.kv("masked", record.counts.masked);
     j.kv("sdc", record.counts.sdc);
     j.kv("due", record.counts.due);
@@ -833,6 +843,18 @@ parseShardRecord(std::string_view line, ShardRecord& out)
         return false;
     }
     r.key.shardIndex = static_cast<std::uint32_t>(shard);
+
+    // Optional shape fields; absent means the default (pre-shape
+    // stores carry no behavior/pattern keys).
+    std::string_view behavior, pattern;
+    if (findField(line, "behavior", behavior) &&
+        !tryFaultBehaviorFromName(behavior, r.key.behavior)) {
+        return false;
+    }
+    if (findField(line, "pattern", pattern) &&
+        !tryFaultPatternFromName(pattern, r.key.pattern)) {
+        return false;
+    }
 
     // Internal consistency: counts must cover exactly the stated range.
     const std::uint64_t n = r.counts.masked + r.counts.sdc + r.counts.due;

@@ -78,6 +78,19 @@ ReliabilityReport::printSummary(std::ostream& os) const
                     static_cast<unsigned long long>(cycles), execSeconds,
                     ipc, 100.0 * warpOccupancy);
 
+    // Name the fault model when it is not the default transient
+    // single-bit (the shape is study-wide; any measured entry carries it).
+    for (const StructureReport& sr : structures) {
+        if (!sr.injections ||
+            FaultShape{sr.behavior, sr.pattern}.isDefault()) {
+            continue;
+        }
+        os << "  fault model: "
+           << std::string(faultBehaviorName(sr.behavior)) << " x "
+           << std::string(faultPatternName(sr.pattern)) << "\n";
+        break;
+    }
+
     for (const StructureSpec& spec : structureRegistry()) {
         const StructureReport& sr = forStructure(spec.id);
         const std::string label(spec.name);

@@ -71,6 +71,10 @@ struct StructureReport
     /** Injections actually run: the adaptive stopping point, or the
      *  fixed plan size (0 = structure not measured). */
     std::size_t injections = 0;
+    /** Fault model the FI rates above were measured under (study-wide;
+     *  default = transient single-bit). */
+    FaultBehavior behavior = FaultBehavior::Transient;
+    FaultPattern pattern = FaultPattern::SingleBit;
 };
 
 /** Everything the study reports for one (GPU, benchmark) pair. */

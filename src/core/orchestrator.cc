@@ -117,6 +117,8 @@ decomposeStudy(const StudySpec& spec)
                         deriveSeed(spec.seed,
                                    static_cast<std::uint64_t>(s));
                     key.workloadSeed = spec.workloadSeed;
+                    key.behavior = spec.faultBehavior;
+                    key.pattern = spec.faultPattern;
                     shards.push_back(std::move(key));
                 }
             }
@@ -305,6 +307,8 @@ assembleReport(ReliabilityReport& report, const Cell& cell,
                 sr.ciConfidence = spec.plan.confidence;
                 sr.fiWallSeconds = cr.wallSeconds;
                 sr.injections = cr.injections;
+                sr.behavior = spec.faultBehavior;
+                sr.pattern = spec.faultPattern;
             }
         }
         report.structures.push_back(sr);
@@ -715,7 +719,8 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
                     for (std::uint64_t i = key.injectionBegin;
                          i < key.injectionEnd; ++i) {
                         const InjectionResult r = runIndexedInjection(
-                            injector, key.structure, key.campaignSeed, i);
+                            injector, key.structure, key.campaignSeed, i,
+                            FaultShape{key.behavior, key.pattern});
                         switch (r.outcome) {
                           case FaultOutcome::Masked:
                             ++counts.masked;

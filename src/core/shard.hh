@@ -34,6 +34,10 @@ struct ShardKey
     /** Seed the per-injection RNGs derive from. */
     std::uint64_t campaignSeed = 0;
     std::uint64_t workloadSeed = 0;
+    /** Fault shape of every injection in the shard (study-wide; the
+     *  defaults keep pre-shape stores parsing unchanged). */
+    FaultBehavior behavior = FaultBehavior::Transient;
+    FaultPattern pattern = FaultPattern::SingleBit;
 
   private:
     auto
@@ -41,7 +45,7 @@ struct ShardKey
     {
         return std::tie(workload, gpu, structure, shardIndex,
                         injectionBegin, injectionEnd, campaignSeed,
-                        workloadSeed);
+                        workloadSeed, behavior, pattern);
     }
 
   public:

@@ -142,6 +142,15 @@ StudySpec::validate() const
     }
     if (resume && storePath.empty())
         fatal("spec requests resume without a store path");
+    if (faultBehaviorPersistent(faultBehavior)) {
+        for (TargetStructure s : resolvedStructures()) {
+            if (structureSpec(s).persistenceHook == PersistenceHook::None) {
+                fatal("spec requests ", faultBehaviorName(faultBehavior),
+                      " faults but structure ", structureSpec(s).name,
+                      " binds no persistence hook");
+            }
+        }
+    }
 }
 
 // ------------------------------------------------------------------ hash
@@ -191,6 +200,15 @@ StudySpec::campaignHash() const
     h.mix(workloadSeed);
     h.mix(aceOnly ? 1 : 0);
     h.mix(doubleBits(fitParams.rawFitPerMbit));
+    if (faultShape() != FaultShape{}) {
+        // Same compatibility scheme as the adaptive marker above: the
+        // default transient single-bit shape keeps the pre-redesign byte
+        // sequence — every existing store hash is untouched — while any
+        // non-default shape moves the spec into a disjoint, marked space.
+        h.mix(0x4642454856ULL); // "FBEHV"
+        h.mix(static_cast<std::uint64_t>(faultBehavior));
+        h.mix(static_cast<std::uint64_t>(faultPattern));
+    }
     return h.value();
 }
 
@@ -231,6 +249,8 @@ StudySpec::writeJson(JsonWriter& j) const
     j.kv("max_injections", static_cast<std::uint64_t>(plan.maxInjections));
     j.kv("seed", seed);
     j.kv("workload_seed", workloadSeed);
+    j.kv("fault_behavior", faultBehaviorName(faultBehavior));
+    j.kv("fault_pattern", faultPatternName(faultPattern));
     j.kv("ace_only", aceOnly);
     j.key("raw_fit_per_mbit").raw(formatDouble(fitParams.rawFitPerMbit));
     j.endObject();
@@ -304,6 +324,7 @@ StudySpec::fromJson(std::string_view json)
         rejectUnknownKeys(*campaign, "campaign",
                           {"injections", "confidence", "margin",
                            "max_injections", "seed", "workload_seed",
+                           "fault_behavior", "fault_pattern",
                            "ace_only", "raw_fit_per_mbit"});
         if (const JsonValue* v = campaign->find("injections"))
             spec.plan.injections = static_cast<std::size_t>(v->asU64());
@@ -318,6 +339,10 @@ StudySpec::fromJson(std::string_view json)
             spec.seed = v->asU64();
         if (const JsonValue* v = campaign->find("workload_seed"))
             spec.workloadSeed = v->asU64();
+        if (const JsonValue* v = campaign->find("fault_behavior"))
+            spec.faultBehavior = faultBehaviorFromName(v->asString());
+        if (const JsonValue* v = campaign->find("fault_pattern"))
+            spec.faultPattern = faultPatternFromName(v->asString());
         if (const JsonValue* v = campaign->find("ace_only"))
             spec.aceOnly = v->asBool();
         if (const JsonValue* v = campaign->find("raw_fit_per_mbit"))
@@ -371,7 +396,9 @@ StudySpec::operator==(const StudySpec& o) const
            plan.confidence == o.plan.confidence &&
            plan.margin == o.plan.margin &&
            plan.maxInjections == o.plan.maxInjections && seed == o.seed &&
-           workloadSeed == o.workloadSeed && aceOnly == o.aceOnly &&
+           workloadSeed == o.workloadSeed &&
+           faultBehavior == o.faultBehavior &&
+           faultPattern == o.faultPattern && aceOnly == o.aceOnly &&
            fitParams.rawFitPerMbit == o.fitParams.rawFitPerMbit &&
            jobs == o.jobs && shardsPerCampaign == o.shardsPerCampaign &&
            checkpoints == o.checkpoints && storePath == o.storePath &&
@@ -468,6 +495,20 @@ StudySpecBuilder&
 StudySpecBuilder::workloadSeed(std::uint64_t s)
 {
     spec_.workloadSeed = s;
+    return *this;
+}
+
+StudySpecBuilder&
+StudySpecBuilder::faultBehavior(FaultBehavior b)
+{
+    spec_.faultBehavior = b;
+    return *this;
+}
+
+StudySpecBuilder&
+StudySpecBuilder::faultPattern(FaultPattern p)
+{
+    spec_.faultPattern = p;
     return *this;
 }
 

@@ -76,6 +76,14 @@ struct StudySpec
     std::uint64_t seed = 0xC0FFEE;
     /** Seed of the workload input generators. */
     std::uint64_t workloadSeed = 42;
+    /** Temporal fault behavior of every injection (transient stuck-at-0,
+     *  stuck-at-1 or intermittent; see sim/fault_model.hh).  The default
+     *  (transient) reproduces the original model bit-for-bit and is the
+     *  only value that leaves the campaign hash untouched. */
+    FaultBehavior faultBehavior = FaultBehavior::Transient;
+    /** Spatial fault pattern: single, adjacent-double or adjacent-quad
+     *  aligned bit group (gpuFI-style MBU modes). */
+    FaultPattern faultPattern = FaultPattern::SingleBit;
     /** Skip FI campaigns; report ACE + occupancy + perf only. */
     bool aceOnly = false;
     /** Intrinsic SER feeding the FIT/EPF roll-up. */
@@ -95,6 +103,13 @@ struct StudySpec
     bool resume = false;
     /** Print progress lines to stderr. */
     bool verbose = true;
+
+    /** The (behavior, pattern) pair as the reliability layer consumes it. */
+    FaultShape
+    faultShape() const
+    {
+        return FaultShape{faultBehavior, faultPattern};
+    }
 
     // --- Resolution of the empty-means-all defaults. -------------------
     std::vector<std::string> resolvedWorkloads() const;
@@ -166,6 +181,8 @@ class StudySpecBuilder
     StudySpecBuilder& maxInjections(std::size_t n);
     StudySpecBuilder& seed(std::uint64_t s);
     StudySpecBuilder& workloadSeed(std::uint64_t s);
+    StudySpecBuilder& faultBehavior(FaultBehavior b);
+    StudySpecBuilder& faultPattern(FaultPattern p);
     StudySpecBuilder& aceOnly(bool on = true);
     StudySpecBuilder& rawFitPerMbit(double fit);
 

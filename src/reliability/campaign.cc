@@ -69,8 +69,8 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
                 const std::size_t i = next.fetch_add(1);
                 if (i >= end)
                     break;
-                const InjectionResult r =
-                    runIndexedInjection(injector, structure, cc.seed, i);
+                const InjectionResult r = runIndexedInjection(
+                    injector, structure, cc.seed, i, cc.shape);
                 switch (r.outcome) {
                   case FaultOutcome::Masked:
                     ++local_masked;

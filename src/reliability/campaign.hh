@@ -32,6 +32,10 @@ struct CampaignConfig
     /** Checkpoints for the checkpoint-restore injection engine; 0 runs
      *  every injection from scratch (legacy engine, identical counts). */
     unsigned checkpoints = kDefaultCheckpoints;
+    /** Fault shape every injection of the campaign carries (target,
+     *  bit and cycle stay per-injection samples).  Default = transient
+     *  single-bit, the pre-redesign model bit-for-bit. */
+    FaultShape shape;
 };
 
 struct CampaignResult
@@ -127,10 +131,11 @@ struct CampaignResult
  */
 inline InjectionResult
 runIndexedInjection(FaultInjector& injector, TargetStructure structure,
-                    std::uint64_t campaign_seed, std::uint64_t index)
+                    std::uint64_t campaign_seed, std::uint64_t index,
+                    const FaultShape& shape = {})
 {
     Rng rng(deriveSeed(campaign_seed, index));
-    return injector.injectRandom(structure, rng);
+    return injector.injectRandom(structure, rng, shape);
 }
 
 /**

@@ -137,12 +137,17 @@ InjectionResult
 FaultInjector::inject(const FaultSpec& fault)
 {
     const Cycle golden_cycles = goldenCycles();
+    const bool persistent = fault.persistent();
 
-    // The dead-window prefilter exists only for word-granular storage:
-    // control-bit structures (predicate file, SIMT stack) act on the
-    // trajectory without a modelled read, so they go straight to the
-    // checkpoint-restore + hash-early-out path.
-    if (pack_ && structureSpec(fault.structure).exactDeadWindows &&
+    // The dead-window prefilter exists only for *transient* faults in
+    // word-granular storage: control-bit structures (predicate file,
+    // SIMT stack) act on the trajectory without a modelled read, and a
+    // persistent fault's word is never dead while the forcing holds
+    // (the next read re-manifests it regardless of golden liveness).
+    // Multi-bit patterns stay in scope: the aligned group lies inside
+    // the sampled bit's word, so one window query covers every bit.
+    if (pack_ && !persistent &&
+        structureSpec(fault.structure).exactDeadWindows &&
         !pack_->windows.observed(fault.structure, fault.bitIndex / 32,
                                  fault.cycle)) {
         // The golden run never reads this word between the flip and the
@@ -166,8 +171,14 @@ FaultInjector::inject(const FaultSpec& fault)
 
     RunResult run;
     if (pack_) {
-        options.hashInterval = pack_->hashInterval;
-        options.goldenHashes = &pack_->hashes;
+        // Persistent-fault mode: the state never rejoins the golden
+        // trajectory, so hash early-out is off — but restoring from the
+        // nearest checkpoint stays exact (the trajectory is golden up
+        // to the fault cycle regardless of what the fault does later).
+        if (!persistent) {
+            options.hashInterval = pack_->hashInterval;
+            options.goldenHashes = &pack_->hashes;
+        }
         // Nearest checkpoint at or before the fault cycle; everything
         // before it is bit-identical to the golden run, so restoring
         // skips it outright.
@@ -210,7 +221,8 @@ FaultInjector::inject(const FaultSpec& fault)
 }
 
 InjectionResult
-FaultInjector::injectRandom(TargetStructure structure, Rng& rng)
+FaultInjector::injectRandom(TargetStructure structure, Rng& rng,
+                            const FaultShape& shape)
 {
     const std::uint64_t bits = gpu_.structureBits(structure);
     GPR_ASSERT(bits > 0, "cannot inject into ",
@@ -218,8 +230,24 @@ FaultInjector::injectRandom(TargetStructure structure, Rng& rng)
 
     FaultSpec fault;
     fault.structure = structure;
+    // Draw order is part of the determinism contract: bit then cycle,
+    // exactly as the original single-flip model, so default-shape
+    // campaigns replay pre-redesign samples bit-for-bit.  Shape-specific
+    // draws come strictly after.
     fault.bitIndex = rng.below(bits);
     fault.cycle = rng.below(goldenCycles());
+    fault.behavior = shape.behavior;
+    fault.pattern = shape.pattern;
+    if (shape.behavior == FaultBehavior::Intermittent) {
+        // Seed-derived duty cycle: period 8..64, active 1..period-1
+        // (never a permanently-stuck or never-active degenerate), and a
+        // per-injection forced value.
+        fault.intermittentPeriod = 8 + static_cast<std::uint32_t>(
+                                           rng.below(57));
+        fault.intermittentActive = 1 + static_cast<std::uint32_t>(
+            rng.below(fault.intermittentPeriod - 1));
+        fault.intermittentValue = rng.below(2) != 0;
+    }
     return inject(fault);
 }
 

@@ -157,15 +157,23 @@ class FaultInjector
      * early-outs on state convergence; the classification is identical
      * to the from-scratch path either way (outcomes depend only on
      * trap + final memory, and a state-hash match pins both to the
-     * golden run's).
+     * golden run's).  Persistent behaviors (stuck-at / intermittent)
+     * keep the checkpoint restore but disable the dead-window prefilter
+     * and the hash early-out per fault — both assume the fault is a
+     * one-shot flip the run can outlive.
      */
     InjectionResult inject(const FaultSpec& fault);
 
     /**
      * Sample a uniformly random (bit, cycle) fault in @p structure using
-     * @p rng, inject it, and classify.
+     * @p rng, stamp it with @p shape, inject it, and classify.  The
+     * draw order (bit, then cycle, then any shape-specific parameters)
+     * is pinned: default-shape sampling is bit-identical to the original
+     * single-flip model, and intermittent duty-cycle parameters are
+     * derived from the same per-injection stream deterministically.
      */
-    InjectionResult injectRandom(TargetStructure structure, Rng& rng);
+    InjectionResult injectRandom(TargetStructure structure, Rng& rng,
+                                 const FaultShape& shape = {});
 
     /** The device (for structure sizes). */
     const Gpu& gpu() const { return gpu_; }

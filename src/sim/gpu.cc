@@ -37,9 +37,28 @@ Gpu::applyFault(const FaultSpec& fault)
     GPR_ASSERT(bits_per_sm > 0, "fault targets a structure this chip "
                "does not have");
     const SmId sm = static_cast<SmId>(fault.bitIndex / bits_per_sm);
-    const BitIndex local = fault.bitIndex % bits_per_sm;
+    BitIndex local = fault.bitIndex % bits_per_sm;
     GPR_ASSERT(sm < sms_.size(), "fault bit index out of range");
-    sms_[sm]->flipBit(fault.structure, local);
+
+    // The pattern upsets the aligned width-bit cell group containing
+    // the sampled bit.  Width divides 32 and every structure's
+    // bitsPerSm, so the group stays inside the SM and inside one
+    // 32-bit word of word storage.
+    const unsigned width = faultPatternWidth(fault.pattern);
+    local -= local % width;
+    const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+
+    if (!fault.persistent()) {
+        sms_[sm]->applyFault(fault.structure, local, mask);
+        return;
+    }
+    SmCore::PersistentFault pf;
+    pf.structure = fault.structure;
+    pf.firstBit = local;
+    pf.mask = mask;
+    pf.value = faultForcedValue(fault);
+    sms_[sm]->bindPersistentFault(pf);
+    persistent_sm_ = static_cast<std::int64_t>(sm);
 }
 
 GpuCheckpoint
@@ -156,6 +175,18 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
                "checkpoints are recorded on the fault-free golden run");
     GPR_ASSERT(!options.recorder || options.hashInterval > 0,
                "recording requires a hash interval");
+    GPR_ASSERT(!options.fault || !options.fault->persistent() ||
+                   !options.goldenHashes,
+               "a persistent fault never rejoins the golden trajectory; "
+               "hash early-out must stay disabled");
+    if (options.fault &&
+        options.fault->behavior == FaultBehavior::Intermittent) {
+        GPR_ASSERT(options.fault->intermittentPeriod > 0 &&
+                       options.fault->intermittentActive > 0 &&
+                       options.fault->intermittentActive <=
+                           options.fault->intermittentPeriod,
+                   "bad intermittent duty cycle");
+    }
 
     RunResult result;
     RunContext ctx;
@@ -186,6 +217,7 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
     Cycle now = 0;
     std::uint64_t last_completed = 0;
     num_blocks_ = launch.numBlocks();
+    persistent_sm_ = -1; // reset()/restore() clear the per-SM binding
 
     if (options.resume) {
         // Continue a previous run: the checkpoint holds the state at the
@@ -251,6 +283,21 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
         if (fault_pending && now >= options.fault->cycle) {
             applyFault(*options.fault);
             fault_pending = false;
+        }
+
+        // Assert the persistent fault (if one is bound) for this cycle.
+        // The tick is idempotent, so landing on extra idle cycles — as
+        // a checkpoint-resumed run may, relative to from-scratch —
+        // cannot diverge the trajectory.
+        if (persistent_sm_ >= 0) {
+            const FaultSpec& f = *options.fault;
+            bool active = true;
+            if (f.behavior == FaultBehavior::Intermittent) {
+                active = (now - f.cycle) % f.intermittentPeriod <
+                         f.intermittentActive;
+            }
+            sms_[static_cast<std::size_t>(persistent_sm_)]
+                ->persistentFaultTick(active);
         }
 
         if (options.recorder &&

@@ -81,7 +81,10 @@ struct RunOptions
 {
     /** Hard cycle budget; 0 selects the default cap (50M cycles). */
     Cycle maxCycles = 0;
-    /** Optional single bit flip to apply during the run. */
+    /** Optional fault to inject during the run (behavior × pattern ×
+     *  target; see sim/fault_model.hh).  Persistent behaviors are
+     *  incompatible with goldenHashes (the trajectory never rejoins
+     *  golden, so hash early-out would be meaningless). */
     std::optional<FaultSpec> fault;
     /** Optional access-trace observer (ACE analysis). */
     SimObserver* observer = nullptr;
@@ -174,6 +177,8 @@ class Gpu
     std::uint32_t next_block_ = 0;
     std::uint32_t num_blocks_ = 0;
     std::uint32_t dispatch_rr_ = 0;
+    /** SM hosting the run's persistent fault, -1 if none (per-run). */
+    std::int64_t persistent_sm_ = -1;
 };
 
 } // namespace gpr

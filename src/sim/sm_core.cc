@@ -26,6 +26,7 @@ SmCore::SmCore(const GpuConfig& config, SmId id)
 void
 SmCore::reset()
 {
+    pfault_.reset(); // storage overlays die with the reassignment below
     vrf_ = WordStorage(config_.regFileWordsPerSm);
     if (srf_)
         srf_.emplace(config_.scalarRegWordsPerSm);
@@ -45,18 +46,121 @@ SmCore::reset()
 }
 
 void
-SmCore::flipBit(TargetStructure structure, BitIndex bit)
+SmCore::applyFault(TargetStructure structure, BitIndex first_bit,
+                   std::uint64_t mask)
+{
+    for (unsigned k = 0; (mask >> k) != 0; ++k) {
+        if ((mask >> k) & 1)
+            mutateBit(structure, first_bit + k, BitMutation::Flip);
+    }
+}
+
+WordStorage&
+SmCore::storageFor(TargetStructure structure)
 {
     switch (structure) {
       case TargetStructure::VectorRegisterFile:
-        vrf_.flipBitAt(bit);
-        return;
+        return vrf_;
       case TargetStructure::ScalarRegisterFile:
         GPR_ASSERT(srf_, "no scalar register file on this architecture");
-        srf_->flipBitAt(bit);
-        return;
+        return *srf_;
       case TargetStructure::SharedMemory:
-        lds_.flipBitAt(bit);
+        return lds_;
+      default:
+        panic("not a word-storage structure");
+    }
+}
+
+void
+SmCore::bindPersistentFault(const PersistentFault& fault)
+{
+    const StructureSpec& spec = structureSpec(fault.structure);
+    GPR_ASSERT(spec.persistenceHook != PersistenceHook::None,
+               "structure has no persistence hook");
+    GPR_ASSERT(!pfault_, "at most one persistent fault per SM per run");
+    GPR_ASSERT(fault.mask != 0, "empty persistent-fault mask");
+    pfault_ = fault;
+    if (spec.persistenceHook == PersistenceHook::StorageReadOverlay) {
+        // The pattern mask is cell-aligned with width dividing 32, so it
+        // never crosses the 32-bit word boundary.
+        const auto word = static_cast<std::uint32_t>(fault.firstBit / 32);
+        const auto shift = static_cast<unsigned>(fault.firstBit % 32);
+        const Word word_mask = static_cast<Word>(fault.mask) << shift;
+        storageFor(fault.structure)
+            .setStuckBits(word, word_mask, fault.value ? word_mask : 0);
+    }
+}
+
+void
+SmCore::persistentFaultTick(bool active)
+{
+    if (!pfault_)
+        return;
+    const StructureSpec& spec = structureSpec(pfault_->structure);
+    if (spec.persistenceHook == PersistenceHook::StorageReadOverlay) {
+        storageFor(pfault_->structure).setStuckEnabled(active);
+        return;
+    }
+    // CycleReassert: force the faulty control bits for the cycle about
+    // to step.  When inactive (intermittent off-phase) nothing is
+    // asserted and the last forced value simply persists in the context
+    // fields — register semantics, matching the retention behavior of
+    // the storage overlay's raw words.
+    if (!active)
+        return;
+    const BitMutation mut =
+        pfault_->value ? BitMutation::Force1 : BitMutation::Force0;
+    for (unsigned k = 0; (pfault_->mask >> k) != 0; ++k) {
+        if ((pfault_->mask >> k) & 1)
+            mutateBit(pfault_->structure, pfault_->firstBit + k, mut);
+    }
+}
+
+void
+SmCore::clearPersistentFault()
+{
+    if (!pfault_)
+        return;
+    if (structureSpec(pfault_->structure).persistenceHook ==
+        PersistenceHook::StorageReadOverlay) {
+        storageFor(pfault_->structure).clearStuck();
+    }
+    pfault_.reset();
+}
+
+void
+SmCore::mutateBit(TargetStructure structure, BitIndex bit, BitMutation mut)
+{
+    // The three leaf cell types, under flip/force-0/force-1.
+    const auto mut_u32 = [mut](std::uint32_t& v, unsigned b) {
+        const std::uint32_t m = std::uint32_t{1} << b;
+        if (mut == BitMutation::Flip)
+            v ^= m;
+        else if (mut == BitMutation::Force0)
+            v &= ~m;
+        else
+            v |= m;
+    };
+    const auto mut_mask = [mut](LaneMask& v, unsigned b) {
+        const LaneMask m = LaneMask{1} << b;
+        if (mut == BitMutation::Flip)
+            v ^= m;
+        else if (mut == BitMutation::Force0)
+            v &= ~m;
+        else
+            v |= m;
+    };
+
+    switch (structure) {
+      case TargetStructure::VectorRegisterFile:
+      case TargetStructure::ScalarRegisterFile:
+      case TargetStructure::SharedMemory:
+        // Word storage persists via the read overlay, never by forcing
+        // the raw words (that would destroy the retained value an
+        // intermittent fault must recover).
+        GPR_ASSERT(mut == BitMutation::Flip,
+                   "word-storage persistence uses the read overlay");
+        storageFor(structure).flipBitAt(bit);
         return;
 
       case TargetStructure::PredicateFile: {
@@ -70,7 +174,7 @@ SmCore::flipBit(TargetStructure structure, BitIndex bit)
         // A flip in an unused warp slot is dead state: dispatch fully
         // reinitialises the context before reuse, and unused slots are
         // (deliberately) outside the trajectory hash.
-        warps_[slot].preds[preg] ^= LaneMask{1} << lane;
+        mut_mask(warps_[slot].preds[preg], lane);
         return;
       }
 
@@ -82,17 +186,17 @@ SmCore::flipBit(TargetStructure structure, BitIndex bit)
                    "SIMT-stack fault bit out of range");
         WarpContext& w = warps_[slot];
         if (rem < 32) {
-            w.pc ^= std::uint32_t{1} << rem;
+            mut_u32(w.pc, static_cast<unsigned>(rem));
             return;
         }
         rem -= 32;
         if (rem < config_.warpWidth) {
-            w.activeMask ^= LaneMask{1} << rem;
+            mut_mask(w.activeMask, static_cast<unsigned>(rem));
             return;
         }
         rem -= config_.warpWidth;
         if (rem < config_.warpWidth) {
-            w.exitedMask ^= LaneMask{1} << rem;
+            mut_mask(w.exitedMask, static_cast<unsigned>(rem));
             return;
         }
         rem -= config_.warpWidth;
@@ -103,17 +207,24 @@ SmCore::flipBit(TargetStructure structure, BitIndex bit)
             return; // empty hardware cell: contents are dead
         ReconvEntry& e = w.stack[entry];
         if (ebit == 0) {
-            e.kind = e.kind == ReconvEntry::Kind::SyncToken
-                         ? ReconvEntry::Kind::PendingPath
-                         : ReconvEntry::Kind::SyncToken;
+            // The kind bit: SyncToken = 0, PendingPath = 1.
+            if (mut == BitMutation::Flip) {
+                e.kind = e.kind == ReconvEntry::Kind::SyncToken
+                             ? ReconvEntry::Kind::PendingPath
+                             : ReconvEntry::Kind::SyncToken;
+            } else {
+                e.kind = mut == BitMutation::Force1
+                             ? ReconvEntry::Kind::PendingPath
+                             : ReconvEntry::Kind::SyncToken;
+            }
             return;
         }
         ebit -= 1;
         if (ebit < 32) {
-            e.pc ^= std::uint32_t{1} << ebit;
+            mut_u32(e.pc, static_cast<unsigned>(ebit));
             return;
         }
-        e.mask ^= LaneMask{1} << (ebit - 32);
+        mut_mask(e.mask, static_cast<unsigned>(ebit - 32));
         return;
       }
     }
@@ -164,6 +275,7 @@ SmCore::restore(const Snapshot& s)
                    s.blocks.size() == blocks_.size() &&
                    s.warps.size() == warps_.size(),
                "checkpoint shape does not match this SM's configuration");
+    pfault_.reset(); // snapshots are taken on fault-free runs
     vrf_ = s.vrf;
     srf_ = s.srf;
     lds_ = s.lds;

@@ -100,14 +100,56 @@ class SmCore
     }
 
     /**
-     * Flip one bit of @p structure on this SM; @p bit addresses the
-     * structure's SM-local fault space bit-linearly (see the structure
-     * registry for per-structure geometry).  This is the single place
-     * where registry ids bind to physical simulator state.  Flips into
-     * dead cells (unallocated storage, unused warp slots, empty stack
-     * entries) are architecturally inert by design.
+     * XOR-flip a group of bits of @p structure on this SM: mask bit k
+     * set means SM-local fault-space bit @p first_bit + k flips (see
+     * the structure registry for per-structure bit geometry).  This is
+     * the single place where registry ids bind to physical simulator
+     * state.  Flips into dead cells (unallocated storage, unused warp
+     * slots, empty stack entries) are architecturally inert by design.
      */
-    void flipBit(TargetStructure structure, BitIndex bit);
+    void applyFault(TargetStructure structure, BitIndex first_bit,
+                    std::uint64_t mask);
+
+    /** Deprecated single-bit wrapper: applyFault(structure, bit, 1). */
+    void
+    flipBit(TargetStructure structure, BitIndex bit)
+    {
+        applyFault(structure, bit, 1);
+    }
+
+    /**
+     * One persistent (stuck-at / intermittent) fault bound to this SM:
+     * the bits selected by @p mask at @p firstBit are forced to
+     * @p value whenever the fault is active.  How the forcing reaches
+     * the state is the structure's registry-declared PersistenceHook.
+     */
+    struct PersistentFault
+    {
+        TargetStructure structure = TargetStructure::VectorRegisterFile;
+        BitIndex firstBit = 0;       ///< SM-local, pattern-aligned
+        std::uint64_t mask = 1;      ///< bit k = local bit firstBit + k
+        bool value = false;          ///< forced value while active
+    };
+
+    /**
+     * Bind @p fault to this SM (at most one per run).  The binding is
+     * run-loop state, not part of snapshots: checkpoints are recorded
+     * on fault-free runs and Gpu::run re-binds after a restore once the
+     * fault cycle arrives.  Cleared by reset()/restore().
+     */
+    void bindPersistentFault(const PersistentFault& fault);
+
+    /**
+     * Assert the bound fault for the cycle about to step: enable or
+     * disable the storage read overlay, or re-force control bits when
+     * @p active.  Idempotent, so the run loop may tick it on any
+     * super-sequence of the simulated cycles without changing behavior.
+     * No-op when no fault is bound.
+     */
+    void persistentFaultTick(bool active);
+
+    /** Drop the bound fault and its storage overlay (if any). */
+    void clearPersistentFault();
 
     // --- Checkpoint support ----------------------------------------------
     struct Snapshot; ///< full mid-run state of one SM (defined below)
@@ -146,6 +188,18 @@ class SmCore
         std::uint32_t liveWarps = 0;
         std::uint32_t barrierArrived = 0;
     };
+
+    // --- Fault plumbing ----------------------------------------------------
+    /** How mutateBit changes the addressed bit. */
+    enum class BitMutation : std::uint8_t { Flip, Force0, Force1 };
+
+    /** The per-bit core behind applyFault and persistentFaultTick:
+     *  flip or force one SM-local fault-space bit of @p structure. */
+    void mutateBit(TargetStructure structure, BitIndex bit,
+                   BitMutation mut);
+
+    /** The WordStorage instance backing a word-storage structure. */
+    WordStorage& storageFor(TargetStructure structure);
 
     // --- Issue & execution -----------------------------------------------
     /** Can warp @p w issue at @p now?  If not, raises @p stall_until. */
@@ -210,6 +264,9 @@ class SmCore
     // Scheduler state.
     std::uint32_t rr_cursor_ = 0;
     std::int32_t gto_last_ = -1;
+
+    // Bound persistent fault (run-loop state; never checkpointed).
+    std::optional<PersistentFault> pfault_;
 };
 
 /**

@@ -17,7 +17,36 @@ Word
 WordStorage::read(std::uint32_t index) const
 {
     GPR_ASSERT(index < words_.size(), "storage read out of range");
-    return words_[index];
+    Word value = words_[index];
+    if (stuck_enabled_ && index == stuck_word_)
+        value = (value & ~stuck_mask_) | stuck_value_;
+    return value;
+}
+
+void
+WordStorage::setStuckBits(std::uint32_t word, Word mask, Word value)
+{
+    GPR_ASSERT(word < words_.size(), "stuck word out of range");
+    GPR_ASSERT((value & ~mask) == 0, "stuck value outside stuck mask");
+    stuck_word_ = word;
+    stuck_mask_ = mask;
+    stuck_value_ = value;
+    stuck_enabled_ = false;
+}
+
+void
+WordStorage::setStuckEnabled(bool enabled)
+{
+    stuck_enabled_ = enabled;
+}
+
+void
+WordStorage::clearStuck()
+{
+    stuck_word_ = 0;
+    stuck_mask_ = 0;
+    stuck_value_ = 0;
+    stuck_enabled_ = false;
 }
 
 void

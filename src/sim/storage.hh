@@ -41,6 +41,23 @@ class WordStorage
     void flipBitAt(BitIndex bit_index);
 
     /**
+     * Bind a stuck-bit overlay to word @p word: while enabled, reads of
+     * that word see the bits of @p mask forced to the corresponding bits
+     * of @p value.  The overlay is read-side only — writes store the raw
+     * value underneath — so an intermittent fault that deactivates
+     * (setStuckEnabled(false)) re-exposes whatever the program last
+     * wrote, which is exactly the marginal-cell retention semantics.
+     * One overlay per storage; binding starts disabled.
+     */
+    void setStuckBits(std::uint32_t word, Word mask, Word value);
+
+    /** Toggle the bound overlay (persistent faults tick this per cycle). */
+    void setStuckEnabled(bool enabled);
+
+    /** Drop the overlay entirely. */
+    void clearStuck();
+
+    /**
      * First-fit allocation of @p count contiguous words.
      * Returns the base index, or nullopt if no hole fits.
      */
@@ -57,7 +74,11 @@ class WordStorage
      * (allocated *and* free — free words persist and may be observed by
      * a later block that reads before writing, so they are part of the
      * architecturally visible state) plus the free list (fragmentation
-     * steers future allocations, hence future behaviour).
+     * steers future allocations, hence future behaviour).  The stuck-bit
+     * overlay is deliberately NOT hashed: it is only ever bound during
+     * persistent-fault runs, and those disable state hashing entirely
+     * (the trajectory can never rejoin golden), so including it would
+     * change the hash definition for nothing.
      */
     void hashInto(StateHash& h) const;
 
@@ -71,6 +92,12 @@ class WordStorage
     std::vector<Word> words_;
     std::vector<Range> free_list_; ///< sorted by base, coalesced
     std::uint32_t allocated_words_ = 0;
+
+    // Stuck-bit overlay (persistent-fault hook; see setStuckBits).
+    std::uint32_t stuck_word_ = 0;
+    Word stuck_mask_ = 0;
+    Word stuck_value_ = 0;
+    bool stuck_enabled_ = false;
 };
 
 } // namespace gpr

@@ -110,27 +110,27 @@ structureRegistry()
     static const std::array<StructureSpec, kNumTargetStructures> registry = {{
         {TargetStructure::VectorRegisterFile, StructureKind::WordStorage,
          "register-file", "rf", "register_file",
-         /*exactDeadWindows=*/true, vrfBits, vrfUnits,
-         /*aceUnitBits=*/nullptr, vrfOcc},
+         /*exactDeadWindows=*/true, PersistenceHook::StorageReadOverlay,
+         vrfBits, vrfUnits, /*aceUnitBits=*/nullptr, vrfOcc},
         {TargetStructure::SharedMemory, StructureKind::WordStorage,
          "local-memory", "lds", "local_memory",
-         /*exactDeadWindows=*/true, ldsBits, ldsUnits,
-         /*aceUnitBits=*/nullptr, ldsOcc},
+         /*exactDeadWindows=*/true, PersistenceHook::StorageReadOverlay,
+         ldsBits, ldsUnits, /*aceUnitBits=*/nullptr, ldsOcc},
         {TargetStructure::ScalarRegisterFile, StructureKind::WordStorage,
          "scalar-register-file", "srf", "scalar_register_file",
-         /*exactDeadWindows=*/true, srfBits, srfUnits,
-         /*aceUnitBits=*/nullptr, srfOcc},
+         /*exactDeadWindows=*/true, PersistenceHook::StorageReadOverlay,
+         srfBits, srfUnits, /*aceUnitBits=*/nullptr, srfOcc},
         // Predicate units are uniform (one warpWidth-bit lane mask per
         // register), so no per-unit bit weighting is needed: unit-cycle
         // over unit accounting already equals the bit-weighted ratio.
         {TargetStructure::PredicateFile, StructureKind::ControlBits,
          "predicate-file", "pred", "predicate_file",
-         /*exactDeadWindows=*/false, predBits, predUnits,
-         /*aceUnitBits=*/nullptr, warpOcc},
+         /*exactDeadWindows=*/false, PersistenceHook::CycleReassert,
+         predBits, predUnits, /*aceUnitBits=*/nullptr, warpOcc},
         {TargetStructure::SimtStack, StructureKind::ControlBits,
          "simt-stack", "simt", "simt_stack",
-         /*exactDeadWindows=*/false, simtBits, simtUnits, simtUnitBits,
-         warpOcc},
+         /*exactDeadWindows=*/false, PersistenceHook::CycleReassert,
+         simtBits, simtUnits, simtUnitBits, warpOcc},
     }};
     return registry;
 }

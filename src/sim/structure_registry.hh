@@ -6,7 +6,7 @@
  * ACE analysis, fault windows, the injector, campaigns, breakdowns,
  * export, the orchestrator and the CLI — now iterates this table
  * instead.  Adding a structure means adding one StructureSpec row plus
- * the sim-layer binding (SmCore::flipBit + observer events); everything
+ * the sim-layer binding (SmCore::applyFault + observer events); everything
  * above the simulator picks the new entry up automatically (see the
  * "Adding a target structure" section of the README).
  *
@@ -45,6 +45,26 @@ enum class StructureKind : std::uint8_t
 {
     WordStorage, ///< 32-bit-word-granular SRAM with alloc/free
     ControlBits, ///< packed control bits over resident warp slots
+};
+
+/**
+ * How a structure hosts persistent (stuck-at / intermittent) faults.
+ * A structure opts into persistence by binding one of these hooks in
+ * its registry row; None means persistent behaviors are rejected for
+ * it.  All five built-in rows bind a hook.
+ */
+enum class PersistenceHook : std::uint8_t
+{
+    None,               ///< persistent faults unsupported
+    /** WordStorage read-side overlay: reads of the faulty word see the
+     *  forced bits, writes retain the raw value underneath (so an
+     *  intermittent fault's inactive phase recovers stored data). */
+    StorageReadOverlay,
+    /** Control bits live in named context fields consumed only during
+     *  SmCore::stepCycle, so persistence = re-forcing the faulty bits
+     *  before every stepped cycle (idempotent, hence insensitive to
+     *  how many idle cycles the run loop lands on). */
+    CycleReassert,
 };
 
 /**
@@ -100,8 +120,12 @@ struct StructureSpec
     /** Key used in JSON exports, e.g. "register_file". */
     std::string_view jsonKey;
     /** Word-storage only: the golden trace yields exact per-word dead
-     *  windows (the checkpoint engine's zero-simulation prefilter). */
+     *  windows (the checkpoint engine's zero-simulation prefilter;
+     *  transient faults only — a persistent fault's cell is never
+     *  dead while the forcing holds). */
     bool exactDeadWindows = false;
+    /** How this structure hosts stuck-at / intermittent faults. */
+    PersistenceHook persistenceHook = PersistenceHook::None;
 
     /** Fault-injectable bits per SM/CU on @p config (0 = chip lacks it). */
     std::uint64_t (*bitsPerSm)(const GpuConfig&) = nullptr;

@@ -9,7 +9,7 @@
  *   gpr profile <workload> <gpu>     access-traffic profile per structure
  *   gpr analyze <workload> <gpu> [n] full FI + ACE + EPF report
  *   gpr inject <workload> <gpu> <structure> <bit> <cycle>
- *                                    single deterministic injection
+ *              [behavior] [pattern]  single deterministic injection
  *   gpr study [flags]                sharded grid study with
  *                                    checkpoint/resume (see --help)
  */
@@ -47,6 +47,10 @@ usage()
         "  gpr profile <workload> <gpu>\n"
         "  gpr analyze <workload> <gpu> [injections] [--json]\n"
         "  gpr inject <workload> <gpu> <structure> <bit> <cycle>\n"
+        "             [behavior] [pattern]\n"
+        "             (behavior: transient, stuck-at-0, stuck-at-1,\n"
+        "              intermittent [fixed period 16, active 8];\n"
+        "              pattern: single, adjacent-double, adjacent-quad)\n"
         "  gpr study [--spec=FILE] [--dump-spec] [--dry-run]\n"
         "            [--workloads=a,b] [--gpus=a,b] [--injections=N]\n"
         "            [--margin=M] [--confidence=C] [--max-injections=N]\n"
@@ -275,7 +279,8 @@ cmdStudy(int argc, char** argv)
 int
 cmdInject(const std::string& workload, const std::string& gpu,
           const std::string& structure, const char* bit_arg,
-          const char* cycle_arg)
+          const char* cycle_arg, const char* behavior_arg,
+          const char* pattern_arg)
 {
     const GpuConfig& cfg = gpuConfig(gpuModelFromName(gpu));
     ReliabilityFramework fw(cfg.model);
@@ -292,14 +297,30 @@ cmdInject(const std::string& workload, const std::string& gpu,
     fault.bitIndex = static_cast<BitIndex>(*bit);
     fault.cycle = static_cast<Cycle>(*cyc);
 
+    if (behavior_arg &&
+        !tryFaultBehaviorFromName(behavior_arg, fault.behavior))
+        return usage();
+    if (pattern_arg &&
+        !tryFaultPatternFromName(pattern_arg, fault.pattern))
+        return usage();
+    if (fault.behavior == FaultBehavior::Intermittent) {
+        // No duty-cycle flags on the CLI: fix a deterministic cycle so
+        // the same command line always reproduces the same run.
+        fault.intermittentPeriod = 16;
+        fault.intermittentActive = 8;
+        fault.intermittentValue = true;
+    }
+
     FaultInjector injector(cfg, inst);
     std::printf("golden run: %llu cycles\n",
                 static_cast<unsigned long long>(injector.goldenCycles()));
     const InjectionResult r = injector.inject(fault);
-    std::printf("fault: %s bit %llu @ cycle %llu -> %s%s%s\n",
+    std::printf("fault: %s bit %llu @ cycle %llu (%s x %s) -> %s%s%s\n",
                 std::string(targetStructureName(fault.structure)).c_str(),
                 static_cast<unsigned long long>(fault.bitIndex),
                 static_cast<unsigned long long>(fault.cycle),
+                std::string(faultBehaviorName(fault.behavior)).c_str(),
+                std::string(faultPatternName(fault.pattern)).c_str(),
                 std::string(faultOutcomeName(r.outcome)).c_str(),
                 r.trap != TrapKind::None ? " / " : "",
                 r.trap != TrapKind::None
@@ -338,8 +359,11 @@ main(int argc, char** argv)
             }
             return cmdAnalyze(argv[2], argv[3], n_arg, json);
         }
-        if (cmd == "inject" && argc == 7)
-            return cmdInject(argv[2], argv[3], argv[4], argv[5], argv[6]);
+        if (cmd == "inject" && argc >= 7 && argc <= 9) {
+            return cmdInject(argv[2], argv[3], argv[4], argv[5], argv[6],
+                             argc > 7 ? argv[7] : nullptr,
+                             argc > 8 ? argv[8] : nullptr);
+        }
         if (cmd == "study")
             return cmdStudy(argc - 1, argv + 1);
     } catch (const gpr::FatalError& e) {
