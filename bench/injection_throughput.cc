@@ -8,11 +8,13 @@
  * through both engines, so the run doubles as a differential check:
  * any per-injection outcome mismatch flags the cell (and fails the
  * process).  Results are emitted as one BENCH JSON document on stdout
- * (CI parses it and fails if the checkpointed engine is slower).
+ * (CI parses it and fails if the checkpointed engine is slower); a
+ * human-readable per-phase table goes to stderr so stdout stays pure
+ * JSON.
  *
  *     $ bench_injection_throughput [--workloads=a,b] [--gpus=a,b]
  *           [--structures=a,b] [--behaviors=a,b] [--injections=N]
- *           [--checkpoints=N] [--seed=S]
+ *           [--checkpoints=N] [--placement=even|fault-aware] [--seed=S]
  *
  * By default every registered structure applicable to a cell is run
  * (including the control-state targets, which skip the dead-window
@@ -26,6 +28,12 @@
  * their throughput is reported separately in the "behaviors" breakdown
  * and the legacy-vs-checkpoint equality check doubles as a persistent
  * checkpoint-restore differential test.
+ *
+ * The checkpointed engine's time is further broken down per phase
+ * (prefilter / restore / replay / hash, from FaultInjector's phase
+ * accounting), and each (workload, GPU) pair reports its resident
+ * checkpoint-pack bytes: the delta-encoded size next to what the same
+ * checkpoint cycles would cost as v1 full snapshots.
  */
 
 #include <algorithm>
@@ -63,10 +71,14 @@ struct CellResult
     std::size_t prefiltered = 0; ///< masked via dead windows (no sim)
     std::size_t hashConverged = 0;
     double goldenSeconds = 0.0; ///< one golden run (scale reference)
-    double packSeconds = 0.0;   ///< recording pass + pack assembly
+    double packSeconds = 0.0;   ///< recording passes + pack assembly
     double packShare = 0.0;     ///< this cell's share of packSeconds
     double legacySeconds = 0.0;
     double checkpointSeconds = 0.0;
+    /** Where checkpointSeconds went (per-injector phase accounting). */
+    InjectionPhaseStats phases;
+    std::size_t packBytes = 0;     ///< resident delta-encoded pack
+    std::size_t packFullBytes = 0; ///< same cycles as v1 full snapshots
     bool outcomesEqual = true;
 };
 
@@ -83,6 +95,7 @@ main(int argc, char** argv)
     std::vector<FaultBehavior> behaviors = {FaultBehavior::Transient};
     std::size_t injections = 40;
     unsigned checkpoints = kDefaultCheckpoints;
+    CheckpointPlacement placement = CheckpointPlacement::FaultAware;
     std::uint64_t seed = 0xC0FFEE;
 
     for (int i = 1; i < argc; ++i) {
@@ -116,6 +129,18 @@ main(int argc, char** argv)
                 parseInt(arg.substr(std::string("--checkpoints=").size()));
             if (n && *n >= 0)
                 checkpoints = static_cast<unsigned>(*n);
+        } else if (startsWith(arg, "--placement=")) {
+            const std::string name =
+                arg.substr(std::string("--placement=").size());
+            if (name == "even") {
+                placement = CheckpointPlacement::Even;
+            } else if (name == "fault-aware") {
+                placement = CheckpointPlacement::FaultAware;
+            } else {
+                std::fprintf(stderr,
+                             "--placement: expected even|fault-aware\n");
+                return 2;
+            }
         } else if (startsWith(arg, "--seed=")) {
             const auto s =
                 parseInt(arg.substr(std::string("--seed=").size()));
@@ -126,8 +151,8 @@ main(int argc, char** argv)
                          "usage: bench_injection_throughput "
                          "[--workloads=a,b] [--gpus=a,b] "
                          "[--structures=a,b] [--behaviors=a,b] "
-                         "[--injections=N] "
-                         "[--checkpoints=N] [--seed=S]\n");
+                         "[--injections=N] [--checkpoints=N] "
+                         "[--placement=even|fault-aware] [--seed=S]\n");
             return 2;
         }
     }
@@ -136,6 +161,7 @@ main(int argc, char** argv)
     bool all_equal = true;
     double legacy_total = 0.0, ckpt_total = 0.0;
     std::size_t injections_total = 0;
+    std::size_t peak_pack_bytes = 0, peak_pack_full_bytes = 0;
 
     for (const std::string& wname : workloads) {
         const auto workload = makeWorkload(wname);
@@ -160,9 +186,14 @@ main(int argc, char** argv)
             FaultInjector ckpt(cfg, inst);
             ckpt.adoptGoldenCycles(legacy.goldenCycles());
             t0 = std::chrono::steady_clock::now();
-            ckpt.buildCheckpointPack(checkpoints);
+            const auto pack = ckpt.buildCheckpointPack(checkpoints,
+                                                       placement);
             t1 = std::chrono::steady_clock::now();
             const double pack_s = seconds(t0, t1);
+            peak_pack_bytes =
+                std::max(peak_pack_bytes, pack->approxBytes());
+            peak_pack_full_bytes = std::max(peak_pack_full_bytes,
+                                            pack->fullEquivalentBytes());
 
             for (TargetStructure s : structures) {
                 for (FaultBehavior behavior : behaviors) {
@@ -174,6 +205,8 @@ main(int argc, char** argv)
                     cell.injections = injections;
                     cell.goldenSeconds = golden_s;
                     cell.packSeconds = pack_s;
+                    cell.packBytes = pack->approxBytes();
+                    cell.packFullBytes = pack->fullEquivalentBytes();
 
                     // Same cell seed across behaviors: each behavior
                     // re-runs the same bit/cycle fault list (the
@@ -194,6 +227,7 @@ main(int argc, char** argv)
                     t1 = std::chrono::steady_clock::now();
                     cell.legacySeconds = seconds(t0, t1);
 
+                    ckpt.resetPhaseStats();
                     t0 = std::chrono::steady_clock::now();
                     for (std::size_t i = 0; i < injections; ++i) {
                         const InjectionResult r = runIndexedInjection(
@@ -210,6 +244,7 @@ main(int argc, char** argv)
                     }
                     t1 = std::chrono::steady_clock::now();
                     cell.checkpointSeconds = seconds(t0, t1);
+                    cell.phases = ckpt.phaseStats();
 
                     cell.packShare =
                         cell.packSeconds /
@@ -225,9 +260,15 @@ main(int argc, char** argv)
         }
     }
 
+    InjectionPhaseStats phases_total;
+    for (const CellResult& c : cells)
+        phases_total += c.phases;
+
     // ---- BENCH JSON ----
     std::printf("{\n  \"bench\": \"injection_throughput\",\n");
     std::printf("  \"checkpoints\": %u,\n", checkpoints);
+    std::printf("  \"placement\": \"%s\",\n",
+                std::string(checkpointPlacementName(placement)).c_str());
     std::printf("  \"injections_per_cell\": %zu,\n", injections);
     std::printf("  \"cells\": [\n");
     for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -245,13 +286,18 @@ main(int argc, char** argv)
             "\"golden_s\": %.6f, \"pack_s\": %.6f, "
             "\"pack_share_s\": %.6f, "
             "\"legacy_s\": %.6f, \"checkpoint_s\": %.6f, "
+            "\"prefilter_s\": %.6f, \"restore_s\": %.6f, "
+            "\"replay_s\": %.6f, \"hash_s\": %.6f, "
+            "\"pack_bytes\": %zu, \"pack_full_bytes\": %zu, "
             "\"legacy_ips\": %.2f, \"checkpoint_ips\": %.2f, "
             "\"speedup\": %.3f, \"outcomes_equal\": %s}%s\n",
             c.workload.c_str(), c.gpu.c_str(), c.structure.c_str(),
             std::string(faultBehaviorName(c.behavior)).c_str(),
             c.injections, c.prefiltered, c.hashConverged, c.goldenSeconds,
             c.packSeconds, c.packShare, c.legacySeconds,
-            c.checkpointSeconds,
+            c.checkpointSeconds, c.phases.prefilterSeconds,
+            c.phases.restoreSeconds, c.phases.replaySeconds,
+            c.phases.hashSeconds, c.packBytes, c.packFullBytes,
             c.legacySeconds > 0 ? c.injections / c.legacySeconds : 0.0,
             ckpt_total_s > 0 ? c.injections / ckpt_total_s : 0.0,
             ckpt_total_s > 0 ? c.legacySeconds / ckpt_total_s : 0.0,
@@ -267,20 +313,26 @@ main(int argc, char** argv)
     for (std::size_t b = 0; b < behaviors.size(); ++b) {
         double legacy_b = 0.0, ckpt_b = 0.0;
         std::size_t injections_b = 0;
+        InjectionPhaseStats phases_b;
         for (const CellResult& c : cells) {
             if (c.behavior != behaviors[b])
                 continue;
             legacy_b += c.legacySeconds;
             ckpt_b += c.checkpointSeconds + c.packShare;
             injections_b += c.injections;
+            phases_b += c.phases;
         }
         std::printf(
             "    {\"behavior\": \"%s\", \"injections\": %zu, "
             "\"legacy_s\": %.6f, \"checkpoint_s\": %.6f, "
+            "\"prefilter_s\": %.6f, \"restore_s\": %.6f, "
+            "\"replay_s\": %.6f, \"hash_s\": %.6f, "
             "\"legacy_ips\": %.2f, \"checkpoint_ips\": %.2f, "
             "\"speedup\": %.3f}%s\n",
             std::string(faultBehaviorName(behaviors[b])).c_str(),
-            injections_b, legacy_b, ckpt_b,
+            injections_b, legacy_b, ckpt_b, phases_b.prefilterSeconds,
+            phases_b.restoreSeconds, phases_b.replaySeconds,
+            phases_b.hashSeconds,
             legacy_b > 0 ? injections_b / legacy_b : 0.0,
             ckpt_b > 0 ? injections_b / ckpt_b : 0.0,
             ckpt_b > 0 ? legacy_b / ckpt_b : 0.0,
@@ -291,6 +343,14 @@ main(int argc, char** argv)
     std::printf("    \"injections\": %zu,\n", injections_total);
     std::printf("    \"legacy_s\": %.6f,\n", legacy_total);
     std::printf("    \"checkpoint_s\": %.6f,\n", ckpt_total);
+    std::printf("    \"prefilter_s\": %.6f,\n",
+                phases_total.prefilterSeconds);
+    std::printf("    \"restore_s\": %.6f,\n", phases_total.restoreSeconds);
+    std::printf("    \"replay_s\": %.6f,\n", phases_total.replaySeconds);
+    std::printf("    \"hash_s\": %.6f,\n", phases_total.hashSeconds);
+    std::printf("    \"peak_pack_bytes\": %zu,\n", peak_pack_bytes);
+    std::printf("    \"peak_pack_full_bytes\": %zu,\n",
+                peak_pack_full_bytes);
     std::printf("    \"legacy_ips\": %.2f,\n",
                 legacy_total > 0 ? injections_total / legacy_total : 0.0);
     std::printf("    \"checkpoint_ips\": %.2f,\n",
@@ -299,6 +359,41 @@ main(int argc, char** argv)
                 ckpt_total > 0 ? legacy_total / ckpt_total : 0.0);
     std::printf("    \"outcomes_equal\": %s\n", all_equal ? "true" : "false");
     std::printf("  }\n}\n");
+
+    // ---- Per-phase table (stderr; stdout stays pure JSON for CI) ----
+    std::fprintf(stderr,
+                 "\n%-14s %6s %10s %10s %10s %10s %10s %8s\n", "behavior",
+                 "inj", "legacy_s", "prefilt_s", "restore_s", "replay_s",
+                 "hash_s", "speedup");
+    for (FaultBehavior behavior : behaviors) {
+        double legacy_b = 0.0, ckpt_b = 0.0;
+        std::size_t injections_b = 0;
+        InjectionPhaseStats phases_b;
+        for (const CellResult& c : cells) {
+            if (c.behavior != behavior)
+                continue;
+            legacy_b += c.legacySeconds;
+            ckpt_b += c.checkpointSeconds + c.packShare;
+            injections_b += c.injections;
+            phases_b += c.phases;
+        }
+        std::fprintf(stderr,
+                     "%-14s %6zu %10.3f %10.3f %10.3f %10.3f %10.3f "
+                     "%7.2fx\n",
+                     std::string(faultBehaviorName(behavior)).c_str(),
+                     injections_b, legacy_b, phases_b.prefilterSeconds,
+                     phases_b.restoreSeconds, phases_b.replaySeconds,
+                     phases_b.hashSeconds,
+                     ckpt_b > 0 ? legacy_b / ckpt_b : 0.0);
+    }
+    std::fprintf(stderr,
+                 "peak checkpoint pack: %zu KiB delta-encoded "
+                 "(full-snapshot equivalent %zu KiB, %.1fx smaller)\n",
+                 peak_pack_bytes / 1024, peak_pack_full_bytes / 1024,
+                 peak_pack_bytes > 0
+                     ? static_cast<double>(peak_pack_full_bytes) /
+                           static_cast<double>(peak_pack_bytes)
+                     : 0.0);
 
     if (!all_equal) {
         std::fprintf(stderr,

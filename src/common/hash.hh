@@ -62,6 +62,22 @@ class StateHash
         mix(d);
     }
 
+    /**
+     * Standalone finalised digest of a word array under @p salt — the
+     * page-digest primitive of the dirty-page incremental hash (see
+     * sim/state_page.hh).  Equivalent to mixWords on a fresh accumulator
+     * seeded with the salt, so it shares the 4-lane × 8-words-per-round
+     * batching and the rotate's diffusion guarantees.
+     */
+    static std::uint64_t
+    wordsDigest(const std::uint32_t* w, std::size_t n, std::uint64_t salt)
+    {
+        StateHash h;
+        h.mix(salt);
+        h.mixWords(w, n);
+        return h.value();
+    }
+
     /** Finalised digest (the accumulator itself stays unperturbed). */
     std::uint64_t
     value() const

@@ -695,6 +695,11 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
             cell->pack = injector.buildCheckpointPack(spec.checkpoints);
             std::lock_guard<std::mutex> lock(state_mutex);
             ++progress.checkpointPacks;
+            progress.peakPackBytes = std::max(
+                progress.peakPackBytes, cell->pack->approxBytes());
+            progress.peakPackFullBytes =
+                std::max(progress.peakPackFullBytes,
+                         cell->pack->fullEquivalentBytes());
         });
         if (cell->pack)
             injector.adoptCheckpointPack(cell->pack);
@@ -809,7 +814,9 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
                " worker-s injecting, ", progress.injectionsExecuted,
                " injections at ",
                strprintf("%.1f", progress.injectionsPerSecond()), "/s, ",
-               progress.checkpointPacks, " checkpoint packs)");
+               progress.checkpointPacks, " checkpoint packs, peak ",
+               progress.peakPackBytes / 1024, " KiB delta-encoded vs ",
+               progress.peakPackFullBytes / 1024, " KiB full)");
     }
     if (progress_out)
         *progress_out = progress;

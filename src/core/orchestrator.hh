@@ -88,6 +88,11 @@ struct StudyProgress
     std::uint64_t injectionsExecuted = 0;
     /** Checkpoint packs recorded (one per cell that ran any shard). */
     std::size_t checkpointPacks = 0;
+    /** Peak resident bytes across recorded packs (delta-encoded: one
+     *  baseline plus dirty pages per checkpoint) and what the same
+     *  checkpoint cycles would have cost as full v1 snapshots. */
+    std::size_t peakPackBytes = 0;
+    std::size_t peakPackFullBytes = 0;
     /** Aggregate worker-seconds across executed shards. */
     double shardBusySeconds = 0.0;
     double wallSeconds = 0.0;       ///< end-to-end study wall-clock

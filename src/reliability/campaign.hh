@@ -29,9 +29,13 @@ struct CampaignConfig
     unsigned numThreads = 0;
     /** Keep every per-injection record (memory-heavy for big campaigns). */
     bool keepRecords = false;
-    /** Checkpoints for the checkpoint-restore injection engine; 0 runs
-     *  every injection from scratch (legacy engine, identical counts). */
+    /** Checkpoint budget for the checkpoint-restore injection engine;
+     *  0 runs every injection from scratch (legacy engine, identical
+     *  counts).  The budget is *distributed* by `placement` — see the
+     *  README's checkpoint engine v2 migration note. */
     unsigned checkpoints = kDefaultCheckpoints;
+    /** How the checkpoint budget is placed over the golden run. */
+    CheckpointPlacement placement = CheckpointPlacement::FaultAware;
     /** Fault shape every injection of the campaign carries (target,
      *  bit and cycle stay per-injection samples).  Default = transient
      *  single-bit, the pre-redesign model bit-for-bit. */

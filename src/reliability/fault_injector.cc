@@ -1,6 +1,7 @@
 #include "reliability/fault_injector.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
 #include "sim/structure_registry.hh"
@@ -10,19 +11,29 @@ namespace {
 
 /**
  * Hash-boundary spacing for a golden run of @p golden_cycles on a chip
- * whose hashable state is @p state_words 32-bit words.  Two pressures:
- * boundaries should be dense enough that a converged run exits soon
- * after its flip is erased (<= golden/64), but each fingerprint walks
- * the full state, so on big-state/short-run cells the interval is
- * floored at state_words/256 to keep hashing a small fraction of the
- * simulation work.
+ * whose hashable state is @p state_words 32-bit words.  Boundaries
+ * should be dense enough that a converged run exits soon after its flip
+ * is erased (<= golden/256; the dirty-page digest cache makes a
+ * boundary cost O(pages written since the last one), so they can be ~4x
+ * denser than the full-rehash engine afforded), with a floor on
+ * big-state/short-run cells where even the cached page-digest *sum*
+ * (one add per page) would otherwise dominate.
  */
 Cycle
 chooseHashInterval(Cycle golden_cycles, std::uint64_t state_words)
 {
-    const Cycle by_run = golden_cycles / 64;
-    const Cycle by_state = static_cast<Cycle>(state_words / 256);
+    const Cycle by_run = golden_cycles / 256;
+    const Cycle by_state = static_cast<Cycle>(state_words / 2048);
     return std::max<Cycle>(1, std::max(by_run, by_state));
+}
+
+using PhaseClock = std::chrono::steady_clock;
+
+double
+secondsSince(PhaseClock::time_point start)
+{
+    return std::chrono::duration<double>(PhaseClock::now() - start)
+        .count();
 }
 
 } // namespace
@@ -82,12 +93,14 @@ FaultInjector::adoptGoldenCycles(Cycle cycles)
 }
 
 std::shared_ptr<const CheckpointPack>
-FaultInjector::buildCheckpointPack(unsigned checkpoints)
+FaultInjector::buildCheckpointPack(unsigned checkpoints,
+                                   CheckpointPlacement placement)
 {
     const Cycle golden = goldenCycles();
 
     auto pack = std::make_shared<CheckpointPack>();
     pack->goldenCycles = golden;
+    pack->placement = placement;
     const std::uint64_t state_words =
         static_cast<std::uint64_t>(config_.numSms) *
             (config_.regFileWordsPerSm + config_.scalarRegWordsPerSm +
@@ -95,30 +108,54 @@ FaultInjector::buildCheckpointPack(unsigned checkpoints)
         instance_.image.sizeWords();
     pack->hashInterval = chooseHashInterval(golden, state_words);
 
-    CheckpointRecorder recorder;
-    for (unsigned i = 1; i <= checkpoints; ++i) {
-        const Cycle c = static_cast<Cycle>(
-            static_cast<std::uint64_t>(golden) * i / (checkpoints + 1));
-        if (c > 0 && (recorder.checkpointCycles.empty() ||
-                      recorder.checkpointCycles.back() != c)) {
-            recorder.checkpointCycles.push_back(c);
+    // Pass A: observability windows + golden trajectory hashes.  No
+    // checkpoints yet — the fault-aware placer needs the windows first.
+    CheckpointRecorder hash_recorder;
+    FaultWindowRecorder window_recorder(config_);
+    RunOptions pass_a;
+    pass_a.recorder = &hash_recorder;
+    pass_a.hashInterval = pack->hashInterval;
+    pass_a.observer = &window_recorder;
+    const RunResult run_a = gpu_.run(instance_.program, instance_.launch,
+                                     instance_.image, pass_a);
+    GPR_ASSERT(run_a.clean() && run_a.stats.cycles == golden,
+               "recording pass diverged from the golden run — the "
+               "simulator is not deterministic");
+    pack->hashes = std::move(hash_recorder.hashes);
+    window_recorder.finalize(pack->windows);
+
+    // Distribute the checkpoint budget.
+    CheckpointRecorder delta_recorder;
+    delta_recorder.delta = true;
+    if (placement == CheckpointPlacement::FaultAware) {
+        delta_recorder.checkpointCycles =
+            pack->windows.placeCheckpoints(config_, golden, checkpoints);
+    } else {
+        for (unsigned i = 1; i <= checkpoints; ++i) {
+            const Cycle c = static_cast<Cycle>(
+                static_cast<std::uint64_t>(golden) * i / (checkpoints + 1));
+            if (c > 0 && (delta_recorder.checkpointCycles.empty() ||
+                          delta_recorder.checkpointCycles.back() != c)) {
+                delta_recorder.checkpointCycles.push_back(c);
+            }
         }
     }
 
-    FaultWindowRecorder window_recorder(config_);
-    RunOptions options;
-    options.recorder = &recorder;
-    options.hashInterval = pack->hashInterval;
-    options.observer = &window_recorder;
-    const RunResult run = gpu_.run(instance_.program, instance_.launch,
-                                   instance_.image, options);
-    GPR_ASSERT(run.clean() && run.stats.cycles == golden,
+    // Pass B: cycle-0 baseline + a delta checkpoint per placed cycle.
+    RunOptions pass_b;
+    pass_b.recorder = &delta_recorder;
+    pass_b.hashInterval = pack->hashInterval;
+    const RunResult run_b = gpu_.run(instance_.program, instance_.launch,
+                                     instance_.image, pass_b);
+    GPR_ASSERT(run_b.clean() && run_b.stats.cycles == golden &&
+                   delta_recorder.hashes == pack->hashes,
                "recording pass diverged from the golden run — the "
                "simulator is not deterministic");
+    pack->baseline = std::move(delta_recorder.baseline);
+    pack->deltas = std::move(delta_recorder.deltas);
+    GPR_ASSERT(!pack->deltas.empty() && pack->deltas.front().now == 0,
+               "delta recording lost its cycle-0 checkpoint");
 
-    pack->hashes = std::move(recorder.hashes);
-    pack->checkpoints = std::move(recorder.checkpoints);
-    window_recorder.finalize(pack->windows);
     adoptCheckpointPack(pack);
     return pack;
 }
@@ -131,6 +168,18 @@ FaultInjector::adoptCheckpointPack(
     GPR_ASSERT(pack->goldenCycles == goldenCycles(),
                "checkpoint pack was recorded for a different golden run");
     pack_ = std::move(pack);
+    anchored_pack_ = nullptr; // re-anchor lazily on the next inject()
+}
+
+void
+FaultInjector::ensureAnchored()
+{
+    if (anchored_pack_ == pack_.get())
+        return;
+    gpu_.anchorTo(pack_->baseline);
+    scratch_ = pack_->baseline.memory;
+    scratch_.markCleanForRestore();
+    anchored_pack_ = pack_.get();
 }
 
 InjectionResult
@@ -146,19 +195,24 @@ FaultInjector::inject(const FaultSpec& fault)
     // (the next read re-manifests it regardless of golden liveness).
     // Multi-bit patterns stay in scope: the aligned group lies inside
     // the sampled bit's word, so one window query covers every bit.
+    ++phase_stats_.injections;
     if (pack_ && !persistent &&
-        structureSpec(fault.structure).exactDeadWindows &&
-        !pack_->windows.observed(fault.structure, fault.bitIndex / 32,
-                                 fault.cycle)) {
-        // The golden run never reads this word between the flip and the
-        // word's next overwrite (or the end of the run): the flip can
-        // not enter any computation, so the injected run is the golden
-        // run — exactly Masked, no simulation needed.
-        InjectionResult result;
-        result.fault = fault;
-        result.outcome = FaultOutcome::Masked;
-        result.shortcut = InjectionShortcut::DeadWindow;
-        return result;
+        structureSpec(fault.structure).exactDeadWindows) {
+        const auto t0 = PhaseClock::now();
+        const bool observed = pack_->windows.observed(
+            fault.structure, fault.bitIndex / 32, fault.cycle);
+        phase_stats_.prefilterSeconds += secondsSince(t0);
+        if (!observed) {
+            // The golden run never reads this word between the flip and
+            // the word's next overwrite (or the end of the run): the
+            // flip can not enter any computation, so the injected run
+            // is the golden run — exactly Masked, no simulation needed.
+            InjectionResult result;
+            result.fault = fault;
+            result.outcome = FaultOutcome::Masked;
+            result.shortcut = InjectionShortcut::DeadWindow;
+            return result;
+        }
     }
 
     RunOptions options;
@@ -170,6 +224,8 @@ FaultInjector::inject(const FaultSpec& fault)
         1000;
 
     RunResult run;
+    bool via_scratch = false;
+    const auto run_start = PhaseClock::now();
     if (pack_) {
         // Persistent-fault mode: the state never rejoins the golden
         // trajectory, so hash early-out is off — but restoring from the
@@ -179,25 +235,34 @@ FaultInjector::inject(const FaultSpec& fault)
             options.hashInterval = pack_->hashInterval;
             options.goldenHashes = &pack_->hashes;
         }
-        // Nearest checkpoint at or before the fault cycle; everything
-        // before it is bit-identical to the golden run, so restoring
-        // skips it outright.
+        // Nearest delta checkpoint at or before the fault cycle
+        // (deltas[0].now == 0, so one always exists); everything before
+        // it is bit-identical to the golden run, so the anchored
+        // restore skips it outright, touching only the pages the
+        // previous injection dirtied.
         const auto it = std::upper_bound(
-            pack_->checkpoints.begin(), pack_->checkpoints.end(),
-            fault.cycle,
-            [](Cycle c, const GpuCheckpoint& cp) { return c < cp.now; });
-        if (it != pack_->checkpoints.begin()) {
-            options.resume = &*std::prev(it);
-            run = gpu_.run(instance_.program, instance_.launch,
-                           MemoryImage{}, options);
-        } else {
-            run = gpu_.run(instance_.program, instance_.launch,
-                           instance_.image, options);
-        }
+            pack_->deltas.begin(), pack_->deltas.end(), fault.cycle,
+            [](Cycle c, const GpuCheckpointDelta& d) {
+                return c < d.now;
+            });
+        GPR_ASSERT(it != pack_->deltas.begin(),
+                   "checkpoint pack lacks its cycle-0 delta");
+        ensureAnchored();
+        options.resumeBaseline = &pack_->baseline;
+        options.resumeDelta = &*std::prev(it);
+        options.imageInOut = &scratch_;
+        via_scratch = true;
+        run = gpu_.run(instance_.program, instance_.launch,
+                       MemoryImage{}, options);
     } else {
         run = gpu_.run(instance_.program, instance_.launch,
                        instance_.image, options);
     }
+    const double run_seconds = secondsSince(run_start);
+    phase_stats_.restoreSeconds += run.restoreSeconds;
+    phase_stats_.hashSeconds += run.hashSeconds;
+    phase_stats_.replaySeconds += std::max(
+        0.0, run_seconds - run.restoreSeconds - run.hashSeconds);
 
     InjectionResult result;
     result.fault = fault;
@@ -212,7 +277,8 @@ FaultInjector::inject(const FaultSpec& fault)
         result.outcome = FaultOutcome::Masked;
     } else if (!run.clean()) {
         result.outcome = FaultOutcome::Due;
-    } else if (verifyOutputs(instance_, run.memory)) {
+    } else if (verifyOutputs(instance_,
+                             via_scratch ? scratch_ : run.memory)) {
         result.outcome = FaultOutcome::Masked;
     } else {
         result.outcome = FaultOutcome::Sdc;

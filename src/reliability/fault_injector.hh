@@ -68,14 +68,16 @@ struct InjectionResult
 };
 
 /**
- * One golden run's checkpoint pack: N evenly spaced full-state
- * checkpoints plus the golden trajectory's state hash at every
- * hashInterval boundary.  Built once per (workload, GPU, workloadSeed)
- * cell and shared (read-only) by every injector of that cell.  An
- * injection consults the observability windows first (a fault outside
- * every window is exactly Masked with zero simulation), then restores
- * the nearest checkpoint at or before its fault cycle and early-outs
- * as soon as its post-fault state hash rejoins the golden trajectory.
+ * One golden run's checkpoint pack (v2, delta-encoded): a single full
+ * baseline at cycle 0 plus per-checkpoint dirty page sets against it,
+ * the golden trajectory's state hash at every hashInterval boundary,
+ * and the exact observability windows.  Built once per (workload, GPU,
+ * workloadSeed) cell and shared (read-only) by every injector of that
+ * cell.  An injection consults the observability windows first (a fault
+ * outside every window is exactly Masked with zero simulation), then
+ * delta-restores the nearest checkpoint at or before its fault cycle
+ * and early-outs as soon as its post-fault state hash rejoins the
+ * golden trajectory.
  */
 struct CheckpointPack
 {
@@ -83,11 +85,59 @@ struct CheckpointPack
     Cycle hashInterval = 0;
     /** Golden state hash at cycle k*hashInterval, k = 1, 2, ... */
     std::vector<std::uint64_t> hashes;
-    /** Checkpoints in ascending .now order (none at cycle 0 — starting
-     *  from scratch is already free). */
-    std::vector<GpuCheckpoint> checkpoints;
+    /** The full cycle-0 state every delta is encoded against. */
+    GpuCheckpoint baseline;
+    /** Delta checkpoints ascending by .now, starting with the trivial
+     *  cycle-0 one (so every fault cycle has a checkpoint below it). */
+    std::vector<GpuCheckpointDelta> deltas;
+    /** How the checkpoint cycles were chosen (diagnostics). */
+    CheckpointPlacement placement = CheckpointPlacement::FaultAware;
     /** Exact per-word observability windows of the golden run. */
     FaultWindows windows;
+
+    /** Resident bytes of the checkpoint state (baseline + deltas). */
+    std::size_t
+    approxBytes() const
+    {
+        std::size_t b = baseline.bytes();
+        for (const GpuCheckpointDelta& d : deltas)
+            b += d.bytes();
+        return b;
+    }
+
+    /** What the same checkpoint cycles would cost as full snapshots
+     *  (the v1 encoding): one baseline-sized copy per non-trivial
+     *  checkpoint.  The approxBytes()/fullEquivalentBytes() ratio is
+     *  the pack's compression factor. */
+    std::size_t
+    fullEquivalentBytes() const
+    {
+        std::size_t n = 0;
+        for (const GpuCheckpointDelta& d : deltas)
+            n += d.now > 0 ? 1 : 0;
+        return baseline.bytes() * std::max<std::size_t>(n, 1);
+    }
+};
+
+/** Wall-clock breakdown of where injection time goes, accumulated per
+ *  injector across inject() calls (the bench's per-phase table). */
+struct InjectionPhaseStats
+{
+    std::uint64_t injections = 0;
+    double prefilterSeconds = 0.0; ///< dead-window queries
+    double restoreSeconds = 0.0;   ///< checkpoint restore (full or delta)
+    double hashSeconds = 0.0;      ///< trajectory hashing in injected runs
+    double replaySeconds = 0.0;    ///< simulation proper (run - the above)
+
+    void
+    operator+=(const InjectionPhaseStats& o)
+    {
+        injections += o.injections;
+        prefilterSeconds += o.prefilterSeconds;
+        restoreSeconds += o.restoreSeconds;
+        hashSeconds += o.hashSeconds;
+        replaySeconds += o.replaySeconds;
+    }
 };
 
 /**
@@ -127,16 +177,21 @@ class FaultInjector
     void adoptGoldenCycles(Cycle cycles);
 
     /**
-     * Run one extra golden pass that records @p checkpoints evenly
-     * spaced checkpoints plus the golden trajectory's per-interval state
-     * hashes, and arm this injector with the result.  Requires the
-     * golden cycle count (runs or adopts it first).  Returns the pack
-     * so sibling injectors of the same cell can adopt it instead of
-     * re-recording.  @p checkpoints == 0 yields a hash-only pack (still
-     * enables early-out, no prefix skipping).
+     * Record a checkpoint pack in two golden passes and arm this
+     * injector with it.  Pass A records the observability windows and
+     * the per-interval trajectory hashes; the @p checkpoints budget is
+     * then distributed over the run per @p placement (fault-aware uses
+     * pass A's windows as the density model); pass B captures the
+     * cycle-0 baseline plus a delta checkpoint at each placed cycle.
+     * Requires the golden cycle count (runs or adopts it first).
+     * Returns the pack so sibling injectors of the same cell can adopt
+     * it instead of re-recording.  @p checkpoints == 0 yields a
+     * baseline-only pack (anchored restarts from cycle 0, hash
+     * early-out, no mid-run skipping).
      */
-    std::shared_ptr<const CheckpointPack>
-    buildCheckpointPack(unsigned checkpoints);
+    std::shared_ptr<const CheckpointPack> buildCheckpointPack(
+        unsigned checkpoints,
+        CheckpointPlacement placement = CheckpointPlacement::FaultAware);
 
     /**
      * Share a pack recorded by another injector of the same
@@ -178,7 +233,15 @@ class FaultInjector
     /** The device (for structure sizes). */
     const Gpu& gpu() const { return gpu_; }
 
+    /** Accumulated per-phase wall-clock of all inject() calls. */
+    const InjectionPhaseStats& phaseStats() const { return phase_stats_; }
+    void resetPhaseStats() { phase_stats_ = InjectionPhaseStats{}; }
+
   private:
+    /** Anchor the device and the scratch image to the armed pack's
+     *  baseline (no-op when already anchored to it). */
+    void ensureAnchored();
+
     const GpuConfig& config_;
     const WorkloadInstance& instance_;
     Gpu gpu_;
@@ -186,11 +249,20 @@ class FaultInjector
     bool have_golden_ = false;
     bool golden_adopted_ = false;
     std::shared_ptr<const CheckpointPack> pack_;
+    /** Injector-owned run image for delta resumes: reverted + patched
+     *  in place each injection instead of copied. */
+    MemoryImage scratch_;
+    /** Pack scratch_/gpu_ are currently anchored to (see anchorTo). */
+    const CheckpointPack* anchored_pack_ = nullptr;
+    InjectionPhaseStats phase_stats_;
 };
 
-/** Default checkpoint count per golden run (the `--checkpoints` CLI
- *  default); 0 selects the legacy from-scratch engine. */
-constexpr unsigned kDefaultCheckpoints = 8;
+/** Default checkpoint budget per golden run (the `--checkpoints` CLI
+ *  default); 0 selects the legacy from-scratch engine.  Delta encoding
+ *  makes a checkpoint cost a fraction of a full snapshot, so the v2
+ *  default is twice the full-snapshot era's 8: the extra checkpoints
+ *  buy shorter fast-forward replay for a sub-linear memory increase. */
+constexpr unsigned kDefaultCheckpoints = 16;
 
 } // namespace gpr
 

@@ -46,6 +46,115 @@ FaultWindows::intervalCount() const
     return n;
 }
 
+std::vector<Cycle>
+FaultWindows::placeCheckpoints(const GpuConfig& config, Cycle goldenCycles,
+                               unsigned budget) const
+{
+    if (budget == 0 || goldenCycles <= 1)
+        return {};
+
+    // Observed-bit density histogram over the golden run.  Bucket k
+    // covers cycles [k*g/B, (k+1)*g/B); all weights live at the bucket
+    // granularity, which is plenty for placing a handful of checkpoints.
+    const std::size_t kBuckets =
+        static_cast<std::size_t>(std::min<Cycle>(512, goldenCycles));
+    const auto bucket_lo = [&](std::size_t k) {
+        return goldenCycles * k / kBuckets;
+    };
+    std::vector<double> weight(kBuckets, 0.0);
+
+    for (const StructureSpec& spec : structureRegistry()) {
+        const std::uint64_t bits_per_sm = spec.bitsPerSm(config);
+        if (bits_per_sm == 0)
+            continue; // structure absent on this chip
+        if (enabled_ && spec.exactDeadWindows) {
+            // 32 observable bits per word-interval cycle.
+            const StructureWindows& w = forStructure(spec.id);
+            for (const Interval& iv : w.intervals) {
+                const Cycle lo = iv.begin;
+                const Cycle hi = std::min(iv.end, goldenCycles - 1);
+                if (lo > hi)
+                    continue;
+                std::size_t k = lo * kBuckets / goldenCycles;
+                for (Cycle c = lo; c <= hi && k < kBuckets; ++k) {
+                    const Cycle next = bucket_lo(k + 1);
+                    const Cycle span = std::min<Cycle>(hi + 1, next) - c;
+                    weight[k] += 32.0 * static_cast<double>(span);
+                    c += span;
+                }
+            }
+        } else {
+            // No prefilter for this structure: every bit needs
+            // simulation at every cycle — uniform weight.
+            const double bits = static_cast<double>(bits_per_sm) *
+                                config.numSms;
+            for (std::size_t k = 0; k < kBuckets; ++k) {
+                weight[k] += bits * static_cast<double>(
+                                        bucket_lo(k + 1) - bucket_lo(k));
+            }
+        }
+    }
+
+    // Prefix sums of weight and weight*cycle (bucket midpoints), so the
+    // replay cost of serving buckets [a, b) from a checkpoint at the
+    // start of bucket a is O(1).
+    std::vector<double> s0(kBuckets + 1, 0.0), s1(kBuckets + 1, 0.0);
+    for (std::size_t k = 0; k < kBuckets; ++k) {
+        const double mid =
+            0.5 * static_cast<double>(bucket_lo(k) + bucket_lo(k + 1));
+        s0[k + 1] = s0[k] + weight[k];
+        s1[k + 1] = s1[k] + weight[k] * mid;
+    }
+    const auto segment_cost = [&](std::size_t a, std::size_t b) {
+        // Sum over buckets [a, b) of weight * (midpoint - checkpoint).
+        return (s1[b] - s1[a]) -
+               static_cast<double>(bucket_lo(a)) * (s0[b] - s0[a]);
+    };
+
+    // DP: best[m][b] = min cost of buckets [0, b) using the implicit
+    // cycle-0 checkpoint plus m placed ones, the m-th at a boundary
+    // <= b.  O(budget * B^2) — at most a few million steps.
+    const std::size_t m_max =
+        std::min<std::size_t>(budget, kBuckets - 1);
+    std::vector<double> prev(kBuckets + 1), cur(kBuckets + 1);
+    std::vector<std::vector<std::uint32_t>> parent(
+        m_max, std::vector<std::uint32_t>(kBuckets + 1, 0));
+    for (std::size_t b = 0; b <= kBuckets; ++b)
+        prev[b] = segment_cost(0, b);
+    for (std::size_t m = 0; m < m_max; ++m) {
+        for (std::size_t b = 0; b <= kBuckets; ++b) {
+            double best = prev[b]; // skip this checkpoint entirely
+            std::uint32_t arg = 0; // 0 encodes "unused"
+            for (std::size_t a = 1; a <= b; ++a) {
+                const double c = prev[a] + segment_cost(a, b);
+                if (c < best) {
+                    best = c;
+                    arg = static_cast<std::uint32_t>(a);
+                }
+            }
+            cur[b] = best;
+            parent[m][b] = arg;
+        }
+        std::swap(prev, cur);
+    }
+
+    // Walk the parents back from the full range.
+    std::vector<Cycle> cycles;
+    std::size_t b = kBuckets;
+    for (std::size_t m = m_max; m-- > 0;) {
+        const std::uint32_t a = parent[m][b];
+        if (a == 0)
+            continue; // this checkpoint did not reduce the cost
+        cycles.push_back(bucket_lo(a));
+        b = a;
+    }
+    std::sort(cycles.begin(), cycles.end());
+    cycles.erase(std::unique(cycles.begin(), cycles.end()), cycles.end());
+    while (!cycles.empty() && cycles.front() == 0)
+        cycles.erase(cycles.begin());
+    return cycles;
+}
+
 FaultWindowRecorder::FaultWindowRecorder(const GpuConfig& config)
 {
     for (const StructureSpec& spec : structureRegistry()) {

@@ -36,6 +36,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "arch/gpu_config.hh"
@@ -43,6 +44,27 @@
 #include "sim/structure_registry.hh"
 
 namespace gpr {
+
+/** How a checkpoint budget is distributed over the golden run. */
+enum class CheckpointPlacement : std::uint8_t
+{
+    /** Evenly spaced: cycle i*golden/(N+1) (the legacy policy). */
+    Even,
+    /**
+     * Fault-aware: place checkpoints where the observed-bit density of
+     * the golden run concentrates, minimising the expected replay
+     * distance (fault cycle minus nearest checkpoint at or before it)
+     * of a uniformly sampled *surviving* fault — faults the dead-window
+     * prefilter discards cost nothing, so they carry no weight.
+     */
+    FaultAware,
+};
+
+constexpr std::string_view
+checkpointPlacementName(CheckpointPlacement p)
+{
+    return p == CheckpointPlacement::Even ? "even" : "fault-aware";
+}
 
 /**
  * Per-structure observability windows, finalised into CSR layout
@@ -73,6 +95,25 @@ class FaultWindows
 
     /** Total recorded intervals (tests / diagnostics). */
     std::size_t intervalCount() const;
+
+    /**
+     * Choose up to @p budget checkpoint cycles in (0, @p goldenCycles)
+     * minimising the expected replay distance of a uniformly sampled
+     * fault that survives the dead-window prefilter.  The per-cycle
+     * weight is the number of fault-space bits whose injection at that
+     * cycle requires simulation: for structures with exact windows,
+     * 32 bits per word live inside an observability interval; for
+     * everything else (control bits — never prefiltered) the full bit
+     * count, uniformly.  Solved exactly over a bucketed histogram by
+     * dynamic programming, with an implicit free checkpoint at cycle 0.
+     * Returns ascending, deduplicated cycles (possibly fewer than the
+     * budget when extra checkpoints cannot reduce the cost).  With
+     * windows disabled the weight is uniform and the result is close to
+     * even spacing.
+     */
+    std::vector<Cycle> placeCheckpoints(const GpuConfig& config,
+                                        Cycle goldenCycles,
+                                        unsigned budget) const;
 
   private:
     friend class FaultWindowRecorder;

@@ -1,6 +1,7 @@
 #include "sim/gpu.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "arch/occupancy.hh"
@@ -12,6 +13,15 @@ namespace gpr {
 namespace {
 
 constexpr Cycle kDefaultMaxCycles = 50'000'000;
+
+using PhaseClock = std::chrono::steady_clock;
+
+double
+secondsSince(PhaseClock::time_point start)
+{
+    return std::chrono::duration<double>(PhaseClock::now() - start)
+        .count();
+}
 
 } // namespace
 
@@ -78,10 +88,38 @@ Gpu::restore(const GpuCheckpoint& cp)
 {
     GPR_ASSERT(cp.sms.size() == sms_.size(),
                "checkpoint was taken on a chip with a different SM count");
+    anchor_ = nullptr; // full restore rebases every storage's tracking
     for (std::size_t i = 0; i < sms_.size(); ++i)
         sms_[i]->restore(cp.sms[i]);
     next_block_ = cp.nextBlock;
     dispatch_rr_ = cp.dispatchRr;
+}
+
+void
+Gpu::anchorTo(const GpuCheckpoint& baseline)
+{
+    restore(baseline);
+    for (auto& sm : sms_)
+        sm->markStoragesClean();
+    anchor_ = &baseline;
+}
+
+void
+Gpu::restoreDelta(const GpuCheckpoint& baseline,
+                  const GpuCheckpointDelta& d)
+{
+    GPR_ASSERT(anchoredTo(&baseline),
+               "delta resume on a device not anchored to this baseline");
+    GPR_ASSERT(d.smStorage.size() == sms_.size() &&
+                   d.smControl.size() == sms_.size(),
+               "delta was recorded on a chip with a different SM count");
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        sms_[i]->revertStorages(baseline.sms[i]);
+        sms_[i]->applyStorageDelta(d.smStorage[i]);
+        sms_[i]->restoreControl(d.smControl[i]);
+    }
+    next_block_ = d.nextBlock;
+    dispatch_rr_ = d.dispatchRr;
 }
 
 void
@@ -122,7 +160,7 @@ Gpu::runStateHash(const RunContext& ctx, const MemoryImage& image,
     StateHash h;
     hashDeviceInto(h);
     h.mix(ctx.memPipe.nextFree);
-    h.mixWords(image.words().data(), image.words().size());
+    image.hashInto(h);
     h.mix(blocks_completed);
     return h.value();
 }
@@ -171,6 +209,16 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
 
     GPR_ASSERT(!options.resume || (!options.observer && !options.recorder),
                "a resumed run cannot be observed or re-recorded");
+    GPR_ASSERT(!options.resumeDelta ||
+                   (!options.observer && !options.recorder),
+               "a resumed run cannot be observed or re-recorded");
+    GPR_ASSERT(!options.resume || !options.resumeDelta,
+               "full and delta resume are mutually exclusive");
+    GPR_ASSERT(!options.resumeDelta || options.resumeBaseline,
+               "delta resume requires its baseline");
+    GPR_ASSERT(options.imageInOut ? options.resumeDelta != nullptr
+                                  : options.resumeDelta == nullptr,
+               "delta resume and imageInOut come as a pair");
     GPR_ASSERT(!options.recorder || !options.fault,
                "checkpoints are recorded on the fault-free golden run");
     GPR_ASSERT(!options.recorder || options.hashInterval > 0,
@@ -193,7 +241,9 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
     ctx.config = &config_;
     ctx.program = &prog;
     ctx.launch = &launch;
-    ctx.memory = &image;
+    MemoryImage* const img =
+        options.imageInOut ? options.imageInOut : &image;
+    ctx.memory = img;
     ctx.observer = options.observer;
     ctx.stats = &result.stats;
 
@@ -223,6 +273,7 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
         // Continue a previous run: the checkpoint holds the state at the
         // *start* of cycle cp.now, so the loop picks up exactly where the
         // recorded run left off.
+        const auto t0 = PhaseClock::now();
         const GpuCheckpoint& cp = *options.resume;
         GPR_ASSERT(!options.fault || options.fault->cycle >= cp.now,
                    "fault predates the resume checkpoint");
@@ -236,12 +287,63 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
         warp_occ_acc = cp.warpOccAcc;
         last_completed = cp.lastCompleted;
         now = cp.now;
+        result.restoreSeconds += secondsSince(t0);
+    } else if (options.resumeDelta) {
+        // Anchored delta resume: revert only the pages the previous run
+        // dirtied, then lay the delta's pages and control state on top —
+        // bit-identical to a full restore of the encoded checkpoint.
+        const auto t0 = PhaseClock::now();
+        const GpuCheckpoint& base = *options.resumeBaseline;
+        const GpuCheckpointDelta& d = *options.resumeDelta;
+        GPR_ASSERT(!options.fault || options.fault->cycle >= d.now,
+                   "fault predates the resume checkpoint");
+        restoreDelta(base, d);
+        img->revertTo(base.memory);
+        img->applyDelta(d.memory);
+        ctx.memPipe = d.memPipe;
+        result.stats = d.stats;
+        vrf_occ_acc = d.vrfOccAcc;
+        srf_occ_acc = d.srfOccAcc;
+        lds_occ_acc = d.ldsOccAcc;
+        warp_occ_acc = d.warpOccAcc;
+        last_completed = d.lastCompleted;
+        now = d.now;
+        result.restoreSeconds += secondsSince(t0);
     } else {
         for (auto& sm : sms_)
             sm->reset();
+        anchor_ = nullptr;
         next_block_ = 0;
         dispatch_rr_ = 0;
         dispatchBlocks(ctx, now);
+
+        if (options.recorder && options.recorder->delta) {
+            // Capture the baseline every delta checkpoint encodes
+            // against, plus a trivial delta for cycle 0 itself (the
+            // placement's implicit first checkpoint).  From here on the
+            // storages' dirty tracking measures divergence from it.
+            CheckpointRecorder& rec = *options.recorder;
+            rec.baseline = captureCheckpoint(ctx, result.stats, *img, now);
+            for (auto& sm : sms_)
+                sm->markStoragesClean();
+            img->markCleanForRestore();
+            GpuCheckpointDelta d0;
+            d0.nextBlock = next_block_;
+            d0.dispatchRr = dispatch_rr_;
+            d0.memPipe = ctx.memPipe;
+            d0.stats = result.stats;
+            d0.smStorage.resize(sms_.size());
+            d0.smControl.reserve(sms_.size());
+            for (std::size_t i = 0; i < sms_.size(); ++i) {
+                // Against the just-captured baseline the page set is
+                // empty, but the delta still carries the free list and
+                // allocation counter applyDelta adopts wholesale.
+                sms_[i]->captureStorageDelta(rec.baseline.sms[i],
+                                             d0.smStorage[i]);
+                d0.smControl.push_back(sms_[i]->captureControl());
+            }
+            rec.deltas.push_back(std::move(d0));
+        }
     }
 
     // State-hash boundaries at cycles k*hashInterval (k >= 1).  The loop
@@ -275,7 +377,8 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
             chip_warps > 0 ? warp_occ_acc / (cycles * chip_warps) : 0.0;
         if (ctx.observer)
             ctx.observer->onKernelEnd(now);
-        result.memory = std::move(image);
+        if (!options.imageInOut)
+            result.memory = std::move(image);
         return result;
     };
 
@@ -303,21 +406,47 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
         if (options.recorder &&
             rec_idx < options.recorder->checkpointCycles.size() &&
             now >= options.recorder->checkpointCycles[rec_idx]) {
-            GpuCheckpoint cp =
-                captureCheckpoint(ctx, result.stats, image, now);
-            cp.vrfOccAcc = vrf_occ_acc;
-            cp.srfOccAcc = srf_occ_acc;
-            cp.ldsOccAcc = lds_occ_acc;
-            cp.warpOccAcc = warp_occ_acc;
-            cp.lastCompleted = last_completed;
-            options.recorder->checkpoints.push_back(std::move(cp));
+            if (options.recorder->delta) {
+                GpuCheckpointDelta d;
+                d.now = now;
+                d.nextBlock = next_block_;
+                d.dispatchRr = dispatch_rr_;
+                d.memPipe = ctx.memPipe;
+                d.stats = result.stats;
+                d.smStorage.resize(sms_.size());
+                d.smControl.reserve(sms_.size());
+                for (std::size_t i = 0; i < sms_.size(); ++i) {
+                    sms_[i]->captureStorageDelta(
+                        options.recorder->baseline.sms[i], d.smStorage[i]);
+                    d.smControl.push_back(sms_[i]->captureControl());
+                }
+                img->captureDelta(options.recorder->baseline.memory,
+                                  d.memory);
+                d.vrfOccAcc = vrf_occ_acc;
+                d.srfOccAcc = srf_occ_acc;
+                d.ldsOccAcc = lds_occ_acc;
+                d.warpOccAcc = warp_occ_acc;
+                d.lastCompleted = last_completed;
+                options.recorder->deltas.push_back(std::move(d));
+            } else {
+                GpuCheckpoint cp =
+                    captureCheckpoint(ctx, result.stats, *img, now);
+                cp.vrfOccAcc = vrf_occ_acc;
+                cp.srfOccAcc = srf_occ_acc;
+                cp.ldsOccAcc = lds_occ_acc;
+                cp.warpOccAcc = warp_occ_acc;
+                cp.lastCompleted = last_completed;
+                options.recorder->checkpoints.push_back(std::move(cp));
+            }
             ++rec_idx;
         }
 
         if (hash_interval && now == next_boundary) {
             if (options.recorder) {
+                const auto t0 = PhaseClock::now();
                 options.recorder->hashes.push_back(runStateHash(
-                    ctx, image, result.stats.blocksCompleted));
+                    ctx, *img, result.stats.blocksCompleted));
+                result.hashSeconds += secondsSince(t0);
             } else if (options.goldenHashes && !fault_pending) {
                 // The flip (if any) landed earlier this iteration, so the
                 // digest reflects post-fault state; matching the golden
@@ -325,10 +454,14 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
                 // golden one — classify without simulating it.
                 const std::size_t idx =
                     static_cast<std::size_t>(now / hash_interval) - 1;
-                if (idx < options.goldenHashes->size() &&
+                const auto t0 = PhaseClock::now();
+                const bool converged =
+                    idx < options.goldenHashes->size() &&
                     (*options.goldenHashes)[idx] ==
-                        runStateHash(ctx, image,
-                                     result.stats.blocksCompleted)) {
+                        runStateHash(ctx, *img,
+                                     result.stats.blocksCompleted);
+                result.hashSeconds += secondsSince(t0);
+                if (converged) {
                     result.convergedToGolden = true;
                     return finalize(TrapKind::None);
                 }

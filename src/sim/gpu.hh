@@ -58,6 +58,57 @@ struct GpuCheckpoint
     double ldsOccAcc = 0.0;
     double warpOccAcc = 0.0;
     std::uint64_t lastCompleted = 0;
+
+    /** Resident footprint (pack accounting). */
+    std::size_t
+    bytes() const
+    {
+        std::size_t b = sizeof(*this) + memory.bytes();
+        for (const SmCore::Snapshot& s : sms)
+            b += s.bytes();
+        return b;
+    }
+};
+
+/**
+ * A checkpoint encoded against a baseline GpuCheckpoint instead of
+ * standing alone: the storages and the memory image are stored as the
+ * pages that differ from the baseline, while the (small) control state
+ * is copied whole.  Restoring = revert the anchored device/image to the
+ * baseline (touching only pages written since) + apply these deltas —
+ * bit-identical to restoring the full checkpoint this delta encodes.
+ */
+struct GpuCheckpointDelta
+{
+    Cycle now = 0;
+
+    // Device state.
+    std::vector<SmStorageDelta> smStorage;
+    std::vector<SmCore::ControlState> smControl;
+    std::uint32_t nextBlock = 0;
+    std::uint32_t dispatchRr = 0;
+
+    // Run-loop state.
+    MemPipe memPipe;
+    SimStats stats;
+    StorageDelta memory; ///< image pages differing from the baseline's
+    double vrfOccAcc = 0.0;
+    double srfOccAcc = 0.0;
+    double ldsOccAcc = 0.0;
+    double warpOccAcc = 0.0;
+    std::uint64_t lastCompleted = 0;
+
+    /** Resident footprint (pack accounting). */
+    std::size_t
+    bytes() const
+    {
+        std::size_t b = sizeof(*this) + memory.bytes();
+        for (const SmStorageDelta& s : smStorage)
+            b += s.bytes();
+        for (const SmCore::ControlState& c : smControl)
+            b += c.bytes();
+        return b;
+    }
 };
 
 /**
@@ -69,10 +120,24 @@ struct GpuCheckpoint
  */
 struct CheckpointRecorder
 {
-    /** Cycles to checkpoint at, ascending (input). */
+    /** Cycles to checkpoint at, ascending and > 0 (input). */
     std::vector<Cycle> checkpointCycles;
-    /** Captured checkpoints, one per reached requested cycle (output). */
+    /**
+     * Record delta checkpoints (input): capture one full baseline at
+     * cycle 0 (after initial dispatch) into `baseline`, then encode
+     * every checkpoint — including an implicit one at cycle 0 — as a
+     * GpuCheckpointDelta against it in `deltas`.  When false, full
+     * checkpoints land in `checkpoints` (legacy mode).
+     */
+    bool delta = false;
+    /** Captured checkpoints, one per reached requested cycle (output,
+     *  legacy mode). */
     std::vector<GpuCheckpoint> checkpoints;
+    /** Cycle-0 baseline every delta is encoded against (output). */
+    GpuCheckpoint baseline;
+    /** Delta checkpoints: cycle 0, then each reached requested cycle
+     *  (output, delta mode). */
+    std::vector<GpuCheckpointDelta> deltas;
     /** Golden state hashes, one per crossed hash boundary (output). */
     std::vector<std::uint64_t> hashes;
 };
@@ -93,6 +158,28 @@ struct RunOptions
      *  passed-in MemoryImage is ignored; the checkpoint's is used).
      *  Incompatible with observer/recorder. */
     const GpuCheckpoint* resume = nullptr;
+
+    /**
+     * Delta resume: start mid-execution from resumeDelta, applied on
+     * top of resumeBaseline.  The device must be anchored to that exact
+     * baseline (Gpu::anchorTo) and imageInOut must point to a scratch
+     * image whose dirty tracking is likewise anchored to the baseline's
+     * image — then the restore touches only pages the previous run
+     * wrote, instead of copying the whole state.  Bit-identical to a
+     * full `resume` from the checkpoint the delta encodes.
+     * Incompatible with resume/observer/recorder.
+     */
+    const GpuCheckpoint* resumeBaseline = nullptr;
+    const GpuCheckpointDelta* resumeDelta = nullptr;
+
+    /**
+     * Run against this caller-owned image instead of the copied-in one
+     * (the passed-in MemoryImage parameter is ignored, and the result's
+     * `memory` field is left empty — read the scratch image instead).
+     * Requires resumeDelta: the whole point is reusing one scratch
+     * image across a campaign's injections without per-run copies.
+     */
+    MemoryImage* imageInOut = nullptr;
     /** Record checkpoints + golden hashes along this (fault-free) run. */
     CheckpointRecorder* recorder = nullptr;
     /** State-hash boundary spacing in cycles; 0 disables hashing.  Must
@@ -114,6 +201,12 @@ struct RunResult
      *  Masked without simulating (or verifying) the remainder.  stats
      *  and memory hold the state at the convergence point. */
     bool convergedToGolden = false;
+
+    /** Wall-clock seconds the run spent restoring resume state (full or
+     *  delta) — the injection-throughput bench's per-phase breakdown. */
+    double restoreSeconds = 0.0;
+    /** Wall-clock seconds spent computing trajectory state hashes. */
+    double hashSeconds = 0.0;
 
     bool clean() const { return trap == TrapKind::None; }
 };
@@ -146,8 +239,25 @@ class Gpu
      */
     GpuCheckpoint snapshot() const;
 
-    /** Restore the device portion captured by snapshot(). */
+    /** Restore the device portion captured by snapshot().  Drops any
+     *  delta anchor (the dirty tracking no longer matches it). */
     void restore(const GpuCheckpoint& cp);
+
+    /**
+     * Anchor the device to @p baseline for delta resumes: fully restore
+     * its device portion, then mark every storage clean so subsequent
+     * dirty tracking measures divergence from the baseline.  The caller
+     * keeps @p baseline alive and unchanged for as long as runs resume
+     * against it (one anchoring serves a whole campaign of injections).
+     */
+    void anchorTo(const GpuCheckpoint& baseline);
+
+    /** Is the device currently anchored to exactly @p baseline? */
+    bool
+    anchoredTo(const GpuCheckpoint* baseline) const
+    {
+        return anchor_ != nullptr && anchor_ == baseline;
+    }
 
     /**
      * Fingerprint of the device portion (SMs + dispatch state) — the
@@ -160,6 +270,8 @@ class Gpu
 
   private:
     void applyFault(const FaultSpec& fault);
+    void restoreDelta(const GpuCheckpoint& baseline,
+                      const GpuCheckpointDelta& d);
     void dispatchBlocks(RunContext& ctx, Cycle now);
     void hashDeviceInto(StateHash& h) const;
     std::uint64_t runStateHash(const RunContext& ctx,
@@ -179,6 +291,9 @@ class Gpu
     std::uint32_t dispatch_rr_ = 0;
     /** SM hosting the run's persistent fault, -1 if none (per-run). */
     std::int64_t persistent_sm_ = -1;
+    /** Baseline the device's dirty tracking is anchored to (nullptr =
+     *  unanchored; delta resumes assert against it). */
+    const GpuCheckpoint* anchor_ = nullptr;
 };
 
 } // namespace gpr

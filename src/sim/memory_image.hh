@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "common/bitutils.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "sim/state_page.hh"
 
 namespace gpr {
 
@@ -41,10 +43,18 @@ class MemoryImage
     Buffer
     allocBuffer(std::uint32_t words)
     {
+        // Do the address arithmetic in Addr width *before* any multiply
+        // or add, and pin the image to what sizeWords()/Buffer::words
+        // can express — a 32-bit word count (16 GiB of image).
+        const Addr base_words = static_cast<Addr>(words_.size());
+        const Addr total_words = base_words + static_cast<Addr>(words);
+        GPR_ASSERT(total_words <= 0xffffffffULL,
+                   "memory image exceeds the 32-bit word-count limit");
         Buffer b;
-        b.byteAddr = static_cast<Addr>(words_.size()) * 4;
+        b.byteAddr = base_words * 4;
         b.words = words;
-        words_.resize(words_.size() + words, 0u);
+        words_.resize(static_cast<std::size_t>(total_words), 0u);
+        pages_.resize(words_.size());
         return b;
     }
 
@@ -73,7 +83,9 @@ class MemoryImage
     writeWord(Addr addr, Word value)
     {
         GPR_ASSERT(inBounds(addr), "global write out of bounds");
-        words_[addr / 4] = value;
+        const std::size_t index = static_cast<std::size_t>(addr / 4);
+        words_[index] = value;
+        pages_.onWrite(index);
     }
 
     // Typed helpers for workload setup / checking.
@@ -102,11 +114,58 @@ class MemoryImage
         return static_cast<std::int32_t>(getWord(b, i));
     }
 
-    /** Raw word array (state hashing, whole-image comparisons). */
+    /** Raw word array (whole-image comparisons, output checking). */
     const std::vector<Word>& words() const { return words_; }
+
+    /**
+     * Fold the image contents into @p h as a sum of cached per-page
+     * digests (see sim/state_page.hh) — cost proportional to the pages
+     * written since the previous hash, not to the image size.
+     */
+    void
+    hashInto(StateHash& h) const
+    {
+        h.mix(words_.size());
+        h.mix(pages_.digestSum(words_));
+    }
+
+    // --- Delta/CoW checkpoint support (mirrors WordStorage) -------------
+
+    /** Declare the current contents the revert/capture baseline. */
+    void markCleanForRestore() { pages_.markCleanForRestore(); }
+
+    /** Copy back from @p baseline only the pages written since
+     *  markCleanForRestore() (both images must be the same shape). */
+    void
+    revertTo(const MemoryImage& baseline)
+    {
+        GPR_ASSERT(baseline.words_.size() == words_.size(),
+                   "revert against a different-shaped image");
+        pages_.revertTo(words_, baseline.words_);
+    }
+
+    /** Encode the pages differing from @p baseline into @p out. */
+    void
+    captureDelta(const MemoryImage& baseline, StorageDelta& out) const
+    {
+        GPR_ASSERT(baseline.words_.size() == words_.size(),
+                   "delta against a different-shaped image");
+        pages_.captureDelta(words_, baseline.words_, out);
+    }
+
+    /** Overwrite the delta's pages (this image must currently match the
+     *  baseline the delta was recorded against). */
+    void applyDelta(const StorageDelta& delta)
+    {
+        pages_.applyDelta(words_, delta);
+    }
+
+    /** Resident footprint of the full image (pack accounting). */
+    std::size_t bytes() const { return words_.size() * sizeof(Word); }
 
   private:
     std::vector<Word> words_;
+    PageTracker pages_;
 };
 
 } // namespace gpr

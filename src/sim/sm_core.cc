@@ -290,6 +290,79 @@ SmCore::restore(const Snapshot& s)
     gto_last_ = s.gtoLast;
 }
 
+SmCore::ControlState
+SmCore::captureControl() const
+{
+    return ControlState{blocks_,
+                        warps_,
+                        warp_slot_used_,
+                        warp_age_,
+                        resident_blocks_,
+                        resident_warps_,
+                        dispatch_seq_,
+                        rr_cursor_,
+                        gto_last_};
+}
+
+void
+SmCore::restoreControl(const ControlState& c)
+{
+    GPR_ASSERT(c.blocks.size() == blocks_.size() &&
+                   c.warps.size() == warps_.size(),
+               "control state does not match this SM's configuration");
+    pfault_.reset(); // checkpoints are recorded on fault-free runs
+    blocks_ = c.blocks;
+    warps_ = c.warps;
+    warp_slot_used_ = c.warpSlotUsed;
+    warp_age_ = c.warpAge;
+    resident_blocks_ = c.residentBlocks;
+    resident_warps_ = c.residentWarps;
+    dispatch_seq_ = c.dispatchSeq;
+    rr_cursor_ = c.rrCursor;
+    gto_last_ = c.gtoLast;
+}
+
+void
+SmCore::markStoragesClean()
+{
+    vrf_.markCleanForRestore();
+    if (srf_)
+        srf_->markCleanForRestore();
+    lds_.markCleanForRestore();
+}
+
+void
+SmCore::revertStorages(const Snapshot& baseline)
+{
+    GPR_ASSERT(baseline.srf.has_value() == srf_.has_value(),
+               "baseline does not match this SM's configuration");
+    vrf_.revertTo(baseline.vrf);
+    if (srf_)
+        srf_->revertTo(*baseline.srf);
+    lds_.revertTo(baseline.lds);
+}
+
+void
+SmCore::captureStorageDelta(const Snapshot& baseline,
+                            SmStorageDelta& out) const
+{
+    GPR_ASSERT(baseline.srf.has_value() == srf_.has_value(),
+               "baseline does not match this SM's configuration");
+    vrf_.captureDelta(baseline.vrf, out.vrf);
+    if (srf_)
+        srf_->captureDelta(*baseline.srf, out.srf);
+    lds_.captureDelta(baseline.lds, out.lds);
+}
+
+void
+SmCore::applyStorageDelta(const SmStorageDelta& delta)
+{
+    vrf_.applyDelta(delta.vrf);
+    if (srf_)
+        srf_->applyDelta(delta.srf);
+    lds_.applyDelta(delta.lds);
+}
+
 void
 SmCore::hashInto(StateHash& h) const
 {

@@ -29,6 +29,24 @@
 
 namespace gpr {
 
+/**
+ * One SM's share of a delta checkpoint: page deltas of its three word
+ * storages against the recording run's baseline snapshot (srf unused on
+ * scalar-less architectures).
+ */
+struct SmStorageDelta
+{
+    WordStorage::Delta vrf;
+    WordStorage::Delta srf;
+    WordStorage::Delta lds;
+
+    std::size_t
+    bytes() const
+    {
+        return vrf.bytes() + srf.bytes() + lds.bytes();
+    }
+};
+
 /** Chip-level global-memory bandwidth model (shared by all SMs). */
 struct MemPipe
 {
@@ -174,6 +192,37 @@ class SmCore
      */
     void hashInto(StateHash& h) const;
 
+    // --- Delta/CoW checkpoint support ------------------------------------
+    // The checkpoint engine v2 splits SM state along the cheap/expensive
+    // axis: control state (blocks, warps, scheduler — kilobytes) is
+    // copied in full per checkpoint, while the storages (megabytes) are
+    // baseline-anchored and move as page deltas.
+
+    struct ControlState; ///< all non-storage mutable state (defined below)
+
+    /** Deep copy of the control half only (storages excluded). */
+    ControlState captureControl() const;
+
+    /** Overwrite the control half from @p c; drops any bound persistent
+     *  fault (restores land on fault-free recorded state). */
+    void restoreControl(const ControlState& c);
+
+    /** Declare the current storage contents the revert/capture baseline
+     *  (see WordStorage::markCleanForRestore). */
+    void markStoragesClean();
+
+    /** Revert all storages to @p baseline by copying back only the pages
+     *  written since markStoragesClean(); also drops any stuck-bit
+     *  overlays (see WordStorage::revertTo). */
+    void revertStorages(const Snapshot& baseline);
+
+    /** Encode the storage pages differing from @p baseline into @p out. */
+    void captureStorageDelta(const Snapshot& baseline,
+                             SmStorageDelta& out) const;
+
+    /** Apply @p delta on top of the baseline the SM currently matches. */
+    void applyStorageDelta(const SmStorageDelta& delta);
+
   private:
     struct BlockContext
     {
@@ -289,6 +338,56 @@ struct SmCore::Snapshot
     std::uint64_t dispatchSeq = 0;
     std::uint32_t rrCursor = 0;
     std::int32_t gtoLast = -1;
+
+    /** Resident footprint (pack accounting). */
+    std::size_t
+    bytes() const
+    {
+        std::size_t b = sizeof(*this) + vrf.bytes() +
+                        (srf ? srf->bytes() : 0) + lds.bytes() +
+                        warpSlotUsed.size() / 8 +
+                        warpAge.size() * sizeof(std::uint64_t);
+        for (const BlockContext& blk : blocks)
+            b += sizeof(blk) + blk.warpSlots.size() * sizeof(std::uint32_t);
+        for (const WarpContext& w : warps) {
+            b += sizeof(w) + w.stack.capacity() * sizeof(ReconvEntry) +
+                 (w.vregReady.size() + w.sregReady.size()) * sizeof(Cycle);
+        }
+        return b;
+    }
+};
+
+/**
+ * The non-storage half of a Snapshot: block/warp contexts, residency
+ * bookkeeping and scheduler cursors.  Small enough (a few KiB) that
+ * delta checkpoints copy it whole instead of diffing it.
+ */
+struct SmCore::ControlState
+{
+    std::vector<BlockContext> blocks;
+    std::vector<WarpContext> warps;
+    std::vector<bool> warpSlotUsed;
+    std::vector<std::uint64_t> warpAge;
+    std::uint32_t residentBlocks = 0;
+    std::uint32_t residentWarps = 0;
+    std::uint64_t dispatchSeq = 0;
+    std::uint32_t rrCursor = 0;
+    std::int32_t gtoLast = -1;
+
+    std::size_t
+    bytes() const
+    {
+        std::size_t b = sizeof(*this) +
+                        warpSlotUsed.size() / 8 +
+                        warpAge.size() * sizeof(std::uint64_t);
+        for (const BlockContext& blk : blocks)
+            b += sizeof(blk) + blk.warpSlots.size() * sizeof(std::uint32_t);
+        for (const WarpContext& w : warps) {
+            b += sizeof(w) + w.stack.capacity() * sizeof(ReconvEntry) +
+                 (w.vregReady.size() + w.sregReady.size()) * sizeof(Cycle);
+        }
+        return b;
+    }
 };
 
 } // namespace gpr

@@ -11,6 +11,7 @@ WordStorage::WordStorage(std::uint32_t num_words)
 {
     GPR_ASSERT(num_words > 0, "zero-sized storage");
     free_list_.push_back({0, num_words});
+    pages_.resize(num_words);
 }
 
 Word
@@ -54,6 +55,7 @@ WordStorage::write(std::uint32_t index, Word value)
 {
     GPR_ASSERT(index < words_.size(), "storage write out of range");
     words_[index] = value;
+    pages_.onWrite(index);
 }
 
 void
@@ -63,6 +65,7 @@ WordStorage::flipBitAt(BitIndex bit_index)
     const unsigned bit = static_cast<unsigned>(bit_index % 32);
     GPR_ASSERT(word < words_.size(), "bit flip out of range");
     words_[word] = flipBit(words_[word], bit);
+    pages_.onWrite(word);
 }
 
 std::optional<std::uint32_t>
@@ -87,13 +90,47 @@ WordStorage::allocate(std::uint32_t count)
 void
 WordStorage::hashInto(StateHash& h) const
 {
-    h.mixWords(words_.data(), words_.size());
+    // Word contents via the dirty-page digest cache: only pages written
+    // since the previous hashInto() are re-digested.  The array length
+    // is mixed alongside so the sum formulation keeps the same framing
+    // guarantees mixWords provided.
+    h.mix(words_.size());
+    h.mix(pages_.digestSum(words_));
     h.mix(free_list_.size());
     for (const Range& r : free_list_) {
         h.mix(r.base);
         h.mix(r.count);
     }
     h.mix(allocated_words_);
+}
+
+void
+WordStorage::revertTo(const WordStorage& baseline)
+{
+    GPR_ASSERT(baseline.words_.size() == words_.size(),
+               "revert against a different-shaped storage");
+    pages_.revertTo(words_, baseline.words_);
+    free_list_ = baseline.free_list_;
+    allocated_words_ = baseline.allocated_words_;
+    clearStuck();
+}
+
+void
+WordStorage::captureDelta(const WordStorage& baseline, Delta& out) const
+{
+    GPR_ASSERT(baseline.words_.size() == words_.size(),
+               "delta against a different-shaped storage");
+    pages_.captureDelta(words_, baseline.words_, out.pages);
+    out.freeList = free_list_;
+    out.allocatedWords = allocated_words_;
+}
+
+void
+WordStorage::applyDelta(const Delta& delta)
+{
+    pages_.applyDelta(words_, delta.pages);
+    free_list_ = delta.freeList;
+    allocated_words_ = delta.allocatedWords;
 }
 
 void

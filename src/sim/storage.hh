@@ -14,6 +14,7 @@
 #include "common/bitutils.hh"
 #include "common/hash.hh"
 #include "common/types.hh"
+#include "sim/state_page.hh"
 
 namespace gpr {
 
@@ -26,6 +27,13 @@ namespace gpr {
  */
 class WordStorage
 {
+  private:
+    struct Range
+    {
+        std::uint32_t base;
+        std::uint32_t count;
+    };
+
   public:
     explicit WordStorage(std::uint32_t num_words);
 
@@ -74,24 +82,81 @@ class WordStorage
      * (allocated *and* free — free words persist and may be observed by
      * a later block that reads before writing, so they are part of the
      * architecturally visible state) plus the free list (fragmentation
-     * steers future allocations, hence future behaviour).  The stuck-bit
-     * overlay is deliberately NOT hashed: it is only ever bound during
-     * persistent-fault runs, and those disable state hashing entirely
-     * (the trajectory can never rejoin golden), so including it would
-     * change the hash definition for nothing.
+     * steers future allocations, hence future behaviour).  The word
+     * contents enter as a sum of cached per-page digests, so the cost is
+     * proportional to the pages written since the previous hash, not to
+     * the storage size.  The stuck-bit overlay is deliberately NOT
+     * hashed: it is only ever bound during persistent-fault runs, and
+     * those disable state hashing entirely (the trajectory can never
+     * rejoin golden), so including it would change the hash definition
+     * for nothing.
      */
     void hashInto(StateHash& h) const;
 
-  private:
-    struct Range
+    // --- Delta/CoW checkpoint support ------------------------------------
+    // The page-granular half of the checkpoint engine v2: a baseline-
+    // anchored storage reverts to its baseline by copying only the pages
+    // written since markCleanForRestore(), and a delta checkpoint stores
+    // only those pages.  The free list, allocation counter and stuck
+    // overlay are tiny and handled unconditionally.
+
+    /** Declare the current state the revert/capture baseline. */
+    void
+    markCleanForRestore()
     {
-        std::uint32_t base;
-        std::uint32_t count;
+        pages_.markCleanForRestore();
+    }
+
+    /**
+     * Revert to @p baseline (same size): copy back every page written
+     * since markCleanForRestore(), adopt the baseline's free list and
+     * allocation counter, and drop any stuck-bit overlay.  Equivalent to
+     * a full copy assignment from @p baseline, provided this storage was
+     * content-identical to it at the last markCleanForRestore().
+     */
+    void revertTo(const WordStorage& baseline);
+
+    /**
+     * One storage's share of a delta checkpoint: the pages differing
+     * from the baseline, plus the full free list and allocation counter
+     * (the allocator state is a handful of ranges — never worth paging).
+     */
+    struct Delta
+    {
+        StorageDelta pages;
+        std::vector<Range> freeList;
+        std::uint32_t allocatedWords = 0;
+
+        std::size_t
+        bytes() const
+        {
+            return pages.bytes() + freeList.size() * sizeof(Range);
+        }
     };
 
+    /** Encode the pages differing from @p baseline into @p out (the
+     *  dirty set is consulted, then filtered by content), plus the full
+     *  free list and allocation counter (small, never delta'd). */
+    void captureDelta(const WordStorage& baseline, Delta& out) const;
+
+    /** Overwrite the delta's pages and adopt its free list (the storage
+     *  must currently match the baseline the delta was recorded
+     *  against). */
+    void applyDelta(const Delta& delta);
+
+    /** Resident footprint of the full storage (pack accounting). */
+    std::size_t
+    bytes() const
+    {
+        return words_.size() * sizeof(Word) +
+               free_list_.size() * sizeof(Range);
+    }
+
+  private:
     std::vector<Word> words_;
     std::vector<Range> free_list_; ///< sorted by base, coalesced
     std::uint32_t allocated_words_ = 0;
+    PageTracker pages_;
 
     // Stuck-bit overlay (persistent-fault hook; see setStuckBits).
     std::uint32_t stuck_word_ = 0;

@@ -11,6 +11,8 @@
 
 #include "reliability/campaign.hh"
 #include "reliability/fault_injector.hh"
+#include "sim/storage.hh"
+#include "sim/structure_registry.hh"
 #include "sim_test_util.hh"
 #include "workloads/workloads.hh"
 
@@ -109,14 +111,22 @@ TEST(Checkpoint, PackShapeAndAdoption)
     EXPECT_GT(pack->hashInterval, 0u);
     EXPECT_TRUE(pack->windows.enabled());
     EXPECT_GT(pack->windows.intervalCount(), 0u);
-    EXPECT_LE(pack->checkpoints.size(), 4u);
-    for (std::size_t i = 0; i < pack->checkpoints.size(); ++i) {
-        EXPECT_GT(pack->checkpoints[i].now, 0u);
-        EXPECT_LT(pack->checkpoints[i].now, pack->goldenCycles);
-        if (i > 0) {
-            EXPECT_LT(pack->checkpoints[i - 1].now,
-                      pack->checkpoints[i].now);
-        }
+
+    // Delta encoding: one full baseline, then ascending deltas starting
+    // with the trivial cycle-0 one, at most the budget past it.
+    ASSERT_FALSE(pack->deltas.empty());
+    EXPECT_EQ(pack->deltas.front().now, 0u);
+    EXPECT_LE(pack->deltas.size(), 4u + 1u);
+    for (std::size_t i = 1; i < pack->deltas.size(); ++i) {
+        EXPECT_GT(pack->deltas[i].now, pack->deltas[i - 1].now);
+        EXPECT_LT(pack->deltas[i].now, pack->goldenCycles);
+    }
+
+    // The whole point of the delta encoding: resident bytes well under
+    // what the same checkpoint cycles would cost as full snapshots.
+    EXPECT_GT(pack->approxBytes(), 0u);
+    if (pack->deltas.size() > 1) {
+        EXPECT_LT(pack->approxBytes(), pack->fullEquivalentBytes());
     }
 
     // Sibling injector of the same cell adopts the shared pack.
@@ -124,6 +134,81 @@ TEST(Checkpoint, PackShapeAndAdoption)
     sibling.adoptGoldenCycles(pack->goldenCycles);
     sibling.adoptCheckpointPack(pack);
     EXPECT_EQ(sibling.checkpointPack().get(), pack.get());
+}
+
+/**
+ * Delta restore is bit-identical to full restore: record the same
+ * checkpoint cycles once as full snapshots and once delta-encoded, then
+ * resume every checkpoint through both paths and require identical
+ * trajectories and final memory words.
+ */
+TEST(Checkpoint, DeltaResumeMatchesFullResume)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const WorkloadInstance inst = buildFor(cfg, "reduction");
+
+    Gpu gpu(cfg);
+    const RunResult golden =
+        gpu.run(inst.program, inst.launch, inst.image);
+    ASSERT_TRUE(golden.clean());
+    const Cycle g = golden.stats.cycles;
+    ASSERT_GT(g, 4u);
+
+    CheckpointRecorder full_rec;
+    full_rec.checkpointCycles = {g / 4, g / 2, (3 * g) / 4};
+    RunOptions rec_full;
+    rec_full.recorder = &full_rec;
+    rec_full.hashInterval = std::max<Cycle>(1, g / 16);
+    ASSERT_TRUE(gpu.run(inst.program, inst.launch, inst.image, rec_full)
+                    .clean());
+    ASSERT_EQ(full_rec.checkpoints.size(), 3u);
+
+    CheckpointRecorder delta_rec;
+    delta_rec.delta = true;
+    delta_rec.checkpointCycles = full_rec.checkpointCycles;
+    RunOptions rec_delta;
+    rec_delta.recorder = &delta_rec;
+    rec_delta.hashInterval = rec_full.hashInterval;
+    ASSERT_TRUE(gpu.run(inst.program, inst.launch, inst.image, rec_delta)
+                    .clean());
+    ASSERT_EQ(delta_rec.deltas.size(), 4u); // cycle 0 + the three above
+
+    for (std::size_t i = 0; i < full_rec.checkpoints.size(); ++i) {
+        RunOptions full;
+        full.resume = &full_rec.checkpoints[i];
+        const RunResult a =
+            gpu.run(inst.program, inst.launch, MemoryImage{}, full);
+
+        gpu.anchorTo(delta_rec.baseline);
+        MemoryImage scratch = delta_rec.baseline.memory;
+        scratch.markCleanForRestore();
+        RunOptions delta;
+        delta.resumeBaseline = &delta_rec.baseline;
+        delta.resumeDelta = &delta_rec.deltas[i + 1];
+        delta.imageInOut = &scratch;
+        const RunResult b =
+            gpu.run(inst.program, inst.launch, MemoryImage{}, delta);
+
+        EXPECT_EQ(a.trap, b.trap);
+        EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+        EXPECT_EQ(a.stats.warpInstructions, b.stats.warpInstructions);
+        EXPECT_EQ(a.memory.words(), scratch.words());
+        EXPECT_EQ(a.stats.cycles, g);
+    }
+
+    // The trivial cycle-0 delta reproduces the run from the top.
+    gpu.anchorTo(delta_rec.baseline);
+    MemoryImage scratch = delta_rec.baseline.memory;
+    scratch.markCleanForRestore();
+    RunOptions from_zero;
+    from_zero.resumeBaseline = &delta_rec.baseline;
+    from_zero.resumeDelta = &delta_rec.deltas.front();
+    from_zero.imageInOut = &scratch;
+    const RunResult z =
+        gpu.run(inst.program, inst.launch, MemoryImage{}, from_zero);
+    EXPECT_TRUE(z.clean());
+    EXPECT_EQ(z.stats.cycles, g);
+    EXPECT_EQ(scratch.words(), golden.memory.words());
 }
 
 /**
@@ -184,6 +269,136 @@ TEST(Checkpoint, DifferentialOutcomeEquality)
     // The engine must actually shortcut a healthy share of the masked
     // population (deterministic given the fixed seeds).
     EXPECT_GT(converged_total, 0u);
+}
+
+/**
+ * Delta restore under every fault behavior: the checkpointed engine's
+ * outcome equals the legacy from-scratch engine's for each registry
+ * structure x {transient, stuck-at-0, stuck-at-1, intermittent}.
+ * Persistent behaviors exercise the restore path hardest — every
+ * injection delta-restores and replays to completion (no hash early-out)
+ * — so any page the revert missed would flip an outcome here.
+ */
+TEST(Checkpoint, DeltaRestoreAgreesAcrossBehaviors)
+{
+    constexpr std::size_t kInjections = 6;
+    const FaultBehavior behaviors[] = {
+        FaultBehavior::Transient, FaultBehavior::StuckAt0,
+        FaultBehavior::StuckAt1, FaultBehavior::Intermittent};
+
+    const GpuConfig cfg = test::smallCudaConfig();
+    const char* wname = "reduction";
+    const WorkloadInstance inst = buildFor(cfg, wname);
+    const std::vector<TargetStructure> structures = selectStructures(
+        cfg, makeWorkload(wname)->usesLocalMemory(), {});
+    ASSERT_FALSE(structures.empty());
+
+    FaultInjector legacy(cfg, inst);
+    FaultInjector ckpt(cfg, inst);
+    ckpt.adoptGoldenCycles(legacy.goldenCycles());
+    ckpt.buildCheckpointPack(4);
+
+    for (TargetStructure s : structures) {
+        for (FaultBehavior behavior : behaviors) {
+            const FaultShape shape{behavior, FaultPattern::SingleBit};
+            const std::uint64_t seed =
+                deriveSeed(0xBEEF, static_cast<std::uint64_t>(s) * 16 +
+                                       static_cast<std::uint64_t>(behavior));
+            for (std::size_t i = 0; i < kInjections; ++i) {
+                const InjectionResult a =
+                    runIndexedInjection(legacy, s, seed, i, shape);
+                const InjectionResult b =
+                    runIndexedInjection(ckpt, s, seed, i, shape);
+                EXPECT_EQ(a.fault.bitIndex, b.fault.bitIndex);
+                EXPECT_EQ(a.fault.cycle, b.fault.cycle);
+                EXPECT_EQ(a.outcome, b.outcome)
+                    << targetStructureName(s) << " "
+                    << faultBehaviorName(behavior) << " bit "
+                    << a.fault.bitIndex << " cycle " << a.fault.cycle;
+                EXPECT_EQ(a.trap, b.trap);
+            }
+        }
+    }
+}
+
+/**
+ * The incremental dirty-page hash equals a from-scratch hash of the same
+ * contents: interleaving hashInto() with randomized writes (exercising
+ * the digest cache at every state) always matches a freshly built
+ * duplicate that hashes once at the end.
+ */
+TEST(Checkpoint, DirtyPageHashMatchesFreshHash)
+{
+    Rng rng(0x9A6E5);
+    WordStorage a(1000); // intentionally not a page multiple
+    WordStorage b(1000);
+    for (int round = 0; round < 20; ++round) {
+        for (int w = 0; w < 37; ++w) {
+            const auto idx = static_cast<std::uint32_t>(rng.below(1000));
+            const auto val = static_cast<Word>(rng.below(1ull << 32));
+            a.write(idx, val);
+            b.write(idx, val);
+        }
+        // Hash `a` every round (cached digests + dirty recompute)...
+        StateHash ha;
+        a.hashInto(ha);
+        // ...and a fresh copy of `b` (every page recomputed from scratch).
+        WordStorage fresh(1000);
+        for (std::uint32_t i = 0; i < 1000; ++i)
+            fresh.write(i, b.read(i));
+        StateHash hb;
+        fresh.hashInto(hb);
+        EXPECT_EQ(ha.value(), hb.value()) << "round " << round;
+    }
+
+    // Same property for the memory image.
+    MemoryImage img;
+    const Buffer buf = img.allocBuffer(1000);
+    MemoryImage dup;
+    const Buffer dup_buf = dup.allocBuffer(1000);
+    for (int round = 0; round < 20; ++round) {
+        for (int w = 0; w < 37; ++w) {
+            const auto idx = static_cast<std::uint32_t>(rng.below(1000));
+            const auto val = static_cast<Word>(rng.below(1ull << 32));
+            img.setWord(buf, idx, val);
+            dup.setWord(dup_buf, idx, val);
+        }
+        StateHash hi;
+        img.hashInto(hi);
+        MemoryImage fresh;
+        const Buffer fresh_buf = fresh.allocBuffer(1000);
+        for (std::uint32_t i = 0; i < 1000; ++i)
+            fresh.setWord(fresh_buf, i, dup.getWord(dup_buf, i));
+        StateHash hf;
+        fresh.hashInto(hf);
+        EXPECT_EQ(hi.value(), hf.value()) << "round " << round;
+    }
+}
+
+/** Checkpoint placement is a pure perf knob: fault-aware and even
+ *  spacing classify every injection identically (and match the legacy
+ *  engine — CampaignCountsInvariantUnderEngine covers that leg). */
+TEST(Checkpoint, PlacementInvariantCampaignCounts)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    const WorkloadInstance inst = buildFor(cfg, "reduction");
+
+    CampaignConfig aware;
+    aware.plan.injections = 80;
+    aware.numThreads = 2;
+    aware.checkpoints = 6;
+    aware.placement = CheckpointPlacement::FaultAware;
+
+    CampaignConfig even = aware;
+    even.placement = CheckpointPlacement::Even;
+
+    const CampaignResult a = runCampaign(
+        cfg, inst, TargetStructure::VectorRegisterFile, aware);
+    const CampaignResult b = runCampaign(
+        cfg, inst, TargetStructure::VectorRegisterFile, even);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.due, b.due);
 }
 
 /** The campaign path: checkpoints on vs off is count-for-count equal. */
