@@ -21,13 +21,14 @@
  * prefilter); --structures restricts to a registry subset, e.g. the
  * paper's original rf,lds,srf grid for the CI perf gate.
  *
- * --behaviors adds a fault-behavior axis (default: transient only, so
- * the CI perf gate's aggregate keeps its historical meaning).  Each
- * extra behavior re-runs every cell under that behavior; persistent
- * behaviors disable the dead-window prefilter and hash early-out, so
- * their throughput is reported separately in the "behaviors" breakdown
- * and the legacy-vs-checkpoint equality check doubles as a persistent
- * checkpoint-restore differential test.
+ * --behaviors selects the fault-behavior axis (default: all four, so
+ * the persistent fast path is exercised out of the box).  Each behavior
+ * re-runs every cell's fault list; transient cells use the dead-window
+ * prefilter, persistent cells the value-residency prefilter and the
+ * residency-gated hash early-out.  Throughput is reported per behavior
+ * in the "behaviors" breakdown — together with each prefilter's and the
+ * early-out's hit rate — and the legacy-vs-checkpoint equality check
+ * doubles as a per-behavior differential test of the fast path.
  *
  * The checkpointed engine's time is further broken down per phase
  * (prefilter / restore / replay / hash, from FaultInjector's phase
@@ -69,6 +70,8 @@ struct CellResult
     FaultBehavior behavior = FaultBehavior::Transient;
     std::size_t injections = 0;
     std::size_t prefiltered = 0; ///< masked via dead windows (no sim)
+    /** Masked via the persistent value-residency prefilter (no sim). */
+    std::size_t residencyPrefiltered = 0;
     std::size_t hashConverged = 0;
     double goldenSeconds = 0.0; ///< one golden run (scale reference)
     double packSeconds = 0.0;   ///< recording passes + pack assembly
@@ -92,7 +95,9 @@ main(int argc, char** argv)
         workloads.emplace_back(name);
     std::vector<GpuModel> gpus = allGpuModels();
     std::vector<TargetStructure> requested;
-    std::vector<FaultBehavior> behaviors = {FaultBehavior::Transient};
+    std::vector<FaultBehavior> behaviors = {
+        FaultBehavior::Transient, FaultBehavior::StuckAt0,
+        FaultBehavior::StuckAt1, FaultBehavior::Intermittent};
     std::size_t injections = 40;
     unsigned checkpoints = kDefaultCheckpoints;
     CheckpointPlacement placement = CheckpointPlacement::FaultAware;
@@ -235,6 +240,9 @@ main(int argc, char** argv)
                         if (r.shortcut == InjectionShortcut::DeadWindow)
                             ++cell.prefiltered;
                         else if (r.shortcut ==
+                                 InjectionShortcut::ValueResidency)
+                            ++cell.residencyPrefiltered;
+                        else if (r.shortcut ==
                                  InjectionShortcut::HashConvergence)
                             ++cell.hashConverged;
                         if (r.outcome != legacy_results[i].outcome ||
@@ -282,7 +290,8 @@ main(int argc, char** argv)
             "    {\"workload\": \"%s\", \"gpu\": \"%s\", "
             "\"structure\": \"%s\", \"behavior\": \"%s\", "
             "\"injections\": %zu, "
-            "\"prefiltered\": %zu, \"hash_converged\": %zu, "
+            "\"prefiltered\": %zu, \"residency_prefiltered\": %zu, "
+            "\"hash_converged\": %zu, "
             "\"golden_s\": %.6f, \"pack_s\": %.6f, "
             "\"pack_share_s\": %.6f, "
             "\"legacy_s\": %.6f, \"checkpoint_s\": %.6f, "
@@ -293,7 +302,8 @@ main(int argc, char** argv)
             "\"speedup\": %.3f, \"outcomes_equal\": %s}%s\n",
             c.workload.c_str(), c.gpu.c_str(), c.structure.c_str(),
             std::string(faultBehaviorName(c.behavior)).c_str(),
-            c.injections, c.prefiltered, c.hashConverged, c.goldenSeconds,
+            c.injections, c.prefiltered, c.residencyPrefiltered,
+            c.hashConverged, c.goldenSeconds,
             c.packSeconds, c.packShare, c.legacySeconds,
             c.checkpointSeconds, c.phases.prefilterSeconds,
             c.phases.restoreSeconds, c.phases.replaySeconds,
@@ -306,9 +316,9 @@ main(int argc, char** argv)
     }
     std::printf("  ],\n");
 
-    // Per-behavior aggregate: persistent behaviors run without the
-    // dead-window prefilter and hash early-out, so their throughput is
-    // quoted on its own line instead of diluting the transient numbers.
+    // Per-behavior aggregate with each fast path's hit rates: transient
+    // quotes the dead-window prefilter, persistent behaviors the
+    // value-residency prefilter; the hash early-out applies to both.
     std::printf("  \"behaviors\": [\n");
     for (std::size_t b = 0; b < behaviors.size(); ++b) {
         double legacy_b = 0.0, ckpt_b = 0.0;
@@ -322,17 +332,27 @@ main(int argc, char** argv)
             injections_b += c.injections;
             phases_b += c.phases;
         }
+        const double denom =
+            injections_b > 0 ? static_cast<double>(injections_b) : 1.0;
         std::printf(
             "    {\"behavior\": \"%s\", \"injections\": %zu, "
+            "\"dead_window_hits\": %llu, \"residency_hits\": %llu, "
+            "\"hash_converge_hits\": %llu, "
+            "\"prefilter_rate\": %.4f, \"early_out_rate\": %.4f, "
             "\"legacy_s\": %.6f, \"checkpoint_s\": %.6f, "
             "\"prefilter_s\": %.6f, \"restore_s\": %.6f, "
             "\"replay_s\": %.6f, \"hash_s\": %.6f, "
             "\"legacy_ips\": %.2f, \"checkpoint_ips\": %.2f, "
             "\"speedup\": %.3f}%s\n",
             std::string(faultBehaviorName(behaviors[b])).c_str(),
-            injections_b, legacy_b, ckpt_b, phases_b.prefilterSeconds,
-            phases_b.restoreSeconds, phases_b.replaySeconds,
-            phases_b.hashSeconds,
+            injections_b,
+            static_cast<unsigned long long>(phases_b.deadWindowHits),
+            static_cast<unsigned long long>(phases_b.residencyHits),
+            static_cast<unsigned long long>(phases_b.hashConvergeHits),
+            (phases_b.deadWindowHits + phases_b.residencyHits) / denom,
+            phases_b.hashConvergeHits / denom, legacy_b, ckpt_b,
+            phases_b.prefilterSeconds, phases_b.restoreSeconds,
+            phases_b.replaySeconds, phases_b.hashSeconds,
             legacy_b > 0 ? injections_b / legacy_b : 0.0,
             ckpt_b > 0 ? injections_b / ckpt_b : 0.0,
             ckpt_b > 0 ? legacy_b / ckpt_b : 0.0,
@@ -362,9 +382,9 @@ main(int argc, char** argv)
 
     // ---- Per-phase table (stderr; stdout stays pure JSON for CI) ----
     std::fprintf(stderr,
-                 "\n%-14s %6s %10s %10s %10s %10s %10s %8s\n", "behavior",
-                 "inj", "legacy_s", "prefilt_s", "restore_s", "replay_s",
-                 "hash_s", "speedup");
+                 "\n%-14s %6s %10s %10s %10s %10s %10s %8s %8s %8s\n",
+                 "behavior", "inj", "legacy_s", "prefilt_s", "restore_s",
+                 "replay_s", "hash_s", "prefilt%", "earlyout", "speedup");
     for (FaultBehavior behavior : behaviors) {
         double legacy_b = 0.0, ckpt_b = 0.0;
         std::size_t injections_b = 0;
@@ -377,14 +397,20 @@ main(int argc, char** argv)
             injections_b += c.injections;
             phases_b += c.phases;
         }
-        std::fprintf(stderr,
-                     "%-14s %6zu %10.3f %10.3f %10.3f %10.3f %10.3f "
-                     "%7.2fx\n",
-                     std::string(faultBehaviorName(behavior)).c_str(),
-                     injections_b, legacy_b, phases_b.prefilterSeconds,
-                     phases_b.restoreSeconds, phases_b.replaySeconds,
-                     phases_b.hashSeconds,
-                     ckpt_b > 0 ? legacy_b / ckpt_b : 0.0);
+        const double denom =
+            injections_b > 0 ? static_cast<double>(injections_b) : 1.0;
+        std::fprintf(
+            stderr,
+            "%-14s %6zu %10.3f %10.3f %10.3f %10.3f %10.3f %7.1f%% "
+            "%7.1f%% %7.2fx\n",
+            std::string(faultBehaviorName(behavior)).c_str(),
+            injections_b, legacy_b, phases_b.prefilterSeconds,
+            phases_b.restoreSeconds, phases_b.replaySeconds,
+            phases_b.hashSeconds,
+            100.0 * (phases_b.deadWindowHits + phases_b.residencyHits) /
+                denom,
+            100.0 * phases_b.hashConvergeHits / denom,
+            ckpt_b > 0 ? legacy_b / ckpt_b : 0.0);
     }
     std::fprintf(stderr,
                  "peak checkpoint pack: %zu KiB delta-encoded "

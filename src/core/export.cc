@@ -870,7 +870,21 @@ std::vector<ShardRecord>
 readShardStore(std::istream& is)
 {
     std::vector<ShardRecord> records;
+    // Size the record vector from the stream length up front (records
+    // are one line each, ~120 bytes in practice) so a large store's
+    // replay does not pay repeated reallocation + move of every parsed
+    // record.  Unseekable streams just fall back to geometric growth.
+    const auto pos = is.tellg();
+    if (pos != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const auto end = is.tellg();
+        is.seekg(pos);
+        if (end != std::istream::pos_type(-1) && end > pos)
+            records.reserve(
+                static_cast<std::size_t>(end - pos) / 120 + 1);
+    }
     std::string line;
+    line.reserve(256);
     while (std::getline(is, line)) {
         ShardRecord r;
         if (parseShardRecord(line, r))

@@ -385,7 +385,16 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
     bool store_exists = false;
     bool backfill_header = false;
     if (spec.resume && !spec.storePath.empty()) {
-        std::ifstream in(spec.storePath);
+        const auto load0 = std::chrono::steady_clock::now();
+        // Line-at-a-time parsing over the default stream buffer is
+        // seek-free but syscall-heavy on large stores; a wide buffer
+        // plus a pre-reserved line string keeps resume replay at memory
+        // bandwidth.
+        std::vector<char> iobuf(std::size_t{1} << 20);
+        std::ifstream in;
+        in.rdbuf()->pubsetbuf(iobuf.data(),
+                              static_cast<std::streamsize>(iobuf.size()));
+        in.open(spec.storePath);
         if (in) {
             store_exists = true;
             // Header records are recognised at any line, not just the
@@ -394,6 +403,7 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
             // must not lose the guard.
             bool saw_header = false;
             std::string line;
+            line.reserve(256);
             while (std::getline(in, line)) {
                 StoreHeader header;
                 if (parseStoreHeader(line, header)) {
@@ -422,6 +432,10 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
                 backfill_header = true;
             }
         }
+        progress.resumeLoadSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          load0)
+                .count();
     }
 
     std::ofstream store;
@@ -721,11 +735,8 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
                         cell->ace.goldenStats.cycles);
                     adopt_cell_pack(cell, injector);
                     ShardCounts counts;
-                    for (std::uint64_t i = key.injectionBegin;
-                         i < key.injectionEnd; ++i) {
-                        const InjectionResult r = runIndexedInjection(
-                            injector, key.structure, key.campaignSeed, i,
-                            FaultShape{key.behavior, key.pattern});
+                    const FaultShape shape{key.behavior, key.pattern};
+                    const auto tally = [&](const InjectionResult& r) {
                         switch (r.outcome) {
                           case FaultOutcome::Masked:
                             ++counts.masked;
@@ -736,6 +747,49 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
                           case FaultOutcome::Due:
                             ++counts.due;
                             break;
+                        }
+                    };
+                    if (cell->pack &&
+                        faultBehaviorPersistent(key.behavior)) {
+                        // Shared-restore batching: pre-draw the shard's
+                        // persistent faults (sampling is a pure
+                        // function of (seed, index)) and execute them
+                        // grouped by checkpoint interval, so
+                        // consecutive injections reuse the same
+                        // restore point and scratch working set.  The
+                        // shard's counts are order-independent, so the
+                        // record stays bit-identical to index-ordered
+                        // execution.
+                        struct Drawn
+                        {
+                            std::size_t checkpoint;
+                            FaultSpec fault;
+                        };
+                        std::vector<Drawn> batch;
+                        batch.reserve(key.injectionEnd -
+                                      key.injectionBegin);
+                        for (std::uint64_t i = key.injectionBegin;
+                             i < key.injectionEnd; ++i) {
+                            Rng rng(deriveSeed(key.campaignSeed, i));
+                            const FaultSpec fault = injector.sampleRandom(
+                                key.structure, rng, shape);
+                            batch.push_back(
+                                {injector.checkpointIndexFor(fault.cycle),
+                                 fault});
+                        }
+                        std::stable_sort(
+                            batch.begin(), batch.end(),
+                            [](const Drawn& a, const Drawn& b) {
+                                return a.checkpoint < b.checkpoint;
+                            });
+                        for (const Drawn& d : batch)
+                            tally(injector.inject(d.fault));
+                    } else {
+                        for (std::uint64_t i = key.injectionBegin;
+                             i < key.injectionEnd; ++i) {
+                            tally(runIndexedInjection(
+                                injector, key.structure, key.campaignSeed,
+                                i, shape));
                         }
                     }
                     const auto s1 = std::chrono::steady_clock::now();
@@ -807,7 +861,8 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
     progress.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
     if (spec.verbose) {
         inform("study: ", progress.executedShards, " shards executed, ",
-               progress.resumedShards, " resumed from store, ",
+               progress.resumedShards, " resumed from store (loaded in ",
+               strprintf("%.3f", progress.resumeLoadSeconds), " s), ",
                progress.prunedShards, " pruned by early stopping, ",
                strprintf("%.2f", progress.wallSeconds), " s wall (",
                strprintf("%.2f", progress.shardBusySeconds),

@@ -95,6 +95,9 @@ struct StudyProgress
     std::size_t peakPackFullBytes = 0;
     /** Aggregate worker-seconds across executed shards. */
     double shardBusySeconds = 0.0;
+    /** Wall-clock spent replaying the JSONL shard store on resume
+     *  (0 when not resuming). */
+    double resumeLoadSeconds = 0.0;
     double wallSeconds = 0.0;       ///< end-to-end study wall-clock
 
     /** Executed injections per wall-clock second. */

@@ -46,7 +46,7 @@ AccessProfiler::counters(TargetStructure structure) const
 
 void
 AccessProfiler::onRead(TargetStructure structure, SmId sm,
-                       std::uint32_t word, Cycle)
+                       std::uint32_t word, Word, Cycle)
 {
     Counters& c = counters(structure);
     ++c.reads[std::uint64_t{sm} * c.unitsPerSm + word];

@@ -60,7 +60,7 @@ class AccessProfiler : public SimObserver
     explicit AccessProfiler(const GpuConfig& config);
 
     void onRead(TargetStructure structure, SmId sm, std::uint32_t word,
-                Cycle cycle) override;
+                Word value, Cycle cycle) override;
     void onWrite(TargetStructure structure, SmId sm, std::uint32_t word,
                  Cycle cycle) override;
 

@@ -70,7 +70,7 @@ AceAnalyzer::commit(StructureTracker& t, UnitState& u, Cycle upto)
 
 void
 AceAnalyzer::onRead(TargetStructure structure, SmId sm, std::uint32_t word,
-                    Cycle cycle)
+                    Word, Cycle cycle)
 {
     StructureTracker& t = tracker(structure);
     UnitState& u = t.units[std::uint64_t{sm} * t.unitsPerSm + word];

@@ -94,7 +94,7 @@ class AceAnalyzer : public SimObserver
     AceAnalyzer(const GpuConfig& config, AceMode mode);
 
     void onRead(TargetStructure structure, SmId sm, std::uint32_t word,
-                Cycle cycle) override;
+                Word value, Cycle cycle) override;
     void onWrite(TargetStructure structure, SmId sm, std::uint32_t word,
                  Cycle cycle) override;
     void onAlloc(TargetStructure structure, SmId sm, std::uint32_t first,

@@ -1,5 +1,6 @@
 #include "reliability/campaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -64,13 +65,8 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
                 injector.adoptCheckpointPack(pack);
             std::size_t local_masked = 0, local_sdc = 0, local_due = 0;
 
-            const auto t0 = std::chrono::steady_clock::now();
-            while (true) {
-                const std::size_t i = next.fetch_add(1);
-                if (i >= end)
-                    break;
-                const InjectionResult r = runIndexedInjection(
-                    injector, structure, cc.seed, i, cc.shape);
+            const auto classify = [&](const InjectionResult& r,
+                                      std::size_t i) {
                 switch (r.outcome) {
                   case FaultOutcome::Masked:
                     ++local_masked;
@@ -84,6 +80,53 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
                 }
                 if (cc.keepRecords)
                     records[i] = r;
+            };
+
+            // Shared-restore batching: a persistent-shape campaign with
+            // a pack pre-draws a chunk of fault specs (sampling is a
+            // pure function of (seed, index)) and executes it sorted by
+            // checkpoint interval, so consecutive injections restore
+            // from the same delta with the same scratch-image working
+            // set.  Outcomes are order-independent counts, so the
+            // result stays bit-identical to index-ordered execution.
+            const bool batched =
+                pack && faultBehaviorPersistent(cc.shape.behavior);
+            const std::size_t stride = batched ? 32 : 1;
+
+            const auto t0 = std::chrono::steady_clock::now();
+            while (true) {
+                const std::size_t i0 = next.fetch_add(stride);
+                if (i0 >= end)
+                    break;
+                if (!batched) {
+                    classify(runIndexedInjection(injector, structure,
+                                                 cc.seed, i0, cc.shape),
+                             i0);
+                    continue;
+                }
+                const std::size_t i1 = std::min(end, i0 + stride);
+                struct Drawn
+                {
+                    std::size_t index;
+                    std::size_t checkpoint;
+                    FaultSpec fault;
+                };
+                std::vector<Drawn> batch;
+                batch.reserve(i1 - i0);
+                for (std::size_t i = i0; i < i1; ++i) {
+                    Rng rng(deriveSeed(cc.seed, i));
+                    const FaultSpec fault =
+                        injector.sampleRandom(structure, rng, cc.shape);
+                    batch.push_back(
+                        {i, injector.checkpointIndexFor(fault.cycle),
+                         fault});
+                }
+                std::stable_sort(batch.begin(), batch.end(),
+                                 [](const Drawn& a, const Drawn& b) {
+                                     return a.checkpoint < b.checkpoint;
+                                 });
+                for (const Drawn& d : batch)
+                    classify(injector.inject(d.fault), d.index);
             }
             const auto t1 = std::chrono::steady_clock::now();
 

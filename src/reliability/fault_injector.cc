@@ -196,22 +196,59 @@ FaultInjector::inject(const FaultSpec& fault)
     // Multi-bit patterns stay in scope: the aligned group lies inside
     // the sampled bit's word, so one window query covers every bit.
     ++phase_stats_.injections;
-    if (pack_ && !persistent &&
-        structureSpec(fault.structure).exactDeadWindows) {
-        const auto t0 = PhaseClock::now();
-        const bool observed = pack_->windows.observed(
-            fault.structure, fault.bitIndex / 32, fault.cycle);
-        phase_stats_.prefilterSeconds += secondsSince(t0);
-        if (!observed) {
-            // The golden run never reads this word between the flip and
-            // the word's next overwrite (or the end of the run): the
-            // flip can not enter any computation, so the injected run
-            // is the golden run — exactly Masked, no simulation needed.
-            InjectionResult result;
-            result.fault = fault;
-            result.outcome = FaultOutcome::Masked;
-            result.shortcut = InjectionShortcut::DeadWindow;
-            return result;
+    Cycle converge_min = 0; // persistent early-out threshold (0 = none)
+    if (pack_ && structureSpec(fault.structure).exactDeadWindows) {
+        if (!persistent) {
+            const auto t0 = PhaseClock::now();
+            const bool observed = pack_->windows.observed(
+                fault.structure, fault.bitIndex / 32, fault.cycle);
+            phase_stats_.prefilterSeconds += secondsSince(t0);
+            if (!observed) {
+                // The golden run never reads this word between the flip
+                // and the word's next overwrite (or the end of the
+                // run): the flip can not enter any computation, so the
+                // injected run is the golden run — exactly Masked, no
+                // simulation needed.
+                ++phase_stats_.deadWindowHits;
+                InjectionResult result;
+                result.fault = fault;
+                result.outcome = FaultOutcome::Masked;
+                result.shortcut = InjectionShortcut::DeadWindow;
+                return result;
+            }
+        } else {
+            // Value-residency prefilter: the read overlay never mutates
+            // the raw word, so the fault reaches computation only
+            // through reads whose observed value the forcing *changes*.
+            // agree is the first cycle from which every remaining
+            // golden read of the faulted bits observes the forced value
+            // (exact for word storage; intermittent faults force the
+            // same value whenever active, so agreement over all reads
+            // covers every duty cycle).
+            const auto t0 = PhaseClock::now();
+            const unsigned width = faultPatternWidth(fault.pattern);
+            const auto bit_in_word =
+                static_cast<unsigned>(fault.bitIndex % 32);
+            const Cycle agree = pack_->windows.stuckAgreeCycle(
+                fault.structure, fault.bitIndex / 32,
+                bit_in_word - bit_in_word % width, width,
+                faultForcedValue(fault));
+            phase_stats_.prefilterSeconds += secondsSince(t0);
+            if (fault.cycle >= agree) {
+                ++phase_stats_.residencyHits;
+                InjectionResult result;
+                result.fault = fault;
+                result.outcome = FaultOutcome::Masked;
+                result.shortcut = InjectionShortcut::ValueResidency;
+                return result;
+            }
+            // Not provably benign at the fault cycle, but past `agree`
+            // a trajectory-hash match implies golden continuation — arm
+            // the early-out when a comparable boundary exists at all.
+            if (agree != FaultWindows::kNeverAgrees &&
+                agree <= pack_->goldenCycles) {
+                converge_min = agree;
+            }
         }
     }
 
@@ -227,13 +264,20 @@ FaultInjector::inject(const FaultSpec& fault)
     bool via_scratch = false;
     const auto run_start = PhaseClock::now();
     if (pack_) {
-        // Persistent-fault mode: the state never rejoins the golden
-        // trajectory, so hash early-out is off — but restoring from the
-        // nearest checkpoint stays exact (the trajectory is golden up
-        // to the fault cycle regardless of what the fault does later).
+        // Hash early-out: unconditional for transient faults; for
+        // persistent ones only past the residency threshold, where a
+        // match of the canonical (stuck-at) or raw (intermittent) hash
+        // provably pins the rest of the run to the golden trajectory.
+        // Restoring from the nearest checkpoint is exact either way
+        // (the trajectory is golden up to the fault cycle regardless
+        // of what the fault does later).
         if (!persistent) {
             options.hashInterval = pack_->hashInterval;
             options.goldenHashes = &pack_->hashes;
+        } else if (converge_min > fault.cycle) {
+            options.hashInterval = pack_->hashInterval;
+            options.goldenHashes = &pack_->hashes;
+            options.convergeMinCycle = converge_min;
         }
         // Nearest delta checkpoint at or before the fault cycle
         // (deltas[0].now == 0, so one always exists); everything before
@@ -267,8 +311,10 @@ FaultInjector::inject(const FaultSpec& fault)
     InjectionResult result;
     result.fault = fault;
     result.trap = run.trap;
-    if (run.convergedToGolden)
+    if (run.convergedToGolden) {
         result.shortcut = InjectionShortcut::HashConvergence;
+        ++phase_stats_.hashConvergeHits;
+    }
     if (run.convergedToGolden) {
         // State rejoined the golden trajectory: the remainder of the run
         // is the golden run's, whose output verified — Masked by
@@ -286,8 +332,8 @@ FaultInjector::inject(const FaultSpec& fault)
     return result;
 }
 
-InjectionResult
-FaultInjector::injectRandom(TargetStructure structure, Rng& rng,
+FaultSpec
+FaultInjector::sampleRandom(TargetStructure structure, Rng& rng,
                             const FaultShape& shape)
 {
     const std::uint64_t bits = gpu_.structureBits(structure);
@@ -314,7 +360,27 @@ FaultInjector::injectRandom(TargetStructure structure, Rng& rng,
             rng.below(fault.intermittentPeriod - 1));
         fault.intermittentValue = rng.below(2) != 0;
     }
-    return inject(fault);
+    return fault;
+}
+
+InjectionResult
+FaultInjector::injectRandom(TargetStructure structure, Rng& rng,
+                            const FaultShape& shape)
+{
+    return inject(sampleRandom(structure, rng, shape));
+}
+
+std::size_t
+FaultInjector::checkpointIndexFor(Cycle cycle) const
+{
+    if (!pack_)
+        return 0;
+    const auto it = std::upper_bound(
+        pack_->deltas.begin(), pack_->deltas.end(), cycle,
+        [](Cycle c, const GpuCheckpointDelta& d) { return c < d.now; });
+    GPR_ASSERT(it != pack_->deltas.begin(),
+               "checkpoint pack lacks its cycle-0 delta");
+    return static_cast<std::size_t>(it - pack_->deltas.begin()) - 1;
 }
 
 } // namespace gpr

@@ -46,9 +46,14 @@ faultOutcomeName(FaultOutcome o)
  *  identical to a full from-scratch simulation either way. */
 enum class InjectionShortcut : std::uint8_t
 {
-    None,           ///< simulated to trap/completion (or legacy engine)
-    DeadWindow,     ///< outside every observability window: no simulation
-    HashConvergence ///< post-fault state hash rejoined the golden run
+    None,            ///< simulated to trap/completion (or legacy engine)
+    DeadWindow,      ///< outside every observability window: no simulation
+    HashConvergence, ///< post-fault state hash rejoined the golden run
+    /** Persistent prefilter: every golden read of the stuck word at or
+     *  after the fault cycle already observes the forced value, so the
+     *  forcing never changes a value entering computation — exactly
+     *  Masked with zero simulation (see FaultWindows::stuckAgreeCycle). */
+    ValueResidency,
 };
 
 /** Result of one injection. */
@@ -124,7 +129,14 @@ struct CheckpointPack
 struct InjectionPhaseStats
 {
     std::uint64_t injections = 0;
-    double prefilterSeconds = 0.0; ///< dead-window queries
+    /** Zero-simulation classifications: transient dead-window hits and
+     *  persistent value-residency hits (split for the bench's
+     *  per-behavior hit-rate table). */
+    std::uint64_t deadWindowHits = 0;
+    std::uint64_t residencyHits = 0;
+    /** Runs ended early by a golden-hash match (any behavior). */
+    std::uint64_t hashConvergeHits = 0;
+    double prefilterSeconds = 0.0; ///< dead-window + residency queries
     double restoreSeconds = 0.0;   ///< checkpoint restore (full or delta)
     double hashSeconds = 0.0;      ///< trajectory hashing in injected runs
     double replaySeconds = 0.0;    ///< simulation proper (run - the above)
@@ -133,6 +145,9 @@ struct InjectionPhaseStats
     operator+=(const InjectionPhaseStats& o)
     {
         injections += o.injections;
+        deadWindowHits += o.deadWindowHits;
+        residencyHits += o.residencyHits;
+        hashConvergeHits += o.hashConvergeHits;
         prefilterSeconds += o.prefilterSeconds;
         restoreSeconds += o.restoreSeconds;
         hashSeconds += o.hashSeconds;
@@ -213,22 +228,41 @@ class FaultInjector
      * to the from-scratch path either way (outcomes depend only on
      * trap + final memory, and a state-hash match pins both to the
      * golden run's).  Persistent behaviors (stuck-at / intermittent)
-     * keep the checkpoint restore but disable the dead-window prefilter
-     * and the hash early-out per fault — both assume the fault is a
-     * one-shot flip the run can outlive.
+     * get persistence-sound equivalents on word-granular storage: the
+     * value-residency prefilter classifies a fault whose forced value
+     * agrees with every remaining golden read as Masked with zero
+     * simulation, and past the residency agree-from cycle the run
+     * compares its (canonical for stuck-at, raw for intermittent)
+     * trajectory hash against golden and early-outs on a match.
+     * Control-bit structures keep the restore but run to completion.
      */
     InjectionResult inject(const FaultSpec& fault);
 
     /**
-     * Sample a uniformly random (bit, cycle) fault in @p structure using
-     * @p rng, stamp it with @p shape, inject it, and classify.  The
-     * draw order (bit, then cycle, then any shape-specific parameters)
-     * is pinned: default-shape sampling is bit-identical to the original
-     * single-flip model, and intermittent duty-cycle parameters are
-     * derived from the same per-injection stream deterministically.
+     * Sample the fault injectRandom() would inject, without running it:
+     * a uniformly random (bit, cycle) in @p structure stamped with
+     * @p shape.  The draw order (bit, then cycle, then any
+     * shape-specific parameters) is pinned: default-shape sampling is
+     * bit-identical to the original single-flip model, and intermittent
+     * duty-cycle parameters are derived from the same per-injection
+     * stream deterministically.  Splitting sampling from injection lets
+     * campaign workers pre-draw a batch and execute it grouped by
+     * checkpoint interval (outcomes are a pure function of the fault,
+     * so execution order is free).
      */
+    FaultSpec sampleRandom(TargetStructure structure, Rng& rng,
+                           const FaultShape& shape = {});
+
+    /** inject(sampleRandom(structure, rng, shape)). */
     InjectionResult injectRandom(TargetStructure structure, Rng& rng,
                                  const FaultShape& shape = {});
+
+    /** Index of the armed pack's delta checkpoint that serves a fault
+     *  at @p cycle (0 without a pack — everything replays from cycle
+     *  0).  Shared-restore batching sorts same-cell persistent
+     *  injections by this key so consecutive runs reuse the same
+     *  restore point. */
+    std::size_t checkpointIndexFor(Cycle cycle) const;
 
     /** The device (for structure sizes). */
     const Gpu& gpu() const { return gpu_; }

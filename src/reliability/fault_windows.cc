@@ -15,6 +15,14 @@ namespace {
  */
 constexpr std::size_t kMaxIntervals = std::size_t{1} << 24;
 
+/**
+ * Safety cap on value-residency slots (256 B each — 64 MB at the cap).
+ * Words past the cap fall back to kResidencyUnknown, i.e. the
+ * stuck-at prefilter turns conservative for them individually while
+ * every word below the cap keeps its exact thresholds.
+ */
+constexpr std::size_t kMaxResidencySlots = std::size_t{1} << 18;
+
 } // namespace
 
 bool
@@ -35,6 +43,35 @@ FaultWindows::observed(TargetStructure structure, std::uint64_t word,
         begin, end, cycle,
         [](const Interval& iv, Cycle c) { return iv.end < c; });
     return it != end && it->begin <= cycle;
+}
+
+Cycle
+FaultWindows::stuckAgreeCycle(TargetStructure structure,
+                              std::uint64_t word, unsigned firstBit,
+                              unsigned width, bool value) const
+{
+    GPR_ASSERT(width >= 1 && firstBit + width <= 32,
+               "stuck-at bit group must lie within one 32-bit word");
+    if (!enabled_)
+        return kNeverAgrees;
+    const StructureWindows& w = forStructure(structure);
+    if (word >= w.residencySlot.size())
+        return kNeverAgrees; // unknown structure/word: stay conservative
+    const std::uint32_t slot = w.residencySlot[word];
+    if (slot == kResidencyNeverRead)
+        return 0; // never read: benign at any cycle
+    if (slot == kResidencyUnknown)
+        return kNeverAgrees;
+    const std::uint32_t* base = w.agreeFrom.data() +
+                                std::size_t{slot} * 64 + (value ? 32 : 0);
+    Cycle worst = 0;
+    for (unsigned b = firstBit; b < firstBit + width; ++b) {
+        const std::uint32_t stamp = base[b];
+        if (stamp == kResidencySaturated)
+            return kNeverAgrees;
+        worst = std::max<Cycle>(worst, stamp);
+    }
+    return worst;
 }
 
 std::size_t
@@ -168,12 +205,13 @@ FaultWindowRecorder::FaultWindowRecorder(const GpuConfig& config)
             static_cast<std::size_t>(config.numSms) * t.wordsPerSm;
         t.lastWrite.assign(total, 0);
         t.perWord.resize(total);
+        t.residencySlot.assign(total, FaultWindows::kResidencyNeverRead);
     }
 }
 
 void
 FaultWindowRecorder::onRead(TargetStructure structure, SmId sm,
-                            std::uint32_t word, Cycle cycle)
+                            std::uint32_t word, Word value, Cycle cycle)
 {
     Tracker& t = tracker(structure);
     if (!t.tracked)
@@ -189,6 +227,31 @@ FaultWindowRecorder::onRead(TargetStructure structure, SmId sm,
         ivs.push_back({begin, cycle});
         ++total_intervals_;
     }
+
+    // Value residency: this read observes `value`, so it disagrees with
+    // stuck-at-1 in every 0 bit and with stuck-at-0 in every 1 bit; a
+    // fault injected at or before this cycle in those (bit, value)
+    // pairs is not provably benign, i.e. agreeFrom advances to cycle+1.
+    std::uint32_t slot = t.residencySlot[w];
+    if (slot == FaultWindows::kResidencyNeverRead) {
+        if (total_residency_slots_ >= kMaxResidencySlots) {
+            t.residencySlot[w] = FaultWindows::kResidencyUnknown;
+            return;
+        }
+        ++total_residency_slots_;
+        slot = static_cast<std::uint32_t>(t.agreeFrom.size() / 64);
+        t.residencySlot[w] = slot;
+        t.agreeFrom.resize(t.agreeFrom.size() + 64, 0);
+    } else if (slot == FaultWindows::kResidencyUnknown) {
+        return;
+    }
+    const std::uint32_t stamp =
+        cycle + 1 >= FaultWindows::kResidencySaturated
+            ? FaultWindows::kResidencySaturated
+            : static_cast<std::uint32_t>(cycle + 1);
+    std::uint32_t* base = t.agreeFrom.data() + std::size_t{slot} * 64;
+    for (unsigned b = 0; b < 32; ++b)
+        base[(((value >> b) & 1u) ? 0 : 32) + b] = stamp;
 }
 
 void
@@ -226,8 +289,12 @@ FaultWindowRecorder::finalize(FaultWindows& out)
             w.offsets.push_back(w.intervals.size());
             ivs = {};
         }
+        w.residencySlot = std::move(t.residencySlot);
+        w.agreeFrom = std::move(t.agreeFrom);
         t.lastWrite = {};
         t.perWord = {};
+        t.residencySlot = {};
+        t.agreeFrom = {};
     }
     out.enabled_ = true;
 }

@@ -29,6 +29,21 @@
  * exactDeadWindows participate; observed() stays conservatively true
  * for every other structure and the injector skips the prefilter for
  * them up front.
+ *
+ * Value residency (persistent-fault prefilter).  The same read-only-
+ * entry argument extends to stuck-at faults: a read-overlay fault never
+ * mutates the raw word, so a stuck-at-v fault in a bit is provably
+ * Masked iff every golden read of its word at or after the fault cycle
+ * already observes the bit equal to v — the forced value then never
+ * changes any value entering computation.  Recording, per tracked word
+ * and bit, the last golden read cycle that *disagrees* with each forced
+ * value collapses this to one threshold per (bit, value):
+ * stuckAgreeCycle() returns the first injection cycle from which the
+ * fault is provably benign, exact by construction for word-granular
+ * storage and conservative (kNeverAgrees) everywhere else.  The same
+ * threshold is sound for intermittent faults queried with their forced
+ * value: inactive phases read the raw (golden) word, so agreement over
+ * all reads is sufficient (if slightly conservative).
  */
 
 #ifndef GPR_RELIABILITY_FAULT_WINDOWS_HH
@@ -93,6 +108,23 @@ class FaultWindows
     bool observed(TargetStructure structure, std::uint64_t word,
                   Cycle cycle) const;
 
+    /** stuckAgreeCycle() result meaning "never provably benign". */
+    static constexpr Cycle kNeverAgrees = ~Cycle{0};
+
+    /**
+     * First cycle C such that an always-forced stuck-at-@p value fault
+     * in bits [@p firstBit, @p firstBit + @p width) of chip-global
+     * @p word of @p structure, injected at any cycle >= C, is provably
+     * Masked: every golden read of the word at or after C observes all
+     * the faulted bits equal to @p value.  0 means the word is never
+     * read (always benign); kNeverAgrees means no such cycle is known
+     * (conservative for disabled/unknown structures, exact otherwise).
+     * Bits must lie within one 32-bit word (the FaultPattern contract).
+     */
+    Cycle stuckAgreeCycle(TargetStructure structure, std::uint64_t word,
+                          unsigned firstBit, unsigned width,
+                          bool value) const;
+
     /** Total recorded intervals (tests / diagnostics). */
     std::size_t intervalCount() const;
 
@@ -118,10 +150,22 @@ class FaultWindows
   private:
     friend class FaultWindowRecorder;
 
+    /** residencySlot entry: the word was never read (always benign). */
+    static constexpr std::uint32_t kResidencyNeverRead = 0xFFFFFFFFu;
+    /** residencySlot entry: residency unknown (slot cap overflow). */
+    static constexpr std::uint32_t kResidencyUnknown = 0xFFFFFFFEu;
+    /** agreeFrom stamp: disagreement too late to represent in 32 bits. */
+    static constexpr std::uint32_t kResidencySaturated = 0xFFFFFFFFu;
+
     struct StructureWindows
     {
         std::vector<std::uint64_t> offsets; ///< words+1 entries (CSR)
         std::vector<Interval> intervals;
+        /** Per word: slot index into agreeFrom, or a sentinel above. */
+        std::vector<std::uint32_t> residencySlot;
+        /** 64 stamps per slot, laid out [value*32 + bit]: the last
+         *  disagreeing golden read cycle + 1 (0 = never disagrees). */
+        std::vector<std::uint32_t> agreeFrom;
     };
 
     const StructureWindows&
@@ -146,7 +190,7 @@ class FaultWindowRecorder : public SimObserver
     explicit FaultWindowRecorder(const GpuConfig& config);
 
     void onRead(TargetStructure structure, SmId sm, std::uint32_t word,
-                Cycle cycle) override;
+                Word value, Cycle cycle) override;
     void onWrite(TargetStructure structure, SmId sm, std::uint32_t word,
                  Cycle cycle) override;
 
@@ -162,6 +206,9 @@ class FaultWindowRecorder : public SimObserver
         std::uint32_t wordsPerSm = 0;
         std::vector<Cycle> lastWrite; ///< next observable start cycle
         std::vector<std::vector<FaultWindows::Interval>> perWord;
+        /** Per word: agreeFrom slot (lazily allocated on first read). */
+        std::vector<std::uint32_t> residencySlot;
+        std::vector<std::uint32_t> agreeFrom; ///< 64 stamps per slot
     };
 
     Tracker& tracker(TargetStructure s)
@@ -171,6 +218,7 @@ class FaultWindowRecorder : public SimObserver
 
     std::array<Tracker, kNumTargetStructures> trackers_;
     std::size_t total_intervals_ = 0;
+    std::size_t total_residency_slots_ = 0;
 };
 
 } // namespace gpr

@@ -51,8 +51,8 @@ std::string_view targetStructureName(TargetStructure s);
  * Temporal behavior of an injected fault.
  *
  *  - **Transient**: one XOR at the fault cycle; the classic SEU model
- *    every prior campaign used, and the only behavior compatible with
- *    the checkpoint engine's dead-window prefilter and hash early-out.
+ *    every prior campaign used.  Served by the checkpoint engine's
+ *    dead-window prefilter and hash early-out.
  *  - **StuckAt0 / StuckAt1**: the faulty cell is forced to 0/1 from the
  *    fault cycle to the end of the run, re-asserted on every access of
  *    the cell (hard/permanent fault).
@@ -73,9 +73,14 @@ enum class FaultBehavior : std::uint8_t
 /** Number of fault behaviors (for iteration / tables). */
 constexpr std::size_t kNumFaultBehaviors = 4;
 
-/** Persistent behaviors outlive the fault cycle, so runs carrying them
- *  can never rejoin the golden trajectory (no hash early-out) and have
- *  no dead windows (a "dead" interval ends at the next re-assertion). */
+/** Persistent behaviors outlive the fault cycle: the forcing is
+ *  re-asserted on every access, so the transient dead-window prefilter
+ *  does not apply (a "dead" interval ends at the next re-assertion) and
+ *  the *raw* state can never literally rejoin the golden trajectory.
+ *  They get persistence-sound equivalents instead: the value-residency
+ *  prefilter (FaultWindows::stuckAgreeCycle) and, past the residency
+ *  agree-from cycle, an overlay-aware hash early-out (see
+ *  FaultInjector::inject). */
 constexpr bool
 faultBehaviorPersistent(FaultBehavior b)
 {

@@ -67,6 +67,7 @@ Gpu::applyFault(const FaultSpec& fault)
     pf.firstBit = local;
     pf.mask = mask;
     pf.value = faultForcedValue(fault);
+    pf.alwaysActive = fault.behavior != FaultBehavior::Intermittent;
     sms_[sm]->bindPersistentFault(pf);
     persistent_sm_ = static_cast<std::int64_t>(sm);
 }
@@ -224,9 +225,10 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
     GPR_ASSERT(!options.recorder || options.hashInterval > 0,
                "recording requires a hash interval");
     GPR_ASSERT(!options.fault || !options.fault->persistent() ||
-                   !options.goldenHashes,
-               "a persistent fault never rejoins the golden trajectory; "
-               "hash early-out must stay disabled");
+                   !options.goldenHashes ||
+                   options.convergeMinCycle > options.fault->cycle,
+               "persistent hash early-out requires a residency-sound "
+               "convergence threshold past the fault cycle");
     if (options.fault &&
         options.fault->behavior == FaultBehavior::Intermittent) {
         GPR_ASSERT(options.fault->intermittentPeriod > 0 &&
@@ -447,11 +449,15 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
                 options.recorder->hashes.push_back(runStateHash(
                     ctx, *img, result.stats.blocksCompleted));
                 result.hashSeconds += secondsSince(t0);
-            } else if (options.goldenHashes && !fault_pending) {
+            } else if (options.goldenHashes && !fault_pending &&
+                       now >= options.convergeMinCycle) {
                 // The flip (if any) landed earlier this iteration, so the
                 // digest reflects post-fault state; matching the golden
                 // fingerprint here means the remaining trajectory is the
-                // golden one — classify without simulating it.
+                // golden one — classify without simulating it.  For a
+                // persistent fault the comparison additionally waits for
+                // convergeMinCycle, past which value residency makes the
+                // (canonical) match imply golden continuation.
                 const std::size_t idx =
                     static_cast<std::size_t>(now / hash_interval) - 1;
                 const auto t0 = PhaseClock::now();

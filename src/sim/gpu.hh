@@ -147,9 +147,10 @@ struct RunOptions
     /** Hard cycle budget; 0 selects the default cap (50M cycles). */
     Cycle maxCycles = 0;
     /** Optional fault to inject during the run (behavior × pattern ×
-     *  target; see sim/fault_model.hh).  Persistent behaviors are
-     *  incompatible with goldenHashes (the trajectory never rejoins
-     *  golden, so hash early-out would be meaningless). */
+     *  target; see sim/fault_model.hh).  A persistent fault may pair
+     *  with goldenHashes only when convergeMinCycle carries a
+     *  residency-sound threshold past the fault cycle (the injector's
+     *  persistent fast path); transient faults need no threshold. */
     std::optional<FaultSpec> fault;
     /** Optional access-trace observer (ACE analysis). */
     SimObserver* observer = nullptr;
@@ -189,6 +190,14 @@ struct RunOptions
      *  after the fault has been applied; on a match the run ends early
      *  with RunResult::convergedToGolden set. */
     const std::vector<std::uint64_t>* goldenHashes = nullptr;
+    /** First cycle at which a goldenHashes match may end the run.  0
+     *  (transient faults) compares at every post-fault boundary.  For
+     *  persistent faults the injector sets this to the fault's
+     *  value-residency agree-from cycle: from there on every golden
+     *  read of the stuck word observes the forced value, so a matching
+     *  (canonical for stuck-at, raw for intermittent) hash pins the
+     *  rest of the run to the golden trajectory. */
+    Cycle convergeMinCycle = 0;
 };
 
 struct RunResult

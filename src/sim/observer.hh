@@ -22,12 +22,17 @@ class SimObserver
   public:
     virtual ~SimObserver() = default;
 
-    /** A word of @p structure was read by an instruction. */
+    /**
+     * A word of @p structure was read by an instruction.  @p value is
+     * the 32-bit word the read observed (observers run on fault-free
+     * passes only, so this equals the raw stored word); control-bit
+     * structures without a word-granular payload report 0.
+     */
     virtual void
     onRead(TargetStructure structure, SmId sm, std::uint32_t word,
-           Cycle cycle)
+           Word value, Cycle cycle)
     {
-        (void)structure; (void)sm; (void)word; (void)cycle;
+        (void)structure; (void)sm; (void)word; (void)value; (void)cycle;
     }
 
     /** A word of @p structure was overwritten by an instruction. */

@@ -86,8 +86,14 @@ SmCore::bindPersistentFault(const PersistentFault& fault)
         const auto word = static_cast<std::uint32_t>(fault.firstBit / 32);
         const auto shift = static_cast<unsigned>(fault.firstBit % 32);
         const Word word_mask = static_cast<Word>(fault.mask) << shift;
-        storageFor(fault.structure)
-            .setStuckBits(word, word_mask, fault.value ? word_mask : 0);
+        WordStorage& storage = storageFor(fault.structure);
+        storage.setStuckBits(word, word_mask, fault.value ? word_mask : 0);
+        // A stuck-at overlay is active from the fault cycle to the end
+        // of the run, so the observable value of the stuck word is its
+        // overlaid one — hash that (the persistent early-out compares
+        // against golden raw hashes; see WordStorage::hashInto).
+        if (fault.alwaysActive)
+            storage.setHashOverlayCanonical(true);
     }
 }
 
@@ -590,11 +596,12 @@ SmCore::readUniformOperand(RunContext& ctx, const WarpContext& w,
         return op.imm;
       case OperandKind::SReg: {
         const std::uint32_t idx = srfIndex(w, op.index);
+        const Word value = srf_->read(idx);
         if (ctx.observer) {
             ctx.observer->onRead(TargetStructure::ScalarRegisterFile, id_,
-                                 idx, now);
+                                 idx, value, now);
         }
-        return srf_->read(idx);
+        return value;
       }
       default:
         panic("operand is not uniform: ", op.toString());
@@ -609,11 +616,12 @@ SmCore::readLaneOperand(RunContext& ctx, const WarpContext& w,
     if (op.kind != OperandKind::VReg)
         return uniform_value;
     const std::uint32_t idx = vrfIndex(w, op.index, lane);
+    const Word value = vrf_.read(idx);
     if (ctx.observer) {
         ctx.observer->onRead(TargetStructure::VectorRegisterFile, id_, idx,
-                             now);
+                             value, now);
     }
-    return vrf_.read(idx);
+    return value;
 }
 
 void
@@ -698,7 +706,7 @@ SmCore::popToNextPath(RunContext& ctx, WarpContext& w, Cycle now,
         w.stack.pop_back();
         if (ctx.observer && depth < kSimtStackDepth) {
             ctx.observer->onRead(TargetStructure::SimtStack, id_,
-                                 simtUnit(w, 1 + depth), now);
+                                 simtUnit(w, 1 + depth), 0, now);
         }
         const LaneMask live = top.mask & ~w.exitedMask;
         if (live == 0)
@@ -819,13 +827,13 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
         // updates them (the PC always advances): the PC/mask unit of
         // the SIMT-stack target is read and rewritten each issue.
         ctx.observer->onRead(TargetStructure::SimtStack, id_,
-                             simtUnit(w, 0), now);
+                             simtUnit(w, 0), 0, now);
         ctx.observer->onWrite(TargetStructure::SimtStack, id_,
                               simtUnit(w, 0), now);
         if (inst.guard != kNoPred) {
             ctx.observer->onRead(
                 TargetStructure::PredicateFile, id_,
-                predUnit(w, static_cast<unsigned>(inst.guard)), now);
+                predUnit(w, static_cast<unsigned>(inst.guard)), 0, now);
         }
     }
 
@@ -984,7 +992,7 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
         } else {
             if (inst.op == Opcode::Selp && ctx.observer) {
                 ctx.observer->onRead(TargetStructure::PredicateFile, id_,
-                                     predUnit(w, inst.predSrc), now);
+                                     predUnit(w, inst.predSrc), 0, now);
             }
             const LaneMask sel =
                 inst.op == Opcode::Selp ? w.preds[inst.predSrc] : 0;
@@ -1019,7 +1027,7 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
             // Guard-false lanes merge the old predicate value into the
             // result, so SETP both reads and writes its destination.
             ctx.observer->onRead(TargetStructure::PredicateFile, id_,
-                                 predUnit(w, inst.predDst), now);
+                                 predUnit(w, inst.predDst), 0, now);
         }
         LaneMask result = w.preds[inst.predDst] & ~exec;
         for_each_lane(exec, [&](unsigned lane) {
@@ -1235,21 +1243,22 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
             }
 
             if (is_load) {
+                const Word loaded = lds_.read(idx);
                 if (ctx.observer) {
                     ctx.observer->onRead(TargetStructure::SharedMemory,
-                                         id_, idx, now);
+                                         id_, idx, loaded, now);
                 }
-                writeVReg(ctx, w, inst.dst.index, lane, lds_.read(idx),
-                          now);
+                writeVReg(ctx, w, inst.dst.index, lane, loaded, now);
             } else {
                 const Word v = readLaneOperand(ctx, w, inst.src[1], lane,
                                                now, val_uni);
                 if (is_atomic) {
+                    const Word old = lds_.read(idx);
                     if (ctx.observer) {
                         ctx.observer->onRead(TargetStructure::SharedMemory,
-                                             id_, idx, now);
+                                             id_, idx, old, now);
                     }
-                    lds_.write(idx, lds_.read(idx) + v);
+                    lds_.write(idx, old + v);
                 } else {
                     lds_.write(idx, v);
                 }

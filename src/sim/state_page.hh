@@ -155,6 +155,22 @@ class PageTracker
     }
 
     /**
+     * Cached salted digest of page @p p.  Valid only while the page is
+     * not hash-dirty — i.e. immediately after a digestSum() pass — which
+     * is exactly when the canonical-overlay hash needs it to swap one
+     * page's contribution out of the sum.
+     */
+    std::uint64_t
+    cachedPageDigest(std::size_t p) const
+    {
+        GPR_ASSERT(p < digest_.size() &&
+                       (hash_dirty_[p >> 6] &
+                        (std::uint64_t{1} << (p & 63))) == 0,
+                   "page digest not cached");
+        return digest_[p];
+    }
+
+    /**
      * Copy every restore-dirty page of @p words back from @p baseline
      * (same size), clearing the restore-dirty set and marking the
      * reverted pages hash-dirty.  After this the array's content equals

@@ -62,6 +62,17 @@ class WordStorage
     /** Toggle the bound overlay (persistent faults tick this per cycle). */
     void setStuckEnabled(bool enabled);
 
+    /**
+     * Hash the *observable* value of the stuck word instead of its raw
+     * value: hashInto() substitutes the stuck page's cached digest with
+     * the digest of the same page with the overlay applied to the stuck
+     * word.  Sound only for always-active overlays (stuck-at faults),
+     * where the overlaid value is the one every future read returns —
+     * an intermittent fault re-exposes the raw word in inactive phases,
+     * so its hash must stay raw.  Cleared by clearStuck()/revertTo().
+     */
+    void setHashOverlayCanonical(bool on);
+
     /** Drop the overlay entirely. */
     void clearStuck();
 
@@ -85,11 +96,14 @@ class WordStorage
      * steers future allocations, hence future behaviour).  The word
      * contents enter as a sum of cached per-page digests, so the cost is
      * proportional to the pages written since the previous hash, not to
-     * the storage size.  The stuck-bit overlay is deliberately NOT
-     * hashed: it is only ever bound during persistent-fault runs, and
-     * those disable state hashing entirely (the trajectory can never
-     * rejoin golden), so including it would change the hash definition
-     * for nothing.
+     * the storage size.  The stuck-bit overlay is by default NOT hashed
+     * (the raw word is the architecturally retained state, which is what
+     * an intermittent fault re-exposes when inactive); with
+     * setHashOverlayCanonical() armed — always-active stuck-at faults —
+     * the stuck word contributes its overlaid (observable) value
+     * instead, which is what lets a stuck-at run compare against the
+     * golden trajectory's raw hashes (see the persistent fast path in
+     * reliability/fault_injector.hh).
      */
     void hashInto(StateHash& h) const;
 
@@ -163,6 +177,7 @@ class WordStorage
     Word stuck_mask_ = 0;
     Word stuck_value_ = 0;
     bool stuck_enabled_ = false;
+    bool hash_overlay_canonical_ = false;
 };
 
 } // namespace gpr

@@ -25,8 +25,8 @@ TEST_F(AceSynthetic, WriteThenReadsCountsToLastRead)
     AceAnalyzer ace(cfg_, AceMode::Standard);
     ace.onAlloc(kRf, 0, 0, 8, 0);
     ace.onWrite(kRf, 0, 3, 10);
-    ace.onRead(kRf, 0, 3, 20);
-    ace.onRead(kRf, 0, 3, 50);
+    ace.onRead(kRf, 0, 3, 0, 20);
+    ace.onRead(kRf, 0, 3, 0, 50);
     ace.onWrite(kRf, 0, 3, 70); // commits [10, 50]
     ace.onKernelEnd(100);        // second epoch never read: dead
     EXPECT_EQ(ace.aceUnitCycles(kRf), 40u);
@@ -47,7 +47,7 @@ TEST_F(AceSynthetic, ConservativeModeExtendsToOverwrite)
     AceAnalyzer ace(cfg_, AceMode::Conservative);
     ace.onAlloc(kRf, 0, 0, 4, 0);
     ace.onWrite(kRf, 0, 1, 10);
-    ace.onRead(kRf, 0, 1, 15);
+    ace.onRead(kRf, 0, 1, 0, 15);
     ace.onWrite(kRf, 0, 1, 60); // conservative: [10, 60]
     ace.onKernelEnd(100);
     EXPECT_EQ(ace.aceUnitCycles(kRf), 50u);
@@ -58,7 +58,7 @@ TEST_F(AceSynthetic, FreeCommitsPendingInterval)
     AceAnalyzer ace(cfg_, AceMode::Standard);
     ace.onAlloc(kLds, 1, 0, 16, 0);
     ace.onWrite(kLds, 1, 2, 10);
-    ace.onRead(kLds, 1, 2, 30);
+    ace.onRead(kLds, 1, 2, 0, 30);
     ace.onFree(kLds, 1, 0, 16, 40); // commits [10, 30]
     ace.onKernelEnd(80);
     EXPECT_EQ(ace.aceUnitCycles(kLds), 20u);
@@ -69,7 +69,7 @@ TEST_F(AceSynthetic, KernelEndCommitsOpenInterval)
     AceAnalyzer ace(cfg_, AceMode::Standard);
     ace.onAlloc(kRf, 0, 0, 4, 0);
     ace.onWrite(kRf, 0, 0, 10);
-    ace.onRead(kRf, 0, 0, 90);
+    ace.onRead(kRf, 0, 0, 0, 90);
     ace.onKernelEnd(100); // commits [10, 90]
     EXPECT_EQ(ace.aceUnitCycles(kRf), 80u);
 }
@@ -80,7 +80,7 @@ TEST_F(AceSynthetic, ReadOfUninitialisedAllocationIsConservative)
     // counts from the alloc (undefined contents could matter).
     AceAnalyzer ace(cfg_, AceMode::Standard);
     ace.onAlloc(kRf, 0, 0, 4, 5);
-    ace.onRead(kRf, 0, 2, 35);
+    ace.onRead(kRf, 0, 2, 0, 35);
     ace.onKernelEnd(50);
     EXPECT_EQ(ace.aceUnitCycles(kRf), 30u);
 }
@@ -91,7 +91,7 @@ TEST_F(AceSynthetic, SmIndexingSeparatesInstances)
     ace.onAlloc(kRf, 0, 0, 4, 0);
     ace.onAlloc(kRf, 1, 0, 4, 0);
     ace.onWrite(kRf, 0, 0, 10);
-    ace.onRead(kRf, 1, 0, 40); // different SM: separate word
+    ace.onRead(kRf, 1, 0, 0, 40); // different SM: separate word
     ace.onWrite(kRf, 0, 0, 50); // SM0 word unread => dead
     ace.onKernelEnd(60);
     // Only SM1's alloc-to-read interval counts: [0, 40].

@@ -217,9 +217,14 @@ TEST(FaultModel, DefaultShapeCampaignBitIdenticalToShapelessApi)
 TEST(FaultModel, PersistentDifferentialAcrossEnginesAndStructures)
 {
     // For every persistent behavior, the checkpoint-restore engine must
-    // classify exactly like the from-scratch engine — and neither
-    // shortcut (dead-window prefilter, hash early-out) may fire, since
-    // both are transient-only-sound.
+    // classify exactly like the from-scratch engine.  The legacy engine
+    // never shortcuts; the checkpoint engine may take the persistent
+    // fast path (value-residency prefilter, residency-gated hash
+    // early-out) on word storage — and any shortcut it takes must agree
+    // with the legacy engine's fully simulated verdict, which is the
+    // differential gate for the fast path's soundness.  Control-bit
+    // structures (pred/simt) have no fast path and must stay
+    // shortcut-free.
     constexpr std::size_t kInjections = 12;
     const GpuConfig configs[] = {test::smallCudaConfig(),
                                  test::smallSiConfig()};
@@ -250,7 +255,16 @@ TEST(FaultModel, PersistentDifferentialAcrossEnginesAndStructures)
                         << a.fault.bitIndex << " cycle " << a.fault.cycle;
                     EXPECT_EQ(a.trap, b.trap);
                     EXPECT_EQ(a.shortcut, InjectionShortcut::None);
-                    EXPECT_EQ(b.shortcut, InjectionShortcut::None);
+                    // The persistent fast path never reuses the
+                    // transient-only dead-window shortcut, and a
+                    // shortcut always means Masked.
+                    EXPECT_NE(b.shortcut, InjectionShortcut::DeadWindow);
+                    if (b.shortcut != InjectionShortcut::None) {
+                        EXPECT_EQ(b.outcome, FaultOutcome::Masked);
+                    }
+                    if (s == kPred || s == kSimt) {
+                        EXPECT_EQ(b.shortcut, InjectionShortcut::None);
+                    }
                     if (behavior == FaultBehavior::Intermittent) {
                         EXPECT_GE(a.fault.intermittentPeriod, 8u);
                         EXPECT_LE(a.fault.intermittentPeriod, 64u);
@@ -272,6 +286,107 @@ TEST(FaultModel, PersistentDifferentialAcrossEnginesAndStructures)
     }
     // The sweep must hit real failures, or it proves nothing.
     EXPECT_GT(unmasked_total, 0u);
+}
+
+TEST(FaultModel, StuckAgreeCycleTracksLastDisagreeingRead)
+{
+    const GpuConfig cfg = test::smallCudaConfig();
+    FaultWindowRecorder rec(cfg);
+    // Word 7 of SM 0's register file: read as 0b1 at cycle 10, then as
+    // 0b0 at cycle 20.
+    rec.onRead(kRf, 0, 7, 0x1, 10);
+    rec.onRead(kRf, 0, 7, 0x0, 20);
+    FaultWindows fw;
+    rec.finalize(fw);
+
+    // Bit 0 last reads 0 at cycle 20, so stuck-at-1 is benign only from
+    // cycle 21; it last reads 1 at cycle 10, so stuck-at-0 from 11.
+    EXPECT_EQ(fw.stuckAgreeCycle(kRf, 7, 0, 1, true), 21u);
+    EXPECT_EQ(fw.stuckAgreeCycle(kRf, 7, 0, 1, false), 11u);
+    // Bit 1 reads 0 both times: stuck-at-0 is benign from the start,
+    // stuck-at-1 only after the last read.
+    EXPECT_EQ(fw.stuckAgreeCycle(kRf, 7, 1, 1, false), 0u);
+    EXPECT_EQ(fw.stuckAgreeCycle(kRf, 7, 1, 1, true), 21u);
+    // A never-read word is benign at any cycle.
+    EXPECT_EQ(fw.stuckAgreeCycle(kRf, 3, 5, 1, true), 0u);
+    // Multi-bit groups take the max over their bits.
+    EXPECT_EQ(fw.stuckAgreeCycle(kRf, 7, 0, 2, false), 11u);
+    // Control-bit structures have no residency: stay conservative.
+    EXPECT_EQ(fw.stuckAgreeCycle(kPred, 0, 0, 1, true),
+              FaultWindows::kNeverAgrees);
+}
+
+TEST(FaultModel, ResidencyPrefilterVerdictsMatchFullSimulation)
+{
+    // Randomized (structure, bit, cycle) samples: every prefilter
+    // verdict of the fast path must agree with a full from-scratch
+    // simulation of the same fault, and a ValueResidency shortcut must
+    // only ever claim Masked faults the legacy engine also masks.
+    const GpuConfig configs[] = {test::smallCudaConfig(),
+                                 test::smallSiConfig()};
+    constexpr auto kSrf = TargetStructure::ScalarRegisterFile;
+
+    std::size_t residency_hits = 0;
+    for (const GpuConfig& cfg : configs) {
+        const WorkloadInstance inst = buildFor(cfg, "reduction");
+        FaultInjector legacy(cfg, inst);
+        FaultInjector ckpt(cfg, inst);
+        ckpt.adoptGoldenCycles(legacy.goldenCycles());
+        ckpt.buildCheckpointPack(4);
+
+        Rng rng(0x51CC + cfg.numSms);
+        for (TargetStructure s : {kRf, kLds, kSrf}) {
+            if (legacy.gpu().structureBits(s) == 0)
+                continue; // no SRF on this chip
+            for (FaultBehavior behavior :
+                 {FaultBehavior::StuckAt0, FaultBehavior::StuckAt1}) {
+                for (int i = 0; i < 10; ++i) {
+                    FaultSpec fault;
+                    fault.structure = s;
+                    fault.behavior = behavior;
+                    fault.bitIndex =
+                        rng.below(legacy.gpu().structureBits(s));
+                    fault.cycle = rng.below(legacy.goldenCycles());
+                    const InjectionResult b = ckpt.inject(fault);
+                    const InjectionResult a = legacy.inject(fault);
+                    EXPECT_EQ(a.outcome, b.outcome)
+                        << cfg.name << " " << targetStructureName(s)
+                        << " " << faultBehaviorName(behavior) << " bit "
+                        << fault.bitIndex << " cycle " << fault.cycle;
+                    EXPECT_EQ(a.trap, b.trap);
+                    if (b.shortcut == InjectionShortcut::ValueResidency) {
+                        EXPECT_EQ(a.outcome, FaultOutcome::Masked);
+                        ++residency_hits;
+                    }
+                }
+            }
+        }
+    }
+    // The battery must actually exercise the prefilter.
+    EXPECT_GT(residency_hits, 0u);
+}
+
+TEST(FaultModel, PersistentCampaignsBitIdenticalAcrossEngines)
+{
+    // Campaign-level differential: the fast-path engine (prefilter,
+    // masked early-out, shared-restore batching) must reproduce the
+    // from-scratch engine's counts exactly, per persistent behavior.
+    const GpuConfig cfg = test::smallCudaConfig();
+    const WorkloadInstance inst = buildFor(cfg, "reduction");
+
+    for (FaultBehavior behavior : kPersistentBehaviors) {
+        CampaignConfig fast;
+        fast.plan.injections = 48;
+        fast.numThreads = 2;
+        fast.shape = FaultShape{behavior, FaultPattern::SingleBit};
+        CampaignConfig legacy = fast;
+        legacy.checkpoints = 0;
+        const CampaignResult x = runCampaign(cfg, inst, kRf, fast);
+        const CampaignResult y = runCampaign(cfg, inst, kRf, legacy);
+        EXPECT_EQ(x.masked, y.masked) << faultBehaviorName(behavior);
+        EXPECT_EQ(x.sdc, y.sdc) << faultBehaviorName(behavior);
+        EXPECT_EQ(x.due, y.due) << faultBehaviorName(behavior);
+    }
 }
 
 TEST(FaultModel, MultiBitDifferentialAndAlignment)
