@@ -28,6 +28,7 @@ const WorkloadInstance&
 cachedInstance(GpuModel model, const char* workload)
 {
     // One instance per (model, workload); benchmarks only read it.
+    // gpr:guarded_by(single-threaded: bench main thread only)
     static std::map<std::pair<GpuModel, std::string>, WorkloadInstance>
         cache;
     const auto key = std::make_pair(model, std::string(workload));

@@ -254,6 +254,21 @@ clopperPearsonInterval(std::size_t successes, std::size_t n,
 }
 
 double
+fixedOrderSum(const double* xs, std::size_t n)
+{
+    NeumaierSum sum;
+    for (std::size_t i = 0; i < n; ++i)
+        sum.add(xs[i]);
+    return sum.value();
+}
+
+double
+fixedOrderSum(const std::vector<double>& xs)
+{
+    return fixedOrderSum(xs.data(), xs.size());
+}
+
+double
 pearsonCorrelation(const std::vector<double>& xs,
                    const std::vector<double>& ys)
 {
@@ -262,25 +277,20 @@ pearsonCorrelation(const std::vector<double>& xs,
     if (n < 2)
         return 0.0;
 
-    double mx = 0.0, my = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        mx += xs[i];
-        my += ys[i];
-    }
-    mx /= static_cast<double>(n);
-    my /= static_cast<double>(n);
+    const double mx = fixedOrderSum(xs) / static_cast<double>(n);
+    const double my = fixedOrderSum(ys) / static_cast<double>(n);
 
-    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    NeumaierSum sxy, sxx, syy;
     for (std::size_t i = 0; i < n; ++i) {
         const double dx = xs[i] - mx;
         const double dy = ys[i] - my;
-        sxy += dx * dy;
-        sxx += dx * dx;
-        syy += dy * dy;
+        sxy.add(dx * dy);
+        sxx.add(dx * dx);
+        syy.add(dy * dy);
     }
-    if (sxx <= 0.0 || syy <= 0.0)
+    if (sxx.value() <= 0.0 || syy.value() <= 0.0)
         return 0.0;
-    return sxy / std::sqrt(sxx * syy);
+    return sxy.value() / std::sqrt(sxx.value() * syy.value());
 }
 
 } // namespace gpr

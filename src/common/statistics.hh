@@ -13,6 +13,7 @@
 #ifndef GPR_COMMON_STATISTICS_HH
 #define GPR_COMMON_STATISTICS_HH
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -99,6 +100,42 @@ double incompleteBetaRegularized(double a, double b, double x);
 
 /** Quantile of the Beta(a, b) distribution: x with I_x(a, b) = p. */
 double betaQuantile(double p, double a, double b);
+
+/**
+ * Neumaier-compensated left-to-right accumulator — the repository's
+ * fixed-order float reducer (lint rule D5).  Floating-point addition is
+ * not associative, so any reduction whose order is implicit (container
+ * iteration, parallel merge completion order) can change its low bits
+ * between runs and break bit-identity gates.  Routing sums through this
+ * class makes the order an explicit property of the call sequence, and
+ * the compensation term removes the incentive to regroup for accuracy.
+ */
+class NeumaierSum
+{
+  public:
+    void
+    add(double x)
+    {
+        const double t = sum_ + x;
+        // The smaller-magnitude operand's lost low bits.
+        if (std::abs(sum_) >= std::abs(x))
+            comp_ += (sum_ - t) + x;
+        else
+            comp_ += (x - t) + sum_;
+        sum_ = t;
+    }
+
+    double value() const { return sum_ + comp_; }
+
+  private:
+    double sum_ = 0.0;
+    double comp_ = 0.0;
+};
+
+/** Compensated sum of @p xs in index order — the fixed-order reduction
+ *  every statistics path must use for float series (lint rule D5). */
+double fixedOrderSum(const double* xs, std::size_t n);
+double fixedOrderSum(const std::vector<double>& xs);
 
 /** Pearson correlation of two equally-sized series (0 if degenerate). */
 double pearsonCorrelation(const std::vector<double>& xs,

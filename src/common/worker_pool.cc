@@ -83,6 +83,9 @@ WorkerPool::workerLoop()
 WorkerPool&
 sharedWorkerPool()
 {
+    // Magic-static init is thread-safe; all post-init state is behind
+    // the pool's own lock.
+    // gpr:guarded_by(WorkerPool::mutex_)
     static WorkerPool pool;
     return pool;
 }

@@ -142,12 +142,13 @@ StudyResult::claims() const
 {
     Claims c;
     std::vector<double> rf_fi, rf_occ, lm_fi, lm_occ;
+    std::vector<double> ace_seconds, fi_seconds;
     RunningStat rf_gap, lm_gap;
 
     for (const ReliabilityReport& r : reports) {
-        c.aceSecondsTotal += r.aceWallSeconds;
+        ace_seconds.push_back(r.aceWallSeconds);
         for (const StructureReport& sr : r.structures)
-            c.fiSecondsTotal += sr.fiWallSeconds;
+            fi_seconds.push_back(sr.fiWallSeconds);
 
         // Only measured FI numbers feed the claim statistics — a
         // structure excluded by --structures (or --ace-only) left
@@ -168,6 +169,11 @@ StudyResult::claims() const
             lm_gap.push(std::abs(lm.avfAce - lm.avfFi));
         }
     }
+    // Report order is the fixed reduction order (lint rule D5): the
+    // totals stay bit-identical however the shards that produced the
+    // reports were scheduled.
+    c.aceSecondsTotal = fixedOrderSum(ace_seconds);
+    c.fiSecondsTotal = fixedOrderSum(fi_seconds);
     c.rfAvfOccupancyCorrelation = pearsonCorrelation(rf_fi, rf_occ);
     c.lmAvfOccupancyCorrelation = pearsonCorrelation(lm_fi, lm_occ);
     c.rfMeanAceOverestimate = rf_gap.mean();

@@ -1,5 +1,9 @@
 #include "core/orchestrator.hh"
 
+// gpr:lint-allow-file(D1): timing whitelist — steady_clock reads feed
+// only progress/busy-seconds diagnostics, never outcome counts, hashes,
+// or RNG draws (resume bit-identity strips wall-clock fields).
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -807,6 +811,10 @@ runStudy(const StudySpec& spec, StudyProgress* progress_out)
                         std::lock_guard<std::mutex> lock(state_mutex);
                         merge_locked(*campaign, key, counts,
                                      /*executed=*/true);
+                        // Per-worker accumulation merged at join: the
+                        // injector is this task's own; the only shared
+                        // write is here, under the state mutex.
+                        progress.phaseStats += injector.phaseStats();
                         --campaign->outstanding;
                         if (campaign->outstanding == 0)
                             pump_locked(*campaign, to_run);

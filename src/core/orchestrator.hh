@@ -95,6 +95,12 @@ struct StudyProgress
     std::size_t peakPackFullBytes = 0;
     /** Aggregate worker-seconds across executed shards. */
     double shardBusySeconds = 0.0;
+    /** Aggregate per-phase injection-engine breakdown across executed
+     *  shards (per-worker injectors merged at shard completion under
+     *  the orchestrator's state mutex — see CampaignResult::phaseStats
+     *  for the discipline).  Hit counts are bit-identical at any
+     *  jobs/shards configuration; the seconds are diagnostics. */
+    InjectionPhaseStats phaseStats;
     /** Wall-clock spent replaying the JSONL shard store on resume
      *  (0 when not resuming). */
     double resumeLoadSeconds = 0.0;

@@ -1,5 +1,9 @@
 #include "reliability/campaign.hh"
 
+// gpr:lint-allow-file(D1): timing whitelist — steady_clock reads feed
+// only busy-seconds diagnostics (wallSeconds/phaseStats), never outcome
+// counts, hashes, or RNG draws.
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -140,6 +144,10 @@ runCampaign(const GpuConfig& config, const WorkloadInstance& instance,
             // claim the same wall-clock span).
             result.wallSeconds +=
                 std::chrono::duration<double>(t1 - t0).count();
+            // Per-worker accumulation merged at join: each worker's
+            // injector owns its phase stats; the only shared write is
+            // this one, under the merge mutex.
+            result.phaseStats += injector.phaseStats();
         };
 
         unsigned workers =

@@ -1,5 +1,9 @@
 #include "reliability/fault_injector.hh"
 
+// gpr:lint-allow-file(D1): timing whitelist — PhaseClock reads feed only
+// the InjectionPhaseStats seconds diagnostics, never outcomes, hashes,
+// or RNG draws.
+
 #include <algorithm>
 #include <chrono>
 

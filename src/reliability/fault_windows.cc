@@ -116,6 +116,9 @@ FaultWindows::placeCheckpoints(const GpuConfig& config, Cycle goldenCycles,
                 for (Cycle c = lo; c <= hi && k < kBuckets; ++k) {
                     const Cycle next = bucket_lo(k + 1);
                     const Cycle span = std::min<Cycle>(hi + 1, next) - c;
+                    // Single-threaded fold in fixed registry/interval
+                    // order — the order IS the spec.
+                    // gpr:lint-allow(D5): deterministic fixed-order fold
                     weight[k] += 32.0 * static_cast<double>(span);
                     c += span;
                 }
@@ -126,6 +129,7 @@ FaultWindows::placeCheckpoints(const GpuConfig& config, Cycle goldenCycles,
             const double bits = static_cast<double>(bits_per_sm) *
                                 config.numSms;
             for (std::size_t k = 0; k < kBuckets; ++k) {
+                // gpr:lint-allow(D5): single-threaded, fixed order
                 weight[k] += bits * static_cast<double>(
                                         bucket_lo(k + 1) - bucket_lo(k));
             }

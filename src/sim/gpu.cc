@@ -1,5 +1,8 @@
 #include "sim/gpu.hh"
 
+// gpr:lint-allow-file(D1): timing whitelist — PhaseClock reads feed only
+// per-phase seconds diagnostics, never simulated state or cycle counts.
+
 #include <algorithm>
 #include <chrono>
 #include <limits>

@@ -265,8 +265,26 @@ class PageTracker
   private:
     std::size_t num_words_ = 0;
     std::vector<std::uint64_t> restore_dirty_;
-    /** Mutable with digest_: the cache refreshes inside const hashing. */
+    /**
+     * Mutable with digest_: the cache refreshes inside const hashing.
+     *
+     * Guard discipline (lint rule D4): single-writer by ownership, not
+     * by lock.  A PageTracker rides inside the WordStorage/MemoryImage
+     * of exactly one Gpu, and every Gpu is owned by exactly one
+     * FaultInjector, which campaign/orchestrator workers construct
+     * per-task and never share.  The only cross-thread object is the
+     * cell's CheckpointPack, which is adopted through
+     * shared_ptr<const CheckpointPack> — its trackers are never hashed
+     * or reverted after publication.  Shard pre-draw batching keeps
+     * this property: sampleRandom() only draws from the injector's own
+     * RNG stream and reads pack windows (const); the stable_sort and
+     * the subsequent inject() calls all run on the worker that owns
+     * the injector.  Verified dynamically by the TSan CI job over the
+     * campaign/checkpoint/orchestrator test subset.
+     */
+    // gpr:guarded_by(single-writer: owning FaultInjector's worker task)
     mutable std::vector<std::uint64_t> hash_dirty_;
+    // gpr:guarded_by(single-writer: owning FaultInjector's worker task)
     mutable std::vector<std::uint64_t> digest_;
 };
 

@@ -1,0 +1,13 @@
+// Fixture: violates no rule, under any path — the silence baseline.
+// Not compiled into the build — tests/test_lint.cc lints it as text.
+#include <cstdint>
+#include <vector>
+
+std::uint64_t
+sumCounts(const std::vector<std::uint64_t>& counts)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts)
+        total += c;
+    return total;
+}

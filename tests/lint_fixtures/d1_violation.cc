@@ -1,0 +1,18 @@
+// Fixture: every D1 nondeterminism source the checker must catch.
+// Not compiled into the build — tests/test_lint.cc lints it as text.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+drawEntropy()
+{
+    std::random_device rd;                           // D1: hardware entropy
+    std::mt19937 gen;                                // D1: default-seeded
+    int r = rand();                                  // D1: libc rand
+    long t = time(nullptr);                          // D1: wall-clock
+    auto now = std::chrono::steady_clock::now();     // D1: clock read
+    (void)now;
+    return static_cast<int>(rd() + gen() + static_cast<unsigned>(r + t));
+}

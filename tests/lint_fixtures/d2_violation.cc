@@ -1,0 +1,21 @@
+// Fixture: D2 address-ordered containers and unordered iteration.
+// Not compiled into the build — tests/test_lint.cc lints it as text.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Node
+{
+};
+
+std::vector<std::string>
+exportNames(const std::unordered_map<std::string, int>& index)
+{
+    std::map<Node*, int> order;       // D2: pointer-keyed ordered map
+    (void)order;
+    std::vector<std::string> out;
+    for (const auto& kv : index)      // D2: hash-order iteration
+        out.push_back(kv.first);
+    return out;
+}

@@ -1,0 +1,13 @@
+// Fixture: D3 raw threading outside common/worker_pool.*.
+// Not compiled into the build — tests/test_lint.cc lints it as text.
+#include <future>
+#include <thread>
+
+void
+spawnWork()
+{
+    std::thread t([] {});                        // D3: raw std::thread
+    t.detach();                                  // D3: detach
+    auto f = std::async([] { return 1; });       // D3: std::async
+    (void)f;
+}

@@ -1,0 +1,17 @@
+// Fixture: D4 unguarded mutable member and non-const static object.
+// Not compiled into the build — tests/test_lint.cc lints it as text.
+#include <cstddef>
+
+struct Cache
+{
+    std::size_t
+    lookup(std::size_t k) const
+    {
+        ++hits_;
+        return k;
+    }
+
+    mutable std::size_t hits_ = 0;    // D4: mutable, no guard
+};
+
+static std::size_t g_counter = 0;     // D4: non-const static object

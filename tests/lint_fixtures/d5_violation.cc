@@ -1,0 +1,15 @@
+// Fixture: D5 order-dependent float accumulation in a statistics path.
+// Not compiled into the build — tests/test_lint.cc lints it under a
+// virtual src/common/statistics_* path so the D5 path filter applies.
+#include <numeric>
+#include <vector>
+
+double
+totalSeconds(const std::vector<double>& samples)
+{
+    double busySeconds = 0.0;
+    for (double s : samples)
+        busySeconds += s;             // D5: container-order fold
+    return busySeconds +
+           std::accumulate(samples.begin(), samples.end(), 0.0); // D5
+}

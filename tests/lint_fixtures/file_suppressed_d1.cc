@@ -1,0 +1,22 @@
+// Fixture: the file-level timing whitelist — clock reads allowed
+// file-wide, but only for rule D1; other rules still fire.
+// Not compiled into the build — tests/test_lint.cc lints it as text.
+
+// gpr:lint-allow-file(D1): timing whitelist — progress display only
+
+#include <chrono>
+#include <thread>
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point start)
+{
+    const auto now = std::chrono::steady_clock::now(); // D1 allowed
+    return std::chrono::duration<double>(now - start).count();
+}
+
+void
+stillCaught()
+{
+    std::thread t([] {});   // D3 still fires: the allow names only D1
+    t.join();
+}

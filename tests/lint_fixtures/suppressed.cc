@@ -1,0 +1,38 @@
+// Fixture: the same violating patterns as the d*_violation files, each
+// silenced through a designed suppression form — the allow round-trip.
+// Not compiled into the build — tests/test_lint.cc lints it as text.
+#include <chrono>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+int
+entropySeed()
+{
+    // gpr:lint-allow(D1): explicit entropy escape for --seed=random
+    std::random_device rd;
+    return static_cast<int>(rd());
+}
+
+void
+ownedThread()
+{
+    std::thread t([] {}); // gpr:lint-allow(D3): joined below, test-only
+    t.join();
+}
+
+std::size_t
+orderInsensitiveCount(const std::unordered_map<int, int>& m)
+{
+    std::size_t n = 0;
+    // gpr:lint-allow(D2): order-insensitive fold (pure count)
+    for (const auto& kv : m)
+        n += static_cast<std::size_t>(kv.second > 0);
+    return n;
+}
+
+struct GuardedCache
+{
+    // gpr:guarded_by(owner's mutex_)
+    mutable std::size_t hits_ = 0;
+};

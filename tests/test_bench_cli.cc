@@ -16,6 +16,7 @@ bool
 parseArgs(BenchCli& cli, std::vector<std::string> args)
 {
     std::vector<char*> argv;
+    // gpr:guarded_by(single-threaded: test main thread only)
     static std::string prog = "bench";
     argv.push_back(prog.data());
     for (auto& a : args)

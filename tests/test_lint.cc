@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Fixture battery for gpr_lint (tools/gpr_lint): one violating snippet
+ * per rule D1–D5 asserted to fire, a clean file asserted silent, and
+ * the suppression annotations round-tripped.  The fixtures live in
+ * tests/lint_fixtures/ and are linted as text — they are never compiled
+ * into the build, so they can exhibit the exact patterns the rules ban.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpr_lint/lint.hh"
+
+namespace {
+
+using gpr_lint::Finding;
+using gpr_lint::LintOptions;
+using gpr_lint::Rule;
+
+std::string
+fixtureSource(const std::string& name)
+{
+    const std::string path =
+        std::string(GPR_LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::size_t
+countRule(const std::vector<Finding>& findings, Rule r)
+{
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [&](const Finding& f) { return f.rule == r; }));
+}
+
+/** Lint fixture @p name as if it lived at @p virtualPath. */
+std::vector<Finding>
+lintFixture(const std::string& name, const std::string& virtualPath,
+            const LintOptions& options = {})
+{
+    return gpr_lint::lintSource(virtualPath, fixtureSource(name),
+                                options);
+}
+
+TEST(LintRules, D1NondeterminismSourcesFire)
+{
+    const auto f = lintFixture("d1_violation.cc", "src/core/fixture.cc");
+    // random_device, default-seeded engine, rand(), time(), clock read.
+    EXPECT_GE(countRule(f, Rule::D1_NondeterminismSource), 5u);
+    EXPECT_EQ(f.size(), countRule(f, Rule::D1_NondeterminismSource));
+}
+
+TEST(LintRules, D2AddressOrderedContainersFire)
+{
+    const auto f = lintFixture("d2_violation.cc", "src/core/fixture.cc");
+    // Pointer-keyed map + range-for over an unordered_map.
+    EXPECT_EQ(countRule(f, Rule::D2_AddressOrderedContainer), 2u);
+    EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(LintRules, D3RawThreadingFires)
+{
+    const auto f = lintFixture("d3_violation.cc", "src/core/fixture.cc");
+    // std::thread ctor, .detach(), std::async.
+    EXPECT_EQ(countRule(f, Rule::D3_RawThread), 3u);
+    EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(LintRules, D3SilentInsideThreadOwner)
+{
+    // The same source under the pool's own path is the one sanctioned
+    // home for raw threads.
+    const auto f = lintFixture("d3_violation.cc",
+                               "src/common/worker_pool.cc");
+    EXPECT_EQ(countRule(f, Rule::D3_RawThread), 0u);
+}
+
+TEST(LintRules, D4UnguardedSharedStateFires)
+{
+    const auto f = lintFixture("d4_violation.cc", "src/core/fixture.cc");
+    // Unguarded mutable member + non-const static object.
+    EXPECT_EQ(countRule(f, Rule::D4_UnguardedSharedState), 2u);
+    EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(LintRules, D5FloatAccumulationFiresInStatsPaths)
+{
+    const auto f = lintFixture("d5_violation.cc",
+                               "src/common/statistics_fixture.cc");
+    // Range-for += fold and std::accumulate.
+    EXPECT_EQ(countRule(f, Rule::D5_FloatAccumulationOrder), 2u);
+    EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(LintRules, D5SilentOutsideStatsPaths)
+{
+    const auto f = lintFixture("d5_violation.cc", "src/sim/fixture.cc");
+    EXPECT_EQ(countRule(f, Rule::D5_FloatAccumulationOrder), 0u);
+}
+
+TEST(LintRules, CleanFileIsSilent)
+{
+    // Clean everywhere — including under a statistics path, where the
+    // integer fold must not be mistaken for float accumulation.
+    EXPECT_TRUE(lintFixture("clean.cc", "src/core/fixture.cc").empty());
+    EXPECT_TRUE(
+        lintFixture("clean.cc", "src/common/statistics_fixture.cc")
+            .empty());
+}
+
+TEST(LintSuppression, PerSiteAllowsSilenceEachRule)
+{
+    // Violating patterns for D1/D2/D3/D4, each carrying its designed
+    // suppression (gpr:lint-allow / gpr:guarded_by) — zero findings.
+    const auto f = lintFixture("suppressed.cc", "src/core/fixture.cc");
+    EXPECT_TRUE(f.empty()) << f.size() << " findings leaked";
+}
+
+TEST(LintSuppression, AllowRoundTrip)
+{
+    // The annotations are load-bearing: strip them and every silenced
+    // violation comes back.
+    std::string src = fixtureSource("suppressed.cc");
+    for (std::string::size_type p;
+         (p = src.find("gpr:lint-allow")) != std::string::npos ||
+         (p = src.find("gpr:guarded_by")) != std::string::npos;) {
+        src.replace(p, 4, "xxx:"); // break the marker, keep the layout
+    }
+    const auto f = gpr_lint::lintSource("src/core/fixture.cc", src);
+    EXPECT_GE(countRule(f, Rule::D1_NondeterminismSource), 1u);
+    EXPECT_GE(countRule(f, Rule::D2_AddressOrderedContainer), 1u);
+    EXPECT_GE(countRule(f, Rule::D3_RawThread), 1u);
+    EXPECT_GE(countRule(f, Rule::D4_UnguardedSharedState), 1u);
+}
+
+TEST(LintSuppression, FileLevelAllowIsRuleScoped)
+{
+    const auto f = lintFixture("file_suppressed_d1.cc",
+                               "src/core/fixture.cc");
+    // Clock reads are file-whitelisted; the raw thread is not.
+    EXPECT_EQ(countRule(f, Rule::D1_NondeterminismSource), 0u);
+    EXPECT_EQ(countRule(f, Rule::D3_RawThread), 1u);
+}
+
+TEST(LintOptionsTest, RuleMaskDisables)
+{
+    LintOptions opt;
+    opt.enabled = 0;
+    EXPECT_TRUE(
+        lintFixture("d1_violation.cc", "src/core/fixture.cc", opt)
+            .empty());
+    opt.enabled = 1u << static_cast<std::uint32_t>(Rule::D3_RawThread);
+    const auto f =
+        lintFixture("d1_violation.cc", "src/core/fixture.cc", opt);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(LintNames, RoundTrip)
+{
+    for (std::size_t i = 0; i < gpr_lint::kNumRules; ++i) {
+        const auto r = static_cast<Rule>(i);
+        EXPECT_EQ(gpr_lint::ruleFromName(gpr_lint::ruleName(r)), r);
+        EXPECT_FALSE(gpr_lint::ruleSummary(r).empty());
+    }
+    EXPECT_EQ(gpr_lint::ruleFromName("D9"), Rule::NumRules);
+}
+
+TEST(LintRepo, TreeIsCleanUnderDefaultOptions)
+{
+    // The repository's own sources must stay lint-clean: this is the
+    // same sweep the `lint` target and the CI job run.
+    const auto files = gpr_lint::expandInputs(
+        {std::string(GPR_LINT_FIXTURE_DIR) + "/../../src",
+         std::string(GPR_LINT_FIXTURE_DIR) + "/../../tools/gpr_lint"});
+    ASSERT_GT(files.size(), 50u);
+    std::size_t findings = 0;
+    for (const auto& path : files) {
+        for (const auto& f : gpr_lint::lintFile(path)) {
+            ++findings;
+            ADD_FAILURE() << f.file << ":" << f.line << ": ["
+                          << gpr_lint::ruleName(f.rule) << "] "
+                          << f.message;
+        }
+    }
+    EXPECT_EQ(findings, 0u);
+}
+
+} // namespace

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "common/statistics.hh"
 #include "core/export.hh"
 #include "core/orchestrator.hh"
 #include "reliability/campaign.hh"
@@ -392,15 +393,18 @@ TEST(Orchestrator, WallSecondsAggregateWithoutDoubleCounting)
 
     // Per-campaign fiWallSeconds are sums of per-shard busy time, so the
     // study total equals the orchestrator's busy-seconds tally exactly
-    // (nothing is counted once per concurrent campaign).
-    double total = 0.0;
+    // (nothing is counted once per concurrent campaign).  claims()
+    // reduces the series with the fixed-order compensated reducer
+    // (lint rule D5), so the expected total goes through the same one.
+    std::vector<double> seconds;
     for (const ReliabilityReport& r : result.reports) {
         for (const StructureReport& sr : r.structures)
-            total += sr.fiWallSeconds;
+            seconds.push_back(sr.fiWallSeconds);
         EXPECT_GT(r.forStructure(TargetStructure::VectorRegisterFile)
                       .fiWallSeconds,
                   0.0);
     }
+    const double total = fixedOrderSum(seconds);
     EXPECT_NEAR(total, progress.shardBusySeconds,
                 1e-9 * std::max(1.0, progress.shardBusySeconds));
     EXPECT_EQ(result.claims().fiSecondsTotal, total);

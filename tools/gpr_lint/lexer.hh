@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A minimal C++ tokenizer for gpr_lint.
+ *
+ * gpr_lint does not parse C++ — it pattern-matches determinism- and
+ * concurrency-relevant constructs over a token stream.  The lexer's job
+ * is the part regexes get wrong: comments (which carry the lint's
+ * annotation grammar and must never be matched as code), string/char
+ * literals including raw strings, and preprocessor lines, all with
+ * accurate line numbers.
+ */
+
+#ifndef GPR_LINT_LEXER_HH
+#define GPR_LINT_LEXER_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpr_lint {
+
+enum class TokKind
+{
+    Identifier, ///< identifiers and keywords (the rules tell them apart)
+    Number,
+    String,  ///< string literal (any prefix, raw or not), contents dropped
+    Char,    ///< character literal
+    Punct,   ///< one punctuator character or multi-char operator
+    Preproc, ///< one whole preprocessor line (text = directive name)
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    std::size_t line = 0;
+};
+
+/** One comment, kept separate from the token stream: the rules consult
+ *  comments only through the annotation grammar. */
+struct Comment
+{
+    std::string text; ///< without the // or slash-star delimiters
+    std::size_t line = 0;      ///< first line of the comment
+    std::size_t end_line = 0;  ///< last line (== line for //-comments)
+};
+
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/** Tokenize @p source (named @p file for diagnostics only).  Never
+ *  throws on malformed input — an unterminated literal lexes to the end
+ *  of file; lint rules degrade gracefully. */
+LexResult lex(std::string_view file, std::string_view source);
+
+} // namespace gpr_lint
+
+#endif // GPR_LINT_LEXER_HH
