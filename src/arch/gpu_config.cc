@@ -26,6 +26,10 @@ makeHdRadeon7970()
     c.scalarRegWordsPerSm = 2048;    // 8 KB scalar RF
     c.smemBytesPerSm = 64 * 1024;    // LDS
     c.smemBanks = 32;
+    c.l1dBytesPerSm = 16 * 1024;     // vector L1 per CU
+    c.l1iBytesPerSm = 8 * 1024;      // shared by a CU cluster; modeled per CU
+    c.l2Bytes = 768 * 1024;
+    c.cacheLineBytes = 64;
     c.clockMhz = 925.0;
     c.memTransactionCycles = 1;      // 264 GB/s class memory
     c.latency = {.intAlu = 8, .floatAlu = 8, .sfu = 32, .compare = 8,
@@ -54,6 +58,10 @@ makeQuadroFx5600()
     c.scalarRegWordsPerSm = 0;
     c.smemBytesPerSm = 16 * 1024;
     c.smemBanks = 16;
+    c.l1dBytesPerSm = 8 * 1024;      // G80 has no L1d; texture/const class
+    c.l1iBytesPerSm = 4 * 1024;
+    c.l2Bytes = 96 * 1024;           // small pre-Fermi L2 class
+    c.cacheLineBytes = 64;
     c.clockMhz = 1350.0;
     c.memTransactionCycles = 2;      // ~77 GB/s class memory
     c.latency = {.intAlu = 20, .floatAlu = 20, .sfu = 60, .compare = 20,
@@ -82,6 +90,10 @@ makeQuadroFx5800()
     c.scalarRegWordsPerSm = 0;
     c.smemBytesPerSm = 16 * 1024;
     c.smemBanks = 16;
+    c.l1dBytesPerSm = 8 * 1024;      // GT200 texture/const class
+    c.l1iBytesPerSm = 4 * 1024;
+    c.l2Bytes = 256 * 1024;
+    c.cacheLineBytes = 64;
     c.clockMhz = 1296.0;
     c.memTransactionCycles = 1;      // ~102 GB/s class memory
     c.latency = {.intAlu = 20, .floatAlu = 20, .sfu = 60, .compare = 20,
@@ -110,6 +122,10 @@ makeGeforceGtx480()
     c.scalarRegWordsPerSm = 0;
     c.smemBytesPerSm = 48 * 1024;    // 48/16 configuration
     c.smemBanks = 32;
+    c.l1dBytesPerSm = 16 * 1024;     // 48/16 configuration, L1 side
+    c.l1iBytesPerSm = 8 * 1024;
+    c.l2Bytes = 768 * 1024;
+    c.cacheLineBytes = 128;
     c.clockMhz = 1401.0;
     c.memTransactionCycles = 1;      // ~177 GB/s class memory
     c.latency = {.intAlu = 16, .floatAlu = 16, .sfu = 48, .compare = 16,

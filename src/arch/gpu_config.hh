@@ -84,6 +84,14 @@ struct GpuConfig
     std::uint32_t smemBytesPerSm = 48 * 1024;
     std::uint32_t smemBanks = 32;
 
+    // Modeled cache hierarchy (functional fault targets, not timing —
+    // see sim/cache.hh).  A zero capacity means the cache is absent on
+    // the chip and its registry row does not apply.
+    std::uint32_t l1dBytesPerSm = 16 * 1024;
+    std::uint32_t l1iBytesPerSm = 8 * 1024;
+    std::uint32_t l2Bytes = 768 * 1024; ///< chip-shared
+    std::uint32_t cacheLineBytes = 128; ///< line size for all three
+
     // Clocks and memory system.
     double clockMhz = 1000.0;            ///< shader clock
     std::uint32_t memTransactionCycles = 1; ///< chip cycles per 128B txn
@@ -108,6 +116,16 @@ struct GpuConfig
         return static_cast<std::uint64_t>(numSms) * smemBytesPerSm * 8;
     }
     std::uint32_t smemWordsPerSm() const { return smemBytesPerSm / 4; }
+    std::uint32_t cacheLineWords() const { return cacheLineBytes / 4; }
+    std::uint32_t l1dLinesPerSm() const
+    {
+        return l1dBytesPerSm / cacheLineBytes;
+    }
+    std::uint32_t l1iLinesPerSm() const
+    {
+        return l1iBytesPerSm / cacheLineBytes;
+    }
+    std::uint32_t l2Lines() const { return l2Bytes / cacheLineBytes; }
 };
 
 /** The canonical configuration for @p model. */

@@ -24,7 +24,7 @@ usage()
         "       --jobs=N --shards=N --checkpoints=N --store=FILE\n"
         "       --resume[=FILE] --workloads=a,b,...\n"
         "       --gpus=7970,fx5600,fx5800,gtx480\n"
-        "       --structures=rf,lds,srf,pred,simt (registry subset)\n"
+        "       --structures=rf,lds,srf,pred,simt,l1d,l1i,l2 (registry subset)\n"
         "       --behavior=transient|stuck-at-0|stuck-at-1|intermittent\n"
         "       --pattern=single|adjacent-double|adjacent-quad\n"
         "       --ace-only --csv --json --quiet\n"

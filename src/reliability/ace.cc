@@ -26,7 +26,11 @@ AceAnalyzer::AceAnalyzer(const GpuConfig& config, AceMode mode)
         if (units_per_sm == 0)
             continue; // structure absent on this chip
         t.unitsPerSm = static_cast<std::uint32_t>(units_per_sm);
-        t.units.resize(std::uint64_t{config.numSms} * units_per_sm);
+        // Chip-scoped structures (the shared L2) report all events with
+        // sm == 0, so a single instance's worth of units suffices.
+        const std::uint64_t instances =
+            spec.scope == StructureScope::PerSm ? config.numSms : 1;
+        t.units.resize(instances * units_per_sm);
         if (spec.aceUnitBits) {
             t.unitBits.resize(t.unitsPerSm);
             for (std::uint32_t u = 0; u < t.unitsPerSm; ++u)

@@ -105,11 +105,19 @@ FaultInjector::buildCheckpointPack(unsigned checkpoints,
     auto pack = std::make_shared<CheckpointPack>();
     pack->goldenCycles = golden;
     pack->placement = placement;
+    // tags + packed valid/dirty bitmaps + data, per cache instance
+    // (mirrors CacheModel::stateWords()).
+    const auto cache_words = [&](std::uint64_t lines) {
+        return lines * (1 + config_.cacheLineWords()) +
+               2 * ((lines + 31) / 32);
+    };
     const std::uint64_t state_words =
         static_cast<std::uint64_t>(config_.numSms) *
             (config_.regFileWordsPerSm + config_.scalarRegWordsPerSm +
-             config_.smemWordsPerSm()) +
-        instance_.image.sizeWords();
+             config_.smemWordsPerSm() +
+             cache_words(config_.l1dLinesPerSm()) +
+             cache_words(config_.l1iLinesPerSm())) +
+        cache_words(config_.l2Lines()) + instance_.image.sizeWords();
     pack->hashInterval = chooseHashInterval(golden, state_words);
 
     // Pass A: observability windows + golden trajectory hashes.  No

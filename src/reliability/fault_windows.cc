@@ -126,8 +126,10 @@ FaultWindows::placeCheckpoints(const GpuConfig& config, Cycle goldenCycles,
         } else {
             // No prefilter for this structure: every bit needs
             // simulation at every cycle — uniform weight.
+            const double instances =
+                spec.scope == StructureScope::PerSm ? config.numSms : 1;
             const double bits = static_cast<double>(bits_per_sm) *
-                                config.numSms;
+                                instances;
             for (std::size_t k = 0; k < kBuckets; ++k) {
                 // gpr:lint-allow(D5): single-threaded, fixed order
                 weight[k] += bits * static_cast<double>(

@@ -1,0 +1,263 @@
+#include "sim/cache.hh"
+
+namespace gpr {
+
+CacheModel::CacheModel(TargetStructure structure, SmId sm,
+                       std::uint32_t lines, std::uint32_t line_words)
+    : structure_(structure), sm_(sm),
+      writeThrough_(structure == TargetStructure::L1DataCache),
+      lines_(lines), lineWords_(line_words)
+{
+    GPR_ASSERT(lines_ > 0 && lineWords_ > 0,
+               "cache geometry must be non-zero");
+    bitmapWords_ = (lines_ + 31) / 32;
+    dataBase_ = lines_ + 2 * bitmapWords_;
+    const std::size_t total =
+        static_cast<std::size_t>(dataBase_) +
+        static_cast<std::size_t>(lines_) * lineWords_;
+    words_.assign(total, 0u);
+    pages_.resize(total);
+}
+
+void
+CacheModel::setFlag(std::uint32_t index, std::uint32_t line, bool on)
+{
+    const Word bit = 1u << (line % 32);
+    setWord(index, on ? (words_[index] | bit) : (words_[index] & ~bit));
+}
+
+std::optional<TrapKind>
+CacheModel::writebackLine(std::uint32_t line, CacheModel* next,
+                          MemoryImage& mem, SimObserver* obs, Cycle now)
+{
+    const Word t = tag(line);
+    // A fault-free tag is the line-base byte address: word- and
+    // line-aligned, in bounds.  A corrupted one is detected here when it
+    // is *detectably* bad; a word-aligned in-bounds corruption writes
+    // the line to the wrong address — the stale-data SDC path.
+    if (t & 3)
+        return TrapKind::MisalignedAddress;
+    if (!mem.inBounds(t))
+        return TrapKind::GlobalOutOfBounds;
+    if (obs) {
+        obs->onRead(structure_, sm_, metaUnit(line), t, now);
+        for (std::uint32_t j = 0; j < lineWords_; ++j)
+            obs->onRead(structure_, sm_, dataUnit(line, j), data(line, j),
+                        now);
+    }
+    for (std::uint32_t j = 0; j < lineWords_; ++j) {
+        const Addr waddr = static_cast<Addr>(t) + static_cast<Addr>(j) * 4;
+        if (!mem.inBounds(waddr))
+            break; // the image ends mid-line: drop the tail words
+        if (next) {
+            if (auto trap =
+                    next->write(waddr, data(line, j), nullptr, mem, obs, now))
+                return trap;
+        } else {
+            mem.writeWord(waddr, data(line, j));
+        }
+    }
+    setDirty(line, false);
+    return std::nullopt;
+}
+
+std::optional<TrapKind>
+CacheModel::refillLine(std::uint32_t line, Addr base, CacheModel* next,
+                       MemoryImage& mem, SimObserver* obs, Cycle now)
+{
+    GPR_ASSERT(base <= 0xffffffffULL,
+               "cache line base exceeds the 32-bit tag width");
+    for (std::uint32_t j = 0; j < lineWords_; ++j) {
+        const Addr waddr = base + static_cast<Addr>(j) * 4;
+        Word v = 0; // words past the image end fill as zero
+        if (mem.inBounds(waddr)) {
+            if (next) {
+                const Access a = next->read(waddr, nullptr, mem, obs, now);
+                if (a.trap)
+                    return a.trap;
+                v = a.value;
+            } else {
+                v = mem.readWord(waddr);
+            }
+        }
+        setData(line, j, v);
+    }
+    setTag(line, static_cast<Word>(base));
+    setValid(line, true);
+    setDirty(line, false);
+    if (obs)
+        obs->onAlloc(structure_, sm_, metaUnit(line), 1 + lineWords_, now);
+    return std::nullopt;
+}
+
+std::optional<TrapKind>
+CacheModel::ensureLine(Addr addr, CacheModel* next, MemoryImage& mem,
+                       SimObserver* obs, Cycle now, std::uint32_t& line)
+{
+    line = lineIndexOf(addr);
+    const Addr base = addr & ~(lineBytes() - 1);
+    if (valid(line) && tag(line) == static_cast<Word>(base))
+        return std::nullopt; // hit
+    if (valid(line) && dirty(line)) {
+        if (auto trap = writebackLine(line, next, mem, obs, now))
+            return trap;
+    }
+    return refillLine(line, base, next, mem, obs, now);
+}
+
+CacheModel::Access
+CacheModel::read(Addr addr, CacheModel* next, MemoryImage& mem,
+                 SimObserver* obs, Cycle now)
+{
+    Access out;
+    std::uint32_t line = 0;
+    if (auto trap = ensureLine(addr, next, mem, obs, now, line)) {
+        out.trap = trap;
+        return out;
+    }
+    const std::uint32_t j = wordOffsetOf(addr);
+    out.value = data(line, j);
+    if (obs) {
+        obs->onRead(structure_, sm_, metaUnit(line), tag(line), now);
+        obs->onRead(structure_, sm_, dataUnit(line, j), out.value, now);
+    }
+    return out;
+}
+
+std::optional<TrapKind>
+CacheModel::write(Addr addr, Word value, CacheModel* next,
+                  MemoryImage& mem, SimObserver* obs, Cycle now)
+{
+    std::uint32_t line = 0;
+    if (auto trap = ensureLine(addr, next, mem, obs, now, line))
+        return trap;
+    const std::uint32_t j = wordOffsetOf(addr);
+    setData(line, j, value);
+    if (writeThrough_) {
+        // Propagate at the *architected* store address: a corrupted tag
+        // cannot redirect a write-through store, only later reads.
+        if (next) {
+            if (auto trap = next->write(addr, value, nullptr, mem, obs,
+                                        now))
+                return trap;
+        } else {
+            mem.writeWord(addr, value);
+        }
+    } else {
+        setDirty(line, true);
+    }
+    if (obs) {
+        obs->onRead(structure_, sm_, metaUnit(line), tag(line), now);
+        obs->onWrite(structure_, sm_, dataUnit(line, j), now);
+        obs->onWrite(structure_, sm_, metaUnit(line), now);
+    }
+    return std::nullopt;
+}
+
+std::optional<TrapKind>
+CacheModel::flushDirty(CacheModel* next, MemoryImage& mem,
+                       SimObserver* obs, Cycle now)
+{
+    for (std::uint32_t line = 0; line < lines_; ++line) {
+        if (valid(line) && dirty(line)) {
+            if (auto trap = writebackLine(line, next, mem, obs, now))
+                return trap;
+        }
+    }
+    return std::nullopt;
+}
+
+std::uint32_t
+CacheModel::fetchInst(std::uint32_t pc, SimObserver* obs, Cycle now)
+{
+    const std::uint32_t line = (pc / lineWords_) % lines_;
+    const std::uint32_t base = pc - pc % lineWords_;
+    if (!(valid(line) && tag(line) == base)) {
+        // Instructions are read-only: evict silently, refill identity.
+        for (std::uint32_t j = 0; j < lineWords_; ++j)
+            setData(line, j, base + j);
+        setTag(line, base);
+        setValid(line, true);
+        setDirty(line, false);
+        if (obs)
+            obs->onAlloc(structure_, sm_, metaUnit(line), 1 + lineWords_,
+                         now);
+    }
+    const std::uint32_t j = pc % lineWords_;
+    const std::uint32_t mapped = data(line, j);
+    if (obs) {
+        obs->onRead(structure_, sm_, metaUnit(line), tag(line), now);
+        obs->onRead(structure_, sm_, dataUnit(line, j), mapped, now);
+    }
+    return mapped;
+}
+
+void
+CacheModel::flipBit(BitIndex bit)
+{
+    const std::uint64_t lb = cacheLineBits(lineWords_);
+    GPR_ASSERT(bit < lb * lines_, "cache fault bit out of range");
+    const std::uint32_t line = static_cast<std::uint32_t>(bit / lb);
+    const std::uint32_t r = static_cast<std::uint32_t>(bit % lb);
+    if (r < 32) {
+        setWord(tagIndex(line), tag(line) ^ (1u << r));
+    } else if (r == 32) {
+        setValid(line, !valid(line));
+    } else if (r == 33) {
+        setDirty(line, !dirty(line));
+    } else {
+        const std::uint32_t j = (r - 34) / 32;
+        const std::uint32_t b = (r - 34) % 32;
+        setData(line, j, data(line, j) ^ (1u << b));
+    }
+}
+
+void
+CacheModel::forceBit(BitIndex bit, bool value)
+{
+    const std::uint64_t lb = cacheLineBits(lineWords_);
+    GPR_ASSERT(bit < lb * lines_, "cache fault bit out of range");
+    const std::uint32_t line = static_cast<std::uint32_t>(bit / lb);
+    const std::uint32_t r = static_cast<std::uint32_t>(bit % lb);
+    if (r < 32) {
+        const Word m = 1u << r;
+        setWord(tagIndex(line), value ? (tag(line) | m) : (tag(line) & ~m));
+    } else if (r == 32) {
+        setValid(line, value);
+    } else if (r == 33) {
+        setDirty(line, value);
+    } else {
+        const std::uint32_t j = (r - 34) / 32;
+        const Word m = 1u << ((r - 34) % 32);
+        setData(line, j,
+                value ? (data(line, j) | m) : (data(line, j) & ~m));
+    }
+}
+
+void
+CacheModel::updateIfPresent(Addr addr, Word value)
+{
+    const std::uint32_t line = lineIndexOf(addr);
+    const Addr base = addr & ~(lineBytes() - 1);
+    if (valid(line) && tag(line) == static_cast<Word>(base))
+        setData(line, wordOffsetOf(addr), value);
+}
+
+void
+CacheModel::revertTo(const CacheModel& baseline)
+{
+    GPR_ASSERT(baseline.words_.size() == words_.size(),
+               "revert against a different-shaped cache");
+    pages_.revertTo(words_, baseline.words_);
+}
+
+void
+CacheModel::captureDelta(const CacheModel& baseline,
+                         StorageDelta& out) const
+{
+    GPR_ASSERT(baseline.words_.size() == words_.size(),
+               "delta against a different-shaped cache");
+    pages_.captureDelta(words_, baseline.words_, out);
+}
+
+} // namespace gpr

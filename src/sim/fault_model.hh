@@ -39,10 +39,15 @@ enum class TargetStructure : std::uint8_t
     // Packed control bits over resident warp slots.
     PredicateFile,      ///< per-warp predicate registers (lane masks)
     SimtStack,          ///< PC + active/exited masks + reconvergence stack
+
+    // Cache arrays: tag + valid + dirty metadata plus data lines.
+    L1DataCache,        ///< per-SM L1 data cache
+    L1InstructionCache, ///< per-SM L1 instruction cache
+    L2Cache,            ///< chip-shared L2 cache
 };
 
 /** Number of registered target structures (registry size). */
-constexpr std::size_t kNumTargetStructures = 5;
+constexpr std::size_t kNumTargetStructures = 8;
 
 /** Canonical display name; throws FatalError on an unregistered id. */
 std::string_view targetStructureName(TargetStructure s);

@@ -34,6 +34,10 @@ Gpu::Gpu(const GpuConfig& config)
     sms_.reserve(config.numSms);
     for (SmId i = 0; i < config.numSms; ++i)
         sms_.push_back(std::make_unique<SmCore>(config, i));
+    if (config.l2Bytes > 0) {
+        l2_.emplace(TargetStructure::L2Cache, /*sm=*/0, config.l2Lines(),
+                    config.cacheLineWords());
+    }
 }
 
 std::uint64_t
@@ -45,19 +49,49 @@ Gpu::structureBits(TargetStructure structure) const
 void
 Gpu::applyFault(const FaultSpec& fault)
 {
-    const std::uint64_t bits_per_sm =
-        structureSpec(fault.structure).bitsPerSm(config_);
-    GPR_ASSERT(bits_per_sm > 0, "fault targets a structure this chip "
-               "does not have");
-    const SmId sm = static_cast<SmId>(fault.bitIndex / bits_per_sm);
-    BitIndex local = fault.bitIndex % bits_per_sm;
-    GPR_ASSERT(sm < sms_.size(), "fault bit index out of range");
+    const StructureSpec& spec = structureSpec(fault.structure);
+    const std::uint64_t bits_per_instance = spec.bitsPerSm(config_);
+    GPR_ASSERT(bits_per_instance > 0,
+               "fault targets a structure this chip does not have");
 
     // The pattern upsets the aligned width-bit cell group containing
     // the sampled bit.  Width divides 32 and every structure's
-    // bitsPerSm, so the group stays inside the SM and inside one
-    // 32-bit word of word storage.
+    // per-instance bits, so the group stays inside one instance and
+    // inside one 32-bit word of word storage.
     const unsigned width = faultPatternWidth(fault.pattern);
+
+    if (spec.scope == StructureScope::Chip) {
+        // The one chip-shared structure is the L2; its fault space is
+        // instance-local (no SM split).
+        GPR_ASSERT(fault.structure == TargetStructure::L2Cache && l2_,
+                   "unhandled chip-scoped structure");
+        BitIndex local = fault.bitIndex;
+        GPR_ASSERT(local < bits_per_instance,
+                   "fault bit index out of range");
+        local -= local % width;
+        const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+        if (!fault.persistent()) {
+            for (unsigned k = 0; (mask >> k) != 0; ++k) {
+                if ((mask >> k) & 1)
+                    l2_->flipBit(local + k);
+            }
+            return;
+        }
+        GPR_ASSERT(spec.persistenceHook == PersistenceHook::CycleReassert,
+                   "L2 persistence is cycle-reasserted");
+        SmCore::PersistentFault pf;
+        pf.structure = fault.structure;
+        pf.firstBit = local;
+        pf.mask = mask;
+        pf.value = faultForcedValue(fault);
+        pf.alwaysActive = fault.behavior != FaultBehavior::Intermittent;
+        persistent_l2_ = pf;
+        return;
+    }
+
+    const SmId sm = static_cast<SmId>(fault.bitIndex / bits_per_instance);
+    BitIndex local = fault.bitIndex % bits_per_instance;
+    GPR_ASSERT(sm < sms_.size(), "fault bit index out of range");
     local -= local % width;
     const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
 
@@ -82,6 +116,7 @@ Gpu::snapshot() const
     cp.sms.reserve(sms_.size());
     for (const auto& sm : sms_)
         cp.sms.push_back(sm->snapshot());
+    cp.l2 = l2_;
     cp.nextBlock = next_block_;
     cp.dispatchRr = dispatch_rr_;
     return cp;
@@ -90,11 +125,13 @@ Gpu::snapshot() const
 void
 Gpu::restore(const GpuCheckpoint& cp)
 {
-    GPR_ASSERT(cp.sms.size() == sms_.size(),
+    GPR_ASSERT(cp.sms.size() == sms_.size() &&
+                   cp.l2.has_value() == l2_.has_value(),
                "checkpoint was taken on a chip with a different SM count");
     anchor_ = nullptr; // full restore rebases every storage's tracking
     for (std::size_t i = 0; i < sms_.size(); ++i)
         sms_[i]->restore(cp.sms[i]);
+    l2_ = cp.l2;
     next_block_ = cp.nextBlock;
     dispatch_rr_ = cp.dispatchRr;
 }
@@ -105,6 +142,8 @@ Gpu::anchorTo(const GpuCheckpoint& baseline)
     restore(baseline);
     for (auto& sm : sms_)
         sm->markStoragesClean();
+    if (l2_)
+        l2_->markCleanForRestore();
     anchor_ = &baseline;
 }
 
@@ -122,6 +161,10 @@ Gpu::restoreDelta(const GpuCheckpoint& baseline,
         sms_[i]->applyStorageDelta(d.smStorage[i]);
         sms_[i]->restoreControl(d.smControl[i]);
     }
+    if (l2_) {
+        l2_->revertTo(*baseline.l2);
+        l2_->applyDelta(d.l2);
+    }
     next_block_ = d.nextBlock;
     dispatch_rr_ = d.dispatchRr;
 }
@@ -131,6 +174,8 @@ Gpu::hashDeviceInto(StateHash& h) const
 {
     for (const auto& sm : sms_)
         sm->hashInto(h);
+    if (l2_)
+        l2_->hashInto(h);
     h.mix(next_block_);
     h.mix(dispatch_rr_);
 }
@@ -251,6 +296,7 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
     ctx.memory = img;
     ctx.observer = options.observer;
     ctx.stats = &result.stats;
+    ctx.l2 = l2_ ? &*l2_ : nullptr;
 
     ctx.warpsPerBlock = ceilDiv(launch.threadsPerBlock(),
                                 config_.warpWidth);
@@ -273,6 +319,7 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
     std::uint64_t last_completed = 0;
     num_blocks_ = launch.numBlocks();
     persistent_sm_ = -1; // reset()/restore() clear the per-SM binding
+    persistent_l2_.reset();
 
     if (options.resume) {
         // Continue a previous run: the checkpoint holds the state at the
@@ -317,6 +364,11 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
     } else {
         for (auto& sm : sms_)
             sm->reset();
+        if (l2_) {
+            l2_.emplace(TargetStructure::L2Cache, /*sm=*/0,
+                        config_.l2Lines(), config_.cacheLineWords());
+            ctx.l2 = &*l2_;
+        }
         anchor_ = nullptr;
         next_block_ = 0;
         dispatch_rr_ = 0;
@@ -332,6 +384,8 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
             for (auto& sm : sms_)
                 sm->markStoragesClean();
             img->markCleanForRestore();
+            if (l2_)
+                l2_->markCleanForRestore();
             GpuCheckpointDelta d0;
             d0.nextBlock = next_block_;
             d0.dispatchRr = dispatch_rr_;
@@ -347,6 +401,8 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
                                              d0.smStorage[i]);
                 d0.smControl.push_back(sms_[i]->captureControl());
             }
+            if (l2_)
+                l2_->captureDelta(*rec.baseline.l2, d0.l2);
             rec.deltas.push_back(std::move(d0));
         }
     }
@@ -407,6 +463,20 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
             sms_[static_cast<std::size_t>(persistent_sm_)]
                 ->persistentFaultTick(active);
         }
+        if (persistent_l2_) {
+            const FaultSpec& f = *options.fault;
+            bool active = true;
+            if (f.behavior == FaultBehavior::Intermittent) {
+                active = (now - f.cycle) % f.intermittentPeriod <
+                         f.intermittentActive;
+            }
+            if (active) {
+                for (unsigned k = 0; (persistent_l2_->mask >> k) != 0; ++k)
+                    if ((persistent_l2_->mask >> k) & 1)
+                        l2_->forceBit(persistent_l2_->firstBit + k,
+                                      persistent_l2_->value);
+            }
+        }
 
         if (options.recorder &&
             rec_idx < options.recorder->checkpointCycles.size() &&
@@ -427,6 +497,9 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
                 }
                 img->captureDelta(options.recorder->baseline.memory,
                                   d.memory);
+                if (l2_)
+                    l2_->captureDelta(*options.recorder->baseline.l2,
+                                      d.l2);
                 d.vrfOccAcc = vrf_occ_acc;
                 d.srfOccAcc = srf_occ_acc;
                 d.ldsOccAcc = lds_occ_acc;
@@ -547,6 +620,20 @@ Gpu::run(const Program& prog, const LaunchConfig& launch, MemoryImage image,
         now = next;
         if (now > max_cycles)
             return finalize(TrapKind::Watchdog);
+    }
+
+    // Drain dirty cache lines into the image so RunResult::memory
+    // reflects every store the kernel retired — including ones a fault
+    // redirected to a corrupted address (the stale-data / wrong-address
+    // SDC channel).  A corrupt tag can also trap here, which classifies
+    // as a DUE exactly like an in-flight wrong-address access.
+    for (auto& sm : sms_) {
+        if (auto trap = sm->flushL1d(ctx, now))
+            return finalize(*trap);
+    }
+    if (l2_) {
+        if (auto trap = l2_->flushDirty(nullptr, *img, ctx.observer, now))
+            return finalize(*trap);
     }
 
     return finalize(TrapKind::None);

@@ -46,6 +46,7 @@ struct GpuCheckpoint
 
     // Device state.
     std::vector<SmCore::Snapshot> sms;
+    std::optional<CacheModel> l2; ///< chip-shared L2, when modeled
     std::uint32_t nextBlock = 0;
     std::uint32_t dispatchRr = 0;
 
@@ -63,7 +64,8 @@ struct GpuCheckpoint
     std::size_t
     bytes() const
     {
-        std::size_t b = sizeof(*this) + memory.bytes();
+        std::size_t b = sizeof(*this) + memory.bytes() +
+                        (l2 ? l2->bytes() : 0);
         for (const SmCore::Snapshot& s : sms)
             b += s.bytes();
         return b;
@@ -85,6 +87,7 @@ struct GpuCheckpointDelta
     // Device state.
     std::vector<SmStorageDelta> smStorage;
     std::vector<SmCore::ControlState> smControl;
+    StorageDelta l2; ///< L2 pages differing from the baseline's
     std::uint32_t nextBlock = 0;
     std::uint32_t dispatchRr = 0;
 
@@ -102,7 +105,7 @@ struct GpuCheckpointDelta
     std::size_t
     bytes() const
     {
-        std::size_t b = sizeof(*this) + memory.bytes();
+        std::size_t b = sizeof(*this) + memory.bytes() + l2.bytes();
         for (const SmStorageDelta& s : smStorage)
             b += s.bytes();
         for (const SmCore::ControlState& c : smControl)
@@ -293,6 +296,7 @@ class Gpu
 
     const GpuConfig& config_;
     std::vector<std::unique_ptr<SmCore>> sms_;
+    std::optional<CacheModel> l2_; ///< absent when l2Bytes == 0
 
     // Per-run dispatch state.
     std::uint32_t next_block_ = 0;
@@ -300,6 +304,9 @@ class Gpu
     std::uint32_t dispatch_rr_ = 0;
     /** SM hosting the run's persistent fault, -1 if none (per-run). */
     std::int64_t persistent_sm_ = -1;
+    /** Chip-scoped (L2) persistent fault bound to this run; forced via
+     *  CacheModel::forceBit each active cycle (per-run state). */
+    std::optional<SmCore::PersistentFault> persistent_l2_;
     /** Baseline the device's dirty tracking is anchored to (nullptr =
      *  unanchored; delta resumes assert against it). */
     const GpuCheckpoint* anchor_ = nullptr;

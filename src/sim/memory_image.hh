@@ -43,6 +43,11 @@ class MemoryImage
     Buffer
     allocBuffer(std::uint32_t words)
     {
+        // A zero-word Buffer would carry the byte address of whatever is
+        // allocated *next* — a footgun that silently aliases two buffers.
+        GPR_ASSERT(words > 0,
+                   "allocBuffer(0): zero-word buffers would alias the "
+                   "next allocation's base address");
         // Do the address arithmetic in Addr width *before* any multiply
         // or add, and pin the image to what sizeWords()/Buffer::words
         // can express — a 32-bit word count (16 GiB of image).
@@ -71,11 +76,18 @@ class MemoryImage
         return addr / 4 < words_.size();
     }
 
-    /** Word read at byte address (aligned down to the word). */
+    /**
+     * Word read at byte address @p addr, which must be word-aligned.
+     * Misalignment is a *caller* bug at this level: the simulator's
+     * memory path traps TrapKind::MisalignedAddress before ever calling
+     * in (a tag-fault-corrupted address must surface as a DUE, not be
+     * silently aligned down onto the wrong word).
+     */
     Word
     readWord(Addr addr) const
     {
         GPR_ASSERT(inBounds(addr), "global read out of bounds");
+        GPR_ASSERT((addr & 3) == 0, "misaligned global word read");
         return words_[addr / 4];
     }
 
@@ -83,6 +95,7 @@ class MemoryImage
     writeWord(Addr addr, Word value)
     {
         GPR_ASSERT(inBounds(addr), "global write out of bounds");
+        GPR_ASSERT((addr & 3) == 0, "misaligned global word write");
         const std::size_t index = static_cast<std::size_t>(addr / 4);
         words_[index] = value;
         pages_.onWrite(index);

@@ -16,6 +16,14 @@ SmCore::SmCore(const GpuConfig& config, SmId id)
 {
     if (config.scalarRegWordsPerSm > 0)
         srf_.emplace(config.scalarRegWordsPerSm);
+    if (config.l1dBytesPerSm > 0) {
+        l1d_.emplace(TargetStructure::L1DataCache, id,
+                     config.l1dLinesPerSm(), config.cacheLineWords());
+    }
+    if (config.l1iBytesPerSm > 0) {
+        l1i_.emplace(TargetStructure::L1InstructionCache, id,
+                     config.l1iLinesPerSm(), config.cacheLineWords());
+    }
 
     blocks_.resize(config.maxBlocksPerSm);
     warps_.resize(config.maxWarpsPerSm);
@@ -31,6 +39,14 @@ SmCore::reset()
     if (srf_)
         srf_.emplace(config_.scalarRegWordsPerSm);
     lds_ = WordStorage(config_.smemWordsPerSm());
+    if (l1d_) {
+        l1d_.emplace(TargetStructure::L1DataCache, id_,
+                     config_.l1dLinesPerSm(), config_.cacheLineWords());
+    }
+    if (l1i_) {
+        l1i_.emplace(TargetStructure::L1InstructionCache, id_,
+                     config_.l1iLinesPerSm(), config_.cacheLineWords());
+    }
 
     for (auto& b : blocks_)
         b = BlockContext{};
@@ -134,6 +150,14 @@ SmCore::clearPersistentFault()
     pfault_.reset();
 }
 
+std::optional<TrapKind>
+SmCore::flushL1d(RunContext& ctx, Cycle now)
+{
+    if (!l1d_)
+        return std::nullopt;
+    return l1d_->flushDirty(ctx.l2, *ctx.memory, ctx.observer, now);
+}
+
 void
 SmCore::mutateBit(TargetStructure structure, BitIndex bit, BitMutation mut)
 {
@@ -183,6 +207,25 @@ SmCore::mutateBit(TargetStructure structure, BitIndex bit, BitMutation mut)
         mut_mask(warps_[slot].preds[preg], lane);
         return;
       }
+
+      case TargetStructure::L1DataCache:
+        GPR_ASSERT(l1d_, "no L1 data cache on this configuration");
+        if (mut == BitMutation::Flip)
+            l1d_->flipBit(bit);
+        else
+            l1d_->forceBit(bit, mut == BitMutation::Force1);
+        return;
+
+      case TargetStructure::L1InstructionCache:
+        GPR_ASSERT(l1i_, "no L1 instruction cache on this configuration");
+        if (mut == BitMutation::Flip)
+            l1i_->flipBit(bit);
+        else
+            l1i_->forceBit(bit, mut == BitMutation::Force1);
+        return;
+
+      case TargetStructure::L2Cache:
+        panic("chip-scoped L2 faults are applied by Gpu, not an SM");
 
       case TargetStructure::SimtStack: {
         const std::uint64_t per_warp = simtBitsPerWarp(config_);
@@ -261,6 +304,8 @@ SmCore::snapshot() const
     return Snapshot{vrf_,
                     srf_,
                     lds_,
+                    l1d_,
+                    l1i_,
                     blocks_,
                     warps_,
                     warp_slot_used_,
@@ -278,6 +323,8 @@ SmCore::restore(const Snapshot& s)
     GPR_ASSERT(s.vrf.size() == vrf_.size() &&
                    s.lds.size() == lds_.size() &&
                    s.srf.has_value() == srf_.has_value() &&
+                   s.l1d.has_value() == l1d_.has_value() &&
+                   s.l1i.has_value() == l1i_.has_value() &&
                    s.blocks.size() == blocks_.size() &&
                    s.warps.size() == warps_.size(),
                "checkpoint shape does not match this SM's configuration");
@@ -285,6 +332,8 @@ SmCore::restore(const Snapshot& s)
     vrf_ = s.vrf;
     srf_ = s.srf;
     lds_ = s.lds;
+    l1d_ = s.l1d;
+    l1i_ = s.l1i;
     blocks_ = s.blocks;
     warps_ = s.warps;
     warp_slot_used_ = s.warpSlotUsed;
@@ -335,29 +384,45 @@ SmCore::markStoragesClean()
     if (srf_)
         srf_->markCleanForRestore();
     lds_.markCleanForRestore();
+    if (l1d_)
+        l1d_->markCleanForRestore();
+    if (l1i_)
+        l1i_->markCleanForRestore();
 }
 
 void
 SmCore::revertStorages(const Snapshot& baseline)
 {
-    GPR_ASSERT(baseline.srf.has_value() == srf_.has_value(),
+    GPR_ASSERT(baseline.srf.has_value() == srf_.has_value() &&
+                   baseline.l1d.has_value() == l1d_.has_value() &&
+                   baseline.l1i.has_value() == l1i_.has_value(),
                "baseline does not match this SM's configuration");
     vrf_.revertTo(baseline.vrf);
     if (srf_)
         srf_->revertTo(*baseline.srf);
     lds_.revertTo(baseline.lds);
+    if (l1d_)
+        l1d_->revertTo(*baseline.l1d);
+    if (l1i_)
+        l1i_->revertTo(*baseline.l1i);
 }
 
 void
 SmCore::captureStorageDelta(const Snapshot& baseline,
                             SmStorageDelta& out) const
 {
-    GPR_ASSERT(baseline.srf.has_value() == srf_.has_value(),
+    GPR_ASSERT(baseline.srf.has_value() == srf_.has_value() &&
+                   baseline.l1d.has_value() == l1d_.has_value() &&
+                   baseline.l1i.has_value() == l1i_.has_value(),
                "baseline does not match this SM's configuration");
     vrf_.captureDelta(baseline.vrf, out.vrf);
     if (srf_)
         srf_->captureDelta(*baseline.srf, out.srf);
     lds_.captureDelta(baseline.lds, out.lds);
+    if (l1d_)
+        l1d_->captureDelta(*baseline.l1d, out.l1d);
+    if (l1i_)
+        l1i_->captureDelta(*baseline.l1i, out.l1i);
 }
 
 void
@@ -367,6 +432,10 @@ SmCore::applyStorageDelta(const SmStorageDelta& delta)
     if (srf_)
         srf_->applyDelta(delta.srf);
     lds_.applyDelta(delta.lds);
+    if (l1d_)
+        l1d_->applyDelta(delta.l1d);
+    if (l1i_)
+        l1i_->applyDelta(delta.l1i);
 }
 
 void
@@ -376,6 +445,10 @@ SmCore::hashInto(StateHash& h) const
     if (srf_)
         srf_->hashInto(h);
     lds_.hashInto(h);
+    if (l1d_)
+        l1d_->hashInto(h);
+    if (l1i_)
+        l1i_->hashInto(h);
 
     for (const BlockContext& b : blocks_) {
         h.mix(b.active);
@@ -818,7 +891,20 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
     if (w.pc >= ctx.program->size())
         return TrapKind::InvalidControlFlow;
 
-    const Instruction& inst = ctx.program->inst(w.pc);
+    // Fetch through the L1i: fault-free, the identity-mapped line
+    // returns the PC itself; an L1i tag/data fault redirects the fetch
+    // to a different instruction index (wrong-opcode execution) or past
+    // the program (trap).  The scoreboard in canIssue still consults
+    // the raw w.pc — a deliberate modeling simplification: fetch
+    // corruption changes what executes, not when it issues.
+    std::uint32_t fetch_pc = w.pc;
+    if (l1i_) {
+        fetch_pc = l1i_->fetchInst(w.pc, ctx.observer, now);
+        if (fetch_pc >= ctx.program->size())
+            return TrapKind::InvalidControlFlow;
+    }
+
+    const Instruction& inst = ctx.program->inst(fetch_pc);
     const OpTraits& t = inst.traits();
     const LatencyModel& lat = config_.latency;
 
@@ -1156,26 +1242,83 @@ SmCore::executeInstruction(RunContext& ctx, WarpContext& w, Cycle now)
                 trap = TrapKind::GlobalOutOfBounds;
                 return;
             }
-            const Addr aligned = addr & ~Addr{3};
-            const std::uint64_t seg = aligned >> 7;
+            if (addr & 3) {
+                // A misaligned word address (computed or injected) must
+                // surface as a DUE — silently aligning down would read
+                // the wrong word and masquerade as SDC.
+                trap = TrapKind::MisalignedAddress;
+                return;
+            }
+            const std::uint64_t seg = addr >> 7;
             if (std::find(segments.begin(), segments.end(), seg) ==
                 segments.end()) {
                 segments.push_back(seg);
             }
             (void)seg_bits_lo;
 
+            // Data path: through the L1d/L2 hierarchy when modeled
+            // (functional only — the segment/pipe timing above is
+            // unchanged by hits or misses), else straight to memory.
+            auto mem_read = [&](Word& out) -> bool {
+                if (l1d_) {
+                    const CacheModel::Access a = l1d_->read(
+                        addr, ctx.l2, *ctx.memory, ctx.observer, now);
+                    if (a.trap) {
+                        trap = a.trap;
+                        return false;
+                    }
+                    out = a.value;
+                } else {
+                    out = ctx.memory->readWord(addr);
+                }
+                return true;
+            };
+            auto mem_write = [&](Word v) {
+                if (l1d_) {
+                    trap = l1d_->write(addr, v, ctx.l2, *ctx.memory,
+                                       ctx.observer, now);
+                } else {
+                    ctx.memory->writeWord(addr, v);
+                }
+            };
+
             if (is_load) {
-                writeVReg(ctx, w, inst.dst.index, lane,
-                          ctx.memory->readWord(aligned), now);
+                Word loaded = 0;
+                if (!mem_read(loaded))
+                    return;
+                writeVReg(ctx, w, inst.dst.index, lane, loaded, now);
             } else {
                 const Word v = readLaneOperand(ctx, w, inst.src[1], lane,
                                                now, val_uni);
                 if (is_atomic) {
-                    ctx.memory->writeWord(
-                        aligned, ctx.memory->readWord(aligned) + v);
+                    // Atomics execute at the chip's shared point of
+                    // coherence (the L2 when modeled): a private-L1
+                    // read-modify-write would lose updates between SMs.
+                    // The local line, if resident, is patched so later
+                    // loads from this SM observe the new value.
+                    Word old = 0;
+                    if (ctx.l2) {
+                        const CacheModel::Access a = ctx.l2->read(
+                            addr, nullptr, *ctx.memory, ctx.observer, now);
+                        if (a.trap) {
+                            trap = a.trap;
+                            return;
+                        }
+                        old = a.value;
+                        trap = ctx.l2->write(addr, old + v, nullptr,
+                                             *ctx.memory, ctx.observer,
+                                             now);
+                    } else {
+                        old = ctx.memory->readWord(addr);
+                        ctx.memory->writeWord(addr, old + v);
+                    }
+                    if (l1d_)
+                        l1d_->updateIfPresent(addr, old + v);
                 } else {
-                    ctx.memory->writeWord(aligned, v);
+                    mem_write(v);
                 }
+                if (trap)
+                    return;
             }
             ++lane_ops;
         });

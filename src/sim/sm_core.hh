@@ -19,6 +19,7 @@
 
 #include "arch/gpu_config.hh"
 #include "isa/program.hh"
+#include "sim/cache.hh"
 #include "sim/launch.hh"
 #include "sim/memory_image.hh"
 #include "sim/observer.hh"
@@ -31,19 +32,22 @@ namespace gpr {
 
 /**
  * One SM's share of a delta checkpoint: page deltas of its three word
- * storages against the recording run's baseline snapshot (srf unused on
- * scalar-less architectures).
+ * storages (srf unused on scalar-less architectures) and its two L1
+ * caches against the recording run's baseline snapshot.
  */
 struct SmStorageDelta
 {
     WordStorage::Delta vrf;
     WordStorage::Delta srf;
     WordStorage::Delta lds;
+    StorageDelta l1d;
+    StorageDelta l1i;
 
     std::size_t
     bytes() const
     {
-        return vrf.bytes() + srf.bytes() + lds.bytes();
+        return vrf.bytes() + srf.bytes() + lds.bytes() + l1d.bytes() +
+               l1i.bytes();
     }
 };
 
@@ -62,6 +66,8 @@ struct RunContext
     MemoryImage* memory = nullptr;
     SimObserver* observer = nullptr;
     SimStats* stats = nullptr;
+    /** Chip-shared L2 (owned by Gpu); null when the chip models none. */
+    CacheModel* l2 = nullptr;
     MemPipe memPipe;
 
     // Launch-derived constants (filled by Gpu::run).
@@ -173,6 +179,14 @@ class SmCore
 
     /** Drop the bound fault and its storage overlay (if any). */
     void clearPersistentFault();
+
+    /**
+     * Write this SM's dirty L1d lines back (into the L2 when present,
+     * else memory) at clean kernel completion, so the image the
+     * workload checks reflects all cached stores.  A trap here is the
+     * delayed detection of a fault-corrupted tag.  No-op without an L1d.
+     */
+    std::optional<TrapKind> flushL1d(RunContext& ctx, Cycle now);
 
     // --- Checkpoint support ----------------------------------------------
     struct Snapshot; ///< full mid-run state of one SM (defined below)
@@ -305,6 +319,8 @@ class SmCore
     WordStorage vrf_;
     std::optional<WordStorage> srf_; ///< SI only
     WordStorage lds_;                ///< word-granular LDS
+    std::optional<CacheModel> l1d_;  ///< absent when l1dBytesPerSm == 0
+    std::optional<CacheModel> l1i_;  ///< absent when l1iBytesPerSm == 0
 
     std::vector<BlockContext> blocks_;   ///< maxBlocksPerSm slots
     std::vector<WarpContext> warps_;     ///< maxWarpsPerSm slots
@@ -334,6 +350,8 @@ struct SmCore::Snapshot
     WordStorage vrf;
     std::optional<WordStorage> srf;
     WordStorage lds;
+    std::optional<CacheModel> l1d;
+    std::optional<CacheModel> l1i;
     std::vector<BlockContext> blocks;
     std::vector<WarpContext> warps;
     std::vector<bool> warpSlotUsed;
@@ -350,6 +368,8 @@ struct SmCore::Snapshot
     {
         std::size_t b = sizeof(*this) + vrf.bytes() +
                         (srf ? srf->bytes() : 0) + lds.bytes() +
+                        (l1d ? l1d->bytes() : 0) +
+                        (l1i ? l1i->bytes() : 0) +
                         warpSlotUsed.size() / 8 +
                         warpAge.size() * sizeof(std::uint64_t);
         for (const BlockContext& blk : blocks)

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "sim/cache.hh"
 
 namespace gpr {
 namespace {
@@ -78,6 +79,50 @@ simtUnitBits(const GpuConfig& c, std::uint32_t unit)
                : static_cast<std::uint32_t>(simtEntryBits(c));
 }
 
+std::uint64_t
+l1dBits(const GpuConfig& c)
+{
+    return c.l1dLinesPerSm() * cacheLineBits(c.cacheLineWords());
+}
+
+std::uint64_t
+l1iBits(const GpuConfig& c)
+{
+    return c.l1iLinesPerSm() * cacheLineBits(c.cacheLineWords());
+}
+
+std::uint64_t
+l2Bits(const GpuConfig& c)
+{
+    return c.l2Lines() * cacheLineBits(c.cacheLineWords());
+}
+
+std::uint64_t
+l1dUnits(const GpuConfig& c)
+{
+    return c.l1dLinesPerSm() * cacheLineAceUnits(c.cacheLineWords());
+}
+
+std::uint64_t
+l1iUnits(const GpuConfig& c)
+{
+    return c.l1iLinesPerSm() * cacheLineAceUnits(c.cacheLineWords());
+}
+
+std::uint64_t
+l2Units(const GpuConfig& c)
+{
+    return c.l2Lines() * cacheLineAceUnits(c.cacheLineWords());
+}
+
+std::uint32_t
+cacheUnitBits(const GpuConfig& c, std::uint32_t unit)
+{
+    // Unit 0 of each line is the 34-bit metadata group (tag + valid +
+    // dirty); the rest are 32-bit data words.
+    return unit % cacheLineAceUnits(c.cacheLineWords()) == 0 ? 34 : 32;
+}
+
 double
 vrfOcc(const SimStats& s)
 {
@@ -102,6 +147,14 @@ warpOcc(const SimStats& s)
     return s.avgWarpOccupancy;
 }
 
+double
+fullOcc(const SimStats&)
+{
+    // Cache arrays have no alloc/free lifecycle: every line is hardware
+    // that a fault can land in for the whole run.
+    return 1.0;
+}
+
 } // namespace
 
 const std::array<StructureSpec, kNumTargetStructures>&
@@ -111,14 +164,17 @@ structureRegistry()
         {TargetStructure::VectorRegisterFile, StructureKind::WordStorage,
          "register-file", "rf", "register_file",
          /*exactDeadWindows=*/true, PersistenceHook::StorageReadOverlay,
+         StructureScope::PerSm,
          vrfBits, vrfUnits, /*aceUnitBits=*/nullptr, vrfOcc},
         {TargetStructure::SharedMemory, StructureKind::WordStorage,
          "local-memory", "lds", "local_memory",
          /*exactDeadWindows=*/true, PersistenceHook::StorageReadOverlay,
+         StructureScope::PerSm,
          ldsBits, ldsUnits, /*aceUnitBits=*/nullptr, ldsOcc},
         {TargetStructure::ScalarRegisterFile, StructureKind::WordStorage,
          "scalar-register-file", "srf", "scalar_register_file",
          /*exactDeadWindows=*/true, PersistenceHook::StorageReadOverlay,
+         StructureScope::PerSm,
          srfBits, srfUnits, /*aceUnitBits=*/nullptr, srfOcc},
         // Predicate units are uniform (one warpWidth-bit lane mask per
         // register), so no per-unit bit weighting is needed: unit-cycle
@@ -126,11 +182,31 @@ structureRegistry()
         {TargetStructure::PredicateFile, StructureKind::ControlBits,
          "predicate-file", "pred", "predicate_file",
          /*exactDeadWindows=*/false, PersistenceHook::CycleReassert,
+         StructureScope::PerSm,
          predBits, predUnits, /*aceUnitBits=*/nullptr, warpOcc},
         {TargetStructure::SimtStack, StructureKind::ControlBits,
          "simt-stack", "simt", "simt_stack",
          /*exactDeadWindows=*/false, PersistenceHook::CycleReassert,
+         StructureScope::PerSm,
          simtBits, simtUnits, simtUnitBits, warpOcc},
+        // Cache metadata becomes architecturally visible through address
+        // comparison, not reads, so no exact dead windows; persistence
+        // re-forces the faulty bits each stepped cycle (CycleReassert).
+        {TargetStructure::L1DataCache, StructureKind::CacheArray,
+         "l1-data-cache", "l1d", "l1_data_cache",
+         /*exactDeadWindows=*/false, PersistenceHook::CycleReassert,
+         StructureScope::PerSm,
+         l1dBits, l1dUnits, cacheUnitBits, fullOcc},
+        {TargetStructure::L1InstructionCache, StructureKind::CacheArray,
+         "l1-instruction-cache", "l1i", "l1_instruction_cache",
+         /*exactDeadWindows=*/false, PersistenceHook::CycleReassert,
+         StructureScope::PerSm,
+         l1iBits, l1iUnits, cacheUnitBits, fullOcc},
+        {TargetStructure::L2Cache, StructureKind::CacheArray,
+         "l2-cache", "l2", "l2_cache",
+         /*exactDeadWindows=*/false, PersistenceHook::CycleReassert,
+         StructureScope::Chip,
+         l2Bits, l2Units, cacheUnitBits, fullOcc},
     }};
     return registry;
 }
@@ -188,7 +264,10 @@ targetStructureFromName(std::string_view name)
 std::uint64_t
 structureBitsTotal(const GpuConfig& config, TargetStructure id)
 {
-    return structureSpec(id).bitsPerSm(config) * config.numSms;
+    const StructureSpec& spec = structureSpec(id);
+    const std::uint64_t instances =
+        spec.scope == StructureScope::PerSm ? config.numSms : 1;
+    return spec.bitsPerSm(config) * instances;
 }
 
 bool
@@ -223,7 +302,10 @@ selectStructures(const GpuConfig& config, bool uses_local_memory,
 std::uint64_t
 structureAceUnitsTotal(const GpuConfig& config, TargetStructure id)
 {
-    return structureSpec(id).aceUnitsPerSm(config) * config.numSms;
+    const StructureSpec& spec = structureSpec(id);
+    const std::uint64_t instances =
+        spec.scope == StructureScope::PerSm ? config.numSms : 1;
+    return spec.aceUnitsPerSm(config) * instances;
 }
 
 } // namespace gpr

@@ -10,7 +10,7 @@
  * above the simulator picks the new entry up automatically (see the
  * "Adding a target structure" section of the README).
  *
- * Two structure kinds exist:
+ * Three structure kinds exist:
  *
  *  - **WordStorage**: 32-bit-word-granular SRAM (register files, LDS)
  *    backed by a WordStorage instance.  The golden access trace yields
@@ -23,6 +23,11 @@
  *    issue without any "read" event), so control structures have no
  *    exact dead windows — the checkpoint engine skips the prefilter
  *    but keeps checkpoint restore and hash early-out.
+ *  - **CacheArray**: modeled cache lines (tag + valid/dirty + data; see
+ *    sim/cache.hh) of the L1d/L1i/L2 hierarchy.  Metadata faults act
+ *    through address comparison rather than reads, so — like control
+ *    bits — caches have no exact dead windows; checkpoint restore and
+ *    the hash early-out still apply.
  */
 
 #ifndef GPR_SIM_STRUCTURE_REGISTRY_HH
@@ -45,6 +50,20 @@ enum class StructureKind : std::uint8_t
 {
     WordStorage, ///< 32-bit-word-granular SRAM with alloc/free
     ControlBits, ///< packed control bits over resident warp slots
+    CacheArray,  ///< tag + valid/dirty + data cache lines (sim/cache.hh)
+};
+
+/**
+ * Whether one instance of the structure exists per SM (the registry's
+ * historical assumption) or once for the whole chip (the shared L2).
+ * Everything that multiplies a per-instance size by numSms — total
+ * bits/units, ACE tracker sizing, checkpoint-placement weights — is
+ * scope-aware; chip-scoped structures report observer events as SM 0.
+ */
+enum class StructureScope : std::uint8_t
+{
+    PerSm,
+    Chip,
 };
 
 /**
@@ -126,8 +145,11 @@ struct StructureSpec
     bool exactDeadWindows = false;
     /** How this structure hosts stuck-at / intermittent faults. */
     PersistenceHook persistenceHook = PersistenceHook::None;
+    /** One instance per SM, or one chip-shared instance (the L2). */
+    StructureScope scope = StructureScope::PerSm;
 
-    /** Fault-injectable bits per SM/CU on @p config (0 = chip lacks it). */
+    /** Fault-injectable bits per instance — per SM/CU for PerSm scope,
+     *  chip-wide for Chip scope — on @p config (0 = chip lacks it). */
     std::uint64_t (*bitsPerSm)(const GpuConfig&) = nullptr;
     /**
      * Lifetime-accounting granules per SM: 32-bit words for word

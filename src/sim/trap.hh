@@ -24,6 +24,7 @@ enum class TrapKind : std::uint8_t
     BarrierDeadlock,   ///< no warp can ever make progress again
     Watchdog,          ///< exceeded the cycle budget (hang / livelock)
     InvalidControlFlow, ///< reconvergence-stack underflow (corrupted state)
+    MisalignedAddress,  ///< word access at a non-word-aligned byte address
 };
 
 constexpr std::string_view
@@ -42,6 +43,8 @@ trapKindName(TrapKind k)
         return "watchdog-timeout";
       case TrapKind::InvalidControlFlow:
         return "invalid-control-flow";
+      case TrapKind::MisalignedAddress:
+        return "misaligned-address";
     }
     return "unknown";
 }

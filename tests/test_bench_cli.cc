@@ -187,10 +187,11 @@ TEST(BenchCli, DryRunPrintsThePlan)
     std::ostringstream os;
     EXPECT_TRUE(cli.runMetaActions(os));
     const std::string text = os.str();
-    // vectoradd on FX 5600: RF + pred + simt, 4 shards each.
-    EXPECT_NE(text.find("3 campaigns"), std::string::npos) << text;
-    EXPECT_NE(text.find("12 shards"), std::string::npos) << text;
-    EXPECT_NE(text.find("72 injections"), std::string::npos) << text;
+    // vectoradd on FX 5600: RF + pred + simt + l1d/l1i/l2, 4 shards
+    // each.
+    EXPECT_NE(text.find("6 campaigns"), std::string::npos) << text;
+    EXPECT_NE(text.find("24 shards"), std::string::npos) << text;
+    EXPECT_NE(text.find("144 injections"), std::string::npos) << text;
     EXPECT_NE(text.find(cli.spec.campaignHashHex()), std::string::npos);
 }
 

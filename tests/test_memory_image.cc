@@ -31,14 +31,30 @@ TEST(MemoryImage, TypedAccess)
     EXPECT_EQ(img.getWord(buf, 2), 0xffffffffu);
 }
 
-TEST(MemoryImage, WordAccessAlignsDown)
+TEST(MemoryImage, MisalignedWordAccessPanics)
 {
     MemoryImage img;
     img.allocBuffer(2);
     img.writeWord(0, 0x11);
-    // Misaligned byte address within word 0 reads word 0.
-    EXPECT_EQ(img.readWord(1), 0x11u);
-    EXPECT_EQ(img.readWord(3), 0x11u);
+    // Misaligned word addresses used to silently align down, which hid
+    // address-corruption faults; the simulator now traps them as
+    // MisalignedAddress before the image is reached, so reaching the
+    // image misaligned is a caller bug.
+    EXPECT_THROW(img.readWord(1), PanicError);
+    EXPECT_THROW(img.readWord(3), PanicError);
+    EXPECT_THROW(img.writeWord(2, 0x22), PanicError);
+    EXPECT_EQ(img.readWord(0), 0x11u);
+}
+
+TEST(MemoryImage, ZeroWordBufferRejected)
+{
+    MemoryImage img;
+    const Buffer a = img.allocBuffer(1);
+    // A zero-word buffer would alias the next allocation's base address
+    // — two "distinct" buffers with equal handles.
+    EXPECT_THROW(img.allocBuffer(0), PanicError);
+    const Buffer b = img.allocBuffer(1);
+    EXPECT_NE(a.byteAddr, b.byteAddr);
 }
 
 TEST(MemoryImage, Bounds)

@@ -82,9 +82,10 @@ TEST(Decomposition, PartitionsEveryCampaignPlan)
     const StudyOptions study = miniStudy(24);
     const std::vector<ShardKey> shards = decomposeStudy(study, 4);
 
-    // vectoradd: RF + the two control targets; reduction adds LDS.
-    // FX 5600 has no scalar RF.  7 campaigns x 4 shards.
-    ASSERT_EQ(shards.size(), 28u);
+    // vectoradd: RF + the two control targets + the three caches;
+    // reduction adds LDS.  FX 5600 has no scalar RF.  13 campaigns x
+    // 4 shards.
+    ASSERT_EQ(shards.size(), 52u);
 
     std::map<std::pair<std::string, TargetStructure>, std::uint64_t> next;
     for (const ShardKey& key : shards) {
@@ -101,7 +102,7 @@ TEST(Decomposition, PartitionsEveryCampaignPlan)
     }
     for (const auto& [campaign, end] : next)
         EXPECT_EQ(end, 24u) << campaign.first;
-    EXPECT_EQ(next.size(), 7u);
+    EXPECT_EQ(next.size(), 13u);
 }
 
 TEST(Decomposition, DefaultShardCountIndependentOfJobs)
@@ -150,8 +151,9 @@ TEST(Orchestrator, DuplicateGridEntriesShareOneCell)
     StudyProgress progress;
     const StudyResult dup = runStudy(study, orch, &progress);
     EXPECT_EQ(progress.goldenRuns, 1u);
-    // One cell's campaigns (RF + pred + simt), not two cells' worth.
-    EXPECT_EQ(progress.totalShards, 6u);
+    // One cell's campaigns (RF + pred + simt + the three caches), not
+    // two cells' worth.
+    EXPECT_EQ(progress.totalShards, 12u);
 
     StudyOptions single = study;
     single.workloads = {"vectoradd"};
@@ -212,13 +214,13 @@ TEST(Orchestrator, CheckpointsEveryShardToTheStore)
     orch.storePath = path;
     runStudy(miniStudy(), orch, &progress);
 
-    EXPECT_EQ(progress.totalShards, 28u);
-    EXPECT_EQ(progress.executedShards, 28u);
+    EXPECT_EQ(progress.totalShards, 52u);
+    EXPECT_EQ(progress.executedShards, 52u);
     EXPECT_EQ(progress.resumedShards, 0u);
 
     // Line 0 is the spec header; the 28 shard records follow.
     const auto lines = storeLines(path);
-    ASSERT_EQ(lines.size(), 29u);
+    ASSERT_EQ(lines.size(), 53u);
     StoreHeader header;
     ASSERT_TRUE(parseStoreHeader(lines.front(), header));
     EXPECT_EQ(header.specHash,
@@ -241,12 +243,12 @@ TEST(Orchestrator, ResumeSkipsFinishedShardsAndMatchesBitForBit)
     first.storePath = path;
     StudyProgress full_progress;
     const StudyResult full = runStudy(study, first, &full_progress);
-    ASSERT_EQ(full_progress.executedShards, 28u);
+    ASSERT_EQ(full_progress.executedShards, 52u);
 
     // Simulate a kill after 5 shards: keep the header and a record
     // prefix of the store.
     const auto lines = storeLines(path);
-    ASSERT_EQ(lines.size(), 29u); // spec header + 28 records
+    ASSERT_EQ(lines.size(), 53u); // spec header + 52 records
     {
         std::ofstream out(path, std::ios::trunc);
         for (std::size_t i = 0; i < 6; ++i)
@@ -264,13 +266,13 @@ TEST(Orchestrator, ResumeSkipsFinishedShardsAndMatchesBitForBit)
     const StudyResult resumed = runStudy(study, second, &resumed_progress);
 
     EXPECT_EQ(resumed_progress.resumedShards, 5u);
-    EXPECT_EQ(resumed_progress.executedShards, 23u);
+    EXPECT_EQ(resumed_progress.executedShards, 47u);
     expectIdenticalReports(full, resumed);
 
     // A third run finds everything done and recomputes nothing.
     StudyProgress third_progress;
     const StudyResult third = runStudy(study, second, &third_progress);
-    EXPECT_EQ(third_progress.resumedShards, 28u);
+    EXPECT_EQ(third_progress.resumedShards, 52u);
     EXPECT_EQ(third_progress.executedShards, 0u);
     expectIdenticalReports(full, third);
     std::remove(path.c_str());
@@ -312,7 +314,7 @@ TEST(Orchestrator, ResumeRefusesAStoreFromADifferentSpec)
     rejobbed.jobs = 1;
     StudyProgress progress;
     runStudy(study, rejobbed, &progress);
-    EXPECT_EQ(progress.resumedShards, 28u);
+    EXPECT_EQ(progress.resumedShards, 52u);
     EXPECT_EQ(progress.executedShards, 0u);
     std::remove(path.c_str());
 }
@@ -330,7 +332,7 @@ TEST(Orchestrator, LegacyHeaderlessStoreResumesWithKeyMatchingOnly)
 
     // Strip the header, as a store written before it existed would be.
     const auto lines = storeLines(path);
-    ASSERT_EQ(lines.size(), 29u);
+    ASSERT_EQ(lines.size(), 53u);
     {
         std::ofstream out(path, std::ios::trunc);
         for (std::size_t i = 1; i < lines.size(); ++i)
@@ -343,7 +345,7 @@ TEST(Orchestrator, LegacyHeaderlessStoreResumesWithKeyMatchingOnly)
     orch.resume = true;
     StudyProgress same_progress;
     runStudy(study, orch, &same_progress);
-    EXPECT_EQ(same_progress.resumedShards, 28u);
+    EXPECT_EQ(same_progress.resumedShards, 52u);
 
     // The resume back-fills a header (appended, recognised at any
     // line), so the spec-hash guard is armed again: a doctored spec is
@@ -379,7 +381,7 @@ TEST(Orchestrator, LegacyHeaderlessStoreResumesWithKeyMatchingOnly)
     StudyProgress reseeded_progress;
     runStudy(reseeded, orch, &reseeded_progress);
     EXPECT_EQ(reseeded_progress.resumedShards, 0u);
-    EXPECT_EQ(reseeded_progress.executedShards, 28u);
+    EXPECT_EQ(reseeded_progress.executedShards, 52u);
     std::remove(path.c_str());
 }
 

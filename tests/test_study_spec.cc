@@ -115,7 +115,7 @@ TEST(StudySpec, ValidationErrorsArePrecise)
         StudySpec::fromJson(R"({"grid":{"gpus":["riva128"]}})"),
         FatalError);
     EXPECT_THROW(
-        StudySpec::fromJson(R"({"grid":{"structures":["l2"]}})"),
+        StudySpec::fromJson(R"({"grid":{"structures":["l3"]}})"),
         FatalError);
 
     // Zero-injection plan without ace_only.
@@ -243,10 +243,11 @@ TEST(StudySpec, PlanStudyCostsTheSpecWithoutExecuting)
     const StudyPlan plan = planStudy(spec);
     EXPECT_EQ(plan.gridCells, 2u);
     EXPECT_EQ(plan.goldenRuns, 2u);
-    // vectoradd: RF + pred + simt; reduction adds LDS -> 7 campaigns.
-    EXPECT_EQ(plan.campaigns.size(), 7u);
-    EXPECT_EQ(plan.totalShards(), 28u);
-    EXPECT_EQ(plan.totalInjections(), 7u * 24u);
+    // vectoradd: RF + pred + simt + l1d/l1i/l2; reduction adds LDS
+    // -> 13 campaigns.
+    EXPECT_EQ(plan.campaigns.size(), 13u);
+    EXPECT_EQ(plan.totalShards(), 52u);
+    EXPECT_EQ(plan.totalInjections(), 13u * 24u);
     for (const StudyPlanCampaign& c : plan.campaigns) {
         EXPECT_EQ(c.shards, 4u);
         EXPECT_EQ(c.injections, 24u);

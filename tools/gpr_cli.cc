@@ -114,12 +114,15 @@ cmdInfo(const std::string& gpu)
         const std::uint64_t bits = structureBitsTotal(c, spec.id);
         if (bits == 0)
             continue;
+        const char* kind = "control bits";
+        if (spec.kind == StructureKind::WordStorage)
+            kind = "word storage";
+        else if (spec.kind == StructureKind::CacheArray)
+            kind = spec.scope == StructureScope::Chip ? "cache, shared"
+                                                      : "cache, per-SM";
         std::printf("    %-20s %10llu bits chip-wide (%s%s)\n",
                     std::string(spec.name).c_str(),
-                    static_cast<unsigned long long>(bits),
-                    spec.kind == StructureKind::WordStorage
-                        ? "word storage"
-                        : "control bits",
+                    static_cast<unsigned long long>(bits), kind,
                     spec.exactDeadWindows ? ", exact dead windows" : "");
     }
     std::printf("  shader clock:       %.0f MHz\n", c.clockMhz);
